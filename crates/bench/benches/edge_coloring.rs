@@ -1,0 +1,47 @@
+//! Micro-benchmarks of the weighted bipartite edge coloring (the schedule
+//! reconstruction step of the NP-membership proofs): cost as a function of
+//! the number of communication tasks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_platform::graph::NodeId;
+use pm_sched::coloring::{schedule_tasks, CommTask};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_tasks(num_nodes: usize, num_tasks: usize, seed: u64) -> Vec<CommTask> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..num_tasks)
+        .map(|_| {
+            let src = rng.gen_range(0..num_nodes) as u32;
+            let mut dst = rng.gen_range(0..num_nodes) as u32;
+            while dst == src {
+                dst = rng.gen_range(0..num_nodes) as u32;
+            }
+            CommTask {
+                src: NodeId(src),
+                dst: NodeId(dst),
+                duration: rng.gen_range(0.05..1.0),
+                tag: 0,
+            }
+        })
+        .collect()
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("edge_coloring");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for &(nodes, tasks) in &[(10usize, 30usize), (20, 100), (40, 300)] {
+        let input = random_tasks(nodes, tasks, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{nodes}n_{tasks}t")),
+            &input,
+            |b, input| b.iter(|| schedule_tasks(nodes, input)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

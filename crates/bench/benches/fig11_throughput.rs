@@ -1,0 +1,37 @@
+//! End-to-end benchmark of one Figure 11 point: collecting every curve on a
+//! single (platform, density) instance. This measures the full cost of one
+//! cell of the evaluation tables and doubles as a smoke test that every
+//! heuristic completes on generated topologies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_core::report::{HeuristicKind, MulticastReport};
+use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig11_point(c: &mut Criterion) {
+    let topo = TiersLikeGenerator::reduced_scale(PlatformClass::Small, 21).generate();
+    let mut rng = StdRng::seed_from_u64(4);
+    let inst = topo.sample_instance(0.5, &mut rng);
+
+    let mut group = c.benchmark_group("fig11_point");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("references_only", |b| {
+        b.iter(|| {
+            MulticastReport::collect(
+                &inst,
+                &[HeuristicKind::Scatter, HeuristicKind::LowerBound, HeuristicKind::Mcph],
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("all_heuristics", |b| {
+        b.iter(|| MulticastReport::collect(&inst, &HeuristicKind::ALL).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11_point);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Micro-benchmarks of the heuristics on a fixed generated platform. This is
+//! the quantitative backing of the paper's remark (Section 7) that MCPH is
+//! much cheaper to run than the LP-based heuristics while achieving a
+//! comparable period.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pm_core::heuristics::{
+    AugmentedMulticast, AugmentedSources, Mcph, ReducedBroadcast, ThroughputHeuristic,
+};
+use pm_platform::instances::figure1_instance;
+use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_heuristics(c: &mut Criterion) {
+    let figure1 = figure1_instance();
+    let topo = TiersLikeGenerator::reduced_scale(PlatformClass::Small, 5).generate();
+    let mut rng = StdRng::seed_from_u64(17);
+    let generated = topo.sample_instance(0.5, &mut rng);
+
+    let mut group = c.benchmark_group("heuristics");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, inst) in [("figure1", &figure1), ("tiers_small", &generated)] {
+        group.bench_function(format!("mcph/{label}"), |b| {
+            b.iter(|| Mcph.run(inst).unwrap())
+        });
+        group.bench_function(format!("augmented_sources/{label}"), |b| {
+            b.iter(|| AugmentedSources::default().run(inst).unwrap())
+        });
+    }
+    // The two sub-platform exploration heuristics solve dozens of broadcast
+    // LPs per run; benchmark them on the worked example only so that a full
+    // `cargo bench` stays affordable on modest machines.
+    group.bench_function("augmented_multicast/figure1", |b| {
+        b.iter(|| AugmentedMulticast.run(&figure1).unwrap())
+    });
+    group.bench_function("reduced_broadcast/figure1", |b| {
+        b.iter(|| ReducedBroadcast.run(&figure1).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heuristics);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks of the from-scratch simplex on the paper's formulations:
+//! the cost of one `Multicast-LB`, `Multicast-UB` and `Broadcast-EB` solve on
+//! the reference instances and on generated hierarchical platforms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pm_core::formulations::{BroadcastEb, MulticastLb, MulticastUb};
+use pm_platform::instances::figure1_instance;
+use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_figure1(c: &mut Criterion) {
+    let inst = figure1_instance();
+    let mut group = c.benchmark_group("lp/figure1");
+    group.sample_size(20);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("multicast_lb", |b| {
+        b.iter(|| MulticastLb::new(&inst).solve().unwrap())
+    });
+    group.bench_function("multicast_ub", |b| {
+        b.iter(|| MulticastUb::new(&inst).solve().unwrap())
+    });
+    group.bench_function("broadcast_eb", |b| {
+        b.iter(|| BroadcastEb::new(&inst).solve().unwrap())
+    });
+    group.finish();
+}
+
+fn bench_generated(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/tiers_like");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, class) in [("small", PlatformClass::Small), ("big", PlatformClass::Big)] {
+        let topo = TiersLikeGenerator::reduced_scale(class, 3).generate();
+        let mut rng = StdRng::seed_from_u64(9);
+        let inst = topo.sample_instance(0.5, &mut rng);
+        group.bench_with_input(BenchmarkId::new("multicast_lb", label), &inst, |b, inst| {
+            b.iter(|| MulticastLb::new(inst).solve().unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("multicast_ub", label), &inst, |b, inst| {
+            b.iter(|| MulticastUb::new(inst).solve().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure1, bench_generated);
+criterion_main!(benches);

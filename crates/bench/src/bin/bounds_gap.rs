@@ -1,0 +1,89 @@
+//! Reproduces Section 5.1.3 (Figures 4 and 5): how far the two LP bounds can
+//! be from each other and from the optimum.
+//!
+//! * Figure 5: on the relay-star gadget the gap between `Multicast-LB` and
+//!   `Multicast-UB` is exactly the number of targets.
+//! * Figure 4: neither bound is tight in general. We search small random
+//!   platforms for instances where the exact tree-packing optimum differs
+//!   from both bounds and report the largest gaps found.
+
+use pm_core::exact::ExactTreePacking;
+use pm_core::formulations::{MulticastLb, MulticastUb};
+use pm_platform::graph::PlatformBuilder;
+use pm_platform::instances::{figure5_instance, relay_cross_instance, MulticastInstance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn report(label: &str, inst: &MulticastInstance) {
+    let lb = MulticastLb::new(inst).solve().expect("LB solves").period;
+    let ub = MulticastUb::new(inst).solve().expect("UB solves").period;
+    let exact = ExactTreePacking::new().solve(inst).expect("exact solves").period;
+    println!(
+        "{label:<28} |T|={:<2} LB={lb:<8.4} OPT={exact:<8.4} UB={ub:<8.4} UB/LB={:.3}",
+        inst.target_count(),
+        ub / lb
+    );
+}
+
+fn random_instance(seed: u64) -> Option<MulticastInstance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..6usize);
+    let mut b = PlatformBuilder::new();
+    let nodes = b.add_nodes(n);
+    let costs = [0.5, 1.0, 2.0];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && rng.gen_bool(0.45) {
+                let c = costs[rng.gen_range(0..costs.len())];
+                let _ = b.add_edge(nodes[i], nodes[j], c);
+            }
+        }
+    }
+    let platform = b.build().ok()?;
+    let targets: Vec<_> = nodes[1..].iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+    MulticastInstance::new(platform, nodes[0], targets).ok()
+}
+
+fn main() {
+    println!("== Figure 5: the LB/UB gap grows like |Ptarget| ==");
+    for n in [2usize, 3, 4, 6] {
+        report(&format!("figure5({n})"), &figure5_instance(n));
+    }
+    println!();
+    println!("== Relay-cross gadget: the scatter bound is loose ==");
+    report("relay_cross", &relay_cross_instance());
+    println!();
+    println!("== Figure 4 search: instances where neither bound is tight ==");
+    let mut best: Option<(f64, u64)> = None;
+    let mut found = 0usize;
+    for seed in 0..400u64 {
+        let Some(inst) = random_instance(seed) else { continue };
+        let Ok(lb) = MulticastLb::new(&inst).solve() else { continue };
+        let Ok(ub) = MulticastUb::new(&inst).solve() else { continue };
+        let Ok(exact) = ExactTreePacking::new().solve(&inst) else { continue };
+        let lb_gap = exact.period - lb.period;
+        let ub_gap = ub.period - exact.period;
+        if lb_gap > 1e-4 && ub_gap > 1e-4 {
+            found += 1;
+            let score = lb_gap.min(ub_gap);
+            if best.map_or(true, |(s, _)| score > s) {
+                best = Some((score, seed));
+                println!(
+                    "seed {seed:<4} nodes={} |T|={} LB={:.4} OPT={:.4} UB={:.4}",
+                    inst.platform.node_count(),
+                    inst.target_count(),
+                    lb.period,
+                    exact.period,
+                    ub.period
+                );
+            }
+        }
+    }
+    println!(
+        "searched 400 random 4-5 node platforms: {found} instances have LB < OPT < UB (strictly)"
+    );
+    if found == 0 {
+        println!("(none found at this size: the LB is usually achievable on tiny dense graphs; \
+                  Figure 4's gadget shows it is not always so)");
+    }
+}

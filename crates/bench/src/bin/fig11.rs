@@ -1,0 +1,75 @@
+//! Regenerates Figure 11 of the paper: heuristic period ratios against the
+//! `scatter` upper bound and against the theoretical lower bound, for the
+//! "small" and "big" platform classes, over increasing target densities.
+//!
+//! Usage:
+//!   fig11 [small|big] [scatter|lower|all] [--paper-scale] [--platforms N]
+//!         [--densities a,b,c] [--seed S]
+
+use pm_bench::{format_period_table, format_ratio_table, run_sweep, SweepConfig};
+use pm_core::report::HeuristicKind;
+use pm_platform::topology::PlatformClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut class = PlatformClass::Small;
+    let mut reference = "all".to_string();
+    let mut config = SweepConfig::quick(class);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "small" => class = PlatformClass::Small,
+            "big" => class = PlatformClass::Big,
+            "scatter" | "lower" | "all" => reference = args[i].clone(),
+            "--paper-scale" => config.paper_scale = true,
+            // Restrict to the reference curves + MCPH (no iterated LP
+            // heuristics): useful on large platforms or slow machines.
+            "--basic" => {
+                config.kinds = vec![
+                    HeuristicKind::Scatter,
+                    HeuristicKind::LowerBound,
+                    HeuristicKind::Broadcast,
+                    HeuristicKind::Mcph,
+                ];
+            }
+            "--platforms" => {
+                i += 1;
+                config.platforms = args[i].parse().expect("--platforms takes an integer");
+            }
+            "--seed" => {
+                i += 1;
+                config.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--densities" => {
+                i += 1;
+                config.densities = args[i]
+                    .split(',')
+                    .map(|d| d.parse().expect("--densities takes comma-separated floats"))
+                    .collect();
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    config.class = class;
+
+    eprintln!(
+        "running Figure 11 sweep: class={:?}, paper_scale={}, platforms={}, densities={:?}",
+        config.class, config.paper_scale, config.platforms, config.densities
+    );
+    let result = run_sweep(&config);
+
+    println!("== mean periods ==");
+    println!("{}", format_period_table(&result));
+    if reference == "scatter" || reference == "all" {
+        println!("== Figure 11 (a)/(c): ratios vs scatter ==");
+        println!("{}", format_ratio_table(&result, HeuristicKind::Scatter));
+    }
+    if reference == "lower" || reference == "all" {
+        println!("== Figure 11 (b)/(d): ratios vs lower bound ==");
+        println!("{}", format_ratio_table(&result, HeuristicKind::LowerBound));
+    }
+}

@@ -1,0 +1,40 @@
+//! Demonstrates the COMPACT-PREFIX reduction (Theorem 5): on the Figure 3
+//! gadget, a set cover of size at most B yields a prefix allocation scheme
+//! sustaining one parallel-prefix operation per time-unit, while an
+//! undersized bound blows the source's send budget.
+
+use pm_complexity::set_cover::SetCoverInstance;
+use pm_complexity::PrefixGadget;
+
+fn main() {
+    let sc = SetCoverInstance::paper_example();
+    let optimum = sc.minimum_cover();
+    println!(
+        "set-cover instance: {} elements, {} subsets, minimum cover {}",
+        sc.universe(),
+        sc.num_subsets(),
+        optimum.len()
+    );
+
+    for bound in [optimum.len(), optimum.len() - 1] {
+        let gadget = PrefixGadget::new(&sc, bound.max(1));
+        let budget = gadget.scheme_budget(&optimum);
+        println!();
+        println!(
+            "B = {}: platform with {} nodes / {} edges, participant speed w = {:.4}",
+            bound.max(1),
+            gadget.platform.node_count(),
+            gadget.platform.edge_count(),
+            gadget.participant_speed()
+        );
+        let max_send = budget.send.iter().copied().fold(0.0, f64::max);
+        let max_recv = budget.recv.iter().copied().fold(0.0, f64::max);
+        let max_comp = budget.compute.iter().copied().fold(0.0, f64::max);
+        println!("canonical scheme budgets: send {max_send:.4}, recv {max_recv:.4}, compute {max_comp:.4}");
+        if budget.max() <= 1.0 + 1e-9 {
+            println!("=> one parallel prefix per time-unit is sustainable (cover of size <= B exists)");
+        } else {
+            println!("=> the scheme exceeds one time-unit (no cover of size <= B)");
+        }
+    }
+}

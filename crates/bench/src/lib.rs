@@ -1,0 +1,15 @@
+//! # pm-bench
+//!
+//! The experiment harness of the reproduction: parameter sweeps over
+//! Tiers-like platforms (Figure 11 of the paper), worked-example binaries
+//! (Figures 1, 4/5, 12, the set-cover and prefix gadgets) and the Criterion
+//! micro-benchmarks.
+//!
+//! The library part contains the sweep machinery; the `src/bin` binaries
+//! print the tables documented in `EXPERIMENTS.md`.
+
+pub mod sweep;
+pub mod table;
+
+pub use sweep::{run_sweep, SweepConfig, SweepPoint, SweepResult};
+pub use table::{format_period_table, format_ratio_table};

@@ -1,0 +1,209 @@
+//! The Figure 11 sweep: run every heuristic over random Tiers-like platforms
+//! and increasing densities of targets, and aggregate the period ratios.
+
+use parking_lot::Mutex;
+use pm_core::report::{HeuristicKind, MulticastReport};
+use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a sweep (one of the four sub-figures of Figure 11).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepConfig {
+    /// The platform class ("small" or "big").
+    pub class: PlatformClass,
+    /// Use the paper-scale platform sizes instead of the reduced sizes
+    /// matched to the from-scratch LP solver (see EXPERIMENTS.md).
+    pub paper_scale: bool,
+    /// Number of random platforms per point (the paper uses 10).
+    pub platforms: usize,
+    /// Target densities to sweep (fraction of LAN nodes that are targets).
+    pub densities: Vec<f64>,
+    /// Base random seed.
+    pub seed: u64,
+    /// The heuristics / reference curves to run.
+    pub kinds: Vec<HeuristicKind>,
+}
+
+impl SweepConfig {
+    /// A quick configuration suitable for CI and for the default
+    /// `cargo run -p pm-bench --bin fig11` invocation.
+    pub fn quick(class: PlatformClass) -> Self {
+        SweepConfig {
+            class,
+            paper_scale: false,
+            platforms: 2,
+            densities: vec![0.25, 0.5, 0.75, 1.0],
+            seed: 42,
+            kinds: HeuristicKind::ALL.to_vec(),
+        }
+    }
+}
+
+/// Aggregated measurements for one `(density)` point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Target density of the point.
+    pub density: f64,
+    /// Mean period per heuristic kind (same order as the config's `kinds`),
+    /// averaged over the platforms where the heuristic produced a finite
+    /// period.
+    pub mean_period: Vec<(HeuristicKind, f64)>,
+    /// Number of instances aggregated.
+    pub instances: usize,
+}
+
+impl SweepPoint {
+    /// Mean period of a heuristic kind at this point.
+    pub fn period(&self, kind: HeuristicKind) -> Option<f64> {
+        self.mean_period
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, p)| p)
+    }
+
+    /// Ratio of the mean period of `kind` to the mean period of `reference`
+    /// (the quantity plotted in Figure 11).
+    pub fn ratio(&self, kind: HeuristicKind, reference: HeuristicKind) -> Option<f64> {
+        match (self.period(kind), self.period(reference)) {
+            (Some(p), Some(r)) if r > 0.0 => Some(p / r),
+            _ => None,
+        }
+    }
+}
+
+/// The result of a full sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// The configuration that produced the result.
+    pub config: SweepConfig,
+    /// One aggregated point per density.
+    pub points: Vec<SweepPoint>,
+}
+
+/// Runs the sweep, distributing the (platform, density) instances over
+/// threads with crossbeam's scoped threads.
+pub fn run_sweep(config: &SweepConfig) -> SweepResult {
+    // Generate the platforms up front so that every density sees the same
+    // set of platforms (as in the paper: 10 platforms per class, reused for
+    // every target density).
+    let topologies: Vec<_> = (0..config.platforms)
+        .map(|i| {
+            let mut generator = if config.paper_scale {
+                TiersLikeGenerator::paper_scale(config.class, config.seed + i as u64)
+            } else {
+                TiersLikeGenerator::reduced_scale(config.class, config.seed + i as u64)
+            };
+            generator.generate()
+        })
+        .collect();
+
+    // Work items: one per (density, platform).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for (di, _) in config.densities.iter().enumerate() {
+        for pi in 0..topologies.len() {
+            work.push((di, pi));
+        }
+    }
+    let next = Mutex::new(0usize);
+    let reports: Mutex<Vec<(usize, MulticastReport)>> = Mutex::new(Vec::new());
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(work.len().max(1));
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let item = {
+                    let mut guard = next.lock();
+                    if *guard >= work.len() {
+                        None
+                    } else {
+                        let i = *guard;
+                        *guard += 1;
+                        Some(work[i])
+                    }
+                };
+                let Some((di, pi)) = item else { break };
+                let density = config.densities[di];
+                // Derive a deterministic instance seed from the work item.
+                let mut rng = StdRng::seed_from_u64(
+                    config.seed ^ (di as u64).wrapping_mul(0x9e37_79b9) ^ (pi as u64) << 32,
+                );
+                let instance = topologies[pi].sample_instance(density, &mut rng);
+                if let Ok(report) = MulticastReport::collect(&instance, &config.kinds) {
+                    reports.lock().push((di, report));
+                }
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let reports = reports.into_inner();
+    let mut points = Vec::with_capacity(config.densities.len());
+    for (di, &density) in config.densities.iter().enumerate() {
+        let at_point: Vec<&MulticastReport> = reports
+            .iter()
+            .filter(|(d, _)| *d == di)
+            .map(|(_, r)| r)
+            .collect();
+        let mut mean_period = Vec::with_capacity(config.kinds.len());
+        for &kind in &config.kinds {
+            let values: Vec<f64> = at_point
+                .iter()
+                .filter_map(|r| r.period(kind))
+                .filter(|p| p.is_finite())
+                .collect();
+            let mean = if values.is_empty() {
+                f64::INFINITY
+            } else {
+                values.iter().sum::<f64>() / values.len() as f64
+            };
+            mean_period.push((kind, mean));
+        }
+        points.push(SweepPoint {
+            density,
+            mean_period,
+            instances: at_point.len(),
+        });
+    }
+    SweepResult {
+        config: config.clone(),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_produces_ordered_curves() {
+        let config = SweepConfig {
+            class: PlatformClass::Small,
+            paper_scale: false,
+            platforms: 1,
+            densities: vec![0.5],
+            seed: 7,
+            kinds: vec![
+                HeuristicKind::Scatter,
+                HeuristicKind::LowerBound,
+                HeuristicKind::Mcph,
+            ],
+        };
+        let result = run_sweep(&config);
+        assert_eq!(result.points.len(), 1);
+        let point = &result.points[0];
+        assert_eq!(point.instances, 1);
+        let scatter = point.period(HeuristicKind::Scatter).unwrap();
+        let lb = point.period(HeuristicKind::LowerBound).unwrap();
+        let mcph = point.period(HeuristicKind::Mcph).unwrap();
+        assert!(lb <= scatter + 1e-6);
+        assert!(mcph >= lb - 1e-6);
+        // Ratios normalise as in Figure 11.
+        assert!(point.ratio(HeuristicKind::LowerBound, HeuristicKind::Scatter).unwrap() <= 1.0 + 1e-9);
+        assert!(point.ratio(HeuristicKind::Mcph, HeuristicKind::LowerBound).unwrap() >= 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,104 @@
+//! Plain-text tables mirroring the curves of Figure 11.
+
+use crate::sweep::SweepResult;
+use pm_core::report::HeuristicKind;
+
+fn fmt(value: Option<f64>) -> String {
+    match value {
+        Some(v) if v.is_finite() => format!("{v:>10.4}"),
+        _ => format!("{:>10}", "inf"),
+    }
+}
+
+/// Formats the mean periods per density, one column per heuristic.
+pub fn format_period_table(result: &SweepResult) -> String {
+    let kinds: Vec<HeuristicKind> = result.config.kinds.clone();
+    let mut out = String::new();
+    out.push_str(&format!("{:>8}", "density"));
+    for kind in &kinds {
+        out.push_str(&format!("{:>16}", kind.label()));
+    }
+    out.push('\n');
+    for point in &result.points {
+        out.push_str(&format!("{:>8.2}", point.density));
+        for kind in &kinds {
+            out.push_str(&format!("{:>16}", fmt(point.period(*kind))));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats the period ratios against a reference curve (Figure 11 uses the
+/// `scatter` curve in sub-figures (a)/(c) and the `lower bound` curve in
+/// (b)/(d)).
+pub fn format_ratio_table(result: &SweepResult, reference: HeuristicKind) -> String {
+    let kinds: Vec<HeuristicKind> = result.config.kinds.clone();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "ratio of periods over the '{}' reference\n",
+        reference.label()
+    ));
+    out.push_str(&format!("{:>8}", "density"));
+    for kind in &kinds {
+        out.push_str(&format!("{:>16}", kind.label()));
+    }
+    out.push('\n');
+    for point in &result.points {
+        out.push_str(&format!("{:>8.2}", point.density));
+        for kind in &kinds {
+            out.push_str(&format!("{:>16}", fmt(point.ratio(*kind, reference))));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{SweepConfig, SweepPoint};
+    use pm_platform::topology::PlatformClass;
+
+    fn fake_result() -> SweepResult {
+        let config = SweepConfig {
+            class: PlatformClass::Small,
+            paper_scale: false,
+            platforms: 1,
+            densities: vec![0.5],
+            seed: 0,
+            kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+        };
+        SweepResult {
+            config,
+            points: vec![SweepPoint {
+                density: 0.5,
+                mean_period: vec![
+                    (HeuristicKind::Scatter, 4.0),
+                    (HeuristicKind::Mcph, 2.0),
+                ],
+                instances: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn tables_contain_labels_and_values() {
+        let result = fake_result();
+        let periods = format_period_table(&result);
+        assert!(periods.contains("scatter"));
+        assert!(periods.contains("MCPH"));
+        assert!(periods.contains("4.0000"));
+        let ratios = format_ratio_table(&result, HeuristicKind::Scatter);
+        assert!(ratios.contains("0.5000")); // MCPH / scatter
+        assert!(ratios.contains("1.0000")); // scatter / scatter
+    }
+
+    #[test]
+    fn infinite_values_are_printed_as_inf() {
+        let mut result = fake_result();
+        result.points[0].mean_period[1].1 = f64::INFINITY;
+        let periods = format_period_table(&result);
+        assert!(periods.contains("inf"));
+    }
+}

@@ -1,0 +1,19 @@
+//! # pm-complexity
+//!
+//! Executable versions of the paper's NP-completeness reductions: the
+//! MINIMUM-SET-COVER problem itself ([`set_cover`]), the reduction to
+//! COMPACT-MULTICAST of Theorems 1–3 ([`multicast_reduction`]) and the
+//! reduction to COMPACT-PREFIX of Theorem 5 ([`prefix`]).
+//!
+//! These modules serve two purposes: they document the complexity results of
+//! Section 4 as runnable code, and they provide hard worst-case instances for
+//! stress-testing the heuristics (a multicast gadget where the optimal single
+//! tree corresponds to an optimal set cover).
+
+pub mod multicast_reduction;
+pub mod prefix;
+pub mod set_cover;
+
+pub use multicast_reduction::MulticastGadget;
+pub use prefix::{PrefixGadget, SchemeBudget};
+pub use set_cover::{SetCoverError, SetCoverInstance};

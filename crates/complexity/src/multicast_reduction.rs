@@ -1,0 +1,220 @@
+//! The reduction MINIMUM-SET-COVER → COMPACT-MULTICAST (Theorems 1–3).
+//!
+//! Given a set-cover instance `(X, C, B)`, the paper builds a multicast
+//! platform (Figure 2) with a source, one relay node per subset `Ci`
+//! (connected to the source by a cost-`1/B` link) and one target node per
+//! element `Xj` (connected to `Ci` by a cost-`1/N` link whenever `Xj ∈ Ci`).
+//! Then a cover of size at most `B` exists **iff** a single multicast tree of
+//! throughput at least 1 exists; more precisely, a cover of size `K` maps to
+//! a tree of period `K/B`, and conversely.
+//!
+//! This module builds the gadget, converts covers to trees and trees to
+//! covers, and verifies the correspondence — making the complexity proof
+//! executable.
+
+use crate::set_cover::SetCoverInstance;
+use pm_platform::graph::{NodeId, PlatformBuilder};
+use pm_platform::instances::MulticastInstance;
+use pm_sched::tree::{MulticastTree, TreeError};
+
+/// The COMPACT-MULTICAST gadget built from a set-cover instance.
+#[derive(Debug, Clone)]
+pub struct MulticastGadget {
+    /// The multicast instance (platform, source, targets).
+    pub instance: MulticastInstance,
+    /// The bound `B` of the set-cover decision problem.
+    pub bound: usize,
+    /// Node of each subset `Ci`.
+    pub subset_nodes: Vec<NodeId>,
+    /// Node of each element `Xj` (these are the targets).
+    pub element_nodes: Vec<NodeId>,
+    /// The originating set-cover instance.
+    pub set_cover: SetCoverInstance,
+}
+
+impl MulticastGadget {
+    /// Builds the gadget of Figure 2 for the decision bound `bound` (`B`).
+    pub fn new(set_cover: &SetCoverInstance, bound: usize) -> Self {
+        assert!(bound >= 1, "the set-cover bound must be at least 1");
+        let n = set_cover.universe();
+        let mut b = PlatformBuilder::new();
+        let source = b.add_named_node("Psource");
+        let subset_nodes: Vec<NodeId> = (0..set_cover.num_subsets())
+            .map(|i| b.add_named_node(&format!("C{}", i + 1)))
+            .collect();
+        let element_nodes: Vec<NodeId> = (0..n)
+            .map(|j| b.add_named_node(&format!("X{}", j + 1)))
+            .collect();
+        for &c in &subset_nodes {
+            b.add_edge(source, c, 1.0 / bound as f64).expect("source -> Ci edge");
+        }
+        for (i, subset) in set_cover.subsets().iter().enumerate() {
+            for &j in subset {
+                b.add_edge(subset_nodes[i], element_nodes[j], 1.0 / n as f64)
+                    .expect("Ci -> Xj edge");
+            }
+        }
+        let platform = b.build().expect("gadget platform");
+        let instance = MulticastInstance::new(platform, source, element_nodes.clone())
+            .expect("gadget instance (the set-cover instance is coverable)");
+        MulticastGadget {
+            instance,
+            bound,
+            subset_nodes,
+            element_nodes,
+            set_cover: set_cover.clone(),
+        }
+    }
+
+    /// Builds the single multicast tree associated to a cover, following the
+    /// forward direction of the proof of Theorem 1: the source serves exactly
+    /// the chosen subsets, and each element receives the message from the
+    /// *leftmost* chosen subset containing it.
+    pub fn cover_to_tree(&self, cover: &[usize]) -> Result<MulticastTree, TreeError> {
+        let platform = &self.instance.platform;
+        let mut chosen = cover.to_vec();
+        chosen.sort_unstable();
+        chosen.dedup();
+        let mut edges = Vec::new();
+        for &i in &chosen {
+            let e = platform
+                .find_edge(self.instance.source, self.subset_nodes[i])
+                .expect("source -> Ci edge exists");
+            edges.push(e);
+        }
+        for (j, &x) in self.element_nodes.iter().enumerate() {
+            // Leftmost chosen subset containing element j.
+            let parent = chosen
+                .iter()
+                .copied()
+                .find(|&i| self.set_cover.subsets()[i].contains(&j));
+            if let Some(i) = parent {
+                let e = platform
+                    .find_edge(self.subset_nodes[i], x)
+                    .expect("Ci -> Xj edge exists for covered elements");
+                edges.push(e);
+            }
+        }
+        MulticastTree::new(&self.instance, edges)
+    }
+
+    /// Extracts the cover associated to a single multicast tree (the backward
+    /// direction of the proof): the chosen subsets are the `Ci` nodes used by
+    /// the tree.
+    pub fn tree_to_cover(&self, tree: &MulticastTree) -> Vec<usize> {
+        let platform = &self.instance.platform;
+        let mut cover: Vec<usize> = self
+            .subset_nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| tree.covers(platform, c))
+            .map(|(i, _)| i)
+            .collect();
+        cover.sort_unstable();
+        cover
+    }
+
+    /// The period of the single tree built from a cover of size `K` is
+    /// `max(K/B, 1)` — in particular it is exactly 1 when `K <= B` (using the
+    /// normalised time-unit of the proof, where the element fan-out fits in
+    /// one time-unit).
+    pub fn expected_tree_period(&self, cover_size: usize) -> f64 {
+        (cover_size as f64 / self.bound as f64).max(1.0)
+    }
+
+    /// Verifies the equivalence of Theorem 1 on this gadget, using the exact
+    /// set-cover solver: a cover of size at most `B` exists iff a single
+    /// multicast tree of period at most 1 (throughput at least 1) exists.
+    ///
+    /// Returns `(has_cover, best_tree_period)`.
+    pub fn verify_theorem1(&self) -> (bool, f64) {
+        let minimum = self.set_cover.minimum_cover();
+        let has_cover = minimum.len() <= self.bound;
+        let tree = self
+            .cover_to_tree(&minimum)
+            .expect("a minimum cover always yields a valid tree");
+        let period = tree.period(&self.instance.platform);
+        (has_cover, period)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gadget_shape_matches_figure2() {
+        let sc = SetCoverInstance::paper_example();
+        let gadget = MulticastGadget::new(&sc, 2);
+        let p = &gadget.instance.platform;
+        // 1 source + 4 subsets + 8 elements.
+        assert_eq!(p.node_count(), 13);
+        // 4 source->Ci edges + one edge per (Ci, Xj) membership.
+        let memberships: usize = sc.subsets().iter().map(|s| s.len()).sum();
+        assert_eq!(p.edge_count(), 4 + memberships);
+        assert_eq!(gadget.instance.target_count(), 8);
+        // Edge costs: 1/B to the subsets, 1/N to the elements.
+        let e = p.find_edge(gadget.instance.source, gadget.subset_nodes[0]).unwrap();
+        assert!((p.cost(e) - 0.5).abs() < 1e-12);
+        let e = p.find_edge(gadget.subset_nodes[0], gadget.element_nodes[0]).unwrap();
+        assert!((p.cost(e) - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cover_maps_to_unit_period_tree() {
+        let sc = SetCoverInstance::paper_example();
+        let gadget = MulticastGadget::new(&sc, 2);
+        let cover = sc.minimum_cover();
+        assert_eq!(cover.len(), 2);
+        let tree = gadget.cover_to_tree(&cover).unwrap();
+        // The source sends 2 messages on cost-1/2 links: send time 1.
+        // Each chosen subset forwards to at most 8 elements on 1/8 links.
+        let period = tree.period(&gadget.instance.platform);
+        assert!((period - 1.0).abs() < 1e-9);
+        assert!((gadget.expected_tree_period(cover.len()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oversized_cover_maps_to_slower_tree() {
+        let sc = SetCoverInstance::paper_example();
+        let gadget = MulticastGadget::new(&sc, 2);
+        // Use all four subsets: the source now needs 4 * 1/2 = 2 time-units.
+        let tree = gadget.cover_to_tree(&[0, 1, 2, 3]).unwrap();
+        let period = tree.period(&gadget.instance.platform);
+        assert!((period - 2.0).abs() < 1e-9);
+        assert!((gadget.expected_tree_period(4) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_to_cover_roundtrip() {
+        let sc = SetCoverInstance::paper_example();
+        let gadget = MulticastGadget::new(&sc, 2);
+        let cover = vec![0, 3];
+        let tree = gadget.cover_to_tree(&cover).unwrap();
+        let back = gadget.tree_to_cover(&tree);
+        assert_eq!(back, cover);
+        assert!(sc.is_cover(&back));
+    }
+
+    #[test]
+    fn theorem1_equivalence_on_random_instances() {
+        for seed in 0..10u64 {
+            let sc = SetCoverInstance::random(6, 5, seed);
+            let optimum = sc.minimum_cover().len();
+            // With B = optimum, a cover of size <= B exists and the associated
+            // tree has period exactly 1 (throughput 1).
+            let gadget = MulticastGadget::new(&sc, optimum);
+            let (has_cover, period) = gadget.verify_theorem1();
+            assert!(has_cover, "seed {seed}");
+            assert!((period - 1.0).abs() < 1e-9, "seed {seed}: period {period}");
+            // With B = optimum - 1 (when possible), no cover exists and the
+            // best single tree built from a minimum cover has period > 1.
+            if optimum > 1 {
+                let tight = MulticastGadget::new(&sc, optimum - 1);
+                let (has_cover, period) = tight.verify_theorem1();
+                assert!(!has_cover, "seed {seed}");
+                assert!(period > 1.0 + 1e-9, "seed {seed}: period {period}");
+            }
+        }
+    }
+}

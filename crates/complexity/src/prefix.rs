@@ -1,0 +1,274 @@
+//! The COMPACT-PREFIX gadget (Section 4.2, Theorem 5).
+//!
+//! The paper extends the multicast hardness result to pipelined *parallel
+//! prefix* computations: given a set-cover instance `(X, C, B)`, it builds a
+//! platform (Figure 3) where
+//!
+//! * a processor `Ps` holds the first input `x0` and is connected to one node
+//!   per subset `Ci` by cost-`1/B` links,
+//! * one node `Xj` per element, fed by the `Ci` containing it through
+//!   cost-`1/N` links,
+//! * one node `X'j` per element, fed by `Xj` through a link of cost
+//!   `u_j = 1/j - 1/(N+1)` and chained to `X'(j+1)` through a link of cost
+//!   `v_j = 1/(j+1) + 1/((N+1) j)`,
+//! * the participants of the parallel prefix are `Ps, X'1, ..., X'N`, all
+//!   with computation speed `w = 1/N`, data sizes `f(i, j) = j - i + 1` and
+//!   unit task weights.
+//!
+//! A cover of size at most `B` exists iff one prefix allocation scheme
+//! sustains one parallel-prefix operation per time-unit. This module builds
+//! the gadget and the canonical allocation scheme derived from a cover, and
+//! checks the per-node send / receive / compute budgets of the forward
+//! direction of the proof.
+
+use crate::set_cover::SetCoverInstance;
+use pm_platform::graph::{NodeId, PlatformBuilder};
+use pm_platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// The parallel-prefix gadget built from a set-cover instance.
+#[derive(Debug, Clone)]
+pub struct PrefixGadget {
+    /// The platform graph of Figure 3.
+    pub platform: Platform,
+    /// The source `Ps` (holds `x0`).
+    pub source: NodeId,
+    /// One node per subset `Ci`.
+    pub subset_nodes: Vec<NodeId>,
+    /// One node `Xj` per element.
+    pub element_nodes: Vec<NodeId>,
+    /// One node `X'j` per element; together with `Ps` they are the
+    /// participants `P = {P0, .., PN}` of the parallel prefix.
+    pub prime_nodes: Vec<NodeId>,
+    /// The decision bound `B`.
+    pub bound: usize,
+    /// The originating set-cover instance.
+    pub set_cover: SetCoverInstance,
+}
+
+/// Per-node time budget of one period of the canonical allocation scheme.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SchemeBudget {
+    /// Time each node spends sending during one period.
+    pub send: Vec<f64>,
+    /// Time each node spends receiving during one period.
+    pub recv: Vec<f64>,
+    /// Time each node spends computing during one period.
+    pub compute: Vec<f64>,
+}
+
+impl SchemeBudget {
+    /// The largest budget over all nodes and resources — the scheme sustains
+    /// one parallel prefix per time-unit iff this is at most 1.
+    pub fn max(&self) -> f64 {
+        self.send
+            .iter()
+            .chain(self.recv.iter())
+            .chain(self.compute.iter())
+            .copied()
+            .fold(0.0, f64::max)
+    }
+}
+
+impl PrefixGadget {
+    /// Cost `u_j` of the link `Xj -> X'j` (1-indexed `j`).
+    pub fn u(n: usize, j: usize) -> f64 {
+        1.0 / j as f64 - 1.0 / (n as f64 + 1.0)
+    }
+
+    /// Cost `v_j` of the link `X'j -> X'(j+1)` (1-indexed `j < N`).
+    pub fn v(n: usize, j: usize) -> f64 {
+        1.0 / (j as f64 + 1.0) + 1.0 / ((n as f64 + 1.0) * j as f64)
+    }
+
+    /// Builds the gadget of Figure 3 for the decision bound `bound`.
+    pub fn new(set_cover: &SetCoverInstance, bound: usize) -> Self {
+        assert!(bound >= 1);
+        let n = set_cover.universe();
+        let mut b = PlatformBuilder::new();
+        let source = b.add_named_node("Ps");
+        let subset_nodes: Vec<NodeId> = (0..set_cover.num_subsets())
+            .map(|i| b.add_named_node(&format!("C{}", i + 1)))
+            .collect();
+        let element_nodes: Vec<NodeId> = (0..n)
+            .map(|j| b.add_named_node(&format!("X{}", j + 1)))
+            .collect();
+        let prime_nodes: Vec<NodeId> = (0..n)
+            .map(|j| b.add_named_node(&format!("X'{}", j + 1)))
+            .collect();
+        for &c in &subset_nodes {
+            b.add_edge(source, c, 1.0 / bound as f64).expect("Ps -> Ci");
+        }
+        for (i, subset) in set_cover.subsets().iter().enumerate() {
+            for &j in subset {
+                b.add_edge(subset_nodes[i], element_nodes[j], 1.0 / n as f64)
+                    .expect("Ci -> Xj");
+            }
+        }
+        for j in 1..=n {
+            b.add_edge(element_nodes[j - 1], prime_nodes[j - 1], Self::u(n, j))
+                .expect("Xj -> X'j");
+        }
+        for j in 1..n {
+            b.add_edge(prime_nodes[j - 1], prime_nodes[j], Self::v(n, j))
+                .expect("X'j -> X'(j+1)");
+        }
+        let platform = b.build().expect("prefix gadget platform");
+        PrefixGadget {
+            platform,
+            source,
+            subset_nodes,
+            element_nodes,
+            prime_nodes,
+            bound,
+            set_cover: set_cover.clone(),
+        }
+    }
+
+    /// Computation speed `w(P)` of the participants (`1/N`).
+    pub fn participant_speed(&self) -> f64 {
+        1.0 / self.set_cover.universe() as f64
+    }
+
+    /// Builds the per-node time budget of the canonical allocation scheme of
+    /// the proof of Theorem 5 for the given cover: during each period,
+    ///
+    /// 1. `Ps` sends `x0` to the chosen subsets (`|cover| * 1/B`),
+    /// 2. each chosen `Ci` forwards `x0` to the elements it is responsible
+    ///    for (leftmost rule), at `1/N` each,
+    /// 3. each `Xj` forwards `x0` to `X'j` (cost `u_j`),
+    /// 4. each `X'j` (`j < N`) sends the `j` values `x1..xj` to `X'(j+1)`
+    ///    (cost `j * v_j`),
+    /// 5. each `X'j` computes the `j` reduction tasks of
+    ///    `y_j = (..(x0 ⊕ x1) ⊕ ..) ⊕ x_j` at speed `1/N`.
+    pub fn scheme_budget(&self, cover: &[usize]) -> SchemeBudget {
+        let n = self.set_cover.universe();
+        let num_nodes = self.platform.node_count();
+        let mut send = vec![0.0; num_nodes];
+        let mut recv = vec![0.0; num_nodes];
+        let mut compute = vec![0.0; num_nodes];
+        let mut chosen = cover.to_vec();
+        chosen.sort_unstable();
+        chosen.dedup();
+
+        // (1) Ps -> chosen Ci.
+        for &i in &chosen {
+            let cost = 1.0 / self.bound as f64;
+            send[self.source.index()] += cost;
+            recv[self.subset_nodes[i].index()] += cost;
+        }
+        // (2) Ci -> Xj with the leftmost rule.
+        for (j, &x) in self.element_nodes.iter().enumerate() {
+            let parent = chosen
+                .iter()
+                .copied()
+                .find(|&i| self.set_cover.subsets()[i].contains(&j));
+            if let Some(i) = parent {
+                let cost = 1.0 / n as f64;
+                send[self.subset_nodes[i].index()] += cost;
+                recv[x.index()] += cost;
+            }
+        }
+        // (3) Xj -> X'j.
+        for j in 1..=n {
+            let cost = Self::u(n, j);
+            send[self.element_nodes[j - 1].index()] += cost;
+            recv[self.prime_nodes[j - 1].index()] += cost;
+        }
+        // (4) X'j -> X'(j+1): j single values of size 1 each.
+        for j in 1..n {
+            let cost = j as f64 * Self::v(n, j);
+            send[self.prime_nodes[j - 1].index()] += cost;
+            recv[self.prime_nodes[j].index()] += cost;
+        }
+        // (5) Computation: X'j performs j unit tasks at speed 1/N.
+        for j in 1..=n {
+            compute[self.prime_nodes[j - 1].index()] += j as f64 * self.participant_speed();
+        }
+        SchemeBudget { send, recv, compute }
+    }
+
+    /// Verifies the forward direction of Theorem 5: with a cover of size at
+    /// most `B`, the canonical scheme sustains one parallel prefix per
+    /// time-unit (budget at most 1 everywhere).
+    pub fn verify_forward_direction(&self) -> (bool, f64) {
+        let cover = self.set_cover.minimum_cover();
+        let budget = self.scheme_budget(&cover);
+        (cover.len() <= self.bound, budget.max())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_costs_match_the_paper_formulas() {
+        let n = 8;
+        // u_1 = 1 - 1/(N+1) = N/(N+1)
+        assert!((PrefixGadget::u(n, 1) - 8.0 / 9.0).abs() < 1e-12);
+        // The receive time of X'_i (i >= 2) is u_i + (i-1) v_{i-1} = 1.
+        for i in 2..=n {
+            let recv = PrefixGadget::u(n, i) + (i as f64 - 1.0) * PrefixGadget::v(n, i - 1);
+            assert!((recv - 1.0).abs() < 1e-12, "i = {i}: {recv}");
+        }
+        // The send time of X'_i (i < N) is i * v_i = i/(i+1) + 1/(N+1) <= 1.
+        for i in 1..n {
+            let send = i as f64 * PrefixGadget::v(n, i);
+            let expected = i as f64 / (i as f64 + 1.0) + 1.0 / (n as f64 + 1.0);
+            assert!((send - expected).abs() < 1e-12);
+            assert!(send <= 1.0 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn gadget_shape_matches_figure3() {
+        let sc = SetCoverInstance::paper_example();
+        let g = PrefixGadget::new(&sc, 2);
+        // 1 + |C| + N + N nodes.
+        assert_eq!(g.platform.node_count(), 1 + 4 + 8 + 8);
+        // |C| + memberships + N + (N - 1) edges.
+        let memberships: usize = sc.subsets().iter().map(|s| s.len()).sum();
+        assert_eq!(g.platform.edge_count(), 4 + memberships + 8 + 7);
+        assert!((g.participant_speed() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cover_of_size_b_gives_a_unit_period_scheme() {
+        let sc = SetCoverInstance::paper_example();
+        let g = PrefixGadget::new(&sc, 2);
+        let (has_cover, max_budget) = g.verify_forward_direction();
+        assert!(has_cover);
+        assert!(
+            max_budget <= 1.0 + 1e-9,
+            "the canonical scheme must fit in one time-unit, got {max_budget}"
+        );
+        // The budget is tight at the receive port of the X' chain.
+        assert!(max_budget >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn undersized_bound_blows_the_source_budget() {
+        let sc = SetCoverInstance::paper_example();
+        // The minimum cover has size 2; with B = 1 the source cannot serve it
+        // within one time-unit.
+        let g = PrefixGadget::new(&sc, 1);
+        let (has_cover, max_budget) = g.verify_forward_direction();
+        assert!(!has_cover);
+        assert!(max_budget > 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn compute_budget_is_at_most_one() {
+        let sc = SetCoverInstance::paper_example();
+        let g = PrefixGadget::new(&sc, 2);
+        let cover = sc.minimum_cover();
+        let budget = g.scheme_budget(&cover);
+        for &c in &budget.compute {
+            assert!(c <= 1.0 + 1e-12);
+        }
+        // X'_N computes N tasks at speed 1/N: exactly one time-unit.
+        let last = g.prime_nodes.last().unwrap();
+        assert!((budget.compute[last.index()] - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,280 @@
+//! MINIMUM-SET-COVER instances and solvers.
+//!
+//! The paper's NP-completeness results (Theorems 1, 2, 3 and 5) all reduce
+//! from MINIMUM-SET-COVER. This module provides the combinatorial side of
+//! those reductions: instances, a greedy `O(ln n)`-approximation, and an
+//! exact branch-and-bound solver used to verify the reductions on small
+//! instances.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// An instance of MINIMUM-SET-COVER: a universe `X = {0, .., universe - 1}`
+/// and a collection `C` of subsets of `X`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetCoverInstance {
+    universe: usize,
+    subsets: Vec<Vec<usize>>,
+}
+
+/// Errors raised while building a set-cover instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SetCoverError {
+    /// A subset references an element outside the universe.
+    ElementOutOfRange { subset: usize, element: usize },
+    /// The union of all subsets does not cover the universe: no cover exists.
+    NotCoverable(usize),
+    /// The universe is empty.
+    EmptyUniverse,
+}
+
+impl fmt::Display for SetCoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetCoverError::ElementOutOfRange { subset, element } => {
+                write!(f, "subset {subset} contains out-of-range element {element}")
+            }
+            SetCoverError::NotCoverable(e) => write!(f, "element {e} belongs to no subset"),
+            SetCoverError::EmptyUniverse => write!(f, "empty universe"),
+        }
+    }
+}
+
+impl std::error::Error for SetCoverError {}
+
+impl SetCoverInstance {
+    /// Builds and validates an instance. Subsets are deduplicated internally
+    /// (element lists are sorted and deduplicated).
+    pub fn new(universe: usize, subsets: Vec<Vec<usize>>) -> Result<Self, SetCoverError> {
+        if universe == 0 {
+            return Err(SetCoverError::EmptyUniverse);
+        }
+        let mut cleaned = Vec::with_capacity(subsets.len());
+        let mut covered = vec![false; universe];
+        for (i, mut s) in subsets.into_iter().enumerate() {
+            s.sort_unstable();
+            s.dedup();
+            for &e in &s {
+                if e >= universe {
+                    return Err(SetCoverError::ElementOutOfRange { subset: i, element: e });
+                }
+                covered[e] = true;
+            }
+            cleaned.push(s);
+        }
+        if let Some(missing) = covered.iter().position(|&c| !c) {
+            return Err(SetCoverError::NotCoverable(missing));
+        }
+        Ok(SetCoverInstance { universe, subsets: cleaned })
+    }
+
+    /// The running example used in Figure 2 of the paper:
+    /// `X = {X1..X8}`, `C = {{1,2,3,4}, {3,4,5}, {4,5,6}, {5,6,7,8}}`
+    /// (re-indexed from 0 here).
+    pub fn paper_example() -> Self {
+        SetCoverInstance::new(
+            8,
+            vec![
+                vec![0, 1, 2, 3],
+                vec![2, 3, 4],
+                vec![3, 4, 5],
+                vec![4, 5, 6, 7],
+            ],
+        )
+        .expect("paper example is a valid instance")
+    }
+
+    /// A random coverable instance (useful for property tests).
+    pub fn random(universe: usize, num_subsets: usize, seed: u64) -> Self {
+        assert!(universe >= 1 && num_subsets >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut subsets: Vec<Vec<usize>> = (0..num_subsets)
+            .map(|_| {
+                (0..universe)
+                    .filter(|_| rng.gen_bool(0.4))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        // Guarantee coverability by spreading the leftover elements.
+        let mut covered = vec![false; universe];
+        for s in &subsets {
+            for &e in s {
+                covered[e] = true;
+            }
+        }
+        for (e, &c) in covered.iter().enumerate() {
+            if !c {
+                let idx = rng.gen_range(0..num_subsets);
+                subsets[idx].push(e);
+            }
+        }
+        SetCoverInstance::new(universe, subsets).expect("random instance is coverable")
+    }
+
+    /// Size of the universe `|X|`.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// The collection `C`.
+    pub fn subsets(&self) -> &[Vec<usize>] {
+        &self.subsets
+    }
+
+    /// Number of subsets `|C|`.
+    pub fn num_subsets(&self) -> usize {
+        self.subsets.len()
+    }
+
+    /// Whether the given selection of subset indices covers the universe.
+    pub fn is_cover(&self, selection: &[usize]) -> bool {
+        let mut covered = vec![false; self.universe];
+        for &i in selection {
+            if i >= self.subsets.len() {
+                return false;
+            }
+            for &e in &self.subsets[i] {
+                covered[e] = true;
+            }
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// The classical greedy cover: repeatedly pick the subset covering the
+    /// most still-uncovered elements. Guarantees a `1 + ln |X|` approximation
+    /// ratio.
+    pub fn greedy_cover(&self) -> Vec<usize> {
+        let mut covered = vec![false; self.universe];
+        let mut remaining = self.universe;
+        let mut picked = Vec::new();
+        while remaining > 0 {
+            let (best, gain) = self
+                .subsets
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (i, s.iter().filter(|&&e| !covered[e]).count()))
+                .max_by_key(|&(_, gain)| gain)
+                .expect("instance is coverable");
+            debug_assert!(gain > 0, "coverable instance always has positive gain");
+            picked.push(best);
+            for &e in &self.subsets[best] {
+                if !covered[e] {
+                    covered[e] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        picked
+    }
+
+    /// The exact minimum cover, by branch and bound on the elements (always
+    /// branching on the first uncovered element, over the subsets containing
+    /// it). Exponential in the worst case: intended for the small instances
+    /// used in tests and in the reduction experiments.
+    pub fn minimum_cover(&self) -> Vec<usize> {
+        let mut best: Vec<usize> = self.greedy_cover();
+        let mut current: Vec<usize> = Vec::new();
+        let mut covered = vec![0usize; self.universe];
+        // containing[e] = subsets containing element e.
+        let mut containing: Vec<Vec<usize>> = vec![Vec::new(); self.universe];
+        for (i, s) in self.subsets.iter().enumerate() {
+            for &e in s {
+                containing[e].push(i);
+            }
+        }
+        self.branch(&containing, &mut covered, &mut current, &mut best);
+        best
+    }
+
+    fn branch(
+        &self,
+        containing: &[Vec<usize>],
+        covered: &mut Vec<usize>,
+        current: &mut Vec<usize>,
+        best: &mut Vec<usize>,
+    ) {
+        if current.len() + 1 > best.len() {
+            return; // cannot improve
+        }
+        let first_uncovered = covered.iter().position(|&c| c == 0);
+        let Some(e) = first_uncovered else {
+            // Complete cover, strictly better than the incumbent.
+            *best = current.clone();
+            return;
+        };
+        for &s in &containing[e] {
+            current.push(s);
+            for &x in &self.subsets[s] {
+                covered[x] += 1;
+            }
+            self.branch(containing, covered, current, best);
+            for &x in &self.subsets[s] {
+                covered[x] -= 1;
+            }
+            current.pop();
+        }
+    }
+
+    /// Whether a cover of size at most `bound` exists (the decision problem
+    /// MINIMUM-SET-COVER(`X`, `C`, `B`) used in the reductions).
+    pub fn has_cover_of_size(&self, bound: usize) -> bool {
+        self.minimum_cover().len() <= bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation() {
+        assert!(matches!(
+            SetCoverInstance::new(0, vec![]),
+            Err(SetCoverError::EmptyUniverse)
+        ));
+        assert!(matches!(
+            SetCoverInstance::new(3, vec![vec![0, 5]]),
+            Err(SetCoverError::ElementOutOfRange { .. })
+        ));
+        assert!(matches!(
+            SetCoverInstance::new(3, vec![vec![0, 1]]),
+            Err(SetCoverError::NotCoverable(2))
+        ));
+        let inst = SetCoverInstance::new(3, vec![vec![0, 1, 1], vec![2]]).unwrap();
+        assert_eq!(inst.subsets()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn paper_example_minimum_cover_has_size_two() {
+        let inst = SetCoverInstance::paper_example();
+        assert_eq!(inst.universe(), 8);
+        assert_eq!(inst.num_subsets(), 4);
+        let exact = inst.minimum_cover();
+        assert_eq!(exact.len(), 2, "C1 and C4 cover everything");
+        assert!(inst.is_cover(&exact));
+        assert!(inst.has_cover_of_size(2));
+        assert!(!inst.has_cover_of_size(1));
+    }
+
+    #[test]
+    fn greedy_is_a_cover_and_exact_is_no_larger() {
+        for seed in 0..20u64 {
+            let inst = SetCoverInstance::random(10, 6, seed);
+            let greedy = inst.greedy_cover();
+            let exact = inst.minimum_cover();
+            assert!(inst.is_cover(&greedy), "seed {seed}");
+            assert!(inst.is_cover(&exact), "seed {seed}");
+            assert!(exact.len() <= greedy.len(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn is_cover_rejects_partial_selections() {
+        let inst = SetCoverInstance::paper_example();
+        assert!(!inst.is_cover(&[0]));
+        assert!(!inst.is_cover(&[99]));
+        assert!(inst.is_cover(&[0, 1, 2, 3]));
+    }
+}

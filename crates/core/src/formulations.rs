@@ -1,0 +1,704 @@
+//! The paper's linear-programming formulations (Section 5.1 and 5.2.3).
+//!
+//! All four formulations bound or compute the time `T*` needed to serve one
+//! unit-size multicast message in steady state (the *period*); the throughput
+//! is `1 / T*`.
+//!
+//! * [`MulticastLb`] — equations (1)–(9) + (10'): on each link, the fractions
+//!   destined to different targets are assumed to overlap perfectly
+//!   (`n_{jk} = max_i x^{jk}_i`). Optimistic: a *lower bound* on the period.
+//! * [`MulticastUb`] — equations (1)–(9) + (10): fractions destined to
+//!   different targets are summed (`n_{jk} = Σ_i x^{jk}_i`), i.e. the message
+//!   is treated as a scatter of distinct messages. Pessimistic but always
+//!   achievable: an *upper bound* on the period, and the `scatter` baseline
+//!   of the evaluation.
+//! * [`BroadcastEb`] — the LB formulation with `Ptarget = V \ {Psource}`.
+//!   For broadcast this value is achievable (Beaumont et al., IPDPS 2004), so
+//!   it is used as a building block by the refined heuristics.
+//! * [`MulticastMultiSourceUb`] — the multi-source scatter formulation of
+//!   Section 5.2.3, where an ordered set of secondary sources relays the
+//!   message.
+
+use pm_lp::{LpError, LpProblem, Objective, Relation, VarId};
+use pm_platform::graph::{EdgeId, NodeId, Platform};
+use pm_platform::instances::MulticastInstance;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised by the formulations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FormulationError {
+    /// The underlying linear program could not be solved.
+    Lp(LpError),
+    /// Some target is not reachable from the source (the period is infinite).
+    Unreachable(NodeId),
+    /// The formulation was given an invalid argument (e.g. an empty or
+    /// ill-ordered source list).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for FormulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FormulationError::Lp(e) => write!(f, "LP failure: {e}"),
+            FormulationError::Unreachable(n) => write!(f, "target {n} unreachable"),
+            FormulationError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FormulationError {}
+
+impl From<LpError> for FormulationError {
+    fn from(e: LpError) -> Self {
+        // An infeasible flow LP on a validated instance means some target
+        // cannot receive the message at all.
+        FormulationError::Lp(e)
+    }
+}
+
+/// Solution of one of the single-source formulations: the optimal period,
+/// the per-target per-edge fractions `x^{jk}_i` and the per-edge load
+/// `n_{jk}` under the formulation's own accounting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlowSolution {
+    /// Optimal period `T*` (time per unit multicast message).
+    pub period: f64,
+    /// Steady-state throughput `1 / T*`.
+    pub throughput: f64,
+    /// `target_flows[i][e]` = fraction of the message destined to target `i`
+    /// (in instance order) that crosses edge `e`.
+    pub target_flows: Vec<Vec<f64>>,
+    /// Per-edge load `n_{jk}` under the formulation's accounting rule.
+    pub edge_load: Vec<f64>,
+}
+
+impl FlowSolution {
+    /// The node score used by the refined heuristics of Section 5.2:
+    /// `Σ_{i ∈ Ptarget} Σ_{Pj ∈ N^in(Pm)} x^{j,m}_i`, the total fraction of
+    /// target-bound traffic entering `node`.
+    pub fn incoming_flow_score(&self, platform: &Platform, node: NodeId) -> f64 {
+        let mut score = 0.0;
+        for flows in &self.target_flows {
+            for &e in platform.in_edges(node) {
+                score += flows[e.index()];
+            }
+        }
+        score
+    }
+
+    /// Per-edge message rates (messages per time-unit) induced by serving one
+    /// message every `period`: `n_e / period`.
+    pub fn edge_rates(&self) -> Vec<f64> {
+        self.edge_load.iter().map(|&n| n / self.period).collect()
+    }
+}
+
+/// Accounting rule for the per-edge load `n_{jk}`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoadRule {
+    /// `n_{jk} = max_i x^{jk}_i` (equation 10'): optimistic overlap.
+    Max,
+    /// `n_{jk} = Σ_i x^{jk}_i` (equation 10): scatter-like, no overlap.
+    Sum,
+}
+
+/// Builds and solves the single-source formulation with the given load rule.
+fn solve_single_source(
+    instance: &MulticastInstance,
+    rule: LoadRule,
+) -> Result<FlowSolution, FormulationError> {
+    let platform = &instance.platform;
+    let m = platform.edge_count();
+    let targets = &instance.targets;
+    let t_count = targets.len();
+
+    let mut lp = LpProblem::new(Objective::Minimize);
+    // x[i][e]: fraction of the message to target i crossing edge e.
+    let mut x: Vec<Vec<VarId>> = Vec::with_capacity(t_count);
+    for (i, _) in targets.iter().enumerate() {
+        let row: Vec<VarId> = (0..m).map(|e| lp.add_var(&format!("x_{i}_{e}"))).collect();
+        x.push(row);
+    }
+    // n[e]: edge load (explicit variables only needed for the Max rule).
+    let n: Option<Vec<VarId>> = match rule {
+        LoadRule::Max => Some((0..m).map(|e| lp.add_var(&format!("n_{e}"))).collect()),
+        LoadRule::Sum => None,
+    };
+    let t_star = lp.add_var("T*");
+    lp.set_objective_coeff(t_star, 1.0);
+
+    // (1) the whole message leaves the source, for every target.
+    for (i, _) in targets.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = platform
+            .out_edges(instance.source)
+            .iter()
+            .map(|&e| (x[i][e.index()], 1.0))
+            .collect();
+        lp.add_constraint(terms, Relation::Eq, 1.0);
+    }
+    // No commodity flows back into the source. The paper's equations (1)-(3)
+    // do not state this explicitly, but without it a platform with edges
+    // entering the source admits spurious LP solutions where flow "vanishes"
+    // into the source (which has no conservation constraint), weakening the
+    // lower bound for no physical reason.
+    for x_row in &x {
+        for &e in platform.in_edges(instance.source) {
+            lp.add_constraint(vec![(x_row[e.index()], 1.0)], Relation::Eq, 0.0);
+        }
+    }
+    // (2) the whole message reaches each target.
+    for (i, &target) in targets.iter().enumerate() {
+        let terms: Vec<(VarId, f64)> = platform
+            .in_edges(target)
+            .iter()
+            .map(|&e| (x[i][e.index()], 1.0))
+            .collect();
+        if terms.is_empty() {
+            return Err(FormulationError::Unreachable(target));
+        }
+        lp.add_constraint(terms, Relation::Eq, 1.0);
+    }
+    // (3) conservation at every other node.
+    for (i, &target) in targets.iter().enumerate() {
+        for node in platform.nodes() {
+            if node == instance.source || node == target {
+                continue;
+            }
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for &e in platform.out_edges(node) {
+                terms.push((x[i][e.index()], 1.0));
+            }
+            for &e in platform.in_edges(node) {
+                terms.push((x[i][e.index()], -1.0));
+            }
+            if !terms.is_empty() {
+                lp.add_constraint(terms, Relation::Eq, 0.0);
+            }
+        }
+    }
+    // (10') n_e >= x_i_e for the Max rule.
+    if let Some(n) = &n {
+        for x_row in &x {
+            for e in 0..m {
+                lp.add_constraint(vec![(x_row[e], 1.0), (n[e], -1.0)], Relation::Le, 0.0);
+            }
+        }
+    }
+    // Helper producing the linear expression of n_e * c_e for either rule.
+    let load_terms = |e: usize| -> Vec<(VarId, f64)> {
+        let cost = platform.cost(EdgeId(e as u32));
+        match &n {
+            Some(n) => vec![(n[e], cost)],
+            None => x.iter().map(|row| (row[e], cost)).collect(),
+        }
+    };
+    // (5)(8) incoming port occupation and (6)(9) outgoing port occupation.
+    for node in platform.nodes() {
+        let mut in_terms: Vec<(VarId, f64)> = Vec::new();
+        for &e in platform.in_edges(node) {
+            in_terms.extend(load_terms(e.index()));
+        }
+        if !in_terms.is_empty() {
+            in_terms.push((t_star, -1.0));
+            lp.add_constraint(in_terms, Relation::Le, 0.0);
+        }
+        let mut out_terms: Vec<(VarId, f64)> = Vec::new();
+        for &e in platform.out_edges(node) {
+            out_terms.extend(load_terms(e.index()));
+        }
+        if !out_terms.is_empty() {
+            out_terms.push((t_star, -1.0));
+            lp.add_constraint(out_terms, Relation::Le, 0.0);
+        }
+    }
+    // (4)(7) per-edge occupation.
+    for e in 0..m {
+        let mut terms = load_terms(e);
+        terms.push((t_star, -1.0));
+        lp.add_constraint(terms, Relation::Le, 0.0);
+    }
+
+    let sol = lp.solve().map_err(|e| match e {
+        LpError::Infeasible => FormulationError::Unreachable(instance.targets[0]),
+        other => FormulationError::Lp(other),
+    })?;
+
+    let period = sol.value(t_star);
+    let target_flows: Vec<Vec<f64>> = x
+        .iter()
+        .map(|row| row.iter().map(|&v| sol.value(v)).collect())
+        .collect();
+    let edge_load: Vec<f64> = (0..m)
+        .map(|e| match &n {
+            Some(n) => sol.value(n[e]),
+            None => target_flows.iter().map(|row| row[e]).sum(),
+        })
+        .collect();
+    Ok(FlowSolution {
+        period,
+        throughput: if period > 0.0 { 1.0 / period } else { f64::INFINITY },
+        target_flows,
+        edge_load,
+    })
+}
+
+/// The lower bound `Multicast-LB(P, Ptarget)` (Section 5.1.2, equation 10').
+#[derive(Debug, Clone)]
+pub struct MulticastLb<'a> {
+    instance: &'a MulticastInstance,
+}
+
+impl<'a> MulticastLb<'a> {
+    /// Prepares the formulation for an instance.
+    pub fn new(instance: &'a MulticastInstance) -> Self {
+        MulticastLb { instance }
+    }
+
+    /// Solves the LP and returns the optimal flows and period.
+    pub fn solve(&self) -> Result<FlowSolution, FormulationError> {
+        solve_single_source(self.instance, LoadRule::Max)
+    }
+}
+
+/// The upper bound `Multicast-UB(P, Ptarget)` (Section 5.1.2, equation 10),
+/// i.e. the *scatter* baseline: achievable, at most `|Ptarget|` times the
+/// lower bound.
+#[derive(Debug, Clone)]
+pub struct MulticastUb<'a> {
+    instance: &'a MulticastInstance,
+}
+
+impl<'a> MulticastUb<'a> {
+    /// Prepares the formulation for an instance.
+    pub fn new(instance: &'a MulticastInstance) -> Self {
+        MulticastUb { instance }
+    }
+
+    /// Solves the LP and returns the optimal flows and period.
+    pub fn solve(&self) -> Result<FlowSolution, FormulationError> {
+        solve_single_source(self.instance, LoadRule::Sum)
+    }
+}
+
+/// `Broadcast-EB(P)`: the achievable optimal broadcast period on the platform
+/// spanned by the instance (Section 5.1.4). This is `Multicast-LB` with the
+/// target set extended to every node of the platform.
+#[derive(Debug, Clone)]
+pub struct BroadcastEb<'a> {
+    instance: &'a MulticastInstance,
+}
+
+impl<'a> BroadcastEb<'a> {
+    /// Prepares the formulation for an instance (the instance's own target
+    /// set is ignored: every non-source node becomes a target).
+    pub fn new(instance: &'a MulticastInstance) -> Self {
+        BroadcastEb { instance }
+    }
+
+    /// Solves the LP and returns the optimal flows and period.
+    ///
+    /// Returns [`FormulationError::Unreachable`] when some node of the
+    /// platform cannot be reached from the source — the convention used by
+    /// the heuristics is then `Broadcast-EB = +∞` (Section 5.2.1).
+    pub fn solve(&self) -> Result<FlowSolution, FormulationError> {
+        let broadcast = broadcast_instance(self.instance)?;
+        solve_single_source(&broadcast, LoadRule::Max)
+    }
+}
+
+fn broadcast_instance(instance: &MulticastInstance) -> Result<MulticastInstance, FormulationError> {
+    let targets: Vec<NodeId> = instance
+        .platform
+        .nodes()
+        .filter(|&v| v != instance.source)
+        .collect();
+    MulticastInstance::new(instance.platform.clone(), instance.source, targets).map_err(|e| {
+        match e {
+            pm_platform::instances::InstanceError::UnreachableTarget(n) => {
+                FormulationError::Unreachable(n)
+            }
+            other => FormulationError::InvalidArgument(other.to_string()),
+        }
+    })
+}
+
+/// Solution of the multi-source formulation: the period plus the per-edge
+/// total load and the per-node incoming score (aggregated over origins and
+/// destinations), which is what the `AUGMENTED SOURCES` heuristic needs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiSourceSolution {
+    /// Optimal period `T*`.
+    pub period: f64,
+    /// Steady-state throughput `1 / T*`.
+    pub throughput: f64,
+    /// Per-edge total load `n_{kl}` (sum over origins and destinations).
+    pub edge_load: Vec<f64>,
+    /// `incoming_score[v]` = total fraction of traffic entering node `v`,
+    /// summed over origins and destinations.
+    pub incoming_score: Vec<f64>,
+}
+
+/// `MulticastMultiSource-UB(P, Ptarget, Psource)` (Section 5.2.3): the
+/// scatter-like formulation where an ordered list of secondary sources first
+/// receives the whole message, then participates in serving the targets.
+#[derive(Debug, Clone)]
+pub struct MulticastMultiSourceUb<'a> {
+    instance: &'a MulticastInstance,
+    sources: Vec<NodeId>,
+}
+
+impl<'a> MulticastMultiSourceUb<'a> {
+    /// Prepares the formulation. `sources` is the ordered list of sources,
+    /// beginning with the instance's own source.
+    pub fn new(instance: &'a MulticastInstance, sources: Vec<NodeId>) -> Result<Self, FormulationError> {
+        if sources.first() != Some(&instance.source) {
+            return Err(FormulationError::InvalidArgument(
+                "the first source must be the instance's source".to_string(),
+            ));
+        }
+        let mut seen = std::collections::HashSet::new();
+        for &s in &sources {
+            if s.index() >= instance.platform.node_count() {
+                return Err(FormulationError::InvalidArgument(format!("unknown node {s}")));
+            }
+            if !seen.insert(s) {
+                return Err(FormulationError::InvalidArgument(format!("duplicate source {s}")));
+            }
+        }
+        Ok(MulticastMultiSourceUb { instance, sources })
+    }
+
+    /// Solves the LP.
+    pub fn solve(&self) -> Result<MultiSourceSolution, FormulationError> {
+        let platform = &self.instance.platform;
+        let m = platform.edge_count();
+        let sources = &self.sources;
+        let l = sources.len();
+        // Destinations: secondary sources (each served by strictly earlier
+        // sources) and targets that are not sources (served by all sources).
+        // Each destination d has an allowed origin count `origins(d)`.
+        #[derive(Clone, Copy)]
+        struct Dest {
+            node: NodeId,
+            origins: usize,
+        }
+        let mut dests: Vec<Dest> = Vec::new();
+        for (i, &s) in sources.iter().enumerate().skip(1) {
+            dests.push(Dest { node: s, origins: i });
+        }
+        for &t in &self.instance.targets {
+            if !sources.contains(&t) {
+                dests.push(Dest { node: t, origins: l });
+            }
+        }
+        if dests.is_empty() {
+            return Err(FormulationError::InvalidArgument(
+                "no destination left: every target is already a source".to_string(),
+            ));
+        }
+
+        let mut lp = LpProblem::new(Objective::Minimize);
+        // x[d][j][e]: fraction of the message for destination d originating
+        // at source j (j < dests[d].origins) crossing edge e.
+        let mut x: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(dests.len());
+        for (di, d) in dests.iter().enumerate() {
+            let mut per_origin = Vec::with_capacity(d.origins);
+            for j in 0..d.origins {
+                let row: Vec<VarId> = (0..m)
+                    .map(|e| lp.add_var(&format!("x_{di}_{j}_{e}")))
+                    .collect();
+                per_origin.push(row);
+            }
+            x.push(per_origin);
+        }
+        let t_star = lp.add_var("T*");
+        lp.set_objective_coeff(t_star, 1.0);
+
+        // (1)/(1b): the contributions of the allowed origins sum to one full
+        // message leaving those origins.
+        for (di, d) in dests.iter().enumerate() {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for j in 0..d.origins {
+                for &e in platform.out_edges(sources[j]) {
+                    terms.push((x[di][j][e.index()], 1.0));
+                }
+            }
+            if terms.is_empty() {
+                return Err(FormulationError::Unreachable(d.node));
+            }
+            lp.add_constraint(terms, Relation::Eq, 1.0);
+        }
+        // (2)/(2b): one full message enters the destination.
+        for (di, d) in dests.iter().enumerate() {
+            let mut terms: Vec<(VarId, f64)> = Vec::new();
+            for j in 0..d.origins {
+                for &e in platform.in_edges(d.node) {
+                    terms.push((x[di][j][e.index()], 1.0));
+                }
+            }
+            if terms.is_empty() {
+                return Err(FormulationError::Unreachable(d.node));
+            }
+            lp.add_constraint(terms, Relation::Eq, 1.0);
+        }
+        // No flow of a commodity back into its own origin (see the analogous
+        // restriction in the single-source formulations).
+        for (di, d) in dests.iter().enumerate() {
+            for j in 0..d.origins {
+                for &e in platform.in_edges(sources[j]) {
+                    lp.add_constraint(vec![(x[di][j][e.index()], 1.0)], Relation::Eq, 0.0);
+                }
+            }
+        }
+        // (3)/(3b): conservation per (origin, destination) at every other node.
+        for (di, d) in dests.iter().enumerate() {
+            for j in 0..d.origins {
+                for node in platform.nodes() {
+                    if node == sources[j] || node == d.node {
+                        continue;
+                    }
+                    let mut terms: Vec<(VarId, f64)> = Vec::new();
+                    for &e in platform.out_edges(node) {
+                        terms.push((x[di][j][e.index()], 1.0));
+                    }
+                    for &e in platform.in_edges(node) {
+                        terms.push((x[di][j][e.index()], -1.0));
+                    }
+                    if !terms.is_empty() {
+                        lp.add_constraint(terms, Relation::Eq, 0.0);
+                    }
+                }
+            }
+        }
+        // (10) scatter accounting + port/edge occupations against T*.
+        let load_terms = |e: usize| -> Vec<(VarId, f64)> {
+            let cost = platform.cost(EdgeId(e as u32));
+            let mut terms = Vec::new();
+            for (di, d) in dests.iter().enumerate() {
+                for j in 0..d.origins {
+                    terms.push((x[di][j][e], cost));
+                }
+            }
+            terms
+        };
+        for node in platform.nodes() {
+            let mut in_terms: Vec<(VarId, f64)> = Vec::new();
+            for &e in platform.in_edges(node) {
+                in_terms.extend(load_terms(e.index()));
+            }
+            if !in_terms.is_empty() {
+                in_terms.push((t_star, -1.0));
+                lp.add_constraint(in_terms, Relation::Le, 0.0);
+            }
+            let mut out_terms: Vec<(VarId, f64)> = Vec::new();
+            for &e in platform.out_edges(node) {
+                out_terms.extend(load_terms(e.index()));
+            }
+            if !out_terms.is_empty() {
+                out_terms.push((t_star, -1.0));
+                lp.add_constraint(out_terms, Relation::Le, 0.0);
+            }
+        }
+        for e in 0..m {
+            let mut terms = load_terms(e);
+            terms.push((t_star, -1.0));
+            lp.add_constraint(terms, Relation::Le, 0.0);
+        }
+
+        let sol = lp.solve().map_err(|e| match e {
+            LpError::Infeasible => FormulationError::Unreachable(dests[0].node),
+            other => FormulationError::Lp(other),
+        })?;
+
+        let period = sol.value(t_star);
+        let mut edge_load = vec![0.0; m];
+        for (di, d) in dests.iter().enumerate() {
+            for j in 0..d.origins {
+                for e in 0..m {
+                    edge_load[e] += sol.value(x[di][j][e]);
+                }
+            }
+        }
+        let mut incoming_score = vec![0.0; platform.node_count()];
+        for node in platform.nodes() {
+            let mut s = 0.0;
+            for &e in platform.in_edges(node) {
+                for (di, d) in dests.iter().enumerate() {
+                    for j in 0..d.origins {
+                        s += sol.value(x[di][j][e.index()]);
+                    }
+                }
+            }
+            incoming_score[node.index()] = s;
+        }
+        Ok(MultiSourceSolution {
+            period,
+            throughput: if period > 0.0 { 1.0 / period } else { f64::INFINITY },
+            edge_load,
+            incoming_score,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_platform::instances::{
+        chain_instance, figure1_instance, figure5_instance, relay_cross_instance,
+    };
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn chain_bounds_are_the_edge_cost() {
+        // Single target behind a chain: LB = UB = largest edge cost... in
+        // fact with one target LB and UB coincide by definition.
+        let inst = chain_instance(4, 2.0);
+        let lb = MulticastLb::new(&inst).solve().unwrap();
+        let ub = MulticastUb::new(&inst).solve().unwrap();
+        approx(lb.period, 2.0);
+        approx(ub.period, 2.0);
+        approx(lb.throughput, 0.5);
+    }
+
+    #[test]
+    fn figure5_gap_is_the_number_of_targets() {
+        for n in [2usize, 3, 4] {
+            let inst = figure5_instance(n);
+            let lb = MulticastLb::new(&inst).solve().unwrap();
+            let ub = MulticastUb::new(&inst).solve().unwrap();
+            approx(lb.period, 1.0);
+            approx(ub.period, n as f64);
+        }
+    }
+
+    #[test]
+    fn figure1_lower_bound_is_one() {
+        let inst = figure1_instance();
+        let lb = MulticastLb::new(&inst).solve().unwrap();
+        approx(lb.period, 1.0);
+        // The upper bound is strictly worse but at most |T| times the LB.
+        let ub = MulticastUb::new(&inst).solve().unwrap();
+        assert!(ub.period >= lb.period - 1e-9);
+        assert!(ub.period <= lb.period * inst.target_count() as f64 + 1e-6);
+    }
+
+    #[test]
+    fn lb_is_never_above_ub() {
+        for inst in [
+            figure1_instance(),
+            figure5_instance(3),
+            relay_cross_instance(),
+            chain_instance(5, 0.7),
+        ] {
+            let lb = MulticastLb::new(&inst).solve().unwrap().period;
+            let ub = MulticastUb::new(&inst).solve().unwrap().period;
+            assert!(lb <= ub + 1e-6, "LB {lb} > UB {ub}");
+            assert!(ub <= lb * inst.target_count() as f64 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn broadcast_eb_dominates_multicast_lb() {
+        // Broadcasting to everyone can only be harder than multicasting to a
+        // subset: Multicast-LB <= Broadcast-EB.
+        let inst = figure1_instance();
+        let lb = MulticastLb::new(&inst).solve().unwrap().period;
+        let eb = BroadcastEb::new(&inst).solve().unwrap().period;
+        assert!(lb <= eb + 1e-6);
+    }
+
+    #[test]
+    fn broadcast_eb_unreachable_node_is_reported() {
+        // Restrict Figure 1 to a subgraph where some node is unreachable.
+        let inst = figure1_instance();
+        let keep: Vec<NodeId> = vec![
+            NodeId(0),
+            NodeId(1),
+            NodeId(11),
+            NodeId(12),
+            NodeId(13),
+            NodeId(5), // P5 has no incoming edge inside this subset
+        ];
+        let sub = MulticastInstance::new(
+            inst.platform.clone(),
+            inst.source,
+            vec![NodeId(11), NodeId(12), NodeId(13)],
+        )
+        .unwrap()
+        .restrict_to(&keep)
+        .unwrap();
+        let res = BroadcastEb::new(&sub).solve();
+        assert!(matches!(res, Err(FormulationError::Unreachable(_))));
+    }
+
+    #[test]
+    fn incoming_flow_score_is_positive_on_used_relays() {
+        let inst = figure1_instance();
+        let lb = MulticastLb::new(&inst).solve().unwrap();
+        // P6 relays all the traffic entering the P7 cluster.
+        assert!(lb.incoming_flow_score(&inst.platform, NodeId(6)) > 0.5);
+        // P13 is a leaf target: traffic enters it but it relays nothing; its
+        // incoming score is still positive (it receives its own copy).
+        assert!(lb.incoming_flow_score(&inst.platform, NodeId(13)) > 0.5);
+    }
+
+    #[test]
+    fn multisource_with_single_source_matches_multicast_ub() {
+        let inst = figure5_instance(3);
+        let ub = MulticastUb::new(&inst).solve().unwrap().period;
+        let ms = MulticastMultiSourceUb::new(&inst, vec![inst.source])
+            .unwrap()
+            .solve()
+            .unwrap()
+            .period;
+        approx(ms, ub);
+    }
+
+    #[test]
+    fn adding_the_relay_as_secondary_source_helps_on_figure5() {
+        // With the relay as a secondary source, the scatter accounting only
+        // pays the slow source->relay link once: the period drops from n
+        // towards 1 + 1/n... in any case it improves strictly.
+        let inst = figure5_instance(3);
+        let single = MulticastMultiSourceUb::new(&inst, vec![inst.source])
+            .unwrap()
+            .solve()
+            .unwrap()
+            .period;
+        let relay = NodeId(1);
+        let multi = MulticastMultiSourceUb::new(&inst, vec![inst.source, relay])
+            .unwrap()
+            .solve()
+            .unwrap()
+            .period;
+        assert!(multi < single - 0.25, "multi {multi} vs single {single}");
+    }
+
+    #[test]
+    fn multisource_rejects_bad_source_lists() {
+        let inst = figure5_instance(2);
+        assert!(MulticastMultiSourceUb::new(&inst, vec![NodeId(1)]).is_err());
+        assert!(MulticastMultiSourceUb::new(&inst, vec![inst.source, inst.source]).is_err());
+        assert!(MulticastMultiSourceUb::new(&inst, vec![inst.source, NodeId(99)]).is_err());
+    }
+
+    #[test]
+    fn target_flows_satisfy_demand() {
+        let inst = figure1_instance();
+        let lb = MulticastLb::new(&inst).solve().unwrap();
+        // Each target receives a total incoming fraction of 1.
+        for (i, &t) in inst.targets.iter().enumerate() {
+            let total: f64 = inst
+                .platform
+                .in_edges(t)
+                .iter()
+                .map(|&e| lb.target_flows[i][e.index()])
+                .sum();
+            approx(total, 1.0);
+        }
+    }
+}

@@ -1,0 +1,524 @@
+//! The paper's heuristics for the series-of-multicasts problem.
+//!
+//! LP-based refined heuristics (Section 5.2):
+//!
+//! * [`ReducedBroadcast`] — start from a broadcast on the whole platform and
+//!   greedily remove the non-target nodes that contribute the least traffic,
+//! * [`AugmentedMulticast`] — start from the platform restricted to
+//!   `{Psource} ∪ Ptarget` and greedily add the non-target nodes that carry
+//!   the most traffic in the `Multicast-LB` solution,
+//! * [`AugmentedSources`] — greedily promote well-placed nodes to secondary
+//!   sources in the `MulticastMultiSource-UB` formulation.
+//!
+//! Tree-based heuristic (Section 6):
+//!
+//! * [`Mcph`] — the Minimum Cost Path Heuristic revisited for the one-port
+//!   steady-state metric: the "cost" of adding a path is the largest
+//!   *additional send-port occupation* it causes, and costs are updated so
+//!   that reusing edges already in the tree is free.
+//!
+//! All heuristics return a [`HeuristicResult`] reporting the period they
+//! achieve (time per multicast), so that they can be compared against the
+//! `scatter` upper bound and the theoretical lower bound exactly as in
+//! Figure 11 of the paper.
+
+use crate::formulations::{
+    BroadcastEb, FormulationError, MulticastLb, MulticastMultiSourceUb, MulticastUb,
+};
+use pm_platform::algo::multi_source_bottleneck;
+use pm_platform::graph::{EdgeId, NodeId};
+use pm_platform::instances::MulticastInstance;
+use pm_sched::tree::MulticastTree;
+use serde::{Deserialize, Serialize};
+
+/// Result of running a heuristic on an instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicResult {
+    /// Human-readable name of the heuristic.
+    pub name: String,
+    /// Achieved period (time per multicast in steady state).
+    pub period: f64,
+    /// Achieved throughput (`1 / period`).
+    pub throughput: f64,
+    /// The multicast tree built by the heuristic, when it is tree-based.
+    pub tree: Option<MulticastTree>,
+    /// For `REDUCED BROADCAST` / `AUGMENTED MULTICAST`: the node set of the
+    /// final sub-platform; for `AUGMENTED SOURCES`: the final source list.
+    pub selected_nodes: Vec<NodeId>,
+    /// Number of linear programs solved along the way.
+    pub lp_solves: usize,
+}
+
+impl HeuristicResult {
+    fn new(name: &str, period: f64) -> Self {
+        HeuristicResult {
+            name: name.to_string(),
+            period,
+            throughput: if period > 0.0 { 1.0 / period } else { f64::INFINITY },
+            tree: None,
+            selected_nodes: Vec::new(),
+            lp_solves: 0,
+        }
+    }
+}
+
+/// Common interface of all the heuristics.
+pub trait ThroughputHeuristic {
+    /// Name used in reports and experiment tables.
+    fn name(&self) -> &'static str;
+    /// Runs the heuristic on an instance.
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError>;
+}
+
+/// Upper limit on greedy iterations, as a safety net (the greedy loops are
+/// already bounded by the platform size).
+const MAX_GREEDY_STEPS: usize = 256;
+
+fn broadcast_period_on(
+    instance: &MulticastInstance,
+    keep: &[NodeId],
+    lp_solves: &mut usize,
+) -> f64 {
+    *lp_solves += 1;
+    match instance.restrict_to(keep) {
+        Ok(sub) => match BroadcastEb::new(&sub).solve() {
+            Ok(sol) => sol.period,
+            Err(_) => f64::INFINITY,
+        },
+        Err(_) => f64::INFINITY,
+    }
+}
+
+/// `REDUCED BROADCAST` (Figure 6): repeatedly remove the non-target,
+/// non-source node with the smallest incoming traffic in the current
+/// `Broadcast-EB` solution, as long as the broadcast period on the reduced
+/// platform does not degrade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReducedBroadcast;
+
+impl ThroughputHeuristic for ReducedBroadcast {
+    fn name(&self) -> &'static str {
+        "Red. BC"
+    }
+
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        let platform = &instance.platform;
+        let mut lp_solves = 0usize;
+        let mut kept: Vec<NodeId> = platform.nodes().collect();
+        lp_solves += 1;
+        let mut best = match BroadcastEb::new(instance).solve() {
+            Ok(sol) => sol.period,
+            Err(FormulationError::Unreachable(_)) => f64::INFINITY,
+            Err(e) => return Err(e),
+        };
+        let mut improvement = true;
+        let mut steps = 0;
+        while improvement && steps < MAX_GREEDY_STEPS {
+            steps += 1;
+            improvement = false;
+            // Score candidates with the current sub-platform's broadcast flows.
+            let current = instance.restrict_to(&kept).map_err(|_| {
+                FormulationError::InvalidArgument("source or target removed".to_string())
+            })?;
+            lp_solves += 1;
+            let scores = match BroadcastEb::new(&current).solve() {
+                Ok(sol) => sol,
+                Err(_) => break,
+            };
+            let mut candidates: Vec<(f64, NodeId)> = kept
+                .iter()
+                .copied()
+                .filter(|&v| v != instance.source && !instance.is_target(v))
+                .map(|v| {
+                    // Node ids in `current` follow the order of `kept`.
+                    let local = NodeId(kept.iter().position(|&k| k == v).unwrap() as u32);
+                    (scores.incoming_flow_score(&current.platform, local), v)
+                })
+                .collect();
+            candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for (_, node) in candidates {
+                let reduced: Vec<NodeId> = kept.iter().copied().filter(|&v| v != node).collect();
+                let period = broadcast_period_on(instance, &reduced, &mut lp_solves);
+                if period <= best + 1e-9 {
+                    best = best.min(period);
+                    kept = reduced;
+                    improvement = true;
+                    break;
+                }
+            }
+        }
+        let mut result = HeuristicResult::new(self.name(), best);
+        result.selected_nodes = kept;
+        result.lp_solves = lp_solves;
+        Ok(result)
+    }
+}
+
+/// `AUGMENTED MULTICAST` (Figure 7): start from the platform restricted to
+/// the source and the targets, and greedily add the node with the largest
+/// incoming traffic in the full-platform `Multicast-LB` solution as long as
+/// the broadcast period on the augmented platform does not degrade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AugmentedMulticast;
+
+impl ThroughputHeuristic for AugmentedMulticast {
+    fn name(&self) -> &'static str {
+        "Augm. MC"
+    }
+
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        let platform = &instance.platform;
+        let mut lp_solves = 0usize;
+        let mut kept: Vec<NodeId> = std::iter::once(instance.source)
+            .chain(instance.targets.iter().copied())
+            .collect();
+        let mut best = broadcast_period_on(instance, &kept, &mut lp_solves);
+
+        // Candidate scores come from the Multicast-LB solution on the whole
+        // platform and are computed once.
+        lp_solves += 1;
+        let lb = MulticastLb::new(instance).solve()?;
+        let mut candidates: Vec<(f64, NodeId)> = platform
+            .nodes()
+            .filter(|&v| v != instance.source && !instance.is_target(v))
+            .map(|v| (lb.incoming_flow_score(platform, v), v))
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+        let mut improvement = true;
+        let mut steps = 0;
+        while improvement && steps < MAX_GREEDY_STEPS {
+            steps += 1;
+            improvement = false;
+            for &(_, node) in &candidates {
+                if kept.contains(&node) {
+                    continue;
+                }
+                let mut augmented = kept.clone();
+                augmented.push(node);
+                let period = broadcast_period_on(instance, &augmented, &mut lp_solves);
+                if period <= best + 1e-9 {
+                    best = best.min(period);
+                    kept = augmented;
+                    improvement = true;
+                    break;
+                }
+            }
+        }
+        let mut result = HeuristicResult::new(self.name(), best);
+        result.selected_nodes = kept;
+        result.lp_solves = lp_solves;
+        Ok(result)
+    }
+}
+
+/// `AUGMENTED SOURCES` (Figure 8): greedily promote the node with the largest
+/// incoming traffic in the current `MulticastMultiSource-UB` solution to a
+/// secondary source, as long as the period does not degrade.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AugmentedSources {
+    /// Optional cap on the number of secondary sources (0 = no cap). Useful
+    /// to bound the LP sizes on large platforms.
+    pub max_secondary_sources: usize,
+}
+
+impl ThroughputHeuristic for AugmentedSources {
+    fn name(&self) -> &'static str {
+        "Multisource MC"
+    }
+
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        let platform = &instance.platform;
+        let mut lp_solves = 0usize;
+        let mut sources = vec![instance.source];
+        lp_solves += 1;
+        let mut current = MulticastMultiSourceUb::new(instance, sources.clone())?.solve()?;
+        let mut best = current.period;
+
+        let mut improvement = true;
+        let mut steps = 0;
+        while improvement && steps < MAX_GREEDY_STEPS {
+            steps += 1;
+            improvement = false;
+            if self.max_secondary_sources > 0 && sources.len() > self.max_secondary_sources {
+                break;
+            }
+            // Every target is already a source: nothing left to promote.
+            let mut candidates: Vec<(f64, NodeId)> = platform
+                .nodes()
+                .filter(|v| !sources.contains(v))
+                .map(|v| (current.incoming_score[v.index()], v))
+                .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            for &(_, node) in &candidates {
+                let mut extended = sources.clone();
+                extended.push(node);
+                // Promoting the last remaining non-source target would leave
+                // the formulation without destinations; skip such candidates.
+                let formulation = match MulticastMultiSourceUb::new(instance, extended.clone()) {
+                    Ok(f) => f,
+                    Err(_) => continue,
+                };
+                lp_solves += 1;
+                let sol = match formulation.solve() {
+                    Ok(s) => s,
+                    Err(FormulationError::InvalidArgument(_)) => continue,
+                    Err(_) => continue,
+                };
+                if sol.period <= best + 1e-9 {
+                    best = best.min(sol.period);
+                    sources = extended;
+                    current = sol;
+                    improvement = true;
+                    break;
+                }
+            }
+        }
+        let mut result = HeuristicResult::new(self.name(), best);
+        result.selected_nodes = sources;
+        result.lp_solves = lp_solves;
+        Ok(result)
+    }
+}
+
+/// The tree-based `MCPH` heuristic (Figure 9), adapted from the Minimum Cost
+/// Path Heuristic for Steiner trees to the one-port steady-state metric.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Mcph;
+
+impl Mcph {
+    /// Builds the multicast tree chosen by the heuristic.
+    pub fn build_tree(&self, instance: &MulticastInstance) -> Result<MulticastTree, FormulationError> {
+        let platform = &instance.platform;
+        // Modifiable edge costs: edges already carrying the message are free,
+        // and adding a new outgoing edge to a node that already sends data
+        // accounts for the serialization of its send port.
+        let mut cost: Vec<f64> = platform.edge_ids().map(|e| platform.cost(e)).collect();
+        let mut tree_nodes: Vec<NodeId> = vec![instance.source];
+        let mut tree_edges: Vec<EdgeId> = Vec::new();
+        let mut remaining: Vec<NodeId> = instance.targets.clone();
+
+        while !remaining.is_empty() {
+            let paths = multi_source_bottleneck(platform, &tree_nodes, &|e| cost[e.index()]);
+            // Pick the reachable target whose path has the smallest bottleneck.
+            let mut best: Option<(f64, usize)> = None;
+            for (idx, &t) in remaining.iter().enumerate() {
+                let d = paths.dist[t.index()];
+                if d.is_finite() {
+                    match best {
+                        None => best = Some((d, idx)),
+                        Some((bd, _)) if d < bd => best = Some((d, idx)),
+                        _ => {}
+                    }
+                }
+            }
+            let Some((_, idx)) = best else {
+                return Err(FormulationError::Unreachable(remaining[0]));
+            };
+            let target = remaining.swap_remove(idx);
+            let path = paths
+                .path_to(target, platform)
+                .expect("reachable target has a path");
+            // Add the path and update the modified costs (Figure 9, lines 11-13).
+            for &e in &path {
+                let edge = platform.edge(e);
+                let added_cost = cost[e.index()];
+                for &sibling in platform.out_edges(edge.src) {
+                    if sibling != e {
+                        cost[sibling.index()] += added_cost;
+                    }
+                }
+                cost[e.index()] = 0.0;
+                if !tree_nodes.contains(&edge.dst) {
+                    tree_nodes.push(edge.dst);
+                }
+                tree_edges.push(e);
+            }
+        }
+        MulticastTree::new(instance, tree_edges)
+            .map_err(|e| FormulationError::InvalidArgument(format!("MCPH built an invalid tree: {e}")))
+    }
+}
+
+impl ThroughputHeuristic for Mcph {
+    fn name(&self) -> &'static str {
+        "MCPH"
+    }
+
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        let tree = self.build_tree(instance)?;
+        let period = tree.period(&instance.platform);
+        let mut result = HeuristicResult::new(self.name(), period);
+        result.tree = Some(tree);
+        Ok(result)
+    }
+}
+
+/// The `scatter` baseline: the period of `Multicast-UB`, i.e. pretending
+/// every target must receive a distinct message.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScatterBaseline;
+
+impl ThroughputHeuristic for ScatterBaseline {
+    fn name(&self) -> &'static str {
+        "scatter"
+    }
+
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        let sol = MulticastUb::new(instance).solve()?;
+        let mut result = HeuristicResult::new(self.name(), sol.period);
+        result.lp_solves = 1;
+        Ok(result)
+    }
+}
+
+/// The `broadcast` baseline: broadcast to the whole platform
+/// (`Broadcast-EB(P)`), which trivially also serves the targets.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BroadcastBaseline;
+
+impl ThroughputHeuristic for BroadcastBaseline {
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        let sol = BroadcastEb::new(instance).solve()?;
+        let mut result = HeuristicResult::new(self.name(), sol.period);
+        result.lp_solves = 1;
+        Ok(result)
+    }
+}
+
+/// The theoretical `lower bound` reference curve: the period of
+/// `Multicast-LB` (not necessarily achievable).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerBoundReference;
+
+impl ThroughputHeuristic for LowerBoundReference {
+    fn name(&self) -> &'static str {
+        "lower bound"
+    }
+
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        let sol = MulticastLb::new(instance).solve()?;
+        let mut result = HeuristicResult::new(self.name(), sol.period);
+        result.lp_solves = 1;
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_platform::instances::{chain_instance, figure1_instance, figure5_instance};
+
+    #[test]
+    fn mcph_on_a_chain_uses_the_chain() {
+        let inst = chain_instance(5, 0.5);
+        let res = Mcph.run(&inst).unwrap();
+        assert!((res.period - 0.5).abs() < 1e-9);
+        let tree = res.tree.unwrap();
+        assert_eq!(tree.len(), 4);
+    }
+
+    #[test]
+    fn mcph_on_figure5_goes_through_the_relay() {
+        let inst = figure5_instance(3);
+        let res = Mcph.run(&inst).unwrap();
+        // The only possible tree: source -> relay -> {targets}; its period is
+        // max(source send = 1, relay send = 3 * 1/3 = 1) = 1.
+        assert!((res.period - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mcph_on_figure1_is_a_single_tree_solution() {
+        let inst = figure1_instance();
+        let res = Mcph.run(&inst).unwrap();
+        let tree = res.tree.unwrap();
+        // A single tree cannot reach the optimal period 1 (Section 3), but it
+        // must stay within the scatter upper bound.
+        assert!(res.period >= 1.0 - 1e-9);
+        let scatter = ScatterBaseline.run(&inst).unwrap();
+        assert!(res.period <= scatter.period + 1e-6);
+        // The tree really spans all targets.
+        for &t in &inst.targets {
+            assert!(tree.covers(&inst.platform, t));
+        }
+    }
+
+    #[test]
+    fn lp_heuristics_are_bounded_by_lb_and_scatter_on_figure5() {
+        let inst = figure5_instance(3);
+        let lb = LowerBoundReference.run(&inst).unwrap().period;
+        let scatter = ScatterBaseline.run(&inst).unwrap().period;
+        for heuristic in [
+            &ReducedBroadcast as &dyn ThroughputHeuristic,
+            &AugmentedMulticast,
+            &AugmentedSources::default(),
+            &BroadcastBaseline,
+            &Mcph,
+        ] {
+            let res = heuristic.run(&inst).unwrap();
+            assert!(
+                res.period >= lb - 1e-6,
+                "{} beats the lower bound: {} < {lb}",
+                res.name,
+                res.period
+            );
+            assert!(
+                res.period <= scatter + 1e-6,
+                "{} is worse than scatter: {} > {scatter}",
+                res.name,
+                res.period
+            );
+        }
+    }
+
+    #[test]
+    fn reduced_broadcast_on_figure5_keeps_the_relay() {
+        // Removing the relay would disconnect the targets, so the heuristic
+        // must keep it and end up with the broadcast value.
+        let inst = figure5_instance(3);
+        let res = ReducedBroadcast.run(&inst).unwrap();
+        assert!(res.selected_nodes.contains(&NodeId(1)));
+        assert!((res.period - 1.0).abs() < 1e-6);
+        assert!(res.lp_solves >= 1);
+    }
+
+    #[test]
+    fn augmented_multicast_on_figure1_adds_relays_until_feasible() {
+        let inst = figure1_instance();
+        let res = AugmentedMulticast.run(&inst).unwrap();
+        // The restricted platform {source} ∪ targets is disconnected (the
+        // targets are only reachable through the relays), so the heuristic
+        // must have added relay nodes to produce a finite period.
+        assert!(res.period.is_finite());
+        assert!(res.selected_nodes.len() > 1 + inst.target_count());
+        let lb = LowerBoundReference.run(&inst).unwrap().period;
+        assert!(res.period >= lb - 1e-6);
+    }
+
+    #[test]
+    fn augmented_sources_never_degrades_the_scatter_bound() {
+        let inst = figure1_instance();
+        let scatter = ScatterBaseline.run(&inst).unwrap().period;
+        let res = AugmentedSources::default().run(&inst).unwrap();
+        assert!(res.period <= scatter + 1e-6);
+        assert!(res.selected_nodes.contains(&inst.source));
+    }
+
+    #[test]
+    fn heuristic_names_are_stable() {
+        assert_eq!(ReducedBroadcast.name(), "Red. BC");
+        assert_eq!(AugmentedMulticast.name(), "Augm. MC");
+        assert_eq!(AugmentedSources::default().name(), "Multisource MC");
+        assert_eq!(Mcph.name(), "MCPH");
+        assert_eq!(ScatterBaseline.name(), "scatter");
+        assert_eq!(BroadcastBaseline.name(), "broadcast");
+        assert_eq!(LowerBoundReference.name(), "lower bound");
+    }
+}

@@ -1,0 +1,44 @@
+//! # pm-core
+//!
+//! The core of the pipelined-multicast reproduction: everything needed to
+//! bound, approximate and (on small platforms) exactly compute the optimal
+//! steady-state throughput of a series of multicasts on a heterogeneous
+//! one-port platform.
+//!
+//! * [`formulations`] — the paper's linear programs: `Multicast-LB`,
+//!   `Multicast-UB` (scatter), `Broadcast-EB` and
+//!   `MulticastMultiSource-UB`,
+//! * [`heuristics`] — `REDUCED BROADCAST`, `AUGMENTED MULTICAST`,
+//!   `AUGMENTED SOURCES` and the tree-based `MCPH`, plus the reference
+//!   baselines (`scatter`, `broadcast`, `lower bound`),
+//! * [`exact`] — the exact tree-packing optimum by exhaustive enumeration
+//!   (small platforms; used to validate the heuristics and the Figure 1
+//!   worked example),
+//! * [`report`] — per-instance comparison reports mirroring Figure 11.
+//!
+//! ```
+//! use pm_core::formulations::{MulticastLb, MulticastUb};
+//! use pm_platform::instances::figure5_instance;
+//!
+//! let inst = figure5_instance(3);
+//! let lb = MulticastLb::new(&inst).solve().unwrap();
+//! let ub = MulticastUb::new(&inst).solve().unwrap();
+//! // Figure 5 of the paper: the two bounds differ by the number of targets.
+//! assert!((lb.period - 1.0).abs() < 1e-6);
+//! assert!((ub.period - 3.0).abs() < 1e-6);
+//! ```
+
+pub mod exact;
+pub mod formulations;
+pub mod heuristics;
+pub mod report;
+
+pub use exact::{ExactSolution, ExactTreePacking};
+pub use formulations::{
+    BroadcastEb, FlowSolution, FormulationError, MulticastLb, MulticastMultiSourceUb, MulticastUb,
+};
+pub use heuristics::{
+    AugmentedMulticast, AugmentedSources, BroadcastBaseline, HeuristicResult, LowerBoundReference,
+    Mcph, ReducedBroadcast, ScatterBaseline, ThroughputHeuristic,
+};
+pub use report::{HeuristicKind, MulticastReport};

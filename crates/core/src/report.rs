@@ -1,0 +1,159 @@
+//! Aggregated comparison reports, mirroring the curves of Figure 11.
+
+use crate::formulations::FormulationError;
+use crate::heuristics::{
+    AugmentedMulticast, AugmentedSources, BroadcastBaseline, HeuristicResult, LowerBoundReference,
+    Mcph, ReducedBroadcast, ScatterBaseline, ThroughputHeuristic,
+};
+use pm_platform::instances::MulticastInstance;
+use serde::{Deserialize, Serialize};
+
+/// The heuristics and reference curves reported in the paper's evaluation
+/// (Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HeuristicKind {
+    /// `scatter`: the `Multicast-UB` upper bound.
+    Scatter,
+    /// `lower bound`: the `Multicast-LB` lower bound (not always achievable).
+    LowerBound,
+    /// `broadcast`: broadcast on the whole platform.
+    Broadcast,
+    /// `MCPH`: the tree-based heuristic.
+    Mcph,
+    /// `Augm. MC`: the AUGMENTED MULTICAST heuristic.
+    AugmentedMulticast,
+    /// `Red. BC`: the REDUCED BROADCAST heuristic.
+    ReducedBroadcast,
+    /// `Multisource MC`: the AUGMENTED SOURCES heuristic.
+    MultisourceMulticast,
+}
+
+impl HeuristicKind {
+    /// All kinds, in the order used by the paper's legends.
+    pub const ALL: [HeuristicKind; 7] = [
+        HeuristicKind::Scatter,
+        HeuristicKind::LowerBound,
+        HeuristicKind::Broadcast,
+        HeuristicKind::Mcph,
+        HeuristicKind::AugmentedMulticast,
+        HeuristicKind::ReducedBroadcast,
+        HeuristicKind::MultisourceMulticast,
+    ];
+
+    /// The label used by the paper.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeuristicKind::Scatter => "scatter",
+            HeuristicKind::LowerBound => "lower bound",
+            HeuristicKind::Broadcast => "broadcast",
+            HeuristicKind::Mcph => "MCPH",
+            HeuristicKind::AugmentedMulticast => "Augm. MC",
+            HeuristicKind::ReducedBroadcast => "Red. BC",
+            HeuristicKind::MultisourceMulticast => "Multisource MC",
+        }
+    }
+
+    /// Runs the corresponding heuristic.
+    pub fn run(self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        match self {
+            HeuristicKind::Scatter => ScatterBaseline.run(instance),
+            HeuristicKind::LowerBound => LowerBoundReference.run(instance),
+            HeuristicKind::Broadcast => BroadcastBaseline.run(instance),
+            HeuristicKind::Mcph => Mcph.run(instance),
+            HeuristicKind::AugmentedMulticast => AugmentedMulticast.run(instance),
+            HeuristicKind::ReducedBroadcast => ReducedBroadcast.run(instance),
+            HeuristicKind::MultisourceMulticast => AugmentedSources::default().run(instance),
+        }
+    }
+}
+
+/// Periods measured on one instance for every heuristic and reference curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MulticastReport {
+    /// Number of nodes of the platform.
+    pub nodes: usize,
+    /// Number of targets of the instance.
+    pub targets: usize,
+    /// `(kind, period)` pairs, in [`HeuristicKind::ALL`] order. A period of
+    /// `f64::INFINITY` means the heuristic could not serve the targets.
+    pub periods: Vec<(HeuristicKind, f64)>,
+}
+
+impl MulticastReport {
+    /// Runs every heuristic of `kinds` on the instance.
+    pub fn collect(
+        instance: &MulticastInstance,
+        kinds: &[HeuristicKind],
+    ) -> Result<Self, FormulationError> {
+        let mut periods = Vec::with_capacity(kinds.len());
+        for &kind in kinds {
+            let period = match kind.run(instance) {
+                Ok(res) => res.period,
+                Err(FormulationError::Unreachable(_)) => f64::INFINITY,
+                Err(e) => return Err(e),
+            };
+            periods.push((kind, period));
+        }
+        Ok(MulticastReport {
+            nodes: instance.platform.node_count(),
+            targets: instance.target_count(),
+            periods,
+        })
+    }
+
+    /// The period measured for a given kind, if it was collected.
+    pub fn period(&self, kind: HeuristicKind) -> Option<f64> {
+        self.periods.iter().find(|(k, _)| *k == kind).map(|&(_, p)| p)
+    }
+
+    /// The ratio `period(kind) / period(reference)`, the quantity plotted in
+    /// Figure 11 (a)/(c) with `reference = Scatter` and (b)/(d) with
+    /// `reference = LowerBound`.
+    pub fn ratio_to(&self, kind: HeuristicKind, reference: HeuristicKind) -> Option<f64> {
+        let p = self.period(kind)?;
+        let r = self.period(reference)?;
+        if r > 0.0 {
+            Some(p / r)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_platform::instances::figure5_instance;
+
+    #[test]
+    fn report_collects_all_kinds_and_orders_ratios() {
+        let inst = figure5_instance(3);
+        let report = MulticastReport::collect(&inst, &HeuristicKind::ALL).unwrap();
+        assert_eq!(report.periods.len(), 7);
+        assert_eq!(report.targets, 3);
+        let scatter = report.period(HeuristicKind::Scatter).unwrap();
+        let lb = report.period(HeuristicKind::LowerBound).unwrap();
+        assert!(scatter >= lb);
+        // Every heuristic is at least as good as scatter on this instance and
+        // no better than the lower bound.
+        for kind in [
+            HeuristicKind::Mcph,
+            HeuristicKind::Broadcast,
+            HeuristicKind::AugmentedMulticast,
+            HeuristicKind::ReducedBroadcast,
+            HeuristicKind::MultisourceMulticast,
+        ] {
+            let ratio_scatter = report.ratio_to(kind, HeuristicKind::Scatter).unwrap();
+            let ratio_lb = report.ratio_to(kind, HeuristicKind::LowerBound).unwrap();
+            assert!(ratio_scatter <= 1.0 + 1e-6, "{kind:?}");
+            assert!(ratio_lb >= 1.0 - 1e-6, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(HeuristicKind::Scatter.label(), "scatter");
+        assert_eq!(HeuristicKind::MultisourceMulticast.label(), "Multisource MC");
+        assert_eq!(HeuristicKind::ALL.len(), 7);
+    }
+}

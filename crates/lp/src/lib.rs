@@ -1,0 +1,38 @@
+//! # pm-lp
+//!
+//! A self-contained linear-programming toolkit, written from scratch for the
+//! pipelined-multicast reproduction: the paper's bounds (`Multicast-LB`,
+//! `Multicast-UB`, `Broadcast-EB`, `MulticastMultiSource-UB`) and the exact
+//! tree-packing baseline are all linear programs, and this crate is the only
+//! LP dependency of the workspace.
+//!
+//! * [`problem`] — an [`LpProblem`](problem::LpProblem) model builder
+//!   (non-negative variables, `≤ / ≥ / =` constraints, maximize or minimize),
+//! * [`simplex`] — a dense two-phase primal simplex solver with Bland's rule
+//!   as an anti-cycling fallback.
+//!
+//! The solver favours robustness over raw speed: it is a textbook tableau
+//! method tuned for the moderately sized LPs produced by the multicast
+//! formulations (a few thousand rows and columns).
+//!
+//! ```
+//! use pm_lp::problem::{LpProblem, Objective, Relation};
+//!
+//! // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2,  x, y >= 0
+//! let mut lp = LpProblem::new(Objective::Maximize);
+//! let x = lp.add_var("x");
+//! let y = lp.add_var("y");
+//! lp.set_objective_coeff(x, 3.0);
+//! lp.set_objective_coeff(y, 2.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+//! lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+//! let sol = lp.solve().unwrap();
+//! assert!((sol.objective - 10.0).abs() < 1e-9);
+//! assert!((sol.value(x) - 2.0).abs() < 1e-9);
+//! assert!((sol.value(y) - 2.0).abs() < 1e-9);
+//! ```
+
+pub mod problem;
+pub mod simplex;
+
+pub use problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};

@@ -1,0 +1,318 @@
+//! Linear program model: non-negative variables, linear constraints, and a
+//! linear objective.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a decision variable in an [`LpProblem`].
+///
+/// All variables are implicitly constrained to be non-negative, which matches
+/// every formulation in the paper (message fractions, occupation times and
+/// tree weights are all non-negative quantities).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The variable id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Maximize the objective function (e.g. throughput).
+    Maximize,
+    /// Minimize the objective function (e.g. the period `T*`).
+    Minimize,
+}
+
+/// Relation of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Relation {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+/// One linear constraint `sum coeff_j * x_j  (<=|>=|==)  rhs`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Sparse list of `(variable, coefficient)` terms.
+    pub terms: Vec<(VarId, f64)>,
+    /// The constraint relation.
+    pub relation: Relation,
+    /// Right-hand side constant.
+    pub rhs: f64,
+}
+
+/// Errors returned by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint set has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The solver exceeded its iteration budget (numerical trouble).
+    IterationLimit,
+    /// The model references an unknown variable or contains a non-finite
+    /// coefficient.
+    InvalidModel(String),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit exceeded"),
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution of an [`LpProblem`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LpSolution {
+    /// Optimal objective value (in the problem's own direction).
+    pub objective: f64,
+    values: Vec<f64>,
+}
+
+impl LpSolution {
+    pub(crate) fn new(objective: f64, values: Vec<f64>) -> Self {
+        LpSolution { objective, values }
+    }
+
+    /// Value of a variable in the optimal solution.
+    #[inline]
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, indexed by [`VarId`].
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LpProblem {
+    objective: Objective,
+    names: Vec<String>,
+    objective_coeffs: Vec<f64>,
+    constraints: Vec<Constraint>,
+}
+
+impl LpProblem {
+    /// Creates an empty problem with the given optimization direction.
+    pub fn new(objective: Objective) -> Self {
+        LpProblem {
+            objective,
+            names: Vec::new(),
+            objective_coeffs: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// The optimization direction.
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Adds a non-negative variable with objective coefficient 0 and returns
+    /// its id.
+    pub fn add_var(&mut self, name: &str) -> VarId {
+        let id = VarId(self.names.len());
+        self.names.push(name.to_string());
+        self.objective_coeffs.push(0.0);
+        id
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    pub fn var_name(&self, var: VarId) -> &str {
+        &self.names[var.index()]
+    }
+
+    /// Sets the objective coefficient of a variable.
+    pub fn set_objective_coeff(&mut self, var: VarId, coeff: f64) {
+        self.objective_coeffs[var.index()] = coeff;
+    }
+
+    /// The objective coefficient of a variable.
+    pub fn objective_coeff(&self, var: VarId) -> f64 {
+        self.objective_coeffs[var.index()]
+    }
+
+    /// Adds the constraint `sum terms (relation) rhs`. Terms referring to the
+    /// same variable several times are summed.
+    pub fn add_constraint(
+        &mut self,
+        terms: Vec<(VarId, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> usize {
+        self.constraints.push(Constraint { terms, relation, rhs });
+        self.constraints.len() - 1
+    }
+
+    /// The constraints of the problem.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Validates the model: every referenced variable exists and every
+    /// coefficient is finite.
+    pub fn validate(&self) -> Result<(), LpError> {
+        for (i, c) in self.constraints.iter().enumerate() {
+            if !c.rhs.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "constraint {i} has non-finite rhs {}",
+                    c.rhs
+                )));
+            }
+            for &(v, coeff) in &c.terms {
+                if v.index() >= self.names.len() {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint {i} references unknown variable {}",
+                        v.index()
+                    )));
+                }
+                if !coeff.is_finite() {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint {i} has non-finite coefficient on {}",
+                        self.names[v.index()]
+                    )));
+                }
+            }
+        }
+        for (j, &c) in self.objective_coeffs.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "objective coefficient of {} is not finite",
+                    self.names[j]
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the problem with the dense two-phase simplex.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.validate()?;
+        crate::simplex::solve(self)
+    }
+
+    /// Evaluates the objective function at the given point.
+    pub fn objective_value_at(&self, values: &[f64]) -> f64 {
+        self.objective_coeffs
+            .iter()
+            .zip(values)
+            .map(|(c, v)| c * v)
+            .sum()
+    }
+
+    /// Checks whether `values` satisfies every constraint up to tolerance
+    /// `tol` (and non-negativity).
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.num_vars() {
+            return false;
+        }
+        if values.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v.index()]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_building_and_accessors() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+        assert_eq!(lp.num_vars(), 2);
+        assert_eq!(lp.num_constraints(), 1);
+        assert_eq!(lp.var_name(y), "y");
+        assert_eq!(lp.objective_coeff(y), 2.0);
+        assert_eq!(lp.objective(), Objective::Minimize);
+        assert!(lp.validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_models() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        lp.add_constraint(vec![(VarId(5), 1.0)], Relation::Le, 1.0);
+        assert!(matches!(lp.validate(), Err(LpError::InvalidModel(_))));
+
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x2 = lp.add_var("x");
+        lp.add_constraint(vec![(x2, f64::NAN)], Relation::Le, 1.0);
+        assert!(matches!(lp.validate(), Err(LpError::InvalidModel(_))));
+
+        let mut lp = LpProblem::new(Objective::Maximize);
+        lp.add_var("x");
+        lp.set_objective_coeff(x, f64::INFINITY);
+        assert!(matches!(lp.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 0.25);
+        assert!(lp.is_feasible(&[0.5, 0.5], 1e-9));
+        assert!(!lp.is_feasible(&[0.1, 0.5], 1e-9)); // violates Ge
+        assert!(!lp.is_feasible(&[0.8, 0.5], 1e-9)); // violates Le
+        assert!(!lp.is_feasible(&[-0.5, 0.5], 1e-9)); // negative variable
+        assert!(!lp.is_feasible(&[0.5], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_value_at_point() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 3.0);
+        lp.set_objective_coeff(y, -1.0);
+        assert_eq!(lp.objective_value_at(&[2.0, 4.0]), 2.0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests for the simplex solver: on random bounded LPs the
+//! returned point must be feasible and at least as good as any sampled
+//! feasible point.
+
+use pm_lp::{LpError, LpProblem, Objective, Relation, VarId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds a random LP with box-bounded variables (so it is never unbounded
+/// and always feasible: the origin satisfies all `<=` constraints with
+/// non-negative rhs).
+fn random_bounded_lp(
+    num_vars: usize,
+    num_cons: usize,
+    seed: u64,
+) -> (LpProblem, Vec<VarId>, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let vars: Vec<VarId> = (0..num_vars).map(|i| lp.add_var(&format!("x{i}"))).collect();
+    let mut bounds = Vec::with_capacity(num_vars);
+    for &v in &vars {
+        lp.set_objective_coeff(v, rng.gen_range(-2.0..4.0));
+        let ub = rng.gen_range(0.5..5.0);
+        lp.add_constraint(vec![(v, 1.0)], Relation::Le, ub);
+        bounds.push(ub);
+    }
+    for _ in 0..num_cons {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.7) {
+                terms.push((v, rng.gen_range(0.1..2.0)));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let rhs = rng.gen_range(0.5..6.0);
+        lp.add_constraint(terms, Relation::Le, rhs);
+    }
+    (lp, vars, bounds)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solution_is_feasible_and_dominates_random_points(
+        num_vars in 1usize..6,
+        num_cons in 0usize..6,
+        seed in 0u64..1_000_000,
+    ) {
+        let (lp, _vars, bounds) = random_bounded_lp(num_vars, num_cons, seed);
+        let sol = lp.solve().expect("bounded LP with feasible origin must solve");
+        prop_assert!(lp.is_feasible(sol.values(), 1e-6));
+
+        // The optimum must dominate a handful of random feasible points
+        // obtained by rejection sampling inside the variable boxes.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead_beef);
+        let mut tried = 0;
+        let mut accepted = 0;
+        while tried < 2_000 && accepted < 20 {
+            tried += 1;
+            let candidate: Vec<f64> = bounds.iter().map(|&b| rng.gen_range(0.0..b)).collect();
+            if lp.is_feasible(&candidate, 1e-9) {
+                accepted += 1;
+                let value = lp.objective_value_at(&candidate);
+                prop_assert!(value <= sol.objective + 1e-6,
+                    "sampled feasible point beats the 'optimum': {value} > {}", sol.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_the_objective_scales_the_optimum(
+        num_vars in 1usize..5,
+        seed in 0u64..1_000_000,
+        scale in 1.0f64..10.0,
+    ) {
+        let (lp, vars, _) = random_bounded_lp(num_vars, 3, seed);
+        let base = lp.solve().unwrap();
+        let mut scaled = lp.clone();
+        for &v in &vars {
+            let c = scaled.objective_coeff(v);
+            scaled.set_objective_coeff(v, c * scale);
+        }
+        let scaled_sol = scaled.solve().unwrap();
+        prop_assert!((scaled_sol.objective - base.objective * scale).abs()
+            <= 1e-6 * (1.0 + base.objective.abs() * scale));
+    }
+}
+
+#[test]
+fn infeasible_system_is_reported_infeasible() {
+    let mut lp = LpProblem::new(Objective::Minimize);
+    let x = lp.add_var("x");
+    let y = lp.add_var("y");
+    lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+    lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+    assert_eq!(lp.solve(), Err(LpError::Infeasible));
+}

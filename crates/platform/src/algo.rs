@@ -1,0 +1,246 @@
+//! Graph algorithms used by the bounds and heuristics: shortest paths,
+//! multi-source bottleneck paths (the MCPH metric), reachability.
+
+use crate::graph::{EdgeId, NodeId, Platform};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A non-NaN `f64` priority for use in binary heaps (min-heap via `Reverse`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MinF64(f64);
+
+impl Eq for MinF64 {}
+
+impl PartialOrd for MinF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for MinF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so that the std max-heap pops the smallest key.
+        other.0.partial_cmp(&self.0).expect("priorities must not be NaN")
+    }
+}
+
+/// Result of a (multi-source) path computation: per-node distance and the
+/// incoming edge on an optimal path, allowing path reconstruction.
+#[derive(Debug, Clone)]
+pub struct PathTree {
+    /// `dist[v]` is the optimal distance from the source set to `v`
+    /// (`f64::INFINITY` when unreachable).
+    pub dist: Vec<f64>,
+    /// `parent_edge[v]` is the edge used to reach `v` on an optimal path
+    /// (`None` for sources and unreachable nodes).
+    pub parent_edge: Vec<Option<EdgeId>>,
+}
+
+impl PathTree {
+    /// Whether `v` is reachable from the source set.
+    pub fn reachable(&self, v: NodeId) -> bool {
+        self.dist[v.index()].is_finite()
+    }
+
+    /// Reconstructs the edges of an optimal path ending at `target`, in order
+    /// from the source set to `target`. Returns `None` if unreachable.
+    pub fn path_to(&self, target: NodeId, platform: &Platform) -> Option<Vec<EdgeId>> {
+        if !self.reachable(target) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = target;
+        while let Some(e) = self.parent_edge[cur.index()] {
+            edges.push(e);
+            cur = platform.edge(e).src;
+        }
+        edges.reverse();
+        Some(edges)
+    }
+}
+
+/// Per-edge cost function used by the path algorithms.
+///
+/// The MCPH heuristic repeatedly modifies the "remaining capacity" cost of
+/// edges, so the algorithms take a closure rather than reading
+/// [`Platform::cost`] directly.
+pub type EdgeCost<'a> = &'a dyn Fn(EdgeId) -> f64;
+
+/// Single-source Dijkstra with the classical *additive* metric.
+///
+/// `cost(e)` must be non-negative for every edge.
+pub fn dijkstra(platform: &Platform, source: NodeId, cost: EdgeCost<'_>) -> PathTree {
+    multi_source_dijkstra(platform, &[source], cost)
+}
+
+/// Multi-source Dijkstra (additive metric): distances are measured from the
+/// closest node of `sources`.
+pub fn multi_source_dijkstra(
+    platform: &Platform,
+    sources: &[NodeId],
+    cost: EdgeCost<'_>,
+) -> PathTree {
+    let n = platform.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_edge = vec![None; n];
+    let mut heap: BinaryHeap<(MinF64, NodeId)> = BinaryHeap::new();
+    for &s in sources {
+        dist[s.index()] = 0.0;
+        heap.push((MinF64(0.0), s));
+    }
+    while let Some((MinF64(d), u)) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &e in platform.out_edges(u) {
+            let w = cost(e);
+            debug_assert!(w >= 0.0, "additive Dijkstra requires non-negative costs");
+            let v = platform.edge(e).dst;
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent_edge[v.index()] = Some(e);
+                heap.push((MinF64(nd), v));
+            }
+        }
+    }
+    PathTree { dist, parent_edge }
+}
+
+/// Multi-source *bottleneck* (minimax) paths: the length of a path is the
+/// maximum edge cost along it, and we look for the path minimizing that
+/// maximum. This is the metric used by the paper's MCPH heuristic (Figure 9,
+/// line 6): `c(P_t) = max_{(i,j) in P(t)} c(i,j)`.
+pub fn multi_source_bottleneck(
+    platform: &Platform,
+    sources: &[NodeId],
+    cost: EdgeCost<'_>,
+) -> PathTree {
+    let n = platform.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent_edge = vec![None; n];
+    let mut heap: BinaryHeap<(MinF64, NodeId)> = BinaryHeap::new();
+    for &s in sources {
+        dist[s.index()] = 0.0;
+        heap.push((MinF64(0.0), s));
+    }
+    while let Some((MinF64(d), u)) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &e in platform.out_edges(u) {
+            let v = platform.edge(e).dst;
+            let nd = d.max(cost(e));
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                parent_edge[v.index()] = Some(e);
+                heap.push((MinF64(nd), v));
+            }
+        }
+    }
+    PathTree { dist, parent_edge }
+}
+
+/// Set of nodes reachable from `source` (including `source` itself).
+pub fn reachable_from(platform: &Platform, source: NodeId) -> Vec<NodeId> {
+    let n = platform.node_count();
+    let mut seen = vec![false; n];
+    let mut stack = vec![source];
+    seen[source.index()] = true;
+    while let Some(u) = stack.pop() {
+        for v in platform.out_neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                stack.push(v);
+            }
+        }
+    }
+    (0..n as u32).map(NodeId).filter(|v| seen[v.index()]).collect()
+}
+
+/// Whether every node of `targets` is reachable from `source`.
+pub fn all_reachable(platform: &Platform, source: NodeId, targets: &[NodeId]) -> bool {
+    let reach = reachable_from(platform, source);
+    let mut seen = vec![false; platform.node_count()];
+    for v in reach {
+        seen[v.index()] = true;
+    }
+    targets.iter().all(|t| seen[t.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PlatformBuilder;
+
+    /// Diamond: 0 -> 1 (1), 0 -> 2 (5), 1 -> 3 (1), 2 -> 3 (1), plus 1 -> 2 (1).
+    fn diamond() -> Platform {
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(4);
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        b.add_edge(v[0], v[2], 5.0).unwrap();
+        b.add_edge(v[1], v[3], 1.0).unwrap();
+        b.add_edge(v[2], v[3], 1.0).unwrap();
+        b.add_edge(v[1], v[2], 1.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dijkstra_additive_distances() {
+        let g = diamond();
+        let t = dijkstra(&g, NodeId(0), &|e| g.cost(e));
+        assert_eq!(t.dist[0], 0.0);
+        assert_eq!(t.dist[1], 1.0);
+        assert_eq!(t.dist[2], 2.0); // via node 1, not the direct cost-5 edge
+        assert_eq!(t.dist[3], 2.0);
+    }
+
+    #[test]
+    fn dijkstra_path_reconstruction() {
+        let g = diamond();
+        let t = dijkstra(&g, NodeId(0), &|e| g.cost(e));
+        let path = t.path_to(NodeId(2), &g).unwrap();
+        let nodes: Vec<_> = path.iter().map(|&e| g.edge(e).dst).collect();
+        assert_eq!(nodes, vec![NodeId(1), NodeId(2)]);
+        assert!(t.path_to(NodeId(0), &g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bottleneck_prefers_smaller_maximum_edge() {
+        let g = diamond();
+        let t = multi_source_bottleneck(&g, &[NodeId(0)], &|e| g.cost(e));
+        // To node 2: direct edge has bottleneck 5; via node 1 the bottleneck is 1.
+        assert_eq!(t.dist[2], 1.0);
+        assert_eq!(t.dist[3], 1.0);
+    }
+
+    #[test]
+    fn multi_source_uses_closest_source() {
+        let g = diamond();
+        let t = multi_source_dijkstra(&g, &[NodeId(1), NodeId(2)], &|e| g.cost(e));
+        assert_eq!(t.dist[1], 0.0);
+        assert_eq!(t.dist[2], 0.0);
+        assert_eq!(t.dist[3], 1.0);
+        assert!(!t.reachable(NodeId(0)));
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        let r = reachable_from(&g, NodeId(1));
+        assert_eq!(r, vec![NodeId(1), NodeId(2), NodeId(3)]);
+        assert!(all_reachable(&g, NodeId(0), &[NodeId(3), NodeId(2)]));
+        assert!(!all_reachable(&g, NodeId(3), &[NodeId(0)]));
+    }
+
+    #[test]
+    fn unreachable_nodes_have_infinite_distance_and_no_path() {
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        let g = b.build().unwrap();
+        let t = dijkstra(&g, v[0], &|e| g.cost(e));
+        assert!(!t.reachable(v[2]));
+        assert!(t.path_to(v[2], &g).is_none());
+    }
+}

@@ -1,0 +1,450 @@
+//! Directed, edge-weighted platform graphs under the one-port model.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a node (processor) in a [`Platform`].
+///
+/// Node ids are dense indices `0..platform.node_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// Identifier of a directed edge (communication link) in a [`Platform`].
+///
+/// Edge ids are dense indices `0..platform.edge_count()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// The edge id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A directed communication link `src -> dst` with communication cost `cost`
+/// (time to transfer one unit-size message).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Edge {
+    /// Sending endpoint.
+    pub src: NodeId,
+    /// Receiving endpoint.
+    pub dst: NodeId,
+    /// Time needed to transfer one unit-size message on this link.
+    pub cost: f64,
+}
+
+/// Errors raised while building or manipulating a [`Platform`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// An edge references a node id that was never added.
+    UnknownNode(NodeId),
+    /// An edge cost was not a finite, strictly positive number.
+    InvalidCost { src: NodeId, dst: NodeId, cost: f64 },
+    /// A self-loop `(v, v)` was requested.
+    SelfLoop(NodeId),
+    /// The same directed edge `(src, dst)` was added twice.
+    DuplicateEdge { src: NodeId, dst: NodeId },
+    /// The platform has no nodes.
+    Empty,
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownNode(n) => write!(f, "unknown node {n}"),
+            PlatformError::InvalidCost { src, dst, cost } => {
+                write!(f, "invalid cost {cost} on edge {src} -> {dst}")
+            }
+            PlatformError::SelfLoop(n) => write!(f, "self loop on node {n}"),
+            PlatformError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge {src} -> {dst}")
+            }
+            PlatformError::Empty => write!(f, "platform has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+/// An edge-weighted directed graph `G = (V, E, c)` modelling a heterogeneous
+/// platform under the one-port communication model.
+///
+/// The graph is immutable once built (see [`PlatformBuilder`]); adjacency is
+/// stored both ways so that `N^in` and `N^out` queries are `O(degree)`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Platform {
+    names: Vec<String>,
+    edges: Vec<Edge>,
+    out_edges: Vec<Vec<EdgeId>>,
+    in_edges: Vec<Vec<EdgeId>>,
+}
+
+impl Platform {
+    /// Number of nodes `p = |V|`.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of directed edges `|E|`.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.names.len() as u32).map(NodeId)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Iterator over `(EdgeId, &Edge)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i as u32), e))
+    }
+
+    /// The edge with the given id.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.index()]
+    }
+
+    /// Cost `c_{j,k}` of the edge with the given id.
+    #[inline]
+    pub fn cost(&self, id: EdgeId) -> f64 {
+        self.edges[id.index()].cost
+    }
+
+    /// Human-readable name of a node.
+    #[inline]
+    pub fn name(&self, node: NodeId) -> &str {
+        &self.names[node.index()]
+    }
+
+    /// Outgoing edges of `node` (`N^out`).
+    #[inline]
+    pub fn out_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.out_edges[node.index()]
+    }
+
+    /// Incoming edges of `node` (`N^in`).
+    #[inline]
+    pub fn in_edges(&self, node: NodeId) -> &[EdgeId] {
+        &self.in_edges[node.index()]
+    }
+
+    /// Out-neighbours of `node`.
+    pub fn out_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_edges[node.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].dst)
+    }
+
+    /// In-neighbours of `node`.
+    pub fn in_neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_edges[node.index()]
+            .iter()
+            .map(move |&e| self.edges[e.index()].src)
+    }
+
+    /// The id of the directed edge `src -> dst`, if it exists.
+    pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.out_edges[src.index()]
+            .iter()
+            .copied()
+            .find(|&e| self.edges[e.index()].dst == dst)
+    }
+
+    /// Sum of the outgoing edge costs of a node — an upper bound on the time
+    /// the node needs to forward one message to *all* its out-neighbours.
+    pub fn out_cost_sum(&self, node: NodeId) -> f64 {
+        self.out_edges[node.index()]
+            .iter()
+            .map(|&e| self.edges[e.index()].cost)
+            .sum()
+    }
+
+    /// Largest edge cost in the platform.
+    pub fn max_cost(&self) -> f64 {
+        self.edges.iter().map(|e| e.cost).fold(0.0, f64::max)
+    }
+
+    /// Smallest edge cost in the platform.
+    pub fn min_cost(&self) -> f64 {
+        self.edges
+            .iter()
+            .map(|e| e.cost)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Builds the subgraph induced by `keep`, preserving edge costs.
+    ///
+    /// Returns the new platform together with the mapping from old node ids to
+    /// new node ids (dense, in the order of `keep` after deduplication) and
+    /// the reverse mapping.
+    pub fn induced_subgraph(
+        &self,
+        keep: &[NodeId],
+    ) -> (Platform, HashMap<NodeId, NodeId>, Vec<NodeId>) {
+        let mut old_to_new: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut new_to_old: Vec<NodeId> = Vec::new();
+        for &n in keep {
+            if !old_to_new.contains_key(&n) {
+                let new_id = NodeId(new_to_old.len() as u32);
+                old_to_new.insert(n, new_id);
+                new_to_old.push(n);
+            }
+        }
+        let mut builder = PlatformBuilder::new();
+        for &old in &new_to_old {
+            builder.add_named_node(self.name(old));
+        }
+        for (_, e) in self.edges() {
+            if let (Some(&s), Some(&d)) = (old_to_new.get(&e.src), old_to_new.get(&e.dst)) {
+                builder
+                    .add_edge(s, d, e.cost)
+                    .expect("induced subgraph edge must be valid");
+            }
+        }
+        let platform = builder.build().expect("induced subgraph must be non-empty");
+        (platform, old_to_new, new_to_old)
+    }
+
+    /// Total degree (in + out) of a node.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.out_edges[node.index()].len() + self.in_edges[node.index()].len()
+    }
+}
+
+/// Incremental, validated construction of a [`Platform`].
+#[derive(Debug, Clone, Default)]
+pub struct PlatformBuilder {
+    names: Vec<String>,
+    edges: Vec<Edge>,
+}
+
+impl PlatformBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node with an auto-generated name `P<i>` and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(format!("P{}", id.0));
+        id
+    }
+
+    /// Adds a node with the given name and returns its id.
+    pub fn add_named_node(&mut self, name: &str) -> NodeId {
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Adds `n` nodes and returns their ids.
+    pub fn add_nodes(&mut self, n: usize) -> Vec<NodeId> {
+        (0..n).map(|_| self.add_node()).collect()
+    }
+
+    /// Number of nodes added so far.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Adds the directed edge `src -> dst` with cost `cost`.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, cost: f64) -> Result<(), PlatformError> {
+        let n = self.names.len() as u32;
+        if src.0 >= n {
+            return Err(PlatformError::UnknownNode(src));
+        }
+        if dst.0 >= n {
+            return Err(PlatformError::UnknownNode(dst));
+        }
+        if src == dst {
+            return Err(PlatformError::SelfLoop(src));
+        }
+        if !(cost.is_finite() && cost > 0.0) {
+            return Err(PlatformError::InvalidCost { src, dst, cost });
+        }
+        if self.edges.iter().any(|e| e.src == src && e.dst == dst) {
+            return Err(PlatformError::DuplicateEdge { src, dst });
+        }
+        self.edges.push(Edge { src, dst, cost });
+        Ok(())
+    }
+
+    /// Adds both `a -> b` and `b -> a` with the same cost.
+    pub fn add_bidirectional(
+        &mut self,
+        a: NodeId,
+        b: NodeId,
+        cost: f64,
+    ) -> Result<(), PlatformError> {
+        self.add_edge(a, b, cost)?;
+        self.add_edge(b, a, cost)
+    }
+
+    /// Finalizes the platform.
+    pub fn build(self) -> Result<Platform, PlatformError> {
+        if self.names.is_empty() {
+            return Err(PlatformError::Empty);
+        }
+        let n = self.names.len();
+        let mut out_edges = vec![Vec::new(); n];
+        let mut in_edges = vec![Vec::new(); n];
+        for (i, e) in self.edges.iter().enumerate() {
+            out_edges[e.src.index()].push(EdgeId(i as u32));
+            in_edges[e.dst.index()].push(EdgeId(i as u32));
+        }
+        Ok(Platform {
+            names: self.names,
+            edges: self.edges,
+            out_edges,
+            in_edges,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Platform {
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        b.add_edge(v[1], v[2], 2.0).unwrap();
+        b.add_edge(v[2], v[0], 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_counts_and_adjacency() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_neighbors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(1)]);
+        assert_eq!(g.in_neighbors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(g.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn find_edge_and_costs() {
+        let g = triangle();
+        let e = g.find_edge(NodeId(1), NodeId(2)).unwrap();
+        assert_eq!(g.cost(e), 2.0);
+        assert!(g.find_edge(NodeId(0), NodeId(2)).is_none());
+        assert_eq!(g.max_cost(), 2.0);
+        assert_eq!(g.min_cost(), 0.5);
+        assert_eq!(g.out_cost_sum(NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn rejects_invalid_edges() {
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(2);
+        assert_eq!(
+            b.add_edge(v[0], v[0], 1.0),
+            Err(PlatformError::SelfLoop(v[0]))
+        );
+        assert!(matches!(
+            b.add_edge(v[0], v[1], 0.0),
+            Err(PlatformError::InvalidCost { .. })
+        ));
+        assert!(matches!(
+            b.add_edge(v[0], v[1], f64::NAN),
+            Err(PlatformError::InvalidCost { .. })
+        ));
+        assert_eq!(
+            b.add_edge(v[0], NodeId(7), 1.0),
+            Err(PlatformError::UnknownNode(NodeId(7)))
+        );
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        assert!(matches!(
+            b.add_edge(v[0], v[1], 2.0),
+            Err(PlatformError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_platform_is_rejected() {
+        assert_eq!(PlatformBuilder::new().build().err(), Some(PlatformError::Empty));
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let g = triangle();
+        let (sub, old_to_new, new_to_old) = g.induced_subgraph(&[NodeId(0), NodeId(1)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.edge_count(), 1); // only 0 -> 1 survives
+        assert_eq!(new_to_old, vec![NodeId(0), NodeId(1)]);
+        let s = old_to_new[&NodeId(0)];
+        let d = old_to_new[&NodeId(1)];
+        assert_eq!(sub.cost(sub.find_edge(s, d).unwrap()), 1.0);
+    }
+
+    #[test]
+    fn induced_subgraph_dedups_nodes() {
+        let g = triangle();
+        let (sub, _, new_to_old) = g.induced_subgraph(&[NodeId(2), NodeId(2), NodeId(0)]);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(new_to_old, vec![NodeId(2), NodeId(0)]);
+        assert_eq!(sub.edge_count(), 1); // 2 -> 0
+    }
+
+    #[test]
+    fn bidirectional_adds_two_edges() {
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_bidirectional(v[0], v[1], 3.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.find_edge(v[0], v[1]).is_some());
+        assert!(g.find_edge(v[1], v[0]).is_some());
+    }
+
+    #[test]
+    fn adjacency_lists_are_consistent_with_edges() {
+        let g = triangle();
+        for (id, e) in g.edges() {
+            assert!(g.out_edges(e.src).contains(&id));
+            assert!(g.in_edges(e.dst).contains(&id));
+        }
+        let total_out: usize = g.nodes().map(|v| g.out_edges(v).len()).sum();
+        let total_in: usize = g.nodes().map(|v| g.in_edges(v).len()).sum();
+        assert_eq!(total_out, g.edge_count());
+        assert_eq!(total_in, g.edge_count());
+    }
+}

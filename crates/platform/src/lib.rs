@@ -1,0 +1,30 @@
+//! # pm-platform
+//!
+//! Heterogeneous platform model for the *Series of Multicasts* problem of
+//! Beaumont, Legrand, Marchal and Robert (ICPP 2004 / INRIA RR-5123).
+//!
+//! A platform is an edge-weighted directed graph `G = (V, E, c)`: nodes are
+//! processors, and an edge `(Pj, Pk)` with cost `c_{j,k}` means that sending a
+//! unit-size message from `Pj` to `Pk` occupies the *send port* of `Pj` and
+//! the *receive port* of `Pk` for `c_{j,k}` time-units (one-port model).
+//!
+//! The crate provides:
+//!
+//! * [`graph`] — the [`Platform`](graph::Platform) graph itself, a validated
+//!   [`PlatformBuilder`](graph::PlatformBuilder), induced subgraphs and
+//!   node/edge id types,
+//! * [`algo`] — shortest paths, multi-source bottleneck paths (the metric used
+//!   by the MCPH heuristic), reachability,
+//! * [`instances`] — [`MulticastInstance`](instances::MulticastInstance)
+//!   (platform + source + target set) and the reference instances of the
+//!   paper (Figures 1 and 5, tightness gadgets),
+//! * [`topology`] — a Tiers-like hierarchical random topology generator used
+//!   by the evaluation (Section 7 of the paper).
+
+pub mod algo;
+pub mod graph;
+pub mod instances;
+pub mod topology;
+
+pub use graph::{EdgeId, NodeId, Platform, PlatformBuilder, PlatformError};
+pub use instances::MulticastInstance;

@@ -1,0 +1,376 @@
+//! Tiers-like hierarchical random topology generation.
+//!
+//! The paper's evaluation (Section 7) uses platforms produced by the *Tiers*
+//! topology generator [Calvert, Doar, Zegura 1997]: a wide-area backbone
+//! (WAN), metropolitan networks (MANs) hanging off WAN nodes, and local-area
+//! networks (LANs) hanging off MAN nodes. Targets are drawn from the LAN
+//! nodes. Tiers itself is not redistributable, so this module provides a
+//! faithful substitute: a three-level hierarchy with heterogeneous link costs
+//! per level and configurable redundancy, reproducing the properties the
+//! evaluation depends on (shared slow uplinks in front of fast clusters, and
+//! enough alternative paths that multi-tree solutions can beat single trees).
+
+use crate::graph::{NodeId, Platform, PlatformBuilder};
+use crate::instances::MulticastInstance;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// The two platform classes used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlatformClass {
+    /// "Small" platforms: about 30 nodes, 17 of which are LAN nodes.
+    Small,
+    /// "Big" platforms: about 65 nodes, 47 of which are LAN nodes.
+    Big,
+}
+
+/// Parameters of the hierarchical generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopologyParams {
+    /// Number of WAN (backbone) nodes.
+    pub wan_nodes: usize,
+    /// Number of MAN networks (each attached to a WAN node).
+    pub mans: usize,
+    /// Nodes per MAN.
+    pub man_nodes: usize,
+    /// Number of LANs (each attached to a MAN node).
+    pub lans: usize,
+    /// Nodes per LAN (these are the candidate multicast targets).
+    pub lan_nodes: usize,
+    /// Extra redundant WAN links beyond the backbone ring.
+    pub extra_wan_links: usize,
+    /// Extra redundant MAN-to-WAN or MAN-to-MAN links.
+    pub extra_man_links: usize,
+    /// Cost range (min, max) for WAN links.
+    pub wan_cost: (f64, f64),
+    /// Cost range for MAN links and MAN-WAN uplinks.
+    pub man_cost: (f64, f64),
+    /// Cost range for LAN links and LAN-MAN uplinks.
+    pub lan_cost: (f64, f64),
+}
+
+impl TopologyParams {
+    /// Parameters reproducing the paper's "small" class at the paper's scale
+    /// (≈30 nodes, 17 LAN nodes).
+    pub fn paper_small() -> Self {
+        TopologyParams {
+            wan_nodes: 4,
+            mans: 3,
+            man_nodes: 3,
+            lans: 4,
+            lan_nodes: 4,
+            extra_wan_links: 2,
+            extra_man_links: 2,
+            wan_cost: (0.01, 0.1),
+            man_cost: (0.05, 0.5),
+            lan_cost: (0.2, 2.0),
+        }
+    }
+
+    /// Parameters reproducing the paper's "big" class at the paper's scale
+    /// (≈65 nodes, 47 LAN nodes).
+    pub fn paper_big() -> Self {
+        TopologyParams {
+            wan_nodes: 6,
+            mans: 4,
+            man_nodes: 3,
+            lans: 8,
+            lan_nodes: 6,
+            extra_wan_links: 4,
+            extra_man_links: 3,
+            wan_cost: (0.01, 0.1),
+            man_cost: (0.05, 0.5),
+            lan_cost: (0.2, 2.0),
+        }
+    }
+
+    /// A reduced-size "small" class suited to the from-scratch LP solver of
+    /// this repository (the qualitative results are unchanged, see
+    /// EXPERIMENTS.md).
+    pub fn reduced_small() -> Self {
+        TopologyParams {
+            wan_nodes: 3,
+            mans: 2,
+            man_nodes: 2,
+            lans: 3,
+            lan_nodes: 2,
+            extra_wan_links: 1,
+            extra_man_links: 1,
+            wan_cost: (0.01, 0.1),
+            man_cost: (0.05, 0.5),
+            lan_cost: (0.2, 2.0),
+        }
+    }
+
+    /// A reduced-size "big" class (see [`TopologyParams::reduced_small`]).
+    pub fn reduced_big() -> Self {
+        TopologyParams {
+            wan_nodes: 4,
+            mans: 3,
+            man_nodes: 2,
+            lans: 4,
+            lan_nodes: 3,
+            extra_wan_links: 2,
+            extra_man_links: 1,
+            wan_cost: (0.01, 0.1),
+            man_cost: (0.05, 0.5),
+            lan_cost: (0.2, 2.0),
+        }
+    }
+
+    /// Expected total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.wan_nodes + self.mans * self.man_nodes + self.lans * self.lan_nodes
+    }
+}
+
+/// A generated hierarchical platform: the graph plus the role of each node.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedTopology {
+    /// The platform graph (all links are bidirectional with symmetric costs).
+    pub platform: Platform,
+    /// Backbone nodes.
+    pub wan: Vec<NodeId>,
+    /// MAN (metropolitan) nodes.
+    pub man: Vec<NodeId>,
+    /// LAN nodes — the candidate multicast targets of the evaluation.
+    pub lan: Vec<NodeId>,
+}
+
+impl GeneratedTopology {
+    /// Draws a multicast instance: the source is a uniformly random WAN node
+    /// and the targets are a `density` fraction of the LAN nodes (at least
+    /// one target).
+    pub fn sample_instance(&self, density: f64, rng: &mut StdRng) -> MulticastInstance {
+        assert!((0.0..=1.0).contains(&density), "density must be in [0, 1]");
+        let source = *self.wan.choose(rng).expect("topology has WAN nodes");
+        let mut lan = self.lan.clone();
+        lan.shuffle(rng);
+        let count = ((lan.len() as f64 * density).round() as usize).clamp(1, lan.len());
+        let targets = lan[..count].to_vec();
+        MulticastInstance::new(self.platform.clone(), source, targets)
+            .expect("generated topologies are strongly connected")
+    }
+}
+
+/// The Tiers-like generator itself. Construction is deterministic for a given
+/// seed.
+#[derive(Debug, Clone)]
+pub struct TiersLikeGenerator {
+    params: TopologyParams,
+    rng: StdRng,
+}
+
+impl TiersLikeGenerator {
+    /// Creates a generator from explicit parameters and a seed.
+    pub fn new(params: TopologyParams, seed: u64) -> Self {
+        TiersLikeGenerator {
+            params,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a generator for one of the paper's platform classes, at the
+    /// paper's original scale.
+    pub fn paper_scale(class: PlatformClass, seed: u64) -> Self {
+        let params = match class {
+            PlatformClass::Small => TopologyParams::paper_small(),
+            PlatformClass::Big => TopologyParams::paper_big(),
+        };
+        Self::new(params, seed)
+    }
+
+    /// Creates a generator for one of the paper's platform classes, at the
+    /// reduced scale used by this repository's default experiments.
+    pub fn reduced_scale(class: PlatformClass, seed: u64) -> Self {
+        let params = match class {
+            PlatformClass::Small => TopologyParams::reduced_small(),
+            PlatformClass::Big => TopologyParams::reduced_big(),
+        };
+        Self::new(params, seed)
+    }
+
+    /// The parameters of this generator.
+    pub fn params(&self) -> &TopologyParams {
+        &self.params
+    }
+
+    fn cost_in(&mut self, range: (f64, f64)) -> f64 {
+        if (range.1 - range.0).abs() < f64::EPSILON {
+            range.0
+        } else {
+            self.rng.gen_range(range.0..range.1)
+        }
+    }
+
+    /// Generates one topology.
+    pub fn generate(&mut self) -> GeneratedTopology {
+        let p = self.params.clone();
+        let mut b = PlatformBuilder::new();
+
+        // WAN backbone: a ring plus random chords.
+        let wan: Vec<NodeId> = (0..p.wan_nodes)
+            .map(|i| b.add_named_node(&format!("WAN{i}")))
+            .collect();
+        if wan.len() >= 2 {
+            for i in 0..wan.len() {
+                let j = (i + 1) % wan.len();
+                if wan.len() == 2 && i == 1 {
+                    break; // avoid duplicating the single pair edge
+                }
+                let c = self.cost_in(p.wan_cost);
+                b.add_bidirectional(wan[i], wan[j], c).expect("wan ring");
+            }
+        }
+        let mut extra = 0;
+        let mut attempts = 0;
+        while extra < p.extra_wan_links && attempts < 50 && wan.len() >= 3 {
+            attempts += 1;
+            let i = self.rng.gen_range(0..wan.len());
+            let j = self.rng.gen_range(0..wan.len());
+            if i == j {
+                continue;
+            }
+            let c = self.cost_in(p.wan_cost);
+            if b.add_bidirectional(wan[i], wan[j], c).is_ok() {
+                extra += 1;
+            }
+        }
+
+        // MANs: a small star/chain per MAN, attached to a random WAN node.
+        let mut man: Vec<NodeId> = Vec::new();
+        let mut man_heads: Vec<NodeId> = Vec::new();
+        for m in 0..p.mans {
+            let nodes: Vec<NodeId> = (0..p.man_nodes)
+                .map(|i| b.add_named_node(&format!("MAN{m}.{i}")))
+                .collect();
+            for w in nodes.windows(2) {
+                let c = self.cost_in(p.man_cost);
+                b.add_bidirectional(w[0], w[1], c).expect("man chain");
+            }
+            let attach = wan[self.rng.gen_range(0..wan.len())];
+            let c = self.cost_in(p.man_cost);
+            b.add_bidirectional(attach, nodes[0], c).expect("man uplink");
+            man_heads.push(nodes[0]);
+            man.extend(nodes);
+        }
+        // Redundant MAN links (to another WAN node or another MAN head).
+        let mut extra = 0;
+        let mut attempts = 0;
+        while extra < p.extra_man_links && attempts < 50 && !man_heads.is_empty() {
+            attempts += 1;
+            let h = man_heads[self.rng.gen_range(0..man_heads.len())];
+            let target = if self.rng.gen_bool(0.5) || man_heads.len() < 2 {
+                wan[self.rng.gen_range(0..wan.len())]
+            } else {
+                man_heads[self.rng.gen_range(0..man_heads.len())]
+            };
+            if target == h {
+                continue;
+            }
+            let c = self.cost_in(p.man_cost);
+            if b.add_bidirectional(h, target, c).is_ok() {
+                extra += 1;
+            }
+        }
+
+        // LANs: clusters of leaf nodes behind a MAN (or WAN, if no MAN) node.
+        let mut lan: Vec<NodeId> = Vec::new();
+        for l in 0..p.lans {
+            let gateway = if man.is_empty() {
+                wan[self.rng.gen_range(0..wan.len())]
+            } else {
+                man[self.rng.gen_range(0..man.len())]
+            };
+            let nodes: Vec<NodeId> = (0..p.lan_nodes)
+                .map(|i| b.add_named_node(&format!("LAN{l}.{i}")))
+                .collect();
+            for (i, &node) in nodes.iter().enumerate() {
+                let c = self.cost_in(p.lan_cost);
+                b.add_bidirectional(gateway, node, c).expect("lan uplink");
+                // A little intra-LAN connectivity so LAN nodes can relay.
+                if i > 0 {
+                    let c = self.cost_in(p.lan_cost);
+                    b.add_bidirectional(nodes[i - 1], node, c).expect("lan link");
+                }
+            }
+            lan.extend(nodes);
+        }
+
+        let platform = b.build().expect("generated platform is non-empty");
+        GeneratedTopology { platform, wan, man, lan }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::all_reachable;
+
+    #[test]
+    fn paper_small_size_matches_paper() {
+        let p = TopologyParams::paper_small();
+        // ≈30 nodes total, ≈17 LAN nodes (the paper: 30 and 17).
+        assert_eq!(p.node_count(), 4 + 9 + 16);
+        assert_eq!(p.lans * p.lan_nodes, 16);
+    }
+
+    #[test]
+    fn paper_big_size_matches_paper() {
+        let p = TopologyParams::paper_big();
+        assert_eq!(p.node_count(), 6 + 12 + 48);
+        assert_eq!(p.lans * p.lan_nodes, 48);
+    }
+
+    #[test]
+    fn generation_is_deterministic_for_a_seed() {
+        let a = TiersLikeGenerator::reduced_scale(PlatformClass::Small, 42).generate();
+        let b = TiersLikeGenerator::reduced_scale(PlatformClass::Small, 42).generate();
+        assert_eq!(a.platform.node_count(), b.platform.node_count());
+        assert_eq!(a.platform.edge_count(), b.platform.edge_count());
+        let costs_a: Vec<f64> = a.platform.edges().map(|(_, e)| e.cost).collect();
+        let costs_b: Vec<f64> = b.platform.edges().map(|(_, e)| e.cost).collect();
+        assert_eq!(costs_a, costs_b);
+    }
+
+    #[test]
+    fn every_node_is_reachable_from_every_wan_node() {
+        for seed in 0..5 {
+            let topo = TiersLikeGenerator::reduced_scale(PlatformClass::Big, seed).generate();
+            let all: Vec<NodeId> = topo.platform.nodes().collect();
+            for &w in &topo.wan {
+                assert!(all_reachable(&topo.platform, w, &all), "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_instances_respect_density() {
+        let mut gen = TiersLikeGenerator::reduced_scale(PlatformClass::Small, 7);
+        let topo = gen.generate();
+        let mut rng = StdRng::seed_from_u64(1);
+        let inst_low = topo.sample_instance(0.0, &mut rng);
+        assert_eq!(inst_low.target_count(), 1);
+        let inst_full = topo.sample_instance(1.0, &mut rng);
+        assert_eq!(inst_full.target_count(), topo.lan.len());
+        let inst_half = topo.sample_instance(0.5, &mut rng);
+        assert_eq!(inst_half.target_count(), (topo.lan.len() as f64 * 0.5).round() as usize);
+        // Targets are LAN nodes only.
+        for t in &inst_half.targets {
+            assert!(topo.lan.contains(t));
+        }
+    }
+
+    #[test]
+    fn link_costs_are_within_the_configured_ranges() {
+        let params = TopologyParams::reduced_big();
+        let topo = TiersLikeGenerator::new(params.clone(), 3).generate();
+        let min = params.wan_cost.0.min(params.man_cost.0).min(params.lan_cost.0);
+        let max = params.wan_cost.1.max(params.man_cost.1).max(params.lan_cost.1);
+        for (_, e) in topo.platform.edges() {
+            assert!(e.cost >= min && e.cost <= max);
+        }
+    }
+}

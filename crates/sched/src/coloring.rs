@@ -1,0 +1,526 @@
+//! Weighted bipartite edge coloring under the one-port model.
+//!
+//! Given a set of communication tasks (sender, receiver, duration), the
+//! one-port model forbids a node from being involved in two sends (or two
+//! receives) at the same instant. The weighted version of König's edge
+//! coloring theorem states that all the tasks can be scheduled — allowing
+//! preemption — within a makespan equal to the largest *port load*, i.e. the
+//! maximum over nodes of the total send duration or total receive duration.
+//!
+//! The paper relies on this result twice: to check certificates in the
+//! NP-membership proofs (Theorems 1 and 3) and to turn LP solutions or
+//! weighted tree sets into actual periodic schedules. The procedure below is
+//! the classical constructive proof: repeatedly extract a matching of the
+//! bipartite (send-port, receive-port) multigraph that covers every
+//! *critical* (maximally loaded) port, schedule it for as long as possible,
+//! and recurse on the remaining durations. The number of produced slots is
+//! polynomial in the number of tasks.
+
+use pm_platform::graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+const EPS: f64 = 1e-9;
+
+/// One communication task: `src` sends to `dst` for `duration` time-units in
+/// total (possibly split across several slots of the resulting schedule).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommTask {
+    /// Sending node.
+    pub src: NodeId,
+    /// Receiving node.
+    pub dst: NodeId,
+    /// Total communication time required.
+    pub duration: f64,
+    /// Free-form tag propagated to the schedule (e.g. the index of the
+    /// multicast tree this transfer belongs to).
+    pub tag: usize,
+}
+
+/// One slot of the colored schedule: all assignments in a slot run in
+/// parallel, which is legal because they form a matching of the port graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColorSlot {
+    /// Length of the slot.
+    pub duration: f64,
+    /// `(task index, time used)` pairs; `time used` always equals the slot
+    /// duration except possibly for bookkeeping of numerically tiny residues.
+    pub assignments: Vec<(usize, f64)>,
+}
+
+/// The result of [`schedule_tasks`]: an ordered list of slots whose total
+/// duration (the makespan) matches the maximum port load.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColoredSchedule {
+    /// Total length of the schedule.
+    pub makespan: f64,
+    /// The slots, in chronological order.
+    pub slots: Vec<ColorSlot>,
+}
+
+impl ColoredSchedule {
+    /// Verifies that the schedule is one-port compliant (no port reused
+    /// within a slot) and that every task received its full duration.
+    pub fn validate(&self, tasks: &[CommTask], tol: f64) -> bool {
+        let mut done = vec![0.0; tasks.len()];
+        for slot in &self.slots {
+            let mut senders = Vec::new();
+            let mut receivers = Vec::new();
+            for &(idx, used) in &slot.assignments {
+                if idx >= tasks.len() || used > slot.duration + tol {
+                    return false;
+                }
+                let t = &tasks[idx];
+                if senders.contains(&t.src) || receivers.contains(&t.dst) {
+                    return false;
+                }
+                senders.push(t.src);
+                receivers.push(t.dst);
+                done[idx] += used;
+            }
+        }
+        tasks
+            .iter()
+            .zip(&done)
+            .all(|(t, &d)| (d - t.duration).abs() <= tol * (1.0 + t.duration))
+    }
+}
+
+/// Port loads of the remaining work, separately for send ports and receive
+/// ports.
+fn port_loads(num_nodes: usize, tasks: &[CommTask], remaining: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut send = vec![0.0; num_nodes];
+    let mut recv = vec![0.0; num_nodes];
+    for (t, &r) in tasks.iter().zip(remaining) {
+        if r > EPS {
+            send[t.src.index()] += r;
+            recv[t.dst.index()] += r;
+        }
+    }
+    (send, recv)
+}
+
+/// Finds a matching (one task per send port, one per receive port) covering
+/// every critical port. `critical_send[i]`/`critical_recv[i]` flag the ports
+/// whose load equals the current maximum.
+///
+/// The construction is the classical one: start from a maximum matching, then
+/// for every uncovered critical port flip an alternating path that ends, with
+/// a matching edge, at a *non-critical* port of the same side. Such a path
+/// always exists when the critical ports carry the maximum load, so the
+/// returned matching covers every critical port.
+fn critical_matching(
+    num_nodes: usize,
+    tasks: &[CommTask],
+    remaining: &[f64],
+    critical_send: &[bool],
+    critical_recv: &[bool],
+) -> Vec<Option<usize>> {
+    // matched_send[s] = task index currently matched at send port s.
+    let mut matched_send: Vec<Option<usize>> = vec![None; num_nodes];
+    let mut matched_recv: Vec<Option<usize>> = vec![None; num_nodes];
+
+    // Incidence lists restricted to tasks with work left.
+    let mut by_send: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    let mut by_recv: Vec<Vec<usize>> = vec![Vec::new(); num_nodes];
+    for (i, t) in tasks.iter().enumerate() {
+        if remaining[i] > EPS {
+            by_send[t.src.index()].push(i);
+            by_recv[t.dst.index()].push(i);
+        }
+    }
+
+    // Standard augmenting-path maximum matching built from the send side.
+    fn try_augment(
+        s: usize,
+        by_send: &[Vec<usize>],
+        tasks: &[CommTask],
+        matched_send: &mut Vec<Option<usize>>,
+        matched_recv: &mut Vec<Option<usize>>,
+        visited_recv: &mut Vec<bool>,
+    ) -> bool {
+        for &task_idx in &by_send[s] {
+            let r = tasks[task_idx].dst.index();
+            if visited_recv[r] {
+                continue;
+            }
+            visited_recv[r] = true;
+            let free = match matched_recv[r] {
+                None => true,
+                Some(other_task) => {
+                    let other_send = tasks[other_task].src.index();
+                    try_augment(other_send, by_send, tasks, matched_send, matched_recv, visited_recv)
+                }
+            };
+            if free {
+                matched_send[s] = Some(task_idx);
+                matched_recv[r] = Some(task_idx);
+                return true;
+            }
+        }
+        false
+    }
+
+    for s in 0..num_nodes {
+        if by_send[s].is_empty() || matched_send[s].is_some() {
+            continue;
+        }
+        let mut visited = vec![false; num_nodes];
+        try_augment(s, &by_send, tasks, &mut matched_send, &mut matched_recv, &mut visited);
+    }
+
+    // Repair from the send side: cover every critical, uncovered send port by
+    // flipping an alternating path  s0 -e1- r1 -m1- s1 -e2- r2 -m2- s2 ...
+    // that stops at the first s_k which is non-critical (s_k loses its match,
+    // everything else stays covered and s0 becomes covered).
+    repair_side(
+        num_nodes,
+        tasks,
+        critical_send,
+        &by_send,
+        &mut matched_send,
+        &mut matched_recv,
+        true,
+    );
+    // Symmetric repair from the receive side.
+    repair_side(
+        num_nodes,
+        tasks,
+        critical_recv,
+        &by_recv,
+        &mut matched_recv,
+        &mut matched_send,
+        false,
+    );
+
+    matched_send
+}
+
+/// Flips alternating paths so that every critical port of one side becomes
+/// covered. `incidence` lists the usable tasks per port of that side;
+/// `matched_this` / `matched_other` are the matching maps of this side and of
+/// the opposite side. `from_send_side` selects how task endpoints map to the
+/// two sides.
+#[allow(clippy::too_many_arguments)]
+fn repair_side(
+    num_nodes: usize,
+    tasks: &[CommTask],
+    critical: &[bool],
+    incidence: &[Vec<usize>],
+    matched_this: &mut [Option<usize>],
+    matched_other: &mut [Option<usize>],
+    from_send_side: bool,
+) {
+    let this_port = |task: &CommTask| if from_send_side { task.src.index() } else { task.dst.index() };
+    let other_port = |task: &CommTask| if from_send_side { task.dst.index() } else { task.src.index() };
+
+    for start in 0..num_nodes {
+        if !critical[start] || matched_this[start].is_some() || incidence[start].is_empty() {
+            continue;
+        }
+        // DFS over alternating paths. Stack entries: (port on this side, path
+        // of (non-matching task, matching task) pairs used to reach it).
+        let mut visited_this = vec![false; num_nodes];
+        visited_this[start] = true;
+        let mut stack: Vec<(usize, Vec<(usize, usize)>)> = vec![(start, Vec::new())];
+        'dfs: while let Some((s, path)) = stack.pop() {
+            for &e in &incidence[s] {
+                let r = other_port(&tasks[e]);
+                match matched_other[r] {
+                    None => {
+                        // Augmenting path: flip the non-matching edges.
+                        apply_flip(&path, tasks, matched_this, matched_other, this_port, other_port, None);
+                        matched_this[s] = Some(e);
+                        matched_other[r] = Some(e);
+                        // `start` is covered through the flipped path (or is
+                        // `s` itself when the path is empty).
+                        break 'dfs;
+                    }
+                    Some(m) => {
+                        let s_next = this_port(&tasks[m]);
+                        if s_next == s || visited_this[s_next] {
+                            continue;
+                        }
+                        let mut new_path = path.clone();
+                        new_path.push((e, m));
+                        if !critical[s_next] {
+                            // Flip: s_next gives up its match, every other
+                            // port on the path stays covered, start is now
+                            // covered.
+                            apply_flip(
+                                &new_path,
+                                tasks,
+                                matched_this,
+                                matched_other,
+                                this_port,
+                                other_port,
+                                Some(s_next),
+                            );
+                            break 'dfs;
+                        }
+                        visited_this[s_next] = true;
+                        stack.push((s_next, new_path));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Applies the flip of an alternating path described by `(non_matching_task,
+/// matching_task)` pairs: each non-matching task becomes matched, each
+/// matching task becomes unmatched, and `released` (if any) ends up uncovered
+/// on "this" side.
+fn apply_flip(
+    path: &[(usize, usize)],
+    tasks: &[CommTask],
+    matched_this: &mut [Option<usize>],
+    matched_other: &mut [Option<usize>],
+    this_port: impl Fn(&CommTask) -> usize,
+    other_port: impl Fn(&CommTask) -> usize,
+    released: Option<usize>,
+) {
+    for &(e, _m) in path {
+        let sp = this_port(&tasks[e]);
+        let rp = other_port(&tasks[e]);
+        matched_this[sp] = Some(e);
+        matched_other[rp] = Some(e);
+    }
+    if let Some(rel) = released {
+        // The released port's former matching task is superseded above; only
+        // clear it if nothing re-matched it (it is the last port of the path).
+        let still = matched_this[rel];
+        if let Some(task_idx) = still {
+            let rp = other_port(&tasks[task_idx]);
+            if matched_other[rp] != Some(task_idx) {
+                matched_this[rel] = None;
+            } else {
+                // The path did not actually go through `rel`'s match; keep it.
+            }
+        }
+    }
+}
+
+/// Schedules all tasks preemptively under the one-port model.
+///
+/// The resulting makespan equals the maximum port load whenever the matching
+/// extraction succeeds in covering every critical port at every step (which
+/// the König argument guarantees for bipartite multigraphs); a small safety
+/// margin above the bound can appear on numerically degenerate inputs, and
+/// [`ColoredSchedule::validate`] always holds.
+pub fn schedule_tasks(num_nodes: usize, tasks: &[CommTask]) -> ColoredSchedule {
+    let mut remaining: Vec<f64> = tasks.iter().map(|t| t.duration.max(0.0)).collect();
+    let mut slots = Vec::new();
+    let mut makespan = 0.0;
+
+    let max_slots = 4 * (tasks.len() + 1) * (num_nodes + 1);
+    for _ in 0..max_slots {
+        let (send, recv) = port_loads(num_nodes, tasks, &remaining);
+        let max_load = send
+            .iter()
+            .chain(recv.iter())
+            .copied()
+            .fold(0.0, f64::max);
+        if max_load <= EPS {
+            break;
+        }
+        let critical_send: Vec<bool> = send.iter().map(|&l| l >= max_load - EPS).collect();
+        let critical_recv: Vec<bool> = recv.iter().map(|&l| l >= max_load - EPS).collect();
+
+        let matched_send = critical_matching(num_nodes, tasks, &remaining, &critical_send, &critical_recv);
+        let matched: Vec<usize> = matched_send.iter().filter_map(|&m| m).collect();
+        if matched.is_empty() {
+            break;
+        }
+
+        // Largest slot duration that keeps the critical ports critical:
+        //  - no matched task may run longer than its remaining duration,
+        //  - no uncovered port may become the (strictly) most loaded port.
+        let mut delta = matched
+            .iter()
+            .map(|&i| remaining[i])
+            .fold(f64::INFINITY, f64::min);
+        let mut covered_send = vec![false; num_nodes];
+        let mut covered_recv = vec![false; num_nodes];
+        for &i in &matched {
+            covered_send[tasks[i].src.index()] = true;
+            covered_recv[tasks[i].dst.index()] = true;
+        }
+        let mut uncovered_max: f64 = 0.0;
+        for v in 0..num_nodes {
+            if !covered_send[v] {
+                uncovered_max = uncovered_max.max(send[v]);
+            }
+            if !covered_recv[v] {
+                uncovered_max = uncovered_max.max(recv[v]);
+            }
+        }
+        let slack = max_load - uncovered_max;
+        if uncovered_max > EPS && slack > EPS {
+            delta = delta.min(slack);
+        }
+        if !delta.is_finite() || delta <= 0.0 {
+            break;
+        }
+
+        let assignments: Vec<(usize, f64)> = matched
+            .iter()
+            .map(|&i| {
+                let used = delta.min(remaining[i]);
+                (i, used)
+            })
+            .collect();
+        for &(i, used) in &assignments {
+            remaining[i] -= used;
+            if remaining[i] < EPS {
+                remaining[i] = 0.0;
+            }
+        }
+        makespan += delta;
+        slots.push(ColorSlot { duration: delta, assignments });
+    }
+
+    ColoredSchedule { makespan, slots }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn task(src: u32, dst: u32, duration: f64) -> CommTask {
+        CommTask {
+            src: NodeId(src),
+            dst: NodeId(dst),
+            duration,
+            tag: 0,
+        }
+    }
+
+    fn max_port_load(num_nodes: usize, tasks: &[CommTask]) -> f64 {
+        let remaining: Vec<f64> = tasks.iter().map(|t| t.duration).collect();
+        let (send, recv) = port_loads(num_nodes, tasks, &remaining);
+        send.iter().chain(recv.iter()).copied().fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn single_task_takes_its_duration() {
+        let tasks = vec![task(0, 1, 2.5)];
+        let sched = schedule_tasks(2, &tasks);
+        assert!((sched.makespan - 2.5).abs() < 1e-9);
+        assert!(sched.validate(&tasks, 1e-9));
+    }
+
+    #[test]
+    fn independent_tasks_run_in_parallel() {
+        let tasks = vec![task(0, 1, 1.0), task(2, 3, 1.0)];
+        let sched = schedule_tasks(4, &tasks);
+        assert!((sched.makespan - 1.0).abs() < 1e-9);
+        assert!(sched.validate(&tasks, 1e-9));
+        assert_eq!(sched.slots.len(), 1);
+        assert_eq!(sched.slots[0].assignments.len(), 2);
+    }
+
+    #[test]
+    fn same_sender_tasks_are_serialized() {
+        let tasks = vec![task(0, 1, 1.0), task(0, 2, 2.0)];
+        let sched = schedule_tasks(3, &tasks);
+        assert!((sched.makespan - 3.0).abs() < 1e-9);
+        assert!(sched.validate(&tasks, 1e-9));
+    }
+
+    #[test]
+    fn same_receiver_tasks_are_serialized() {
+        let tasks = vec![task(0, 2, 1.5), task(1, 2, 0.5)];
+        let sched = schedule_tasks(3, &tasks);
+        assert!((sched.makespan - 2.0).abs() < 1e-9);
+        assert!(sched.validate(&tasks, 1e-9));
+    }
+
+    #[test]
+    fn send_and_receive_can_overlap_on_the_same_node() {
+        // Node 1 receives from 0 and sends to 2: legal simultaneously.
+        let tasks = vec![task(0, 1, 1.0), task(1, 2, 1.0)];
+        let sched = schedule_tasks(3, &tasks);
+        assert!((sched.makespan - 1.0).abs() < 1e-9);
+        assert!(sched.validate(&tasks, 1e-9));
+    }
+
+    #[test]
+    fn ring_exchange_achieves_the_port_load_bound() {
+        // 0 -> 1, 1 -> 2, 2 -> 0, all duration 1: perfectly parallel.
+        let tasks = vec![task(0, 1, 1.0), task(1, 2, 1.0), task(2, 0, 1.0)];
+        let sched = schedule_tasks(3, &tasks);
+        assert!((sched.makespan - 1.0).abs() < 1e-9);
+        assert!(sched.validate(&tasks, 1e-9));
+    }
+
+    #[test]
+    fn figure1_like_mix_meets_the_bound() {
+        // The per-edge occupations of the optimal Figure 1 solution (one
+        // time-unit of steady state): max port load is exactly 1.
+        let tasks = vec![
+            task(0, 1, 0.5),
+            task(0, 3, 0.5),
+            task(3, 2, 0.5),
+            task(2, 1, 0.5),
+            task(3, 4, 0.5),
+            task(4, 5, 1.0),
+            task(5, 6, 0.5),
+            task(2, 6, 0.5),
+            task(6, 7, 1.0),
+            task(1, 11, 1.0),
+            task(7, 8, 0.2),
+            task(7, 9, 0.2),
+            task(7, 10, 0.2),
+            task(11, 12, 0.1),
+            task(11, 13, 0.1),
+        ];
+        let bound = max_port_load(14, &tasks);
+        assert!((bound - 1.0).abs() < 1e-9);
+        let sched = schedule_tasks(14, &tasks);
+        assert!(sched.validate(&tasks, 1e-9));
+        assert!(
+            sched.makespan <= bound + 1e-6,
+            "makespan {} exceeds the König bound {}",
+            sched.makespan,
+            bound
+        );
+    }
+
+    #[test]
+    fn zero_duration_tasks_are_ignored() {
+        let tasks = vec![task(0, 1, 0.0), task(0, 2, 1.0)];
+        let sched = schedule_tasks(3, &tasks);
+        assert!((sched.makespan - 1.0).abs() < 1e-9);
+        assert!(sched.validate(&tasks, 1e-9));
+    }
+
+    #[test]
+    fn randomised_instances_meet_the_bound() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(3..10usize);
+            let m = rng.gen_range(1..25usize);
+            let tasks: Vec<CommTask> = (0..m)
+                .map(|_| {
+                    let src = rng.gen_range(0..n) as u32;
+                    let mut dst = rng.gen_range(0..n) as u32;
+                    while dst == src {
+                        dst = rng.gen_range(0..n) as u32;
+                    }
+                    task(src, dst, rng.gen_range(0.05..2.0))
+                })
+                .collect();
+            let bound = max_port_load(n, &tasks);
+            let sched = schedule_tasks(n, &tasks);
+            assert!(sched.validate(&tasks, 1e-7), "seed {seed}: invalid schedule");
+            assert!(
+                sched.makespan <= bound * (1.0 + 1e-6) + 1e-6,
+                "seed {seed}: makespan {} exceeds bound {}",
+                sched.makespan,
+                bound
+            );
+        }
+    }
+}

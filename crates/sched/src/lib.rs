@@ -1,0 +1,25 @@
+//! # pm-sched
+//!
+//! Scheduling primitives for the *Series of Multicasts* problem under the
+//! one-port model:
+//!
+//! * [`tree`] — multicast trees and weighted combinations of trees, with the
+//!   per-node send/receive occupation they induce in steady state (the
+//!   quantity the paper's heuristics minimize),
+//! * [`load`] — one-port port-occupation accounting shared by trees, LP flows
+//!   and schedules,
+//! * [`coloring`] — the weighted bipartite edge-coloring (König) procedure
+//!   used in the paper's NP-membership proofs to orchestrate all the
+//!   communications of a period without violating the one-port constraints,
+//! * [`schedule`] — explicit periodic schedules built from weighted tree sets
+//!   via the coloring, ready to be replayed by the `pm-sim` simulator.
+
+pub mod coloring;
+pub mod load;
+pub mod schedule;
+pub mod tree;
+
+pub use coloring::{schedule_tasks, ColoredSchedule, CommTask};
+pub use load::OnePortLoads;
+pub use schedule::{PeriodicSchedule, ScheduleError, ScheduleSlot, Transfer};
+pub use tree::{MulticastTree, TreeError, WeightedTreeSet};

@@ -1,0 +1,139 @@
+//! One-port port-occupation accounting.
+//!
+//! Under the one-port model, a node can be busy sending to at most one
+//! neighbour and receiving from at most one neighbour at any instant. Over a
+//! period of one time-unit, the total time a node spends sending (resp.
+//! receiving) therefore cannot exceed 1. This module accumulates those
+//! occupations from per-edge message rates.
+
+use pm_platform::graph::{NodeId, Platform};
+use serde::{Deserialize, Serialize};
+
+/// Per-node send-port and receive-port occupation (in time-units per
+/// time-unit of steady state, i.e. a value of 1 means the port is saturated).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnePortLoads {
+    send: Vec<f64>,
+    recv: Vec<f64>,
+}
+
+impl OnePortLoads {
+    /// Creates zero loads for a platform with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        OnePortLoads {
+            send: vec![0.0; num_nodes],
+            recv: vec![0.0; num_nodes],
+        }
+    }
+
+    /// Accumulates loads from per-edge message rates: `rate[e]` messages per
+    /// time-unit on edge `e` occupy the sender and receiver ports for
+    /// `rate[e] * cost(e)` each.
+    pub fn from_edge_rates(platform: &Platform, rates: &[f64]) -> Self {
+        assert_eq!(rates.len(), platform.edge_count(), "one rate per edge");
+        let mut loads = OnePortLoads::new(platform.node_count());
+        for (id, edge) in platform.edges() {
+            let occupation = rates[id.index()] * edge.cost;
+            loads.send[edge.src.index()] += occupation;
+            loads.recv[edge.dst.index()] += occupation;
+        }
+        loads
+    }
+
+    /// Adds `occupation` time-units of sending at `src` and receiving at `dst`.
+    pub fn add_transfer(&mut self, src: NodeId, dst: NodeId, occupation: f64) {
+        self.send[src.index()] += occupation;
+        self.recv[dst.index()] += occupation;
+    }
+
+    /// Send-port occupation of a node.
+    pub fn send(&self, node: NodeId) -> f64 {
+        self.send[node.index()]
+    }
+
+    /// Receive-port occupation of a node.
+    pub fn recv(&self, node: NodeId) -> f64 {
+        self.recv[node.index()]
+    }
+
+    /// The largest port occupation over all nodes and both port kinds.
+    ///
+    /// For a set of communications to be schedulable within `T` time-units,
+    /// `max_load() <= T` is necessary; the weighted König edge-coloring shows
+    /// it is also sufficient (see [`crate::coloring`]).
+    pub fn max_load(&self) -> f64 {
+        let s = self.send.iter().copied().fold(0.0, f64::max);
+        let r = self.recv.iter().copied().fold(0.0, f64::max);
+        s.max(r)
+    }
+
+    /// Whether all port occupations are at most `budget` (+ `tol`).
+    pub fn fits_within(&self, budget: f64, tol: f64) -> bool {
+        self.max_load() <= budget + tol
+    }
+
+    /// Returns a copy with every occupation multiplied by `factor` (e.g. to
+    /// turn absolute busy times into utilizations).
+    pub fn scaled(&self, factor: f64) -> OnePortLoads {
+        OnePortLoads {
+            send: self.send.iter().map(|v| v * factor).collect(),
+            recv: self.recv.iter().map(|v| v * factor).collect(),
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.send.len()
+    }
+
+    /// Whether the structure tracks zero nodes.
+    pub fn is_empty(&self) -> bool {
+        self.send.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_platform::graph::PlatformBuilder;
+
+    fn path3() -> Platform {
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_edge(v[0], v[1], 2.0).unwrap();
+        b.add_edge(v[1], v[2], 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn accumulates_from_edge_rates() {
+        let g = path3();
+        let loads = OnePortLoads::from_edge_rates(&g, &[0.25, 1.0]);
+        assert_eq!(loads.send(NodeId(0)), 0.5);
+        assert_eq!(loads.recv(NodeId(1)), 0.5);
+        assert_eq!(loads.send(NodeId(1)), 0.5);
+        assert_eq!(loads.recv(NodeId(2)), 0.5);
+        assert_eq!(loads.max_load(), 0.5);
+        assert!(loads.fits_within(0.5, 1e-12));
+        assert!(!loads.fits_within(0.4, 1e-12));
+    }
+
+    #[test]
+    fn add_transfer_accumulates_both_ports() {
+        let mut loads = OnePortLoads::new(3);
+        loads.add_transfer(NodeId(0), NodeId(1), 0.3);
+        loads.add_transfer(NodeId(0), NodeId(2), 0.4);
+        loads.add_transfer(NodeId(2), NodeId(1), 0.5);
+        assert_eq!(loads.send(NodeId(0)), 0.7);
+        assert_eq!(loads.recv(NodeId(1)), 0.8);
+        assert_eq!(loads.send(NodeId(2)), 0.5);
+        assert_eq!(loads.max_load(), 0.8);
+    }
+
+    #[test]
+    #[should_panic(expected = "one rate per edge")]
+    fn rejects_wrong_rate_arity() {
+        let g = path3();
+        let _ = OnePortLoads::from_edge_rates(&g, &[1.0]);
+    }
+}

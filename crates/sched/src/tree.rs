@@ -1,0 +1,479 @@
+//! Multicast trees and weighted combinations of trees.
+//!
+//! A *multicast tree* is a tree rooted at the source, built from platform
+//! edges, that spans every target (Section 3 of the paper). Used alone for a
+//! series of multicasts at rate `ρ`, it occupies the send port of each node
+//! `Pi` for `ρ · Σ_{(i,j) ∈ tree} c_{i,j}` per time-unit and its receive port
+//! for `ρ · c_{parent(i), i}`; the best sustainable rate is therefore the
+//! inverse of the largest such occupation for `ρ = 1`, which is what
+//! [`MulticastTree::period`] computes.
+//!
+//! The paper's key observation (Section 3) is that a *weighted combination*
+//! of trees — [`WeightedTreeSet`] — can beat every single tree; Theorem 4
+//! shows an optimal combination with at most `2|E|` trees always exists.
+
+use crate::load::OnePortLoads;
+use pm_platform::graph::{EdgeId, NodeId, Platform};
+use pm_platform::instances::MulticastInstance;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors raised while validating a multicast tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeError {
+    /// An edge id does not exist in the platform.
+    UnknownEdge(EdgeId),
+    /// Two tree edges enter the same node (the edge set is not a tree).
+    MultipleParents(NodeId),
+    /// The source has an incoming tree edge.
+    SourceHasParent,
+    /// A tree edge's origin is not connected to the source through tree edges.
+    Disconnected(NodeId),
+    /// A target is not covered by the tree.
+    TargetNotCovered(NodeId),
+    /// A tree weight is negative or not finite.
+    InvalidWeight(f64),
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
+            TreeError::MultipleParents(n) => write!(f, "node {n} has several parents"),
+            TreeError::SourceHasParent => write!(f, "the source has an incoming tree edge"),
+            TreeError::Disconnected(n) => write!(f, "tree edge from {n} is not connected to the source"),
+            TreeError::TargetNotCovered(n) => write!(f, "target {n} is not covered by the tree"),
+            TreeError::InvalidWeight(w) => write!(f, "invalid tree weight {w}"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// A multicast tree: a set of platform edges forming a tree rooted at the
+/// source and spanning every target of the instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticastTree {
+    /// Root of the tree (the multicast source).
+    pub source: NodeId,
+    /// The tree edges, as platform edge ids.
+    edges: Vec<EdgeId>,
+}
+
+impl MulticastTree {
+    /// Builds and validates a multicast tree from a set of platform edges.
+    ///
+    /// The edge set must form a tree rooted at `instance.source` (each
+    /// non-root node involved has exactly one incoming edge, every edge is
+    /// reachable from the root through tree edges) and must cover every
+    /// target of the instance.
+    pub fn new(instance: &MulticastInstance, edges: Vec<EdgeId>) -> Result<Self, TreeError> {
+        let platform = &instance.platform;
+        let n = platform.node_count();
+        let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+        let mut edge_set: HashSet<EdgeId> = HashSet::with_capacity(edges.len());
+        for &e in &edges {
+            if e.index() >= platform.edge_count() {
+                return Err(TreeError::UnknownEdge(e));
+            }
+            if !edge_set.insert(e) {
+                continue; // ignore duplicates
+            }
+            let dst = platform.edge(e).dst;
+            if dst == instance.source {
+                return Err(TreeError::SourceHasParent);
+            }
+            if parent[dst.index()].is_some() {
+                return Err(TreeError::MultipleParents(dst));
+            }
+            parent[dst.index()] = Some(e);
+        }
+        let edges: Vec<EdgeId> = edge_set.into_iter().collect();
+        // Connectivity: walk up from each edge's source until the root; every
+        // node on the way must have a parent (or be the root).
+        let mut reach_cache: Vec<bool> = vec![false; n];
+        reach_cache[instance.source.index()] = true;
+        for &e in &edges {
+            let mut cur = platform.edge(e).src;
+            let mut chain = Vec::new();
+            while !reach_cache[cur.index()] {
+                chain.push(cur);
+                match parent[cur.index()] {
+                    Some(pe) => cur = platform.edge(pe).src,
+                    None => return Err(TreeError::Disconnected(platform.edge(e).src)),
+                }
+                if chain.len() > n {
+                    return Err(TreeError::Disconnected(platform.edge(e).src));
+                }
+            }
+            for v in chain {
+                reach_cache[v.index()] = true;
+            }
+        }
+        // Coverage of targets.
+        for &t in &instance.targets {
+            if parent[t.index()].is_none() {
+                return Err(TreeError::TargetNotCovered(t));
+            }
+        }
+        let mut sorted = edges;
+        sorted.sort_unstable();
+        Ok(MulticastTree {
+            source: instance.source,
+            edges: sorted,
+        })
+    }
+
+    /// The tree edges (sorted by edge id).
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges in the tree.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether the tree has no edges (only possible when the source is the
+    /// only covered node, which a valid instance never allows).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Whether `node` is covered by the tree (it is the root or has a parent
+    /// edge).
+    pub fn covers(&self, platform: &Platform, node: NodeId) -> bool {
+        node == self.source || self.edges.iter().any(|&e| platform.edge(e).dst == node)
+    }
+
+    /// The parent edge of `node` in the tree, if any.
+    pub fn parent_edge(&self, platform: &Platform, node: NodeId) -> Option<EdgeId> {
+        self.edges
+            .iter()
+            .copied()
+            .find(|&e| platform.edge(e).dst == node)
+    }
+
+    /// One-port loads induced by using this tree at a rate of one multicast
+    /// per time-unit.
+    pub fn unit_loads(&self, platform: &Platform) -> OnePortLoads {
+        let mut loads = OnePortLoads::new(platform.node_count());
+        for &e in &self.edges {
+            let edge = platform.edge(e);
+            loads.add_transfer(edge.src, edge.dst, edge.cost);
+        }
+        loads
+    }
+
+    /// The steady-state period of this tree: the time needed per multicast
+    /// when this tree alone carries the whole series. It is the largest
+    /// one-port port occupation at rate 1.
+    pub fn period(&self, platform: &Platform) -> f64 {
+        self.unit_loads(platform).max_load()
+    }
+
+    /// The steady-state throughput of this tree (`1 / period`).
+    pub fn throughput(&self, platform: &Platform) -> f64 {
+        1.0 / self.period(platform)
+    }
+
+    /// The classical Steiner cost of the tree: the sum of its edge costs.
+    /// Not the metric optimized in the paper, but the baseline metric of the
+    /// Steiner-tree heuristics revisited in Section 6.
+    pub fn steiner_cost(&self, platform: &Platform) -> f64 {
+        self.edges.iter().map(|&e| platform.cost(e)).sum()
+    }
+}
+
+/// A weighted combination of multicast trees: tree `k` carries `weight[k]`
+/// multicasts per time-unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeightedTreeSet {
+    trees: Vec<MulticastTree>,
+    weights: Vec<f64>,
+}
+
+impl WeightedTreeSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        WeightedTreeSet {
+            trees: Vec::new(),
+            weights: Vec::new(),
+        }
+    }
+
+    /// Adds a tree with the given weight (multicasts per time-unit).
+    pub fn push(&mut self, tree: MulticastTree, weight: f64) -> Result<(), TreeError> {
+        if !(weight.is_finite() && weight >= 0.0) {
+            return Err(TreeError::InvalidWeight(weight));
+        }
+        self.trees.push(tree);
+        self.weights.push(weight);
+        Ok(())
+    }
+
+    /// The trees in the set.
+    pub fn trees(&self) -> &[MulticastTree] {
+        &self.trees
+    }
+
+    /// The weights, aligned with [`WeightedTreeSet::trees`].
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the set contains no tree.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Total throughput `Σ_k y_k` (multicasts initiated per time-unit).
+    pub fn throughput(&self) -> f64 {
+        self.weights.iter().sum()
+    }
+
+    /// Aggregated one-port loads per time-unit of steady state.
+    pub fn loads(&self, platform: &Platform) -> OnePortLoads {
+        let mut loads = OnePortLoads::new(platform.node_count());
+        for (tree, &w) in self.trees.iter().zip(&self.weights) {
+            for &e in tree.edges() {
+                let edge = platform.edge(e);
+                loads.add_transfer(edge.src, edge.dst, w * edge.cost);
+            }
+        }
+        loads
+    }
+
+    /// Whether the combination respects the one-port constraints (every port
+    /// occupied at most one time-unit per time-unit).
+    pub fn is_feasible(&self, platform: &Platform, tol: f64) -> bool {
+        self.loads(platform).fits_within(1.0, tol)
+    }
+
+    /// Scales every weight by the same factor so that the most loaded port is
+    /// exactly saturated; returns the scaled set and the resulting
+    /// throughput. A set with zero load is returned unchanged.
+    pub fn scaled_to_feasible(&self, platform: &Platform) -> (WeightedTreeSet, f64) {
+        let max_load = self.loads(platform).max_load();
+        if max_load <= f64::EPSILON {
+            return (self.clone(), self.throughput());
+        }
+        let factor = 1.0 / max_load;
+        let scaled = WeightedTreeSet {
+            trees: self.trees.clone(),
+            weights: self.weights.iter().map(|w| w * factor).collect(),
+        };
+        let throughput = scaled.throughput();
+        (scaled, throughput)
+    }
+
+    /// Per-edge message rates (messages per time-unit) aggregated over trees.
+    pub fn edge_rates(&self, platform: &Platform) -> Vec<f64> {
+        let mut rates = vec![0.0; platform.edge_count()];
+        for (tree, &w) in self.trees.iter().zip(&self.weights) {
+            for &e in tree.edges() {
+                rates[e.index()] += w;
+            }
+        }
+        rates
+    }
+}
+
+impl Default for WeightedTreeSet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_platform::graph::PlatformBuilder;
+    use pm_platform::instances::{figure1_instance, MulticastInstance};
+
+    /// source -> a (1), source -> b (1), a -> t (0.5), b -> t (0.5)
+    fn diamond_instance() -> MulticastInstance {
+        let mut b = PlatformBuilder::new();
+        let s = b.add_named_node("s");
+        let a = b.add_named_node("a");
+        let bb = b.add_named_node("b");
+        let t = b.add_named_node("t");
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(s, bb, 1.0).unwrap();
+        b.add_edge(a, t, 0.5).unwrap();
+        b.add_edge(bb, t, 0.5).unwrap();
+        let platform = b.build().unwrap();
+        MulticastInstance::new(platform, s, vec![t]).unwrap()
+    }
+
+    #[test]
+    fn tree_validation_accepts_valid_tree() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e_sa = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e_sa, e_at]).unwrap();
+        assert_eq!(tree.len(), 2);
+        assert!(tree.covers(g, NodeId(3)));
+        assert!(!tree.covers(g, NodeId(2)));
+        assert_eq!(tree.parent_edge(g, NodeId(3)), Some(e_at));
+        assert_eq!(tree.steiner_cost(g), 1.5);
+        // Loads: s sends 1, a receives 1 and sends 0.5, t receives 0.5.
+        assert!((tree.period(g) - 1.0).abs() < 1e-12);
+        assert!((tree.throughput(g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_validation_rejects_bad_trees() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e_sa = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_sb = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let e_bt = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        // Two parents for t.
+        assert_eq!(
+            MulticastTree::new(&inst, vec![e_sa, e_sb, e_at, e_bt]),
+            Err(TreeError::MultipleParents(NodeId(3)))
+        );
+        // Target not covered.
+        assert_eq!(
+            MulticastTree::new(&inst, vec![e_sa]),
+            Err(TreeError::TargetNotCovered(NodeId(3)))
+        );
+        // Disconnected from the source.
+        assert_eq!(
+            MulticastTree::new(&inst, vec![e_at]),
+            Err(TreeError::Disconnected(NodeId(1)))
+        );
+        // Unknown edge id.
+        assert_eq!(
+            MulticastTree::new(&inst, vec![EdgeId(99)]),
+            Err(TreeError::UnknownEdge(EdgeId(99)))
+        );
+    }
+
+    #[test]
+    fn duplicate_edges_are_ignored() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e_sa = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e_sa, e_at, e_sa]).unwrap();
+        assert_eq!(tree.len(), 2);
+    }
+
+    #[test]
+    fn weighted_tree_set_throughput_and_feasibility() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e_sa = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let e_sb = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        let e_bt = g.find_edge(NodeId(2), NodeId(3)).unwrap();
+        let t1 = MulticastTree::new(&inst, vec![e_sa, e_at]).unwrap();
+        let t2 = MulticastTree::new(&inst, vec![e_sb, e_bt]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(t1, 0.5).unwrap();
+        set.push(t2, 0.5).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!((set.throughput() - 1.0).abs() < 1e-12);
+        // Source sends 0.5 to a and 0.5 to b: saturated but feasible;
+        // t receives 0.25 + 0.25.
+        assert!(set.is_feasible(g, 1e-12));
+        let loads = set.loads(g);
+        assert!((loads.send(NodeId(0)) - 1.0).abs() < 1e-12);
+        assert!((loads.recv(NodeId(3)) - 0.5).abs() < 1e-12);
+        let rates = set.edge_rates(g);
+        assert_eq!(rates, vec![0.5, 0.5, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn scaling_to_feasibility_saturates_the_bottleneck() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e_sa = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let t1 = MulticastTree::new(&inst, vec![e_sa, e_at]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(t1, 4.0).unwrap(); // wildly infeasible
+        assert!(!set.is_feasible(g, 1e-12));
+        let (scaled, thr) = set.scaled_to_feasible(g);
+        assert!((thr - 1.0).abs() < 1e-12);
+        assert!(scaled.is_feasible(g, 1e-12));
+        assert!((scaled.loads(g).max_load() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_weights_are_rejected() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e_sa = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let t1 = MulticastTree::new(&inst, vec![e_sa, e_at]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        assert!(matches!(set.push(t1.clone(), -0.5), Err(TreeError::InvalidWeight(_))));
+        assert!(matches!(set.push(t1, f64::NAN), Err(TreeError::InvalidWeight(_))));
+    }
+
+    #[test]
+    fn figure1_two_tree_solution_reaches_throughput_one() {
+        // The optimal two-tree solution described in Section 3 of the paper.
+        let inst = figure1_instance();
+        let g = &inst.platform;
+        let edge = |s: u32, d: u32| g.find_edge(NodeId(s), NodeId(d)).unwrap();
+        // Tree A: messages that use the direct Psource -> P1 link and reach
+        // the P7 cluster through P3 -> P4 -> P5 -> P6.
+        let tree_a = MulticastTree::new(
+            &inst,
+            vec![
+                edge(0, 1),
+                edge(0, 3),
+                edge(3, 4),
+                edge(4, 5),
+                edge(5, 6),
+                edge(6, 7),
+                edge(7, 8),
+                edge(7, 9),
+                edge(7, 10),
+                edge(1, 11),
+                edge(11, 12),
+                edge(11, 13),
+            ],
+        )
+        .unwrap();
+        // Tree B: messages relayed through P3 -> P2, reaching P1 through P2
+        // and the P7 cluster through P2 -> P6.
+        let tree_b = MulticastTree::new(
+            &inst,
+            vec![
+                edge(0, 3),
+                edge(3, 2),
+                edge(2, 1),
+                edge(2, 6),
+                edge(6, 7),
+                edge(7, 8),
+                edge(7, 9),
+                edge(7, 10),
+                edge(1, 11),
+                edge(11, 12),
+                edge(11, 13),
+            ],
+        )
+        .unwrap();
+        // Each tree alone sustains at most half a multicast per time-unit...
+        assert!(tree_a.throughput(g) <= 0.5 + 1e-9);
+        // ... but together, with weight 1/2 each, they reach throughput 1.
+        let mut set = WeightedTreeSet::new();
+        set.push(tree_a, 0.5).unwrap();
+        set.push(tree_b, 0.5).unwrap();
+        assert!((set.throughput() - 1.0).abs() < 1e-12);
+        assert!(set.is_feasible(g, 1e-9));
+    }
+}

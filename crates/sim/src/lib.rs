@@ -1,0 +1,17 @@
+//! # pm-sim
+//!
+//! A discrete-event simulator for the one-port model, used to *validate* the
+//! schedules and heuristics of the workspace rather than trust their
+//! analytical throughput:
+//!
+//! * [`simulator::Simulator::run_schedule`] replays a periodic schedule for a
+//!   number of periods, enforcing the one-port constraints at runtime and
+//!   measuring the achieved throughput and port utilizations,
+//! * [`simulator::Simulator::run_tree_pipeline`] simulates the greedy
+//!   store-and-forward pipelining of a series of multicasts along a single
+//!   multicast tree, and measures the steady-state throughput actually
+//!   reached (which converges to `1 / tree.period()`).
+
+pub mod simulator;
+
+pub use simulator::{SimReport, SimulationConfig, Simulator};

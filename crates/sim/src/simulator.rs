@@ -1,0 +1,358 @@
+//! Discrete-event simulation of pipelined multicasts under the one-port model.
+
+use pm_platform::graph::{NodeId, Platform};
+use pm_sched::load::OnePortLoads;
+use pm_sched::schedule::PeriodicSchedule;
+use pm_sched::tree::MulticastTree;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Number of steady-state periods to replay (schedule mode) or number of
+    /// messages to inject (tree-pipeline mode).
+    pub horizon: usize,
+    /// Number of initial periods / messages ignored when measuring the
+    /// steady-state throughput (warm-up of the pipeline).
+    pub warmup: usize,
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig { horizon: 200, warmup: 20 }
+    }
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Total simulated time.
+    pub total_time: f64,
+    /// Number of multicasts fully delivered to every target.
+    pub completed_multicasts: f64,
+    /// Measured steady-state throughput (completions per time-unit, measured
+    /// after the warm-up).
+    pub throughput: f64,
+    /// Measured steady-state period (`1 / throughput`).
+    pub period: f64,
+    /// Per-node send/receive busy time divided by the total time.
+    pub utilization: OnePortLoads,
+    /// Number of one-port violations detected (always 0 for valid schedules).
+    pub one_port_violations: usize,
+}
+
+/// The discrete-event simulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Simulator {
+    /// Simulation parameters.
+    pub config: SimulationConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator with the given configuration.
+    pub fn new(config: SimulationConfig) -> Self {
+        Simulator { config }
+    }
+
+    /// Replays a periodic schedule for `config.horizon` periods.
+    ///
+    /// Every slot of every period is checked against the one-port model (a
+    /// node must not appear twice as a sender or twice as a receiver within a
+    /// slot); violations are counted in the report.
+    pub fn run_schedule(&self, platform: &Platform, schedule: &PeriodicSchedule) -> SimReport {
+        let periods = self.config.horizon.max(1);
+        let mut busy = OnePortLoads::new(platform.node_count());
+        let mut violations = 0usize;
+        for slot in &schedule.slots {
+            let mut senders: Vec<NodeId> = Vec::new();
+            let mut receivers: Vec<NodeId> = Vec::new();
+            for t in &slot.transfers {
+                if senders.contains(&t.src) || receivers.contains(&t.dst) {
+                    violations += 1;
+                }
+                senders.push(t.src);
+                receivers.push(t.dst);
+                busy.add_transfer(t.src, t.dst, t.duration);
+            }
+        }
+        // Busy time accumulated over one period; utilization = busy / period.
+        let total_time = schedule.period * periods as f64;
+        let utilization = busy.scaled(1.0 / schedule.period);
+        let completed = schedule.multicasts_per_period * periods as f64;
+        let throughput = completed / total_time;
+        SimReport {
+            total_time,
+            completed_multicasts: completed,
+            throughput,
+            period: if throughput > 0.0 { 1.0 / throughput } else { f64::INFINITY },
+            utilization,
+            one_port_violations: violations,
+        }
+    }
+
+    /// Simulates the natural store-and-forward pipelining of a series of
+    /// multicasts along a single multicast tree.
+    ///
+    /// The source injects `config.horizon` messages. Every node forwards each
+    /// received message to its children in tree order, one child at a time
+    /// (one-port in emission), and receives at most one message at a time
+    /// (one-port in reception, enforced by construction since a node has a
+    /// single parent). The measured steady-state throughput converges to the
+    /// analytical `1 / tree.period()` of `pm-sched`.
+    pub fn run_tree_pipeline(
+        &self,
+        platform: &Platform,
+        tree: &MulticastTree,
+        targets: &[NodeId],
+    ) -> SimReport {
+        let num_messages = self.config.horizon.max(1);
+        let warmup = self.config.warmup.min(num_messages.saturating_sub(1));
+        let n = platform.node_count();
+
+        // children[v] = tree edges leaving v, in a fixed order.
+        let mut children: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        for &e in tree.edges() {
+            let edge = platform.edge(e);
+            children[edge.src.index()].push((edge.dst, edge.cost));
+        }
+
+        // Event-driven simulation. Each node keeps a FIFO of messages it
+        // still has to forward; its send port serializes the transfers.
+        #[derive(Debug, PartialEq)]
+        struct Event {
+            time: f64,
+            kind: EventKind,
+        }
+        #[derive(Debug, PartialEq)]
+        enum EventKind {
+            /// `node` receives message `msg` (it may start forwarding it).
+            Arrival { node: NodeId, msg: usize },
+            /// The send port of `node` becomes free.
+            SendFree { node: NodeId },
+        }
+        impl Eq for Event {}
+        impl PartialOrd for Event {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+        impl Ord for Event {
+            fn cmp(&self, other: &Self) -> Ordering {
+                other.time.partial_cmp(&self.time).expect("times are finite")
+            }
+        }
+
+        let mut heap: BinaryHeap<Event> = BinaryHeap::new();
+        // Per node: queue of (message, next child index to serve).
+        let mut queues: Vec<std::collections::VecDeque<(usize, usize)>> =
+            vec![std::collections::VecDeque::new(); n];
+        let mut send_busy = vec![false; n];
+        let mut busy = OnePortLoads::new(n);
+        // Delivery bookkeeping.
+        let mut received_count = vec![0usize; num_messages];
+        let mut completion_time = vec![f64::NAN; num_messages];
+        let needed = targets.len();
+        let target_mask: Vec<bool> = {
+            let mut mask = vec![false; n];
+            for &t in targets {
+                mask[t.index()] = true;
+            }
+            mask
+        };
+
+        // The source holds every message from the start: its queue is
+        // pre-filled in message order and its send port starts working at 0.
+        // (Going through Arrival events for the source would let the event
+        // queue reorder same-time arrivals and scramble the message order.)
+        if children[tree.source.index()].is_empty() {
+            // Degenerate: the source has no children in the tree; nothing to do.
+        } else {
+            for msg in 0..num_messages {
+                queues[tree.source.index()].push_back((msg, 0));
+            }
+            send_busy[tree.source.index()] = true;
+            heap.push(Event {
+                time: 0.0,
+                kind: EventKind::SendFree { node: tree.source },
+            });
+        }
+
+        let mut now = 0.0;
+        let mut completed = 0usize;
+        while let Some(event) = heap.pop() {
+            now = event.time;
+            match event.kind {
+                EventKind::Arrival { node, msg } => {
+                    if target_mask[node.index()] {
+                        received_count[msg] += 1;
+                        if received_count[msg] == needed {
+                            completion_time[msg] = now;
+                            completed += 1;
+                        }
+                    }
+                    if !children[node.index()].is_empty() {
+                        queues[node.index()].push_back((msg, 0));
+                        if !send_busy[node.index()] {
+                            heap.push(Event { time: now, kind: EventKind::SendFree { node } });
+                            send_busy[node.index()] = true;
+                        }
+                    }
+                }
+                EventKind::SendFree { node } => {
+                    // Pick the next (message, child) transfer for this node.
+                    match queues[node.index()].pop_front() {
+                        None => {
+                            send_busy[node.index()] = false;
+                        }
+                        Some((msg, child_idx)) => {
+                            let (child, cost) = children[node.index()][child_idx];
+                            busy.add_transfer(node, child, cost);
+                            let done = now + cost;
+                            heap.push(Event {
+                                time: done,
+                                kind: EventKind::Arrival { node: child, msg },
+                            });
+                            // Re-queue the message if more children remain.
+                            if child_idx + 1 < children[node.index()].len() {
+                                queues[node.index()].push_front((msg, child_idx + 1));
+                            }
+                            heap.push(Event { time: done, kind: EventKind::SendFree { node } });
+                        }
+                    }
+                }
+            }
+        }
+
+        let total_time = now;
+        // Steady-state throughput measured between the warmup-th completion
+        // and the last completion (in completion-time order).
+        let mut completions: Vec<f64> = completion_time
+            .iter()
+            .copied()
+            .filter(|t| t.is_finite())
+            .collect();
+        completions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (throughput, period) = if completions.len() > warmup + 1 {
+            let t0 = completions[warmup];
+            let t1 = *completions.last().expect("non-empty");
+            let count = (completions.len() - 1 - warmup) as f64;
+            if t1 > t0 {
+                (count / (t1 - t0), (t1 - t0) / count)
+            } else {
+                (f64::INFINITY, 0.0)
+            }
+        } else {
+            (0.0, f64::INFINITY)
+        };
+        let utilization = if total_time > 0.0 {
+            busy.scaled(1.0 / total_time)
+        } else {
+            OnePortLoads::new(n)
+        };
+
+        SimReport {
+            total_time,
+            completed_multicasts: completed as f64,
+            throughput,
+            period,
+            utilization,
+            one_port_violations: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_platform::graph::PlatformBuilder;
+    use pm_platform::instances::{chain_instance, figure1_instance, MulticastInstance};
+    use pm_sched::tree::WeightedTreeSet;
+
+    #[test]
+    fn schedule_replay_reports_expected_throughput() {
+        let inst = chain_instance(3, 0.5);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2)]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(tree, 2.0).unwrap(); // 2 messages per time-unit, loads = 1
+        let sched = PeriodicSchedule::from_weighted_trees(g, &set, 1.0).unwrap();
+        let report = Simulator::default().run_schedule(g, &sched);
+        assert_eq!(report.one_port_violations, 0);
+        assert!((report.throughput - 2.0).abs() < 1e-9);
+        assert!((report.period - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tree_pipeline_matches_the_analytical_period_on_a_chain() {
+        let inst = chain_instance(4, 0.5);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2), e(2, 3)]).unwrap();
+        let sim = Simulator::new(SimulationConfig { horizon: 300, warmup: 30 });
+        let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
+        assert!((report.period - tree.period(g)).abs() < 1e-6);
+        assert_eq!(report.completed_multicasts, 300.0);
+    }
+
+    #[test]
+    fn tree_pipeline_matches_the_analytical_period_on_a_star() {
+        // Source with 3 children, costs 1, 2, 3: the send port serializes
+        // them, period = 6.
+        let mut b = PlatformBuilder::new();
+        let s = b.add_node();
+        let c1 = b.add_node();
+        let c2 = b.add_node();
+        let c3 = b.add_node();
+        b.add_edge(s, c1, 1.0).unwrap();
+        b.add_edge(s, c2, 2.0).unwrap();
+        b.add_edge(s, c3, 3.0).unwrap();
+        let g = b.build().unwrap();
+        let inst = MulticastInstance::new(g.clone(), s, vec![c1, c2, c3]).unwrap();
+        let e = |a: NodeId, b: NodeId| g.find_edge(a, b).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(s, c1), e(s, c2), e(s, c3)]).unwrap();
+        let sim = Simulator::new(SimulationConfig { horizon: 200, warmup: 20 });
+        let report = sim.run_tree_pipeline(&g, &tree, &inst.targets);
+        assert!((tree.period(&g) - 6.0).abs() < 1e-12);
+        assert!((report.period - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tree_pipeline_on_figure1_single_tree_matches_its_period() {
+        let inst = figure1_instance();
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        // The best single tree of the worked example (throughput 2/3).
+        let tree = MulticastTree::new(
+            &inst,
+            vec![
+                e(0, 1), e(0, 3), e(3, 2), e(2, 6), e(6, 7),
+                e(7, 8), e(7, 9), e(7, 10), e(1, 11), e(11, 12), e(11, 13),
+            ],
+        )
+        .unwrap();
+        let sim = Simulator::new(SimulationConfig { horizon: 400, warmup: 50 });
+        let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
+        let analytical = tree.period(g);
+        assert!(
+            (report.period - analytical).abs() < 1e-3,
+            "measured {} vs analytical {analytical}",
+            report.period
+        );
+        assert_eq!(report.one_port_violations, 0);
+    }
+
+    #[test]
+    fn warmup_larger_than_horizon_is_clamped() {
+        let inst = chain_instance(3, 1.0);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2)]).unwrap();
+        let sim = Simulator::new(SimulationConfig { horizon: 5, warmup: 100 });
+        let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
+        assert!(report.completed_multicasts >= 5.0 - 1e-9);
+        assert!(report.throughput.is_finite());
+    }
+}

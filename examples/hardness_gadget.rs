@@ -1,0 +1,54 @@
+//! Domain scenario: the complexity side of the paper as an executable
+//! experiment. We take a set-cover instance, build the COMPACT-MULTICAST
+//! gadget of Theorem 1, and show that (i) covers and single multicast trees
+//! are interchangeable, and (ii) heuristics that build a single tree on this
+//! platform are implicitly solving set cover.
+//!
+//! Run with: `cargo run --example hardness_gadget`
+
+use pm_complexity::set_cover::SetCoverInstance;
+use pm_complexity::{MulticastGadget, PrefixGadget};
+use pm_core::heuristics::{Mcph, ThroughputHeuristic};
+
+fn main() {
+    let set_cover = SetCoverInstance::paper_example();
+    let optimum = set_cover.minimum_cover();
+    let greedy = set_cover.greedy_cover();
+    println!(
+        "set cover: {} elements, {} subsets; minimum cover {}, greedy cover {}",
+        set_cover.universe(),
+        set_cover.num_subsets(),
+        optimum.len(),
+        greedy.len()
+    );
+
+    // The multicast gadget with B = optimum: throughput 1 is reachable with a
+    // single tree iff a cover of size <= B exists.
+    let gadget = MulticastGadget::new(&set_cover, optimum.len());
+    let tree = gadget.cover_to_tree(&optimum).expect("cover converts to a tree");
+    println!(
+        "tree built from the minimum cover: period {:.3} (throughput {:.3})",
+        tree.period(&gadget.instance.platform),
+        tree.throughput(&gadget.instance.platform)
+    );
+
+    // Run MCPH on the gadget and read the cover it implicitly computed.
+    let mcph = Mcph.run(&gadget.instance).expect("MCPH runs");
+    let implied_cover = gadget.tree_to_cover(mcph.tree.as_ref().expect("tree"));
+    println!(
+        "MCPH on the gadget: period {:.3}; it uses {} subset nodes, i.e. it found a cover of size {}",
+        mcph.period,
+        implied_cover.len(),
+        implied_cover.len()
+    );
+    assert!(set_cover.is_cover(&implied_cover));
+
+    // The parallel-prefix gadget of Theorem 5.
+    let prefix = PrefixGadget::new(&set_cover, optimum.len());
+    let budget = prefix.scheme_budget(&optimum);
+    println!(
+        "prefix gadget: {} nodes; canonical scheme max budget {:.4} (<= 1 means one prefix per time-unit)",
+        prefix.platform.node_count(),
+        budget.max()
+    );
+}

@@ -1,0 +1,49 @@
+//! # Pipelined multicast on heterogeneous platforms
+//!
+//! Umbrella crate re-exporting the whole workspace. See the individual crates
+//! for the detailed APIs:
+//!
+//! * [`platform`] — platform graphs, topology generation, paper instances,
+//! * [`lp`] — the from-scratch linear-programming solver,
+//! * [`sched`] — multicast trees, one-port loads, edge coloring, periodic schedules,
+//! * [`core`] — LP bounds (`Multicast-LB`/`UB`, `Broadcast-EB`), heuristics
+//!   (Reduced Broadcast, Augmented Multicast, Augmented Sources, MCPH) and the
+//!   exact tree-packing baseline,
+//! * [`complexity`] — MINIMUM-SET-COVER reductions (COMPACT-MULTICAST,
+//!   COMPACT-PREFIX),
+//! * [`sim`] — a discrete-event one-port simulator used to validate schedules.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pipelined_multicast::prelude::*;
+//!
+//! // The worked example of the paper (Figure 1).
+//! let inst = figure1_instance();
+//! let lb = MulticastLb::new(&inst).solve().unwrap();
+//! // The lower bound on the period is 1 time-unit (throughput 1 msg/unit).
+//! assert!((lb.period - 1.0).abs() < 1e-6);
+//! ```
+
+pub use pm_complexity as complexity;
+pub use pm_core as core;
+pub use pm_lp as lp;
+pub use pm_platform as platform;
+pub use pm_sched as sched;
+pub use pm_sim as sim;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use pm_core::exact::ExactTreePacking;
+    pub use pm_core::formulations::{BroadcastEb, MulticastLb, MulticastMultiSourceUb, MulticastUb};
+    pub use pm_core::heuristics::{
+        AugmentedMulticast, AugmentedSources, Mcph, ReducedBroadcast, ThroughputHeuristic,
+    };
+    pub use pm_core::report::{HeuristicKind, MulticastReport};
+    pub use pm_platform::graph::{EdgeId, NodeId, Platform, PlatformBuilder};
+    pub use pm_platform::instances::{figure1_instance, figure5_instance, MulticastInstance};
+    pub use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
+    pub use pm_sched::schedule::PeriodicSchedule;
+    pub use pm_sched::tree::{MulticastTree, WeightedTreeSet};
+    pub use pm_sim::simulator::{SimulationConfig, Simulator};
+}

@@ -1,0 +1,85 @@
+//! Property-based integration tests of the ordering guarantees proved in the
+//! paper, on randomly generated platforms:
+//!
+//! * `Multicast-LB <= exact optimum <= every heuristic <= Multicast-UB`
+//!   wherever the exact optimum is computable,
+//! * `Multicast-UB <= |Ptarget| * Multicast-LB` (the |T|-approximation),
+//! * `Multicast-LB <= Broadcast-EB`.
+
+use pipelined_multicast::prelude::*;
+use pm_core::formulations::BroadcastEb as Eb;
+use pm_core::heuristics::{Mcph as McphH, ThroughputHeuristic};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small random strongly-connected-enough platform with a random target set.
+fn random_instance(seed: u64) -> MulticastInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..8usize);
+    let mut builder = PlatformBuilder::new();
+    let nodes = builder.add_nodes(n);
+    // A ring guarantees reachability, random chords add path diversity.
+    for i in 0..n {
+        let cost = rng.gen_range(0.2..2.0);
+        builder.add_edge(nodes[i], nodes[(i + 1) % n], cost).unwrap();
+    }
+    for _ in 0..n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let cost = rng.gen_range(0.2..2.0);
+            let _ = builder.add_edge(nodes[a], nodes[b], cost);
+        }
+    }
+    let platform = builder.build().unwrap();
+    let mut targets: Vec<NodeId> = nodes[1..]
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.5))
+        .collect();
+    if targets.is_empty() {
+        targets.push(nodes[1]);
+    }
+    MulticastInstance::new(platform, nodes[0], targets).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn lp_bounds_and_heuristics_are_ordered(seed in 0u64..10_000) {
+        let instance = random_instance(seed);
+        let lb = MulticastLb::new(&instance).solve().unwrap().period;
+        let ub = MulticastUb::new(&instance).solve().unwrap().period;
+        prop_assert!(lb <= ub + 1e-6);
+        prop_assert!(ub <= lb * instance.target_count() as f64 + 1e-6);
+
+        let eb = Eb::new(&instance).solve().unwrap().period;
+        prop_assert!(lb <= eb + 1e-6, "Multicast-LB must not exceed Broadcast-EB");
+
+        let mcph = McphH.run(&instance).unwrap().period;
+        prop_assert!(mcph >= lb - 1e-6);
+
+        // On these small platforms the exact optimum is computable and must
+        // sit between the LB and every achievable strategy.
+        let exact = ExactTreePacking::new().solve(&instance).unwrap();
+        prop_assert!(exact.period >= lb - 1e-6);
+        prop_assert!(exact.period <= ub + 1e-6);
+        prop_assert!(mcph >= exact.period - 1e-6);
+        prop_assert!(1.0 / exact.best_single_tree_throughput >= exact.period - 1e-6);
+    }
+
+    #[test]
+    fn exact_tree_set_is_always_one_port_feasible(seed in 0u64..10_000) {
+        let instance = random_instance(seed);
+        let exact = ExactTreePacking::new().solve(&instance).unwrap();
+        prop_assert!(exact.tree_set.is_feasible(&instance.platform, 1e-6));
+        // And it can be materialised as a valid periodic schedule.
+        let (scaled, throughput) = exact.tree_set.scaled_to_feasible(&instance.platform);
+        let schedule =
+            PeriodicSchedule::from_weighted_trees(&instance.platform, &scaled, 1.0).unwrap();
+        schedule.validate(&instance.platform).unwrap();
+        prop_assert!(throughput >= exact.throughput - 1e-6);
+    }
+}

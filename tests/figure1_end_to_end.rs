@@ -1,0 +1,78 @@
+//! End-to-end integration test of the paper's worked example (Section 3,
+//! Figure 1), crossing every crate of the workspace: platform instance, LP
+//! bounds, exact tree packing, heuristics, schedule reconstruction and
+//! simulation.
+
+use pipelined_multicast::prelude::*;
+use pm_core::heuristics::{ScatterBaseline, ThroughputHeuristic};
+
+#[test]
+fn figure1_full_pipeline() {
+    let instance = figure1_instance();
+
+    // LP bounds: the optimal period is bracketed by LB = 1 and the scatter UB.
+    let lb = MulticastLb::new(&instance).solve().unwrap();
+    let ub = MulticastUb::new(&instance).solve().unwrap();
+    assert!((lb.period - 1.0).abs() < 1e-6);
+    assert!(ub.period >= lb.period);
+    assert!(ub.period <= lb.period * instance.target_count() as f64 + 1e-6);
+
+    // Exact optimum: throughput 1, not achievable by a single tree.
+    let exact = ExactTreePacking::new().solve(&instance).unwrap();
+    assert!((exact.throughput - 1.0).abs() < 1e-5);
+    assert!(exact.best_single_tree_throughput < 1.0 - 1e-6);
+    assert!(exact.tree_set.len() >= 2);
+
+    // Every heuristic returns a period between the lower bound and scatter.
+    let scatter = ScatterBaseline.run(&instance).unwrap().period;
+    for heuristic in [
+        &Mcph as &dyn ThroughputHeuristic,
+        &ReducedBroadcast,
+        &AugmentedMulticast,
+        &AugmentedSources::default(),
+    ] {
+        let result = heuristic.run(&instance).unwrap();
+        assert!(
+            result.period >= lb.period - 1e-6,
+            "{} beats the lower bound",
+            result.name
+        );
+        assert!(
+            result.period >= exact.period - 1e-6,
+            "{} beats the exact optimum",
+            result.name
+        );
+        assert!(
+            result.period <= scatter + 1e-6,
+            "{} is worse than scatter",
+            result.name
+        );
+    }
+
+    // The optimal weighted tree set can be turned into a valid periodic
+    // schedule of period 1 and replayed without one-port violations.
+    let (scaled, throughput) = exact.tree_set.scaled_to_feasible(&instance.platform);
+    assert!((throughput - 1.0).abs() < 1e-5);
+    let schedule = PeriodicSchedule::from_weighted_trees(&instance.platform, &scaled, 1.0).unwrap();
+    schedule.validate(&instance.platform).unwrap();
+    let report = Simulator::new(SimulationConfig { horizon: 64, warmup: 8 })
+        .run_schedule(&instance.platform, &schedule);
+    assert_eq!(report.one_port_violations, 0);
+    assert!((report.throughput - 1.0).abs() < 1e-5);
+}
+
+#[test]
+fn figure1_mcph_tree_simulates_at_its_analytical_period() {
+    let instance = figure1_instance();
+    let mcph = Mcph.run(&instance).unwrap();
+    let tree = mcph.tree.unwrap();
+    let sim = Simulator::new(SimulationConfig { horizon: 300, warmup: 40 });
+    let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
+    assert!(
+        (report.period - mcph.period).abs() < 1e-3,
+        "simulated {} vs analytical {}",
+        report.period,
+        mcph.period
+    );
+    assert_eq!(report.completed_multicasts, 300.0);
+}

@@ -1,0 +1,44 @@
+//! Integration test of the complexity reductions against the exact solver:
+//! on the COMPACT-MULTICAST gadget, the optimal *single-tree* throughput is
+//! governed by the minimum set cover, which ties together `pm-complexity`,
+//! `pm-sched` and `pm-core`.
+
+use pm_complexity::set_cover::SetCoverInstance;
+use pm_complexity::MulticastGadget;
+use pm_core::exact::ExactTreePacking;
+use pm_core::formulations::MulticastLb;
+
+#[test]
+fn gadget_single_tree_optimum_equals_the_cover_bound() {
+    let sc = SetCoverInstance::paper_example();
+    let optimum_cover = sc.minimum_cover().len();
+    let gadget = MulticastGadget::new(&sc, optimum_cover);
+    let exact = ExactTreePacking::new().solve(&gadget.instance).unwrap();
+    // The best single tree on the gadget uses an optimal cover: its period is
+    // exactly |cover| / B = 1.
+    let best_single_period = 1.0 / exact.best_single_tree_throughput;
+    assert!(
+        (best_single_period - 1.0).abs() < 1e-6,
+        "best single tree period {best_single_period}"
+    );
+    // The tree found corresponds to a genuine cover of minimum size.
+    let cover = gadget.tree_to_cover(&exact.best_single_tree);
+    assert!(sc.is_cover(&cover));
+    assert_eq!(cover.len(), optimum_cover);
+}
+
+#[test]
+fn gadget_lower_bound_never_exceeds_the_single_tree_value() {
+    for seed in 0..5u64 {
+        let sc = SetCoverInstance::random(6, 4, seed);
+        let bound = sc.minimum_cover().len();
+        let gadget = MulticastGadget::new(&sc, bound);
+        let lb = MulticastLb::new(&gadget.instance).solve().unwrap().period;
+        let exact = ExactTreePacking::new().solve(&gadget.instance).unwrap();
+        assert!(lb <= exact.period + 1e-6, "seed {seed}");
+        assert!(
+            exact.period <= 1.0 / exact.best_single_tree_throughput + 1e-6,
+            "seed {seed}: combinations are at least as good as the best tree"
+        );
+    }
+}

@@ -1,0 +1,56 @@
+//! Integration test on generated Tiers-like platforms: the full heuristic
+//! report of Figure 11 stays consistent (ordering of the reference curves,
+//! finiteness, broadcast dominating multicast-LB) across seeds and densities.
+
+use pipelined_multicast::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn figure11_style_report_is_consistent_on_small_platforms() {
+    for seed in [3u64, 8] {
+        let mut generator = TiersLikeGenerator::reduced_scale(PlatformClass::Small, seed);
+        let topology = generator.generate();
+        for &density in &[0.3, 1.0] {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
+            let instance = topology.sample_instance(density, &mut rng);
+            let report = MulticastReport::collect(
+                &instance,
+                &[
+                    HeuristicKind::Scatter,
+                    HeuristicKind::LowerBound,
+                    HeuristicKind::Broadcast,
+                    HeuristicKind::Mcph,
+                ],
+            )
+            .unwrap();
+            let scatter = report.period(HeuristicKind::Scatter).unwrap();
+            let lb = report.period(HeuristicKind::LowerBound).unwrap();
+            let broadcast = report.period(HeuristicKind::Broadcast).unwrap();
+            let mcph = report.period(HeuristicKind::Mcph).unwrap();
+            assert!(scatter.is_finite() && lb.is_finite() && mcph.is_finite());
+            assert!(lb <= scatter + 1e-6, "seed {seed} density {density}");
+            assert!(lb <= broadcast + 1e-6, "seed {seed} density {density}");
+            assert!(mcph >= lb - 1e-6, "seed {seed} density {density}");
+        }
+    }
+}
+
+#[test]
+fn mcph_trees_on_generated_platforms_simulate_at_their_analytical_period() {
+    let mut generator = TiersLikeGenerator::reduced_scale(PlatformClass::Big, 5);
+    let topology = generator.generate();
+    let mut rng = StdRng::seed_from_u64(123);
+    let instance = topology.sample_instance(0.5, &mut rng);
+    let mcph = pm_core::heuristics::Mcph;
+    let result = pm_core::heuristics::ThroughputHeuristic::run(&mcph, &instance).unwrap();
+    let tree = result.tree.unwrap();
+    let sim = Simulator::new(SimulationConfig { horizon: 400, warmup: 50 });
+    let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
+    assert!(
+        (report.period - result.period).abs() <= 1e-3 * result.period.max(1.0),
+        "simulated {} vs analytical {}",
+        report.period,
+        result.period
+    );
+}
