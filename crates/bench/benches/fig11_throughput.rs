@@ -22,7 +22,11 @@ fn bench_fig11_point(c: &mut Criterion) {
         b.iter(|| {
             MulticastReport::collect(
                 &inst,
-                &[HeuristicKind::Scatter, HeuristicKind::LowerBound, HeuristicKind::Mcph],
+                &[
+                    HeuristicKind::Scatter,
+                    HeuristicKind::LowerBound,
+                    HeuristicKind::Mcph,
+                ],
             )
             .unwrap()
         })

@@ -17,7 +17,10 @@ use rand::{Rng, SeedableRng};
 fn report(label: &str, inst: &MulticastInstance) {
     let lb = MulticastLb::new(inst).solve().expect("LB solves").period;
     let ub = MulticastUb::new(inst).solve().expect("UB solves").period;
-    let exact = ExactTreePacking::new().solve(inst).expect("exact solves").period;
+    let exact = ExactTreePacking::new()
+        .solve(inst)
+        .expect("exact solves")
+        .period;
     println!(
         "{label:<28} |T|={:<2} LB={lb:<8.4} OPT={exact:<8.4} UB={ub:<8.4} UB/LB={:.3}",
         inst.target_count(),
@@ -40,7 +43,11 @@ fn random_instance(seed: u64) -> Option<MulticastInstance> {
         }
     }
     let platform = b.build().ok()?;
-    let targets: Vec<_> = nodes[1..].iter().copied().filter(|_| rng.gen_bool(0.6)).collect();
+    let targets: Vec<_> = nodes[1..]
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.6))
+        .collect();
     MulticastInstance::new(platform, nodes[0], targets).ok()
 }
 
@@ -57,16 +64,24 @@ fn main() {
     let mut best: Option<(f64, u64)> = None;
     let mut found = 0usize;
     for seed in 0..400u64 {
-        let Some(inst) = random_instance(seed) else { continue };
-        let Ok(lb) = MulticastLb::new(&inst).solve() else { continue };
-        let Ok(ub) = MulticastUb::new(&inst).solve() else { continue };
-        let Ok(exact) = ExactTreePacking::new().solve(&inst) else { continue };
+        let Some(inst) = random_instance(seed) else {
+            continue;
+        };
+        let Ok(lb) = MulticastLb::new(&inst).solve() else {
+            continue;
+        };
+        let Ok(ub) = MulticastUb::new(&inst).solve() else {
+            continue;
+        };
+        let Ok(exact) = ExactTreePacking::new().solve(&inst) else {
+            continue;
+        };
         let lb_gap = exact.period - lb.period;
         let ub_gap = ub.period - exact.period;
         if lb_gap > 1e-4 && ub_gap > 1e-4 {
             found += 1;
             let score = lb_gap.min(ub_gap);
-            if best.map_or(true, |(s, _)| score > s) {
+            if best.is_none_or(|(s, _)| score > s) {
                 best = Some((score, seed));
                 println!(
                     "seed {seed:<4} nodes={} |T|={} LB={:.4} OPT={:.4} UB={:.4}",
@@ -83,7 +98,9 @@ fn main() {
         "searched 400 random 4-5 node platforms: {found} instances have LB < OPT < UB (strictly)"
     );
     if found == 0 {
-        println!("(none found at this size: the LB is usually achievable on tiny dense graphs; \
-                  Figure 4's gadget shows it is not always so)");
+        println!(
+            "(none found at this size: the LB is usually achievable on tiny dense graphs; \
+                  Figure 4's gadget shows it is not always so)"
+        );
     }
 }

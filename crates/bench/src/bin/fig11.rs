@@ -1,51 +1,126 @@
 //! Regenerates Figure 11 of the paper: heuristic period ratios against the
-//! `scatter` upper bound and against the theoretical lower bound, for the
-//! "small" and "big" platform classes, over increasing target densities.
+//! `scatter` upper bound and against the theoretical lower bound, over
+//! increasing target densities — for every platform class and a seed grid,
+//! evaluated on a single flattened rayon pool.
 //!
 //! Usage:
 //!   fig11 [small|big] [scatter|lower|all] [--paper-scale] [--platforms N]
-//!         [--densities a,b,c] [--seed S]
+//!         [--densities a,b,c] [--seeds a,b,c] [--kinds k1,k2,...] [--basic]
+//!         [--full] [--smoke]
+//!         [--json PATH] [--csv PATH]
+//!
+//! With no class argument both classes are swept (the full Figure 11).
+//! Machine-readable results are always written — to `fig11_sweep.json` /
+//! `fig11_sweep.csv` by default, or wherever `--json` / `--csv` point: two
+//! runs with the same configuration produce byte-identical files, which is
+//! how CI detects throughput-trajectory drift against the committed
+//! `BENCH_fig11_baseline.json`.
 
-use pm_bench::{format_period_table, format_ratio_table, run_sweep, SweepConfig};
+use pm_bench::{
+    batch_to_csv, batch_to_json, format_period_table, format_ratio_table, run_batch, BatchConfig,
+};
 use pm_core::report::HeuristicKind;
 use pm_platform::topology::PlatformClass;
 
+/// The value following a flag, or a named usage error (instead of an
+/// index-out-of-bounds panic) when the command line ends at the flag.
+fn flag_value<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut class = PlatformClass::Small;
+    let mut classes: Option<Vec<PlatformClass>> = None;
     let mut reference = "all".to_string();
-    let mut config = SweepConfig::quick(class);
+    let mut config = BatchConfig::quick();
+    let mut json_path: Option<String> = Some("fig11_sweep.json".to_string());
+    let mut csv_path: Option<String> = Some("fig11_sweep.csv".to_string());
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "small" => class = PlatformClass::Small,
-            "big" => class = PlatformClass::Big,
+            "small" => classes = Some(vec![PlatformClass::Small]),
+            "big" => classes = Some(vec![PlatformClass::Big]),
             "scatter" | "lower" | "all" => reference = args[i].clone(),
             "--paper-scale" => config.paper_scale = true,
             // Restrict to the reference curves + MCPH (no iterated LP
             // heuristics): useful on large platforms or slow machines.
             "--basic" => {
-                config.kinds = vec![
-                    HeuristicKind::Scatter,
-                    HeuristicKind::LowerBound,
-                    HeuristicKind::Broadcast,
-                    HeuristicKind::Mcph,
-                ];
+                config.kinds = pm_bench::sweep::BASIC_KINDS.to_vec();
+                config.kinds_big = None;
+            }
+            // Run the full heuristic set on every class, including the
+            // iterated-LP heuristics on big platforms (takes minutes per
+            // big instance — see BatchConfig::kinds_big).
+            "--full" => {
+                config.kinds = HeuristicKind::ALL.to_vec();
+                config.kinds_big = None;
+            }
+            // The CI bench-smoke configuration: tiny and cheap.
+            "--smoke" => {
+                let smoke = BatchConfig::ci_smoke();
+                config.platforms = smoke.platforms;
+                config.densities = smoke.densities;
+                config.seeds = smoke.seeds;
+                config.kinds = smoke.kinds;
+                config.kinds_big = smoke.kinds_big;
+            }
+            // Explicit curve selection by stable key (see `pm_bench::emit`).
+            "--kinds" => {
+                i += 1;
+                config.kinds = flag_value(&args, i, "--kinds")
+                    .split(',')
+                    .map(|k| {
+                        HeuristicKind::ALL
+                            .into_iter()
+                            .find(|&kind| pm_bench::emit::kind_key(kind) == k)
+                            .unwrap_or_else(|| {
+                                eprintln!(
+                                    "unknown heuristic kind {k:?}; valid keys: {:?}",
+                                    HeuristicKind::ALL.map(pm_bench::emit::kind_key)
+                                );
+                                std::process::exit(2);
+                            })
+                    })
+                    .collect();
+                config.kinds_big = None;
             }
             "--platforms" => {
                 i += 1;
-                config.platforms = args[i].parse().expect("--platforms takes an integer");
+                config.platforms = flag_value(&args, i, "--platforms")
+                    .parse()
+                    .expect("--platforms takes an integer");
             }
+            "--seeds" => {
+                i += 1;
+                config.seeds = flag_value(&args, i, "--seeds")
+                    .split(',')
+                    .map(|s| s.parse().expect("--seeds takes comma-separated integers"))
+                    .collect();
+            }
+            // Backwards-compatible alias: a single base seed.
             "--seed" => {
                 i += 1;
-                config.seed = args[i].parse().expect("--seed takes an integer");
+                config.seeds = vec![flag_value(&args, i, "--seed")
+                    .parse()
+                    .expect("--seed takes an integer")];
             }
             "--densities" => {
                 i += 1;
-                config.densities = args[i]
+                config.densities = flag_value(&args, i, "--densities")
                     .split(',')
                     .map(|d| d.parse().expect("--densities takes comma-separated floats"))
                     .collect();
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(flag_value(&args, i, "--json").to_string());
+            }
+            "--csv" => {
+                i += 1;
+                csv_path = Some(flag_value(&args, i, "--csv").to_string());
             }
             other => {
                 eprintln!("unknown argument: {other}");
@@ -54,22 +129,46 @@ fn main() {
         }
         i += 1;
     }
-    config.class = class;
+    if let Some(classes) = classes {
+        config.classes = classes;
+    }
 
     eprintln!(
-        "running Figure 11 sweep: class={:?}, paper_scale={}, platforms={}, densities={:?}",
-        config.class, config.paper_scale, config.platforms, config.densities
+        "running Figure 11 batch: classes={:?}, paper_scale={}, platforms={}, seeds={:?}, \
+         densities={:?} ({} worker threads)",
+        config.classes,
+        config.paper_scale,
+        config.platforms,
+        config.seeds,
+        config.densities,
+        rayon::current_num_threads()
     );
-    let result = run_sweep(&config);
+    let batch = run_batch(&config);
 
-    println!("== mean periods ==");
-    println!("{}", format_period_table(&result));
-    if reference == "scatter" || reference == "all" {
-        println!("== Figure 11 (a)/(c): ratios vs scatter ==");
-        println!("{}", format_ratio_table(&result, HeuristicKind::Scatter));
+    for sweep in &batch.sweeps {
+        println!(
+            "== class {:?}, seed {}: mean periods ==",
+            sweep.config.class, sweep.config.seed
+        );
+        println!("{}", format_period_table(sweep));
+        if reference == "scatter" || reference == "all" {
+            println!("== Figure 11 (a)/(c): ratios vs scatter ==");
+            println!("{}", format_ratio_table(sweep, HeuristicKind::Scatter));
+        }
+        if reference == "lower" || reference == "all" {
+            println!("== Figure 11 (b)/(d): ratios vs lower bound ==");
+            println!("{}", format_ratio_table(sweep, HeuristicKind::LowerBound));
+        }
     }
-    if reference == "lower" || reference == "all" {
-        println!("== Figure 11 (b)/(d): ratios vs lower bound ==");
-        println!("{}", format_ratio_table(&result, HeuristicKind::LowerBound));
+
+    if let Some(path) = json_path {
+        std::fs::write(&path, batch_to_json(&batch))
+            .unwrap_or_else(|e| panic!("writing JSON to {path}: {e}"));
+        eprintln!("wrote JSON results to {path}");
+    }
+    if let Some(path) = csv_path {
+        std::fs::write(&path, batch_to_csv(&batch))
+            .unwrap_or_else(|e| panic!("writing CSV to {path}: {e}"));
+        eprintln!("wrote CSV results to {path}");
     }
 }

@@ -4,8 +4,8 @@
 //! periods (the paper's example: 789 vs 1000 time-units in favour of the
 //! multi-source solution).
 
-use pm_core::heuristics::{AugmentedSources, Mcph, ThroughputHeuristic};
 use pm_core::formulations::{MulticastLb, MulticastUb};
+use pm_core::heuristics::{AugmentedSources, Mcph, ThroughputHeuristic};
 use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -49,7 +49,9 @@ fn main() {
         );
     }
 
-    let multi = AugmentedSources::default().run(&inst).expect("Multisource MC runs");
+    let multi = AugmentedSources::default()
+        .run(&inst)
+        .expect("Multisource MC runs");
     println!();
     println!(
         "Multisource MC period: {:.4} with {} source(s): {:?}",

@@ -13,8 +13,12 @@ use pm_sim::simulator::{SimulationConfig, Simulator};
 
 fn main() {
     let inst = figure1_instance();
-    println!("Figure 1 platform: {} nodes, {} edges, {} targets",
-        inst.platform.node_count(), inst.platform.edge_count(), inst.target_count());
+    println!(
+        "Figure 1 platform: {} nodes, {} edges, {} targets",
+        inst.platform.node_count(),
+        inst.platform.edge_count(),
+        inst.target_count()
+    );
 
     let lb = MulticastLb::new(&inst).solve().expect("LB solves");
     let ub = MulticastUb::new(&inst).solve().expect("UB solves");
@@ -41,9 +45,14 @@ fn main() {
     let (scaled, throughput) = exact.tree_set.scaled_to_feasible(&inst.platform);
     let schedule = PeriodicSchedule::from_weighted_trees(&inst.platform, &scaled, 1.0)
         .expect("optimal tree set fits in one period");
-    schedule.validate(&inst.platform).expect("schedule is one-port valid");
-    let report = Simulator::new(SimulationConfig { horizon: 100, warmup: 10 })
-        .run_schedule(&inst.platform, &schedule);
+    schedule
+        .validate(&inst.platform)
+        .expect("schedule is one-port valid");
+    let report = Simulator::new(SimulationConfig {
+        horizon: 100,
+        warmup: 10,
+    })
+    .run_schedule(&inst.platform, &schedule);
     println!(
         "Periodic schedule : {} slots per period, simulated throughput {:.4}, one-port violations {}",
         schedule.slots.len(),

@@ -32,7 +32,9 @@ fn main() {
         let max_comp = budget.compute.iter().copied().fold(0.0, f64::max);
         println!("canonical scheme budgets: send {max_send:.4}, recv {max_recv:.4}, compute {max_comp:.4}");
         if budget.max() <= 1.0 + 1e-9 {
-            println!("=> one parallel prefix per time-unit is sustainable (cover of size <= B exists)");
+            println!(
+                "=> one parallel prefix per time-unit is sustainable (cover of size <= B exists)"
+            );
         } else {
             println!("=> the scheme exceeds one time-unit (no cover of size <= B)");
         }

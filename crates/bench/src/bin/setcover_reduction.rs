@@ -13,7 +13,11 @@ fn main() {
     let sc = SetCoverInstance::paper_example();
     let greedy = sc.greedy_cover();
     let exact = sc.minimum_cover();
-    println!("universe {} elements, {} subsets", sc.universe(), sc.num_subsets());
+    println!(
+        "universe {} elements, {} subsets",
+        sc.universe(),
+        sc.num_subsets()
+    );
     println!("greedy cover size : {}", greedy.len());
     println!("minimum cover size: {}", exact.len());
 
@@ -25,7 +29,11 @@ fn main() {
             "B = {bound}: single tree from the minimum cover has period {period:.4} \
              (throughput {:.4}) -> cover of size <= B {}",
             1.0 / period,
-            if exact.len() <= bound { "exists" } else { "does not exist" }
+            if exact.len() <= bound {
+                "exists"
+            } else {
+                "does not exist"
+            }
         );
     }
 
@@ -37,7 +45,10 @@ fn main() {
     let opt = ExactTreePacking::new().solve(inst).expect("exact solves");
     let cover_from_mcph = gadget.tree_to_cover(mcph.tree.as_ref().expect("MCPH returns a tree"));
     println!("exact tree-packing period      : {:.4}", opt.period);
-    println!("best single tree period        : {:.4}", 1.0 / opt.best_single_tree_throughput);
+    println!(
+        "best single tree period        : {:.4}",
+        1.0 / opt.best_single_tree_throughput
+    );
     println!(
         "MCPH period                    : {:.4} (uses {} subsets as relays)",
         mcph.period,

@@ -1,0 +1,231 @@
+//! Deterministic JSON and CSV emission for sweep results.
+//!
+//! Hand-rolled writers (the workspace's serde is a no-op stub, see
+//! `vendor/serde`): floats are printed with Rust's shortest round-trip
+//! formatting, infinities become JSON `null` / CSV `inf`, and iteration
+//! order follows the configuration, so identical configurations produce
+//! byte-identical files — CI diffs them against the committed baseline.
+
+use crate::sweep::{BatchResult, SweepResult};
+use pm_core::report::HeuristicKind;
+use pm_platform::topology::PlatformClass;
+
+/// Schema tag embedded in every JSON document, bumped on layout changes.
+pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v1";
+
+/// CSV header of [`batch_to_csv`] / [`sweep_to_csv`].
+pub const CSV_HEADER: &str = "class,seed,paper_scale,platforms,density,instances,kind,mean_period";
+
+/// Stable lower-case key of a platform class.
+pub fn class_key(class: PlatformClass) -> &'static str {
+    match class {
+        PlatformClass::Small => "small",
+        PlatformClass::Big => "big",
+    }
+}
+
+/// Stable snake_case key of a heuristic kind (the paper labels of
+/// [`HeuristicKind::label`] contain spaces and dots, so they are kept for
+/// tables only).
+pub fn kind_key(kind: HeuristicKind) -> &'static str {
+    match kind {
+        HeuristicKind::Scatter => "scatter",
+        HeuristicKind::LowerBound => "lower_bound",
+        HeuristicKind::Broadcast => "broadcast",
+        HeuristicKind::Mcph => "mcph",
+        HeuristicKind::AugmentedMulticast => "augmented_multicast",
+        HeuristicKind::ReducedBroadcast => "reduced_broadcast",
+        HeuristicKind::MultisourceMulticast => "multisource_multicast",
+    }
+}
+
+/// A finite float as a JSON number, anything else as `null` (JSON has no
+/// infinity literal).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// A finite float for CSV, infinities spelled `inf`.
+fn csv_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "inf".to_string()
+    }
+}
+
+fn push_sweep_json(out: &mut String, sweep: &SweepResult, indent: &str) {
+    let cfg = &sweep.config;
+    out.push_str(&format!("{indent}{{\n"));
+    out.push_str(&format!(
+        "{indent}  \"class\": \"{}\",\n",
+        class_key(cfg.class)
+    ));
+    out.push_str(&format!("{indent}  \"seed\": {},\n", cfg.seed));
+    out.push_str(&format!(
+        "{indent}  \"paper_scale\": {},\n",
+        cfg.paper_scale
+    ));
+    out.push_str(&format!("{indent}  \"platforms\": {},\n", cfg.platforms));
+    let kinds: Vec<String> = cfg
+        .kinds
+        .iter()
+        .map(|&k| format!("\"{}\"", kind_key(k)))
+        .collect();
+    out.push_str(&format!("{indent}  \"kinds\": [{}],\n", kinds.join(", ")));
+    out.push_str(&format!("{indent}  \"points\": [\n"));
+    for (i, point) in sweep.points.iter().enumerate() {
+        out.push_str(&format!("{indent}    {{\n"));
+        out.push_str(&format!(
+            "{indent}      \"density\": {},\n",
+            json_f64(point.density)
+        ));
+        out.push_str(&format!(
+            "{indent}      \"instances\": {},\n",
+            point.instances
+        ));
+        out.push_str(&format!("{indent}      \"mean_period\": {{"));
+        let entries: Vec<String> = point
+            .mean_period
+            .iter()
+            .map(|&(k, p)| format!("\"{}\": {}", kind_key(k), json_f64(p)))
+            .collect();
+        out.push_str(&entries.join(", "));
+        out.push_str("}\n");
+        let comma = if i + 1 < sweep.points.len() { "," } else { "" };
+        out.push_str(&format!("{indent}    }}{comma}\n"));
+    }
+    out.push_str(&format!("{indent}  ]\n"));
+    out.push_str(&format!("{indent}}}"));
+}
+
+/// One sweep as a pretty-printed JSON document.
+pub fn sweep_to_json(sweep: &SweepResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
+    out.push_str("  \"sweeps\": [\n");
+    push_sweep_json(&mut out, sweep, "    ");
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// A full batch as a pretty-printed JSON document.
+pub fn batch_to_json(batch: &BatchResult) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
+    out.push_str("  \"sweeps\": [\n");
+    for (i, sweep) in batch.sweeps.iter().enumerate() {
+        push_sweep_json(&mut out, sweep, "    ");
+        out.push_str(if i + 1 < batch.sweeps.len() {
+            ",\n"
+        } else {
+            "\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn push_sweep_csv(out: &mut String, sweep: &SweepResult) {
+    let cfg = &sweep.config;
+    for point in &sweep.points {
+        for &(kind, period) in &point.mean_period {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                class_key(cfg.class),
+                cfg.seed,
+                cfg.paper_scale,
+                cfg.platforms,
+                csv_f64(point.density),
+                point.instances,
+                kind_key(kind),
+                csv_f64(period),
+            ));
+        }
+    }
+}
+
+/// One sweep as CSV (long format: one row per `(density, kind)`).
+pub fn sweep_to_csv(sweep: &SweepResult) -> String {
+    let mut out = format!("{CSV_HEADER}\n");
+    push_sweep_csv(&mut out, sweep);
+    out
+}
+
+/// A full batch as CSV (long format: one row per
+/// `(class, seed, density, kind)`).
+pub fn batch_to_csv(batch: &BatchResult) -> String {
+    let mut out = format!("{CSV_HEADER}\n");
+    for sweep in &batch.sweeps {
+        push_sweep_csv(&mut out, sweep);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{BatchResult, SweepConfig, SweepPoint};
+
+    fn fake_sweep() -> SweepResult {
+        SweepResult {
+            config: SweepConfig {
+                class: PlatformClass::Small,
+                paper_scale: false,
+                platforms: 2,
+                densities: vec![0.5],
+                seed: 42,
+                kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+            },
+            points: vec![SweepPoint {
+                density: 0.5,
+                mean_period: vec![
+                    (HeuristicKind::Scatter, 4.25),
+                    (HeuristicKind::Mcph, f64::INFINITY),
+                ],
+                instances: 2,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_contains_schema_keys_and_null_infinity() {
+        let json = sweep_to_json(&fake_sweep());
+        assert!(json.contains("\"schema\": \"pm-bench/fig11-sweep/v1\""));
+        assert!(json.contains("\"class\": \"small\""));
+        assert!(json.contains("\"scatter\": 4.25"));
+        assert!(json.contains("\"mcph\": null"));
+        // Balanced braces/brackets — a cheap well-formedness check given the
+        // writer never emits strings containing braces.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_kind() {
+        let csv = sweep_to_csv(&fake_sweep());
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines[0], CSV_HEADER);
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[1], "small,42,false,2,0.5,2,scatter,4.25");
+        assert_eq!(lines[2], "small,42,false,2,0.5,2,mcph,inf");
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let sweep = fake_sweep();
+        assert_eq!(sweep_to_json(&sweep), sweep_to_json(&sweep));
+        assert_eq!(sweep_to_csv(&sweep), sweep_to_csv(&sweep));
+        let batch = BatchResult {
+            sweeps: vec![sweep.clone(), sweep],
+        };
+        assert_eq!(batch_to_json(&batch), batch_to_json(&batch));
+        assert_eq!(batch_to_csv(&batch), batch_to_csv(&batch));
+    }
+}

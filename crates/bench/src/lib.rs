@@ -8,8 +8,12 @@
 //! The library part contains the sweep machinery; the `src/bin` binaries
 //! print the tables documented in `EXPERIMENTS.md`.
 
+pub mod emit;
 pub mod sweep;
 pub mod table;
 
-pub use sweep::{run_sweep, SweepConfig, SweepPoint, SweepResult};
+pub use emit::{batch_to_csv, batch_to_json, sweep_to_csv, sweep_to_json};
+pub use sweep::{
+    run_batch, run_sweep, BatchConfig, BatchResult, SweepConfig, SweepPoint, SweepResult,
+};
 pub use table::{format_period_table, format_ratio_table};

@@ -1,11 +1,26 @@
 //! The Figure 11 sweep: run every heuristic over random Tiers-like platforms
 //! and increasing densities of targets, and aggregate the period ratios.
+//!
+//! Two entry points:
+//!
+//! * [`run_sweep`] — one `(class, seed)` sweep over a density grid, the unit
+//!   of Figure 11's four sub-figures,
+//! * [`run_batch`] — the full Figure 11 reproduction: every platform class
+//!   crossed with a seed grid, with **all** `(class, seed, density,
+//!   platform)` work items flattened into a single rayon-parallel pool so
+//!   the LP-heavy reports saturate every core regardless of how the grid is
+//!   shaped.
+//!
+//! Determinism: instance seeds are derived from the configuration only, and
+//! rayon's ordered collect keeps aggregation order independent of thread
+//! scheduling, so two runs of the same configuration produce bitwise
+//! identical results (the property the JSON/CSV baselines in CI rely on).
 
-use parking_lot::Mutex;
 use pm_core::report::{HeuristicKind, MulticastReport};
-use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
+use pm_platform::topology::{GeneratedTopology, PlatformClass, TiersLikeGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of a sweep (one of the four sub-figures of Figure 11).
@@ -82,13 +97,11 @@ pub struct SweepResult {
     pub points: Vec<SweepPoint>,
 }
 
-/// Runs the sweep, distributing the (platform, density) instances over
-/// threads with crossbeam's scoped threads.
-pub fn run_sweep(config: &SweepConfig) -> SweepResult {
-    // Generate the platforms up front so that every density sees the same
-    // set of platforms (as in the paper: 10 platforms per class, reused for
-    // every target density).
-    let topologies: Vec<_> = (0..config.platforms)
+/// Generates the per-platform topologies of a sweep. They are generated up
+/// front so that every density sees the same set of platforms (as in the
+/// paper: 10 platforms per class, reused for every target density).
+fn generate_topologies(config: &SweepConfig) -> Vec<GeneratedTopology> {
+    (0..config.platforms)
         .map(|i| {
             let mut generator = if config.paper_scale {
                 TiersLikeGenerator::paper_scale(config.class, config.seed + i as u64)
@@ -97,57 +110,35 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResult {
             };
             generator.generate()
         })
-        .collect();
+        .collect()
+}
 
-    // Work items: one per (density, platform).
-    let mut work: Vec<(usize, usize)> = Vec::new();
-    for (di, _) in config.densities.iter().enumerate() {
-        for pi in 0..topologies.len() {
-            work.push((di, pi));
-        }
-    }
-    let next = Mutex::new(0usize);
-    let reports: Mutex<Vec<(usize, MulticastReport)>> = Mutex::new(Vec::new());
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(work.len().max(1));
+/// The deterministic instance seed of work item `(density index, platform
+/// index)` under a sweep base seed.
+fn instance_seed(base: u64, di: usize, pi: usize) -> u64 {
+    base ^ (di as u64).wrapping_mul(0x9e37_79b9) ^ ((pi as u64) << 32)
+}
 
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let item = {
-                    let mut guard = next.lock();
-                    if *guard >= work.len() {
-                        None
-                    } else {
-                        let i = *guard;
-                        *guard += 1;
-                        Some(work[i])
-                    }
-                };
-                let Some((di, pi)) = item else { break };
-                let density = config.densities[di];
-                // Derive a deterministic instance seed from the work item.
-                let mut rng = StdRng::seed_from_u64(
-                    config.seed ^ (di as u64).wrapping_mul(0x9e37_79b9) ^ (pi as u64) << 32,
-                );
-                let instance = topologies[pi].sample_instance(density, &mut rng);
-                if let Ok(report) = MulticastReport::collect(&instance, &config.kinds) {
-                    reports.lock().push((di, report));
-                }
-            });
-        }
-    })
-    .expect("sweep worker panicked");
+/// Runs one work item: sample the instance and collect every heuristic.
+fn collect_report(
+    topology: &GeneratedTopology,
+    config: &SweepConfig,
+    di: usize,
+    pi: usize,
+) -> Option<MulticastReport> {
+    let density = config.densities[di];
+    let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, di, pi));
+    let instance = topology.sample_instance(density, &mut rng);
+    MulticastReport::collect(&instance, &config.kinds).ok()
+}
 
-    let reports = reports.into_inner();
+/// Aggregates the per-item reports of one sweep into per-density points.
+fn aggregate(config: &SweepConfig, reports: &[(usize, Option<MulticastReport>)]) -> SweepResult {
     let mut points = Vec::with_capacity(config.densities.len());
     for (di, &density) in config.densities.iter().enumerate() {
         let at_point: Vec<&MulticastReport> = reports
             .iter()
-            .filter(|(d, _)| *d == di)
-            .map(|(_, r)| r)
+            .filter_map(|(d, r)| if *d == di { r.as_ref() } else { None })
             .collect();
         let mut mean_period = Vec::with_capacity(config.kinds.len());
         for &kind in &config.kinds {
@@ -173,6 +164,183 @@ pub fn run_sweep(config: &SweepConfig) -> SweepResult {
         config: config.clone(),
         points,
     }
+}
+
+/// Runs the sweep, distributing the `(platform, density)` instances over
+/// the rayon pool.
+pub fn run_sweep(config: &SweepConfig) -> SweepResult {
+    let topologies = generate_topologies(config);
+
+    // Work items: one per (density, platform).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for di in 0..config.densities.len() {
+        for pi in 0..topologies.len() {
+            work.push((di, pi));
+        }
+    }
+
+    let reports: Vec<(usize, Option<MulticastReport>)> = work
+        .into_par_iter()
+        .map(|(di, pi)| (di, collect_report(&topologies[pi], config, di, pi)))
+        .collect();
+
+    aggregate(config, &reports)
+}
+
+/// Configuration of the full Figure 11 batch: platform classes crossed with
+/// a seed grid.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchConfig {
+    /// Platform classes to sweep (Figure 11 uses both).
+    pub classes: Vec<PlatformClass>,
+    /// Base seeds; each `(class, seed)` pair is one full sweep, so the seed
+    /// grid controls how many independent platform draws enter the batch.
+    pub seeds: Vec<u64>,
+    /// Paper-scale platform sizes (see [`SweepConfig::paper_scale`]).
+    pub paper_scale: bool,
+    /// Random platforms per sweep.
+    pub platforms: usize,
+    /// Target densities.
+    pub densities: Vec<f64>,
+    /// Heuristics / reference curves to run.
+    pub kinds: Vec<HeuristicKind>,
+    /// Override of `kinds` for [`PlatformClass::Big`] sweeps. The iterated
+    /// LP heuristics (Reduced Broadcast, Augmented Multicast, Augmented
+    /// Sources) solve dozens of broadcast LPs per instance and take minutes
+    /// on big-class platforms, so the default batch restricts big platforms
+    /// to the cheap curves; `None` applies `kinds` everywhere.
+    pub kinds_big: Option<Vec<HeuristicKind>>,
+}
+
+/// The cheap curves: references + the combinatorial MCPH heuristic (no
+/// iterated LP solves).
+pub const BASIC_KINDS: [HeuristicKind; 4] = [
+    HeuristicKind::Scatter,
+    HeuristicKind::LowerBound,
+    HeuristicKind::Broadcast,
+    HeuristicKind::Mcph,
+];
+
+impl BatchConfig {
+    /// The default `fig11` binary configuration: both classes, a two-seed
+    /// grid, quick sizes. Small platforms run the full Figure 11 comparison
+    /// (lower bound vs. Reduced Broadcast / Augmented Multicast / Augmented
+    /// Sources / MCPH); big platforms run the cheap curves (see
+    /// [`BatchConfig::kinds_big`]).
+    pub fn quick() -> Self {
+        BatchConfig {
+            classes: vec![PlatformClass::Small, PlatformClass::Big],
+            seeds: vec![42, 43],
+            paper_scale: false,
+            platforms: 2,
+            densities: vec![0.25, 0.5, 0.75, 1.0],
+            kinds: HeuristicKind::ALL.to_vec(),
+            kinds_big: Some(BASIC_KINDS.to_vec()),
+        }
+    }
+
+    /// A minimal batch for the CI bench-smoke job: one tiny sweep per class
+    /// restricted to the cheap reference curves + MCPH.
+    pub fn ci_smoke() -> Self {
+        BatchConfig {
+            classes: vec![PlatformClass::Small, PlatformClass::Big],
+            seeds: vec![42],
+            paper_scale: false,
+            platforms: 1,
+            densities: vec![0.5],
+            kinds: vec![
+                HeuristicKind::Scatter,
+                HeuristicKind::LowerBound,
+                HeuristicKind::Mcph,
+            ],
+            kinds_big: None,
+        }
+    }
+
+    /// The curves run on a given platform class.
+    pub fn kinds_for(&self, class: PlatformClass) -> Vec<HeuristicKind> {
+        match (class, &self.kinds_big) {
+            (PlatformClass::Big, Some(kinds)) => kinds.clone(),
+            _ => self.kinds.clone(),
+        }
+    }
+
+    /// The [`SweepConfig`] of one `(class, seed)` cell of the batch.
+    pub fn sweep_config(&self, class: PlatformClass, seed: u64) -> SweepConfig {
+        SweepConfig {
+            class,
+            paper_scale: self.paper_scale,
+            platforms: self.platforms,
+            densities: self.densities.clone(),
+            seed,
+            kinds: self.kinds_for(class),
+        }
+    }
+}
+
+/// The result of a [`run_batch`] call: one [`SweepResult`] per
+/// `(class, seed)` pair, in configuration order.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchResult {
+    /// One sweep per `(class, seed)`, classes outermost.
+    pub sweeps: Vec<SweepResult>,
+}
+
+/// Runs the full batch with every `(class, seed, density, platform)` work
+/// item flattened into a single rayon pool.
+///
+/// Flattening matters: a nested "parallel over sweeps, serial within" split
+/// would leave cores idle at the tail of each sweep, while the flat pool
+/// keeps the expensive LP-based heuristics busy until the very last item.
+pub fn run_batch(config: &BatchConfig) -> BatchResult {
+    // One SweepConfig + topology set per (class, seed) cell.
+    let cells: Vec<(SweepConfig, Vec<GeneratedTopology>)> = config
+        .classes
+        .iter()
+        .flat_map(|&class| config.seeds.iter().map(move |&seed| (class, seed)))
+        .map(|(class, seed)| {
+            let sweep_config = config.sweep_config(class, seed);
+            let topologies = generate_topologies(&sweep_config);
+            (sweep_config, topologies)
+        })
+        .collect();
+
+    // Flattened work items: (cell, density, platform).
+    let mut work: Vec<(usize, usize, usize)> = Vec::new();
+    for (ci, (sweep_config, topologies)) in cells.iter().enumerate() {
+        for di in 0..sweep_config.densities.len() {
+            for pi in 0..topologies.len() {
+                work.push((ci, di, pi));
+            }
+        }
+    }
+
+    let reports: Vec<(usize, usize, Option<MulticastReport>)> = work
+        .into_par_iter()
+        .map(|(ci, di, pi)| {
+            let (sweep_config, topologies) = &cells[ci];
+            (
+                ci,
+                di,
+                collect_report(&topologies[pi], sweep_config, di, pi),
+            )
+        })
+        .collect();
+
+    let sweeps = cells
+        .iter()
+        .enumerate()
+        .map(|(ci, (sweep_config, _))| {
+            let cell_reports: Vec<(usize, Option<MulticastReport>)> = reports
+                .iter()
+                .filter(|(c, _, _)| *c == ci)
+                .map(|(_, di, r)| (*di, r.clone()))
+                .collect();
+            aggregate(sweep_config, &cell_reports)
+        })
+        .collect();
+
+    BatchResult { sweeps }
 }
 
 #[cfg(test)]
@@ -203,7 +371,85 @@ mod tests {
         assert!(lb <= scatter + 1e-6);
         assert!(mcph >= lb - 1e-6);
         // Ratios normalise as in Figure 11.
-        assert!(point.ratio(HeuristicKind::LowerBound, HeuristicKind::Scatter).unwrap() <= 1.0 + 1e-9);
-        assert!(point.ratio(HeuristicKind::Mcph, HeuristicKind::LowerBound).unwrap() >= 1.0 - 1e-9);
+        assert!(
+            point
+                .ratio(HeuristicKind::LowerBound, HeuristicKind::Scatter)
+                .unwrap()
+                <= 1.0 + 1e-9
+        );
+        assert!(
+            point
+                .ratio(HeuristicKind::Mcph, HeuristicKind::LowerBound)
+                .unwrap()
+                >= 1.0 - 1e-9
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_runs() {
+        let config = SweepConfig {
+            class: PlatformClass::Small,
+            paper_scale: false,
+            platforms: 2,
+            densities: vec![0.25, 0.75],
+            seed: 11,
+            kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+        };
+        let a = run_sweep(&config);
+        let b = run_sweep(&config);
+        for (pa, pb) in a.points.iter().zip(&b.points) {
+            assert_eq!(pa.instances, pb.instances);
+            for ((ka, va), (kb, vb)) in pa.mean_period.iter().zip(&pb.mean_period) {
+                assert_eq!(ka, kb);
+                // Bitwise equality: same work items, same order, same FP ops.
+                assert_eq!(va.to_bits(), vb.to_bits(), "{ka:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_covers_every_class_seed_cell() {
+        let config = BatchConfig {
+            classes: vec![PlatformClass::Small, PlatformClass::Big],
+            seeds: vec![3, 5],
+            paper_scale: false,
+            platforms: 1,
+            densities: vec![0.5],
+            kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+            kinds_big: None,
+        };
+        let result = run_batch(&config);
+        assert_eq!(result.sweeps.len(), 4);
+        assert_eq!(result.sweeps[0].config.class, PlatformClass::Small);
+        assert_eq!(result.sweeps[0].config.seed, 3);
+        assert_eq!(result.sweeps[3].config.class, PlatformClass::Big);
+        assert_eq!(result.sweeps[3].config.seed, 5);
+        for sweep in &result.sweeps {
+            assert_eq!(sweep.points.len(), 1);
+            assert_eq!(sweep.points[0].instances, 1);
+        }
+    }
+
+    #[test]
+    fn batch_cell_matches_standalone_sweep() {
+        let batch_config = BatchConfig {
+            classes: vec![PlatformClass::Small],
+            seeds: vec![9],
+            paper_scale: false,
+            platforms: 2,
+            densities: vec![0.5, 1.0],
+            kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+            kinds_big: None,
+        };
+        let batch = run_batch(&batch_config);
+        let standalone = run_sweep(&batch_config.sweep_config(PlatformClass::Small, 9));
+        assert_eq!(batch.sweeps.len(), 1);
+        for (pb, ps) in batch.sweeps[0].points.iter().zip(&standalone.points) {
+            assert_eq!(pb.instances, ps.instances);
+            for ((kb, vb), (ks, vs)) in pb.mean_period.iter().zip(&ps.mean_period) {
+                assert_eq!(kb, ks);
+                assert_eq!(vb.to_bits(), vs.to_bits());
+            }
+        }
     }
 }

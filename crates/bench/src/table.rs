@@ -73,10 +73,7 @@ mod tests {
             config,
             points: vec![SweepPoint {
                 density: 0.5,
-                mean_period: vec![
-                    (HeuristicKind::Scatter, 4.0),
-                    (HeuristicKind::Mcph, 2.0),
-                ],
+                mean_period: vec![(HeuristicKind::Scatter, 4.0), (HeuristicKind::Mcph, 2.0)],
                 instances: 1,
             }],
         }

@@ -46,7 +46,8 @@ impl MulticastGadget {
             .map(|j| b.add_named_node(&format!("X{}", j + 1)))
             .collect();
         for &c in &subset_nodes {
-            b.add_edge(source, c, 1.0 / bound as f64).expect("source -> Ci edge");
+            b.add_edge(source, c, 1.0 / bound as f64)
+                .expect("source -> Ci edge");
         }
         for (i, subset) in set_cover.subsets().iter().enumerate() {
             for &j in subset {
@@ -154,9 +155,13 @@ mod tests {
         assert_eq!(p.edge_count(), 4 + memberships);
         assert_eq!(gadget.instance.target_count(), 8);
         // Edge costs: 1/B to the subsets, 1/N to the elements.
-        let e = p.find_edge(gadget.instance.source, gadget.subset_nodes[0]).unwrap();
+        let e = p
+            .find_edge(gadget.instance.source, gadget.subset_nodes[0])
+            .unwrap();
         assert!((p.cost(e) - 0.5).abs() < 1e-12);
-        let e = p.find_edge(gadget.subset_nodes[0], gadget.element_nodes[0]).unwrap();
+        let e = p
+            .find_edge(gadget.subset_nodes[0], gadget.element_nodes[0])
+            .unwrap();
         assert!((p.cost(e) - 1.0 / 8.0).abs() < 1e-12);
     }
 

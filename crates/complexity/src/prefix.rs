@@ -185,7 +185,11 @@ impl PrefixGadget {
         for j in 1..=n {
             compute[self.prime_nodes[j - 1].index()] += j as f64 * self.participant_speed();
         }
-        SchemeBudget { send, recv, compute }
+        SchemeBudget {
+            send,
+            recv,
+            compute,
+        }
     }
 
     /// Verifies the forward direction of Theorem 5: with a cover of size at

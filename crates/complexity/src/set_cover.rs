@@ -58,7 +58,10 @@ impl SetCoverInstance {
             s.dedup();
             for &e in &s {
                 if e >= universe {
-                    return Err(SetCoverError::ElementOutOfRange { subset: i, element: e });
+                    return Err(SetCoverError::ElementOutOfRange {
+                        subset: i,
+                        element: e,
+                    });
                 }
                 covered[e] = true;
             }
@@ -67,7 +70,10 @@ impl SetCoverInstance {
         if let Some(missing) = covered.iter().position(|&c| !c) {
             return Err(SetCoverError::NotCoverable(missing));
         }
-        Ok(SetCoverInstance { universe, subsets: cleaned })
+        Ok(SetCoverInstance {
+            universe,
+            subsets: cleaned,
+        })
     }
 
     /// The running example used in Figure 2 of the paper:

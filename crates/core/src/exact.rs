@@ -259,7 +259,9 @@ impl ExactTreePacking {
             .expect("at least one tree");
 
         let mut lp = LpProblem::new(Objective::Maximize);
-        let y: Vec<VarId> = (0..trees.len()).map(|k| lp.add_var(&format!("y{k}"))).collect();
+        let y: Vec<VarId> = (0..trees.len())
+            .map(|k| lp.add_var(&format!("y{k}")))
+            .collect();
         for &v in &y {
             lp.set_objective_coeff(v, 1.0);
         }
@@ -309,7 +311,11 @@ impl ExactTreePacking {
         let throughput = sol.objective;
         Ok(ExactSolution {
             throughput,
-            period: if throughput > 0.0 { 1.0 / throughput } else { f64::INFINITY },
+            period: if throughput > 0.0 {
+                1.0 / throughput
+            } else {
+                f64::INFINITY
+            },
             tree_set,
             trees_enumerated: trees.len(),
             best_single_tree: trees[best_idx].clone(),
@@ -348,7 +354,11 @@ mod tests {
         let exact = ExactTreePacking::new().solve(&inst).unwrap();
         // The optimal steady-state throughput is exactly 1 multicast per
         // time-unit (Section 3)...
-        assert!((exact.throughput - 1.0).abs() < 1e-5, "throughput {}", exact.throughput);
+        assert!(
+            (exact.throughput - 1.0).abs() < 1e-5,
+            "throughput {}",
+            exact.throughput
+        );
         // ... no single tree achieves it ...
         assert!(exact.best_single_tree_throughput < 1.0 - 1e-6);
         // ... and the optimal combination is feasible under one-port.
@@ -358,12 +368,24 @@ mod tests {
 
     #[test]
     fn exact_is_sandwiched_between_the_lp_bounds() {
-        for inst in [figure1_instance(), figure5_instance(4), chain_instance(5, 1.0)] {
+        for inst in [
+            figure1_instance(),
+            figure5_instance(4),
+            chain_instance(5, 1.0),
+        ] {
             let lb = MulticastLb::new(&inst).solve().unwrap().period;
             let ub = MulticastUb::new(&inst).solve().unwrap().period;
             let exact = ExactTreePacking::new().solve(&inst).unwrap();
-            assert!(lb <= exact.period + 1e-6, "LB {lb} > exact {}", exact.period);
-            assert!(exact.period <= ub + 1e-6, "exact {} > UB {ub}", exact.period);
+            assert!(
+                lb <= exact.period + 1e-6,
+                "LB {lb} > exact {}",
+                exact.period
+            );
+            assert!(
+                exact.period <= ub + 1e-6,
+                "exact {} > UB {ub}",
+                exact.period
+            );
         }
     }
 
@@ -371,8 +393,14 @@ mod tests {
     fn enumeration_limits_are_enforced() {
         let inst = figure1_instance();
         let solver = ExactTreePacking {
-            limits: EnumerationLimits { max_subsets: 4, max_trees: 10 },
+            limits: EnumerationLimits {
+                max_subsets: 4,
+                max_trees: 10,
+            },
         };
-        assert_eq!(solver.enumerate_trees(&inst).unwrap_err(), ExactError::TooLarge);
+        assert_eq!(
+            solver.enumerate_trees(&inst).unwrap_err(),
+            ExactError::TooLarge
+        );
     }
 }

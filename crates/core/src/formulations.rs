@@ -237,7 +237,11 @@ fn solve_single_source(
         .collect();
     Ok(FlowSolution {
         period,
-        throughput: if period > 0.0 { 1.0 / period } else { f64::INFINITY },
+        throughput: if period > 0.0 {
+            1.0 / period
+        } else {
+            f64::INFINITY
+        },
         target_flows,
         edge_load,
     })
@@ -313,13 +317,12 @@ fn broadcast_instance(instance: &MulticastInstance) -> Result<MulticastInstance,
         .nodes()
         .filter(|&v| v != instance.source)
         .collect();
-    MulticastInstance::new(instance.platform.clone(), instance.source, targets).map_err(|e| {
-        match e {
-            pm_platform::instances::InstanceError::UnreachableTarget(n) => {
-                FormulationError::Unreachable(n)
-            }
-            other => FormulationError::InvalidArgument(other.to_string()),
+    MulticastInstance::new(instance.platform.clone(), instance.source, targets).map_err(|e| match e
+    {
+        pm_platform::instances::InstanceError::UnreachableTarget(n) => {
+            FormulationError::Unreachable(n)
         }
+        other => FormulationError::InvalidArgument(other.to_string()),
     })
 }
 
@@ -351,7 +354,10 @@ pub struct MulticastMultiSourceUb<'a> {
 impl<'a> MulticastMultiSourceUb<'a> {
     /// Prepares the formulation. `sources` is the ordered list of sources,
     /// beginning with the instance's own source.
-    pub fn new(instance: &'a MulticastInstance, sources: Vec<NodeId>) -> Result<Self, FormulationError> {
+    pub fn new(
+        instance: &'a MulticastInstance,
+        sources: Vec<NodeId>,
+    ) -> Result<Self, FormulationError> {
         if sources.first() != Some(&instance.source) {
             return Err(FormulationError::InvalidArgument(
                 "the first source must be the instance's source".to_string(),
@@ -360,10 +366,14 @@ impl<'a> MulticastMultiSourceUb<'a> {
         let mut seen = std::collections::HashSet::new();
         for &s in &sources {
             if s.index() >= instance.platform.node_count() {
-                return Err(FormulationError::InvalidArgument(format!("unknown node {s}")));
+                return Err(FormulationError::InvalidArgument(format!(
+                    "unknown node {s}"
+                )));
             }
             if !seen.insert(s) {
-                return Err(FormulationError::InvalidArgument(format!("duplicate source {s}")));
+                return Err(FormulationError::InvalidArgument(format!(
+                    "duplicate source {s}"
+                )));
             }
         }
         Ok(MulticastMultiSourceUb { instance, sources })
@@ -385,11 +395,17 @@ impl<'a> MulticastMultiSourceUb<'a> {
         }
         let mut dests: Vec<Dest> = Vec::new();
         for (i, &s) in sources.iter().enumerate().skip(1) {
-            dests.push(Dest { node: s, origins: i });
+            dests.push(Dest {
+                node: s,
+                origins: i,
+            });
         }
         for &t in &self.instance.targets {
             if !sources.contains(&t) {
-                dests.push(Dest { node: t, origins: l });
+                dests.push(Dest {
+                    node: t,
+                    origins: l,
+                });
             }
         }
         if dests.is_empty() {
@@ -432,9 +448,9 @@ impl<'a> MulticastMultiSourceUb<'a> {
         // (2)/(2b): one full message enters the destination.
         for (di, d) in dests.iter().enumerate() {
             let mut terms: Vec<(VarId, f64)> = Vec::new();
-            for j in 0..d.origins {
+            for xj in x[di].iter().take(d.origins) {
                 for &e in platform.in_edges(d.node) {
-                    terms.push((x[di][j][e.index()], 1.0));
+                    terms.push((xj[e.index()], 1.0));
                 }
             }
             if terms.is_empty() {
@@ -476,8 +492,8 @@ impl<'a> MulticastMultiSourceUb<'a> {
             let cost = platform.cost(EdgeId(e as u32));
             let mut terms = Vec::new();
             for (di, d) in dests.iter().enumerate() {
-                for j in 0..d.origins {
-                    terms.push((x[di][j][e], cost));
+                for xj in x[di].iter().take(d.origins) {
+                    terms.push((xj[e], cost));
                 }
             }
             terms
@@ -514,9 +530,9 @@ impl<'a> MulticastMultiSourceUb<'a> {
         let period = sol.value(t_star);
         let mut edge_load = vec![0.0; m];
         for (di, d) in dests.iter().enumerate() {
-            for j in 0..d.origins {
-                for e in 0..m {
-                    edge_load[e] += sol.value(x[di][j][e]);
+            for xj in x[di].iter().take(d.origins) {
+                for (e, load) in edge_load.iter_mut().enumerate() {
+                    *load += sol.value(xj[e]);
                 }
             }
         }
@@ -525,8 +541,8 @@ impl<'a> MulticastMultiSourceUb<'a> {
             let mut s = 0.0;
             for &e in platform.in_edges(node) {
                 for (di, d) in dests.iter().enumerate() {
-                    for j in 0..d.origins {
-                        s += sol.value(x[di][j][e.index()]);
+                    for xj in x[di].iter().take(d.origins) {
+                        s += sol.value(xj[e.index()]);
                     }
                 }
             }
@@ -534,7 +550,11 @@ impl<'a> MulticastMultiSourceUb<'a> {
         }
         Ok(MultiSourceSolution {
             period,
-            throughput: if period > 0.0 { 1.0 / period } else { f64::INFINITY },
+            throughput: if period > 0.0 {
+                1.0 / period
+            } else {
+                f64::INFINITY
+            },
             edge_load,
             incoming_score,
         })

@@ -54,7 +54,11 @@ impl HeuristicResult {
         HeuristicResult {
             name: name.to_string(),
             period,
-            throughput: if period > 0.0 { 1.0 / period } else { f64::INFINITY },
+            throughput: if period > 0.0 {
+                1.0 / period
+            } else {
+                f64::INFINITY
+            },
             tree: None,
             selected_nodes: Vec::new(),
             lp_solves: 0,
@@ -291,7 +295,10 @@ pub struct Mcph;
 
 impl Mcph {
     /// Builds the multicast tree chosen by the heuristic.
-    pub fn build_tree(&self, instance: &MulticastInstance) -> Result<MulticastTree, FormulationError> {
+    pub fn build_tree(
+        &self,
+        instance: &MulticastInstance,
+    ) -> Result<MulticastTree, FormulationError> {
         let platform = &instance.platform;
         // Modifiable edge costs: edges already carrying the message are free,
         // and adding a new outgoing edge to a node that already sends data
@@ -338,8 +345,9 @@ impl Mcph {
                 tree_edges.push(e);
             }
         }
-        MulticastTree::new(instance, tree_edges)
-            .map_err(|e| FormulationError::InvalidArgument(format!("MCPH built an invalid tree: {e}")))
+        MulticastTree::new(instance, tree_edges).map_err(|e| {
+            FormulationError::InvalidArgument(format!("MCPH built an invalid tree: {e}"))
+        })
     }
 }
 

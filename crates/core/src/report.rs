@@ -103,7 +103,10 @@ impl MulticastReport {
 
     /// The period measured for a given kind, if it was collected.
     pub fn period(&self, kind: HeuristicKind) -> Option<f64> {
-        self.periods.iter().find(|(k, _)| *k == kind).map(|&(_, p)| p)
+        self.periods
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, p)| p)
     }
 
     /// The ratio `period(kind) / period(reference)`, the quantity plotted in
@@ -153,7 +156,10 @@ mod tests {
     #[test]
     fn labels_match_the_paper() {
         assert_eq!(HeuristicKind::Scatter.label(), "scatter");
-        assert_eq!(HeuristicKind::MultisourceMulticast.label(), "Multisource MC");
+        assert_eq!(
+            HeuristicKind::MultisourceMulticast.label(),
+            "Multisource MC"
+        );
         assert_eq!(HeuristicKind::ALL.len(), 7);
     }
 }

@@ -170,7 +170,11 @@ impl LpProblem {
         relation: Relation,
         rhs: f64,
     ) -> usize {
-        self.constraints.push(Constraint { terms, relation, rhs });
+        self.constraints.push(Constraint {
+            terms,
+            relation,
+            rhs,
+        });
         self.constraints.len() - 1
     }
 

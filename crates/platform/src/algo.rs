@@ -20,7 +20,10 @@ impl PartialOrd for MinF64 {
 impl Ord for MinF64 {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering so that the std max-heap pops the smallest key.
-        other.0.partial_cmp(&self.0).expect("priorities must not be NaN")
+        other
+            .0
+            .partial_cmp(&self.0)
+            .expect("priorities must not be NaN")
     }
 }
 
@@ -155,7 +158,10 @@ pub fn reachable_from(platform: &Platform, source: NodeId) -> Vec<NodeId> {
             }
         }
     }
-    (0..n as u32).map(NodeId).filter(|v| seen[v.index()]).collect()
+    (0..n as u32)
+        .map(NodeId)
+        .filter(|v| seen[v.index()])
+        .collect()
 }
 
 /// Whether every node of `targets` is reachable from `source`.

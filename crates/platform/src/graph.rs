@@ -219,9 +219,9 @@ impl Platform {
         let mut old_to_new: HashMap<NodeId, NodeId> = HashMap::new();
         let mut new_to_old: Vec<NodeId> = Vec::new();
         for &n in keep {
-            if !old_to_new.contains_key(&n) {
+            if let std::collections::hash_map::Entry::Vacant(slot) = old_to_new.entry(n) {
                 let new_id = NodeId(new_to_old.len() as u32);
-                old_to_new.insert(n, new_id);
+                slot.insert(new_id);
                 new_to_old.push(n);
             }
         }
@@ -355,8 +355,14 @@ mod tests {
         let g = triangle();
         assert_eq!(g.node_count(), 3);
         assert_eq!(g.edge_count(), 3);
-        assert_eq!(g.out_neighbors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(1)]);
-        assert_eq!(g.in_neighbors(NodeId(0)).collect::<Vec<_>>(), vec![NodeId(2)]);
+        assert_eq!(
+            g.out_neighbors(NodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(1)]
+        );
+        assert_eq!(
+            g.in_neighbors(NodeId(0)).collect::<Vec<_>>(),
+            vec![NodeId(2)]
+        );
         assert_eq!(g.degree(NodeId(1)), 2);
     }
 
@@ -400,7 +406,10 @@ mod tests {
 
     #[test]
     fn empty_platform_is_rejected() {
-        assert_eq!(PlatformBuilder::new().build().err(), Some(PlatformError::Empty));
+        assert_eq!(
+            PlatformBuilder::new().build().err(),
+            Some(PlatformError::Empty)
+        );
     }
 
     #[test]

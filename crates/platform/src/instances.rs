@@ -85,7 +85,11 @@ impl MulticastInstance {
                 .expect("at least one target is unreachable");
             return Err(InstanceError::UnreachableTarget(unreachable));
         }
-        Ok(Self { platform, source, targets })
+        Ok(Self {
+            platform,
+            source,
+            targets,
+        })
     }
 
     /// Number of targets `|Ptarget|`.
@@ -146,7 +150,9 @@ pub fn figure1_instance() -> MulticastInstance {
     let mut b = PlatformBuilder::new();
     let source = b.add_named_node("Psource");
     // P1..P13 in order so that NodeId(i) is Pi.
-    let p: Vec<NodeId> = (1..=13).map(|i| b.add_named_node(&format!("P{i}"))).collect();
+    let p: Vec<NodeId> = (1..=13)
+        .map(|i| b.add_named_node(&format!("P{i}")))
+        .collect();
     let node = |i: usize| -> NodeId {
         if i == 0 {
             source
@@ -261,7 +267,8 @@ pub fn sender_heterogeneous_clique(n: usize, base: f64) -> MulticastInstance {
     for (i, &u) in nodes.iter().enumerate() {
         for &v in &nodes {
             if u != v {
-                b.add_edge(u, v, (i + 1) as f64 * base).expect("clique edge");
+                b.add_edge(u, v, (i + 1) as f64 * base)
+                    .expect("clique edge");
             }
         }
     }
@@ -299,7 +306,9 @@ mod tests {
         let inst = figure5_instance(3);
         assert_eq!(inst.platform.node_count(), 5);
         assert_eq!(inst.target_count(), 3);
-        assert!((inst.platform.cost(inst.platform.out_edges(NodeId(1))[0]) - 1.0 / 3.0).abs() < 1e-12);
+        assert!(
+            (inst.platform.cost(inst.platform.out_edges(NodeId(1))[0]) - 1.0 / 3.0).abs() < 1e-12
+        );
     }
 
     #[test]

@@ -252,7 +252,8 @@ impl TiersLikeGenerator {
             }
             let attach = wan[self.rng.gen_range(0..wan.len())];
             let c = self.cost_in(p.man_cost);
-            b.add_bidirectional(attach, nodes[0], c).expect("man uplink");
+            b.add_bidirectional(attach, nodes[0], c)
+                .expect("man uplink");
             man_heads.push(nodes[0]);
             man.extend(nodes);
         }
@@ -293,14 +294,20 @@ impl TiersLikeGenerator {
                 // A little intra-LAN connectivity so LAN nodes can relay.
                 if i > 0 {
                     let c = self.cost_in(p.lan_cost);
-                    b.add_bidirectional(nodes[i - 1], node, c).expect("lan link");
+                    b.add_bidirectional(nodes[i - 1], node, c)
+                        .expect("lan link");
                 }
             }
             lan.extend(nodes);
         }
 
         let platform = b.build().expect("generated platform is non-empty");
-        GeneratedTopology { platform, wan, man, lan }
+        GeneratedTopology {
+            platform,
+            wan,
+            man,
+            lan,
+        }
     }
 }
 
@@ -356,7 +363,10 @@ mod tests {
         let inst_full = topo.sample_instance(1.0, &mut rng);
         assert_eq!(inst_full.target_count(), topo.lan.len());
         let inst_half = topo.sample_instance(0.5, &mut rng);
-        assert_eq!(inst_half.target_count(), (topo.lan.len() as f64 * 0.5).round() as usize);
+        assert_eq!(
+            inst_half.target_count(),
+            (topo.lan.len() as f64 * 0.5).round() as usize
+        );
         // Targets are LAN nodes only.
         for t in &inst_half.targets {
             assert!(topo.lan.contains(t));
@@ -367,8 +377,16 @@ mod tests {
     fn link_costs_are_within_the_configured_ranges() {
         let params = TopologyParams::reduced_big();
         let topo = TiersLikeGenerator::new(params.clone(), 3).generate();
-        let min = params.wan_cost.0.min(params.man_cost.0).min(params.lan_cost.0);
-        let max = params.wan_cost.1.max(params.man_cost.1).max(params.lan_cost.1);
+        let min = params
+            .wan_cost
+            .0
+            .min(params.man_cost.0)
+            .min(params.lan_cost.0);
+        let max = params
+            .wan_cost
+            .1
+            .max(params.man_cost.1)
+            .max(params.lan_cost.1);
         for (_, e) in topo.platform.edges() {
             assert!(e.cost >= min && e.cost <= max);
         }

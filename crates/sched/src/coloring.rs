@@ -148,7 +148,14 @@ fn critical_matching(
                 None => true,
                 Some(other_task) => {
                     let other_send = tasks[other_task].src.index();
-                    try_augment(other_send, by_send, tasks, matched_send, matched_recv, visited_recv)
+                    try_augment(
+                        other_send,
+                        by_send,
+                        tasks,
+                        matched_send,
+                        matched_recv,
+                        visited_recv,
+                    )
                 }
             };
             if free {
@@ -165,7 +172,14 @@ fn critical_matching(
             continue;
         }
         let mut visited = vec![false; num_nodes];
-        try_augment(s, &by_send, tasks, &mut matched_send, &mut matched_recv, &mut visited);
+        try_augment(
+            s,
+            &by_send,
+            tasks,
+            &mut matched_send,
+            &mut matched_recv,
+            &mut visited,
+        );
     }
 
     // Repair from the send side: cover every critical, uncovered send port by
@@ -210,8 +224,20 @@ fn repair_side(
     matched_other: &mut [Option<usize>],
     from_send_side: bool,
 ) {
-    let this_port = |task: &CommTask| if from_send_side { task.src.index() } else { task.dst.index() };
-    let other_port = |task: &CommTask| if from_send_side { task.dst.index() } else { task.src.index() };
+    let this_port = |task: &CommTask| {
+        if from_send_side {
+            task.src.index()
+        } else {
+            task.dst.index()
+        }
+    };
+    let other_port = |task: &CommTask| {
+        if from_send_side {
+            task.dst.index()
+        } else {
+            task.src.index()
+        }
+    };
 
     for start in 0..num_nodes {
         if !critical[start] || matched_this[start].is_some() || incidence[start].is_empty() {
@@ -228,7 +254,15 @@ fn repair_side(
                 match matched_other[r] {
                     None => {
                         // Augmenting path: flip the non-matching edges.
-                        apply_flip(&path, tasks, matched_this, matched_other, this_port, other_port, None);
+                        apply_flip(
+                            &path,
+                            tasks,
+                            matched_this,
+                            matched_other,
+                            this_port,
+                            other_port,
+                            None,
+                        );
                         matched_this[s] = Some(e);
                         matched_other[r] = Some(e);
                         // `start` is covered through the flipped path (or is
@@ -315,18 +349,15 @@ pub fn schedule_tasks(num_nodes: usize, tasks: &[CommTask]) -> ColoredSchedule {
     let max_slots = 4 * (tasks.len() + 1) * (num_nodes + 1);
     for _ in 0..max_slots {
         let (send, recv) = port_loads(num_nodes, tasks, &remaining);
-        let max_load = send
-            .iter()
-            .chain(recv.iter())
-            .copied()
-            .fold(0.0, f64::max);
+        let max_load = send.iter().chain(recv.iter()).copied().fold(0.0, f64::max);
         if max_load <= EPS {
             break;
         }
         let critical_send: Vec<bool> = send.iter().map(|&l| l >= max_load - EPS).collect();
         let critical_recv: Vec<bool> = recv.iter().map(|&l| l >= max_load - EPS).collect();
 
-        let matched_send = critical_matching(num_nodes, tasks, &remaining, &critical_send, &critical_recv);
+        let matched_send =
+            critical_matching(num_nodes, tasks, &remaining, &critical_send, &critical_recv);
         let matched: Vec<usize> = matched_send.iter().filter_map(|&m| m).collect();
         if matched.is_empty() {
             break;
@@ -376,7 +407,10 @@ pub fn schedule_tasks(num_nodes: usize, tasks: &[CommTask]) -> ColoredSchedule {
             }
         }
         makespan += delta;
-        slots.push(ColorSlot { duration: delta, assignments });
+        slots.push(ColorSlot {
+            duration: delta,
+            assignments,
+        });
     }
 
     ColoredSchedule { makespan, slots }
@@ -514,7 +548,10 @@ mod tests {
                 .collect();
             let bound = max_port_load(n, &tasks);
             let sched = schedule_tasks(n, &tasks);
-            assert!(sched.validate(&tasks, 1e-7), "seed {seed}: invalid schedule");
+            assert!(
+                sched.validate(&tasks, 1e-7),
+                "seed {seed}: invalid schedule"
+            );
             assert!(
                 sched.makespan <= bound * (1.0 + 1e-6) + 1e-6,
                 "seed {seed}: makespan {} exceeds bound {}",

@@ -194,10 +194,16 @@ impl PeriodicSchedule {
                     return Err(ScheduleError::SlotsExceedPeriod);
                 }
                 if !senders.insert(t.src) {
-                    return Err(ScheduleError::OnePortViolation { slot: i, node: t.src });
+                    return Err(ScheduleError::OnePortViolation {
+                        slot: i,
+                        node: t.src,
+                    });
                 }
                 if !receivers.insert(t.dst) {
-                    return Err(ScheduleError::OnePortViolation { slot: i, node: t.dst });
+                    return Err(ScheduleError::OnePortViolation {
+                        slot: i,
+                        node: t.dst,
+                    });
                 }
                 let _ = platform; // transfers need not follow platform edges in tests
             }
@@ -282,16 +288,35 @@ mod tests {
         let tree_a = MulticastTree::new(
             &inst,
             vec![
-                e(0, 1), e(0, 3), e(3, 4), e(4, 5), e(5, 6), e(6, 7),
-                e(7, 8), e(7, 9), e(7, 10), e(1, 11), e(11, 12), e(11, 13),
+                e(0, 1),
+                e(0, 3),
+                e(3, 4),
+                e(4, 5),
+                e(5, 6),
+                e(6, 7),
+                e(7, 8),
+                e(7, 9),
+                e(7, 10),
+                e(1, 11),
+                e(11, 12),
+                e(11, 13),
             ],
         )
         .unwrap();
         let tree_b = MulticastTree::new(
             &inst,
             vec![
-                e(0, 3), e(3, 2), e(2, 1), e(2, 6), e(6, 7),
-                e(7, 8), e(7, 9), e(7, 10), e(1, 11), e(11, 12), e(11, 13),
+                e(0, 3),
+                e(3, 2),
+                e(2, 1),
+                e(2, 6),
+                e(6, 7),
+                e(7, 8),
+                e(7, 9),
+                e(7, 10),
+                e(1, 11),
+                e(11, 12),
+                e(11, 13),
             ],
         )
         .unwrap();
@@ -319,14 +344,27 @@ mod tests {
                 offset: 0.0,
                 duration: 0.5,
                 transfers: vec![
-                    Transfer { src: NodeId(0), dst: NodeId(1), duration: 0.5, tree: 0 },
-                    Transfer { src: NodeId(0), dst: NodeId(2), duration: 0.5, tree: 1 },
+                    Transfer {
+                        src: NodeId(0),
+                        dst: NodeId(1),
+                        duration: 0.5,
+                        tree: 0,
+                    },
+                    Transfer {
+                        src: NodeId(0),
+                        dst: NodeId(2),
+                        duration: 0.5,
+                        tree: 1,
+                    },
                 ],
             }],
         };
         assert!(matches!(
             bad.validate(&inst.platform),
-            Err(ScheduleError::OnePortViolation { node: NodeId(0), .. })
+            Err(ScheduleError::OnePortViolation {
+                node: NodeId(0),
+                ..
+            })
         ));
     }
 
@@ -340,15 +378,28 @@ mod tests {
                 ScheduleSlot {
                     offset: 0.0,
                     duration: 0.4,
-                    transfers: vec![Transfer { src: NodeId(0), dst: NodeId(1), duration: 0.4, tree: 0 }],
+                    transfers: vec![Transfer {
+                        src: NodeId(0),
+                        dst: NodeId(1),
+                        duration: 0.4,
+                        tree: 0,
+                    }],
                 },
                 ScheduleSlot {
                     offset: 0.4,
                     duration: 0.4,
-                    transfers: vec![Transfer { src: NodeId(0), dst: NodeId(2), duration: 0.4, tree: 0 }],
+                    transfers: vec![Transfer {
+                        src: NodeId(0),
+                        dst: NodeId(2),
+                        duration: 0.4,
+                        tree: 0,
+                    }],
                 },
             ],
         };
-        assert_eq!(bad.validate(&inst.platform), Err(ScheduleError::SlotsExceedPeriod));
+        assert_eq!(
+            bad.validate(&inst.platform),
+            Err(ScheduleError::SlotsExceedPeriod)
+        );
     }
 }

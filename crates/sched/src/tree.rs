@@ -42,7 +42,9 @@ impl fmt::Display for TreeError {
             TreeError::UnknownEdge(e) => write!(f, "unknown edge {e}"),
             TreeError::MultipleParents(n) => write!(f, "node {n} has several parents"),
             TreeError::SourceHasParent => write!(f, "the source has an incoming tree edge"),
-            TreeError::Disconnected(n) => write!(f, "tree edge from {n} is not connected to the source"),
+            TreeError::Disconnected(n) => {
+                write!(f, "tree edge from {n} is not connected to the source")
+            }
             TreeError::TargetNotCovered(n) => write!(f, "target {n} is not covered by the tree"),
             TreeError::InvalidWeight(w) => write!(f, "invalid tree weight {w}"),
         }
@@ -418,8 +420,14 @@ mod tests {
         let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
         let t1 = MulticastTree::new(&inst, vec![e_sa, e_at]).unwrap();
         let mut set = WeightedTreeSet::new();
-        assert!(matches!(set.push(t1.clone(), -0.5), Err(TreeError::InvalidWeight(_))));
-        assert!(matches!(set.push(t1, f64::NAN), Err(TreeError::InvalidWeight(_))));
+        assert!(matches!(
+            set.push(t1.clone(), -0.5),
+            Err(TreeError::InvalidWeight(_))
+        ));
+        assert!(matches!(
+            set.push(t1, f64::NAN),
+            Err(TreeError::InvalidWeight(_))
+        ));
     }
 
     #[test]

@@ -21,7 +21,10 @@ pub struct SimulationConfig {
 
 impl Default for SimulationConfig {
     fn default() -> Self {
-        SimulationConfig { horizon: 200, warmup: 20 }
+        SimulationConfig {
+            horizon: 200,
+            warmup: 20,
+        }
     }
 }
 
@@ -86,7 +89,11 @@ impl Simulator {
             total_time,
             completed_multicasts: completed,
             throughput,
-            period: if throughput > 0.0 { 1.0 / throughput } else { f64::INFINITY },
+            period: if throughput > 0.0 {
+                1.0 / throughput
+            } else {
+                f64::INFINITY
+            },
             utilization,
             one_port_violations: violations,
         }
@@ -140,7 +147,10 @@ impl Simulator {
         }
         impl Ord for Event {
             fn cmp(&self, other: &Self) -> Ordering {
-                other.time.partial_cmp(&self.time).expect("times are finite")
+                other
+                    .time
+                    .partial_cmp(&self.time)
+                    .expect("times are finite")
             }
         }
 
@@ -195,7 +205,10 @@ impl Simulator {
                     if !children[node.index()].is_empty() {
                         queues[node.index()].push_back((msg, 0));
                         if !send_busy[node.index()] {
-                            heap.push(Event { time: now, kind: EventKind::SendFree { node } });
+                            heap.push(Event {
+                                time: now,
+                                kind: EventKind::SendFree { node },
+                            });
                             send_busy[node.index()] = true;
                         }
                     }
@@ -218,7 +231,10 @@ impl Simulator {
                             if child_idx + 1 < children[node.index()].len() {
                                 queues[node.index()].push_front((msg, child_idx + 1));
                             }
-                            heap.push(Event { time: done, kind: EventKind::SendFree { node } });
+                            heap.push(Event {
+                                time: done,
+                                kind: EventKind::SendFree { node },
+                            });
                         }
                     }
                 }
@@ -291,7 +307,10 @@ mod tests {
         let g = &inst.platform;
         let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
         let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2), e(2, 3)]).unwrap();
-        let sim = Simulator::new(SimulationConfig { horizon: 300, warmup: 30 });
+        let sim = Simulator::new(SimulationConfig {
+            horizon: 300,
+            warmup: 30,
+        });
         let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
         assert!((report.period - tree.period(g)).abs() < 1e-6);
         assert_eq!(report.completed_multicasts, 300.0);
@@ -313,7 +332,10 @@ mod tests {
         let inst = MulticastInstance::new(g.clone(), s, vec![c1, c2, c3]).unwrap();
         let e = |a: NodeId, b: NodeId| g.find_edge(a, b).unwrap();
         let tree = MulticastTree::new(&inst, vec![e(s, c1), e(s, c2), e(s, c3)]).unwrap();
-        let sim = Simulator::new(SimulationConfig { horizon: 200, warmup: 20 });
+        let sim = Simulator::new(SimulationConfig {
+            horizon: 200,
+            warmup: 20,
+        });
         let report = sim.run_tree_pipeline(&g, &tree, &inst.targets);
         assert!((tree.period(&g) - 6.0).abs() < 1e-12);
         assert!((report.period - 6.0).abs() < 1e-6);
@@ -328,12 +350,24 @@ mod tests {
         let tree = MulticastTree::new(
             &inst,
             vec![
-                e(0, 1), e(0, 3), e(3, 2), e(2, 6), e(6, 7),
-                e(7, 8), e(7, 9), e(7, 10), e(1, 11), e(11, 12), e(11, 13),
+                e(0, 1),
+                e(0, 3),
+                e(3, 2),
+                e(2, 6),
+                e(6, 7),
+                e(7, 8),
+                e(7, 9),
+                e(7, 10),
+                e(1, 11),
+                e(11, 12),
+                e(11, 13),
             ],
         )
         .unwrap();
-        let sim = Simulator::new(SimulationConfig { horizon: 400, warmup: 50 });
+        let sim = Simulator::new(SimulationConfig {
+            horizon: 400,
+            warmup: 50,
+        });
         let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
         let analytical = tree.period(g);
         assert!(
@@ -350,7 +384,10 @@ mod tests {
         let g = &inst.platform;
         let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
         let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2)]).unwrap();
-        let sim = Simulator::new(SimulationConfig { horizon: 5, warmup: 100 });
+        let sim = Simulator::new(SimulationConfig {
+            horizon: 5,
+            warmup: 100,
+        });
         let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
         assert!(report.completed_multicasts >= 5.0 - 1e-9);
         assert!(report.throughput.is_finite());

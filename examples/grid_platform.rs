@@ -12,8 +12,14 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let seed: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2024);
-    let density: f64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(0.5);
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2024);
+    let density: f64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.5);
 
     let mut generator = TiersLikeGenerator::reduced_scale(PlatformClass::Small, seed);
     let topology = generator.generate();
@@ -56,13 +62,14 @@ fn main() {
     // Validate the MCPH tree by actually pipelining blocks through it.
     let mcph = Mcph.run(&instance).expect("MCPH runs");
     let tree = mcph.tree.expect("MCPH produces a tree");
-    let sim = Simulator::new(SimulationConfig { horizon: 500, warmup: 50 });
+    let sim = Simulator::new(SimulationConfig {
+        horizon: 500,
+        warmup: 50,
+    });
     let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
     println!();
     println!(
         "simulated MCPH pipeline: measured period {:.4} (analytical {:.4}), {} blocks delivered",
-        report.period,
-        mcph.period,
-        report.completed_multicasts
+        report.period, mcph.period, report.completed_multicasts
     );
 }

@@ -25,7 +25,9 @@ fn main() {
     // The multicast gadget with B = optimum: throughput 1 is reachable with a
     // single tree iff a cover of size <= B exists.
     let gadget = MulticastGadget::new(&set_cover, optimum.len());
-    let tree = gadget.cover_to_tree(&optimum).expect("cover converts to a tree");
+    let tree = gadget
+        .cover_to_tree(&optimum)
+        .expect("cover converts to a tree");
     println!(
         "tree built from the minimum cover: period {:.3} (throughput {:.3})",
         tree.period(&gadget.instance.platform),

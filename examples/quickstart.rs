@@ -20,8 +20,13 @@ fn main() {
 
     // 1. The two LP bounds on the period (time per multicast).
     let lb = MulticastLb::new(&instance).solve().expect("lower bound");
-    let ub = MulticastUb::new(&instance).solve().expect("upper bound (scatter)");
-    println!("period bounds: {:.3} <= optimal period <= {:.3}", lb.period, ub.period);
+    let ub = MulticastUb::new(&instance)
+        .solve()
+        .expect("upper bound (scatter)");
+    println!(
+        "period bounds: {:.3} <= optimal period <= {:.3}",
+        lb.period, ub.period
+    );
 
     // 2. The heuristics of the paper.
     for heuristic in [
@@ -33,11 +38,16 @@ fn main() {
         &LowerBoundReference,
     ] {
         let result = heuristic.run(&instance).expect("heuristic runs");
-        println!("{:<16} period {:.3}  (throughput {:.3})", result.name, result.period, result.throughput);
+        println!(
+            "{:<16} period {:.3}  (throughput {:.3})",
+            result.name, result.period, result.throughput
+        );
     }
 
     // 3. The exact optimum (small platform): a weighted combination of trees.
-    let exact = ExactTreePacking::new().solve(&instance).expect("exact optimum");
+    let exact = ExactTreePacking::new()
+        .solve(&instance)
+        .expect("exact optimum");
     println!(
         "exact optimum: throughput {:.3} with {} trees (best single tree only reaches {:.3})",
         exact.throughput,
@@ -50,9 +60,14 @@ fn main() {
     let (scaled, _) = exact.tree_set.scaled_to_feasible(&instance.platform);
     let schedule = PeriodicSchedule::from_weighted_trees(&instance.platform, &scaled, 1.0)
         .expect("schedule fits in one period");
-    schedule.validate(&instance.platform).expect("one-port valid");
-    let report = Simulator::new(SimulationConfig { horizon: 50, warmup: 5 })
-        .run_schedule(&instance.platform, &schedule);
+    schedule
+        .validate(&instance.platform)
+        .expect("one-port valid");
+    let report = Simulator::new(SimulationConfig {
+        horizon: 50,
+        warmup: 5,
+    })
+    .run_schedule(&instance.platform, &schedule);
     println!(
         "simulated schedule: throughput {:.3}, {} one-port violations",
         report.throughput, report.one_port_violations

@@ -35,7 +35,9 @@ pub use pm_sim as sim;
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
     pub use pm_core::exact::ExactTreePacking;
-    pub use pm_core::formulations::{BroadcastEb, MulticastLb, MulticastMultiSourceUb, MulticastUb};
+    pub use pm_core::formulations::{
+        BroadcastEb, MulticastLb, MulticastMultiSourceUb, MulticastUb,
+    };
     pub use pm_core::heuristics::{
         AugmentedMulticast, AugmentedSources, Mcph, ReducedBroadcast, ThroughputHeuristic,
     };

@@ -22,7 +22,9 @@ fn random_instance(seed: u64) -> MulticastInstance {
     // A ring guarantees reachability, random chords add path diversity.
     for i in 0..n {
         let cost = rng.gen_range(0.2..2.0);
-        builder.add_edge(nodes[i], nodes[(i + 1) % n], cost).unwrap();
+        builder
+            .add_edge(nodes[i], nodes[(i + 1) % n], cost)
+            .unwrap();
     }
     for _ in 0..n {
         let a = rng.gen_range(0..n);

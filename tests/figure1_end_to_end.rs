@@ -55,8 +55,11 @@ fn figure1_full_pipeline() {
     assert!((throughput - 1.0).abs() < 1e-5);
     let schedule = PeriodicSchedule::from_weighted_trees(&instance.platform, &scaled, 1.0).unwrap();
     schedule.validate(&instance.platform).unwrap();
-    let report = Simulator::new(SimulationConfig { horizon: 64, warmup: 8 })
-        .run_schedule(&instance.platform, &schedule);
+    let report = Simulator::new(SimulationConfig {
+        horizon: 64,
+        warmup: 8,
+    })
+    .run_schedule(&instance.platform, &schedule);
     assert_eq!(report.one_port_violations, 0);
     assert!((report.throughput - 1.0).abs() < 1e-5);
 }
@@ -66,7 +69,10 @@ fn figure1_mcph_tree_simulates_at_its_analytical_period() {
     let instance = figure1_instance();
     let mcph = Mcph.run(&instance).unwrap();
     let tree = mcph.tree.unwrap();
-    let sim = Simulator::new(SimulationConfig { horizon: 300, warmup: 40 });
+    let sim = Simulator::new(SimulationConfig {
+        horizon: 300,
+        warmup: 40,
+    });
     let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
     assert!(
         (report.period - mcph.period).abs() < 1e-3,

@@ -45,7 +45,10 @@ fn mcph_trees_on_generated_platforms_simulate_at_their_analytical_period() {
     let mcph = pm_core::heuristics::Mcph;
     let result = pm_core::heuristics::ThroughputHeuristic::run(&mcph, &instance).unwrap();
     let tree = result.tree.unwrap();
-    let sim = Simulator::new(SimulationConfig { horizon: 400, warmup: 50 });
+    let sim = Simulator::new(SimulationConfig {
+        horizon: 400,
+        warmup: 50,
+    });
     let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
     assert!(
         (report.period - result.period).abs() <= 1e-3 * result.period.max(1.0),

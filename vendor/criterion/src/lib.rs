@@ -1,0 +1,365 @@
+//! Offline, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! Supports the API subset the `pm-bench` benches use: `criterion_group!` /
+//! `criterion_main!`, `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, and the group tuning knobs
+//! (`sample_size`, `measurement_time`, `warm_up_time`).
+//!
+//! Measurement model: each benchmark is warmed up for `warm_up_time`, then
+//! timed for `sample_size` samples (each sample sized so one sample takes
+//! roughly `measurement_time / sample_size`); the median, min and max
+//! per-iteration times are printed. When the harness is invoked with
+//! `--test` (the CI bench-smoke mode), every benchmark body runs exactly
+//! once so the job only checks that the benches still execute.
+
+use std::time::{Duration, Instant};
+
+/// Identifier for a parameterized benchmark (mirrors
+/// `criterion::BenchmarkId`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// `BenchmarkId::from_parameter(parameter)`.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Benchmark names may be plain strings or `BenchmarkId`s.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The timing loop handed to benchmark closures (mirrors
+/// `criterion::Bencher`).
+pub struct Bencher<'a> {
+    mode: &'a Mode,
+    /// Filled by `iter`: per-iteration wall-clock samples in seconds.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, keeping its return value alive via `black_box` so
+    /// the optimizer cannot delete the work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::Test => {
+                black_box(routine());
+                self.samples.push(0.0);
+            }
+            Mode::Measure {
+                sample_size,
+                measurement_time,
+                warm_up_time,
+            } => {
+                // Warm-up: run until the warm-up budget elapses, measuring
+                // a rough per-iteration cost on the way.
+                let warm_start = Instant::now();
+                let mut warm_iters: u64 = 0;
+                while warm_start.elapsed() < *warm_up_time || warm_iters == 0 {
+                    black_box(routine());
+                    warm_iters += 1;
+                }
+                let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+                let budget = measurement_time.as_secs_f64() / *sample_size as f64;
+                let iters_per_sample = (budget / per_iter.max(1e-9)).ceil().max(1.0) as u64;
+                for _ in 0..*sample_size {
+                    let t = Instant::now();
+                    for _ in 0..iters_per_sample {
+                        black_box(routine());
+                    }
+                    self.samples
+                        .push(t.elapsed().as_secs_f64() / iters_per_sample as f64);
+                }
+            }
+        }
+    }
+}
+
+enum Mode {
+    /// `--test`: run every body once, no timing (CI smoke mode).
+    Test,
+    Measure {
+        sample_size: usize,
+        measurement_time: Duration,
+        warm_up_time: Duration,
+    },
+}
+
+/// The harness entry point (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        // Cargo passes `--bench`; criterion's own quick mode is `--test`.
+        // Any other non-flag argument is a substring filter, as upstream.
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Upstream-compatible no-op: argument handling happens in `default()`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+
+    /// Benchmarks `routine` under `id` with default group settings.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let name = id.into_benchmark_id();
+        let mut group = self.benchmark_group(name.clone());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &self,
+        full_name: &str,
+        settings: (usize, Duration, Duration),
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mode = if self.test_mode {
+            Mode::Test
+        } else {
+            Mode::Measure {
+                sample_size: settings.0,
+                measurement_time: settings.1,
+                warm_up_time: settings.2,
+            }
+        };
+        let mut bencher = Bencher {
+            mode: &mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("{full_name}: ok (test mode)");
+            return;
+        }
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{full_name}: no samples (b.iter never called)");
+            return;
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = samples[samples.len() / 2];
+        let min = samples[0];
+        let max = samples[samples.len() - 1];
+        println!(
+            "{full_name}: median {} (min {}, max {}, {} samples)",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(max),
+            samples.len()
+        );
+    }
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// A group of benchmarks sharing tuning knobs (mirrors
+/// `criterion::BenchmarkGroup`).
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    fn full_name(&self, id: &str) -> String {
+        if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        }
+    }
+
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = self.full_name(&id.into_benchmark_id());
+        let settings = (self.sample_size, self.measurement_time, self.warm_up_time);
+        self.criterion.run_one(&full, settings, f);
+        self
+    }
+
+    pub fn bench_with_input<I, In, F>(&mut self, id: I, input: &In, mut f: F) -> &mut Self
+    where
+        I: IntoBenchmarkId,
+        In: ?Sized,
+        F: FnMut(&mut Bencher<'_>, &In),
+    {
+        let full = self.full_name(&id.into_benchmark_id());
+        let settings = (self.sample_size, self.measurement_time, self.warm_up_time);
+        self.criterion.run_one(&full, settings, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Opaque value barrier (re-export of the std hint).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running each target (mirrors criterion's
+/// macro of the same name).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group (mirrors criterion's macro
+/// of the same name).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "p").to_string(), "f/p");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn bencher_runs_routine_in_test_mode() {
+        let mode = Mode::Test;
+        let mut b = Bencher {
+            mode: &mode,
+            samples: Vec::new(),
+        };
+        let mut count = 0;
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.samples.len(), 1);
+    }
+
+    #[test]
+    fn bencher_collects_samples_in_measure_mode() {
+        let mode = Mode::Measure {
+            sample_size: 5,
+            measurement_time: Duration::from_millis(10),
+            warm_up_time: Duration::from_millis(1),
+        };
+        let mut b = Bencher {
+            mode: &mode,
+            samples: Vec::new(),
+        };
+        b.iter(|| black_box(3u64.pow(7)));
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+}

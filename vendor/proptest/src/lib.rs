@@ -1,0 +1,228 @@
+//! Offline, dependency-free stand-in for the `proptest` property-testing
+//! framework, covering the subset this workspace uses:
+//!
+//! * the [`proptest!`] macro with an optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header,
+//! * range strategies (`1usize..6`, `0u64..1_000_000`, `1.0f64..10.0`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] soft assertions.
+//!
+//! Differences from upstream: cases are generated from a fixed seed (so
+//! every run explores the same inputs — CI-friendly) and failing cases are
+//! reported with their concrete arguments but not shrunk.
+
+pub use rand;
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` (the fields we honour).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+
+    /// A soft failure raised by `prop_assert!`-style macros.
+    #[derive(Debug)]
+    pub struct TestCaseError {
+        pub message: String,
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.message)
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A value generator (upstream's `Strategy`, collapsed to direct
+    /// sampling — no shrinking).
+    pub trait Strategy {
+        type Value: std::fmt::Debug + Clone;
+        fn sample_value(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(usize, u64, u32, u16, u8, isize, i64, i32, i16, i8, f64, f32);
+
+    /// `prop_oneof`-style choice over a fixed value list (upstream's
+    /// `sample::select`).
+    pub struct Select<T: std::fmt::Debug + Clone>(pub Vec<T>);
+
+    impl<T: std::fmt::Debug + Clone> Strategy for Select<T> {
+        type Value = T;
+        fn sample_value(&self, rng: &mut StdRng) -> T {
+            assert!(!self.0.is_empty(), "select from empty list");
+            self.0[rng.gen_range(0..self.0.len())].clone()
+        }
+    }
+}
+
+/// Everything the `use proptest::prelude::*;` glob is expected to bring in.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests. Each `#[test] fn name(arg in strategy, ...)`
+/// becomes a regular `#[test]` that samples `cases` inputs from a fixed
+/// seed and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    // NOTE: the `@cfg` worker arm must come first — the final arm is a
+    // token-tree catch-all and would match `@cfg ...` recursively.
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::rand::SeedableRng as _;
+                let config: $crate::test_runner::Config = $config;
+                // Fixed seed derived from the property name: deterministic
+                // across runs, distinct across properties.
+                let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in stringify!($name).bytes() {
+                    seed ^= b as u64;
+                    seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+                let mut rng = $crate::rand::rngs::StdRng::seed_from_u64(seed);
+                for case in 0..config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample_value(&$strategy, &mut rng);
+                    )+
+                    let result: $crate::test_runner::TestCaseResult = (|| {
+                        $body
+                        Ok(())
+                    })();
+                    if let Err(e) = result {
+                        panic!(
+                            "property {} failed at case {}/{} with inputs {:?}:\n{}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            ($(&$arg),+ ,),
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Soft assertion inside a `proptest!` body: reports the failing inputs
+/// instead of unwinding immediately.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError {
+                message: format!($($fmt)+),
+            });
+        }
+    };
+}
+
+/// Soft equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+}
+
+/// Soft inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(a in 1usize..6, b in 0u64..1_000, x in 1.0f64..10.0) {
+            prop_assert!((1..6).contains(&a));
+            prop_assert!(b < 1_000);
+            prop_assert!((1.0..10.0).contains(&x));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in 0u32..100) {
+            prop_assert!(v < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_reports_inputs() {
+        proptest! {
+            @cfg (ProptestConfig::with_cases(4))
+            fn inner(v in 0u32..10) {
+                prop_assert!(v > 1_000, "v = {v} is never above 1000");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline, dependency-free stand-in for the `rayon` data-parallelism API
+//! subset used by `pm-bench`: `into_par_iter()` / `par_iter()` followed by
+//! `map(..)` and `collect::<Vec<_>>()`, plus `current_num_threads()`.
+//!
+//! Implementation: the items are materialized into a `Vec`, and a shared
+//! atomic index distributes them over `std::thread::scope` workers (one per
+//! available core, capped by the item count). Results are written back into
+//! their original slots, so ordering semantics match rayon's indexed
+//! collect. This is a coarse-grained fork-join — exactly the granularity of
+//! the Figure 11 sweep, where each work item is an LP-heavy report.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a parallel call will use for `n` items.
+fn threads_for(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n)
+        .max(1)
+}
+
+/// Mirrors `rayon::current_num_threads` (the pool size a fresh parallel
+/// call would get for an unbounded workload).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// A materialized parallel iterator over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+/// A parallel iterator with a pending `map` stage.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+/// Conversion into a parallel iterator (mirrors
+/// `rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+/// Borrowing conversion (mirrors `rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Send + 'a;
+    fn par_iter(&'a self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Send, const N: usize> IntoParallelIterator for [T; N] {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter {
+            items: self.into_iter().collect(),
+        }
+    }
+}
+
+impl IntoParallelIterator for std::ops::Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter {
+            items: self.collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    fn par_iter(&'a self) -> ParIter<&'a T> {
+        ParIter {
+            items: self.iter().collect(),
+        }
+    }
+}
+
+impl<T: Send> ParIter<T> {
+    /// Registers the mapping stage; execution happens in `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Runs the map stage on scoped worker threads and collects the results
+    /// in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(T) -> R + Sync,
+        R: Send,
+        C: FromParallel<R>,
+    {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        let threads = threads_for(n);
+        let mut results: Vec<Option<R>> = Vec::with_capacity(n);
+        results.resize_with(n, || None);
+        if threads <= 1 {
+            for (slot, item) in results.iter_mut().zip(items) {
+                *slot = Some(f(item));
+            }
+        } else {
+            // A locked pool of pending items plus a locked result store: the
+            // work items of this workspace (one LP-heavy sweep report each)
+            // are far coarser than the lock overhead.
+            let pool: Vec<Mutex<Option<T>>> =
+                items.into_iter().map(|it| Mutex::new(Some(it))).collect();
+            let next = AtomicUsize::new(0);
+            let done = Mutex::new(Vec::with_capacity(n));
+            std::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pool.len() {
+                            break;
+                        }
+                        let item = pool[i]
+                            .lock()
+                            .expect("work slot poisoned")
+                            .take()
+                            .expect("work slot claimed twice");
+                        let r = f(item);
+                        done.lock().expect("result store poisoned").push((i, r));
+                    });
+                }
+            });
+            for (i, r) in done.into_inner().expect("result store poisoned") {
+                results[i] = Some(r);
+            }
+        }
+        C::from_ordered(
+            results
+                .into_iter()
+                .map(|r| r.expect("worker filled every slot")),
+        )
+    }
+}
+
+/// Ordered collection target (mirrors rayon's `FromParallelIterator` for the
+/// containers the workspace collects into).
+pub trait FromParallel<R> {
+    fn from_ordered<I: Iterator<Item = R>>(iter: I) -> Self;
+}
+
+impl<R> FromParallel<R> for Vec<R> {
+    fn from_ordered<I: Iterator<Item = R>>(iter: I) -> Self {
+        iter.collect()
+    }
+}
+
+/// Glob-import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v: Vec<String> = (0..64).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 64);
+        assert_eq!(lens[9], 1);
+        assert_eq!(lens[10], 2);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0..100usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares[7], 49);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let v: Vec<u8> = Vec::new();
+        let out: Vec<u8> = v.into_par_iter().map(|x| x).collect();
+        assert!(out.is_empty());
+    }
+}

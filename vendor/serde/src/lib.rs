@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Re-exports the no-op `Serialize`/`Deserialize` derives from the sibling
+//! `serde_derive` stub. The trait items below exist only so that generic
+//! bounds would still name-resolve; nothing in the workspace serializes
+//! through serde (see `pm-bench`'s hand-rolled JSON/CSV writers).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (no methods; the no-op derive
+/// does not implement it).
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize` (no methods; the no-op
+/// derive does not implement it).
+pub trait DeserializeMarker {}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types so the
+//! manifests mirror the upstream sources, but no code path serializes
+//! through serde (JSON/CSV emission in `pm-bench` is hand-rolled). These
+//! derives therefore expand to nothing; swapping the real serde back in is
+//! a one-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
