@@ -6,7 +6,7 @@
 //! Usage:
 //!   fig11 [small|big] [scatter|lower|all] [--paper-scale] [--platforms N]
 //!         [--densities a,b,c] [--seeds a,b,c] [--kinds k1,k2,...] [--basic]
-//!         [--full] [--smoke]
+//!         [--full] [--smoke] [--solver dense|revised]
 //!         [--json PATH] [--csv PATH]
 //!
 //! With no class argument both classes are swept (the full Figure 11).
@@ -57,6 +57,19 @@ fn main() {
             "--full" => {
                 config.kinds = HeuristicKind::ALL.to_vec();
                 config.kinds_big = None;
+            }
+            // LP engine selection (the revised simplex is the default; the
+            // dense tableau remains as a fallback / differential oracle).
+            "--solver" => {
+                i += 1;
+                match flag_value(&args, i, "--solver") {
+                    "dense" => pm_lp::set_default_solver(pm_lp::SolverKind::Dense),
+                    "revised" => pm_lp::set_default_solver(pm_lp::SolverKind::Revised),
+                    other => {
+                        eprintln!("--solver takes dense|revised, got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
             }
             // The CI bench-smoke configuration: tiny and cheap.
             "--smoke" => {
@@ -132,6 +145,9 @@ fn main() {
     if let Some(classes) = classes {
         config.classes = classes;
     }
+    // Long sweeps (--full / --paper-scale) must not go silent; progress goes
+    // to stderr only, so the JSON/CSV artifacts stay byte-comparable.
+    config.progress = true;
 
     eprintln!(
         "running Figure 11 batch: classes={:?}, paper_scale={}, platforms={}, seeds={:?}, \
@@ -144,6 +160,10 @@ fn main() {
         rayon::current_num_threads()
     );
     let batch = run_batch(&config);
+    eprintln!(
+        "fig11: {} LP solves ({} warm hits, {} cold), {} ms total work-item time",
+        batch.meta.lp_solves, batch.meta.warm_hits, batch.meta.warm_misses, batch.meta.solve_ms
+    );
 
     for sweep in &batch.sweeps {
         println!(

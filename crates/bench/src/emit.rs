@@ -11,7 +11,9 @@ use pm_core::report::HeuristicKind;
 use pm_platform::topology::PlatformClass;
 
 /// Schema tag embedded in every JSON document, bumped on layout changes.
-pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v1";
+/// v2 added the `meta` block (`solve_ms` wall-clock total and the LP
+/// warm-start counters).
+pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v2";
 
 /// CSV header of [`batch_to_csv`] / [`sweep_to_csv`].
 pub const CSV_HEADER: &str = "class,seed,paper_scale,platforms,density,instances,kind,mean_period";
@@ -104,21 +106,37 @@ fn push_sweep_json(out: &mut String, sweep: &SweepResult, indent: &str) {
 }
 
 /// One sweep as a pretty-printed JSON document.
+///
+/// Single-sweep exports have no batch accounting, so the v2 `meta` block is
+/// emitted zeroed — the document shape matches [`batch_to_json`] exactly,
+/// as the shared schema tag promises.
 pub fn sweep_to_json(sweep: &SweepResult) -> String {
-    let mut out = String::new();
-    out.push_str("{\n");
-    out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
-    out.push_str("  \"sweeps\": [\n");
-    push_sweep_json(&mut out, sweep, "    ");
-    out.push_str("\n  ]\n}\n");
-    out
+    let batch = BatchResult {
+        sweeps: vec![sweep.clone()],
+        meta: crate::sweep::BatchMeta::default(),
+    };
+    batch_to_json(&batch)
 }
 
 /// A full batch as a pretty-printed JSON document.
+///
+/// The `meta` block carries the LP accounting of the run. Every field in it
+/// is deterministic for a given configuration except `solve_ms`, which is a
+/// wall-clock measurement — byte-comparisons of two runs (as CI does) must
+/// filter the `"solve_ms"` line first.
 pub fn batch_to_json(batch: &BatchResult) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{JSON_SCHEMA}\",\n"));
+    out.push_str("  \"meta\": {\n");
+    out.push_str(&format!("    \"solve_ms\": {},\n", batch.meta.solve_ms));
+    out.push_str(&format!("    \"lp_solves\": {},\n", batch.meta.lp_solves));
+    out.push_str(&format!("    \"warm_hits\": {},\n", batch.meta.warm_hits));
+    out.push_str(&format!(
+        "    \"warm_misses\": {}\n",
+        batch.meta.warm_misses
+    ));
+    out.push_str("  },\n");
     out.push_str("  \"sweeps\": [\n");
     for (i, sweep) in batch.sweeps.iter().enumerate() {
         push_sweep_json(&mut out, sweep, "    ");
@@ -197,7 +215,7 @@ mod tests {
     #[test]
     fn json_contains_schema_keys_and_null_infinity() {
         let json = sweep_to_json(&fake_sweep());
-        assert!(json.contains("\"schema\": \"pm-bench/fig11-sweep/v1\""));
+        assert!(json.contains("\"schema\": \"pm-bench/fig11-sweep/v2\""));
         assert!(json.contains("\"class\": \"small\""));
         assert!(json.contains("\"scatter\": 4.25"));
         assert!(json.contains("\"mcph\": null"));
@@ -224,8 +242,29 @@ mod tests {
         assert_eq!(sweep_to_csv(&sweep), sweep_to_csv(&sweep));
         let batch = BatchResult {
             sweeps: vec![sweep.clone(), sweep],
+            meta: crate::sweep::BatchMeta::default(),
         };
         assert_eq!(batch_to_json(&batch), batch_to_json(&batch));
         assert_eq!(batch_to_csv(&batch), batch_to_csv(&batch));
+    }
+
+    #[test]
+    fn batch_json_contains_the_meta_block() {
+        let batch = BatchResult {
+            sweeps: vec![fake_sweep()],
+            meta: crate::sweep::BatchMeta {
+                solve_ms: 1234,
+                lp_solves: 64,
+                warm_hits: 48,
+                warm_misses: 16,
+            },
+        };
+        let json = batch_to_json(&batch);
+        assert!(json.contains("\"meta\": {"));
+        assert!(json.contains("\"solve_ms\": 1234"));
+        assert!(json.contains("\"lp_solves\": 64"));
+        assert!(json.contains("\"warm_hits\": 48"));
+        assert!(json.contains("\"warm_misses\": 16"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -14,6 +14,6 @@ pub mod table;
 
 pub use emit::{batch_to_csv, batch_to_json, sweep_to_csv, sweep_to_json};
 pub use sweep::{
-    run_batch, run_sweep, BatchConfig, BatchResult, SweepConfig, SweepPoint, SweepResult,
+    run_batch, run_sweep, BatchConfig, BatchMeta, BatchResult, SweepConfig, SweepPoint, SweepResult,
 };
 pub use table::{format_period_table, format_ratio_table};

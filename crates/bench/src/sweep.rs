@@ -6,22 +6,33 @@
 //! * [`run_sweep`] — one `(class, seed)` sweep over a density grid, the unit
 //!   of Figure 11's four sub-figures,
 //! * [`run_batch`] — the full Figure 11 reproduction: every platform class
-//!   crossed with a seed grid, with **all** `(class, seed, density,
-//!   platform)` work items flattened into a single rayon-parallel pool so
-//!   the LP-heavy reports saturate every core regardless of how the grid is
-//!   shaped.
+//!   crossed with a seed grid, with all `(class, seed, platform)` work items
+//!   flattened into a single rayon-parallel pool so the LP-heavy reports
+//!   saturate every core regardless of how the grid is shaped.
 //!
-//! Determinism: instance seeds are derived from the configuration only, and
+//! **Warm starts**: within one `(class, seed, platform)` work item the
+//! density grid is swept *sequentially* under a [`pm_lp::WarmStartCache`]
+//! scope — consecutive densities re-solve structurally identical LPs (the
+//! broadcast curve, the greedy heuristics' iterated broadcast LPs, …), so
+//! most solves skip phase 1 by starting from the previous optimal basis.
+//! The cache is per work item, so parallel scheduling cannot leak state
+//! between items.
+//!
+//! Determinism: instance seeds are derived from the configuration only,
+//! warm-start caches evolve deterministically inside their work item, and
 //! rayon's ordered collect keeps aggregation order independent of thread
 //! scheduling, so two runs of the same configuration produce bitwise
 //! identical results (the property the JSON/CSV baselines in CI rely on).
 
 use pm_core::report::{HeuristicKind, MulticastReport};
+use pm_lp::WarmStartCache;
 use pm_platform::topology::{GeneratedTopology, PlatformClass, TiersLikeGenerator};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Configuration of a sweep (one of the four sub-figures of Figure 11).
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -166,23 +177,64 @@ fn aggregate(config: &SweepConfig, reports: &[(usize, Option<MulticastReport>)])
     }
 }
 
-/// Runs the sweep, distributing the `(platform, density)` instances over
-/// the rayon pool.
+/// Per-work-item measurements folded into [`BatchMeta`].
+#[derive(Debug, Clone, Copy, Default)]
+struct ItemStats {
+    solve_us: u128,
+    lp_solves: u64,
+    warm_hits: u64,
+    warm_misses: u64,
+}
+
+/// Runs the density grid of one platform sequentially under a shared
+/// warm-start cache (see the module docs) and returns the per-density
+/// reports plus the item's LP statistics.
+fn collect_platform_reports(
+    topology: &GeneratedTopology,
+    config: &SweepConfig,
+    pi: usize,
+    progress_label: Option<&str>,
+) -> (Vec<(usize, Option<MulticastReport>)>, ItemStats) {
+    let mut cache = WarmStartCache::new();
+    let start = Instant::now();
+    let reports = cache.scope(|| {
+        (0..config.densities.len())
+            .map(|di| {
+                let density_start = Instant::now();
+                let report = collect_report(topology, config, di, pi);
+                if let Some(label) = progress_label {
+                    eprintln!(
+                        "fig11: {label} density {}/{} ({}) done in {:.1}s",
+                        di + 1,
+                        config.densities.len(),
+                        config.densities[di],
+                        density_start.elapsed().as_secs_f64(),
+                    );
+                }
+                (di, report)
+            })
+            .collect()
+    });
+    let stats = ItemStats {
+        solve_us: start.elapsed().as_micros(),
+        lp_solves: cache.solves(),
+        warm_hits: cache.hits,
+        warm_misses: cache.misses,
+    };
+    (reports, stats)
+}
+
+/// Runs the sweep, distributing the per-platform density grids over the
+/// rayon pool.
 pub fn run_sweep(config: &SweepConfig) -> SweepResult {
     let topologies = generate_topologies(config);
 
-    // Work items: one per (density, platform).
-    let mut work: Vec<(usize, usize)> = Vec::new();
-    for di in 0..config.densities.len() {
-        for pi in 0..topologies.len() {
-            work.push((di, pi));
-        }
-    }
-
-    let reports: Vec<(usize, Option<MulticastReport>)> = work
+    let per_platform: Vec<Vec<(usize, Option<MulticastReport>)>> = (0..topologies.len())
         .into_par_iter()
-        .map(|(di, pi)| (di, collect_report(&topologies[pi], config, di, pi)))
+        .map(|pi| collect_platform_reports(&topologies[pi], config, pi, None).0)
         .collect();
+    let reports: Vec<(usize, Option<MulticastReport>)> =
+        per_platform.into_iter().flatten().collect();
 
     aggregate(config, &reports)
 }
@@ -210,6 +262,11 @@ pub struct BatchConfig {
     /// on big-class platforms, so the default batch restricts big platforms
     /// to the cheap curves; `None` applies `kinds` everywhere.
     pub kinds_big: Option<Vec<HeuristicKind>>,
+    /// Print per-work-item progress to stderr as items finish (paper-scale
+    /// `--full` sweeps run for a long time and should not go silent).
+    /// Progress goes to stderr only, so the JSON/CSV artifacts stay
+    /// byte-identical.
+    pub progress: bool,
 }
 
 /// The cheap curves: references + the combinatorial MCPH heuristic (no
@@ -236,6 +293,7 @@ impl BatchConfig {
             densities: vec![0.25, 0.5, 0.75, 1.0],
             kinds: HeuristicKind::ALL.to_vec(),
             kinds_big: Some(BASIC_KINDS.to_vec()),
+            progress: false,
         }
     }
 
@@ -254,6 +312,7 @@ impl BatchConfig {
                 HeuristicKind::Mcph,
             ],
             kinds_big: None,
+            progress: false,
         }
     }
 
@@ -278,16 +337,43 @@ impl BatchConfig {
     }
 }
 
+/// Aggregate LP accounting of one [`run_batch`] call, emitted into the
+/// JSON `meta` block (schema `pm-bench/fig11-sweep/v2`).
+///
+/// The counters (`lp_solves`, `warm_hits`, `warm_misses`) are deterministic
+/// for a given configuration; `solve_ms` is a wall-clock measurement and
+/// varies from run to run, which is why CI filters it before byte-comparing
+/// artifacts.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct BatchMeta {
+    /// Total wall-clock milliseconds spent inside the work items — the
+    /// LP-dominated end-to-end cost of the sweep, including the (small)
+    /// non-LP share: instance sampling and the combinatorial heuristics.
+    /// Summed over items, so it exceeds the elapsed time on multi-core
+    /// runs.
+    pub solve_ms: u64,
+    /// Linear programs solved across the batch (any engine: dense solves
+    /// under the scope count as cold).
+    pub lp_solves: u64,
+    /// Solves warm-started from a cached basis (phase 1 skipped).
+    pub warm_hits: u64,
+    /// Solves that started cold.
+    pub warm_misses: u64,
+}
+
 /// The result of a [`run_batch`] call: one [`SweepResult`] per
-/// `(class, seed)` pair, in configuration order.
+/// `(class, seed)` pair, in configuration order, plus the LP accounting.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BatchResult {
     /// One sweep per `(class, seed)`, classes outermost.
     pub sweeps: Vec<SweepResult>,
+    /// Aggregate LP statistics of the run.
+    pub meta: BatchMeta,
 }
 
-/// Runs the full batch with every `(class, seed, density, platform)` work
-/// item flattened into a single rayon pool.
+/// Runs the full batch with every `(class, seed, platform)` work item
+/// flattened into a single rayon pool; each item sweeps its density grid
+/// sequentially under a warm-start cache (see the module docs).
 ///
 /// Flattening matters: a nested "parallel over sweeps, serial within" split
 /// would leave cores idle at the tail of each sweep, while the flat pool
@@ -305,42 +391,68 @@ pub fn run_batch(config: &BatchConfig) -> BatchResult {
         })
         .collect();
 
-    // Flattened work items: (cell, density, platform).
-    let mut work: Vec<(usize, usize, usize)> = Vec::new();
-    for (ci, (sweep_config, topologies)) in cells.iter().enumerate() {
-        for di in 0..sweep_config.densities.len() {
-            for pi in 0..topologies.len() {
-                work.push((ci, di, pi));
-            }
+    // Flattened work items: (cell, platform).
+    let mut work: Vec<(usize, usize)> = Vec::new();
+    for (ci, (_, topologies)) in cells.iter().enumerate() {
+        for pi in 0..topologies.len() {
+            work.push((ci, pi));
         }
     }
 
-    let reports: Vec<(usize, usize, Option<MulticastReport>)> = work
+    let total_items = work.len();
+    let done = AtomicUsize::new(0);
+    type ItemReports = Vec<(usize, Option<MulticastReport>)>;
+    let items: Vec<(usize, ItemReports, ItemStats)> = work
         .into_par_iter()
-        .map(|(ci, di, pi)| {
+        .map(|(ci, pi)| {
             let (sweep_config, topologies) = &cells[ci];
-            (
-                ci,
-                di,
-                collect_report(&topologies[pi], sweep_config, di, pi),
-            )
+            let label = config.progress.then(|| {
+                format!(
+                    "class={:?} seed={} platform={pi}",
+                    sweep_config.class, sweep_config.seed
+                )
+            });
+            let (reports, stats) =
+                collect_platform_reports(&topologies[pi], sweep_config, pi, label.as_deref());
+            if config.progress {
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "fig11: [{finished}/{total_items}] class={:?} seed={} platform={pi} \
+                     ({} densities, {} LP solves, {} warm hits, {:.1}s)",
+                    sweep_config.class,
+                    sweep_config.seed,
+                    sweep_config.densities.len(),
+                    stats.lp_solves,
+                    stats.warm_hits,
+                    stats.solve_us as f64 / 1e6,
+                );
+            }
+            (ci, reports, stats)
         })
         .collect();
+
+    let mut meta = BatchMeta::default();
+    for (_, _, stats) in &items {
+        meta.solve_ms += (stats.solve_us / 1000) as u64;
+        meta.lp_solves += stats.lp_solves;
+        meta.warm_hits += stats.warm_hits;
+        meta.warm_misses += stats.warm_misses;
+    }
 
     let sweeps = cells
         .iter()
         .enumerate()
         .map(|(ci, (sweep_config, _))| {
-            let cell_reports: Vec<(usize, Option<MulticastReport>)> = reports
+            let cell_reports: Vec<(usize, Option<MulticastReport>)> = items
                 .iter()
                 .filter(|(c, _, _)| *c == ci)
-                .map(|(_, di, r)| (*di, r.clone()))
+                .flat_map(|(_, reports, _)| reports.iter().cloned())
                 .collect();
             aggregate(sweep_config, &cell_reports)
         })
         .collect();
 
-    BatchResult { sweeps }
+    BatchResult { sweeps, meta }
 }
 
 #[cfg(test)]
@@ -417,6 +529,7 @@ mod tests {
             densities: vec![0.5],
             kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
             kinds_big: None,
+            progress: false,
         };
         let result = run_batch(&config);
         assert_eq!(result.sweeps.len(), 4);
@@ -440,6 +553,7 @@ mod tests {
             densities: vec![0.5, 1.0],
             kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
             kinds_big: None,
+            progress: false,
         };
         let batch = run_batch(&batch_config);
         let standalone = run_sweep(&batch_config.sweep_config(PlatformClass::Small, 9));

@@ -19,7 +19,7 @@
 //!   Section 5.2.3, where an ordered set of secondary sources relays the
 //!   message.
 
-use pm_lp::{LpError, LpProblem, Objective, Relation, VarId};
+use pm_lp::{LpError, Objective, Relation, SparseBuilder, VarId};
 use pm_platform::graph::{EdgeId, NodeId, Platform};
 use pm_platform::instances::MulticastInstance;
 use serde::{Deserialize, Serialize};
@@ -113,7 +113,11 @@ fn solve_single_source(
     let targets = &instance.targets;
     let t_count = targets.len();
 
-    let mut lp = LpProblem::new(Objective::Minimize);
+    // The formulations emit (row, col, coefficient) triplets through the
+    // sparse builder — each constraint touches only the edges incident to
+    // one node, so no zero coefficient is ever materialized and the revised
+    // solver assembles its CSC matrix straight from the triplets.
+    let mut lp = SparseBuilder::new(Objective::Minimize);
     // x[i][e]: fraction of the message to target i crossing edge e.
     let mut x: Vec<Vec<VarId>> = Vec::with_capacity(t_count);
     for (i, _) in targets.iter().enumerate() {
@@ -219,10 +223,14 @@ fn solve_single_source(
         lp.add_constraint(terms, Relation::Le, 0.0);
     }
 
-    let sol = lp.solve().map_err(|e| match e {
-        LpError::Infeasible => FormulationError::Unreachable(instance.targets[0]),
-        other => FormulationError::Lp(other),
-    })?;
+    let sol = lp
+        .build()
+        .map_err(FormulationError::Lp)?
+        .solve()
+        .map_err(|e| match e {
+            LpError::Infeasible => FormulationError::Unreachable(instance.targets[0]),
+            other => FormulationError::Lp(other),
+        })?;
 
     let period = sol.value(t_star);
     let target_flows: Vec<Vec<f64>> = x
@@ -414,7 +422,7 @@ impl<'a> MulticastMultiSourceUb<'a> {
             ));
         }
 
-        let mut lp = LpProblem::new(Objective::Minimize);
+        let mut lp = SparseBuilder::new(Objective::Minimize);
         // x[d][j][e]: fraction of the message for destination d originating
         // at source j (j < dests[d].origins) crossing edge e.
         let mut x: Vec<Vec<Vec<VarId>>> = Vec::with_capacity(dests.len());
@@ -522,10 +530,14 @@ impl<'a> MulticastMultiSourceUb<'a> {
             lp.add_constraint(terms, Relation::Le, 0.0);
         }
 
-        let sol = lp.solve().map_err(|e| match e {
-            LpError::Infeasible => FormulationError::Unreachable(dests[0].node),
-            other => FormulationError::Lp(other),
-        })?;
+        let sol = lp
+            .build()
+            .map_err(FormulationError::Lp)?
+            .solve()
+            .map_err(|e| match e {
+                LpError::Infeasible => FormulationError::Unreachable(dests[0].node),
+                other => FormulationError::Lp(other),
+            })?;
 
         let period = sol.value(t_star);
         let mut edge_load = vec![0.0; m];

@@ -8,12 +8,20 @@
 //!
 //! * [`problem`] — an [`LpProblem`](problem::LpProblem) model builder
 //!   (non-negative variables, `≤ / ≥ / =` constraints, maximize or minimize),
-//! * [`simplex`] — a dense two-phase primal simplex solver with Bland's rule
-//!   as an anti-cycling fallback.
+//! * [`sparse`] — CSC matrices and the triplet-based
+//!   [`SparseBuilder`](sparse::SparseBuilder) used by the formulations,
+//! * [`revised`] — the default engine: a sparse revised simplex with a
+//!   product-form basis, periodic refactorization and
+//!   [warm starts](revised::WarmStartCache),
+//! * [`simplex`] — the dense two-phase tableau simplex, kept as the
+//!   `PM_LP_SOLVER=dense` fallback and as the differential-testing oracle,
+//! * [`solver`] — engine selection (`PM_LP_SOLVER`,
+//!   [`set_default_solver`](solver::set_default_solver)).
 //!
-//! The solver favours robustness over raw speed: it is a textbook tableau
-//! method tuned for the moderately sized LPs produced by the multicast
-//! formulations (a few thousand rows and columns).
+//! Both engines share the anti-degeneracy toolkit (seeded shadow-RHS
+//! perturbation, Dantzig→Bland stall switching, seeded ratio-test
+//! tie-breaks), so every solve is bit-reproducible. Set `PM_LP_STATS=1` for
+//! per-solve diagnostics on stderr.
 //!
 //! ```
 //! use pm_lp::problem::{LpProblem, Objective, Relation};
@@ -33,6 +41,12 @@
 //! ```
 
 pub mod problem;
+pub mod revised;
 pub mod simplex;
+pub mod solver;
+pub mod sparse;
 
 pub use problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
+pub use revised::{Basis, SolveOutcome, SolveStats, WarmStartCache, WarmStatus};
+pub use solver::{default_solver, set_default_solver, SolverKind};
+pub use sparse::{CscMatrix, SparseBuilder};

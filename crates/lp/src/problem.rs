@@ -123,6 +123,76 @@ impl LpProblem {
         }
     }
 
+    /// Builds a problem from a `(row, col, value)` triplet stream: variable
+    /// `j` gets objective coefficient `objective_coeffs[j]` and the name
+    /// `x{j}`, row `i` is `Σ value · x_col (relation_i) rhs_i`. Duplicate
+    /// `(row, col)` triplets are summed by the solvers; explicit zeros are
+    /// dropped here. This is the preferred construction path for large
+    /// machine-generated models (see also [`crate::sparse::SparseBuilder`]
+    /// for an incremental variant with named variables).
+    pub fn from_triplets(
+        objective: Objective,
+        objective_coeffs: Vec<f64>,
+        rows: Vec<(Relation, f64)>,
+        triplets: &[(usize, usize, f64)],
+    ) -> Result<Self, LpError> {
+        let names = (0..objective_coeffs.len())
+            .map(|j| format!("x{j}"))
+            .collect();
+        Self::from_parts(objective, names, objective_coeffs, rows, triplets.to_vec())
+    }
+
+    /// Shared triplet-grouping backend of [`LpProblem::from_triplets`] and
+    /// [`crate::sparse::SparseBuilder::build`].
+    pub(crate) fn from_parts(
+        objective: Objective,
+        names: Vec<String>,
+        objective_coeffs: Vec<f64>,
+        rows: Vec<(Relation, f64)>,
+        triplets: Vec<(usize, usize, f64)>,
+    ) -> Result<Self, LpError> {
+        let m = rows.len();
+        // Counting sort by row keeps the grouping linear in nnz.
+        let mut counts = vec![0usize; m + 1];
+        for &(r, _, _) in &triplets {
+            if r >= m {
+                return Err(LpError::InvalidModel(format!(
+                    "triplet references unknown row {r} (model has {m} rows)"
+                )));
+            }
+            counts[r + 1] += 1;
+        }
+        for i in 0..m {
+            counts[i + 1] += counts[i];
+        }
+        let mut terms: Vec<Vec<(VarId, f64)>> = counts
+            .windows(2)
+            .map(|w| Vec::with_capacity(w[1] - w[0]))
+            .collect();
+        for &(r, c, v) in &triplets {
+            if v != 0.0 {
+                terms[r].push((VarId(c), v));
+            }
+        }
+        let constraints = terms
+            .into_iter()
+            .zip(rows)
+            .map(|(terms, (relation, rhs))| Constraint {
+                terms,
+                relation,
+                rhs,
+            })
+            .collect();
+        let problem = LpProblem {
+            objective,
+            names,
+            objective_coeffs,
+            constraints,
+        };
+        problem.validate()?;
+        Ok(problem)
+    }
+
     /// The optimization direction.
     pub fn objective(&self) -> Objective {
         self.objective
@@ -219,10 +289,27 @@ impl LpProblem {
         Ok(())
     }
 
-    /// Solves the problem with the dense two-phase simplex.
+    /// Solves the problem with the default engine (the sparse revised
+    /// simplex unless overridden, see [`crate::solver::SolverKind`]). When a
+    /// [`crate::revised::WarmStartCache`] scope is active on the current
+    /// thread, the revised engine warm-starts from the cached basis of the
+    /// last structurally identical solve.
     pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.solve_with(crate::solver::default_solver())
+    }
+
+    /// Solves the problem with an explicitly chosen engine.
+    pub fn solve_with(&self, solver: crate::solver::SolverKind) -> Result<LpSolution, LpError> {
         self.validate()?;
-        crate::simplex::solve(self)
+        match solver {
+            crate::solver::SolverKind::Dense => {
+                // Keep the scope's solve accounting truthful when the dense
+                // oracle is selected: every dense solve is a cold solve.
+                crate::revised::note_scoped_cold_solve();
+                crate::simplex::solve(self)
+            }
+            crate::solver::SolverKind::Revised => crate::revised::solve_scoped(self),
+        }
     }
 
     /// Evaluates the objective function at the given point.

@@ -1,0 +1,1334 @@
+//! Sparse revised simplex with a product-form basis and warm starts.
+//!
+//! The engine keeps the basis as an inverse in product form: a file of
+//! elementary *eta* transforms built by Gauss–Jordan elimination over the
+//! basic columns (reinversion orders columns by increasing nonzero count, so
+//! the slack/network columns of the multicast LPs triangularize almost
+//! completely, exactly as an LU factorization would). Every pivot appends
+//! one eta; the file is rebuilt periodically (and whenever numerics degrade)
+//! to bound its growth.
+//!
+//! Each iteration works on sparse columns only:
+//!
+//! * BTRAN of the basic costs gives the pricing vector `y`,
+//! * reduced costs `c_j − yᵀa_j` are scanned with Dantzig's rule over
+//!   rotating partial-pricing sections (Bland's rule after a stall),
+//! * FTRAN of the entering column feeds the ratio test.
+//!
+//! The anti-degeneracy toolkit of the dense engine is ported verbatim: the
+//! shadow-RHS perturbation (inequality rows relaxed by a tiny seeded amount,
+//! solution values read from an unperturbed shadow carried through the same
+//! pivots), the Dantzig→Bland stall switch, and the seeded reservoir
+//! tie-break in the ratio test — so solves stay bit-reproducible.
+//!
+//! **Warm starts**: [`solve_with_hint`] accepts the [`Basis`] returned by a
+//! previous solve of a structurally identical problem and, when that basis
+//! is still primal feasible, skips phase 1 entirely. [`WarmStartCache`]
+//! automates this for solver-agnostic callers: inside a
+//! [`WarmStartCache::scope`], every [`crate::LpProblem::solve`] call looks
+//! up the basis of the last solve with the same constraint pattern.
+
+use crate::problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
+use crate::solver::{
+    effective_relation, perturb_rhs, phase1_budget, phase2_budget, splitmix64, stats_enabled,
+};
+use crate::sparse::CscMatrix;
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Numerical tolerance (same value as the dense engine).
+const EPS: f64 = 1e-9;
+
+/// Reduced-cost/ratio pivot element below this magnitude is numerically
+/// untrustworthy: the solver refactorizes, and skips the column if the
+/// fresh factorization agrees.
+const PIVOT_TOL: f64 = 1e-7;
+
+/// Consecutive non-improving pivots before switching Dantzig → Bland
+/// (mirrors the dense engine).
+const STALL_SWITCH: usize = 64;
+
+/// Pivots between scheduled refactorizations.
+const REFACTOR_EVERY: usize = 128;
+
+/// Entries smaller than this are dropped from eta vectors.
+const ETA_DROP: f64 = 1e-12;
+
+/// An optimal basis, reusable as a warm-start hint for a structurally
+/// identical problem.
+///
+/// One entry per constraint row: the column (structural variable or
+/// slack/surplus) basic in that row, or [`Basis::REDUNDANT`] when the row's
+/// artificial variable stayed basic at level zero (a redundant constraint).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    cols: Vec<usize>,
+}
+
+impl Basis {
+    /// Marker for rows whose artificial variable remained basic.
+    pub const REDUNDANT: usize = usize::MAX;
+
+    /// The basic column of each row (see the type-level docs).
+    pub fn columns(&self) -> &[usize] {
+        &self.cols
+    }
+}
+
+/// How a warm-start hint fared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WarmStatus {
+    /// No hint was offered: a cold solve.
+    None,
+    /// The hinted basis was primal feasible and phase 1 was skipped.
+    Hit,
+    /// A hint was offered but rejected (singular or infeasible): cold solve.
+    Miss,
+}
+
+/// Per-solve diagnostics (printed on `PM_LP_STATS=1`, returned by
+/// [`solve_with_hint`]).
+#[derive(Debug, Clone, Copy)]
+pub struct SolveStats {
+    /// Constraint rows.
+    pub m: usize,
+    /// Total columns (structural + slack + artificial).
+    pub n: usize,
+    /// Stored nonzeros of the full constraint matrix.
+    pub nnz: usize,
+    /// Phase-1 pivots (0 when phase 1 was skipped).
+    pub phase1_pivots: usize,
+    /// Phase-2 pivots.
+    pub phase2_pivots: usize,
+    /// Basis refactorizations performed.
+    pub refactorizations: usize,
+    /// Warm-start outcome.
+    pub warm: WarmStatus,
+    /// Wall-clock seconds spent in the solve.
+    pub wall_s: f64,
+}
+
+/// A successful revised-simplex solve: the solution plus the optimal basis
+/// (for warm-starting the next structurally identical problem) and the
+/// solve diagnostics.
+#[derive(Debug, Clone)]
+pub struct SolveOutcome {
+    /// The optimal solution.
+    pub solution: LpSolution,
+    /// The optimal basis.
+    pub basis: Basis,
+    /// Solve diagnostics.
+    pub stats: SolveStats,
+}
+
+/// The eta file: elementary Gauss–Jordan transforms stored in flat arrays.
+///
+/// Eta `k` maps `x` to `G_k x` with `(G_k x)_r = x_r / p_k` and
+/// `(G_k x)_i = x_i − w_i · (x_r / p_k)` for the off-pivot entries
+/// `(i, w_i)`; `r` is the pivot row and `p_k` the pivot element.
+#[derive(Debug, Default)]
+struct EtaFile {
+    pivot_row: Vec<u32>,
+    pivot_val: Vec<f64>,
+    starts: Vec<usize>,
+    idx: Vec<u32>,
+    val: Vec<f64>,
+}
+
+impl EtaFile {
+    fn clear(&mut self) {
+        self.pivot_row.clear();
+        self.pivot_val.clear();
+        self.starts.clear();
+        self.starts.push(0);
+        self.idx.clear();
+        self.val.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.pivot_row.len()
+    }
+
+    fn nnz(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// Appends the eta of a pivot on `row`: `w` is the FTRANed column held
+    /// in a dense scratch vector whose (potential) nonzeros are listed in
+    /// `touched`.
+    fn push_sparse(&mut self, row: usize, w: &[f64], touched: &[u32]) {
+        self.pivot_row.push(row as u32);
+        self.pivot_val.push(w[row]);
+        for &i in touched {
+            let v = w[i as usize];
+            if i as usize != row && v.abs() > ETA_DROP {
+                self.idx.push(i);
+                self.val.push(v);
+            }
+        }
+        self.starts.push(self.idx.len());
+    }
+
+    /// FTRAN: applies `G_k ··· G_1` in order, i.e. computes `B⁻¹ x` in
+    /// place.
+    fn ftran(&self, x: &mut [f64]) {
+        for k in 0..self.len() {
+            let r = self.pivot_row[k] as usize;
+            let t = x[r] / self.pivot_val[k];
+            x[r] = t;
+            if t != 0.0 {
+                for e in self.starts[k]..self.starts[k + 1] {
+                    x[self.idx[e] as usize] -= self.val[e] * t;
+                }
+            }
+        }
+    }
+
+    /// Sparsity-exploiting FTRAN: like [`EtaFile::ftran`], but maintains the
+    /// invariant that every index whose value may be nonzero is listed in
+    /// `touched` (deduplicated through the `stamp`/`epoch` markers). The
+    /// caller seeds `touched` with the nonzeros of the input vector; etas
+    /// whose pivot row is untouched are skipped entirely, so the cost is
+    /// proportional to the fill actually created rather than to `m` or to
+    /// the eta-file size.
+    fn ftran_sparse(&self, x: &mut [f64], touched: &mut Vec<u32>, stamp: &mut [u32], epoch: u32) {
+        for k in 0..self.len() {
+            let r = self.pivot_row[k] as usize;
+            let xr = x[r];
+            if xr == 0.0 {
+                continue;
+            }
+            let t = xr / self.pivot_val[k];
+            x[r] = t;
+            for e in self.starts[k]..self.starts[k + 1] {
+                let i = self.idx[e];
+                if stamp[i as usize] != epoch {
+                    stamp[i as usize] = epoch;
+                    touched.push(i);
+                }
+                x[i as usize] -= self.val[e] * t;
+            }
+        }
+    }
+
+    /// BTRAN: applies the transposes in reverse order, i.e. computes
+    /// `B⁻ᵀ x` in place. Only the pivot-row component changes per eta.
+    fn btran(&self, x: &mut [f64]) {
+        for k in (0..self.len()).rev() {
+            let r = self.pivot_row[k] as usize;
+            let mut s = x[r];
+            for e in self.starts[k]..self.starts[k + 1] {
+                s -= self.val[e] * x[self.idx[e] as usize];
+            }
+            x[r] = s / self.pivot_val[k];
+        }
+    }
+}
+
+/// The revised-simplex working state.
+struct Engine {
+    a: CscMatrix,
+    /// Perturbed RHS (drives ratio tests, never reported).
+    b: Vec<f64>,
+    /// Exact RHS (solution values are read from its transform).
+    b_shadow: Vec<f64>,
+    m: usize,
+    n_user: usize,
+    /// First artificial column; structural + slack columns are below.
+    artificial_start: usize,
+    n_total: usize,
+    /// Per row: its slack/surplus column, if any.
+    row_slack: Vec<Option<usize>>,
+    /// Per row: its artificial column, if any.
+    row_artificial: Vec<Option<usize>>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    in_basis: Vec<bool>,
+    etas: EtaFile,
+    updates_since_refactor: usize,
+    /// `B⁻¹ b` (perturbed), indexed by row.
+    x_b: Vec<f64>,
+    /// `B⁻¹ b_shadow` (exact), same pivots.
+    x_shadow: Vec<f64>,
+    /// Cost of the phase being optimized, per column.
+    cost: Vec<f64>,
+    /// Rotating partial-pricing cursor.
+    price_ptr: usize,
+    /// Ratio-test tie-break stream.
+    rng: u64,
+    refactorizations: usize,
+    pivots: usize,
+    /// Scratch dense vector for FTRANed columns. Invariant: entries not
+    /// listed in `touched` are exactly `0.0`.
+    work: Vec<f64>,
+    /// Indices of (potentially) nonzero `work` entries, deduplicated via
+    /// `stamp`/`epoch`.
+    touched: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// Scratch dense vector for the BTRANed pricing vector.
+    price: Vec<f64>,
+}
+
+impl Engine {
+    /// Builds the standard-form matrix, mirroring the dense engine: rows are
+    /// normalised to `b ≥ 0`, `Le` rows get a slack, `Ge` rows a surplus and
+    /// an artificial, `Eq` rows an artificial; inequality RHS are relaxed by
+    /// the seeded anti-degeneracy perturbation with an exact shadow.
+    fn new(problem: &LpProblem) -> Engine {
+        let n_user = problem.num_vars();
+        let constraints = problem.constraints();
+        let m = constraints.len();
+
+        let mut num_slack = 0usize;
+        let mut num_artificial = 0usize;
+        let mut relations = Vec::with_capacity(m);
+        for c in constraints {
+            let relation = effective_relation(c.relation, c.rhs < 0.0);
+            relations.push(relation);
+            match relation {
+                Relation::Le => num_slack += 1,
+                Relation::Ge => {
+                    num_slack += 1;
+                    num_artificial += 1;
+                }
+                Relation::Eq => num_artificial += 1,
+            }
+        }
+        let artificial_start = n_user + num_slack;
+        let n_total = artificial_start + num_artificial;
+
+        let nnz_guess: usize = constraints.iter().map(|c| c.terms.len()).sum();
+        let mut triplets = Vec::with_capacity(nnz_guess + num_slack + num_artificial);
+        let mut b = vec![0.0; m];
+        let mut basis = vec![usize::MAX; m];
+        let mut row_slack = vec![None; m];
+        let mut row_artificial = vec![None; m];
+        let mut slack_idx = n_user;
+        let mut art_idx = artificial_start;
+        for (r, c) in constraints.iter().enumerate() {
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(v, coeff) in &c.terms {
+                triplets.push((r, v.index(), sign * coeff));
+            }
+            b[r] = sign * c.rhs;
+            match relations[r] {
+                Relation::Le => {
+                    triplets.push((r, slack_idx, 1.0));
+                    row_slack[r] = Some(slack_idx);
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    triplets.push((r, slack_idx, -1.0));
+                    row_slack[r] = Some(slack_idx);
+                    slack_idx += 1;
+                    triplets.push((r, art_idx, 1.0));
+                    row_artificial[r] = Some(art_idx);
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    triplets.push((r, art_idx, 1.0));
+                    row_artificial[r] = Some(art_idx);
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        let a = CscMatrix::from_triplets(m, n_total, &triplets);
+
+        // Anti-degeneracy RHS perturbation with exact shadow (shared scheme
+        // and seed with the dense engine, see `solver::perturb_rhs`).
+        let b_shadow = b.clone();
+        perturb_rhs(&mut b, &relations, n_total);
+
+        let mut in_basis = vec![false; n_total];
+        for &j in &basis {
+            in_basis[j] = true;
+        }
+        let mut etas = EtaFile::default();
+        etas.clear();
+        Engine {
+            x_b: b.clone(),
+            x_shadow: b_shadow.clone(),
+            a,
+            b,
+            b_shadow,
+            m,
+            n_user,
+            artificial_start,
+            n_total,
+            row_slack,
+            row_artificial,
+            basis,
+            in_basis,
+            etas,
+            updates_since_refactor: 0,
+            cost: vec![0.0; n_total],
+            price_ptr: 0,
+            rng: 0x9e37_79b9_7f4a_7c15 ^ ((m as u64) << 32) ^ n_total as u64,
+            refactorizations: 0,
+            pivots: 0,
+            work: vec![0.0; m],
+            touched: Vec::with_capacity(m),
+            stamp: vec![0; m],
+            epoch: 0,
+            price: vec![0.0; m],
+        }
+    }
+
+    /// Rebuilds the eta file for the current basis by Gauss–Jordan
+    /// elimination, pivoting columns in increasing-nonzero-count order (the
+    /// triangularization heuristic) with partial pivoting over the rows not
+    /// yet eliminated. Returns `false` when the basis is singular.
+    fn refactorize(&mut self) -> bool {
+        self.etas.clear();
+        self.updates_since_refactor = 0;
+        self.refactorizations += 1;
+        let m = self.m;
+        let mut order: Vec<usize> = (0..m).collect();
+        order.sort_by_key(|&r| self.a.col_nnz(self.basis[r]));
+        let mut pivoted = vec![false; m];
+        let mut new_basis = vec![usize::MAX; m];
+        for &pos in &order {
+            let j = self.basis[pos];
+            self.ftran_col(j);
+            // Partial pivoting over the rows not yet assigned; only touched
+            // entries can be nonzero.
+            let mut best_row = usize::MAX;
+            let mut best_abs = 0.0;
+            for &i in &self.touched {
+                let r = i as usize;
+                let w = self.work[r].abs();
+                if !pivoted[r] && w > best_abs {
+                    best_abs = w;
+                    best_row = r;
+                }
+            }
+            if best_abs <= 1e-10 {
+                return false;
+            }
+            self.etas.push_sparse(best_row, &self.work, &self.touched);
+            pivoted[best_row] = true;
+            new_basis[best_row] = j;
+        }
+        self.basis = new_basis;
+        self.recompute_solution_vectors();
+        true
+    }
+
+    /// Recomputes `x_b` and `x_shadow` from the RHS through the current eta
+    /// file (used after refactorizations to shed accumulated drift).
+    fn recompute_solution_vectors(&mut self) {
+        self.x_b.copy_from_slice(&self.b);
+        self.etas.ftran(&mut self.x_b);
+        for v in &mut self.x_b {
+            if v.abs() < EPS {
+                *v = 0.0;
+            }
+        }
+        self.x_shadow.copy_from_slice(&self.b_shadow);
+        self.etas.ftran(&mut self.x_shadow);
+    }
+
+    /// FTRAN of column `j` into `self.work`, tracking its nonzero pattern
+    /// in `self.touched` (previous contents are cleared sparsely).
+    fn ftran_col(&mut self, j: usize) {
+        for &i in &self.touched {
+            self.work[i as usize] = 0.0;
+        }
+        self.touched.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Wrapped: reset every stale stamp (0 is never used as an epoch).
+            self.stamp.iter_mut().for_each(|s| *s = 0);
+            self.epoch = 1;
+        }
+        let (rows, vals) = self.a.col(j);
+        for (&r, &v) in rows.iter().zip(vals) {
+            self.stamp[r as usize] = self.epoch;
+            self.touched.push(r);
+            self.work[r as usize] = v;
+        }
+        self.etas.ftran_sparse(
+            &mut self.work,
+            &mut self.touched,
+            &mut self.stamp,
+            self.epoch,
+        );
+    }
+
+    /// BTRAN of the basic costs into `self.price` (the pricing vector `y`).
+    fn compute_pricing_vector(&mut self) {
+        for r in 0..self.m {
+            self.price[r] = self.cost[self.basis[r]];
+        }
+        self.etas.btran(&mut self.price);
+    }
+
+    /// Reduced cost of column `j` under the current pricing vector.
+    #[inline]
+    fn reduced_cost(&self, j: usize) -> f64 {
+        self.cost[j] - self.a.col_dot(j, &self.price)
+    }
+
+    /// Objective of the current phase at the current (perturbed) point.
+    fn phase_objective(&self) -> f64 {
+        let mut z = 0.0;
+        for r in 0..self.m {
+            let c = self.cost[self.basis[r]];
+            if c != 0.0 {
+                z += c * self.x_b[r];
+            }
+        }
+        z
+    }
+
+    fn next_rand(&mut self) -> u64 {
+        splitmix64(&mut self.rng)
+    }
+
+    /// Applies the pivot `(row, entering)` with `self.work` holding
+    /// `B⁻¹ a_entering` (pattern in `self.touched`): updates the eta file,
+    /// the basis and both solution vectors.
+    fn apply_pivot(&mut self, row: usize, entering: usize) {
+        let w_r = self.work[row];
+        let theta = self.x_b[row] / w_r;
+        let theta_shadow = self.x_shadow[row] / w_r;
+        for &iu in &self.touched {
+            let i = iu as usize;
+            let w = self.work[i];
+            if i == row || w.abs() <= ETA_DROP {
+                continue;
+            }
+            self.x_b[i] -= theta * w;
+            if self.x_b[i].abs() < EPS {
+                self.x_b[i] = 0.0;
+            }
+            self.x_shadow[i] -= theta_shadow * w;
+        }
+        self.x_b[row] = theta;
+        self.x_shadow[row] = theta_shadow;
+        self.etas.push_sparse(row, &self.work, &self.touched);
+        self.in_basis[self.basis[row]] = false;
+        self.in_basis[entering] = true;
+        self.basis[row] = entering;
+        self.updates_since_refactor += 1;
+        self.pivots += 1;
+    }
+
+    /// Scheduled refactorization: every [`REFACTOR_EVERY`] pivots, or when
+    /// the eta file outgrows a small multiple of the matrix.
+    fn maybe_refactorize(&mut self) -> Result<(), LpError> {
+        let due = self.updates_since_refactor >= REFACTOR_EVERY
+            || self.etas.nnz() > 4 * self.a.nnz() + 16 * self.m;
+        if due && !self.refactorize() {
+            return Err(LpError::IterationLimit);
+        }
+        Ok(())
+    }
+
+    /// Chooses the entering column: Bland's rule (first negative reduced
+    /// cost by index) when `use_bland`, otherwise Dantzig's rule over
+    /// rotating partial-pricing sections. `banned` holds columns excluded
+    /// for numerical reasons until the next successful pivot.
+    fn choose_entering(
+        &mut self,
+        allowed_hi: usize,
+        use_bland: bool,
+        banned: &[usize],
+    ) -> Option<usize> {
+        if allowed_hi == 0 {
+            return None;
+        }
+        if use_bland {
+            for j in 0..allowed_hi {
+                if !self.in_basis[j] && !banned.contains(&j) && self.reduced_cost(j) < -EPS {
+                    return Some(j);
+                }
+            }
+            return None;
+        }
+        let section = (allowed_hi / 8).max(256).min(allowed_hi);
+        let mut scanned = 0usize;
+        let mut start = self.price_ptr % allowed_hi;
+        while scanned < allowed_hi {
+            let len = section.min(allowed_hi - scanned);
+            let mut best: Option<usize> = None;
+            let mut best_rc = -EPS;
+            for offset in 0..len {
+                let j = (start + offset) % allowed_hi;
+                if self.in_basis[j] || banned.contains(&j) {
+                    continue;
+                }
+                let rc = self.reduced_cost(j);
+                if rc < best_rc {
+                    best_rc = rc;
+                    best = Some(j);
+                }
+            }
+            if let Some(j) = best {
+                self.price_ptr = (j + 1) % allowed_hi;
+                return Some(j);
+            }
+            scanned += len;
+            start = (start + len) % allowed_hi;
+        }
+        None
+    }
+
+    /// The ratio test over `self.work` (the FTRANed entering column):
+    /// smallest `x_b / w` over `w > EPS`, ties broken by smallest basis
+    /// index under Bland and by seeded reservoir sampling otherwise
+    /// (ported from the dense engine, same rationale).
+    fn choose_leaving(&mut self, use_bland: bool) -> Option<usize> {
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        let mut ties = 0usize;
+        // Only touched entries of the FTRANed column can be positive. The
+        // traversal order (insertion order of the fill) is deterministic,
+        // so the seeded reservoir tie-break stays reproducible.
+        for ti in 0..self.touched.len() {
+            let r = self.touched[ti] as usize;
+            let w = self.work[r];
+            if w > EPS {
+                let ratio = self.x_b[r] / w;
+                match leaving {
+                    None => {
+                        leaving = Some(r);
+                        best_ratio = ratio;
+                        ties = 1;
+                    }
+                    Some(lr) => {
+                        if ratio < best_ratio - EPS {
+                            leaving = Some(r);
+                            best_ratio = ratio;
+                            ties = 1;
+                        } else if (ratio - best_ratio).abs() <= EPS {
+                            if use_bland {
+                                if self.basis[r] < self.basis[lr] {
+                                    leaving = Some(r);
+                                    best_ratio = ratio;
+                                }
+                            } else {
+                                ties += 1;
+                                if self.next_rand().is_multiple_of(ties as u64) {
+                                    leaving = Some(r);
+                                    best_ratio = ratio;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        leaving
+    }
+
+    /// Runs simplex iterations on the current cost vector until optimal
+    /// (all reduced costs ≥ −EPS over `0..allowed_hi`), unbounded, or out
+    /// of budget. Returns the pivots performed.
+    fn optimize(&mut self, allowed_hi: usize, budget: usize) -> Result<usize, LpError> {
+        let mut stalled = 0usize;
+        let mut last_obj = self.phase_objective();
+        let mut performed = 0usize;
+        // Columns skipped since the last successful pivot because their
+        // FTRANed pivot element stayed tiny after a fresh factorization.
+        let mut banned: Vec<usize> = Vec::new();
+        while performed < budget {
+            let use_bland = stalled >= STALL_SWITCH;
+            self.compute_pricing_vector();
+            let Some(entering) = self.choose_entering(allowed_hi, use_bland, &banned) else {
+                if banned.is_empty() {
+                    return Ok(performed);
+                }
+                // Every remaining improving column is banned: this vertex
+                // cannot be certified optimal (a banned column may still
+                // price negative). Declaring optimality here would silently
+                // return a suboptimal objective — or a spurious Infeasible
+                // from phase 1 — so report numerical trouble instead.
+                return Err(LpError::IterationLimit);
+            };
+            self.ftran_col(entering);
+            let Some(row) = self.choose_leaving(use_bland) else {
+                return Err(LpError::Unbounded);
+            };
+            if self.work[row].abs() < PIVOT_TOL {
+                // Numerically fragile pivot: refresh the factorization and
+                // retry; if a fresh factorization still produces a tiny
+                // pivot, exclude the column until the basis next changes.
+                if self.updates_since_refactor > 0 {
+                    if !self.refactorize() {
+                        return Err(LpError::IterationLimit);
+                    }
+                } else {
+                    banned.push(entering);
+                }
+                continue;
+            }
+            self.apply_pivot(row, entering);
+            performed += 1;
+            banned.clear();
+            self.maybe_refactorize()?;
+            // Anti-stalling bookkeeping: both phases minimize, so a
+            // productive pivot strictly decreases the phase objective.
+            let obj = self.phase_objective();
+            if obj < last_obj - EPS * (1.0 + last_obj.abs()) {
+                stalled = 0;
+                last_obj = obj;
+            } else {
+                stalled += 1;
+                if stalled == STALL_SWITCH && self.updates_since_refactor > 0 {
+                    // Entering Bland mode: shed drift first so its reduced
+                    // costs are trustworthy.
+                    if !self.refactorize() {
+                        return Err(LpError::IterationLimit);
+                    }
+                }
+            }
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Installs a warm-start basis hint. Returns `true` when the hint was
+    /// accepted: nonsingular and primal feasible (so phase 1 can be
+    /// skipped).
+    fn try_warm_start(&mut self, hint: &Basis) -> bool {
+        if hint.cols.len() != self.m {
+            return false;
+        }
+        let mut cols = Vec::with_capacity(self.m);
+        let mut used = vec![false; self.n_total];
+        for (r, &c) in hint.cols.iter().enumerate() {
+            // Redundant rows re-enter on their own artificial (or slack for
+            // an inequality row, which has one by construction).
+            let col = if c == Basis::REDUNDANT {
+                match self.row_artificial[r].or(self.row_slack[r]) {
+                    Some(col) => col,
+                    None => return false,
+                }
+            } else if c < self.artificial_start {
+                c
+            } else {
+                return false;
+            };
+            if used[col] {
+                return false;
+            }
+            used[col] = true;
+            cols.push(col);
+        }
+        let saved_basis = std::mem::replace(&mut self.basis, cols);
+        let saved_in_basis = std::mem::replace(&mut self.in_basis, used);
+        if !self.refactorize() {
+            // Singular: restore the all-slack/artificial cold basis.
+            self.basis = saved_basis;
+            self.in_basis = saved_in_basis;
+            let ok = self.refactorize();
+            debug_assert!(ok, "initial unit basis cannot be singular");
+            return false;
+        }
+        let feasible = self.x_b.iter().all(|&v| v >= -PIVOT_TOL)
+            && (0..self.m)
+                .all(|r| self.basis[r] < self.artificial_start || self.x_b[r] <= PIVOT_TOL);
+        if !feasible {
+            self.basis = saved_basis;
+            self.in_basis = saved_in_basis;
+            let ok = self.refactorize();
+            debug_assert!(ok, "initial unit basis cannot be singular");
+            return false;
+        }
+        true
+    }
+
+    /// Phase 1: minimize the sum of artificial variables from the unit
+    /// basis.
+    fn phase1(&mut self) -> Result<(), LpError> {
+        if self.artificial_start == self.n_total {
+            return Ok(());
+        }
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
+        for j in self.artificial_start..self.n_total {
+            self.cost[j] = 1.0;
+        }
+        let budget = phase1_budget(self.m, self.n_total);
+        self.optimize(self.n_total, budget)?;
+        if self.phase_objective() > 1e-6 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive lingering artificial variables out of the basis where a
+        // structural pivot exists (rows without one are redundant and keep
+        // their artificial at level zero). No scheduled refactorization
+        // inside this scan: `refactorize` re-derives the row ↔ basic-column
+        // assignment by partial pivoting, which could move a still-basic
+        // artificial to an already-visited row index and let it escape the
+        // drive-out. The at most `m` extra etas are well within one
+        // refactorization cycle, and phase 2 refactorizes on schedule.
+        for r in 0..self.m {
+            if self.basis[r] < self.artificial_start {
+                continue;
+            }
+            // Row r of B⁻¹.
+            self.price.iter_mut().for_each(|v| *v = 0.0);
+            self.price[r] = 1.0;
+            self.etas.btran(&mut self.price);
+            let mut pivot_col = None;
+            for j in 0..self.artificial_start {
+                if !self.in_basis[j] && self.a.col_dot(j, &self.price).abs() > PIVOT_TOL {
+                    pivot_col = Some(j);
+                    break;
+                }
+            }
+            if let Some(j) = pivot_col {
+                self.ftran_col(j);
+                // Same acceptance threshold as the dense engine's drive-out:
+                // x_b[r] is ≤ the phase-1 tolerance here and there is no
+                // ratio test, so theta = x_b[r] / work[r] must stay bounded
+                // — a 1e-10 pivot would scatter O(1e4)-sized errors.
+                if self.work[r].abs() > PIVOT_TOL {
+                    self.apply_pivot(r, j);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every artificial variable still in the basis sits at level
+    /// zero (exact shadow RHS). Called after [`Engine::extract`], whose
+    /// final refactorization has just recomputed `x_shadow` to
+    /// factorization accuracy.
+    fn artificials_at_zero(&self) -> bool {
+        (0..self.m).all(|r| self.basis[r] < self.artificial_start || self.x_shadow[r].abs() <= 1e-6)
+    }
+
+    /// Phase 2: minimize the (sense-normalised) user objective; artificial
+    /// columns may never re-enter.
+    fn phase2(&mut self, problem: &LpProblem) -> Result<usize, LpError> {
+        let sense = match problem.objective() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
+        for j in 0..self.n_user {
+            self.cost[j] = sense * problem.objective_coeff(VarId(j));
+        }
+        self.price_ptr = 0;
+        let budget = phase2_budget(self.m, self.n_total);
+        self.optimize(self.artificial_start, budget)
+    }
+
+    /// Extracts the solution values from the exact shadow RHS after a final
+    /// refactorization (so the reported point solves `B x_B = b` to
+    /// factorization accuracy, not eta-accumulation accuracy).
+    fn extract(&mut self, problem: &LpProblem) -> (LpSolution, Basis) {
+        if self.updates_since_refactor > 0 {
+            let ok = self.refactorize();
+            debug_assert!(ok, "optimal basis cannot be singular");
+        }
+        let mut values = vec![0.0; self.n_user];
+        for r in 0..self.m {
+            let j = self.basis[r];
+            if j < self.n_user {
+                values[j] = self.x_shadow[r].max(0.0);
+            }
+        }
+        let objective = problem.objective_value_at(&values);
+        let cols = self
+            .basis
+            .iter()
+            .map(|&j| {
+                if j < self.artificial_start {
+                    j
+                } else {
+                    Basis::REDUNDANT
+                }
+            })
+            .collect();
+        (LpSolution::new(objective, values), Basis { cols })
+    }
+}
+
+/// Solves a problem with the revised simplex, optionally warm-starting from
+/// the basis of a previous structurally identical solve. The hint is only
+/// ever an accelerator: a rejected hint falls back to a cold two-phase
+/// solve, so correctness never depends on it.
+pub fn solve_with_hint(problem: &LpProblem, hint: Option<&Basis>) -> Result<SolveOutcome, LpError> {
+    let start = std::time::Instant::now();
+    let (attempt, warm) = attempt_solve(problem, hint);
+    // A hinted basis skipped phase 1, so its result carries an extra proof
+    // obligation: every artificial still basic (re-entered for a
+    // REDUNDANT-marked row of the hint) must have stayed at level zero
+    // through phase 2 — phase 2 only stops artificials from *entering*, not
+    // from growing. A violation (or any error: the hint can steer the
+    // iteration budget into a corner the cold path avoids) discards the
+    // hint entirely and re-solves cold; the hint is an accelerator, never a
+    // correctness dependency.
+    let (attempt, warm) = if warm == WarmStatus::Hit
+        && (attempt.outcome.is_err() || !attempt.engine.artificials_at_zero())
+    {
+        (attempt_solve(problem, None).0, WarmStatus::Miss)
+    } else {
+        (attempt, warm)
+    };
+    let stats = SolveStats {
+        m: attempt.engine.m,
+        n: attempt.engine.n_total,
+        nnz: attempt.engine.a.nnz(),
+        phase1_pivots: attempt.phase1_pivots,
+        phase2_pivots: attempt.phase2_pivots,
+        refactorizations: attempt.engine.refactorizations,
+        warm,
+        wall_s: start.elapsed().as_secs_f64(),
+    };
+    match attempt.outcome {
+        Ok((solution, basis)) => {
+            if stats_enabled() {
+                print_stats(&stats, "ok");
+            }
+            Ok(SolveOutcome {
+                solution,
+                basis,
+                stats,
+            })
+        }
+        Err(e) => {
+            if stats_enabled() {
+                print_stats(&stats, &format!("{e:?}"));
+            }
+            Err(e)
+        }
+    }
+}
+
+/// One two-phase run, cold or from a hint.
+struct Attempt {
+    engine: Engine,
+    phase1_pivots: usize,
+    phase2_pivots: usize,
+    outcome: Result<(LpSolution, Basis), LpError>,
+}
+
+fn attempt_solve(problem: &LpProblem, hint: Option<&Basis>) -> (Attempt, WarmStatus) {
+    let mut engine = Engine::new(problem);
+    let mut warm = WarmStatus::None;
+    if let Some(hint) = hint {
+        warm = if engine.try_warm_start(hint) {
+            WarmStatus::Hit
+        } else {
+            WarmStatus::Miss
+        };
+    }
+    let mut phase1_pivots = 0;
+    let outcome = (|| {
+        if warm != WarmStatus::Hit {
+            let phase1 = engine.phase1();
+            // Read the pivot counter before propagating a phase-1 error:
+            // the split must stay truthful for infeasible/budget-exhausted
+            // solves too (includes the artificial drive-out pivots).
+            phase1_pivots = engine.pivots;
+            phase1?;
+        }
+        engine.phase2(problem)?;
+        Ok(engine.extract(problem))
+    })();
+    let phase2_pivots = engine.pivots.saturating_sub(phase1_pivots);
+    (
+        Attempt {
+            engine,
+            phase1_pivots,
+            phase2_pivots,
+            outcome,
+        },
+        warm,
+    )
+}
+
+fn print_stats(stats: &SolveStats, status: &str) {
+    eprintln!(
+        "pm-lp: engine=revised m={} n={} nnz={} phase1_pivots={} phase2_pivots={} \
+         refactorizations={} warm={} elapsed={:.3}s status={status}",
+        stats.m,
+        stats.n,
+        stats.nnz,
+        stats.phase1_pivots,
+        stats.phase2_pivots,
+        stats.refactorizations,
+        match stats.warm {
+            WarmStatus::None => "none",
+            WarmStatus::Hit => "hit",
+            WarmStatus::Miss => "miss",
+        },
+        stats.wall_s,
+    );
+}
+
+/// Structural signature of a problem: dimensions, objective sense, and the
+/// per-row relation + term sparsity pattern (coefficient *values* are
+/// excluded on purpose — a basis is a valid warm-start hint for any problem
+/// with the same pattern). `DefaultHasher` uses fixed keys, so signatures
+/// are stable across runs.
+fn signature(problem: &LpProblem) -> u64 {
+    let mut h = DefaultHasher::new();
+    problem.num_vars().hash(&mut h);
+    matches!(problem.objective(), Objective::Maximize).hash(&mut h);
+    problem.num_constraints().hash(&mut h);
+    for c in problem.constraints() {
+        // The effective relation and flip decide the slack/artificial
+        // layout, so they are part of the structure.
+        let flip = c.rhs < 0.0;
+        (match effective_relation(c.relation, flip) {
+            Relation::Le => 0u8,
+            Relation::Ge => 1,
+            Relation::Eq => 2,
+        })
+        .hash(&mut h);
+        c.terms.len().hash(&mut h);
+        for &(v, _) in &c.terms {
+            v.index().hash(&mut h);
+        }
+    }
+    h.finish()
+}
+
+thread_local! {
+    static ACTIVE_CACHE: RefCell<Option<WarmStartCache>> = const { RefCell::new(None) };
+}
+
+/// A per-thread cache of optimal bases keyed by problem structure.
+///
+/// Inside a [`WarmStartCache::scope`], every [`crate::LpProblem::solve`]
+/// call routed to the revised engine looks up the basis of the last solve
+/// with the same constraint pattern and warm-starts from it; the cache is
+/// updated with the new optimal basis afterwards. Sequences of structurally
+/// identical solves (e.g. consecutive densities of a Figure-11 sweep, or the
+/// iterated broadcast LPs inside the greedy heuristics) then skip most of
+/// phase 1.
+#[derive(Debug, Default)]
+pub struct WarmStartCache {
+    map: HashMap<u64, Basis>,
+    /// Solves that reused a cached basis.
+    pub hits: u64,
+    /// Solves that started cold (no cached basis, or the hint was rejected).
+    pub misses: u64,
+}
+
+impl WarmStartCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total revised solves performed inside this cache's scopes.
+    pub fn solves(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Runs `f` with this cache active for [`crate::LpProblem::solve`] calls
+    /// on the current thread. Scopes must not be nested.
+    pub fn scope<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        struct Restore<'a>(&'a mut WarmStartCache);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                ACTIVE_CACHE.with(|slot| {
+                    if let Some(cache) = slot.borrow_mut().take() {
+                        *self.0 = cache;
+                    }
+                });
+            }
+        }
+        ACTIVE_CACHE.with(|slot| {
+            let mut slot = slot.borrow_mut();
+            assert!(slot.is_none(), "WarmStartCache scopes must not be nested");
+            *slot = Some(std::mem::take(self));
+        });
+        let restore = Restore(self);
+        let result = f();
+        drop(restore);
+        result
+    }
+}
+
+/// Records a solve that bypassed the warm-start machinery (the dense
+/// engine) in the thread's active cache, so `lp_solves` stays an honest
+/// count of every LP solved inside the scope regardless of engine.
+pub(crate) fn note_scoped_cold_solve() {
+    ACTIVE_CACHE.with(|slot| {
+        if let Some(cache) = slot.borrow_mut().as_mut() {
+            cache.misses += 1;
+        }
+    });
+}
+
+/// The [`crate::LpProblem::solve`] entry point for the revised engine:
+/// consults the thread's active [`WarmStartCache`] (if any) around
+/// [`solve_with_hint`].
+pub(crate) fn solve_scoped(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    let key_and_hint = ACTIVE_CACHE.with(|slot| {
+        slot.borrow().as_ref().map(|cache| {
+            let key = signature(problem);
+            (key, cache.map.get(&key).cloned())
+        })
+    });
+    let Some((key, hint)) = key_and_hint else {
+        return solve_with_hint(problem, None).map(|o| o.solution);
+    };
+    let outcome = solve_with_hint(problem, hint.as_ref());
+    ACTIVE_CACHE.with(|slot| {
+        if let Some(cache) = slot.borrow_mut().as_mut() {
+            match &outcome {
+                Ok(o) => {
+                    if o.stats.warm == WarmStatus::Hit {
+                        cache.hits += 1;
+                    } else {
+                        cache.misses += 1;
+                    }
+                    cache.map.insert(key, o.basis.clone());
+                }
+                Err(_) => cache.misses += 1,
+            }
+        }
+    });
+    outcome.map(|o| o.solution)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Objective, Relation};
+    use crate::solver::SolverKind;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    fn sample_lp() -> LpProblem {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6)
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 3.0);
+        lp.set_objective_coeff(y, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        lp
+    }
+
+    #[test]
+    fn revised_matches_dense_on_the_textbook_lp() {
+        let lp = sample_lp();
+        let dense = lp.solve_with(SolverKind::Dense).unwrap();
+        let revised = lp.solve_with(SolverKind::Revised).unwrap();
+        approx(revised.objective, dense.objective);
+    }
+
+    #[test]
+    fn phase1_paths_agree_with_dense() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> 23
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 2.0);
+        lp.set_objective_coeff(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Ge, 3.0);
+        let s = lp.solve_with(SolverKind::Revised).unwrap();
+        approx(s.objective, 23.0);
+        approx(s.value(x), 7.0);
+        approx(s.value(y), 3.0);
+    }
+
+    #[test]
+    fn detects_infeasible_and_unbounded() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        assert_eq!(lp.solve_with(SolverKind::Revised), Err(LpError::Infeasible));
+
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(vec![(x, -1.0)], Relation::Le, 5.0);
+        assert_eq!(lp.solve_with(SolverKind::Revised), Err(LpError::Unbounded));
+    }
+
+    #[test]
+    fn warm_start_skips_phase1_on_identical_problem() {
+        // An LP with Ge rows so a cold solve needs phase 1.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 2.0);
+        lp.set_objective_coeff(y, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let cold = solve_with_hint(&lp, None).unwrap();
+        assert!(cold.stats.phase1_pivots > 0);
+        assert_eq!(cold.stats.warm, WarmStatus::None);
+        let warm = solve_with_hint(&lp, Some(&cold.basis)).unwrap();
+        assert_eq!(warm.stats.warm, WarmStatus::Hit);
+        assert_eq!(warm.stats.phase1_pivots, 0);
+        approx(warm.solution.objective, cold.solution.objective);
+    }
+
+    #[test]
+    fn warm_start_with_wrong_shape_is_rejected() {
+        let lp = sample_lp();
+        let bogus = Basis { cols: vec![0] };
+        let out = solve_with_hint(&lp, Some(&bogus)).unwrap();
+        assert_eq!(out.stats.warm, WarmStatus::Miss);
+        approx(out.solution.objective, 36.0);
+    }
+
+    #[test]
+    fn warm_start_with_changed_costs_still_reoptimizes() {
+        let lp = sample_lp();
+        let first = solve_with_hint(&lp, None).unwrap();
+        // Same structure, different objective: the old basis is feasible
+        // (structure and RHS unchanged) and phase 2 must re-optimize.
+        let mut flipped = lp.clone();
+        let x = VarId(0);
+        let y = VarId(1);
+        flipped.set_objective_coeff(x, 10.0);
+        flipped.set_objective_coeff(y, 1.0);
+        let warm = solve_with_hint(&flipped, Some(&first.basis)).unwrap();
+        assert_eq!(warm.stats.warm, WarmStatus::Hit);
+        let dense = flipped.solve_with(SolverKind::Dense).unwrap();
+        approx(warm.solution.objective, dense.objective);
+    }
+
+    #[test]
+    fn cache_scope_hits_on_repeated_patterns() {
+        let lp = sample_lp();
+        let mut cache = WarmStartCache::new();
+        cache.scope(|| {
+            for _ in 0..3 {
+                let s = lp.solve_with(SolverKind::Revised).unwrap();
+                approx(s.objective, 36.0);
+            }
+        });
+        assert_eq!(cache.misses, 1);
+        assert_eq!(cache.hits, 2);
+        assert_eq!(cache.solves(), 3);
+    }
+
+    #[test]
+    fn cache_scope_restores_on_exit() {
+        let mut cache = WarmStartCache::new();
+        cache.scope(|| {
+            sample_lp().solve().unwrap();
+        });
+        // Outside the scope solves do not touch the cache.
+        sample_lp().solve().unwrap();
+        assert_eq!(cache.solves(), 1);
+    }
+
+    #[test]
+    fn redundant_equalities_keep_artificial_marker_and_warm_start() {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Eq, 1.0);
+        let cold = solve_with_hint(&lp, None).unwrap();
+        approx(cold.solution.objective, 1.0);
+        assert!(cold.basis.columns().contains(&Basis::REDUNDANT));
+        let warm = solve_with_hint(&lp, Some(&cold.basis)).unwrap();
+        assert_eq!(warm.stats.warm, WarmStatus::Hit);
+        approx(warm.solution.objective, 1.0);
+    }
+
+    #[test]
+    fn beale_example_terminates_on_revised_engine() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x1 = lp.add_var("x1");
+        let x2 = lp.add_var("x2");
+        let x3 = lp.add_var("x3");
+        let x4 = lp.add_var("x4");
+        lp.set_objective_coeff(x1, -0.75);
+        lp.set_objective_coeff(x2, 150.0);
+        lp.set_objective_coeff(x3, -0.02);
+        lp.set_objective_coeff(x4, 6.0);
+        lp.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        );
+        lp.add_constraint(vec![(x3, 1.0)], Relation::Le, 1.0);
+        let sol = lp.solve_with(SolverKind::Revised).unwrap();
+        approx(sol.objective, -0.05);
+    }
+
+    #[test]
+    fn adversarial_redundant_hints_never_corrupt_results() {
+        // Corrupt warm-start hints by marking arbitrary rows REDUNDANT (so
+        // their artificial re-enters the basis): whatever the hint claims,
+        // a successful solve must return a feasible point with the dense
+        // oracle's objective — the post-phase-2 artificial check falls back
+        // to a cold solve whenever a re-entered artificial drifts off zero.
+        let mut rng_state = 0x1234_5678_9abc_def0u64;
+        for case in 0..40u64 {
+            let mut lp = LpProblem::new(if case % 2 == 0 {
+                Objective::Maximize
+            } else {
+                Objective::Minimize
+            });
+            let n = 2 + (case as usize % 3);
+            let vars: Vec<VarId> = (0..n).map(|i| lp.add_var(&format!("x{i}"))).collect();
+            for &v in &vars {
+                let c = (splitmix64(&mut rng_state) % 7) as f64 - 3.0;
+                lp.set_objective_coeff(v, c);
+                lp.add_constraint(vec![(v, 1.0)], Relation::Le, 4.0);
+            }
+            let terms: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+            lp.add_constraint(terms.clone(), Relation::Eq, 3.0);
+            lp.add_constraint(terms, Relation::Eq, 3.0); // redundant duplicate
+            let dense = lp.solve_with(SolverKind::Dense).unwrap();
+            let cold = solve_with_hint(&lp, None).unwrap();
+            // Corrupt: mark a pseudo-random subset of rows REDUNDANT.
+            let mut cols = cold.basis.columns().to_vec();
+            for c in cols.iter_mut() {
+                if splitmix64(&mut rng_state).is_multiple_of(3) {
+                    *c = Basis::REDUNDANT;
+                }
+            }
+            let hint = Basis { cols };
+            let warm = solve_with_hint(&lp, Some(&hint)).unwrap();
+            assert!(
+                (warm.solution.objective - dense.objective).abs() <= 1e-6,
+                "case {case}: corrupted hint changed the objective: {} vs {}",
+                warm.solution.objective,
+                dense.objective
+            );
+            assert!(
+                lp.is_feasible(warm.solution.values(), 1e-6),
+                "case {case}: corrupted hint produced an infeasible point"
+            );
+        }
+    }
+
+    #[test]
+    fn signature_ignores_values_but_not_structure() {
+        let a = sample_lp();
+        let mut b = sample_lp();
+        b.set_objective_coeff(VarId(0), 7.0);
+        assert_eq!(signature(&a), signature(&b));
+        let mut c = sample_lp();
+        c.add_constraint(vec![(VarId(0), 1.0)], Relation::Le, 100.0);
+        assert_ne!(signature(&a), signature(&c));
+    }
+}

@@ -15,6 +15,7 @@
 //! on degenerate problems.
 
 use crate::problem::{LpError, LpProblem, LpSolution, Objective, Relation};
+use crate::solver::{effective_relation, perturb_rhs, phase1_budget, phase2_budget, splitmix64};
 
 /// Numerical tolerance used throughout the solver.
 const EPS: f64 = 1e-9;
@@ -27,35 +28,6 @@ const EPS: f64 = 1e-9;
 /// stall for tens of thousands of pivots on the multicast LPs and then
 /// crawled through the whole remaining solve under Bland.
 const STALL_SWITCH: usize = 64;
-
-/// SplitMix64 step: the deterministic generator behind both the
-/// anti-degeneracy perturbation and the ratio-test tie-break (seeded from
-/// distinct constants so the two streams are independent).
-fn splitmix64(state: &mut u64) -> u64 {
-    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    let mut z = *state;
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
-}
-
-/// Hard phase-1 iteration cap, proportional to problem size: a healthy
-/// simplex run needs a small multiple of `m` pivots, so a bounded multiple
-/// of `m + n` (with a generous floor) separates "still converging" from
-/// "stalled on numerically collapsed degeneracy" without letting a
-/// pathological solve burn minutes of pivot work before reporting
-/// [`LpError::IterationLimit`]. Phase 1 gets a tighter multiple than phase
-/// 2: its Eq rows cannot be de-degenerated by the RHS perturbation (see
-/// `solve`), so a stalled phase 1 should give up quickly — observed healthy
-/// phase-1 runs on the multicast LPs stay under `0.4 (m + n)` pivots.
-fn phase1_budget(m: usize, n: usize) -> usize {
-    (2 * (m + n)).clamp(10_000, 50_000)
-}
-
-/// Hard phase-2 iteration cap (see [`phase1_budget`] for the rationale).
-fn phase2_budget(m: usize, n: usize) -> usize {
-    (8 * (m + n)).clamp(10_000, 200_000)
-}
 
 /// A dense simplex tableau.
 struct Tableau {
@@ -314,44 +286,13 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         }
     }
 
-    // Anti-degeneracy perturbation (the classical method, with a shadow
-    // RHS so the reported solution stays exact). The multicast LPs are
-    // massively degenerate — hundreds of inequality rows are tight at the
-    // initial vertex — and both Dantzig's and Bland's rules stall there for
-    // minutes. Relaxing each inequality outward by a tiny deterministic
-    // pseudo-random amount makes the tied ratio-test rows distinct, so the
-    // simplex walks off degenerate vertices immediately:
-    //
-    // * `Le` rows get `b += delta` (a strictly larger feasible region),
-    // * `Ge` rows (normalised) get `b -= delta`, clamped at 0 (again a
-    //   larger region, and phase 1 still starts from `b >= 0`),
-    // * `Eq` rows are left exact — perturbing them could make a feasible
-    //   flow-conservation system infeasible.
-    //
-    // Optimality of the final basis transfers to the unperturbed problem
-    // because reduced costs do not depend on the RHS; the solution values
-    // are read from `b_shadow`, which carries the *unperturbed* RHS through
-    // the same row operations (so they solve `B x_B = b_orig` exactly, up
-    // to the usual floating-point error).
+    // Anti-degeneracy RHS perturbation (see `solver::perturb_rhs` for the
+    // scheme shared with the revised engine); the solution values are read
+    // from `b_shadow`, which carries the *unperturbed* RHS through the same
+    // row operations (so they solve `B x_B = b_orig` exactly, up to the
+    // usual floating-point error).
     let b_shadow = b.clone();
-    // Distinct stream from the ratio-test tie-break RNG (different seed
-    // constant), both deterministic in the problem dimensions.
-    let mut perturb_seed = 0x243f_6a88_85a3_08d3u64 ^ ((m as u64) << 32) ^ n as u64;
-    const PERTURB: f64 = 1e-8;
-    for r in 0..m {
-        // Uniform in [1, 2).
-        let u = 1.0 + (splitmix64(&mut perturb_seed) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        // The RHS scaling is capped so the total relaxation of any row stays
-        // an order of magnitude below the 1e-6 phase-1 infeasibility
-        // tolerance — otherwise a large-RHS LP that is infeasible by just
-        // over 1e-6 could be relaxed into feasibility.
-        let delta = PERTURB * (1.0 + b[r].abs()).min(5.0) * u;
-        match row_relation[r] {
-            Relation::Le => b[r] += delta,
-            Relation::Ge => b[r] = (b[r] - delta).max(0.0),
-            Relation::Eq => {}
-        }
-    }
+    perturb_rhs(&mut b, &row_relation, n);
 
     let mut tableau = Tableau {
         a,
@@ -365,7 +306,9 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         rng: 0x9e37_79b9_7f4a_7c15 ^ ((m as u64) << 32) ^ n as u64,
         iters: 0,
     };
-    let stats = std::env::var_os("PM_LP_STATS").is_some_and(|v| v == "1");
+    let stats = crate::solver::stats_enabled();
+    let nnz: usize =
+        constraints.iter().map(|c| c.terms.len()).sum::<usize>() + num_slack + num_artificial;
     let solve_start = std::time::Instant::now();
     let mut phase1_iters = 0usize;
 
@@ -390,10 +333,11 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
         let phase1_failed = phase1.is_err() || phase1_value > 1e-6;
         if stats && phase1_failed {
             eprintln!(
-                "pm-lp: m={m} n={n} phase1_pivots={phase1_iters} elapsed={:.3}s (phase 1 {})",
+                "pm-lp: engine=dense m={m} n={n} nnz={nnz} phase1_pivots={phase1_iters} \
+                 phase2_pivots=0 refactorizations=0 warm=none elapsed={:.3}s status={}",
                 solve_start.elapsed().as_secs_f64(),
                 if phase1.is_err() {
-                    "error"
+                    "phase1-error"
                 } else {
                     "infeasible"
                 },
@@ -451,10 +395,11 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     let phase2 = tableau.optimize(&allowed, phase2_budget(m, n));
     if stats {
         eprintln!(
-            "pm-lp: m={m} n={n} phase1_pivots={phase1_iters} phase2_pivots={} elapsed={:.3}s{}",
+            "pm-lp: engine=dense m={m} n={n} nnz={nnz} phase1_pivots={phase1_iters} \
+             phase2_pivots={} refactorizations=0 warm=none elapsed={:.3}s status={}",
             tableau.iters,
             solve_start.elapsed().as_secs_f64(),
-            if phase2.is_err() { " (failed)" } else { "" },
+            if phase2.is_err() { "failed" } else { "ok" },
         );
     }
     phase2?;
@@ -471,17 +416,6 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     }
     let objective = problem.objective_value_at(&values);
     Ok(LpSolution::new(objective, values))
-}
-
-fn effective_relation(relation: Relation, flipped: bool) -> Relation {
-    if !flipped {
-        return relation;
-    }
-    match relation {
-        Relation::Le => Relation::Ge,
-        Relation::Ge => Relation::Le,
-        Relation::Eq => Relation::Eq,
-    }
 }
 
 #[cfg(test)]

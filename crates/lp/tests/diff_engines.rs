@@ -1,0 +1,216 @@
+//! Differential tests: the sparse revised simplex and the dense tableau
+//! simplex must agree on status and objective for every random LP, including
+//! the degenerate generators and Beale's cycling example that exercised the
+//! PR 1 anti-degeneracy work. The dense engine is the oracle; any
+//! disagreement beyond 1e-6 is an engine bug, not an alternate optimum
+//! (optimal *objectives* are unique even when optimal vertices are not).
+
+use pm_lp::{LpError, LpProblem, Objective, Relation, SolverKind, VarId};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-6;
+
+/// Both engines on one problem: statuses must match, objectives must agree
+/// within `TOL`, and each returned point must be feasible for the model.
+fn assert_engines_agree(lp: &LpProblem) -> Result<(), TestCaseError> {
+    let dense = lp.solve_with(SolverKind::Dense);
+    let revised = lp.solve_with(SolverKind::Revised);
+    match (&dense, &revised) {
+        (Ok(d), Ok(r)) => {
+            prop_assert!(
+                (d.objective - r.objective).abs() <= TOL * (1.0 + d.objective.abs()),
+                "objectives disagree: dense {} vs revised {}",
+                d.objective,
+                r.objective
+            );
+            prop_assert!(lp.is_feasible(d.values(), TOL), "dense point infeasible");
+            prop_assert!(lp.is_feasible(r.values(), TOL), "revised point infeasible");
+        }
+        (Err(de), Err(re)) => {
+            prop_assert_eq!(de, re);
+        }
+        _ => {
+            prop_assert!(
+                false,
+                "status mismatch: dense {:?} vs revised {:?}",
+                dense,
+                revised
+            );
+        }
+    }
+    Ok(())
+}
+
+/// A random LP over box-bounded variables plus general `Le`/`Ge`/`Eq` rows.
+/// The box keeps it bounded; feasibility is not guaranteed, which is the
+/// point — infeasible instances must be flagged identically by both engines.
+fn random_lp(num_vars: usize, num_cons: usize, seed: u64) -> LpProblem {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut lp = LpProblem::new(if rng.gen_bool(0.5) {
+        Objective::Maximize
+    } else {
+        Objective::Minimize
+    });
+    let vars: Vec<VarId> = (0..num_vars)
+        .map(|i| lp.add_var(&format!("x{i}")))
+        .collect();
+    for &v in &vars {
+        lp.set_objective_coeff(v, rng.gen_range(-3.0..3.0));
+        lp.add_constraint(vec![(v, 1.0)], Relation::Le, rng.gen_range(0.5..5.0));
+    }
+    for _ in 0..num_cons {
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        for &v in &vars {
+            if rng.gen_bool(0.6) {
+                terms.push((v, rng.gen_range(-2.0..2.0)));
+            }
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let relation = match rng.gen_range(0..3) {
+            0 => Relation::Le,
+            1 => Relation::Ge,
+            _ => Relation::Eq,
+        };
+        let rhs = rng.gen_range(-2.0..4.0);
+        lp.add_constraint(terms, relation, rhs);
+    }
+    lp
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn engines_agree_on_random_lps(
+        num_vars in 1usize..7,
+        num_cons in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let lp = random_lp(num_vars, num_cons, seed);
+        assert_engines_agree(&lp)?;
+    }
+
+    // The PR 1 degenerate generator: duplicated (verbatim and positively
+    // scaled) constraints make the optimal vertex over-determined — exactly
+    // where pivot paths diverge most between engines, while the optimum
+    // must not move.
+    #[test]
+    fn engines_agree_on_degenerate_duplicated_lps(
+        num_vars in 1usize..5,
+        num_cons in 1usize..5,
+        seed in 0u64..1_000_000,
+        copies in 1usize..4,
+    ) {
+        let base = random_lp(num_vars, num_cons, seed);
+        let mut degen = base.clone();
+        for constraint in base.constraints().to_vec() {
+            for copy in 0..copies {
+                let scale = 1.0 + copy as f64;
+                let terms: Vec<(VarId, f64)> = constraint
+                    .terms
+                    .iter()
+                    .map(|&(v, c)| (v, c * scale))
+                    .collect();
+                degen.add_constraint(terms, constraint.relation, constraint.rhs * scale);
+            }
+        }
+        assert_engines_agree(&degen)?;
+    }
+
+    // Unboundedness must be detected identically: a free variable with a
+    // favourable objective coefficient and no upper bound.
+    #[test]
+    fn engines_agree_on_unbounded_lps(
+        num_vars in 1usize..5,
+        seed in 0u64..1_000_000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_cafe);
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let vars: Vec<VarId> = (0..num_vars)
+            .map(|i| lp.add_var(&format!("x{i}")))
+            .collect();
+        for &v in &vars {
+            lp.set_objective_coeff(v, rng.gen_range(-1.0..1.0));
+            lp.add_constraint(vec![(v, 1.0)], Relation::Le, rng.gen_range(0.5..3.0));
+        }
+        let free = lp.add_var("free");
+        lp.set_objective_coeff(free, rng.gen_range(0.5..3.0));
+        prop_assert_eq!(lp.solve_with(SolverKind::Dense), Err(LpError::Unbounded));
+        prop_assert_eq!(lp.solve_with(SolverKind::Revised), Err(LpError::Unbounded));
+    }
+}
+
+/// Beale's classic cycling LP: both engines must terminate at the known
+/// optimum of −0.05.
+#[test]
+fn engines_agree_on_beales_example() {
+    let mut lp = LpProblem::new(Objective::Minimize);
+    let x1 = lp.add_var("x1");
+    let x2 = lp.add_var("x2");
+    let x3 = lp.add_var("x3");
+    let x4 = lp.add_var("x4");
+    lp.set_objective_coeff(x1, -0.75);
+    lp.set_objective_coeff(x2, 150.0);
+    lp.set_objective_coeff(x3, -0.02);
+    lp.set_objective_coeff(x4, 6.0);
+    lp.add_constraint(
+        vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+        Relation::Le,
+        0.0,
+    );
+    lp.add_constraint(
+        vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+        Relation::Le,
+        0.0,
+    );
+    lp.add_constraint(vec![(x3, 1.0)], Relation::Le, 1.0);
+    for solver in [SolverKind::Dense, SolverKind::Revised] {
+        let sol = lp.solve_with(solver).expect("Beale's example must solve");
+        assert!(
+            (sol.objective - (-0.05)).abs() < 1e-9,
+            "{solver:?}: objective {} != -0.05",
+            sol.objective
+        );
+    }
+}
+
+/// A structured flow-shaped instance (transportation LP): the kind of
+/// network matrix the multicast formulations produce.
+#[test]
+fn engines_agree_on_a_transportation_lp() {
+    let supply = [20.0, 30.0, 25.0];
+    let demand = [10.0, 25.0, 20.0, 20.0];
+    let cost = [
+        [2.0, 3.0, 1.0, 4.0],
+        [5.0, 1.0, 3.0, 2.0],
+        [2.0, 2.0, 2.0, 6.0],
+    ];
+    let mut lp = LpProblem::new(Objective::Minimize);
+    let mut vars = vec![];
+    for (i, cost_row) in cost.iter().enumerate() {
+        let mut row = vec![];
+        for (j, &c) in cost_row.iter().enumerate() {
+            let v = lp.add_var(&format!("x{i}{j}"));
+            lp.set_objective_coeff(v, c);
+            row.push(v);
+        }
+        vars.push(row);
+    }
+    for (i, &s) in supply.iter().enumerate() {
+        let terms = (0..4).map(|j| (vars[i][j], 1.0)).collect();
+        lp.add_constraint(terms, Relation::Le, s);
+    }
+    for (j, &d) in demand.iter().enumerate() {
+        let terms = (0..3).map(|i| (vars[i][j], 1.0)).collect();
+        lp.add_constraint(terms, Relation::Eq, d);
+    }
+    let dense = lp.solve_with(SolverKind::Dense).unwrap();
+    let revised = lp.solve_with(SolverKind::Revised).unwrap();
+    assert!((dense.objective - 120.0).abs() < 1e-6);
+    assert!((revised.objective - 120.0).abs() < 1e-6);
+}
