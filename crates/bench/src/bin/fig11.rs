@@ -164,6 +164,19 @@ fn main() {
         "fig11: {} LP solves ({} warm hits, {} cold), {} ms total work-item time",
         batch.meta.lp_solves, batch.meta.warm_hits, batch.meta.warm_misses, batch.meta.solve_ms
     );
+    for &(kind, stats) in &batch.meta.per_kind {
+        let rate = if stats.lp_solves > 0 {
+            100.0 * stats.warm_hits as f64 / stats.lp_solves as f64
+        } else {
+            0.0
+        };
+        eprintln!(
+            "fig11:   {:<22} {:>6} LP solves, {:>6} warm hits ({rate:.0}%)",
+            pm_bench::emit::kind_key(kind),
+            stats.lp_solves,
+            stats.warm_hits,
+        );
+    }
 
     for sweep in &batch.sweeps {
         println!(

@@ -12,8 +12,10 @@ use pm_platform::topology::PlatformClass;
 
 /// Schema tag embedded in every JSON document, bumped on layout changes.
 /// v2 added the `meta` block (`solve_ms` wall-clock total and the LP
-/// warm-start counters).
-pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v2";
+/// warm-start counters); v3 added the per-heuristic
+/// `meta.per_heuristic` aggregates (lp_solves / warm_hits / warm_misses
+/// per curve).
+pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v3";
 
 /// CSV header of [`batch_to_csv`] / [`sweep_to_csv`].
 pub const CSV_HEADER: &str = "class,seed,paper_scale,platforms,density,instances,kind,mean_period";
@@ -133,9 +135,26 @@ pub fn batch_to_json(batch: &BatchResult) -> String {
     out.push_str(&format!("    \"lp_solves\": {},\n", batch.meta.lp_solves));
     out.push_str(&format!("    \"warm_hits\": {},\n", batch.meta.warm_hits));
     out.push_str(&format!(
-        "    \"warm_misses\": {}\n",
+        "    \"warm_misses\": {},\n",
         batch.meta.warm_misses
     ));
+    out.push_str("    \"per_heuristic\": {");
+    let entries: Vec<String> = batch
+        .meta
+        .per_kind
+        .iter()
+        .map(|&(kind, s)| {
+            format!(
+                "\"{}\": {{\"lp_solves\": {}, \"warm_hits\": {}, \"warm_misses\": {}}}",
+                kind_key(kind),
+                s.lp_solves,
+                s.warm_hits,
+                s.warm_misses
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(", "));
+    out.push_str("}\n");
     out.push_str("  },\n");
     out.push_str("  \"sweeps\": [\n");
     for (i, sweep) in batch.sweeps.iter().enumerate() {
@@ -215,7 +234,7 @@ mod tests {
     #[test]
     fn json_contains_schema_keys_and_null_infinity() {
         let json = sweep_to_json(&fake_sweep());
-        assert!(json.contains("\"schema\": \"pm-bench/fig11-sweep/v2\""));
+        assert!(json.contains("\"schema\": \"pm-bench/fig11-sweep/v3\""));
         assert!(json.contains("\"class\": \"small\""));
         assert!(json.contains("\"scatter\": 4.25"));
         assert!(json.contains("\"mcph\": null"));
@@ -257,6 +276,14 @@ mod tests {
                 lp_solves: 64,
                 warm_hits: 48,
                 warm_misses: 16,
+                per_kind: vec![(
+                    HeuristicKind::ReducedBroadcast,
+                    pm_core::report::KindLpStats {
+                        lp_solves: 40,
+                        warm_hits: 36,
+                        warm_misses: 4,
+                    },
+                )],
             },
         };
         let json = batch_to_json(&batch);
@@ -265,6 +292,9 @@ mod tests {
         assert!(json.contains("\"lp_solves\": 64"));
         assert!(json.contains("\"warm_hits\": 48"));
         assert!(json.contains("\"warm_misses\": 16"));
+        assert!(json.contains(
+            "\"reduced_broadcast\": {\"lp_solves\": 40, \"warm_hits\": 36, \"warm_misses\": 4}"
+        ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

@@ -24,7 +24,7 @@
 //! scheduling, so two runs of the same configuration produce bitwise
 //! identical results (the property the JSON/CSV baselines in CI rely on).
 
-use pm_core::report::{HeuristicKind, MulticastReport};
+use pm_core::report::{HeuristicKind, KindLpStats, MulticastReport};
 use pm_lp::WarmStartCache;
 use pm_platform::topology::{GeneratedTopology, PlatformClass, TiersLikeGenerator};
 use rand::rngs::StdRng;
@@ -39,8 +39,10 @@ use std::time::Instant;
 pub struct SweepConfig {
     /// The platform class ("small" or "big").
     pub class: PlatformClass,
-    /// Use the paper-scale platform sizes instead of the reduced sizes
-    /// matched to the from-scratch LP solver (see EXPERIMENTS.md).
+    /// Use the paper-scale platform sizes (≈30-node small, ≈65-node big)
+    /// instead of the reduced sizes. Affordable since the heuristics moved
+    /// to the masked formulations (`pm_core::masked`): pass `--paper-scale`
+    /// to the `fig11` binary; CI runs `--paper-scale --smoke`.
     pub paper_scale: bool,
     /// Number of random platforms per point (the paper uses 10).
     pub platforms: usize,
@@ -178,17 +180,49 @@ fn aggregate(config: &SweepConfig, reports: &[(usize, Option<MulticastReport>)])
 }
 
 /// Per-work-item measurements folded into [`BatchMeta`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct ItemStats {
     solve_us: u128,
     lp_solves: u64,
     warm_hits: u64,
     warm_misses: u64,
+    /// Per-heuristic accounting, in [`HeuristicKind::ALL`] order (absent
+    /// kinds omitted).
+    per_kind: Vec<(HeuristicKind, KindLpStats)>,
+}
+
+/// Accumulates `stats` into the `kind` entry of a per-heuristic aggregate
+/// list (appending the kind on first sight) — the one merge rule shared by
+/// the item-level and batch-level aggregations.
+fn merge_kind(
+    into: &mut Vec<(HeuristicKind, KindLpStats)>,
+    kind: HeuristicKind,
+    stats: KindLpStats,
+) {
+    match into.iter_mut().find(|(k, _)| *k == kind) {
+        Some((_, agg)) => agg.add(stats),
+        None => into.push((kind, stats)),
+    }
+}
+
+impl ItemStats {
+    fn add_kind(&mut self, kind: HeuristicKind, stats: KindLpStats) {
+        self.lp_solves += stats.lp_solves;
+        self.warm_hits += stats.warm_hits;
+        self.warm_misses += stats.warm_misses;
+        merge_kind(&mut self.per_kind, kind, stats);
+    }
 }
 
 /// Runs the density grid of one platform sequentially under a shared
 /// warm-start cache (see the module docs) and returns the per-density
 /// reports plus the item's LP statistics.
+///
+/// The totals are the per-heuristic sums reported by the collected
+/// [`MulticastReport`]s: the masked greedy heuristics account their
+/// template solves themselves, and the baseline curves' plain
+/// `LpProblem::solve` calls are attributed from the cache scope's deltas —
+/// every counter is deterministic for a given configuration.
 fn collect_platform_reports(
     topology: &GeneratedTopology,
     config: &SweepConfig,
@@ -197,7 +231,7 @@ fn collect_platform_reports(
 ) -> (Vec<(usize, Option<MulticastReport>)>, ItemStats) {
     let mut cache = WarmStartCache::new();
     let start = Instant::now();
-    let reports = cache.scope(|| {
+    let reports: Vec<(usize, Option<MulticastReport>)> = cache.scope(|| {
         (0..config.densities.len())
             .map(|di| {
                 let density_start = Instant::now();
@@ -215,12 +249,17 @@ fn collect_platform_reports(
             })
             .collect()
     });
-    let stats = ItemStats {
+    let mut stats = ItemStats {
         solve_us: start.elapsed().as_micros(),
-        lp_solves: cache.solves(),
-        warm_hits: cache.hits,
-        warm_misses: cache.misses,
+        ..ItemStats::default()
     };
+    for (_, report) in reports.iter() {
+        if let Some(report) = report {
+            for &(kind, kind_stats) in &report.lp_stats {
+                stats.add_kind(kind, kind_stats);
+            }
+        }
+    }
     (reports, stats)
 }
 
@@ -258,9 +297,10 @@ pub struct BatchConfig {
     pub kinds: Vec<HeuristicKind>,
     /// Override of `kinds` for [`PlatformClass::Big`] sweeps. The iterated
     /// LP heuristics (Reduced Broadcast, Augmented Multicast, Augmented
-    /// Sources) solve dozens of broadcast LPs per instance and take minutes
-    /// on big-class platforms, so the default batch restricts big platforms
-    /// to the cheap curves; `None` applies `kinds` everywhere.
+    /// Sources) solve dozens of broadcast LPs per instance — seconds per
+    /// big-class instance on the masked formulations (minutes before them)
+    /// — so the default batch still restricts big platforms to the cheap
+    /// curves; `None` applies `kinds` everywhere (`fig11 --full`).
     pub kinds_big: Option<Vec<HeuristicKind>>,
     /// Print per-work-item progress to stderr as items finish (paper-scale
     /// `--full` sweeps run for a long time and should not go silent).
@@ -344,7 +384,7 @@ impl BatchConfig {
 /// for a given configuration; `solve_ms` is a wall-clock measurement and
 /// varies from run to run, which is why CI filters it before byte-comparing
 /// artifacts.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct BatchMeta {
     /// Total wall-clock milliseconds spent inside the work items — the
     /// LP-dominated end-to-end cost of the sweep, including the (small)
@@ -355,10 +395,38 @@ pub struct BatchMeta {
     /// Linear programs solved across the batch (any engine: dense solves
     /// under the scope count as cold).
     pub lp_solves: u64,
-    /// Solves warm-started from a cached basis (phase 1 skipped).
+    /// Solves warm-started from a previous basis (masked-template hints
+    /// and ambient cache hits alike; phase 1 skipped or repaired in a few
+    /// pivots).
     pub warm_hits: u64,
     /// Solves that started cold.
     pub warm_misses: u64,
+    /// Per-heuristic accounting, in [`HeuristicKind::ALL`] order (kinds
+    /// that never ran are omitted).
+    pub per_kind: Vec<(HeuristicKind, KindLpStats)>,
+}
+
+impl BatchMeta {
+    fn fold(&mut self, item: &ItemStats) {
+        self.solve_ms += (item.solve_us / 1000) as u64;
+        self.lp_solves += item.lp_solves;
+        self.warm_hits += item.warm_hits;
+        self.warm_misses += item.warm_misses;
+        for &(kind, stats) in &item.per_kind {
+            merge_kind(&mut self.per_kind, kind, stats);
+        }
+    }
+
+    /// Sorts the per-kind aggregates into [`HeuristicKind::ALL`] order so
+    /// emission order never depends on item completion order.
+    fn normalize(&mut self) {
+        self.per_kind.sort_by_key(|&(kind, _)| {
+            HeuristicKind::ALL
+                .iter()
+                .position(|&k| k == kind)
+                .unwrap_or(usize::MAX)
+        });
+    }
 }
 
 /// The result of a [`run_batch`] call: one [`SweepResult`] per
@@ -433,11 +501,9 @@ pub fn run_batch(config: &BatchConfig) -> BatchResult {
 
     let mut meta = BatchMeta::default();
     for (_, _, stats) in &items {
-        meta.solve_ms += (stats.solve_us / 1000) as u64;
-        meta.lp_solves += stats.lp_solves;
-        meta.warm_hits += stats.warm_hits;
-        meta.warm_misses += stats.warm_misses;
+        meta.fold(stats);
     }
+    meta.normalize();
 
     let sweeps = cells
         .iter()

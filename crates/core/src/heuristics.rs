@@ -10,6 +10,14 @@
 //! * [`AugmentedSources`] — greedily promote well-placed nodes to secondary
 //!   sources in the `MulticastMultiSource-UB` formulation.
 //!
+//! All three run on the *masked* formulations of [`crate::masked`]: the LP
+//! is built once per run on the full platform, every candidate sub-platform
+//! is a bound-update re-solve warm-started from the round's optimal basis,
+//! and each round's candidate batch is evaluated in fixed-size parallel
+//! chunks with a deterministic "first improving candidate in score order
+//! wins" reduction — byte-identical results regardless of thread count,
+//! mirroring the ordered pool of `pm_bench::sweep`.
+//!
 //! Tree-based heuristic (Section 6):
 //!
 //! * [`Mcph`] — the Minimum Cost Path Heuristic revisited for the one-port
@@ -22,13 +30,15 @@
 //! `scatter` upper bound and the theoretical lower bound exactly as in
 //! Figure 11 of the paper.
 
-use crate::formulations::{
-    BroadcastEb, FormulationError, MulticastLb, MulticastMultiSourceUb, MulticastUb,
-};
+use crate::formulations::{BroadcastEb, FormulationError, MulticastLb, MulticastUb};
+use crate::masked::{MaskedFlow, MaskedFlowLp, MaskedMultiSource, MaskedMultiSourceUb};
+use pm_lp::WarmStatus;
 use pm_platform::algo::multi_source_bottleneck;
 use pm_platform::graph::{EdgeId, NodeId};
 use pm_platform::instances::MulticastInstance;
+use pm_platform::mask::NodeMask;
 use pm_sched::tree::MulticastTree;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// Result of running a heuristic on an instance.
@@ -46,7 +56,20 @@ pub struct HeuristicResult {
     /// final sub-platform; for `AUGMENTED SOURCES`: the final source list.
     pub selected_nodes: Vec<NodeId>,
     /// Number of linear programs solved along the way.
+    ///
+    /// For the masked greedy heuristics this equals
+    /// `warm_hits + warm_misses` (candidates rejected by the reachability
+    /// pre-check never reach the LP and are not counted). The baseline
+    /// curves solve through [`pm_lp::LpProblem::solve`] instead — their
+    /// warm-start outcome lives in the ambient
+    /// [`pm_lp::WarmStartCache`] scope (if any), so they report zero warm
+    /// counters here; `crate::report::MulticastReport::collect` attributes
+    /// those solves per kind from the scope's counter deltas.
     pub lp_solves: usize,
+    /// Masked-template solves that warm-started from a previous basis.
+    pub warm_hits: usize,
+    /// Masked-template solves that ran cold (no or rejected hint).
+    pub warm_misses: usize,
 }
 
 impl HeuristicResult {
@@ -62,7 +85,40 @@ impl HeuristicResult {
             tree: None,
             selected_nodes: Vec::new(),
             lp_solves: 0,
+            warm_hits: 0,
+            warm_misses: 0,
         }
+    }
+}
+
+/// LP accounting of one masked-heuristic run.
+#[derive(Debug, Clone, Copy, Default)]
+struct LpCounters {
+    solves: usize,
+    hits: usize,
+    misses: usize,
+}
+
+impl LpCounters {
+    fn note(&mut self, warm: WarmStatus) {
+        self.solves += 1;
+        if warm == WarmStatus::Hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+    }
+
+    /// An LP solve that ended in a solver error (counted as a cold solve).
+    fn note_failed(&mut self) {
+        self.solves += 1;
+        self.misses += 1;
+    }
+
+    fn write_to(&self, result: &mut HeuristicResult) {
+        result.lp_solves = self.solves;
+        result.warm_hits = self.hits;
+        result.warm_misses = self.misses;
     }
 }
 
@@ -78,19 +134,133 @@ pub trait ThroughputHeuristic {
 /// already bounded by the platform size).
 const MAX_GREEDY_STEPS: usize = 256;
 
-fn broadcast_period_on(
-    instance: &MulticastInstance,
-    keep: &[NodeId],
-    lp_solves: &mut usize,
-) -> f64 {
-    *lp_solves += 1;
-    match instance.restrict_to(keep) {
-        Ok(sub) => match BroadcastEb::new(&sub).solve() {
-            Ok(sol) => sol.period,
-            Err(_) => f64::INFINITY,
-        },
-        Err(_) => f64::INFINITY,
+/// Candidates evaluated per parallel batch inside the greedy rounds. Fixed
+/// (not derived from the thread count) so that the number of LPs solved —
+/// and with it every deterministic counter in the fig11 artifacts — is
+/// machine-independent: a batch is always fully evaluated before the
+/// first-improving reduction, whether its solves ran on one core or eight.
+const CANDIDATE_CHUNK: usize = 8;
+
+/// Per-candidate warm-start memory of a greedy run.
+///
+/// The round basis is the natural hint for a candidate, but it was optimal
+/// for a *different* commodity/bound pattern — deactivating a commodity
+/// moves its demand RHS, and a basis whose solution carried that demand can
+/// turn primal infeasible under the new RHS, forcing a cold solve. A
+/// candidate that was evaluated (and rejected) in an earlier round, though,
+/// left behind a basis in which its own deactivation is already priced in;
+/// that basis is the better hint when the candidate comes up again.
+struct CandidateBases {
+    per_node: Vec<Option<pm_lp::Basis>>,
+}
+
+impl CandidateBases {
+    fn new(n: usize) -> Self {
+        CandidateBases {
+            per_node: (0..n).map(|_| None).collect(),
+        }
     }
+
+    fn hint<'a>(
+        &'a self,
+        node: NodeId,
+        round: Option<&'a pm_lp::Basis>,
+    ) -> Option<&'a pm_lp::Basis> {
+        self.per_node[node.index()].as_ref().or(round)
+    }
+
+    fn remember(&mut self, node: NodeId, basis: &pm_lp::Basis) {
+        self.per_node[node.index()] = Some(basis.clone());
+    }
+}
+
+/// A masked candidate solve's result, as the chunked evaluation loop needs
+/// it: a period to compare, a basis to remember, and a warm status to
+/// account.
+trait CandidateOutcome: Send {
+    fn period(&self) -> f64;
+    fn warm(&self) -> WarmStatus;
+    fn basis(&self) -> &pm_lp::Basis;
+}
+
+impl CandidateOutcome for MaskedFlow {
+    fn period(&self) -> f64 {
+        self.flow.period
+    }
+    fn warm(&self) -> WarmStatus {
+        self.stats.warm
+    }
+    fn basis(&self) -> &pm_lp::Basis {
+        &self.basis
+    }
+}
+
+impl CandidateOutcome for MaskedMultiSource {
+    fn period(&self) -> f64 {
+        self.solution.period
+    }
+    fn warm(&self) -> WarmStatus {
+        self.stats.warm
+    }
+    fn basis(&self) -> &pm_lp::Basis {
+        &self.basis
+    }
+}
+
+/// Evaluates `candidates` (already in score order) with `solve` in parallel
+/// chunks of [`CANDIDATE_CHUNK`] and returns the first candidate, in score
+/// order, whose period does not degrade `best` — the same acceptance rule
+/// the sequential greedy loops of Figures 6–8 use. Chunks after the
+/// accepting one are never solved; the full-chunk evaluation before the
+/// reduction is what keeps the LP counters machine-independent.
+///
+/// `solve(candidate, hint)` maps a candidate to its masked solve (node
+/// removal for `REDUCED BROADCAST`, addition for `AUGMENTED MULTICAST`,
+/// source promotion for `AUGMENTED SOURCES`); the hint is the candidate's
+/// remembered basis or the round basis. A candidate rejected before the LP
+/// (`Unreachable` from the reachability pre-check) has period +∞ and costs
+/// no solve; like the sequential loops, it still "does not degrade" an
+/// infinite `best` — this is how `AUGMENTED MULTICAST` grows its node set
+/// while the restricted platform is not yet connected — and such an
+/// acceptance carries no solution.
+fn first_improving<P: CandidateOutcome>(
+    candidates: &[(f64, NodeId)],
+    solve: impl Fn(NodeId, Option<&pm_lp::Basis>) -> Result<P, FormulationError> + Sync,
+    round_hint: Option<&pm_lp::Basis>,
+    bases: &mut CandidateBases,
+    best: f64,
+    counters: &mut LpCounters,
+) -> Option<(NodeId, Option<P>)> {
+    for chunk in candidates.chunks(CANDIDATE_CHUNK) {
+        let outcomes: Vec<Result<P, FormulationError>> = chunk
+            .par_iter()
+            .map(|&(_, v)| solve(v, bases.hint(v, round_hint)))
+            .collect();
+        let mut found: Option<(NodeId, Option<P>)> = None;
+        for (&(_, v), outcome) in chunk.iter().zip(outcomes) {
+            match outcome {
+                Ok(out) => {
+                    counters.note(out.warm());
+                    bases.remember(v, out.basis());
+                    if found.is_none() && out.period() <= best + 1e-9 {
+                        found = Some((v, Some(out)));
+                    }
+                }
+                // Disconnected candidate: period +∞, no LP solved.
+                Err(FormulationError::Unreachable(_)) => {
+                    if found.is_none() && best.is_infinite() {
+                        found = Some((v, None));
+                    }
+                }
+                Err(FormulationError::InvalidArgument(_)) => {}
+                Err(FormulationError::Lp(_)) => counters.note_failed(),
+            }
+        }
+        if found.is_some() {
+            return found;
+        }
+    }
+    None
 }
 
 /// `REDUCED BROADCAST` (Figure 6): repeatedly remove the non-target,
@@ -107,53 +277,65 @@ impl ThroughputHeuristic for ReducedBroadcast {
 
     fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
         let platform = &instance.platform;
-        let mut lp_solves = 0usize;
-        let mut kept: Vec<NodeId> = platform.nodes().collect();
-        lp_solves += 1;
-        let mut best = match BroadcastEb::new(instance).solve() {
-            Ok(sol) => sol.period,
-            Err(FormulationError::Unreachable(_)) => f64::INFINITY,
-            Err(e) => return Err(e),
+        let template = MaskedFlowLp::broadcast_eb(instance);
+        let mut counters = LpCounters::default();
+        let mut mask = NodeMask::full(platform.node_count());
+
+        let initial = match template.solve(&mask, None) {
+            Ok(out) => {
+                counters.note(out.stats.warm);
+                Some(out)
+            }
+            // Some node is unreachable even on the full platform: the
+            // broadcast value is +∞ and no removal can fix it.
+            Err(FormulationError::Unreachable(_)) => None,
+            Err(e) => {
+                if matches!(e, FormulationError::Lp(_)) {
+                    counters.note_failed();
+                }
+                return Err(e);
+            }
         };
-        let mut improvement = true;
+        let Some(mut current) = initial else {
+            let mut result = HeuristicResult::new(self.name(), f64::INFINITY);
+            result.selected_nodes = mask.to_nodes();
+            counters.write_to(&mut result);
+            return Ok(result);
+        };
+        let mut best = current.flow.period;
+        let mut bases = CandidateBases::new(platform.node_count());
         let mut steps = 0;
-        while improvement && steps < MAX_GREEDY_STEPS {
+        while steps < MAX_GREEDY_STEPS {
             steps += 1;
-            improvement = false;
-            // Score candidates with the current sub-platform's broadcast flows.
-            let current = instance.restrict_to(&kept).map_err(|_| {
-                FormulationError::InvalidArgument("source or target removed".to_string())
-            })?;
-            lp_solves += 1;
-            let scores = match BroadcastEb::new(&current).solve() {
-                Ok(sol) => sol,
-                Err(_) => break,
-            };
-            let mut candidates: Vec<(f64, NodeId)> = kept
+            // Score candidates with the current sub-platform's broadcast
+            // flows; node ids never change under the mask, so the scores
+            // read off the full platform directly.
+            let mut candidates: Vec<(f64, NodeId)> = mask
                 .iter()
-                .copied()
                 .filter(|&v| v != instance.source && !instance.is_target(v))
-                .map(|v| {
-                    // Node ids in `current` follow the order of `kept`.
-                    let local = NodeId(kept.iter().position(|&k| k == v).unwrap() as u32);
-                    (scores.incoming_flow_score(&current.platform, local), v)
-                })
+                .map(|v| (current.flow.incoming_flow_score(platform, v), v))
                 .collect();
             candidates.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-            for (_, node) in candidates {
-                let reduced: Vec<NodeId> = kept.iter().copied().filter(|&v| v != node).collect();
-                let period = broadcast_period_on(instance, &reduced, &mut lp_solves);
-                if period <= best + 1e-9 {
-                    best = best.min(period);
-                    kept = reduced;
-                    improvement = true;
-                    break;
-                }
-            }
+            let accepted = first_improving(
+                &candidates,
+                |v, hint| template.solve(&mask.without(v), hint),
+                Some(&current.basis),
+                &mut bases,
+                best,
+                &mut counters,
+            );
+            // `best` is finite here (the infinite case returned early), so
+            // an accepted candidate always carries a solution.
+            let Some((node, Some(out))) = accepted else {
+                break;
+            };
+            best = best.min(out.flow.period);
+            mask.remove(node);
+            current = out;
         }
         let mut result = HeuristicResult::new(self.name(), best);
-        result.selected_nodes = kept;
-        result.lp_solves = lp_solves;
+        result.selected_nodes = mask.to_nodes();
+        counters.write_to(&mut result);
         Ok(result)
     }
 }
@@ -172,46 +354,71 @@ impl ThroughputHeuristic for AugmentedMulticast {
 
     fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
         let platform = &instance.platform;
-        let mut lp_solves = 0usize;
-        let mut kept: Vec<NodeId> = std::iter::once(instance.source)
-            .chain(instance.targets.iter().copied())
-            .collect();
-        let mut best = broadcast_period_on(instance, &kept, &mut lp_solves);
+        let template = MaskedFlowLp::broadcast_eb(instance);
+        let mut counters = LpCounters::default();
+        let mut mask = NodeMask::from_nodes(
+            platform.node_count(),
+            std::iter::once(instance.source).chain(instance.targets.iter().copied()),
+        );
+        // The restricted platform is usually disconnected at first: the
+        // reachability pre-check reports that without solving any LP.
+        let mut current = match template.solve(&mask, None) {
+            Ok(out) => {
+                counters.note(out.stats.warm);
+                Some(out)
+            }
+            Err(FormulationError::Unreachable(_)) => None,
+            Err(e) => {
+                if matches!(e, FormulationError::Lp(_)) {
+                    counters.note_failed();
+                }
+                return Err(e);
+            }
+        };
+        let mut best = current
+            .as_ref()
+            .map_or(f64::INFINITY, |out| out.flow.period);
 
         // Candidate scores come from the Multicast-LB solution on the whole
-        // platform and are computed once.
-        lp_solves += 1;
-        let lb = MulticastLb::new(instance).solve()?;
+        // platform and are computed once (through the masked template so the
+        // solve is accounted here, not in the ambient cache scope).
+        let lb = MaskedFlowLp::multicast_lb(instance)
+            .solve(&NodeMask::full(platform.node_count()), None)?;
+        counters.note(lb.stats.warm);
         let mut candidates: Vec<(f64, NodeId)> = platform
             .nodes()
             .filter(|&v| v != instance.source && !instance.is_target(v))
-            .map(|v| (lb.incoming_flow_score(platform, v), v))
+            .map(|v| (lb.flow.incoming_flow_score(platform, v), v))
             .collect();
         candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
 
-        let mut improvement = true;
+        let mut bases = CandidateBases::new(platform.node_count());
         let mut steps = 0;
-        while improvement && steps < MAX_GREEDY_STEPS {
+        while steps < MAX_GREEDY_STEPS {
             steps += 1;
-            improvement = false;
-            for &(_, node) in &candidates {
-                if kept.contains(&node) {
-                    continue;
-                }
-                let mut augmented = kept.clone();
-                augmented.push(node);
-                let period = broadcast_period_on(instance, &augmented, &mut lp_solves);
-                if period <= best + 1e-9 {
-                    best = best.min(period);
-                    kept = augmented;
-                    improvement = true;
-                    break;
-                }
+            let round: Vec<(f64, NodeId)> = candidates
+                .iter()
+                .copied()
+                .filter(|&(_, v)| !mask.contains(v))
+                .collect();
+            let accepted = first_improving(
+                &round,
+                |v, hint| template.solve(&mask.with(v), hint),
+                current.as_ref().map(|out| &out.basis),
+                &mut bases,
+                best,
+                &mut counters,
+            );
+            let Some((node, out)) = accepted else { break };
+            mask.insert(node);
+            if let Some(out) = out {
+                best = best.min(out.flow.period);
+                current = Some(out);
             }
         }
         let mut result = HeuristicResult::new(self.name(), best);
-        result.selected_nodes = kept;
-        result.lp_solves = lp_solves;
+        result.selected_nodes = mask.to_nodes();
+        counters.write_to(&mut result);
         Ok(result)
     }
 }
@@ -233,57 +440,62 @@ impl ThroughputHeuristic for AugmentedSources {
 
     fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
         let platform = &instance.platform;
-        let mut lp_solves = 0usize;
+        let n = platform.node_count();
+        let template = MaskedMultiSourceUb::new(instance);
+        let full = NodeMask::full(n);
+        let mut counters = LpCounters::default();
         let mut sources = vec![instance.source];
-        lp_solves += 1;
-        let mut current = MulticastMultiSourceUb::new(instance, sources.clone())?.solve()?;
-        let mut best = current.period;
+        let mut is_source = vec![false; n];
+        is_source[instance.source.index()] = true;
 
-        let mut improvement = true;
+        let initial = template.solve(&full, &sources, None)?;
+        counters.note(initial.stats.warm);
+        let mut best = initial.solution.period;
+        let mut current = initial;
+        let mut bases = CandidateBases::new(n);
+
         let mut steps = 0;
-        while improvement && steps < MAX_GREEDY_STEPS {
+        while steps < MAX_GREEDY_STEPS {
             steps += 1;
-            improvement = false;
             if self.max_secondary_sources > 0 && sources.len() > self.max_secondary_sources {
                 break;
             }
-            // Every target is already a source: nothing left to promote.
+            // Every node is already a source: nothing left to promote.
             let mut candidates: Vec<(f64, NodeId)> = platform
                 .nodes()
-                .filter(|v| !sources.contains(v))
-                .map(|v| (current.incoming_score[v.index()], v))
+                .filter(|v| !is_source[v.index()])
+                .map(|v| (current.solution.incoming_score[v.index()], v))
                 .collect();
             if candidates.is_empty() {
                 break;
             }
             candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-            for &(_, node) in &candidates {
-                let mut extended = sources.clone();
-                extended.push(node);
-                // Promoting the last remaining non-source target would leave
-                // the formulation without destinations; skip such candidates.
-                let formulation = match MulticastMultiSourceUb::new(instance, extended.clone()) {
-                    Ok(f) => f,
-                    Err(_) => continue,
-                };
-                lp_solves += 1;
-                let sol = match formulation.solve() {
-                    Ok(s) => s,
-                    Err(FormulationError::InvalidArgument(_)) => continue,
-                    Err(_) => continue,
-                };
-                if sol.period <= best + 1e-9 {
-                    best = best.min(sol.period);
-                    sources = extended;
-                    current = sol;
-                    improvement = true;
-                    break;
-                }
-            }
+            let accepted = first_improving(
+                &candidates,
+                |v, hint| {
+                    let mut extended = sources.clone();
+                    extended.push(v);
+                    template.solve(&full, &extended, hint)
+                },
+                Some(&current.basis),
+                &mut bases,
+                best,
+                &mut counters,
+            );
+            // `best` is finite here (the initial solve either succeeded or
+            // propagated its error), so an accepted candidate always
+            // carries a solution.
+            let Some((node, Some(out))) = accepted else {
+                break;
+            };
+            best = best.min(out.solution.period);
+            sources.push(node);
+            is_source[node.index()] = true;
+            current = out;
         }
         let mut result = HeuristicResult::new(self.name(), best);
         result.selected_nodes = sources;
-        result.lp_solves = lp_solves;
+        counters.write_to(&mut result);
         Ok(result)
     }
 }

@@ -8,6 +8,9 @@
 //! * [`formulations`] — the paper's linear programs: `Multicast-LB`,
 //!   `Multicast-UB` (scatter), `Broadcast-EB` and
 //!   `MulticastMultiSource-UB`,
+//! * [`masked`] — the same formulations built once on the full platform and
+//!   re-solved under `NodeMask` sub-platform views (bound updates instead of
+//!   rebuilds, so every solve warm-starts),
 //! * [`heuristics`] — `REDUCED BROADCAST`, `AUGMENTED MULTICAST`,
 //!   `AUGMENTED SOURCES` and the tree-based `MCPH`, plus the reference
 //!   baselines (`scatter`, `broadcast`, `lower bound`),
@@ -31,6 +34,7 @@
 pub mod exact;
 pub mod formulations;
 pub mod heuristics;
+pub mod masked;
 pub mod report;
 
 pub use exact::{ExactSolution, ExactTreePacking};
@@ -41,4 +45,5 @@ pub use heuristics::{
     AugmentedMulticast, AugmentedSources, BroadcastBaseline, HeuristicResult, LowerBoundReference,
     Mcph, ReducedBroadcast, ScatterBaseline, ThroughputHeuristic,
 };
-pub use report::{HeuristicKind, MulticastReport};
+pub use masked::{MaskedFlow, MaskedFlowLp, MaskedMultiSource, MaskedMultiSourceUb};
+pub use report::{HeuristicKind, KindLpStats, MulticastReport};

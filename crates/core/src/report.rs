@@ -67,6 +67,28 @@ impl HeuristicKind {
     }
 }
 
+/// LP accounting of one heuristic run inside a report: how many linear
+/// programs it solved and how they warm-started.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KindLpStats {
+    /// Linear programs solved.
+    pub lp_solves: u64,
+    /// Solves that warm-started from a previous basis (masked-template
+    /// hints and ambient [`pm_lp::WarmStartCache`] hits alike).
+    pub warm_hits: u64,
+    /// Solves that ran cold.
+    pub warm_misses: u64,
+}
+
+impl KindLpStats {
+    /// Accumulates another measurement.
+    pub fn add(&mut self, other: KindLpStats) {
+        self.lp_solves += other.lp_solves;
+        self.warm_hits += other.warm_hits;
+        self.warm_misses += other.warm_misses;
+    }
+}
+
 /// Periods measured on one instance for every heuristic and reference curve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MulticastReport {
@@ -77,6 +99,12 @@ pub struct MulticastReport {
     /// `(kind, period)` pairs, in [`HeuristicKind::ALL`] order. A period of
     /// `f64::INFINITY` means the heuristic could not serve the targets.
     pub periods: Vec<(HeuristicKind, f64)>,
+    /// `(kind, stats)` LP accounting, same order as `periods`. Combines the
+    /// masked-template solves the heuristic performed itself with the
+    /// solves it routed through the thread's ambient
+    /// [`pm_lp::WarmStartCache`] scope (attributed per kind from the
+    /// scope's counter deltas).
+    pub lp_stats: Vec<(HeuristicKind, KindLpStats)>,
 }
 
 impl MulticastReport {
@@ -86,19 +114,48 @@ impl MulticastReport {
         kinds: &[HeuristicKind],
     ) -> Result<Self, FormulationError> {
         let mut periods = Vec::with_capacity(kinds.len());
+        let mut lp_stats = Vec::with_capacity(kinds.len());
         for &kind in kinds {
-            let period = match kind.run(instance) {
-                Ok(res) => res.period,
+            let scoped_before = pm_lp::revised::scoped_cache_counts();
+            let run = kind.run(instance);
+            // Masked-template solves are accounted in the result itself;
+            // LpProblem::solve calls (the baseline curves) land in the
+            // ambient cache scope, whose delta attributes them to this kind.
+            let mut stats = KindLpStats::default();
+            if let (Some((h0, m0)), Some((h1, m1))) =
+                (scoped_before, pm_lp::revised::scoped_cache_counts())
+            {
+                stats.warm_hits += h1 - h0;
+                stats.warm_misses += m1 - m0;
+                stats.lp_solves += (h1 - h0) + (m1 - m0);
+            }
+            let period = match run {
+                Ok(res) => {
+                    stats.lp_solves += (res.warm_hits + res.warm_misses) as u64;
+                    stats.warm_hits += res.warm_hits as u64;
+                    stats.warm_misses += res.warm_misses as u64;
+                    res.period
+                }
                 Err(FormulationError::Unreachable(_)) => f64::INFINITY,
                 Err(e) => return Err(e),
             };
             periods.push((kind, period));
+            lp_stats.push((kind, stats));
         }
         Ok(MulticastReport {
             nodes: instance.platform.node_count(),
             targets: instance.target_count(),
             periods,
+            lp_stats,
         })
+    }
+
+    /// The LP accounting of a given kind, if it was collected.
+    pub fn lp_stats_for(&self, kind: HeuristicKind) -> Option<KindLpStats> {
+        self.lp_stats
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, s)| s)
     }
 
     /// The period measured for a given kind, if it was collected.
@@ -133,7 +190,15 @@ mod tests {
         let inst = figure5_instance(3);
         let report = MulticastReport::collect(&inst, &HeuristicKind::ALL).unwrap();
         assert_eq!(report.periods.len(), 7);
+        assert_eq!(report.lp_stats.len(), 7);
         assert_eq!(report.targets, 3);
+        // The masked greedy heuristics account their LP solves themselves,
+        // scope or no scope.
+        let greedy = report
+            .lp_stats_for(HeuristicKind::ReducedBroadcast)
+            .unwrap();
+        assert!(greedy.lp_solves >= 1);
+        assert_eq!(greedy.lp_solves, greedy.warm_hits + greedy.warm_misses);
         let scatter = report.period(HeuristicKind::Scatter).unwrap();
         let lb = report.period(HeuristicKind::LowerBound).unwrap();
         assert!(scatter >= lb);
@@ -151,6 +216,33 @@ mod tests {
             assert!(ratio_scatter <= 1.0 + 1e-6, "{kind:?}");
             assert!(ratio_lb >= 1.0 - 1e-6, "{kind:?}");
         }
+    }
+
+    #[test]
+    fn scoped_baseline_solves_are_attributed_per_kind() {
+        let inst = figure5_instance(3);
+        let kinds = [
+            HeuristicKind::Scatter,
+            HeuristicKind::LowerBound,
+            HeuristicKind::Mcph,
+        ];
+        let mut cache = pm_lp::WarmStartCache::new();
+        let report = cache.scope(|| MulticastReport::collect(&inst, &kinds).unwrap());
+        // Scatter and LowerBound are one LpProblem::solve each, attributed
+        // from the scope's deltas; MCPH solves no LP.
+        assert_eq!(
+            report
+                .lp_stats_for(HeuristicKind::Scatter)
+                .unwrap()
+                .lp_solves,
+            1
+        );
+        assert_eq!(
+            report.lp_stats_for(HeuristicKind::Mcph).unwrap().lp_solves,
+            0
+        );
+        let total: u64 = report.lp_stats.iter().map(|&(_, s)| s.lp_solves).sum();
+        assert_eq!(total, cache.solves());
     }
 
     #[test]

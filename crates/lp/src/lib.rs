@@ -47,6 +47,8 @@ pub mod solver;
 pub mod sparse;
 
 pub use problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
-pub use revised::{Basis, SolveOutcome, SolveStats, WarmStartCache, WarmStatus};
+pub use revised::{
+    resolve_with_bounds, Basis, BoundsOverlay, SolveOutcome, SolveStats, WarmStartCache, WarmStatus,
+};
 pub use solver::{default_solver, set_default_solver, SolverKind};
 pub use sparse::{CscMatrix, SparseBuilder};

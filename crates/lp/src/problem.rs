@@ -104,12 +104,22 @@ impl LpSolution {
 }
 
 /// A linear program over non-negative variables.
+///
+/// Besides the implicit `x ≥ 0` bound, every variable can be *fixed to
+/// zero* in place ([`LpProblem::fix_var`]), and every constraint's RHS can
+/// be updated in place ([`LpProblem::set_rhs`]). Neither operation changes
+/// the constraint *pattern*, so a sequence of re-solves after bound/RHS
+/// updates keeps the same warm-start signature (see
+/// [`crate::revised::WarmStartCache`]) — this is what the masked
+/// sub-platform formulations in `pm-core` are built on.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct LpProblem {
     objective: Objective,
     names: Vec<String>,
     objective_coeffs: Vec<f64>,
     constraints: Vec<Constraint>,
+    /// Variables currently fixed to zero (same length as `names`).
+    fixed: Vec<bool>,
 }
 
 impl LpProblem {
@@ -120,6 +130,7 @@ impl LpProblem {
             names: Vec::new(),
             objective_coeffs: Vec::new(),
             constraints: Vec::new(),
+            fixed: Vec::new(),
         }
     }
 
@@ -183,11 +194,13 @@ impl LpProblem {
                 rhs,
             })
             .collect();
+        let fixed = vec![false; names.len()];
         let problem = LpProblem {
             objective,
             names,
             objective_coeffs,
             constraints,
+            fixed,
         };
         problem.validate()?;
         Ok(problem)
@@ -204,7 +217,56 @@ impl LpProblem {
         let id = VarId(self.names.len());
         self.names.push(name.to_string());
         self.objective_coeffs.push(0.0);
+        self.fixed.push(false);
         id
+    }
+
+    /// Fixes a variable to zero in place (an upper-bound update `x_j ≤ 0` on
+    /// top of the implicit `x_j ≥ 0`). The constraint pattern — and thus the
+    /// warm-start signature — is unchanged; the solvers simply never let the
+    /// column take a positive value.
+    pub fn fix_var(&mut self, var: VarId) {
+        self.fixed[var.index()] = true;
+    }
+
+    /// Releases a variable previously fixed to zero.
+    pub fn unfix_var(&mut self, var: VarId) {
+        self.fixed[var.index()] = false;
+    }
+
+    /// Whether the variable is currently fixed to zero.
+    #[inline]
+    pub fn is_fixed(&self, var: VarId) -> bool {
+        self.fixed[var.index()]
+    }
+
+    /// Releases every fixed variable.
+    pub fn clear_fixed(&mut self) {
+        self.fixed.iter_mut().for_each(|f| *f = false);
+    }
+
+    /// Number of variables currently fixed to zero.
+    pub fn fixed_count(&self) -> usize {
+        self.fixed.iter().filter(|&&f| f).count()
+    }
+
+    /// Updates the right-hand side of constraint `row` in place.
+    ///
+    /// The sign of the RHS participates in the structural signature (it
+    /// decides the slack/artificial layout after the `b ≥ 0` normalisation),
+    /// so warm-start-friendly updates should keep the sign; crossing zero is
+    /// legal but produces a structurally different problem.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range or `rhs` is not finite.
+    pub fn set_rhs(&mut self, row: usize, rhs: f64) {
+        assert!(rhs.is_finite(), "constraint {row} rhs must be finite");
+        self.constraints[row].rhs = rhs;
+    }
+
+    /// The right-hand side of constraint `row`.
+    pub fn rhs(&self, row: usize) -> f64 {
+        self.constraints[row].rhs
     }
 
     /// Number of variables.
@@ -312,6 +374,22 @@ impl LpProblem {
         }
     }
 
+    /// Re-solves the problem under a [`crate::revised::BoundsOverlay`] —
+    /// additional variables fixed to zero and RHS overrides applied on top
+    /// of the stored model without mutating it — warm-starting from `hint`
+    /// when one is given. The overlay makes candidate evaluation shareable:
+    /// one immutable template problem can be re-solved concurrently under
+    /// different overlays. Always runs on the revised engine (the overlay
+    /// *is* its warm-start/bound machinery); see
+    /// [`crate::revised::resolve_with_bounds`].
+    pub fn resolve_with_bounds(
+        &self,
+        overlay: &crate::revised::BoundsOverlay,
+        hint: Option<&crate::revised::Basis>,
+    ) -> Result<crate::revised::SolveOutcome, LpError> {
+        crate::revised::resolve_with_bounds(self, overlay, hint)
+    }
+
     /// Evaluates the objective function at the given point.
     pub fn objective_value_at(&self, values: &[f64]) -> f64 {
         self.objective_coeffs
@@ -328,6 +406,13 @@ impl LpProblem {
             return false;
         }
         if values.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        if values
+            .iter()
+            .zip(&self.fixed)
+            .any(|(&v, &fixed)| fixed && v > tol)
+        {
             return false;
         }
         for c in &self.constraints {

@@ -82,10 +82,54 @@ impl Basis {
 pub enum WarmStatus {
     /// No hint was offered: a cold solve.
     None,
-    /// The hinted basis was primal feasible and phase 1 was skipped.
+    /// The hinted basis was primal feasible (possibly after the bound-repair
+    /// pivots of [`resolve_with_bounds`]) and phase 1 was skipped.
     Hit,
     /// A hint was offered but rejected (singular or infeasible): cold solve.
     Miss,
+}
+
+/// Bound and RHS updates applied on top of an [`LpProblem`] for one solve,
+/// without mutating the problem.
+///
+/// This is the re-solve surface behind the masked sub-platform formulations:
+/// one immutable template LP is shared (even across threads) and each
+/// candidate sub-platform is expressed as an overlay — extra variables fixed
+/// to zero plus RHS overrides — so every candidate keeps the template's
+/// constraint pattern and can warm-start from any previous candidate's
+/// basis.
+///
+/// RHS overrides must not flip the sign of the stored RHS: the sign decides
+/// the row's slack/artificial layout, so a sign change builds a structurally
+/// different standard form than the signature (and any basis hint) assumes.
+/// Correctness is preserved regardless — a mismatched hint is rejected and
+/// the solve falls back cold — but the warm start is lost.
+#[derive(Debug, Clone, Default)]
+pub struct BoundsOverlay {
+    /// Variables fixed to zero for this solve (on top of the problem's own
+    /// [`LpProblem::is_fixed`] marks).
+    pub fix_zero: Vec<VarId>,
+    /// `(row, rhs)` overrides of constraint right-hand sides.
+    pub rhs: Vec<(usize, f64)>,
+}
+
+impl BoundsOverlay {
+    /// An empty overlay (no fixes, no RHS overrides).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Outcome of installing a warm-start hint (see [`Engine::try_warm_start`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarmInstall {
+    /// Singular or primal infeasible: cold basis restored.
+    Rejected,
+    /// Feasible under the current bounds: phase 1 skipped.
+    Ready,
+    /// Non-negative but some basic artificial/fixed column is positive: the
+    /// bound-repair phase runs before phase 2.
+    NeedsRepair,
 }
 
 /// Per-solve diagnostics (printed on `PM_LP_STATS=1`, returned by
@@ -246,6 +290,12 @@ struct Engine {
     /// Basic column of each row.
     basis: Vec<usize>,
     in_basis: Vec<bool>,
+    /// Columns fixed to zero (problem marks + overlay): they may never enter
+    /// the basis, and a hinted basis containing one at a positive level goes
+    /// through the bound-repair phase before phase 2.
+    fixed: Vec<bool>,
+    /// Whether any column is fixed (skips the per-column test otherwise).
+    any_fixed: bool,
     etas: EtaFile,
     updates_since_refactor: usize,
     /// `B⁻¹ b` (perturbed), indexed by row.
@@ -276,17 +326,32 @@ impl Engine {
     /// Builds the standard-form matrix, mirroring the dense engine: rows are
     /// normalised to `b ≥ 0`, `Le` rows get a slack, `Ge` rows a surplus and
     /// an artificial, `Eq` rows an artificial; inequality RHS are relaxed by
-    /// the seeded anti-degeneracy perturbation with an exact shadow.
-    fn new(problem: &LpProblem) -> Engine {
+    /// the seeded anti-degeneracy perturbation with an exact shadow. The
+    /// overlay's RHS overrides are applied before normalisation and its
+    /// fixed-variable marks are merged with the problem's own.
+    fn new(problem: &LpProblem, overlay: Option<&BoundsOverlay>) -> Engine {
         let n_user = problem.num_vars();
         let constraints = problem.constraints();
         let m = constraints.len();
 
+        let mut rhs_override: Vec<Option<f64>> = Vec::new();
+        if let Some(overlay) = overlay {
+            if !overlay.rhs.is_empty() {
+                rhs_override = vec![None; m];
+                for &(r, v) in &overlay.rhs {
+                    rhs_override[r] = Some(v);
+                }
+            }
+        }
+        let row_rhs = |r: usize, stored: f64| -> f64 {
+            rhs_override.get(r).and_then(|o| *o).unwrap_or(stored)
+        };
+
         let mut num_slack = 0usize;
         let mut num_artificial = 0usize;
         let mut relations = Vec::with_capacity(m);
-        for c in constraints {
-            let relation = effective_relation(c.relation, c.rhs < 0.0);
+        for (r, c) in constraints.iter().enumerate() {
+            let relation = effective_relation(c.relation, row_rhs(r, c.rhs) < 0.0);
             relations.push(relation);
             match relation {
                 Relation::Le => num_slack += 1,
@@ -309,12 +374,13 @@ impl Engine {
         let mut slack_idx = n_user;
         let mut art_idx = artificial_start;
         for (r, c) in constraints.iter().enumerate() {
-            let flip = c.rhs < 0.0;
+            let rhs = row_rhs(r, c.rhs);
+            let flip = rhs < 0.0;
             let sign = if flip { -1.0 } else { 1.0 };
             for &(v, coeff) in &c.terms {
                 triplets.push((r, v.index(), sign * coeff));
             }
-            b[r] = sign * c.rhs;
+            b[r] = sign * rhs;
             match relations[r] {
                 Relation::Le => {
                     triplets.push((r, slack_idx, 1.0));
@@ -350,6 +416,16 @@ impl Engine {
         for &j in &basis {
             in_basis[j] = true;
         }
+        let mut fixed = vec![false; n_total];
+        for (j, f) in fixed.iter_mut().take(n_user).enumerate() {
+            *f = problem.is_fixed(VarId(j));
+        }
+        if let Some(overlay) = overlay {
+            for &v in &overlay.fix_zero {
+                fixed[v.index()] = true;
+            }
+        }
+        let any_fixed = fixed.iter().any(|&f| f);
         let mut etas = EtaFile::default();
         etas.clear();
         Engine {
@@ -366,6 +442,8 @@ impl Engine {
             row_artificial,
             basis,
             in_basis,
+            fixed,
+            any_fixed,
             etas,
             updates_since_refactor: 0,
             cost: vec![0.0; n_total],
@@ -476,6 +554,13 @@ impl Engine {
         self.cost[j] - self.a.col_dot(j, &self.price)
     }
 
+    /// Whether column `j` may not enter the basis: already basic, or fixed
+    /// to zero by the problem/overlay bounds.
+    #[inline]
+    fn col_blocked(&self, j: usize) -> bool {
+        self.in_basis[j] || (self.any_fixed && self.fixed[j])
+    }
+
     /// Objective of the current phase at the current (perturbed) point.
     fn phase_objective(&self) -> f64 {
         let mut z = 0.0;
@@ -547,7 +632,10 @@ impl Engine {
         }
         if use_bland {
             for j in 0..allowed_hi {
-                if !self.in_basis[j] && !banned.contains(&j) && self.reduced_cost(j) < -EPS {
+                if self.col_blocked(j) || banned.contains(&j) {
+                    continue;
+                }
+                if self.reduced_cost(j) < -EPS {
                     return Some(j);
                 }
             }
@@ -562,7 +650,7 @@ impl Engine {
             let mut best_rc = -EPS;
             for offset in 0..len {
                 let j = (start + offset) % allowed_hi;
-                if self.in_basis[j] || banned.contains(&j) {
+                if self.col_blocked(j) || banned.contains(&j) {
                     continue;
                 }
                 let rc = self.reduced_cost(j);
@@ -694,12 +782,19 @@ impl Engine {
         Err(LpError::IterationLimit)
     }
 
-    /// Installs a warm-start basis hint. Returns `true` when the hint was
-    /// accepted: nonsingular and primal feasible (so phase 1 can be
-    /// skipped).
-    fn try_warm_start(&mut self, hint: &Basis) -> bool {
+    /// Installs a warm-start basis hint.
+    ///
+    /// * [`WarmInstall::Ready`] — nonsingular and primal feasible under the
+    ///   current bounds: phase 1 can be skipped outright.
+    /// * [`WarmInstall::NeedsRepair`] — nonsingular and non-negative, but
+    ///   some basic artificial or fixed-to-zero column sits at a positive
+    ///   level (the RHS or the fixed set changed since the hint's solve).
+    ///   The basis stays installed for [`Engine::repair_bounds`].
+    /// * [`WarmInstall::Rejected`] — singular or primal infeasible: the
+    ///   all-slack/artificial cold basis is restored.
+    fn try_warm_start(&mut self, hint: &Basis) -> WarmInstall {
         if hint.cols.len() != self.m {
-            return false;
+            return WarmInstall::Rejected;
         }
         let mut cols = Vec::with_capacity(self.m);
         let mut used = vec![false; self.n_total];
@@ -709,15 +804,15 @@ impl Engine {
             let col = if c == Basis::REDUNDANT {
                 match self.row_artificial[r].or(self.row_slack[r]) {
                     Some(col) => col,
-                    None => return false,
+                    None => return WarmInstall::Rejected,
                 }
             } else if c < self.artificial_start {
                 c
             } else {
-                return false;
+                return WarmInstall::Rejected;
             };
             if used[col] {
-                return false;
+                return WarmInstall::Rejected;
             }
             used[col] = true;
             cols.push(col);
@@ -730,19 +825,50 @@ impl Engine {
             self.in_basis = saved_in_basis;
             let ok = self.refactorize();
             debug_assert!(ok, "initial unit basis cannot be singular");
-            return false;
+            return WarmInstall::Rejected;
         }
-        let feasible = self.x_b.iter().all(|&v| v >= -PIVOT_TOL)
-            && (0..self.m)
-                .all(|r| self.basis[r] < self.artificial_start || self.x_b[r] <= PIVOT_TOL);
-        if !feasible {
+        if self.x_b.iter().any(|&v| v < -PIVOT_TOL) {
             self.basis = saved_basis;
             self.in_basis = saved_in_basis;
             let ok = self.refactorize();
             debug_assert!(ok, "initial unit basis cannot be singular");
-            return false;
+            return WarmInstall::Rejected;
         }
-        true
+        let violated = (0..self.m).any(|r| {
+            let j = self.basis[r];
+            (j >= self.artificial_start || (self.any_fixed && self.fixed[j]))
+                && self.x_b[r] > PIVOT_TOL
+        });
+        if violated {
+            WarmInstall::NeedsRepair
+        } else {
+            WarmInstall::Ready
+        }
+    }
+
+    /// Phase-1-style bound repair from an installed (non-negative but
+    /// bound-violating) hint basis: minimizes the total level of every
+    /// artificial and fixed-to-zero column, entering only free structural
+    /// and slack columns. Returns `Ok(true)` when the violation was driven
+    /// to zero, `Ok(false)` when a positive residual remains (the hint
+    /// cannot be repaired — the caller falls back to a cold solve, which
+    /// also settles genuine infeasibility).
+    fn repair_bounds(&mut self) -> Result<bool, LpError> {
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
+        for j in self.artificial_start..self.n_total {
+            self.cost[j] = 1.0;
+        }
+        if self.any_fixed {
+            for j in 0..self.artificial_start {
+                if self.fixed[j] {
+                    self.cost[j] = 1.0;
+                }
+            }
+        }
+        self.price_ptr = 0;
+        let budget = phase1_budget(self.m, self.n_total);
+        self.optimize(self.artificial_start, budget)?;
+        Ok(self.phase_objective() <= 1e-6)
     }
 
     /// Phase 1: minimize the sum of artificial variables from the unit
@@ -778,7 +904,10 @@ impl Engine {
             self.etas.btran(&mut self.price);
             let mut pivot_col = None;
             for j in 0..self.artificial_start {
-                if !self.in_basis[j] && self.a.col_dot(j, &self.price).abs() > PIVOT_TOL {
+                if self.col_blocked(j) {
+                    continue;
+                }
+                if self.a.col_dot(j, &self.price).abs() > PIVOT_TOL {
                     pivot_col = Some(j);
                     break;
                 }
@@ -797,12 +926,16 @@ impl Engine {
         Ok(())
     }
 
-    /// Whether every artificial variable still in the basis sits at level
-    /// zero (exact shadow RHS). Called after [`Engine::extract`], whose
-    /// final refactorization has just recomputed `x_shadow` to
-    /// factorization accuracy.
-    fn artificials_at_zero(&self) -> bool {
-        (0..self.m).all(|r| self.basis[r] < self.artificial_start || self.x_shadow[r].abs() <= 1e-6)
+    /// Whether every artificial variable and every fixed-to-zero column
+    /// still in the basis sits at level zero (exact shadow RHS). Called
+    /// after [`Engine::extract`], whose final refactorization has just
+    /// recomputed `x_shadow` to factorization accuracy.
+    fn bounds_at_zero(&self) -> bool {
+        (0..self.m).all(|r| {
+            let j = self.basis[r];
+            (j < self.artificial_start && !(self.any_fixed && self.fixed[j]))
+                || self.x_shadow[r].abs() <= 1e-6
+        })
     }
 
     /// Phase 2: minimize the (sense-normalised) user objective; artificial
@@ -832,9 +965,11 @@ impl Engine {
         let mut values = vec![0.0; self.n_user];
         for r in 0..self.m {
             let j = self.basis[r];
-            if j < self.n_user {
+            if j < self.n_user && !(self.any_fixed && self.fixed[j]) {
                 values[j] = self.x_shadow[r].max(0.0);
             }
+            // A fixed column still basic is at level ~0 (enforced by the
+            // caller's `bounds_at_zero` check); report it as exactly 0.
         }
         let objective = problem.objective_value_at(&values);
         let cols = self
@@ -857,20 +992,45 @@ impl Engine {
 /// ever an accelerator: a rejected hint falls back to a cold two-phase
 /// solve, so correctness never depends on it.
 pub fn solve_with_hint(problem: &LpProblem, hint: Option<&Basis>) -> Result<SolveOutcome, LpError> {
+    solve_with_overlay(problem, None, hint)
+}
+
+/// Re-solves a problem under a [`BoundsOverlay`] (extra variables fixed to
+/// zero, RHS overrides), warm-starting from `hint` when given.
+///
+/// This is the masked-formulation fast path: when the hint basis contains
+/// newly fixed columns (or the RHS overrides moved a hinted basis off its
+/// old level), a deterministic *bound-repair* phase drives the violating
+/// columns back to zero in a few pivots instead of discarding the hint and
+/// paying a cold phase 1+2. Like plain warm starts, the repair is an
+/// accelerator only — any failure falls back to a cold solve.
+pub fn resolve_with_bounds(
+    problem: &LpProblem,
+    overlay: &BoundsOverlay,
+    hint: Option<&Basis>,
+) -> Result<SolveOutcome, LpError> {
+    solve_with_overlay(problem, Some(overlay), hint)
+}
+
+fn solve_with_overlay(
+    problem: &LpProblem,
+    overlay: Option<&BoundsOverlay>,
+    hint: Option<&Basis>,
+) -> Result<SolveOutcome, LpError> {
     let start = std::time::Instant::now();
-    let (attempt, warm) = attempt_solve(problem, hint);
+    let (attempt, warm) = attempt_solve(problem, overlay, hint);
     // A hinted basis skipped phase 1, so its result carries an extra proof
     // obligation: every artificial still basic (re-entered for a
-    // REDUNDANT-marked row of the hint) must have stayed at level zero
-    // through phase 2 — phase 2 only stops artificials from *entering*, not
-    // from growing. A violation (or any error: the hint can steer the
-    // iteration budget into a corner the cold path avoids) discards the
-    // hint entirely and re-solves cold; the hint is an accelerator, never a
-    // correctness dependency.
+    // REDUNDANT-marked row of the hint) and every fixed column still basic
+    // must have stayed at level zero through phase 2 — phase 2 only stops
+    // them from *entering*, not from growing. A violation (or any error:
+    // the hint can steer the iteration budget into a corner the cold path
+    // avoids) discards the hint entirely and re-solves cold; the hint is an
+    // accelerator, never a correctness dependency.
     let (attempt, warm) = if warm == WarmStatus::Hit
-        && (attempt.outcome.is_err() || !attempt.engine.artificials_at_zero())
+        && (attempt.outcome.is_err() || !attempt.engine.bounds_at_zero())
     {
-        (attempt_solve(problem, None).0, WarmStatus::Miss)
+        (attempt_solve(problem, overlay, None).0, WarmStatus::Miss)
     } else {
         (attempt, warm)
     };
@@ -912,14 +1072,27 @@ struct Attempt {
     outcome: Result<(LpSolution, Basis), LpError>,
 }
 
-fn attempt_solve(problem: &LpProblem, hint: Option<&Basis>) -> (Attempt, WarmStatus) {
-    let mut engine = Engine::new(problem);
+fn attempt_solve(
+    problem: &LpProblem,
+    overlay: Option<&BoundsOverlay>,
+    hint: Option<&Basis>,
+) -> (Attempt, WarmStatus) {
+    let mut engine = Engine::new(problem, overlay);
     let mut warm = WarmStatus::None;
     if let Some(hint) = hint {
-        warm = if engine.try_warm_start(hint) {
-            WarmStatus::Hit
-        } else {
-            WarmStatus::Miss
+        warm = match engine.try_warm_start(hint) {
+            WarmInstall::Ready => WarmStatus::Hit,
+            WarmInstall::NeedsRepair => match engine.repair_bounds() {
+                Ok(true) => WarmStatus::Hit,
+                // Repair failed (positive residual or numerical trouble):
+                // rebuild a fresh engine so the cold path starts from the
+                // canonical unit basis with truthful pivot counters.
+                _ => {
+                    engine = Engine::new(problem, overlay);
+                    WarmStatus::Miss
+                }
+            },
+            WarmInstall::Rejected => WarmStatus::Miss,
         };
     }
     let mut phase1_pivots = 0;
@@ -931,6 +1104,9 @@ fn attempt_solve(problem: &LpProblem, hint: Option<&Basis>) -> (Attempt, WarmSta
             // solves too (includes the artificial drive-out pivots).
             phase1_pivots = engine.pivots;
             phase1?;
+        } else {
+            // Bound-repair pivots (if any) belong to the phase-1 bucket.
+            phase1_pivots = engine.pivots;
         }
         engine.phase2(problem)?;
         Ok(engine.extract(problem))
@@ -967,10 +1143,12 @@ fn print_stats(stats: &SolveStats, status: &str) {
 }
 
 /// Structural signature of a problem: dimensions, objective sense, and the
-/// per-row relation + term sparsity pattern (coefficient *values* are
-/// excluded on purpose — a basis is a valid warm-start hint for any problem
-/// with the same pattern). `DefaultHasher` uses fixed keys, so signatures
-/// are stable across runs.
+/// per-row relation + term sparsity pattern (coefficient *values*, RHS
+/// magnitudes and the fixed-to-zero variable set are excluded on purpose —
+/// a basis is a valid warm-start hint for any problem with the same
+/// pattern, and bound/RHS mismatches are settled by the repair phase or a
+/// cold fallback). `DefaultHasher` uses fixed keys, so signatures are
+/// stable across runs.
 fn signature(problem: &LpProblem) -> u64 {
     let mut h = DefaultHasher::new();
     problem.num_vars().hash(&mut h);
@@ -1028,28 +1206,51 @@ impl WarmStartCache {
     }
 
     /// Runs `f` with this cache active for [`crate::LpProblem::solve`] calls
-    /// on the current thread. Scopes must not be nested.
+    /// on the current thread.
+    ///
+    /// Scopes nest LIFO: entering a scope while another is active shelves
+    /// the outer cache and restores it when the inner scope ends. Besides
+    /// deliberate nesting, this keeps a work-stealing scheduler safe — a
+    /// thread whose scope blocks in a parallel section may start an
+    /// unrelated task that opens its own scope on the same thread, and the
+    /// stolen task completes before the blocked section resumes, exactly
+    /// the LIFO discipline.
     pub fn scope<R>(&mut self, f: impl FnOnce() -> R) -> R {
-        struct Restore<'a>(&'a mut WarmStartCache);
+        struct Restore<'a> {
+            cache: &'a mut WarmStartCache,
+            outer: Option<WarmStartCache>,
+        }
         impl Drop for Restore<'_> {
             fn drop(&mut self) {
                 ACTIVE_CACHE.with(|slot| {
-                    if let Some(cache) = slot.borrow_mut().take() {
-                        *self.0 = cache;
+                    let mut slot = slot.borrow_mut();
+                    if let Some(cache) = slot.take() {
+                        *self.cache = cache;
                     }
+                    *slot = self.outer.take();
                 });
             }
         }
-        ACTIVE_CACHE.with(|slot| {
+        let outer = ACTIVE_CACHE.with(|slot| {
             let mut slot = slot.borrow_mut();
-            assert!(slot.is_none(), "WarmStartCache scopes must not be nested");
+            let outer = slot.take();
             *slot = Some(std::mem::take(self));
+            outer
         });
-        let restore = Restore(self);
+        let restore = Restore { cache: self, outer };
         let result = f();
         drop(restore);
         result
     }
+}
+
+/// The `(hits, misses)` counters of the thread's active [`WarmStartCache`]
+/// scope, or `None` outside any scope. Callers that need per-phase
+/// attribution of scoped solves (e.g. per-heuristic LP accounting in
+/// `pm-core`) read the counters before and after a phase and keep the
+/// delta.
+pub fn scoped_cache_counts() -> Option<(u64, u64)> {
+    ACTIVE_CACHE.with(|slot| slot.borrow().as_ref().map(|c| (c.hits, c.misses)))
 }
 
 /// Records a solve that bypassed the warm-start machinery (the dense
@@ -1231,6 +1432,24 @@ mod tests {
     }
 
     #[test]
+    fn cache_scopes_nest_lifo() {
+        let mut outer = WarmStartCache::new();
+        let mut inner = WarmStartCache::new();
+        outer.scope(|| {
+            sample_lp().solve().unwrap();
+            inner.scope(|| {
+                sample_lp().solve().unwrap();
+                sample_lp().solve().unwrap();
+            });
+            // The outer cache is active again (and its map still warm).
+            sample_lp().solve().unwrap();
+        });
+        assert_eq!(inner.solves(), 2);
+        assert_eq!(outer.solves(), 2);
+        assert_eq!(outer.hits, 1);
+    }
+
+    #[test]
     fn redundant_equalities_keep_artificial_marker_and_warm_start() {
         let mut lp = LpProblem::new(Objective::Maximize);
         let x = lp.add_var("x");
@@ -1319,6 +1538,115 @@ mod tests {
                 "case {case}: corrupted hint produced an infeasible point"
             );
         }
+    }
+
+    #[test]
+    fn fixed_vars_are_held_at_zero_by_both_engines() {
+        // max 3x + 5y, same constraints as `sample_lp`: with y fixed to
+        // zero the optimum moves to x = 4 (objective 12).
+        let mut lp = sample_lp();
+        lp.fix_var(VarId(1));
+        for kind in [SolverKind::Revised, SolverKind::Dense] {
+            let s = lp.solve_with(kind).unwrap();
+            approx(s.objective, 12.0);
+            approx(s.value(VarId(0)), 4.0);
+            approx(s.value(VarId(1)), 0.0);
+        }
+        lp.unfix_var(VarId(1));
+        approx(lp.solve().unwrap().objective, 36.0);
+    }
+
+    #[test]
+    fn overlay_fixes_without_mutating_the_problem() {
+        let lp = sample_lp();
+        let overlay = BoundsOverlay {
+            fix_zero: vec![VarId(1)],
+            rhs: vec![],
+        };
+        let out = resolve_with_bounds(&lp, &overlay, None).unwrap();
+        approx(out.solution.objective, 12.0);
+        approx(out.solution.value(VarId(1)), 0.0);
+        // The template itself is untouched.
+        assert!(!lp.is_fixed(VarId(1)));
+        approx(lp.solve().unwrap().objective, 36.0);
+    }
+
+    #[test]
+    fn repair_path_recovers_a_basis_with_a_newly_fixed_column() {
+        // Solve unmasked: y = 6 is basic in the optimal basis. Re-solving
+        // with y fixed to zero from that basis must go through the bound
+        // repair (or a cold fallback) and still land on the dense oracle's
+        // masked optimum.
+        let lp = sample_lp();
+        let cold = solve_with_hint(&lp, None).unwrap();
+        approx(cold.solution.objective, 36.0);
+        let overlay = BoundsOverlay {
+            fix_zero: vec![VarId(1)],
+            rhs: vec![],
+        };
+        let warm = resolve_with_bounds(&lp, &overlay, Some(&cold.basis)).unwrap();
+        approx(warm.solution.objective, 12.0);
+        approx(warm.solution.value(VarId(1)), 0.0);
+        // And back: the masked basis warm-starts the unmasked problem.
+        let back = solve_with_hint(&lp, Some(&warm.basis)).unwrap();
+        approx(back.solution.objective, 36.0);
+    }
+
+    #[test]
+    fn rhs_overrides_resolve_with_the_same_pattern() {
+        // min x + y s.t. x + y >= d, x >= 1: warm-startable across d.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 1.0);
+        let demand = lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 1.0);
+        let first = solve_with_hint(&lp, None).unwrap();
+        approx(first.solution.objective, 10.0);
+        for d in [4.0, 7.5, 0.0] {
+            let overlay = BoundsOverlay {
+                fix_zero: vec![],
+                rhs: vec![(demand, d)],
+            };
+            let out = resolve_with_bounds(&lp, &overlay, Some(&first.basis)).unwrap();
+            approx(out.solution.objective, d.max(1.0));
+            // The in-place API agrees.
+            let mut inplace = lp.clone();
+            inplace.set_rhs(demand, d);
+            approx(inplace.solve().unwrap().objective, d.max(1.0));
+        }
+    }
+
+    #[test]
+    fn fixing_every_path_makes_the_lp_infeasible_not_wrong() {
+        // x must be >= 2 but is fixed at zero: infeasible from both the
+        // cold path and the warm repair path.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let cold = solve_with_hint(&lp, None).unwrap();
+        let overlay = BoundsOverlay {
+            fix_zero: vec![x],
+            rhs: vec![],
+        };
+        assert_eq!(
+            resolve_with_bounds(&lp, &overlay, Some(&cold.basis)).unwrap_err(),
+            LpError::Infeasible
+        );
+        assert_eq!(
+            resolve_with_bounds(&lp, &overlay, None).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    #[test]
+    fn signature_ignores_fixed_marks() {
+        let a = sample_lp();
+        let mut b = sample_lp();
+        b.fix_var(VarId(0));
+        assert_eq!(signature(&a), signature(&b));
     }
 
     #[test]

@@ -327,7 +327,11 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
                 tableau.obj_value -= tableau.b[r];
             }
         }
-        let phase1 = tableau.optimize(&|_| true, phase1_budget(m, n));
+        // Fixed-to-zero user columns may never enter (they start nonbasic at
+        // zero and stay there; see `LpProblem::fix_var`).
+        let phase1_allowed =
+            |j: usize| j >= num_user_vars || !problem.is_fixed(crate::problem::VarId(j));
+        let phase1 = tableau.optimize(&phase1_allowed, phase1_budget(m, n));
         phase1_iters = tableau.iters;
         let phase1_value = -tableau.obj_value;
         let phase1_failed = phase1.is_err() || phase1_value > 1e-6;
@@ -353,6 +357,9 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
             if tableau.basis[r] >= artificial_start {
                 let mut pivot_col = None;
                 for j in 0..artificial_start {
+                    if j < num_user_vars && problem.is_fixed(crate::problem::VarId(j)) {
+                        continue;
+                    }
                     if tableau.at(r, j).abs() > 1e-7 {
                         pivot_col = Some(j);
                         break;
@@ -390,8 +397,11 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
             tableau.obj[bv] = 0.0;
         }
     }
-    // Artificial columns must never re-enter the basis.
-    let allowed = |j: usize| j < artificial_start;
+    // Artificial columns must never re-enter the basis; neither may fixed
+    // user columns.
+    let allowed = |j: usize| {
+        j < artificial_start && (j >= num_user_vars || !problem.is_fixed(crate::problem::VarId(j)))
+    };
     let phase2 = tableau.optimize(&allowed, phase2_budget(m, n));
     if stats {
         eprintln!(

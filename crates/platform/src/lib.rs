@@ -18,13 +18,18 @@
 //! * [`instances`] — [`MulticastInstance`](instances::MulticastInstance)
 //!   (platform + source + target set) and the reference instances of the
 //!   paper (Figures 1 and 5, tightness gadgets),
+//! * [`mask`] — [`NodeMask`](mask::NodeMask) sub-platform views that
+//!   deactivate nodes without re-indexing (the representation behind the
+//!   masked LP formulations in `pm-core`),
 //! * [`topology`] — a Tiers-like hierarchical random topology generator used
 //!   by the evaluation (Section 7 of the paper).
 
 pub mod algo;
 pub mod graph;
 pub mod instances;
+pub mod mask;
 pub mod topology;
 
 pub use graph::{EdgeId, NodeId, Platform, PlatformBuilder, PlatformError};
 pub use instances::MulticastInstance;
+pub use mask::NodeMask;

@@ -1,0 +1,252 @@
+//! Node activation masks: sub-platform *views* that deactivate nodes without
+//! re-indexing.
+//!
+//! [`crate::graph::Platform::induced_subgraph`] (and
+//! [`crate::instances::MulticastInstance::restrict_to`] on top of it) rebuilds
+//! a platform with fresh dense node and edge ids. That is the right tool for
+//! a one-off restriction, but the greedy sub-platform heuristics evaluate
+//! hundreds of candidate restrictions of the *same* platform, and rebuilding
+//! makes every candidate a structurally different object — defeating any
+//! caching keyed on structure (the LP warm-start machinery in particular).
+//!
+//! A [`NodeMask`] keeps the original ids: nodes are merely flagged active or
+//! inactive, an edge is active iff both endpoints are, and consumers express
+//! "node removed" as "everything incident to it is forced to zero". The
+//! rebuild path stays around as the differential oracle (see the
+//! `masked_vs_rebuilt` tests in `pm-core`).
+
+use crate::graph::{NodeId, Platform};
+use serde::{Deserialize, Serialize};
+
+/// A set of active nodes over a platform with `capacity` nodes, stored as a
+/// bitset so membership tests are O(1) and copies are cheap.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeMask {
+    words: Vec<u64>,
+    capacity: usize,
+    active: usize,
+}
+
+impl NodeMask {
+    /// The mask with every node of a `capacity`-node platform active.
+    pub fn full(capacity: usize) -> Self {
+        let mut words = vec![u64::MAX; capacity.div_ceil(64)];
+        if !capacity.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (capacity % 64)) - 1;
+            }
+        }
+        NodeMask {
+            words,
+            capacity,
+            active: capacity,
+        }
+    }
+
+    /// The mask with no node active.
+    pub fn empty(capacity: usize) -> Self {
+        NodeMask {
+            words: vec![0; capacity.div_ceil(64)],
+            capacity,
+            active: 0,
+        }
+    }
+
+    /// The mask activating exactly `nodes` (duplicates are fine).
+    ///
+    /// # Panics
+    /// Panics if a node id is out of range.
+    pub fn from_nodes(capacity: usize, nodes: impl IntoIterator<Item = NodeId>) -> Self {
+        let mut mask = NodeMask::empty(capacity);
+        for n in nodes {
+            mask.insert(n);
+        }
+        mask
+    }
+
+    /// Number of node ids the mask covers (active or not).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of active nodes.
+    #[inline]
+    pub fn active_count(&self) -> usize {
+        self.active
+    }
+
+    /// Whether `node` is active.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        let i = node.index();
+        debug_assert!(i < self.capacity, "node {node} out of mask capacity");
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Activates `node`. Returns whether the mask changed.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.capacity, "node {node} out of mask capacity");
+        let bit = 1u64 << (i % 64);
+        let changed = self.words[i / 64] & bit == 0;
+        if changed {
+            self.words[i / 64] |= bit;
+            self.active += 1;
+        }
+        changed
+    }
+
+    /// Deactivates `node`. Returns whether the mask changed.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let i = node.index();
+        assert!(i < self.capacity, "node {node} out of mask capacity");
+        let bit = 1u64 << (i % 64);
+        let changed = self.words[i / 64] & bit != 0;
+        if changed {
+            self.words[i / 64] &= !bit;
+            self.active -= 1;
+        }
+        changed
+    }
+
+    /// A copy of the mask with `node` additionally active.
+    pub fn with(&self, node: NodeId) -> NodeMask {
+        let mut m = self.clone();
+        m.insert(node);
+        m
+    }
+
+    /// A copy of the mask with `node` deactivated.
+    pub fn without(&self, node: NodeId) -> NodeMask {
+        let mut m = self.clone();
+        m.remove(node);
+        m
+    }
+
+    /// Iterator over the active node ids, in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(move |(w, &bits)| {
+            let mut bits = bits;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(NodeId((w * 64) as u32 + b))
+            })
+        })
+    }
+
+    /// The active nodes as a sorted vector (the `keep` argument the rebuild
+    /// oracle [`crate::instances::MulticastInstance::restrict_to`] expects).
+    pub fn to_nodes(&self) -> Vec<NodeId> {
+        self.iter().collect()
+    }
+
+    /// Whether both endpoints of the edge are active, i.e. whether the edge
+    /// survives in the masked sub-platform.
+    #[inline]
+    pub fn edge_active(&self, platform: &Platform, edge: crate::graph::EdgeId) -> bool {
+        let e = platform.edge(edge);
+        self.contains(e.src) && self.contains(e.dst)
+    }
+
+    /// The set of nodes reachable from `source` through active nodes and
+    /// edges only, as a membership vector indexed by node id. An inactive
+    /// `source` reaches nothing.
+    pub fn reachable_from(&self, platform: &Platform, source: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; platform.node_count()];
+        if !self.contains(source) {
+            return seen;
+        }
+        let mut stack = vec![source];
+        seen[source.index()] = true;
+        while let Some(u) = stack.pop() {
+            for &e in platform.out_edges(u) {
+                let v = platform.edge(e).dst;
+                if self.contains(v) && !seen[v.index()] {
+                    seen[v.index()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PlatformBuilder;
+
+    #[test]
+    fn full_empty_and_membership() {
+        let full = NodeMask::full(70);
+        assert_eq!(full.capacity(), 70);
+        assert_eq!(full.active_count(), 70);
+        assert!(full.contains(NodeId(0)));
+        assert!(full.contains(NodeId(69)));
+        let empty = NodeMask::empty(70);
+        assert_eq!(empty.active_count(), 0);
+        assert!(!empty.contains(NodeId(69)));
+    }
+
+    #[test]
+    fn insert_remove_and_counts() {
+        let mut m = NodeMask::empty(5);
+        assert!(m.insert(NodeId(3)));
+        assert!(!m.insert(NodeId(3)));
+        assert_eq!(m.active_count(), 1);
+        assert!(m.remove(NodeId(3)));
+        assert!(!m.remove(NodeId(3)));
+        assert_eq!(m.active_count(), 0);
+    }
+
+    #[test]
+    fn with_without_are_copies() {
+        let m = NodeMask::from_nodes(4, [NodeId(0), NodeId(2)]);
+        let w = m.without(NodeId(2)).with(NodeId(1));
+        assert!(m.contains(NodeId(2)));
+        assert!(!w.contains(NodeId(2)));
+        assert!(w.contains(NodeId(1)));
+        assert_eq!(m.active_count(), 2);
+        assert_eq!(w.active_count(), 2);
+    }
+
+    #[test]
+    fn iteration_is_sorted_across_words() {
+        let nodes = [NodeId(1), NodeId(63), NodeId(64), NodeId(65), NodeId(120)];
+        let m = NodeMask::from_nodes(130, nodes);
+        assert_eq!(m.to_nodes(), nodes);
+    }
+
+    #[test]
+    fn edge_activity_and_masked_reachability() {
+        // 0 -> 1 -> 2, 0 -> 2
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        b.add_edge(v[1], v[2], 1.0).unwrap();
+        b.add_edge(v[0], v[2], 1.0).unwrap();
+        let g = b.build().unwrap();
+        let full = NodeMask::full(3);
+        assert!(full.edge_active(&g, g.find_edge(v[0], v[1]).unwrap()));
+        let no1 = full.without(v[1]);
+        assert!(!no1.edge_active(&g, g.find_edge(v[0], v[1]).unwrap()));
+        assert!(no1.edge_active(&g, g.find_edge(v[0], v[2]).unwrap()));
+        // Without the direct 0 -> 2 edge, removing node 1 cuts node 2 off.
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        b.add_edge(v[1], v[2], 1.0).unwrap();
+        let chain = b.build().unwrap();
+        let seen = full.reachable_from(&chain, v[0]);
+        assert_eq!(seen, vec![true, true, true]);
+        let seen = full.without(v[1]).reachable_from(&chain, v[0]);
+        assert_eq!(seen, vec![true, false, false]);
+        let seen = full.without(v[0]).reachable_from(&chain, v[0]);
+        assert_eq!(seen, vec![false, false, false]);
+    }
+}
