@@ -6,7 +6,7 @@
 //! Usage:
 //!   fig11 [small|big] [scatter|lower|all] [--paper-scale] [--platforms N]
 //!         [--densities a,b,c] [--seeds a,b,c] [--kinds k1,k2,...] [--basic]
-//!         [--full] [--smoke] [--solver dense|revised]
+//!         [--full] [--smoke] [--realize] [--solver dense|revised]
 //!         [--json PATH] [--csv PATH]
 //!
 //! With no class argument both classes are swept (the full Figure 11).
@@ -45,6 +45,10 @@ fn main() {
             "big" => classes = Some(vec![PlatformClass::Big]),
             "scatter" | "lower" | "all" => reference = args[i].clone(),
             "--paper-scale" => config.paper_scale = true,
+            // Realization stage: decompose every winning solution into
+            // weighted trees, color them into a periodic schedule and verify
+            // it in the simulator (schema v4 realization columns).
+            "--realize" => config.realize = true,
             // Restrict to the reference curves + MCPH (no iterated LP
             // heuristics): useful on large platforms or slow machines.
             "--basic" => {
@@ -176,6 +180,21 @@ fn main() {
             stats.lp_solves,
             stats.warm_hits,
         );
+    }
+    if !batch.meta.realization.is_empty() {
+        eprintln!("fig11: realization (simulator-verified schedules):");
+        for &(kind, agg) in &batch.meta.realization {
+            eprintln!(
+                "fig11:   {:<22} {:>4} realized, {:>2} failed, {} one-port violations, \
+                 realization_gap mean {:.3}% max {:.3}%",
+                pm_bench::emit::kind_key(kind),
+                agg.realized,
+                agg.failed,
+                agg.one_port_violations,
+                100.0 * agg.mean_gap(),
+                100.0 * agg.max_gap,
+            );
+        }
     }
 
     for sweep in &batch.sweeps {

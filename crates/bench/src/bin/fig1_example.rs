@@ -8,8 +8,7 @@ use pm_core::exact::ExactTreePacking;
 use pm_core::formulations::{MulticastLb, MulticastUb};
 use pm_core::heuristics::{Mcph, ThroughputHeuristic};
 use pm_platform::instances::figure1_instance;
-use pm_sched::schedule::PeriodicSchedule;
-use pm_sim::simulator::{SimulationConfig, Simulator};
+use pm_sim::simulator::SimulationConfig;
 
 fn main() {
     let inst = figure1_instance();
@@ -42,22 +41,20 @@ fn main() {
     println!("MCPH single tree  : period {:.4}", mcph.period);
 
     // Rebuild and validate the optimal periodic schedule.
-    let (scaled, throughput) = exact.tree_set.scaled_to_feasible(&inst.platform);
-    let schedule = PeriodicSchedule::from_weighted_trees(&inst.platform, &scaled, 1.0)
-        .expect("optimal tree set fits in one period");
-    schedule
-        .validate(&inst.platform)
-        .expect("schedule is one-port valid");
-    let report = Simulator::new(SimulationConfig {
-        horizon: 100,
-        warmup: 10,
-    })
-    .run_schedule(&inst.platform, &schedule);
+    let validation = pm_sim::validate_tree_set(
+        &inst.platform,
+        &exact.tree_set,
+        SimulationConfig {
+            horizon: 100,
+            warmup: 10,
+        },
+    )
+    .expect("optimal tree set schedules within one period");
     println!(
         "Periodic schedule : {} slots per period, simulated throughput {:.4}, one-port violations {}",
-        schedule.slots.len(),
-        report.throughput,
-        report.one_port_violations
+        validation.schedule.slots.len(),
+        validation.report.throughput,
+        validation.report.one_port_violations
     );
-    assert!((throughput - 1.0).abs() < 1e-5);
+    assert!((validation.throughput - 1.0).abs() < 1e-5);
 }

@@ -14,11 +14,15 @@ use pm_platform::topology::PlatformClass;
 /// v2 added the `meta` block (`solve_ms` wall-clock total and the LP
 /// warm-start counters); v3 added the per-heuristic
 /// `meta.per_heuristic` aggregates (lp_solves / warm_hits / warm_misses
-/// per curve).
-pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v3";
+/// per curve); v4 added the realization stage (`fig11 --realize`): per-point
+/// `realization` objects (simulated throughput, realization gap, one-port
+/// violations per curve), a `meta.realization` aggregate block, and the
+/// `simulated_throughput` / `realization_gap` CSV columns (empty without
+/// `--realize`).
+pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v4";
 
 /// CSV header of [`batch_to_csv`] / [`sweep_to_csv`].
-pub const CSV_HEADER: &str = "class,seed,paper_scale,platforms,density,instances,kind,mean_period";
+pub const CSV_HEADER: &str = "class,seed,paper_scale,platforms,density,instances,kind,mean_period,simulated_throughput,realization_gap";
 
 /// Stable lower-case key of a platform class.
 pub fn class_key(class: PlatformClass) -> &'static str {
@@ -99,6 +103,26 @@ fn push_sweep_json(out: &mut String, sweep: &SweepResult, indent: &str) {
             .map(|&(k, p)| format!("\"{}\": {}", kind_key(k), json_f64(p)))
             .collect();
         out.push_str(&entries.join(", "));
+        out.push_str("},\n");
+        out.push_str(&format!("{indent}      \"realization\": {{"));
+        let entries: Vec<String> = point
+            .realization
+            .iter()
+            .map(|&(k, r)| {
+                format!(
+                    "\"{}\": {{\"realized\": {}, \"simulated_throughput\": {}, \
+                     \"realization_gap\": {}, \"max_realization_gap\": {}, \
+                     \"one_port_violations\": {}}}",
+                    kind_key(k),
+                    r.realized,
+                    json_f64(r.mean_simulated_throughput),
+                    json_f64(r.mean_realization_gap),
+                    json_f64(r.max_realization_gap),
+                    r.one_port_violations
+                )
+            })
+            .collect();
+        out.push_str(&entries.join(", "));
         out.push_str("}\n");
         let comma = if i + 1 < sweep.points.len() { "," } else { "" };
         out.push_str(&format!("{indent}    }}{comma}\n"));
@@ -154,6 +178,26 @@ pub fn batch_to_json(batch: &BatchResult) -> String {
         })
         .collect();
     out.push_str(&entries.join(", "));
+    out.push_str("},\n");
+    out.push_str("    \"realization\": {");
+    let entries: Vec<String> = batch
+        .meta
+        .realization
+        .iter()
+        .map(|&(kind, r)| {
+            format!(
+                "\"{}\": {{\"realized\": {}, \"failed\": {}, \"one_port_violations\": {}, \
+                 \"max_gap\": {}, \"mean_gap\": {}}}",
+                kind_key(kind),
+                r.realized,
+                r.failed,
+                r.one_port_violations,
+                json_f64(r.max_gap),
+                json_f64(r.mean_gap())
+            )
+        })
+        .collect();
+    out.push_str(&entries.join(", "));
     out.push_str("}\n");
     out.push_str("  },\n");
     out.push_str("  \"sweeps\": [\n");
@@ -173,8 +217,17 @@ fn push_sweep_csv(out: &mut String, sweep: &SweepResult) {
     let cfg = &sweep.config;
     for point in &sweep.points {
         for &(kind, period) in &point.mean_period {
+            // Realization columns: empty without `--realize` or when the
+            // kind realized no instance at this point.
+            let (sim, gap) = match point.realization(kind) {
+                Some(r) if r.realized > 0 => (
+                    csv_f64(r.mean_simulated_throughput),
+                    csv_f64(r.mean_realization_gap),
+                ),
+                _ => (String::new(), String::new()),
+            };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{}\n",
                 class_key(cfg.class),
                 cfg.seed,
                 cfg.paper_scale,
@@ -183,6 +236,8 @@ fn push_sweep_csv(out: &mut String, sweep: &SweepResult) {
                 point.instances,
                 kind_key(kind),
                 csv_f64(period),
+                sim,
+                gap,
             ));
         }
     }
@@ -219,6 +274,7 @@ mod tests {
                 densities: vec![0.5],
                 seed: 42,
                 kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+                realize: false,
             },
             points: vec![SweepPoint {
                 density: 0.5,
@@ -226,15 +282,44 @@ mod tests {
                     (HeuristicKind::Scatter, 4.25),
                     (HeuristicKind::Mcph, f64::INFINITY),
                 ],
+                realization: Vec::new(),
                 instances: 2,
             }],
         }
     }
 
+    fn fake_realized_sweep() -> SweepResult {
+        let mut sweep = fake_sweep();
+        sweep.config.realize = true;
+        sweep.points[0].realization = vec![
+            (
+                HeuristicKind::Scatter,
+                crate::sweep::PointRealization {
+                    realized: 2,
+                    mean_simulated_throughput: 0.25,
+                    mean_realization_gap: 0.0,
+                    max_realization_gap: 0.0,
+                    one_port_violations: 0,
+                },
+            ),
+            (
+                HeuristicKind::Mcph,
+                crate::sweep::PointRealization {
+                    realized: 0,
+                    mean_simulated_throughput: f64::INFINITY,
+                    mean_realization_gap: f64::INFINITY,
+                    max_realization_gap: f64::INFINITY,
+                    one_port_violations: 0,
+                },
+            ),
+        ];
+        sweep
+    }
+
     #[test]
     fn json_contains_schema_keys_and_null_infinity() {
         let json = sweep_to_json(&fake_sweep());
-        assert!(json.contains("\"schema\": \"pm-bench/fig11-sweep/v3\""));
+        assert!(json.contains("\"schema\": \"pm-bench/fig11-sweep/v4\""));
         assert!(json.contains("\"class\": \"small\""));
         assert!(json.contains("\"scatter\": 4.25"));
         assert!(json.contains("\"mcph\": null"));
@@ -250,8 +335,24 @@ mod tests {
         let lines: Vec<&str> = csv.trim_end().lines().collect();
         assert_eq!(lines[0], CSV_HEADER);
         assert_eq!(lines.len(), 3);
-        assert_eq!(lines[1], "small,42,false,2,0.5,2,scatter,4.25");
-        assert_eq!(lines[2], "small,42,false,2,0.5,2,mcph,inf");
+        assert_eq!(lines[1], "small,42,false,2,0.5,2,scatter,4.25,,");
+        assert_eq!(lines[2], "small,42,false,2,0.5,2,mcph,inf,,");
+    }
+
+    #[test]
+    fn realized_sweep_emits_the_new_columns_and_objects() {
+        let sweep = fake_realized_sweep();
+        let csv = sweep_to_csv(&sweep);
+        let lines: Vec<&str> = csv.trim_end().lines().collect();
+        assert_eq!(lines[1], "small,42,false,2,0.5,2,scatter,4.25,0.25,0");
+        // A kind that realized nothing keeps empty columns.
+        assert_eq!(lines[2], "small,42,false,2,0.5,2,mcph,inf,,");
+        let json = sweep_to_json(&sweep);
+        assert!(json.contains(
+            "\"scatter\": {\"realized\": 2, \"simulated_throughput\": 0.25, \
+             \"realization_gap\": 0, \"max_realization_gap\": 0, \"one_port_violations\": 0}"
+        ));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -284,6 +385,16 @@ mod tests {
                         warm_misses: 4,
                     },
                 )],
+                realization: vec![(
+                    HeuristicKind::ReducedBroadcast,
+                    crate::sweep::KindRealizationAgg {
+                        realized: 4,
+                        failed: 0,
+                        one_port_violations: 0,
+                        max_gap: 0.5,
+                        sum_gap: 1.0,
+                    },
+                )],
             },
         };
         let json = batch_to_json(&batch);
@@ -294,6 +405,10 @@ mod tests {
         assert!(json.contains("\"warm_misses\": 16"));
         assert!(json.contains(
             "\"reduced_broadcast\": {\"lp_solves\": 40, \"warm_hits\": 36, \"warm_misses\": 4}"
+        ));
+        assert!(json.contains(
+            "\"reduced_broadcast\": {\"realized\": 4, \"failed\": 0, \
+             \"one_port_violations\": 0, \"max_gap\": 0.5, \"mean_gap\": 0.25}"
         ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }

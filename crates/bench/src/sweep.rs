@@ -24,7 +24,7 @@
 //! scheduling, so two runs of the same configuration produce bitwise
 //! identical results (the property the JSON/CSV baselines in CI rely on).
 
-use pm_core::report::{HeuristicKind, KindLpStats, MulticastReport};
+use pm_core::report::{CollectOptions, HeuristicKind, KindLpStats, MulticastReport};
 use pm_lp::WarmStartCache;
 use pm_platform::topology::{GeneratedTopology, PlatformClass, TiersLikeGenerator};
 use rand::rngs::StdRng;
@@ -52,6 +52,10 @@ pub struct SweepConfig {
     pub seed: u64,
     /// The heuristics / reference curves to run.
     pub kinds: Vec<HeuristicKind>,
+    /// Realize every heuristic's winning solution as a weighted tree set,
+    /// color it into a periodic schedule and verify it in the simulator
+    /// (`fig11 --realize`): fills the per-point realization aggregates.
+    pub realize: bool,
 }
 
 impl SweepConfig {
@@ -65,8 +69,26 @@ impl SweepConfig {
             densities: vec![0.25, 0.5, 0.75, 1.0],
             seed: 42,
             kinds: HeuristicKind::ALL.to_vec(),
+            realize: false,
         }
     }
+}
+
+/// Per-kind realization aggregates of one sweep point (collected under
+/// `fig11 --realize`).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PointRealization {
+    /// Instances whose solution was realized (≤ the point's instances).
+    pub realized: usize,
+    /// Mean simulated throughput of the realized schedules.
+    pub mean_simulated_throughput: f64,
+    /// Mean `|simulated_period − lp_period| / lp_period`.
+    pub mean_realization_gap: f64,
+    /// Largest realization gap over the realized instances.
+    pub max_realization_gap: f64,
+    /// Total one-port violations the simulator detected (0 for valid
+    /// schedules).
+    pub one_port_violations: u64,
 }
 
 /// Aggregated measurements for one `(density)` point.
@@ -78,6 +100,9 @@ pub struct SweepPoint {
     /// averaged over the platforms where the heuristic produced a finite
     /// period.
     pub mean_period: Vec<(HeuristicKind, f64)>,
+    /// Per-kind realization aggregates, same order as `mean_period`; empty
+    /// unless the sweep ran with [`SweepConfig::realize`].
+    pub realization: Vec<(HeuristicKind, PointRealization)>,
     /// Number of instances aggregated.
     pub instances: usize,
 }
@@ -89,6 +114,15 @@ impl SweepPoint {
             .iter()
             .find(|(k, _)| *k == kind)
             .map(|&(_, p)| p)
+    }
+
+    /// Realization aggregates of a heuristic kind at this point (only when
+    /// the sweep realized solutions).
+    pub fn realization(&self, kind: HeuristicKind) -> Option<PointRealization> {
+        self.realization
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, r)| r)
     }
 
     /// Ratio of the mean period of `kind` to the mean period of `reference`
@@ -142,7 +176,14 @@ fn collect_report(
     let density = config.densities[di];
     let mut rng = StdRng::seed_from_u64(instance_seed(config.seed, di, pi));
     let instance = topology.sample_instance(density, &mut rng);
-    MulticastReport::collect(&instance, &config.kinds).ok()
+    MulticastReport::collect_with(
+        &instance,
+        &config.kinds,
+        CollectOptions {
+            realize: config.realize,
+        },
+    )
+    .ok()
 }
 
 /// Aggregates the per-item reports of one sweep into per-density points.
@@ -154,6 +195,7 @@ fn aggregate(config: &SweepConfig, reports: &[(usize, Option<MulticastReport>)])
             .filter_map(|(d, r)| if *d == di { r.as_ref() } else { None })
             .collect();
         let mut mean_period = Vec::with_capacity(config.kinds.len());
+        let mut realization = Vec::new();
         for &kind in &config.kinds {
             let values: Vec<f64> = at_point
                 .iter()
@@ -166,16 +208,89 @@ fn aggregate(config: &SweepConfig, reports: &[(usize, Option<MulticastReport>)])
                 values.iter().sum::<f64>() / values.len() as f64
             };
             mean_period.push((kind, mean));
+            if config.realize {
+                let realized: Vec<_> = at_point
+                    .iter()
+                    .filter_map(|r| r.realization_for(kind))
+                    .collect();
+                let n = realized.len();
+                let agg = if n == 0 {
+                    PointRealization {
+                        realized: 0,
+                        mean_simulated_throughput: f64::INFINITY,
+                        mean_realization_gap: f64::INFINITY,
+                        max_realization_gap: f64::INFINITY,
+                        one_port_violations: 0,
+                    }
+                } else {
+                    PointRealization {
+                        realized: n,
+                        mean_simulated_throughput: realized
+                            .iter()
+                            .map(|r| r.simulated_throughput)
+                            .sum::<f64>()
+                            / n as f64,
+                        mean_realization_gap: realized
+                            .iter()
+                            .map(|r| r.realization_gap)
+                            .sum::<f64>()
+                            / n as f64,
+                        max_realization_gap: realized
+                            .iter()
+                            .map(|r| r.realization_gap)
+                            .fold(0.0, f64::max),
+                        one_port_violations: realized.iter().map(|r| r.one_port_violations).sum(),
+                    }
+                };
+                realization.push((kind, agg));
+            }
         }
         points.push(SweepPoint {
             density,
             mean_period,
+            realization,
             instances: at_point.len(),
         });
     }
     SweepResult {
         config: config.clone(),
         points,
+    }
+}
+
+/// Batch-level realization accounting of one heuristic kind (stderr summary
+/// and the JSON meta block of `fig11 --realize`).
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct KindRealizationAgg {
+    /// Instances whose solution was realized and simulated.
+    pub realized: u64,
+    /// Instances that produced a finite period but could not be realized.
+    pub failed: u64,
+    /// Total one-port violations across the realized schedules.
+    pub one_port_violations: u64,
+    /// Largest realization gap seen.
+    pub max_gap: f64,
+    /// Sum of realization gaps (mean = `sum_gap / realized`).
+    pub sum_gap: f64,
+}
+
+impl KindRealizationAgg {
+    /// Accumulates another aggregate.
+    pub fn add(&mut self, other: KindRealizationAgg) {
+        self.realized += other.realized;
+        self.failed += other.failed;
+        self.one_port_violations += other.one_port_violations;
+        self.max_gap = self.max_gap.max(other.max_gap);
+        self.sum_gap += other.sum_gap;
+    }
+
+    /// Mean realization gap over the realized instances.
+    pub fn mean_gap(&self) -> f64 {
+        if self.realized > 0 {
+            self.sum_gap / self.realized as f64
+        } else {
+            0.0
+        }
     }
 }
 
@@ -189,6 +304,8 @@ struct ItemStats {
     /// Per-heuristic accounting, in [`HeuristicKind::ALL`] order (absent
     /// kinds omitted).
     per_kind: Vec<(HeuristicKind, KindLpStats)>,
+    /// Per-heuristic realization accounting (empty without `--realize`).
+    per_kind_realization: Vec<(HeuristicKind, KindRealizationAgg)>,
 }
 
 /// Accumulates `stats` into the `kind` entry of a per-heuristic aggregate
@@ -211,6 +328,17 @@ impl ItemStats {
         self.warm_hits += stats.warm_hits;
         self.warm_misses += stats.warm_misses;
         merge_kind(&mut self.per_kind, kind, stats);
+    }
+
+    fn add_kind_realization(&mut self, kind: HeuristicKind, agg: KindRealizationAgg) {
+        match self
+            .per_kind_realization
+            .iter_mut()
+            .find(|(k, _)| *k == kind)
+        {
+            Some((_, existing)) => existing.add(agg),
+            None => self.per_kind_realization.push((kind, agg)),
+        }
     }
 }
 
@@ -258,6 +386,24 @@ fn collect_platform_reports(
             for &(kind, kind_stats) in &report.lp_stats {
                 stats.add_kind(kind, kind_stats);
             }
+            for &(kind, real) in &report.realizations {
+                let agg = match real {
+                    Some(r) => KindRealizationAgg {
+                        realized: 1,
+                        failed: 0,
+                        one_port_violations: r.one_port_violations,
+                        max_gap: r.realization_gap,
+                        sum_gap: r.realization_gap,
+                    },
+                    // A finite period that did not realize is a failure; an
+                    // infinite one had nothing to realize.
+                    None => KindRealizationAgg {
+                        failed: report.period(kind).is_some_and(f64::is_finite) as u64,
+                        ..KindRealizationAgg::default()
+                    },
+                };
+                stats.add_kind_realization(kind, agg);
+            }
         }
     }
     (reports, stats)
@@ -302,6 +448,9 @@ pub struct BatchConfig {
     /// — so the default batch still restricts big platforms to the cheap
     /// curves; `None` applies `kinds` everywhere (`fig11 --full`).
     pub kinds_big: Option<Vec<HeuristicKind>>,
+    /// Realize and simulator-verify every heuristic solution
+    /// (`fig11 --realize`, see [`SweepConfig::realize`]).
+    pub realize: bool,
     /// Print per-work-item progress to stderr as items finish (paper-scale
     /// `--full` sweeps run for a long time and should not go silent).
     /// Progress goes to stderr only, so the JSON/CSV artifacts stay
@@ -333,6 +482,7 @@ impl BatchConfig {
             densities: vec![0.25, 0.5, 0.75, 1.0],
             kinds: HeuristicKind::ALL.to_vec(),
             kinds_big: Some(BASIC_KINDS.to_vec()),
+            realize: false,
             progress: false,
         }
     }
@@ -352,6 +502,7 @@ impl BatchConfig {
                 HeuristicKind::Mcph,
             ],
             kinds_big: None,
+            realize: false,
             progress: false,
         }
     }
@@ -373,6 +524,7 @@ impl BatchConfig {
             densities: self.densities.clone(),
             seed,
             kinds: self.kinds_for(class),
+            realize: self.realize,
         }
     }
 }
@@ -404,6 +556,9 @@ pub struct BatchMeta {
     /// Per-heuristic accounting, in [`HeuristicKind::ALL`] order (kinds
     /// that never ran are omitted).
     pub per_kind: Vec<(HeuristicKind, KindLpStats)>,
+    /// Per-heuristic realization accounting, in [`HeuristicKind::ALL`]
+    /// order; empty unless the batch ran with [`BatchConfig::realize`].
+    pub realization: Vec<(HeuristicKind, KindRealizationAgg)>,
 }
 
 impl BatchMeta {
@@ -415,17 +570,25 @@ impl BatchMeta {
         for &(kind, stats) in &item.per_kind {
             merge_kind(&mut self.per_kind, kind, stats);
         }
+        for &(kind, agg) in &item.per_kind_realization {
+            match self.realization.iter_mut().find(|(k, _)| *k == kind) {
+                Some((_, existing)) => existing.add(agg),
+                None => self.realization.push((kind, agg)),
+            }
+        }
     }
 
     /// Sorts the per-kind aggregates into [`HeuristicKind::ALL`] order so
     /// emission order never depends on item completion order.
     fn normalize(&mut self) {
-        self.per_kind.sort_by_key(|&(kind, _)| {
+        let all_order = |kind: HeuristicKind| {
             HeuristicKind::ALL
                 .iter()
                 .position(|&k| k == kind)
                 .unwrap_or(usize::MAX)
-        });
+        };
+        self.per_kind.sort_by_key(|&(kind, _)| all_order(kind));
+        self.realization.sort_by_key(|&(kind, _)| all_order(kind));
     }
 }
 
@@ -538,6 +701,7 @@ mod tests {
                 HeuristicKind::LowerBound,
                 HeuristicKind::Mcph,
             ],
+            realize: false,
         };
         let result = run_sweep(&config);
         assert_eq!(result.points.len(), 1);
@@ -572,6 +736,7 @@ mod tests {
             densities: vec![0.25, 0.75],
             seed: 11,
             kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+            realize: false,
         };
         let a = run_sweep(&config);
         let b = run_sweep(&config);
@@ -586,6 +751,54 @@ mod tests {
     }
 
     #[test]
+    fn realized_sweep_aggregates_simulated_throughput() {
+        let config = SweepConfig {
+            class: PlatformClass::Small,
+            paper_scale: false,
+            platforms: 1,
+            densities: vec![0.5],
+            seed: 7,
+            kinds: vec![
+                HeuristicKind::Scatter,
+                HeuristicKind::Mcph,
+                HeuristicKind::ReducedBroadcast,
+            ],
+            realize: true,
+        };
+        let result = run_sweep(&config);
+        let point = &result.points[0];
+        assert_eq!(point.realization.len(), 3);
+        for &kind in &config.kinds {
+            let real = point.realization(kind).unwrap();
+            assert_eq!(real.realized, 1, "{kind:?}");
+            assert_eq!(real.one_port_violations, 0, "{kind:?}");
+            // The certified schedule never overshoots the claimed period and
+            // the gap is what separates it from the claim.
+            let period = point.period(kind).unwrap();
+            assert!(
+                real.mean_simulated_throughput <= 1.0 / period + 1e-6,
+                "{kind:?}"
+            );
+            assert!(real.max_realization_gap >= -1e-12, "{kind:?}");
+        }
+        // Determinism, bit for bit.
+        let again = run_sweep(&config);
+        for (a, b) in result.points.iter().zip(&again.points) {
+            for ((ka, ra), (kb, rb)) in a.realization.iter().zip(&b.realization) {
+                assert_eq!(ka, kb);
+                assert_eq!(
+                    ra.mean_simulated_throughput.to_bits(),
+                    rb.mean_simulated_throughput.to_bits()
+                );
+                assert_eq!(
+                    ra.mean_realization_gap.to_bits(),
+                    rb.mean_realization_gap.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
     fn batch_covers_every_class_seed_cell() {
         let config = BatchConfig {
             classes: vec![PlatformClass::Small, PlatformClass::Big],
@@ -595,6 +808,7 @@ mod tests {
             densities: vec![0.5],
             kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
             kinds_big: None,
+            realize: false,
             progress: false,
         };
         let result = run_batch(&config);
@@ -619,6 +833,7 @@ mod tests {
             densities: vec![0.5, 1.0],
             kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
             kinds_big: None,
+            realize: false,
             progress: false,
         };
         let batch = run_batch(&batch_config);

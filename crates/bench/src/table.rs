@@ -68,12 +68,14 @@ mod tests {
             densities: vec![0.5],
             seed: 0,
             kinds: vec![HeuristicKind::Scatter, HeuristicKind::Mcph],
+            realize: false,
         };
         SweepResult {
             config,
             points: vec![SweepPoint {
                 density: 0.5,
                 mean_period: vec![(HeuristicKind::Scatter, 4.0), (HeuristicKind::Mcph, 2.0)],
+                realization: Vec::new(),
                 instances: 1,
             }],
         }

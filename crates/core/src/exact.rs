@@ -13,8 +13,8 @@
 //! between the LP lower bound and the exact optimum.
 
 use crate::formulations::FormulationError;
-use pm_lp::{LpProblem, Objective, Relation, VarId};
-use pm_platform::graph::{EdgeId, NodeId};
+use pm_lp::{LpError, LpProblem, Objective, Relation, VarId};
+use pm_platform::graph::{EdgeId, NodeId, Platform};
 use pm_platform::instances::MulticastInstance;
 use pm_sched::tree::{MulticastTree, WeightedTreeSet};
 use serde::{Deserialize, Serialize};
@@ -258,57 +258,17 @@ impl ExactTreePacking {
             .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
             .expect("at least one tree");
 
-        let mut lp = LpProblem::new(Objective::Maximize);
-        let y: Vec<VarId> = (0..trees.len())
-            .map(|k| lp.add_var(&format!("y{k}")))
-            .collect();
-        for &v in &y {
-            lp.set_objective_coeff(v, 1.0);
-        }
-        // Per-node send and receive constraints.
-        for node in platform.nodes() {
-            let mut send_terms: Vec<(VarId, f64)> = Vec::new();
-            let mut recv_terms: Vec<(VarId, f64)> = Vec::new();
-            for (k, tree) in trees.iter().enumerate() {
-                let mut send = 0.0;
-                let mut recv = 0.0;
-                for &e in tree.edges() {
-                    let edge = platform.edge(e);
-                    if edge.src == node {
-                        send += edge.cost;
-                    }
-                    if edge.dst == node {
-                        recv += edge.cost;
-                    }
-                }
-                if send > 0.0 {
-                    send_terms.push((y[k], send));
-                }
-                if recv > 0.0 {
-                    recv_terms.push((y[k], recv));
-                }
-            }
-            if !send_terms.is_empty() {
-                lp.add_constraint(send_terms, Relation::Le, 1.0);
-            }
-            if !recv_terms.is_empty() {
-                lp.add_constraint(recv_terms, Relation::Le, 1.0);
-            }
-        }
-        let sol = lp
-            .solve()
+        let (weights, throughput) = pack_trees(platform, &trees)
             .map_err(|e| ExactError::Formulation(FormulationError::Lp(e)))?;
 
         let mut tree_set = WeightedTreeSet::new();
-        for (k, tree) in trees.iter().enumerate() {
-            let w = sol.value(y[k]);
+        for (tree, &w) in trees.iter().zip(&weights) {
             if w > 1e-9 {
                 tree_set
                     .push(tree.clone(), w)
                     .expect("LP weights are non-negative");
             }
         }
-        let throughput = sol.objective;
         Ok(ExactSolution {
             throughput,
             period: if throughput > 0.0 {
@@ -322,6 +282,60 @@ impl ExactTreePacking {
             best_single_tree_throughput: 1.0 / best_period,
         })
     }
+}
+
+/// Solves the tree-packing LP of Theorem 4 over an explicit tree list:
+/// maximize `Σ_k y_k` subject to every node's one-port send and receive
+/// budgets. Returns the optimal weights (aligned with `trees`, zeros
+/// included) and the achieved throughput.
+///
+/// Shared by the exhaustive exact baseline (which enumerates *all* minimal
+/// trees) and the realization pipeline of [`crate::realize`] (which packs
+/// only the trees peeled from an LP flow).
+pub fn pack_trees(
+    platform: &Platform,
+    trees: &[MulticastTree],
+) -> Result<(Vec<f64>, f64), LpError> {
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let y: Vec<VarId> = (0..trees.len())
+        .map(|k| lp.add_var(&format!("y{k}")))
+        .collect();
+    for &v in &y {
+        lp.set_objective_coeff(v, 1.0);
+    }
+    // Per-node send and receive constraints.
+    for node in platform.nodes() {
+        let mut send_terms: Vec<(VarId, f64)> = Vec::new();
+        let mut recv_terms: Vec<(VarId, f64)> = Vec::new();
+        for (k, tree) in trees.iter().enumerate() {
+            let mut send = 0.0;
+            let mut recv = 0.0;
+            for &e in tree.edges() {
+                let edge = platform.edge(e);
+                if edge.src == node {
+                    send += edge.cost;
+                }
+                if edge.dst == node {
+                    recv += edge.cost;
+                }
+            }
+            if send > 0.0 {
+                send_terms.push((y[k], send));
+            }
+            if recv > 0.0 {
+                recv_terms.push((y[k], recv));
+            }
+        }
+        if !send_terms.is_empty() {
+            lp.add_constraint(send_terms, Relation::Le, 1.0);
+        }
+        if !recv_terms.is_empty() {
+            lp.add_constraint(recv_terms, Relation::Le, 1.0);
+        }
+    }
+    let sol = lp.solve()?;
+    let weights: Vec<f64> = y.iter().map(|&v| sol.value(v).max(0.0)).collect();
+    Ok((weights, sol.objective))
 }
 
 #[cfg(test)]

@@ -348,6 +348,14 @@ pub struct MultiSourceSolution {
     /// `incoming_score[v]` = total fraction of traffic entering node `v`,
     /// summed over origins and destinations.
     pub incoming_score: Vec<f64>,
+    /// The destination nodes the solution routed a message to (secondary
+    /// sources first, then targets), aligned with `dest_flows`.
+    pub dest_nodes: Vec<NodeId>,
+    /// `dest_flows[d][e]` = fraction of destination `d`'s message crossing
+    /// edge `e`, aggregated over its allowed origins. Each row is a ≈unit
+    /// flow into `dest_nodes[d]` whose sources are the (earlier) origins —
+    /// the raw material of the realization pipeline (`pm_core::realize`).
+    pub dest_flows: Vec<Vec<f64>>,
 }
 
 /// `MulticastMultiSource-UB(P, Ptarget, Psource)` (Section 5.2.3): the
@@ -541,10 +549,13 @@ impl<'a> MulticastMultiSourceUb<'a> {
 
         let period = sol.value(t_star);
         let mut edge_load = vec![0.0; m];
+        let mut dest_flows: Vec<Vec<f64>> = vec![vec![0.0; m]; dests.len()];
         for (di, d) in dests.iter().enumerate() {
             for xj in x[di].iter().take(d.origins) {
-                for (e, load) in edge_load.iter_mut().enumerate() {
-                    *load += sol.value(xj[e]);
+                for e in 0..m {
+                    let v = sol.value(xj[e]);
+                    edge_load[e] += v;
+                    dest_flows[di][e] += v;
                 }
             }
         }
@@ -569,6 +580,8 @@ impl<'a> MulticastMultiSourceUb<'a> {
             },
             edge_load,
             incoming_score,
+            dest_nodes: dests.iter().map(|d| d.node).collect(),
+            dest_flows,
         })
     }
 }

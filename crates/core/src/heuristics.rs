@@ -32,12 +32,13 @@
 
 use crate::formulations::{BroadcastEb, FormulationError, MulticastLb, MulticastUb};
 use crate::masked::{MaskedFlow, MaskedFlowLp, MaskedMultiSource, MaskedMultiSourceUb};
+use crate::realize::SteadyStateSolution;
 use pm_lp::WarmStatus;
 use pm_platform::algo::multi_source_bottleneck;
 use pm_platform::graph::{EdgeId, NodeId};
 use pm_platform::instances::MulticastInstance;
 use pm_platform::mask::NodeMask;
-use pm_sched::tree::MulticastTree;
+use pm_sched::tree::{MulticastTree, WeightedTreeSet};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +71,11 @@ pub struct HeuristicResult {
     pub warm_hits: usize,
     /// Masked-template solves that ran cold (no or rejected hint).
     pub warm_misses: usize,
+    /// What the heuristic actually solved, in realizable form: the winning
+    /// sub-platform flows (LP heuristics), the composed multi-source flows
+    /// (`AUGMENTED SOURCES`) or the tree itself (`MCPH`). `None` when the
+    /// heuristic could not serve the targets (infinite period).
+    pub steady_state: Option<crate::realize::SteadyStateSolution>,
 }
 
 impl HeuristicResult {
@@ -87,8 +93,20 @@ impl HeuristicResult {
             lp_solves: 0,
             warm_hits: 0,
             warm_misses: 0,
+            steady_state: None,
         }
     }
+}
+
+/// The broadcast-commodity target list of the masked `Broadcast-EB`
+/// templates (every non-source node, in platform order): the row layout of
+/// the flows the greedy heuristics win with.
+fn broadcast_commodities(instance: &MulticastInstance) -> Vec<NodeId> {
+    instance
+        .platform
+        .nodes()
+        .filter(|&v| v != instance.source)
+        .collect()
 }
 
 /// LP accounting of one masked-heuristic run.
@@ -122,12 +140,39 @@ impl LpCounters {
     }
 }
 
+/// Options of [`ThroughputHeuristic::run_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Capture the winning solution as a [`SteadyStateSolution`] in
+    /// [`HeuristicResult::steady_state`]. Capturing clones the flow
+    /// matrices, so callers that only need periods (the default fig11
+    /// sweep) turn it off; [`ThroughputHeuristic::run`] keeps it on.
+    pub capture_steady_state: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            capture_steady_state: true,
+        }
+    }
+}
+
 /// Common interface of all the heuristics.
 pub trait ThroughputHeuristic {
     /// Name used in reports and experiment tables.
     fn name(&self) -> &'static str;
-    /// Runs the heuristic on an instance.
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError>;
+    /// Runs the heuristic on an instance (capturing the steady-state
+    /// solution for realization; see [`ThroughputHeuristic::run_with`]).
+    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        self.run_with(instance, RunOptions::default())
+    }
+    /// Runs the heuristic with explicit options.
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError>;
 }
 
 /// Upper limit on greedy iterations, as a safety net (the greedy loops are
@@ -275,7 +320,11 @@ impl ThroughputHeuristic for ReducedBroadcast {
         "Red. BC"
     }
 
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         let platform = &instance.platform;
         let template = MaskedFlowLp::broadcast_eb(instance);
         let mut counters = LpCounters::default();
@@ -336,6 +385,14 @@ impl ThroughputHeuristic for ReducedBroadcast {
         let mut result = HeuristicResult::new(self.name(), best);
         result.selected_nodes = mask.to_nodes();
         counters.write_to(&mut result);
+        if options.capture_steady_state {
+            result.steady_state = SteadyStateSolution::from_flow_solution(
+                instance,
+                &broadcast_commodities(instance),
+                &current.flow,
+                best,
+            );
+        }
         Ok(result)
     }
 }
@@ -352,7 +409,11 @@ impl ThroughputHeuristic for AugmentedMulticast {
         "Augm. MC"
     }
 
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         let platform = &instance.platform;
         let template = MaskedFlowLp::broadcast_eb(instance);
         let mut counters = LpCounters::default();
@@ -419,6 +480,16 @@ impl ThroughputHeuristic for AugmentedMulticast {
         let mut result = HeuristicResult::new(self.name(), best);
         result.selected_nodes = mask.to_nodes();
         counters.write_to(&mut result);
+        if options.capture_steady_state {
+            if let Some(out) = &current {
+                result.steady_state = SteadyStateSolution::from_flow_solution(
+                    instance,
+                    &broadcast_commodities(instance),
+                    &out.flow,
+                    best,
+                );
+            }
+        }
         Ok(result)
     }
 }
@@ -438,7 +509,11 @@ impl ThroughputHeuristic for AugmentedSources {
         "Multisource MC"
     }
 
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         let platform = &instance.platform;
         let n = platform.node_count();
         let template = MaskedMultiSourceUb::new(instance);
@@ -448,7 +523,11 @@ impl ThroughputHeuristic for AugmentedSources {
         let mut is_source = vec![false; n];
         is_source[instance.source.index()] = true;
 
-        let initial = template.solve(&full, &sources, None)?;
+        // Candidate solves never extract the per-destination flow matrices
+        // (periods and incoming scores drive the greedy); when the steady
+        // state is captured, one warm re-solve of the winning configuration
+        // extracts them at the end.
+        let initial = template.solve_opts(&full, &sources, None, false)?;
         counters.note(initial.stats.warm);
         let mut best = initial.solution.period;
         let mut current = initial;
@@ -475,7 +554,7 @@ impl ThroughputHeuristic for AugmentedSources {
                 |v, hint| {
                     let mut extended = sources.clone();
                     extended.push(v);
-                    template.solve(&full, &extended, hint)
+                    template.solve_opts(&full, &extended, hint, false)
                 },
                 Some(&current.basis),
                 &mut bases,
@@ -494,6 +573,26 @@ impl ThroughputHeuristic for AugmentedSources {
             current = out;
         }
         let mut result = HeuristicResult::new(self.name(), best);
+        if options.capture_steady_state {
+            // One extra solve of the winning configuration, warm-started
+            // from its own optimal basis, extracts the flow matrices the
+            // candidate loop skipped. A failure here only loses the capture
+            // (steady_state stays `None`): realization is a bonus and must
+            // never poison the period measurement itself.
+            match template.solve_opts(&full, &sources, Some(&current.basis), true) {
+                Ok(refreshed) => {
+                    counters.note(refreshed.stats.warm);
+                    result.steady_state = Some(SteadyStateSolution::MultiSource {
+                        period: best,
+                        sources: sources.clone(),
+                        dest_nodes: refreshed.solution.dest_nodes,
+                        dest_flows: refreshed.solution.dest_flows,
+                    });
+                }
+                Err(FormulationError::Lp(_)) => counters.note_failed(),
+                Err(_) => {}
+            }
+        }
         result.selected_nodes = sources;
         counters.write_to(&mut result);
         Ok(result)
@@ -511,11 +610,27 @@ impl Mcph {
         &self,
         instance: &MulticastInstance,
     ) -> Result<MulticastTree, FormulationError> {
+        let cost: Vec<f64> = instance
+            .platform
+            .edge_ids()
+            .map(|e| instance.platform.cost(e))
+            .collect();
+        self.build_tree_with_costs(instance, cost)
+    }
+
+    /// [`Mcph::build_tree`] over caller-supplied base edge costs (`+∞`
+    /// excludes an edge entirely). The realization pipeline uses this to
+    /// price congested ports and to restrict tree growth to an LP solution's
+    /// support.
+    pub fn build_tree_with_costs(
+        &self,
+        instance: &MulticastInstance,
+        mut cost: Vec<f64>,
+    ) -> Result<MulticastTree, FormulationError> {
         let platform = &instance.platform;
         // Modifiable edge costs: edges already carrying the message are free,
         // and adding a new outgoing edge to a node that already sends data
         // accounts for the serialization of its send port.
-        let mut cost: Vec<f64> = platform.edge_ids().map(|e| platform.cost(e)).collect();
         let mut tree_nodes: Vec<NodeId> = vec![instance.source];
         let mut tree_edges: Vec<EdgeId> = Vec::new();
         let mut remaining: Vec<NodeId> = instance.targets.clone();
@@ -568,10 +683,21 @@ impl ThroughputHeuristic for Mcph {
         "MCPH"
     }
 
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         let tree = self.build_tree(instance)?;
         let period = tree.period(&instance.platform);
         let mut result = HeuristicResult::new(self.name(), period);
+        if options.capture_steady_state && period.is_finite() && period > 0.0 {
+            let mut trees = WeightedTreeSet::new();
+            trees
+                .push(tree.clone(), 1.0 / period)
+                .expect("a finite period yields a finite weight");
+            result.steady_state = Some(SteadyStateSolution::Trees { period, trees });
+        }
         result.tree = Some(tree);
         Ok(result)
     }
@@ -587,10 +713,22 @@ impl ThroughputHeuristic for ScatterBaseline {
         "scatter"
     }
 
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         let sol = MulticastUb::new(instance).solve()?;
         let mut result = HeuristicResult::new(self.name(), sol.period);
         result.lp_solves = 1;
+        if options.capture_steady_state {
+            result.steady_state = SteadyStateSolution::from_flow_solution(
+                instance,
+                &instance.targets,
+                &sol,
+                sol.period,
+            );
+        }
         Ok(result)
     }
 }
@@ -605,10 +743,22 @@ impl ThroughputHeuristic for BroadcastBaseline {
         "broadcast"
     }
 
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         let sol = BroadcastEb::new(instance).solve()?;
         let mut result = HeuristicResult::new(self.name(), sol.period);
         result.lp_solves = 1;
+        if options.capture_steady_state {
+            result.steady_state = SteadyStateSolution::from_flow_solution(
+                instance,
+                &broadcast_commodities(instance),
+                &sol,
+                sol.period,
+            );
+        }
         Ok(result)
     }
 }
@@ -623,10 +773,22 @@ impl ThroughputHeuristic for LowerBoundReference {
         "lower bound"
     }
 
-    fn run(&self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         let sol = MulticastLb::new(instance).solve()?;
         let mut result = HeuristicResult::new(self.name(), sol.period);
         result.lp_solves = 1;
+        if options.capture_steady_state {
+            result.steady_state = SteadyStateSolution::from_flow_solution(
+                instance,
+                &instance.targets,
+                &sol,
+                sol.period,
+            );
+        }
         Ok(result)
     }
 }

@@ -17,6 +17,9 @@
 //! * [`exact`] — the exact tree-packing optimum by exhaustive enumeration
 //!   (small platforms; used to validate the heuristics and the Figure 1
 //!   worked example),
+//! * [`realize`] — the constructive half: decompose LP steady-state flows
+//!   into weighted multicast trees, re-pack them, color them into a periodic
+//!   schedule and certify the claimed period in the one-port simulator,
 //! * [`report`] — per-instance comparison reports mirroring Figure 11.
 //!
 //! ```
@@ -35,15 +38,17 @@ pub mod exact;
 pub mod formulations;
 pub mod heuristics;
 pub mod masked;
+pub mod realize;
 pub mod report;
 
-pub use exact::{ExactSolution, ExactTreePacking};
+pub use exact::{pack_trees, ExactSolution, ExactTreePacking};
 pub use formulations::{
     BroadcastEb, FlowSolution, FormulationError, MulticastLb, MulticastMultiSourceUb, MulticastUb,
 };
 pub use heuristics::{
     AugmentedMulticast, AugmentedSources, BroadcastBaseline, HeuristicResult, LowerBoundReference,
-    Mcph, ReducedBroadcast, ScatterBaseline, ThroughputHeuristic,
+    Mcph, ReducedBroadcast, RunOptions, ScatterBaseline, ThroughputHeuristic,
 };
 pub use masked::{MaskedFlow, MaskedFlowLp, MaskedMultiSource, MaskedMultiSourceUb};
+pub use realize::{Realization, RealizeError, SteadyStateSolution};
 pub use report::{HeuristicKind, KindLpStats, MulticastReport};

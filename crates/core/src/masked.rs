@@ -551,6 +551,22 @@ impl<'a> MaskedMultiSourceUb<'a> {
         sources: &[NodeId],
         hint: Option<&Basis>,
     ) -> Result<MaskedMultiSource, FormulationError> {
+        self.solve_opts(mask, sources, hint, true)
+    }
+
+    /// [`MaskedMultiSourceUb::solve`] with the per-destination flow
+    /// extraction made optional: the greedy candidate loop solves dozens of
+    /// LPs per round and only reads periods and incoming scores, so it skips
+    /// the `O(dests × edges)` `dest_flows` allocation (`want_flows = false`)
+    /// and extracts the matrices only on runs that capture their
+    /// steady state for realization.
+    pub fn solve_opts(
+        &self,
+        mask: &NodeMask,
+        sources: &[NodeId],
+        hint: Option<&Basis>,
+        want_flows: bool,
+    ) -> Result<MaskedMultiSource, FormulationError> {
         let platform = &self.instance.platform;
         let nn = platform.node_count();
         if sources.first() != Some(&self.instance.source) {
@@ -689,9 +705,24 @@ impl<'a> MaskedMultiSourceUb<'a> {
         let period = sol.value(self.t_star);
         let m = platform.edge_count();
         let mut edge_load = vec![0.0; m];
-        for x_row in &self.x {
-            for (e, load) in edge_load.iter_mut().enumerate() {
-                *load += sol.value(x_row[e]);
+        let mut dest_nodes: Vec<NodeId> = Vec::new();
+        let mut dest_flows: Vec<Vec<f64>> = Vec::new();
+        for (di, &d) in self.dest_nodes.iter().enumerate() {
+            let rank = source_rank[d.index()];
+            let active = mask.contains(d) && (rank != usize::MAX || is_target(d));
+            if active && want_flows {
+                let row: Vec<f64> = (0..m).map(|e| sol.value(self.x[di][e])).collect();
+                for (e, load) in edge_load.iter_mut().enumerate() {
+                    *load += row[e];
+                }
+                dest_nodes.push(d);
+                dest_flows.push(row);
+            } else {
+                // Inactive destination (flows fixed to zero) or a solve
+                // that skips extraction: accumulate without allocating.
+                for (e, load) in edge_load.iter_mut().enumerate() {
+                    *load += sol.value(self.x[di][e]);
+                }
             }
         }
         let mut incoming_score = vec![0.0; nn];
@@ -714,6 +745,8 @@ impl<'a> MaskedMultiSourceUb<'a> {
                 },
                 edge_load,
                 incoming_score,
+                dest_nodes,
+                dest_flows,
             },
             basis: out.basis,
             stats: MaskedStats {

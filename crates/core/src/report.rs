@@ -3,8 +3,9 @@
 use crate::formulations::FormulationError;
 use crate::heuristics::{
     AugmentedMulticast, AugmentedSources, BroadcastBaseline, HeuristicResult, LowerBoundReference,
-    Mcph, ReducedBroadcast, ScatterBaseline, ThroughputHeuristic,
+    Mcph, ReducedBroadcast, RunOptions, ScatterBaseline, ThroughputHeuristic,
 };
+use crate::realize;
 use pm_platform::instances::MulticastInstance;
 use serde::{Deserialize, Serialize};
 
@@ -53,16 +54,27 @@ impl HeuristicKind {
         }
     }
 
-    /// Runs the corresponding heuristic.
+    /// Runs the corresponding heuristic (capturing the steady state).
     pub fn run(self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        self.run_with(instance, RunOptions::default())
+    }
+
+    /// Runs the corresponding heuristic with explicit options.
+    pub fn run_with(
+        self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
         match self {
-            HeuristicKind::Scatter => ScatterBaseline.run(instance),
-            HeuristicKind::LowerBound => LowerBoundReference.run(instance),
-            HeuristicKind::Broadcast => BroadcastBaseline.run(instance),
-            HeuristicKind::Mcph => Mcph.run(instance),
-            HeuristicKind::AugmentedMulticast => AugmentedMulticast.run(instance),
-            HeuristicKind::ReducedBroadcast => ReducedBroadcast.run(instance),
-            HeuristicKind::MultisourceMulticast => AugmentedSources::default().run(instance),
+            HeuristicKind::Scatter => ScatterBaseline.run_with(instance, options),
+            HeuristicKind::LowerBound => LowerBoundReference.run_with(instance, options),
+            HeuristicKind::Broadcast => BroadcastBaseline.run_with(instance, options),
+            HeuristicKind::Mcph => Mcph.run_with(instance, options),
+            HeuristicKind::AugmentedMulticast => AugmentedMulticast.run_with(instance, options),
+            HeuristicKind::ReducedBroadcast => ReducedBroadcast.run_with(instance, options),
+            HeuristicKind::MultisourceMulticast => {
+                AugmentedSources::default().run_with(instance, options)
+            }
         }
     }
 }
@@ -89,6 +101,28 @@ impl KindLpStats {
     }
 }
 
+/// The simulator-verified realization of one heuristic's solution inside a
+/// report (see [`crate::realize`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KindRealization {
+    /// Throughput measured by replaying the realized periodic schedule.
+    pub simulated_throughput: f64,
+    /// `|simulated_period − lp_period| / lp_period`.
+    pub realization_gap: f64,
+    /// Number of weighted trees in the realized combination.
+    pub trees: usize,
+    /// One-port violations the simulator detected (0 for valid schedules).
+    pub one_port_violations: u64,
+}
+
+/// Options of [`MulticastReport::collect_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CollectOptions {
+    /// Realize every heuristic's solution as a periodic schedule and verify
+    /// it in the simulator (fills [`MulticastReport::realizations`]).
+    pub realize: bool,
+}
+
 /// Periods measured on one instance for every heuristic and reference curve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MulticastReport {
@@ -103,8 +137,14 @@ pub struct MulticastReport {
     /// masked-template solves the heuristic performed itself with the
     /// solves it routed through the thread's ambient
     /// [`pm_lp::WarmStartCache`] scope (attributed per kind from the
-    /// scope's counter deltas).
+    /// scope's counter deltas). When realization is enabled, the packing
+    /// LPs of the realization pipeline are included in their kind's
+    /// accounting.
     pub lp_stats: Vec<(HeuristicKind, KindLpStats)>,
+    /// `(kind, realization)` outcomes, same order as `periods`; empty when
+    /// the report was collected without [`CollectOptions::realize`]. `None`
+    /// for a kind whose solution could not be realized (infinite period).
+    pub realizations: Vec<(HeuristicKind, Option<KindRealization>)>,
 }
 
 impl MulticastReport {
@@ -113,14 +153,78 @@ impl MulticastReport {
         instance: &MulticastInstance,
         kinds: &[HeuristicKind],
     ) -> Result<Self, FormulationError> {
+        Self::collect_with(instance, kinds, CollectOptions::default())
+    }
+
+    /// [`MulticastReport::collect`] with explicit options (realization).
+    pub fn collect_with(
+        instance: &MulticastInstance,
+        kinds: &[HeuristicKind],
+        options: CollectOptions,
+    ) -> Result<Self, FormulationError> {
         let mut periods = Vec::with_capacity(kinds.len());
         let mut lp_stats = Vec::with_capacity(kinds.len());
+        let mut realizations = Vec::new();
         for &kind in kinds {
             let scoped_before = pm_lp::revised::scoped_cache_counts();
-            let run = kind.run(instance);
+            // Steady-state capture clones the winning flow matrices, so it
+            // is only requested when this report will realize them.
+            let run = kind.run_with(
+                instance,
+                RunOptions {
+                    capture_steady_state: options.realize,
+                },
+            );
+            let (result, realization): (Option<HeuristicResult>, Option<KindRealization>) =
+                match run {
+                    Ok(res) => {
+                        let realization = if options.realize {
+                            res.steady_state
+                                .as_ref()
+                                .and_then(|solution| {
+                                    match realize::realize(instance, solution) {
+                                        Ok(real) => Some(real),
+                                        // Scheduling, packing or
+                                        // decomposition failures on a
+                                        // finite-period solution are
+                                        // pipeline bugs, not legitimately
+                                        // unrealizable solutions: make them
+                                        // visible (stderr only, so the
+                                        // artifacts stay deterministic).
+                                        Err(
+                                            e @ (realize::RealizeError::Schedule(_)
+                                            | realize::RealizeError::Packing(_)
+                                            | realize::RealizeError::Decomposition(_)),
+                                        ) => {
+                                            eprintln!(
+                                                "realize: {} pipeline failure on a {}-node \
+                                                 instance: {e}",
+                                                kind.label(),
+                                                instance.platform.node_count()
+                                            );
+                                            None
+                                        }
+                                        Err(_) => None,
+                                    }
+                                })
+                                .map(|real| KindRealization {
+                                    simulated_throughput: real.simulated.throughput,
+                                    realization_gap: real.realization_gap,
+                                    trees: real.tree_set.len(),
+                                    one_port_violations: real.simulated.one_port_violations as u64,
+                                })
+                        } else {
+                            None
+                        };
+                        (Some(res), realization)
+                    }
+                    Err(FormulationError::Unreachable(_)) => (None, None),
+                    Err(e) => return Err(e),
+                };
             // Masked-template solves are accounted in the result itself;
-            // LpProblem::solve calls (the baseline curves) land in the
-            // ambient cache scope, whose delta attributes them to this kind.
+            // LpProblem::solve calls (the baseline curves and the
+            // realization packing LPs) land in the ambient cache scope,
+            // whose delta attributes them to this kind.
             let mut stats = KindLpStats::default();
             if let (Some((h0, m0)), Some((h1, m1))) =
                 (scoped_before, pm_lp::revised::scoped_cache_counts())
@@ -129,24 +233,27 @@ impl MulticastReport {
                 stats.warm_misses += m1 - m0;
                 stats.lp_solves += (h1 - h0) + (m1 - m0);
             }
-            let period = match run {
-                Ok(res) => {
+            let period = match &result {
+                Some(res) => {
                     stats.lp_solves += (res.warm_hits + res.warm_misses) as u64;
                     stats.warm_hits += res.warm_hits as u64;
                     stats.warm_misses += res.warm_misses as u64;
                     res.period
                 }
-                Err(FormulationError::Unreachable(_)) => f64::INFINITY,
-                Err(e) => return Err(e),
+                None => f64::INFINITY,
             };
             periods.push((kind, period));
             lp_stats.push((kind, stats));
+            if options.realize {
+                realizations.push((kind, realization));
+            }
         }
         Ok(MulticastReport {
             nodes: instance.platform.node_count(),
             targets: instance.target_count(),
             periods,
             lp_stats,
+            realizations,
         })
     }
 
@@ -156,6 +263,15 @@ impl MulticastReport {
             .iter()
             .find(|(k, _)| *k == kind)
             .map(|&(_, s)| s)
+    }
+
+    /// The realization outcome of a given kind, if realization ran and the
+    /// kind's solution was realizable.
+    pub fn realization_for(&self, kind: HeuristicKind) -> Option<KindRealization> {
+        self.realizations
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .and_then(|&(_, r)| r)
     }
 
     /// The period measured for a given kind, if it was collected.
@@ -243,6 +359,41 @@ mod tests {
         );
         let total: u64 = report.lp_stats.iter().map(|&(_, s)| s.lp_solves).sum();
         assert_eq!(total, cache.solves());
+    }
+
+    #[test]
+    fn realized_report_verifies_every_curve_on_figure5() {
+        let inst = figure5_instance(3);
+        let report = MulticastReport::collect_with(
+            &inst,
+            &HeuristicKind::ALL,
+            CollectOptions { realize: true },
+        )
+        .unwrap();
+        assert_eq!(report.realizations.len(), 7);
+        for &kind in &HeuristicKind::ALL {
+            let real = report
+                .realization_for(kind)
+                .unwrap_or_else(|| panic!("{kind:?} did not realize"));
+            assert_eq!(real.one_port_violations, 0, "{kind:?}");
+            assert!(real.trees >= 1, "{kind:?}");
+            // Figure 5's curves are all realizable: the certified schedule
+            // reproduces each claimed period.
+            assert!(
+                real.realization_gap < 1e-6,
+                "{kind:?} gap {}",
+                real.realization_gap
+            );
+            let period = report.period(kind).unwrap();
+            assert!(
+                (real.simulated_throughput - 1.0 / period).abs() < 1e-6,
+                "{kind:?}"
+            );
+        }
+        // Without the option, no realization is collected.
+        let plain = MulticastReport::collect(&inst, &HeuristicKind::ALL).unwrap();
+        assert!(plain.realizations.is_empty());
+        assert!(plain.realization_for(HeuristicKind::Scatter).is_none());
     }
 
     #[test]

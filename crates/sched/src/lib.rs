@@ -22,4 +22,4 @@ pub mod tree;
 pub use coloring::{schedule_tasks, ColoredSchedule, CommTask};
 pub use load::OnePortLoads;
 pub use schedule::{PeriodicSchedule, ScheduleError, ScheduleSlot, Transfer};
-pub use tree::{MulticastTree, TreeError, WeightedTreeSet};
+pub use tree::{cancel_flow_cycles, MulticastTree, TreeError, WeightedTreeSet};

@@ -34,6 +34,9 @@ pub enum TreeError {
     TargetNotCovered(NodeId),
     /// A tree weight is negative or not finite.
     InvalidWeight(f64),
+    /// A flow handed to [`WeightedTreeSet::from_flows`] cannot be decomposed
+    /// (wrong shape, or a target's demand is not routable in its support).
+    InvalidFlow(String),
 }
 
 impl fmt::Display for TreeError {
@@ -47,6 +50,7 @@ impl fmt::Display for TreeError {
             }
             TreeError::TargetNotCovered(n) => write!(f, "target {n} is not covered by the tree"),
             TreeError::InvalidWeight(w) => write!(f, "invalid tree weight {w}"),
+            TreeError::InvalidFlow(msg) => write!(f, "invalid flow: {msg}"),
         }
     }
 }
@@ -188,6 +192,81 @@ impl MulticastTree {
     }
 }
 
+/// Removes all circulation from an edge-flow vector: repeatedly finds a
+/// directed cycle in the support (edges with flow above `eps`) and subtracts
+/// the cycle's minimum flow from every cycle edge.
+///
+/// Cycles carry no net demand, so cancelling them never changes what a flow
+/// delivers — it only lowers edge loads. Both the tree decomposition of
+/// [`WeightedTreeSet::from_flows`] and the multi-source flow composition in
+/// `pm-core` rely on an acyclic support. Deterministic: the DFS follows node
+/// and edge ids in order.
+pub fn cancel_flow_cycles(platform: &Platform, flow: &mut [f64], eps: f64) {
+    let n = platform.node_count();
+    loop {
+        // Colors: 0 = unvisited, 1 = on the current DFS path, 2 = done.
+        let mut color = vec![0u8; n];
+        // The support out-edge taken to reach each on-path node.
+        let mut path: Vec<EdgeId> = Vec::new();
+        let mut cycle: Option<Vec<EdgeId>> = None;
+        'search: for root in platform.nodes() {
+            if color[root.index()] != 0 {
+                continue;
+            }
+            // Iterative DFS; the stack holds (node, next out-edge offset).
+            let mut stack: Vec<(NodeId, usize)> = vec![(root, 0)];
+            color[root.index()] = 1;
+            while let Some(&(u, next)) = stack.last() {
+                let out = platform.out_edges(u);
+                if next >= out.len() {
+                    color[u.index()] = 2;
+                    stack.pop();
+                    path.pop();
+                    continue;
+                }
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                let e = out[next];
+                if flow[e.index()] <= eps {
+                    continue;
+                }
+                let v = platform.edge(e).dst;
+                match color[v.index()] {
+                    0 => {
+                        color[v.index()] = 1;
+                        path.push(e);
+                        stack.push((v, 0));
+                    }
+                    1 => {
+                        // Back edge: the cycle is e plus the path suffix
+                        // starting at v (each DFS-path node appears as the
+                        // source of at most one path edge).
+                        let start = path
+                            .iter()
+                            .position(|&pe| platform.edge(pe).src == v)
+                            .unwrap_or(path.len());
+                        let mut edges: Vec<EdgeId> = path[start..].to_vec();
+                        edges.push(e);
+                        cycle = Some(edges);
+                        break 'search;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let Some(edges) = cycle else { break };
+        let w = edges
+            .iter()
+            .map(|&e| flow[e.index()])
+            .fold(f64::INFINITY, f64::min);
+        for &e in &edges {
+            flow[e.index()] -= w;
+            if flow[e.index()] <= eps {
+                flow[e.index()] = 0.0;
+            }
+        }
+    }
+}
+
 /// A weighted combination of multicast trees: tree `k` carries `weight[k]`
 /// multicasts per time-unit.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -273,6 +352,231 @@ impl WeightedTreeSet {
         };
         let throughput = scaled.throughput();
         (scaled, throughput)
+    }
+
+    /// Scales every weight by the same factor so that the total throughput
+    /// `Σ_k y_k` equals `throughput` (period-normalized scaling: exactly one
+    /// multicast is carried per period of length `1 / throughput`). A set
+    /// with zero total weight is returned unchanged.
+    pub fn scaled_to_throughput(&self, throughput: f64) -> WeightedTreeSet {
+        let total = self.throughput();
+        if total <= f64::EPSILON {
+            return self.clone();
+        }
+        let factor = throughput / total;
+        WeightedTreeSet {
+            trees: self.trees.clone(),
+            weights: self.weights.iter().map(|w| w * factor).collect(),
+        }
+    }
+
+    /// Decomposes per-target steady-state flows into a weighted set of
+    /// multicast trees — the constructive step of the paper's realization
+    /// argument (a steady-state solution *is* a weighted combination of
+    /// trees, Theorem 4).
+    ///
+    /// `target_flows[i][e]` is the fraction of the message destined to
+    /// `instance.targets[i]` crossing edge `e`; each row must be a ≈unit
+    /// flow from `instance.source` to its target (exactly what the LP
+    /// formulations of `pm-core` produce). Rows are cycle-cancelled, then
+    /// trees are peeled off round by round: every round grows one multicast
+    /// tree whose per-target paths follow the remaining flow supports
+    /// (riding already-chosen tree edges for free, which is how overlapping
+    /// target flows share a single message copy), takes the largest weight
+    /// the supports allow, and subtracts it from every routed flow.
+    ///
+    /// The returned weights are *fractions of one multicast* (they sum to
+    /// ≈1, minus a ≤1e-7 numerical residue); scale the set to the desired
+    /// rate with [`WeightedTreeSet::scaled_to_throughput`] or saturate it
+    /// with [`WeightedTreeSet::scaled_to_feasible`]. Each round zeroes a
+    /// support edge or exhausts the demand, so at most `O(|T| · |E|)` trees
+    /// are peeled before deduplication; well-behaved flows (broadcast-like
+    /// overlap) produce far fewer.
+    ///
+    /// Errors with [`TreeError::InvalidFlow`] when the row count does not
+    /// match the target count or a target is unreachable in its own support
+    /// before anything was peeled. A mid-decomposition dead end (possible on
+    /// adversarial numerics) stops the peeling instead; the missing demand
+    /// shows up as a total weight below one.
+    pub fn from_flows(
+        instance: &MulticastInstance,
+        target_flows: &[Vec<f64>],
+    ) -> Result<WeightedTreeSet, TreeError> {
+        let order: Vec<usize> = (0..instance.targets.len()).collect();
+        Self::from_flows_with_order(instance, target_flows, &order)
+    }
+
+    /// [`WeightedTreeSet::from_flows`] with an explicit target processing
+    /// order (a permutation of `0..targets.len()`). The order decides which
+    /// target's path lays down the skeleton each peeling round — different
+    /// orders peel different (equally valid) tree sets, which is how the
+    /// realization pipeline enriches its candidate pool.
+    pub fn from_flows_with_order(
+        instance: &MulticastInstance,
+        target_flows: &[Vec<f64>],
+        order: &[usize],
+    ) -> Result<WeightedTreeSet, TreeError> {
+        const FLOW_EPS: f64 = 1e-9;
+        const DEMAND_EPS: f64 = 1e-7;
+        let platform = &instance.platform;
+        let n = platform.node_count();
+        let m = platform.edge_count();
+        let t = instance.targets.len();
+        if target_flows.len() != t {
+            return Err(TreeError::InvalidFlow(format!(
+                "{} flow rows for {t} targets",
+                target_flows.len()
+            )));
+        }
+        {
+            let mut seen = vec![false; t];
+            if order.len() != t
+                || !order
+                    .iter()
+                    .all(|&i| i < t && !std::mem::replace(&mut seen[i], true))
+            {
+                return Err(TreeError::InvalidFlow(
+                    "order is not a permutation of the targets".to_string(),
+                ));
+            }
+        }
+        let mut x: Vec<Vec<f64>> = Vec::with_capacity(t);
+        for row in target_flows {
+            if row.len() != m {
+                return Err(TreeError::InvalidFlow(format!(
+                    "flow row has {} entries for {m} edges",
+                    row.len()
+                )));
+            }
+            let mut row: Vec<f64> = row
+                .iter()
+                .map(|&v| if v > FLOW_EPS { v } else { 0.0 })
+                .collect();
+            cancel_flow_cycles(platform, &mut row, FLOW_EPS);
+            x.push(row);
+        }
+
+        let mut remaining = 1.0_f64;
+        let max_rounds = 2 * (t * m + t) + 8;
+        // Accumulated (canonical edge set, weight) rounds, deduplicated.
+        let mut peeled: Vec<(MulticastTree, f64)> = Vec::new();
+        for round in 0..max_rounds {
+            if remaining <= DEMAND_EPS {
+                break;
+            }
+            // Grow one tree covering every target, following the supports.
+            let mut in_tree = vec![false; n];
+            in_tree[instance.source.index()] = true;
+            let mut depth = vec![0usize; n];
+            let mut parent: Vec<Option<EdgeId>> = vec![None; n];
+            let mut tree_edges: Vec<EdgeId> = Vec::new();
+            // Per target: the new edges its path added (they cap the round
+            // weight) and its full source→target tree path (it is charged).
+            let mut added: Vec<Vec<EdgeId>> = vec![Vec::new(); t];
+            let mut dead_end: Option<NodeId> = None;
+            for &i in order {
+                let target = instance.targets[i];
+                if in_tree[target.index()] {
+                    continue;
+                }
+                // BFS from the whole current tree through the remaining
+                // support of x[i], never re-entering the tree (every node
+                // keeps a single parent). Seeds are ordered deepest-first:
+                // among equally short attachments, the one extending the
+                // longest shared prefix wins — pairing each target's path
+                // with the round skeleton instead of falling back to the
+                // source is what lets consecutive rounds specialize into
+                // complementary trees (the Figure 1 optimum needs it).
+                let mut pred: Vec<Option<EdgeId>> = vec![None; n];
+                let mut seen = vec![false; n];
+                let mut seeds: Vec<NodeId> = (0..n)
+                    .map(|v| NodeId(v as u32))
+                    .filter(|&v| in_tree[v.index()])
+                    .collect();
+                seeds.sort_by_key(|&v| (std::cmp::Reverse(depth[v.index()]), v.index()));
+                let mut queue: std::collections::VecDeque<NodeId> = seeds.into();
+                for v in queue.iter() {
+                    seen[v.index()] = true;
+                }
+                while let Some(u) = queue.pop_front() {
+                    if u == target {
+                        break;
+                    }
+                    for &e in platform.out_edges(u) {
+                        let v = platform.edge(e).dst;
+                        if x[i][e.index()] > FLOW_EPS && !seen[v.index()] && !in_tree[v.index()] {
+                            seen[v.index()] = true;
+                            pred[v.index()] = Some(e);
+                            queue.push_back(v);
+                        }
+                    }
+                }
+                if pred[target.index()].is_none() {
+                    dead_end = Some(target);
+                    break;
+                }
+                // Walk the new suffix back to the attachment point.
+                let mut suffix: Vec<EdgeId> = Vec::new();
+                let mut cur = target;
+                while let Some(e) = pred[cur.index()] {
+                    suffix.push(e);
+                    cur = platform.edge(e).src;
+                }
+                for &e in suffix.iter().rev() {
+                    let edge = platform.edge(e);
+                    in_tree[edge.dst.index()] = true;
+                    depth[edge.dst.index()] = depth[edge.src.index()] + 1;
+                    parent[edge.dst.index()] = Some(e);
+                    tree_edges.push(e);
+                    added[i].push(e);
+                }
+            }
+            if let Some(target) = dead_end {
+                if round == 0 {
+                    return Err(TreeError::InvalidFlow(format!(
+                        "no routable support for target {target}"
+                    )));
+                }
+                break;
+            }
+            // Round weight: the demand still owed, capped by the remaining
+            // flow on every newly added edge (free rides on existing tree
+            // edges do not constrain it).
+            let mut w = remaining;
+            for (i, edges) in added.iter().enumerate() {
+                for &e in edges {
+                    w = w.min(x[i][e.index()]);
+                }
+            }
+            if w <= FLOW_EPS {
+                break;
+            }
+            // Charge every target's full tree path (clamped at zero: riding
+            // an edge another target paid for is what the max-accounting
+            // overlap allows).
+            for (i, &target) in instance.targets.iter().enumerate() {
+                let mut cur = target;
+                while let Some(e) = parent[cur.index()] {
+                    let f = &mut x[i][e.index()];
+                    *f = if *f - w > FLOW_EPS { *f - w } else { 0.0 };
+                    cur = platform.edge(e).src;
+                }
+            }
+            remaining -= w;
+            let tree = MulticastTree::new(instance, tree_edges).map_err(|e| {
+                TreeError::InvalidFlow(format!("peeled edge set is not a tree: {e}"))
+            })?;
+            match peeled.iter_mut().find(|(p, _)| p.edges() == tree.edges()) {
+                Some((_, pw)) => *pw += w,
+                None => peeled.push((tree, w)),
+            }
+        }
+
+        let mut set = WeightedTreeSet::new();
+        for (tree, w) in peeled {
+            set.push(tree, w)?;
+        }
+        Ok(set)
     }
 
     /// Per-edge message rates (messages per time-unit) aggregated over trees.
@@ -428,6 +732,107 @@ mod tests {
             set.push(t1, f64::NAN),
             Err(TreeError::InvalidWeight(_))
         ));
+    }
+
+    #[test]
+    fn cycle_cancellation_removes_circulation_only() {
+        // s -> a -> t plus a 2-cycle a <-> b carrying circulation.
+        let mut b = PlatformBuilder::new();
+        let s = b.add_node();
+        let a = b.add_node();
+        let bb = b.add_node();
+        let t = b.add_node();
+        b.add_edge(s, a, 1.0).unwrap();
+        b.add_edge(a, t, 1.0).unwrap();
+        b.add_edge(a, bb, 1.0).unwrap();
+        b.add_edge(bb, a, 1.0).unwrap();
+        let g = b.build().unwrap();
+        let mut flow = vec![1.0, 1.0, 0.4, 0.4];
+        cancel_flow_cycles(&g, &mut flow, 1e-9);
+        assert_eq!(flow, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_flows_splits_the_diamond_into_two_paths() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        // Half the message goes through a, half through b.
+        let flows = vec![vec![0.5, 0.5, 0.5, 0.5]];
+        let set = WeightedTreeSet::from_flows(&inst, &flows).unwrap();
+        assert_eq!(set.len(), 2);
+        assert!((set.throughput() - 1.0).abs() < 1e-7);
+        for (tree, &w) in set.trees().iter().zip(set.weights()) {
+            assert_eq!(tree.len(), 2);
+            assert!((w - 0.5).abs() < 1e-7);
+        }
+        // The decomposition reproduces the flow's edge loads exactly.
+        let rates = set.edge_rates(g);
+        for r in rates {
+            assert!((r - 0.5).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn from_flows_single_path_yields_the_path_tree() {
+        let inst = diamond_instance();
+        let flows = vec![vec![1.0, 0.0, 1.0, 0.0]];
+        let set = WeightedTreeSet::from_flows(&inst, &flows).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!((set.weights()[0] - 1.0).abs() < 1e-7);
+        assert_eq!(set.trees()[0].len(), 2);
+    }
+
+    #[test]
+    fn from_flows_shares_edges_across_overlapping_targets() {
+        // Figure 5: source -> relay -> n targets; every target's unit flow
+        // rides the same source -> relay edge, so a single tree is peeled.
+        let inst = pm_platform::instances::figure5_instance(3);
+        let g = &inst.platform;
+        let mut flows = Vec::new();
+        for &t in &inst.targets {
+            let mut row = vec![0.0; g.edge_count()];
+            row[g.find_edge(NodeId(0), NodeId(1)).unwrap().index()] = 1.0;
+            row[g.find_edge(NodeId(1), t).unwrap().index()] = 1.0;
+            flows.push(row);
+        }
+        let set = WeightedTreeSet::from_flows(&inst, &flows).unwrap();
+        assert_eq!(set.len(), 1);
+        assert!((set.throughput() - 1.0).abs() < 1e-7);
+        // One shared copy crosses the relay link: the tree set's period is
+        // the broadcast optimum 1, not the scatter value n.
+        assert!((set.loads(g).max_load() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn from_flows_rejects_bad_shapes_and_unroutable_targets() {
+        let inst = diamond_instance();
+        assert!(matches!(
+            WeightedTreeSet::from_flows(&inst, &[]),
+            Err(TreeError::InvalidFlow(_))
+        ));
+        assert!(matches!(
+            WeightedTreeSet::from_flows(&inst, &[vec![0.0; 2]]),
+            Err(TreeError::InvalidFlow(_))
+        ));
+        // A zero flow cannot route the target.
+        assert!(matches!(
+            WeightedTreeSet::from_flows(&inst, &[vec![0.0; 4]]),
+            Err(TreeError::InvalidFlow(_))
+        ));
+    }
+
+    #[test]
+    fn scaled_to_throughput_normalizes_the_total_weight() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e_sa = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let e_at = g.find_edge(NodeId(1), NodeId(3)).unwrap();
+        let t1 = MulticastTree::new(&inst, vec![e_sa, e_at]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(t1, 0.25).unwrap();
+        let scaled = set.scaled_to_throughput(0.8);
+        assert!((scaled.throughput() - 0.8).abs() < 1e-12);
+        assert_eq!(scaled.len(), 1);
     }
 
     #[test]

@@ -10,8 +10,13 @@
 //! * [`simulator::Simulator::run_tree_pipeline`] simulates the greedy
 //!   store-and-forward pipelining of a series of multicasts along a single
 //!   multicast tree, and measures the steady-state throughput actually
-//!   reached (which converges to `1 / tree.period()`).
+//!   reached (which converges to `1 / tree.period()`),
+//! * [`validate::validate_tree_set`] runs the whole
+//!   scale → schedule → validate → replay pipeline on a weighted tree set in
+//!   one call (the shared tail of the realization pipeline).
 
 pub mod simulator;
+pub mod validate;
 
 pub use simulator::{SimReport, SimulationConfig, Simulator};
+pub use validate::{validate_tree_set, TreeSetValidation};

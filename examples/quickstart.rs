@@ -57,19 +57,31 @@ fn main() {
 
     // 4. Turn the optimal tree combination into an explicit periodic schedule
     //    and replay it in the one-port simulator.
-    let (scaled, _) = exact.tree_set.scaled_to_feasible(&instance.platform);
-    let schedule = PeriodicSchedule::from_weighted_trees(&instance.platform, &scaled, 1.0)
-        .expect("schedule fits in one period");
-    schedule
-        .validate(&instance.platform)
-        .expect("one-port valid");
-    let report = Simulator::new(SimulationConfig {
-        horizon: 50,
-        warmup: 5,
-    })
-    .run_schedule(&instance.platform, &schedule);
+    let validation = pm_sim::validate_tree_set(
+        &instance.platform,
+        &exact.tree_set,
+        SimulationConfig {
+            horizon: 50,
+            warmup: 5,
+        },
+    )
+    .expect("optimal tree set schedules within one period");
     println!(
         "simulated schedule: throughput {:.3}, {} one-port violations",
-        report.throughput, report.one_port_violations
+        validation.report.throughput, validation.report.one_port_violations
+    );
+
+    // 5. The same certification, straight from an LP heuristic: realize the
+    //    Reduced Broadcast flows as weighted trees and simulate them.
+    let reduced = ReducedBroadcast.run(&instance).expect("heuristic runs");
+    let solution = reduced
+        .steady_state
+        .expect("LP heuristics expose their steady-state flows");
+    let realization = pm_core::realize::realize(&instance, &solution).expect("flows realize");
+    println!(
+        "realized Red. BC: {} trees, simulated throughput {:.3}, gap {:.2}%",
+        realization.tree_set.len(),
+        realization.simulated.throughput,
+        100.0 * realization.realization_gap
     );
 }

@@ -41,11 +41,13 @@ pub mod prelude {
     pub use pm_core::heuristics::{
         AugmentedMulticast, AugmentedSources, Mcph, ReducedBroadcast, ThroughputHeuristic,
     };
+    pub use pm_core::realize::{realize, Realization, SteadyStateSolution};
     pub use pm_core::report::{HeuristicKind, MulticastReport};
     pub use pm_platform::graph::{EdgeId, NodeId, Platform, PlatformBuilder};
     pub use pm_platform::instances::{figure1_instance, figure5_instance, MulticastInstance};
     pub use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
     pub use pm_sched::schedule::PeriodicSchedule;
-    pub use pm_sched::tree::{MulticastTree, WeightedTreeSet};
+    pub use pm_sched::tree::{MulticastTree, TreeError, WeightedTreeSet};
     pub use pm_sim::simulator::{SimulationConfig, Simulator};
+    pub use pm_sim::validate::{validate_tree_set, TreeSetValidation};
 }

@@ -78,10 +78,13 @@ proptest! {
         let exact = ExactTreePacking::new().solve(&instance).unwrap();
         prop_assert!(exact.tree_set.is_feasible(&instance.platform, 1e-6));
         // And it can be materialised as a valid periodic schedule.
-        let (scaled, throughput) = exact.tree_set.scaled_to_feasible(&instance.platform);
-        let schedule =
-            PeriodicSchedule::from_weighted_trees(&instance.platform, &scaled, 1.0).unwrap();
-        schedule.validate(&instance.platform).unwrap();
-        prop_assert!(throughput >= exact.throughput - 1e-6);
+        let validation = pm_sim::validate_tree_set(
+            &instance.platform,
+            &exact.tree_set,
+            SimulationConfig::default(),
+        )
+        .unwrap();
+        prop_assert!(validation.throughput >= exact.throughput - 1e-6);
+        prop_assert_eq!(validation.report.one_port_violations, 0);
     }
 }

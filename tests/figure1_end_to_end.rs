@@ -51,17 +51,18 @@ fn figure1_full_pipeline() {
 
     // The optimal weighted tree set can be turned into a valid periodic
     // schedule of period 1 and replayed without one-port violations.
-    let (scaled, throughput) = exact.tree_set.scaled_to_feasible(&instance.platform);
-    assert!((throughput - 1.0).abs() < 1e-5);
-    let schedule = PeriodicSchedule::from_weighted_trees(&instance.platform, &scaled, 1.0).unwrap();
-    schedule.validate(&instance.platform).unwrap();
-    let report = Simulator::new(SimulationConfig {
-        horizon: 64,
-        warmup: 8,
-    })
-    .run_schedule(&instance.platform, &schedule);
-    assert_eq!(report.one_port_violations, 0);
-    assert!((report.throughput - 1.0).abs() < 1e-5);
+    let validation = pm_sim::validate_tree_set(
+        &instance.platform,
+        &exact.tree_set,
+        SimulationConfig {
+            horizon: 64,
+            warmup: 8,
+        },
+    )
+    .unwrap();
+    assert!((validation.throughput - 1.0).abs() < 1e-5);
+    assert_eq!(validation.report.one_port_violations, 0);
+    assert!((validation.report.throughput - 1.0).abs() < 1e-5);
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Property-based tests of the realization pipeline on random platforms:
+//! decomposing a feasible LP `FlowSolution` (any of the four formulations)
+//! yields a weighted tree set that
+//!
+//! * respects the one-port budget — carrying one multicast per realized
+//!   period never loads a port beyond that period (`+1e-6`),
+//! * never overshoots the LP period it certifies,
+//! * colors into a periodic schedule whose simulated throughput matches the
+//!   tree set's analytical throughput within 1%, with zero one-port
+//!   violations.
+//!
+//! The scatter formulation (`Multicast-UB`) additionally realizes its LP
+//! period *exactly* (sum accounting dominates tree sharing), as does the
+//! multi-source scatter; `Multicast-LB` is not always achievable, so its gap
+//! is only required to be reported honestly (non-negative shortfall).
+
+use pipelined_multicast::prelude::*;
+use pm_core::formulations::{BroadcastEb, MulticastMultiSourceUb};
+use pm_core::realize::{realize, SteadyStateSolution};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A small random strongly-connected-enough platform with a random target
+/// set (same family as `bounds_properties`).
+fn random_instance(seed: u64) -> MulticastInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(4..8usize);
+    let mut builder = PlatformBuilder::new();
+    let nodes = builder.add_nodes(n);
+    for i in 0..n {
+        let cost = rng.gen_range(0.2..2.0);
+        builder
+            .add_edge(nodes[i], nodes[(i + 1) % n], cost)
+            .unwrap();
+    }
+    for _ in 0..n {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            let cost = rng.gen_range(0.2..2.0);
+            let _ = builder.add_edge(nodes[a], nodes[b], cost);
+        }
+    }
+    let platform = builder.build().unwrap();
+    let mut targets: Vec<NodeId> = nodes[1..]
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.5))
+        .collect();
+    if targets.is_empty() {
+        targets.push(nodes[1]);
+    }
+    MulticastInstance::new(platform, nodes[0], targets).unwrap()
+}
+
+/// The shared invariant checks; returns the realization gap.
+fn check_realization(
+    instance: &MulticastInstance,
+    solution: &SteadyStateSolution,
+    label: &str,
+) -> Result<f64, TestCaseError> {
+    let real =
+        realize(instance, solution).unwrap_or_else(|e| panic!("{label}: realization failed: {e}"));
+    let platform = &instance.platform;
+    // One-port budget: at the realized rates, every port fits in a unit of
+    // time — equivalently, one multicast per realized period never loads a
+    // port beyond the period.
+    let rate_load = real.tree_set.loads(platform).max_load();
+    prop_assert!(rate_load <= 1.0 + 1e-6, "{label}: rate load {rate_load}");
+    // The certificate never overshoots the LP claim.
+    prop_assert!(
+        real.achieved_period >= real.lp_period - 1e-7,
+        "{label}: achieved {} beats the LP {}",
+        real.achieved_period,
+        real.lp_period
+    );
+    // The colored schedule replays at the analytical throughput.
+    let analytical = real.tree_set.throughput();
+    prop_assert_eq!(real.simulated.one_port_violations, 0);
+    prop_assert!(
+        (real.simulated.throughput - analytical).abs() <= 0.01 * analytical,
+        "{label}: simulated {} vs analytical {analytical}",
+        real.simulated.throughput
+    );
+    Ok(real.realization_gap)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn all_four_formulations_realize_on_random_platforms(seed in 0u64..10_000) {
+        let instance = random_instance(seed);
+        let broadcast_commodities: Vec<NodeId> = instance
+            .platform
+            .nodes()
+            .filter(|&v| v != instance.source)
+            .collect();
+
+        // Multicast-UB (scatter): achievable by construction — gap 0.
+        let ub = MulticastUb::new(&instance).solve().unwrap();
+        let solution = SteadyStateSolution::from_flow_solution(
+            &instance,
+            &instance.targets,
+            &ub,
+            ub.period,
+        )
+        .unwrap();
+        let gap = check_realization(&instance, &solution, "Multicast-UB")?;
+        prop_assert!(gap <= 1e-6, "scatter gap {gap}");
+
+        // Multicast-LB: a lower bound, not always achievable; the gap is the
+        // honestly reported shortfall.
+        let lb = MulticastLb::new(&instance).solve().unwrap();
+        let solution = SteadyStateSolution::from_flow_solution(
+            &instance,
+            &instance.targets,
+            &lb,
+            lb.period,
+        )
+        .unwrap();
+        check_realization(&instance, &solution, "Multicast-LB")?;
+
+        // Broadcast-EB: restricted to the instance-target rows.
+        let eb = BroadcastEb::new(&instance).solve().unwrap();
+        let solution = SteadyStateSolution::from_flow_solution(
+            &instance,
+            &broadcast_commodities,
+            &eb,
+            eb.period,
+        )
+        .unwrap();
+        check_realization(&instance, &solution, "Broadcast-EB")?;
+
+        // MulticastMultiSource-UB with a promoted secondary source (the
+        // first non-source non-target node, or the first target otherwise).
+        let secondary = instance
+            .platform
+            .nodes()
+            .find(|&v| v != instance.source && !instance.is_target(v))
+            .or_else(|| instance.targets.first().copied());
+        let mut sources = vec![instance.source];
+        sources.extend(secondary);
+        let ms = MulticastMultiSourceUb::new(&instance, sources.clone())
+            .unwrap()
+            .solve()
+            .unwrap();
+        let solution = SteadyStateSolution::MultiSource {
+            period: ms.period,
+            sources,
+            dest_nodes: ms.dest_nodes.clone(),
+            dest_flows: ms.dest_flows.clone(),
+        };
+        check_realization(&instance, &solution, "MulticastMultiSource-UB")?;
+    }
+}
