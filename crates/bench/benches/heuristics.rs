@@ -14,6 +14,8 @@ use pm_core::heuristics::{
     AugmentedMulticast, AugmentedSources, Mcph, ReducedBroadcast, ThroughputHeuristic,
 };
 use pm_core::masked::MaskedFlowLp;
+use pm_core::report::HeuristicKind;
+use pm_core::session::Session;
 use pm_platform::graph::NodeId;
 use pm_platform::instances::{figure1_instance, MulticastInstance};
 use pm_platform::mask::NodeMask;
@@ -98,6 +100,46 @@ fn bench_heuristics(c: &mut Criterion) {
         });
         group.bench_function(format!("masked_warm/{label}"), |b| {
             b.iter(|| template.solve(&mask, Some(&base.basis)).unwrap())
+        });
+    }
+    group.finish();
+
+    // The session group backs the drifting-platform acceptance criterion:
+    // after a single edge-cost edit, an incremental `Session::solve` (in-place
+    // coefficient rewrite + warm basis) must be >= 3x faster than the
+    // equivalent cold one-shot rebuild (fresh templates, cold phase 1 + 2).
+    let mut group = c.benchmark_group("session");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (label, inst) in [("tiers_small", &tiers_small), ("tiers_big", &tiers_big)] {
+        let edge = inst.platform.edge_ids().next().expect("platform has edges");
+        let base_cost = inst.platform.cost(edge);
+        group.bench_function(format!("one_shot_cold/{label}"), |b| {
+            let mut flip = false;
+            b.iter(|| {
+                // The same single-edge drift the incremental path absorbs,
+                // paid as a full rebuild: new session, fresh template, cold
+                // solve.
+                flip = !flip;
+                let mut session = Session::new(inst.clone());
+                session
+                    .set_edge_cost(edge, if flip { base_cost * 1.25 } else { base_cost })
+                    .unwrap();
+                session.solve(HeuristicKind::Broadcast).unwrap()
+            })
+        });
+        group.bench_function(format!("incremental_edge_edit/{label}"), |b| {
+            let mut session = Session::new(inst.clone());
+            session.solve(HeuristicKind::Broadcast).unwrap();
+            let mut flip = false;
+            b.iter(|| {
+                flip = !flip;
+                session
+                    .set_edge_cost(edge, if flip { base_cost * 1.25 } else { base_cost })
+                    .unwrap();
+                session.solve(HeuristicKind::Broadcast).unwrap()
+            })
         });
     }
     group.finish();

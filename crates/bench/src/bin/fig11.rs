@@ -7,7 +7,8 @@
 //!   fig11 [small|big] [scatter|lower|all] [--paper-scale] [--platforms N]
 //!         [--densities a,b,c] [--seeds a,b,c] [--kinds k1,k2,...] [--basic]
 //!         [--full] [--smoke] [--realize] [--solver dense|revised]
-//!         [--json PATH] [--csv PATH]
+//!         [--json PATH] [--csv PATH] [--items-csv PATH] [--items-jsonl PATH]
+//!         [--drift] [--steps N]
 //!
 //! With no class argument both classes are swept (the full Figure 11).
 //! Machine-readable results are always written — to `fig11_sweep.json` /
@@ -15,9 +16,24 @@
 //! runs with the same configuration produce byte-identical files, which is
 //! how CI detects throughput-trajectory drift against the committed
 //! `BENCH_fig11_baseline.json`.
+//!
+//! `--items-csv` / `--items-jsonl` additionally *stream* one row per
+//! `(instance, kind)` to disk as work items complete (ordered, so the files
+//! are byte-identical across runs and thread counts) — paper-scale
+//! `--realize --full` sweeps keep their per-instance detail without holding
+//! every report in memory.
+//!
+//! `--drift` switches to the dynamic-platform scenario sweep: one long-lived
+//! `pm_core::Session` per `(class, seed, platform)` instance is driven
+//! through a seeded trace of edge-cost walks and node churn (`--steps`
+//! events), re-solving and re-realizing after every event; the schema-v5
+//! JSON artifact records per-step re-solve wall time, warm-hit rates,
+//! throughput deltas and simulator-measured transition costs, and is
+//! byte-compared against `BENCH_fig11_drift_baseline.json` in CI.
 
 use pm_bench::{
-    batch_to_csv, batch_to_json, format_period_table, format_ratio_table, run_batch, BatchConfig,
+    batch_to_csv, batch_to_json, drift_to_json, format_period_table, format_ratio_table,
+    run_batch_streamed, run_drift, BatchConfig, DriftConfig, ItemRowFormat, ItemSink,
 };
 use pm_core::report::HeuristicKind;
 use pm_platform::topology::PlatformClass;
@@ -36,8 +52,15 @@ fn main() {
     let mut classes: Option<Vec<PlatformClass>> = None;
     let mut reference = "all".to_string();
     let mut config = BatchConfig::quick();
-    let mut json_path: Option<String> = Some("fig11_sweep.json".to_string());
+    let mut json_path: Option<String> = None;
     let mut csv_path: Option<String> = Some("fig11_sweep.csv".to_string());
+    let mut items_csv_path: Option<String> = None;
+    let mut items_jsonl_path: Option<String> = None;
+    let mut drift = false;
+    let mut smoke = false;
+    let mut steps: Option<usize> = None;
+    let mut kinds_explicit = false;
+    let mut density_explicit = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -52,6 +75,7 @@ fn main() {
             // Restrict to the reference curves + MCPH (no iterated LP
             // heuristics): useful on large platforms or slow machines.
             "--basic" => {
+                kinds_explicit = true;
                 config.kinds = pm_bench::sweep::BASIC_KINDS.to_vec();
                 config.kinds_big = None;
             }
@@ -59,6 +83,7 @@ fn main() {
             // iterated-LP heuristics on big platforms (takes minutes per
             // big instance — see BatchConfig::kinds_big).
             "--full" => {
+                kinds_explicit = true;
                 config.kinds = HeuristicKind::ALL.to_vec();
                 config.kinds_big = None;
             }
@@ -77,16 +102,38 @@ fn main() {
             }
             // The CI bench-smoke configuration: tiny and cheap.
             "--smoke" => {
-                let smoke = BatchConfig::ci_smoke();
-                config.platforms = smoke.platforms;
-                config.densities = smoke.densities;
-                config.seeds = smoke.seeds;
-                config.kinds = smoke.kinds;
-                config.kinds_big = smoke.kinds_big;
+                smoke = true;
+                let ci = BatchConfig::ci_smoke();
+                config.platforms = ci.platforms;
+                config.densities = ci.densities;
+                config.seeds = ci.seeds;
+                config.kinds = ci.kinds;
+                config.kinds_big = ci.kinds_big;
+            }
+            // Dynamic-platform scenario sweep on long-lived sessions.
+            "--drift" => drift = true,
+            // Drift events per scenario (drift mode only).
+            "--steps" => {
+                i += 1;
+                steps = Some(
+                    flag_value(&args, i, "--steps")
+                        .parse()
+                        .expect("--steps takes an integer"),
+                );
+            }
+            // Streamed per-item rows (see the module docs).
+            "--items-csv" => {
+                i += 1;
+                items_csv_path = Some(flag_value(&args, i, "--items-csv").to_string());
+            }
+            "--items-jsonl" => {
+                i += 1;
+                items_jsonl_path = Some(flag_value(&args, i, "--items-jsonl").to_string());
             }
             // Explicit curve selection by stable key (see `pm_bench::emit`).
             "--kinds" => {
                 i += 1;
+                kinds_explicit = true;
                 config.kinds = flag_value(&args, i, "--kinds")
                     .split(',')
                     .map(|k| {
@@ -126,6 +173,7 @@ fn main() {
             }
             "--densities" => {
                 i += 1;
+                density_explicit = true;
                 config.densities = flag_value(&args, i, "--densities")
                     .split(',')
                     .map(|d| d.parse().expect("--densities takes comma-separated floats"))
@@ -146,9 +194,106 @@ fn main() {
         }
         i += 1;
     }
-    if let Some(classes) = classes {
-        config.classes = classes;
+    if let Some(classes) = &classes {
+        config.classes = classes.clone();
     }
+
+    if drift {
+        let mut drift_config = if smoke {
+            DriftConfig::smoke()
+        } else {
+            DriftConfig::quick()
+        };
+        if let Some(classes) = classes {
+            drift_config.classes = classes;
+        }
+        drift_config.seeds = config.seeds.clone();
+        drift_config.platforms = config.platforms;
+        drift_config.paper_scale = config.paper_scale;
+        if kinds_explicit {
+            drift_config.kinds = config.kinds.clone();
+        }
+        if density_explicit {
+            // One instance per scenario: the drift sweep has a single
+            // density, not a grid.
+            drift_config.density = config.densities[0];
+            if config.densities.len() > 1 {
+                eprintln!(
+                    "fig11: note: --drift samples one instance per scenario; using density {} \
+                     and ignoring the rest of the grid",
+                    drift_config.density
+                );
+            }
+        }
+        if let Some(steps) = steps {
+            drift_config.steps = steps;
+        }
+        // Sweep-only outputs have no drift counterpart: refuse them loudly
+        // instead of exiting "successfully" without the requested files.
+        for (flag, given) in [
+            ("--csv", csv_path != Some("fig11_sweep.csv".to_string())),
+            ("--items-csv", items_csv_path.is_some()),
+            ("--items-jsonl", items_jsonl_path.is_some()),
+            ("--realize", config.realize),
+        ] {
+            if given {
+                eprintln!(
+                    "{flag} applies to the Figure 11 sweep only; --drift writes a single JSON \
+                     artifact (use --json)"
+                );
+                std::process::exit(2);
+            }
+        }
+        drift_config.progress = true;
+        eprintln!(
+            "running drift batch: classes={:?}, seeds={:?}, platforms={}, steps={}, kinds={:?} \
+             ({} worker threads)",
+            drift_config.classes,
+            drift_config.seeds,
+            drift_config.platforms,
+            drift_config.steps,
+            drift_config.kinds,
+            rayon::current_num_threads()
+        );
+        let result = run_drift(&drift_config);
+        eprintln!(
+            "fig11: drift {} scenarios, {} LP solves ({} warm hits, {:.0}% warm), {} ms total",
+            result.meta.scenarios,
+            result.meta.lp_solves,
+            result.meta.warm_hits,
+            100.0 * result.meta.warm_hit_rate(),
+            result.meta.solve_ms,
+        );
+        for scenario in &result.scenarios {
+            let last = scenario.steps.last().expect("scenario has steps");
+            for kind in &last.kinds {
+                let transitions: usize = scenario
+                    .steps
+                    .iter()
+                    .flat_map(|s| &s.kinds)
+                    .filter(|k| k.kind == kind.kind && k.transition.is_some())
+                    .count();
+                eprintln!(
+                    "fig11:   class={:?} seed={} platform={} {:<10} final period {:.4}, \
+                     gap {:.2e}, {} transitions",
+                    scenario.class,
+                    scenario.seed,
+                    scenario.platform,
+                    pm_bench::emit::kind_key(kind.kind),
+                    kind.period,
+                    kind.realization_gap,
+                    transitions,
+                );
+            }
+        }
+        let path = json_path.unwrap_or_else(|| "fig11_drift.json".to_string());
+        std::fs::write(&path, drift_to_json(&result))
+            .unwrap_or_else(|e| panic!("writing drift JSON to {path}: {e}"));
+        eprintln!("wrote drift JSON results to {path}");
+        return;
+    }
+    let json_path = json_path.or_else(|| Some("fig11_sweep.json".to_string()));
+
     // Long sweeps (--full / --paper-scale) must not go silent; progress goes
     // to stderr only, so the JSON/CSV artifacts stay byte-comparable.
     config.progress = true;
@@ -163,7 +308,26 @@ fn main() {
         config.densities,
         rayon::current_num_threads()
     );
-    let batch = run_batch(&config);
+    let open_sink = |path: &Option<String>, format: ItemRowFormat| {
+        path.as_ref().map(|path| {
+            let file = std::fs::File::create(path)
+                .unwrap_or_else(|e| panic!("creating streamed item file {path}: {e}"));
+            ItemSink::new(format, Box::new(std::io::BufWriter::new(file)))
+                .unwrap_or_else(|e| panic!("initialising streamed item file {path}: {e}"))
+        })
+    };
+    let csv_sink = open_sink(&items_csv_path, ItemRowFormat::Csv);
+    let jsonl_sink = open_sink(&items_jsonl_path, ItemRowFormat::Jsonl);
+    let sinks: Vec<&ItemSink> = csv_sink.iter().chain(jsonl_sink.iter()).collect();
+    let batch = run_batch_streamed(&config, &sinks);
+    drop(sinks);
+    for (sink, path) in [(csv_sink, &items_csv_path), (jsonl_sink, &items_jsonl_path)] {
+        if let (Some(sink), Some(path)) = (sink, path) {
+            sink.finish()
+                .unwrap_or_else(|e| panic!("finishing streamed item file {path}: {e}"));
+            eprintln!("streamed per-item rows to {path}");
+        }
+    }
     eprintln!(
         "fig11: {} LP solves ({} warm hits, {} cold), {} ms total work-item time",
         batch.meta.lp_solves, batch.meta.warm_hits, batch.meta.warm_misses, batch.meta.solve_ms

@@ -6,9 +6,12 @@
 //! order follows the configuration, so identical configurations produce
 //! byte-identical files — CI diffs them against the committed baseline.
 
-use crate::sweep::{BatchResult, SweepResult};
-use pm_core::report::HeuristicKind;
+use crate::sweep::{BatchResult, SweepConfig, SweepResult};
+use pm_core::report::{HeuristicKind, MulticastReport};
 use pm_platform::topology::PlatformClass;
+use std::collections::BTreeMap;
+use std::io::{self, Write};
+use std::sync::Mutex;
 
 /// Schema tag embedded in every JSON document, bumped on layout changes.
 /// v2 added the `meta` block (`solve_ms` wall-clock total and the LP
@@ -23,6 +26,9 @@ pub const JSON_SCHEMA: &str = "pm-bench/fig11-sweep/v4";
 
 /// CSV header of [`batch_to_csv`] / [`sweep_to_csv`].
 pub const CSV_HEADER: &str = "class,seed,paper_scale,platforms,density,instances,kind,mean_period,simulated_throughput,realization_gap";
+
+/// CSV header of the streamed per-item rows (`fig11 --items-csv`).
+pub const ITEMS_CSV_HEADER: &str = "class,seed,paper_scale,platform,density,nodes,targets,kind,period,simulated_throughput,realization_gap,one_port_violations,lp_solves,warm_hits,warm_misses";
 
 /// Stable lower-case key of a platform class.
 pub fn class_key(class: PlatformClass) -> &'static str {
@@ -48,8 +54,9 @@ pub fn kind_key(kind: HeuristicKind) -> &'static str {
 }
 
 /// A finite float as a JSON number, anything else as `null` (JSON has no
-/// infinity literal).
-fn json_f64(v: f64) -> String {
+/// infinity literal). Shared with the drift emitter so the two artifact
+/// families can never drift apart in float formatting.
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -258,6 +265,169 @@ pub fn batch_to_csv(batch: &BatchResult) -> String {
         push_sweep_csv(&mut out, sweep);
     }
     out
+}
+
+/// Format of the streamed per-item rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemRowFormat {
+    /// One [`ITEMS_CSV_HEADER`] row per `(instance, kind)`.
+    Csv,
+    /// One JSON object per line per `(instance, kind)` (JSON Lines).
+    Jsonl,
+}
+
+struct SinkState {
+    /// The next item index to flush.
+    next: usize,
+    /// Chunks that arrived out of order, keyed by item index.
+    pending: BTreeMap<usize, String>,
+    out: Box<dyn Write + Send>,
+}
+
+/// An ordered streaming writer for per-item sweep rows.
+///
+/// Work items complete in scheduler order, but the file must be
+/// byte-identical across runs and thread counts (the property every fig11
+/// artifact upholds): each item submits its row chunk under its *item
+/// index*, and the sink flushes chunks to the writer in index order,
+/// buffering only the out-of-order window. Memory therefore stays
+/// proportional to scheduler skew, not to the sweep size — this is what
+/// lets paper-scale `--realize --full` sweeps keep their per-instance
+/// detail without holding every report in memory.
+pub struct ItemSink {
+    format: ItemRowFormat,
+    inner: Mutex<SinkState>,
+}
+
+impl ItemSink {
+    /// Creates a sink over `out`, writing the CSV header up front (CSV
+    /// format only).
+    pub fn new(format: ItemRowFormat, mut out: Box<dyn Write + Send>) -> io::Result<Self> {
+        if format == ItemRowFormat::Csv {
+            writeln!(out, "{ITEMS_CSV_HEADER}")?;
+        }
+        Ok(ItemSink {
+            format,
+            inner: Mutex::new(SinkState {
+                next: 0,
+                pending: BTreeMap::new(),
+                out,
+            }),
+        })
+    }
+
+    /// The sink's row format.
+    pub fn format(&self) -> ItemRowFormat {
+        self.format
+    }
+
+    /// Submits the rows of item `index`; flushes every chunk that is now
+    /// contiguous with the already-written prefix.
+    pub fn submit(&self, index: usize, chunk: String) -> io::Result<()> {
+        let mut state = self.inner.lock().expect("item sink poisoned");
+        state.pending.insert(index, chunk);
+        loop {
+            let next = state.next;
+            let Some(chunk) = state.pending.remove(&next) else {
+                break;
+            };
+            state.out.write_all(chunk.as_bytes())?;
+            state.next += 1;
+        }
+        state.out.flush()
+    }
+
+    /// Flushes the writer; fails if chunks are still missing (an item index
+    /// was never submitted).
+    pub fn finish(self) -> io::Result<()> {
+        let mut state = self.inner.into_inner().expect("item sink poisoned");
+        if let Some((&index, _)) = state.pending.iter().next() {
+            return Err(io::Error::other(format!(
+                "item sink finished with unflushed chunk {index} (next expected {})",
+                state.next
+            )));
+        }
+        state.out.flush()
+    }
+}
+
+/// Renders the per-item rows of one work item (every `(density, kind)` pair
+/// of one platform's reports) in the sink's format. Rows follow the
+/// configuration's density and kind order, so the streamed file is
+/// deterministic once the sink has ordered the items.
+pub fn item_rows(
+    format: ItemRowFormat,
+    config: &SweepConfig,
+    platform_index: usize,
+    reports: &[(usize, Option<MulticastReport>)],
+    out: &mut String,
+) {
+    for (di, report) in reports {
+        let Some(report) = report else { continue };
+        let density = config.densities[*di];
+        for &(kind, period) in &report.periods {
+            let stats = report.lp_stats_for(kind).unwrap_or_default();
+            let real = report.realization_for(kind);
+            match format {
+                ItemRowFormat::Csv => {
+                    let (sim, gap, violations) = match real {
+                        Some(r) => (
+                            csv_f64(r.simulated_throughput),
+                            csv_f64(r.realization_gap),
+                            r.one_port_violations.to_string(),
+                        ),
+                        None => (String::new(), String::new(), String::new()),
+                    };
+                    out.push_str(&format!(
+                        "{},{},{},{platform_index},{},{},{},{},{},{sim},{gap},{violations},{},{},{}
+",
+                        class_key(config.class),
+                        config.seed,
+                        config.paper_scale,
+                        csv_f64(density),
+                        report.nodes,
+                        report.targets,
+                        kind_key(kind),
+                        csv_f64(period),
+                        stats.lp_solves,
+                        stats.warm_hits,
+                        stats.warm_misses,
+                    ));
+                }
+                ItemRowFormat::Jsonl => {
+                    let realization = match real {
+                        Some(r) => format!(
+                            "{{\"simulated_throughput\": {}, \"realization_gap\": {}, \
+                             \"one_port_violations\": {}}}",
+                            json_f64(r.simulated_throughput),
+                            json_f64(r.realization_gap),
+                            r.one_port_violations
+                        ),
+                        None => "null".to_string(),
+                    };
+                    out.push_str(&format!(
+                        "{{\"class\": \"{}\", \"seed\": {}, \"paper_scale\": {}, \
+                         \"platform\": {platform_index}, \"density\": {}, \"nodes\": {}, \
+                         \"targets\": {}, \"kind\": \"{}\", \"period\": {}, \
+                         \"lp_solves\": {}, \"warm_hits\": {}, \"warm_misses\": {}, \
+                         \"realization\": {realization}}}
+",
+                        class_key(config.class),
+                        config.seed,
+                        config.paper_scale,
+                        json_f64(density),
+                        report.nodes,
+                        report.targets,
+                        kind_key(kind),
+                        json_f64(period),
+                        stats.lp_solves,
+                        stats.warm_hits,
+                        stats.warm_misses,
+                    ));
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,12 +8,15 @@
 //! The library part contains the sweep machinery; the `src/bin` binaries
 //! print the tables documented in `EXPERIMENTS.md`.
 
+pub mod drift;
 pub mod emit;
 pub mod sweep;
 pub mod table;
 
-pub use emit::{batch_to_csv, batch_to_json, sweep_to_csv, sweep_to_json};
+pub use drift::{drift_to_json, run_drift, DriftConfig, DriftResult};
+pub use emit::{batch_to_csv, batch_to_json, sweep_to_csv, sweep_to_json, ItemRowFormat, ItemSink};
 pub use sweep::{
-    run_batch, run_sweep, BatchConfig, BatchMeta, BatchResult, SweepConfig, SweepPoint, SweepResult,
+    run_batch, run_batch_streamed, run_sweep, BatchConfig, BatchMeta, BatchResult, SweepConfig,
+    SweepPoint, SweepResult,
 };
 pub use table::{format_period_table, format_ratio_table};

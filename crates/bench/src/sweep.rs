@@ -610,6 +610,16 @@ pub struct BatchResult {
 /// would leave cores idle at the tail of each sweep, while the flat pool
 /// keeps the expensive LP-based heuristics busy until the very last item.
 pub fn run_batch(config: &BatchConfig) -> BatchResult {
+    run_batch_streamed(config, &[])
+}
+
+/// [`run_batch`] with streaming per-item sinks: as each work item finishes,
+/// its per-`(instance, kind)` rows are rendered and handed to every sink
+/// ([`crate::emit::ItemSink`]), which flushes them to disk in item order —
+/// paper-scale `--realize --full` sweeps keep their full per-instance
+/// detail on disk instead of in memory, and the streamed files stay
+/// byte-identical across runs and thread counts.
+pub fn run_batch_streamed(config: &BatchConfig, sinks: &[&crate::emit::ItemSink]) -> BatchResult {
     // One SweepConfig + topology set per (class, seed) cell.
     let cells: Vec<(SweepConfig, Vec<GeneratedTopology>)> = config
         .classes
@@ -622,11 +632,11 @@ pub fn run_batch(config: &BatchConfig) -> BatchResult {
         })
         .collect();
 
-    // Flattened work items: (cell, platform).
-    let mut work: Vec<(usize, usize)> = Vec::new();
+    // Flattened work items: (item index, cell, platform).
+    let mut work: Vec<(usize, usize, usize)> = Vec::new();
     for (ci, (_, topologies)) in cells.iter().enumerate() {
         for pi in 0..topologies.len() {
-            work.push((ci, pi));
+            work.push((work.len(), ci, pi));
         }
     }
 
@@ -635,7 +645,7 @@ pub fn run_batch(config: &BatchConfig) -> BatchResult {
     type ItemReports = Vec<(usize, Option<MulticastReport>)>;
     let items: Vec<(usize, ItemReports, ItemStats)> = work
         .into_par_iter()
-        .map(|(ci, pi)| {
+        .map(|(item, ci, pi)| {
             let (sweep_config, topologies) = &cells[ci];
             let label = config.progress.then(|| {
                 format!(
@@ -645,6 +655,12 @@ pub fn run_batch(config: &BatchConfig) -> BatchResult {
             });
             let (reports, stats) =
                 collect_platform_reports(&topologies[pi], sweep_config, pi, label.as_deref());
+            for sink in sinks {
+                let mut chunk = String::new();
+                crate::emit::item_rows(sink.format(), sweep_config, pi, &reports, &mut chunk);
+                sink.submit(item, chunk)
+                    .unwrap_or_else(|e| panic!("writing streamed item rows: {e}"));
+            }
             if config.progress {
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 eprintln!(

@@ -79,7 +79,7 @@ pub struct HeuristicResult {
 }
 
 impl HeuristicResult {
-    fn new(name: &str, period: f64) -> Self {
+    pub(crate) fn new(name: &str, period: f64) -> Self {
         HeuristicResult {
             name: name.to_string(),
             period,
@@ -101,7 +101,7 @@ impl HeuristicResult {
 /// The broadcast-commodity target list of the masked `Broadcast-EB`
 /// templates (every non-source node, in platform order): the row layout of
 /// the flows the greedy heuristics win with.
-fn broadcast_commodities(instance: &MulticastInstance) -> Vec<NodeId> {
+pub(crate) fn broadcast_commodities(instance: &MulticastInstance) -> Vec<NodeId> {
     instance
         .platform
         .nodes()
@@ -109,22 +109,31 @@ fn broadcast_commodities(instance: &MulticastInstance) -> Vec<NodeId> {
         .collect()
 }
 
-/// LP accounting of one masked-heuristic run.
+/// LP accounting of one masked-heuristic run. The pivot/refactorization
+/// sums mirror the per-solve [`pm_lp::SolveStats`] so a long-lived
+/// [`crate::session::Session`] can aggregate structured solver statistics
+/// without scraping the `PM_LP_STATS=1` stderr lines.
 #[derive(Debug, Clone, Copy, Default)]
-struct LpCounters {
-    solves: usize,
-    hits: usize,
-    misses: usize,
+pub(crate) struct LpCounters {
+    pub(crate) solves: usize,
+    pub(crate) hits: usize,
+    pub(crate) misses: usize,
+    pub(crate) phase1_pivots: u64,
+    pub(crate) phase2_pivots: u64,
+    pub(crate) refactorizations: u64,
 }
 
 impl LpCounters {
-    fn note(&mut self, warm: WarmStatus) {
+    fn note(&mut self, stats: &crate::masked::MaskedStats) {
         self.solves += 1;
-        if warm == WarmStatus::Hit {
+        if stats.warm == WarmStatus::Hit {
             self.hits += 1;
         } else {
             self.misses += 1;
         }
+        self.phase1_pivots += stats.solve.phase1_pivots as u64;
+        self.phase2_pivots += stats.solve.phase2_pivots as u64;
+        self.refactorizations += stats.solve.refactorizations as u64;
     }
 
     /// An LP solve that ended in a solver error (counted as a cold solve).
@@ -138,6 +147,22 @@ impl LpCounters {
         result.warm_hits = self.hits;
         result.warm_misses = self.misses;
     }
+}
+
+/// The outcome of a greedy run driven on caller-owned masked templates (the
+/// [`crate::session::Session`] fast path): the plain [`HeuristicResult`]
+/// plus the warm-start seeds and counters the session carries across
+/// solves.
+#[derive(Debug)]
+pub(crate) struct GreedyRun {
+    pub(crate) result: HeuristicResult,
+    /// The basis of the winning solve on the primary template (`None` when
+    /// the heuristic never completed an LP solve).
+    pub(crate) final_basis: Option<pm_lp::Basis>,
+    /// `AUGMENTED MULTICAST` only: the basis of the `Multicast-LB` scoring
+    /// solve on the secondary template.
+    pub(crate) aux_basis: Option<pm_lp::Basis>,
+    pub(crate) counters: LpCounters,
 }
 
 /// Options of [`ThroughputHeuristic::run_with`].
@@ -224,7 +249,7 @@ impl CandidateBases {
 /// account.
 trait CandidateOutcome: Send {
     fn period(&self) -> f64;
-    fn warm(&self) -> WarmStatus;
+    fn stats(&self) -> &crate::masked::MaskedStats;
     fn basis(&self) -> &pm_lp::Basis;
 }
 
@@ -232,8 +257,8 @@ impl CandidateOutcome for MaskedFlow {
     fn period(&self) -> f64 {
         self.flow.period
     }
-    fn warm(&self) -> WarmStatus {
-        self.stats.warm
+    fn stats(&self) -> &crate::masked::MaskedStats {
+        &self.stats
     }
     fn basis(&self) -> &pm_lp::Basis {
         &self.basis
@@ -244,8 +269,8 @@ impl CandidateOutcome for MaskedMultiSource {
     fn period(&self) -> f64 {
         self.solution.period
     }
-    fn warm(&self) -> WarmStatus {
-        self.stats.warm
+    fn stats(&self) -> &crate::masked::MaskedStats {
+        &self.stats
     }
     fn basis(&self) -> &pm_lp::Basis {
         &self.basis
@@ -285,7 +310,7 @@ fn first_improving<P: CandidateOutcome>(
         for (&(_, v), outcome) in chunk.iter().zip(outcomes) {
             match outcome {
                 Ok(out) => {
-                    counters.note(out.warm());
+                    counters.note(out.stats());
                     bases.remember(v, out.basis());
                     if found.is_none() && out.period() <= best + 1e-9 {
                         found = Some((v, Some(out)));
@@ -315,27 +340,29 @@ fn first_improving<P: CandidateOutcome>(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ReducedBroadcast;
 
-impl ThroughputHeuristic for ReducedBroadcast {
-    fn name(&self) -> &'static str {
-        "Red. BC"
-    }
-
-    fn run_with(
+impl ReducedBroadcast {
+    /// The greedy loop on a caller-owned `Broadcast-EB` template, restricted
+    /// to the active nodes of `base_mask` and warm-started from `hint` — the
+    /// [`crate::session::Session`] entry point ([`ThroughputHeuristic::run_with`]
+    /// wraps it with a freshly built template and a full mask).
+    pub(crate) fn run_on(
         &self,
-        instance: &MulticastInstance,
+        template: &MaskedFlowLp,
+        base_mask: &NodeMask,
+        hint: Option<&pm_lp::Basis>,
         options: RunOptions,
-    ) -> Result<HeuristicResult, FormulationError> {
+    ) -> Result<GreedyRun, FormulationError> {
+        let instance = template.instance();
         let platform = &instance.platform;
-        let template = MaskedFlowLp::broadcast_eb(instance);
         let mut counters = LpCounters::default();
-        let mut mask = NodeMask::full(platform.node_count());
+        let mut mask = base_mask.clone();
 
-        let initial = match template.solve(&mask, None) {
+        let initial = match template.solve(&mask, hint) {
             Ok(out) => {
-                counters.note(out.stats.warm);
+                counters.note(&out.stats);
                 Some(out)
             }
-            // Some node is unreachable even on the full platform: the
+            // Some node is unreachable even on the base platform: the
             // broadcast value is +∞ and no removal can fix it.
             Err(FormulationError::Unreachable(_)) => None,
             Err(e) => {
@@ -349,7 +376,12 @@ impl ThroughputHeuristic for ReducedBroadcast {
             let mut result = HeuristicResult::new(self.name(), f64::INFINITY);
             result.selected_nodes = mask.to_nodes();
             counters.write_to(&mut result);
-            return Ok(result);
+            return Ok(GreedyRun {
+                result,
+                final_basis: None,
+                aux_basis: None,
+                counters,
+            });
         };
         let mut best = current.flow.period;
         let mut bases = CandidateBases::new(platform.node_count());
@@ -393,7 +425,29 @@ impl ThroughputHeuristic for ReducedBroadcast {
                 best,
             );
         }
-        Ok(result)
+        Ok(GreedyRun {
+            result,
+            final_basis: Some(current.basis),
+            aux_basis: None,
+            counters,
+        })
+    }
+}
+
+impl ThroughputHeuristic for ReducedBroadcast {
+    fn name(&self) -> &'static str {
+        "Red. BC"
+    }
+
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
+        let template = MaskedFlowLp::broadcast_eb(instance);
+        let mask = NodeMask::full(instance.platform.node_count());
+        self.run_on(&template, &mask, None, options)
+            .map(|r| r.result)
     }
 }
 
@@ -404,18 +458,22 @@ impl ThroughputHeuristic for ReducedBroadcast {
 #[derive(Debug, Clone, Copy, Default)]
 pub struct AugmentedMulticast;
 
-impl ThroughputHeuristic for AugmentedMulticast {
-    fn name(&self) -> &'static str {
-        "Augm. MC"
-    }
-
-    fn run_with(
+impl AugmentedMulticast {
+    /// The greedy loop on caller-owned templates: `eb_template` drives the
+    /// augmented-broadcast solves, `lb_template` the one-off `Multicast-LB`
+    /// scoring solve; candidates and the scoring solve are restricted to
+    /// the active nodes of `base_mask`.
+    pub(crate) fn run_on(
         &self,
-        instance: &MulticastInstance,
+        eb_template: &MaskedFlowLp,
+        lb_template: &MaskedFlowLp,
+        base_mask: &NodeMask,
+        eb_hint: Option<&pm_lp::Basis>,
+        lb_hint: Option<&pm_lp::Basis>,
         options: RunOptions,
-    ) -> Result<HeuristicResult, FormulationError> {
+    ) -> Result<GreedyRun, FormulationError> {
+        let instance = eb_template.instance();
         let platform = &instance.platform;
-        let template = MaskedFlowLp::broadcast_eb(instance);
         let mut counters = LpCounters::default();
         let mut mask = NodeMask::from_nodes(
             platform.node_count(),
@@ -423,9 +481,9 @@ impl ThroughputHeuristic for AugmentedMulticast {
         );
         // The restricted platform is usually disconnected at first: the
         // reachability pre-check reports that without solving any LP.
-        let mut current = match template.solve(&mask, None) {
+        let mut current = match eb_template.solve(&mask, eb_hint) {
             Ok(out) => {
-                counters.note(out.stats.warm);
+                counters.note(&out.stats);
                 Some(out)
             }
             Err(FormulationError::Unreachable(_)) => None,
@@ -441,13 +499,12 @@ impl ThroughputHeuristic for AugmentedMulticast {
             .map_or(f64::INFINITY, |out| out.flow.period);
 
         // Candidate scores come from the Multicast-LB solution on the whole
-        // platform and are computed once (through the masked template so the
-        // solve is accounted here, not in the ambient cache scope).
-        let lb = MaskedFlowLp::multicast_lb(instance)
-            .solve(&NodeMask::full(platform.node_count()), None)?;
-        counters.note(lb.stats.warm);
-        let mut candidates: Vec<(f64, NodeId)> = platform
-            .nodes()
+        // active platform and are computed once (through the masked template
+        // so the solve is accounted here, not in the ambient cache scope).
+        let lb = lb_template.solve(base_mask, lb_hint)?;
+        counters.note(&lb.stats);
+        let mut candidates: Vec<(f64, NodeId)> = base_mask
+            .iter()
             .filter(|&v| v != instance.source && !instance.is_target(v))
             .map(|v| (lb.flow.incoming_flow_score(platform, v), v))
             .collect();
@@ -464,7 +521,7 @@ impl ThroughputHeuristic for AugmentedMulticast {
                 .collect();
             let accepted = first_improving(
                 &round,
-                |v, hint| template.solve(&mask.with(v), hint),
+                |v, hint| eb_template.solve(&mask.with(v), hint),
                 current.as_ref().map(|out| &out.basis),
                 &mut bases,
                 best,
@@ -490,7 +547,30 @@ impl ThroughputHeuristic for AugmentedMulticast {
                 );
             }
         }
-        Ok(result)
+        Ok(GreedyRun {
+            result,
+            final_basis: current.map(|out| out.basis),
+            aux_basis: Some(lb.basis),
+            counters,
+        })
+    }
+}
+
+impl ThroughputHeuristic for AugmentedMulticast {
+    fn name(&self) -> &'static str {
+        "Augm. MC"
+    }
+
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
+        let eb_template = MaskedFlowLp::broadcast_eb(instance);
+        let lb_template = MaskedFlowLp::multicast_lb(instance);
+        let mask = NodeMask::full(instance.platform.node_count());
+        self.run_on(&eb_template, &lb_template, &mask, None, None, options)
+            .map(|r| r.result)
     }
 }
 
@@ -504,20 +584,19 @@ pub struct AugmentedSources {
     pub max_secondary_sources: usize,
 }
 
-impl ThroughputHeuristic for AugmentedSources {
-    fn name(&self) -> &'static str {
-        "Multisource MC"
-    }
-
-    fn run_with(
+impl AugmentedSources {
+    /// The greedy source-promotion loop on a caller-owned multi-source
+    /// template, restricted to the active nodes of `base_mask` and
+    /// warm-started from `hint`.
+    pub(crate) fn run_on(
         &self,
-        instance: &MulticastInstance,
+        template: &MaskedMultiSourceUb,
+        base_mask: &NodeMask,
+        hint: Option<&pm_lp::Basis>,
         options: RunOptions,
-    ) -> Result<HeuristicResult, FormulationError> {
-        let platform = &instance.platform;
-        let n = platform.node_count();
-        let template = MaskedMultiSourceUb::new(instance);
-        let full = NodeMask::full(n);
+    ) -> Result<GreedyRun, FormulationError> {
+        let instance = template.instance();
+        let n = instance.platform.node_count();
         let mut counters = LpCounters::default();
         let mut sources = vec![instance.source];
         let mut is_source = vec![false; n];
@@ -527,8 +606,8 @@ impl ThroughputHeuristic for AugmentedSources {
         // (periods and incoming scores drive the greedy); when the steady
         // state is captured, one warm re-solve of the winning configuration
         // extracts them at the end.
-        let initial = template.solve_opts(&full, &sources, None, false)?;
-        counters.note(initial.stats.warm);
+        let initial = template.solve_opts(base_mask, &sources, hint, false)?;
+        counters.note(&initial.stats);
         let mut best = initial.solution.period;
         let mut current = initial;
         let mut bases = CandidateBases::new(n);
@@ -539,9 +618,9 @@ impl ThroughputHeuristic for AugmentedSources {
             if self.max_secondary_sources > 0 && sources.len() > self.max_secondary_sources {
                 break;
             }
-            // Every node is already a source: nothing left to promote.
-            let mut candidates: Vec<(f64, NodeId)> = platform
-                .nodes()
+            // Every active node is already a source: nothing to promote.
+            let mut candidates: Vec<(f64, NodeId)> = base_mask
+                .iter()
                 .filter(|v| !is_source[v.index()])
                 .map(|v| (current.solution.incoming_score[v.index()], v))
                 .collect();
@@ -554,7 +633,7 @@ impl ThroughputHeuristic for AugmentedSources {
                 |v, hint| {
                     let mut extended = sources.clone();
                     extended.push(v);
-                    template.solve_opts(&full, &extended, hint, false)
+                    template.solve_opts(base_mask, &extended, hint, false)
                 },
                 Some(&current.basis),
                 &mut bases,
@@ -573,15 +652,17 @@ impl ThroughputHeuristic for AugmentedSources {
             current = out;
         }
         let mut result = HeuristicResult::new(self.name(), best);
+        let mut final_basis = current.basis.clone();
         if options.capture_steady_state {
             // One extra solve of the winning configuration, warm-started
             // from its own optimal basis, extracts the flow matrices the
             // candidate loop skipped. A failure here only loses the capture
             // (steady_state stays `None`): realization is a bonus and must
             // never poison the period measurement itself.
-            match template.solve_opts(&full, &sources, Some(&current.basis), true) {
+            match template.solve_opts(base_mask, &sources, Some(&current.basis), true) {
                 Ok(refreshed) => {
-                    counters.note(refreshed.stats.warm);
+                    counters.note(&refreshed.stats);
+                    final_basis = refreshed.basis;
                     result.steady_state = Some(SteadyStateSolution::MultiSource {
                         period: best,
                         sources: sources.clone(),
@@ -595,7 +676,29 @@ impl ThroughputHeuristic for AugmentedSources {
         }
         result.selected_nodes = sources;
         counters.write_to(&mut result);
-        Ok(result)
+        Ok(GreedyRun {
+            result,
+            final_basis: Some(final_basis),
+            aux_basis: None,
+            counters,
+        })
+    }
+}
+
+impl ThroughputHeuristic for AugmentedSources {
+    fn name(&self) -> &'static str {
+        "Multisource MC"
+    }
+
+    fn run_with(
+        &self,
+        instance: &MulticastInstance,
+        options: RunOptions,
+    ) -> Result<HeuristicResult, FormulationError> {
+        let template = MaskedMultiSourceUb::new(instance);
+        let mask = NodeMask::full(instance.platform.node_count());
+        self.run_on(&template, &mask, None, options)
+            .map(|r| r.result)
     }
 }
 

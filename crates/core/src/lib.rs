@@ -20,7 +20,11 @@
 //! * [`realize`] — the constructive half: decompose LP steady-state flows
 //!   into weighted multicast trees, re-pack them, color them into a periodic
 //!   schedule and certify the claimed period in the one-port simulator,
-//! * [`report`] — per-instance comparison reports mirroring Figure 11.
+//! * [`session`] — the stateful [`Session`](session::Session) API for
+//!   long-lived, drifting platforms: incremental solves after edge-cost and
+//!   node-churn deltas, re-realization with transition costs,
+//! * [`report`] — per-instance comparison reports mirroring Figure 11
+//!   (a thin consumer of a [`Session`](session::Session)).
 //!
 //! ```
 //! use pm_core::formulations::{MulticastLb, MulticastUb};
@@ -40,6 +44,7 @@ pub mod heuristics;
 pub mod masked;
 pub mod realize;
 pub mod report;
+pub mod session;
 
 pub use exact::{pack_trees, ExactSolution, ExactTreePacking};
 pub use formulations::{
@@ -52,3 +57,6 @@ pub use heuristics::{
 pub use masked::{MaskedFlow, MaskedFlowLp, MaskedMultiSource, MaskedMultiSourceUb};
 pub use realize::{Realization, RealizeError, SteadyStateSolution};
 pub use report::{HeuristicKind, KindLpStats, MulticastReport};
+pub use session::{
+    ReRealization, Session, SessionOpStats, SessionSolve, SessionStats, TransitionCost,
+};

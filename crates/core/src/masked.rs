@@ -28,22 +28,35 @@
 //! The rebuild path stays available as the differential oracle; the
 //! `masked_vs_rebuilt` integration test checks the two agree on status and
 //! period for all four formulations on random platforms.
+//!
+//! Templates are *owned* values (they clone the instance they are built
+//! from), so a long-lived [`crate::session::Session`] can hold them next to
+//! its authoritative platform without self-referential lifetimes. Edge-cost
+//! drift is an in-place delta: [`MaskedFlowLp::set_edge_cost`] /
+//! [`MaskedMultiSourceUb::set_edge_cost`] rewrite the occupation-row
+//! coefficients through [`LpProblem::set_coeff`] — the constraint pattern
+//! (and with it every cached warm-start basis) survives the edit.
 
 use crate::formulations::{FlowSolution, FormulationError, MultiSourceSolution};
 use pm_lp::{
-    Basis, BoundsOverlay, LpError, LpProblem, Objective, Relation, SparseBuilder, VarId, WarmStatus,
+    Basis, BoundsOverlay, LpError, LpProblem, Objective, Relation, SolveStats, SparseBuilder,
+    VarId, WarmStatus,
 };
 use pm_platform::graph::{EdgeId, NodeId};
 use pm_platform::instances::MulticastInstance;
 use pm_platform::mask::NodeMask;
 
-/// Accounting of one masked solve (mirrors [`pm_lp::SolveStats`] at the
-/// granularity the heuristics report).
+/// Accounting of one masked solve.
 #[derive(Debug, Clone, Copy)]
 pub struct MaskedStats {
     /// Warm-start outcome of the underlying LP solve. Solves skipped by the
     /// reachability pre-check report [`WarmStatus::None`].
     pub warm: WarmStatus,
+    /// The full per-solve diagnostics of the underlying LP solve (pivot
+    /// counts, refactorizations, wall time) — the structured counterpart of
+    /// the `PM_LP_STATS=1` stderr lines, aggregated by
+    /// [`crate::session::SessionStats`].
+    pub solve: SolveStats,
 }
 
 /// A successful masked solve of a single-source formulation: the flow
@@ -82,8 +95,8 @@ enum FlowKind {
 /// evaluations share one template (and one hint basis) and each build only a
 /// per-solve [`BoundsOverlay`].
 #[derive(Debug)]
-pub struct MaskedFlowLp<'a> {
-    instance: &'a MulticastInstance,
+pub struct MaskedFlowLp {
+    instance: MulticastInstance,
     kind: FlowKind,
     problem: LpProblem,
     /// `x[i][e]`: fraction of commodity `i` crossing edge `e`.
@@ -98,13 +111,19 @@ pub struct MaskedFlowLp<'a> {
     /// i.e. for the multicast templates). Fixed to zero while the commodity
     /// is active; released to absorb the demand when it deactivates.
     commodity_skips: Vec<Option<(VarId, VarId)>>,
+    /// Per node: the `(in-port, out-port)` occupation row indices (absent
+    /// for nodes without edges on that side) — the rows an edge-cost edit
+    /// must rewrite.
+    port_rows: Vec<(Option<usize>, Option<usize>)>,
+    /// Per edge: its own occupation row index.
+    edge_rows: Vec<usize>,
 }
 
-impl<'a> MaskedFlowLp<'a> {
+impl MaskedFlowLp {
     /// Builds the masked `Broadcast-EB` template: targets are every
     /// non-source node of the platform; deactivating a node also
     /// deactivates its commodity.
-    pub fn broadcast_eb(instance: &'a MulticastInstance) -> Self {
+    pub fn broadcast_eb(instance: &MulticastInstance) -> Self {
         let targets: Vec<NodeId> = instance
             .platform
             .nodes()
@@ -116,17 +135,17 @@ impl<'a> MaskedFlowLp<'a> {
     /// Builds the masked `Multicast-LB` template (max accounting, the lower
     /// bound). Every instance target must stay active in the masks it is
     /// solved under.
-    pub fn multicast_lb(instance: &'a MulticastInstance) -> Self {
+    pub fn multicast_lb(instance: &MulticastInstance) -> Self {
         Self::build(instance, FlowKind::MulticastLb, instance.targets.clone())
     }
 
     /// Builds the masked `Multicast-UB` template (scatter accounting, the
     /// upper bound). Every instance target must stay active.
-    pub fn multicast_ub(instance: &'a MulticastInstance) -> Self {
+    pub fn multicast_ub(instance: &MulticastInstance) -> Self {
         Self::build(instance, FlowKind::MulticastUb, instance.targets.clone())
     }
 
-    fn build(instance: &'a MulticastInstance, kind: FlowKind, targets: Vec<NodeId>) -> Self {
+    fn build(instance: &MulticastInstance, kind: FlowKind, targets: Vec<NodeId>) -> Self {
         let platform = &instance.platform;
         let m = platform.edge_count();
         let t_count = targets.len();
@@ -227,9 +246,16 @@ impl<'a> MaskedFlowLp<'a> {
                 None => x.iter().map(|row| (row[e], cost)).collect(),
             }
         };
-        // (5)(8)/(6)(9) port occupations and (4)(7) edge occupations.
+        // (5)(8)/(6)(9) port occupations and (4)(7) edge occupations. The
+        // row indices are recorded so edge-cost drift can rewrite exactly
+        // the coefficients that carry a cost (see `set_edge_cost`).
+        let mut port_rows: Vec<(Option<usize>, Option<usize>)> =
+            vec![(None, None); platform.node_count()];
         for node in platform.nodes() {
-            for edges in [platform.in_edges(node), platform.out_edges(node)] {
+            for (incoming, edges) in [
+                (true, platform.in_edges(node)),
+                (false, platform.out_edges(node)),
+            ] {
                 if edges.is_empty() {
                     continue;
                 }
@@ -238,18 +264,25 @@ impl<'a> MaskedFlowLp<'a> {
                     terms.extend(load_terms(e.index()));
                 }
                 terms.push((t_star, -1.0));
-                lp.add_constraint(terms, Relation::Le, 0.0);
+                let row = lp.add_constraint(terms, Relation::Le, 0.0);
+                let slot = &mut port_rows[node.index()];
+                if incoming {
+                    slot.0 = Some(row.0);
+                } else {
+                    slot.1 = Some(row.0);
+                }
             }
         }
+        let mut edge_rows = Vec::with_capacity(m);
         for e in 0..m {
             let mut terms = load_terms(e);
             terms.push((t_star, -1.0));
-            lp.add_constraint(terms, Relation::Le, 0.0);
+            edge_rows.push(lp.add_constraint(terms, Relation::Le, 0.0).0);
         }
 
         let problem = lp.build().expect("masked flow template is a valid LP");
         MaskedFlowLp {
-            instance,
+            instance: instance.clone(),
             kind,
             problem,
             x,
@@ -257,6 +290,50 @@ impl<'a> MaskedFlowLp<'a> {
             t_star,
             commodity_targets: targets,
             commodity_skips,
+            port_rows,
+            edge_rows,
+        }
+    }
+
+    /// The instance the template was built from (its platform carries the
+    /// template's *current* edge costs — [`MaskedFlowLp::set_edge_cost`]
+    /// keeps the two in sync).
+    pub fn instance(&self) -> &MulticastInstance {
+        &self.instance
+    }
+
+    /// Updates the cost of edge `e` in place: the template's platform copy
+    /// and every occupation-row coefficient that carries the cost are
+    /// rewritten through [`LpProblem::set_coeff`]. The constraint pattern —
+    /// and with it the warm-start signature and every previously returned
+    /// [`Basis`] — is unchanged, so the next [`MaskedFlowLp::solve`] repairs
+    /// the old basis in a few pivots instead of paying a rebuild + cold
+    /// solve.
+    ///
+    /// # Panics
+    /// Panics if `cost` is not finite and strictly positive.
+    pub fn set_edge_cost(&mut self, e: EdgeId, cost: f64) {
+        self.instance
+            .platform
+            .set_cost(e, cost)
+            .expect("edge-cost drift must keep costs finite and positive");
+        let edge = *self.instance.platform.edge(e);
+        let rows = [
+            self.port_rows[edge.dst.index()].0,
+            self.port_rows[edge.src.index()].1,
+            Some(self.edge_rows[e.index()]),
+        ];
+        for row in rows.into_iter().flatten() {
+            match &self.n {
+                // Max accounting: the cost multiplies the edge-load variable.
+                Some(n) => self.problem.set_coeff(row, n[e.index()], cost),
+                // Scatter accounting: one term per commodity.
+                None => {
+                    for x_row in &self.x {
+                        self.problem.set_coeff(row, x_row[e.index()], cost);
+                    }
+                }
+            }
         }
     }
 
@@ -374,6 +451,7 @@ impl<'a> MaskedFlowLp<'a> {
             basis: out.basis,
             stats: MaskedStats {
                 warm: out.stats.warm,
+                solve: out.stats,
             },
         })
     }
@@ -407,8 +485,8 @@ pub struct MaskedMultiSource {
 /// decomposition obstruction) never load-decreasing. The `masked_vs_rebuilt`
 /// differential test checks this equivalence on random platforms.
 #[derive(Debug)]
-pub struct MaskedMultiSourceUb<'a> {
-    instance: &'a MulticastInstance,
+pub struct MaskedMultiSourceUb {
+    instance: MulticastInstance,
     problem: LpProblem,
     /// `x[d][e]`: flow of destination `d`'s message on edge `e` (destination
     /// index over `dest_nodes`).
@@ -422,13 +500,17 @@ pub struct MaskedMultiSourceUb<'a> {
     /// Per destination: the skip variables of the injection-total and
     /// demand rows (fixed to zero while the destination is active).
     dest_skips: Vec<(VarId, VarId)>,
+    /// Per node: the `(in-port, out-port)` occupation row indices.
+    port_rows: Vec<(Option<usize>, Option<usize>)>,
+    /// Per edge: its own occupation row index.
+    edge_rows: Vec<usize>,
 }
 
-impl<'a> MaskedMultiSourceUb<'a> {
+impl MaskedMultiSourceUb {
     /// Builds the template. Every non-source node is a potential destination
     /// and a potential (secondary) source; the actual selection is made per
     /// solve.
-    pub fn new(instance: &'a MulticastInstance) -> Self {
+    pub fn new(instance: &MulticastInstance) -> Self {
         let platform = &instance.platform;
         let m = platform.edge_count();
         let nn = platform.node_count();
@@ -502,13 +584,18 @@ impl<'a> MaskedMultiSourceUb<'a> {
                 lp.add_constraint(terms, Relation::Eq, 0.0);
             }
         }
-        // (10) scatter accounting + port/edge occupations against T*.
+        // (10) scatter accounting + port/edge occupations against T*, with
+        // the row indices recorded for in-place edge-cost edits.
         let load_terms = |e: usize| -> Vec<(VarId, f64)> {
             let cost = platform.cost(EdgeId(e as u32));
             x.iter().map(|row| (row[e], cost)).collect()
         };
+        let mut port_rows: Vec<(Option<usize>, Option<usize>)> = vec![(None, None); nn];
         for node in platform.nodes() {
-            for edges in [platform.in_edges(node), platform.out_edges(node)] {
+            for (incoming, edges) in [
+                (true, platform.in_edges(node)),
+                (false, platform.out_edges(node)),
+            ] {
                 if edges.is_empty() {
                     continue;
                 }
@@ -517,24 +604,63 @@ impl<'a> MaskedMultiSourceUb<'a> {
                     terms.extend(load_terms(e.index()));
                 }
                 terms.push((t_star, -1.0));
-                lp.add_constraint(terms, Relation::Le, 0.0);
+                let row = lp.add_constraint(terms, Relation::Le, 0.0);
+                let slot = &mut port_rows[node.index()];
+                if incoming {
+                    slot.0 = Some(row.0);
+                } else {
+                    slot.1 = Some(row.0);
+                }
             }
         }
+        let mut edge_rows = Vec::with_capacity(m);
         for e in 0..m {
             let mut terms = load_terms(e);
             terms.push((t_star, -1.0));
-            lp.add_constraint(terms, Relation::Le, 0.0);
+            edge_rows.push(lp.add_constraint(terms, Relation::Le, 0.0).0);
         }
 
         let problem = lp.build().expect("masked multi-source template is valid");
         MaskedMultiSourceUb {
-            instance,
+            instance: instance.clone(),
             problem,
             x,
             z,
             t_star,
             dest_nodes,
             dest_skips,
+            port_rows,
+            edge_rows,
+        }
+    }
+
+    /// The instance the template was built from (kept cost-synchronised by
+    /// [`MaskedMultiSourceUb::set_edge_cost`]).
+    pub fn instance(&self) -> &MulticastInstance {
+        &self.instance
+    }
+
+    /// In-place edge-cost update; see [`MaskedFlowLp::set_edge_cost`] — the
+    /// scatter accounting rewrites one coefficient per destination in each
+    /// of the three occupation rows the edge participates in.
+    ///
+    /// # Panics
+    /// Panics if `cost` is not finite and strictly positive.
+    pub fn set_edge_cost(&mut self, e: EdgeId, cost: f64) {
+        self.instance
+            .platform
+            .set_cost(e, cost)
+            .expect("edge-cost drift must keep costs finite and positive");
+        let edge = *self.instance.platform.edge(e);
+        let rows = [
+            self.port_rows[edge.dst.index()].0,
+            self.port_rows[edge.src.index()].1,
+            Some(self.edge_rows[e.index()]),
+        ];
+        for row in rows.into_iter().flatten() {
+            for x_row in &self.x {
+                self.problem.set_coeff(row, x_row[e.index()], cost);
+            }
         }
     }
 
@@ -751,6 +877,7 @@ impl<'a> MaskedMultiSourceUb<'a> {
             basis: out.basis,
             stats: MaskedStats {
                 warm: out.stats.warm,
+                solve: out.stats,
             },
         })
     }
@@ -877,6 +1004,57 @@ mod tests {
             .unwrap();
         approx(multi.solution.period, oracle.period);
         assert!(multi.solution.period < single.solution.period - 0.25);
+    }
+
+    #[test]
+    fn edge_cost_edits_match_a_fresh_template() {
+        // Drift a third of the edge costs: the edited template re-solved
+        // warm from the pre-drift basis must match a template built fresh
+        // on the drifted platform, for every formulation family.
+        let mut inst = figure1_instance();
+        let full = NodeMask::full(inst.platform.node_count());
+        let edits: Vec<(EdgeId, f64)> = inst
+            .platform
+            .edges()
+            .enumerate()
+            .filter(|(i, _)| i % 3 == 0)
+            .map(|(i, (e, edge))| (e, edge.cost * (1.0 + 0.1 * (1 + i % 5) as f64)))
+            .collect();
+
+        let mut eb = MaskedFlowLp::broadcast_eb(&inst);
+        let mut lb = MaskedFlowLp::multicast_lb(&inst);
+        let mut ms = MaskedMultiSourceUb::new(&inst);
+        let eb_base = eb.solve(&full, None).unwrap();
+        let lb_base = lb.solve(&full, None).unwrap();
+        let ms_base = ms.solve(&full, &[inst.source], None).unwrap();
+        for &(e, c) in &edits {
+            inst.platform.set_cost(e, c).unwrap();
+            eb.set_edge_cost(e, c);
+            lb.set_edge_cost(e, c);
+            ms.set_edge_cost(e, c);
+            assert_eq!(eb.instance().platform.cost(e), c);
+        }
+
+        let eb_warm = eb.solve(&full, Some(&eb_base.basis)).unwrap();
+        let eb_fresh = MaskedFlowLp::broadcast_eb(&inst)
+            .solve(&full, None)
+            .unwrap();
+        approx(eb_warm.flow.period, eb_fresh.flow.period);
+        assert!(eb_warm.flow.period > eb_base.flow.period - 1e-9);
+
+        let lb_warm = lb.solve(&full, Some(&lb_base.basis)).unwrap();
+        let lb_fresh = MaskedFlowLp::multicast_lb(&inst)
+            .solve(&full, None)
+            .unwrap();
+        approx(lb_warm.flow.period, lb_fresh.flow.period);
+
+        let ms_warm = ms
+            .solve(&full, &[inst.source], Some(&ms_base.basis))
+            .unwrap();
+        let ms_fresh = MaskedMultiSourceUb::new(&inst)
+            .solve(&full, &[inst.source], None)
+            .unwrap();
+        approx(ms_warm.solution.period, ms_fresh.solution.period);
     }
 
     #[test]

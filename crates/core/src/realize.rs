@@ -195,6 +195,25 @@ pub fn realize_with(
     solution: &SteadyStateSolution,
     config: SimulationConfig,
 ) -> Result<Realization, RealizeError> {
+    realize_with_pool(instance, solution, &[], config)
+}
+
+/// [`realize_with`] with a *seed tree pool*: trees realized earlier (e.g.
+/// the previous realization of a long-lived [`crate::session::Session`])
+/// join the candidate pool before the packing LP runs. On a drifting
+/// platform most of the previous combination usually stays packable, so the
+/// re-weight starts from a pool that already certifies (most of) the claim
+/// instead of re-discovering it; seeding can only extend the pool the
+/// packing LP chooses from, so the certified period is never worse than the
+/// unseeded one. Seeds must span the instance's targets (they are
+/// [`MulticastTree`]s of this instance); the caller filters out trees that
+/// use currently disabled nodes.
+pub fn realize_with_pool(
+    instance: &MulticastInstance,
+    solution: &SteadyStateSolution,
+    seed_trees: &[MulticastTree],
+    config: SimulationConfig,
+) -> Result<Realization, RealizeError> {
     let platform = &instance.platform;
     let lp_period = solution.period();
     if !(lp_period.is_finite() && lp_period > 0.0) {
@@ -220,8 +239,17 @@ pub fn realize_with(
     // 2. Candidate trees: peel the flows (two target orders lay down
     // different round skeletons), or take the explicit combination.
     let mut pool: Vec<MulticastTree> = Vec::new();
+    // Dedup by edge *set*: different peel orders (and seed trees from a
+    // previous realization) can list the same tree's edges in different
+    // orders, and duplicate columns would only bloat the packing LP.
+    let edge_key = |tree: &MulticastTree| {
+        let mut edges: Vec<u32> = tree.edges().iter().map(|e| e.0).collect();
+        edges.sort_unstable();
+        edges
+    };
     let add_tree = |pool: &mut Vec<MulticastTree>, tree: MulticastTree| {
-        if !pool.iter().any(|p| p.edges() == tree.edges()) {
+        let key = edge_key(&tree);
+        if !pool.iter().any(|p| edge_key(p) == key) {
             pool.push(tree);
         }
     };
@@ -244,6 +272,9 @@ pub fn realize_with(
             }
         }
         (None, _) => unreachable!("flow-shaped solutions always produce rows"),
+    }
+    for tree in seed_trees {
+        add_tree(&mut pool, tree.clone());
     }
     if pool.is_empty() {
         return Err(RealizeError::NotRealizable(
@@ -292,7 +323,8 @@ pub fn realize_with(
             let Ok(tree) = crate::heuristics::Mcph.build_tree_with_costs(instance, priced) else {
                 break;
             };
-            if pool.iter().any(|p| p.edges() == tree.edges()) {
+            let key = edge_key(&tree);
+            if pool.iter().any(|p| edge_key(p) == key) {
                 break;
             }
             pool.push(tree);

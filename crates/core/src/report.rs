@@ -5,7 +5,8 @@ use crate::heuristics::{
     AugmentedMulticast, AugmentedSources, BroadcastBaseline, HeuristicResult, LowerBoundReference,
     Mcph, ReducedBroadcast, RunOptions, ScatterBaseline, ThroughputHeuristic,
 };
-use crate::realize;
+use crate::realize::RealizeError;
+use crate::session::Session;
 use pm_platform::instances::MulticastInstance;
 use serde::{Deserialize, Serialize};
 
@@ -55,11 +56,23 @@ impl HeuristicKind {
     }
 
     /// Runs the corresponding heuristic (capturing the steady state).
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-shot shim kept for one release: construct a \
+                `pm_core::Session` and call `solve(kind)` so templates, \
+                bases and tree pools survive across solves"
+    )]
     pub fn run(self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
+        #[allow(deprecated)]
         self.run_with(instance, RunOptions::default())
     }
 
     /// Runs the corresponding heuristic with explicit options.
+    #[deprecated(
+        since = "0.1.0",
+        note = "one-shot shim kept for one release: construct a \
+                `pm_core::Session` and call `solve_with(kind, options)`"
+    )]
     pub fn run_with(
         self,
         instance: &MulticastInstance,
@@ -157,8 +170,26 @@ impl MulticastReport {
     }
 
     /// [`MulticastReport::collect`] with explicit options (realization).
+    ///
+    /// A thin convenience over [`MulticastReport::collect_from_session`]:
+    /// one throwaway [`Session`] is built for the instance. Callers holding
+    /// a long-lived session (drifting platforms) collect through it instead
+    /// and keep its warm bases and tree pools.
     pub fn collect_with(
         instance: &MulticastInstance,
+        kinds: &[HeuristicKind],
+        options: CollectOptions,
+    ) -> Result<Self, FormulationError> {
+        let mut session = Session::new(instance.clone());
+        Self::collect_from_session(&mut session, kinds, options)
+    }
+
+    /// Collects the report through a caller-owned [`Session`]: every kind is
+    /// one `session.solve_with` (and, under `options.realize`, one
+    /// `session.re_realize`), so consecutive kinds — and consecutive reports
+    /// on a drifting platform — share templates and warm-start bases.
+    pub fn collect_from_session(
+        session: &mut Session,
         kinds: &[HeuristicKind],
         options: CollectOptions,
     ) -> Result<Self, FormulationError> {
@@ -166,81 +197,64 @@ impl MulticastReport {
         let mut lp_stats = Vec::with_capacity(kinds.len());
         let mut realizations = Vec::new();
         for &kind in kinds {
-            let scoped_before = pm_lp::revised::scoped_cache_counts();
             // Steady-state capture clones the winning flow matrices, so it
             // is only requested when this report will realize them.
-            let run = kind.run_with(
-                instance,
+            let run = session.solve_with(
+                kind,
                 RunOptions {
                     capture_steady_state: options.realize,
                 },
             );
-            let (result, realization): (Option<HeuristicResult>, Option<KindRealization>) =
-                match run {
-                    Ok(res) => {
-                        let realization = if options.realize {
-                            res.steady_state
-                                .as_ref()
-                                .and_then(|solution| {
-                                    match realize::realize(instance, solution) {
-                                        Ok(real) => Some(real),
-                                        // Scheduling, packing or
-                                        // decomposition failures on a
-                                        // finite-period solution are
-                                        // pipeline bugs, not legitimately
-                                        // unrealizable solutions: make them
-                                        // visible (stderr only, so the
-                                        // artifacts stay deterministic).
-                                        Err(
-                                            e @ (realize::RealizeError::Schedule(_)
-                                            | realize::RealizeError::Packing(_)
-                                            | realize::RealizeError::Decomposition(_)),
-                                        ) => {
-                                            eprintln!(
-                                                "realize: {} pipeline failure on a {}-node \
-                                                 instance: {e}",
-                                                kind.label(),
-                                                instance.platform.node_count()
-                                            );
-                                            None
-                                        }
-                                        Err(_) => None,
-                                    }
-                                })
-                                .map(|real| KindRealization {
-                                    simulated_throughput: real.simulated.throughput,
-                                    realization_gap: real.realization_gap,
-                                    trees: real.tree_set.len(),
-                                    one_port_violations: real.simulated.one_port_violations as u64,
-                                })
-                        } else {
-                            None
-                        };
-                        (Some(res), realization)
+            let (period, mut stats) = match run {
+                Ok(solve) => (
+                    solve.result.period,
+                    KindLpStats {
+                        lp_solves: solve.stats.lp_solves,
+                        warm_hits: solve.stats.warm_hits,
+                        warm_misses: solve.stats.warm_misses,
+                    },
+                ),
+                Err(FormulationError::Unreachable(_)) => (f64::INFINITY, KindLpStats::default()),
+                Err(e) => return Err(e),
+            };
+            let realization = if options.realize && period.is_finite() {
+                match session.re_realize(kind) {
+                    Ok(re) => {
+                        // The packing LPs of the realization pipeline count
+                        // toward the kind that produced the solution.
+                        stats.add(KindLpStats {
+                            lp_solves: re.stats.lp_solves,
+                            warm_hits: re.stats.warm_hits,
+                            warm_misses: re.stats.warm_misses,
+                        });
+                        Some(KindRealization {
+                            simulated_throughput: re.realization.simulated.throughput,
+                            realization_gap: re.realization.realization_gap,
+                            trees: re.realization.tree_set.len(),
+                            one_port_violations: re.realization.simulated.one_port_violations
+                                as u64,
+                        })
                     }
-                    Err(FormulationError::Unreachable(_)) => (None, None),
-                    Err(e) => return Err(e),
-                };
-            // Masked-template solves are accounted in the result itself;
-            // LpProblem::solve calls (the baseline curves and the
-            // realization packing LPs) land in the ambient cache scope,
-            // whose delta attributes them to this kind.
-            let mut stats = KindLpStats::default();
-            if let (Some((h0, m0)), Some((h1, m1))) =
-                (scoped_before, pm_lp::revised::scoped_cache_counts())
-            {
-                stats.warm_hits += h1 - h0;
-                stats.warm_misses += m1 - m0;
-                stats.lp_solves += (h1 - h0) + (m1 - m0);
-            }
-            let period = match &result {
-                Some(res) => {
-                    stats.lp_solves += (res.warm_hits + res.warm_misses) as u64;
-                    stats.warm_hits += res.warm_hits as u64;
-                    stats.warm_misses += res.warm_misses as u64;
-                    res.period
+                    // Scheduling, packing or decomposition failures on a
+                    // finite-period solution are pipeline bugs, not
+                    // legitimately unrealizable solutions: make them visible
+                    // (stderr only, so the artifacts stay deterministic).
+                    Err(
+                        e @ (RealizeError::Schedule(_)
+                        | RealizeError::Packing(_)
+                        | RealizeError::Decomposition(_)),
+                    ) => {
+                        eprintln!(
+                            "realize: {} pipeline failure on a {}-node instance: {e}",
+                            kind.label(),
+                            session.instance().platform.node_count()
+                        );
+                        None
+                    }
+                    Err(_) => None,
                 }
-                None => f64::INFINITY,
+            } else {
+                None
             };
             periods.push((kind, period));
             lp_stats.push((kind, stats));
@@ -249,8 +263,8 @@ impl MulticastReport {
             }
         }
         Ok(MulticastReport {
-            nodes: instance.platform.node_count(),
-            targets: instance.target_count(),
+            nodes: session.instance().platform.node_count(),
+            targets: session.instance().target_count(),
             periods,
             lp_stats,
             realizations,
@@ -335,17 +349,20 @@ mod tests {
     }
 
     #[test]
-    fn scoped_baseline_solves_are_attributed_per_kind() {
+    fn session_solves_are_attributed_per_kind() {
         let inst = figure5_instance(3);
         let kinds = [
             HeuristicKind::Scatter,
             HeuristicKind::LowerBound,
             HeuristicKind::Mcph,
         ];
-        let mut cache = pm_lp::WarmStartCache::new();
-        let report = cache.scope(|| MulticastReport::collect(&inst, &kinds).unwrap());
-        // Scatter and LowerBound are one LpProblem::solve each, attributed
-        // from the scope's deltas; MCPH solves no LP.
+        let mut session = crate::session::Session::new(inst.clone());
+        let report =
+            MulticastReport::collect_from_session(&mut session, &kinds, CollectOptions::default())
+                .unwrap();
+        // Scatter and LowerBound are one masked template solve each; MCPH
+        // solves no LP. The session's cumulative counters agree with the
+        // per-kind attribution.
         assert_eq!(
             report
                 .lp_stats_for(HeuristicKind::Scatter)
@@ -358,7 +375,7 @@ mod tests {
             0
         );
         let total: u64 = report.lp_stats.iter().map(|&(_, s)| s.lp_solves).sum();
-        assert_eq!(total, cache.solves());
+        assert_eq!(total, session.stats().lp_solves);
     }
 
     #[test]

@@ -1,0 +1,915 @@
+//! A stateful solver session for long-lived, *drifting* platforms.
+//!
+//! Every other entry point of the crate is one-shot: it formulates, solves
+//! and throws the machinery away. A [`Session`] is constructed once from a
+//! [`MulticastInstance`] and then *owns* the moving parts the one-shot paths
+//! rebuild on every call:
+//!
+//! * the four masked formulation templates of [`crate::masked`]
+//!   (`Broadcast-EB`, `Multicast-LB`, `Multicast-UB` and the multi-source
+//!   scatter), built lazily on first use,
+//! * the per-template best [`Basis`] — every re-solve warm-starts from the
+//!   previous optimum of the same template,
+//! * the ambient [`WarmStartCache`] the realization packing LPs run under,
+//! * the last [`Realization`] per heuristic kind — its weighted trees seed
+//!   the next realization's candidate pool.
+//!
+//! Platform mutations are cheap deltas instead of rebuilds:
+//!
+//! * [`Session::set_edge_cost`] updates the authoritative platform and marks
+//!   the affected coefficients of each built template dirty; the edits are
+//!   applied in place ([`pm_lp::LpProblem::set_coeff`]) right before the
+//!   template's next solve, so the constraint pattern — and every cached
+//!   basis — survives,
+//! * [`Session::disable_node`] / [`Session::enable_node`] only flip bits in
+//!   the session's [`NodeMask`]: node churn was *already* a bounds overlay
+//!   in the masked formulations, so the templates are untouched.
+//!
+//! [`Session::re_realize`] closes the loop on the ROADMAP's dynamic-platform
+//! item: it realizes the latest solution (seeding the tree pool with the
+//! previous realization), diffs the two [`WeightedTreeSet`]s and reports a
+//! [`TransitionCost`] — how much steady-state throughput the switchover
+//! forfeits while the old schedule drains and the new one fills its
+//! pipeline, measured with the one-port simulator.
+//!
+//! ```
+//! use pm_core::report::HeuristicKind;
+//! use pm_core::session::Session;
+//! use pm_platform::instances::figure5_instance;
+//!
+//! let mut session = Session::new(figure5_instance(3));
+//! let first = session.solve(HeuristicKind::Scatter).unwrap();
+//! // Drift one edge cost and re-solve: same templates, warm basis.
+//! let edge = session.instance().platform.edge_ids().next().unwrap();
+//! session.set_edge_cost(edge, 1.25).unwrap();
+//! let second = session.solve(HeuristicKind::Scatter).unwrap();
+//! assert!(second.result.period >= first.result.period);
+//! assert_eq!(session.stats().edge_edits, 1);
+//! ```
+//!
+//! [`WeightedTreeSet`]: pm_sched::tree::WeightedTreeSet
+
+use crate::formulations::{FormulationError, MultiSourceSolution};
+use crate::heuristics::{
+    broadcast_commodities, AugmentedMulticast, AugmentedSources, HeuristicResult, LpCounters, Mcph,
+    ReducedBroadcast, RunOptions, ThroughputHeuristic,
+};
+use crate::masked::{MaskedFlowLp, MaskedMultiSourceUb, MaskedStats};
+use crate::realize::{realize_with_pool, Realization, RealizeError, SteadyStateSolution};
+use crate::report::HeuristicKind;
+use pm_lp::{Basis, WarmStartCache, WarmStatus};
+use pm_platform::graph::{EdgeId, NodeId};
+use pm_platform::instances::MulticastInstance;
+use pm_platform::mask::NodeMask;
+use pm_sched::tree::{MulticastTree, WeightedTreeSet};
+use pm_sim::{SimulationConfig, Simulator};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+/// Template slots of a session, one per masked formulation family.
+const SLOT_EB: usize = 0;
+const SLOT_LB: usize = 1;
+const SLOT_UB: usize = 2;
+const SLOT_MS: usize = 3;
+const SLOTS: usize = 4;
+
+/// Structured accounting of one session operation (a [`Session::solve`] or a
+/// [`Session::re_realize`]) — the programmatic replacement for scraping the
+/// `PM_LP_STATS=1` stderr lines. Every field except `wall_s` is
+/// deterministic for a given session history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionOpStats {
+    /// Linear programs solved by the operation.
+    pub lp_solves: u64,
+    /// Solves that warm-started from a previous basis.
+    pub warm_hits: u64,
+    /// Solves that ran cold.
+    pub warm_misses: u64,
+    /// Phase-1 (and bound-repair) pivots across the operation's solves.
+    pub phase1_pivots: u64,
+    /// Phase-2 pivots across the operation's solves.
+    pub phase2_pivots: u64,
+    /// Basis refactorizations across the operation's solves.
+    pub refactorizations: u64,
+    /// Wall-clock seconds spent in the operation (nondeterministic; bench
+    /// artifacts must filter it before byte comparisons).
+    pub wall_s: f64,
+}
+
+impl SessionOpStats {
+    fn note(&mut self, stats: &MaskedStats) {
+        self.lp_solves += 1;
+        if stats.warm == WarmStatus::Hit {
+            self.warm_hits += 1;
+        } else {
+            self.warm_misses += 1;
+        }
+        self.phase1_pivots += stats.solve.phase1_pivots as u64;
+        self.phase2_pivots += stats.solve.phase2_pivots as u64;
+        self.refactorizations += stats.solve.refactorizations as u64;
+    }
+
+    fn from_counters(counters: &LpCounters) -> Self {
+        SessionOpStats {
+            lp_solves: counters.solves as u64,
+            warm_hits: counters.hits as u64,
+            warm_misses: counters.misses as u64,
+            phase1_pivots: counters.phase1_pivots,
+            phase2_pivots: counters.phase2_pivots,
+            refactorizations: counters.refactorizations,
+            wall_s: 0.0,
+        }
+    }
+
+    /// Fraction of the operation's LP solves that warm-started (0 when the
+    /// operation solved no LP).
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.lp_solves > 0 {
+            self.warm_hits as f64 / self.lp_solves as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Cumulative accounting of a session's lifetime, [`SessionOpStats`] summed
+/// over every operation plus the mutation counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// [`Session::solve`] calls performed.
+    pub solves: u64,
+    /// [`Session::re_realize`] / [`Session::realize`] calls that produced a
+    /// realization.
+    pub realizations: u64,
+    /// [`Session::set_edge_cost`] mutations applied.
+    pub edge_edits: u64,
+    /// [`Session::disable_node`] / [`Session::enable_node`] calls that
+    /// changed the mask.
+    pub node_events: u64,
+    /// Linear programs solved across all operations.
+    pub lp_solves: u64,
+    /// Solves that warm-started from a previous basis.
+    pub warm_hits: u64,
+    /// Solves that ran cold.
+    pub warm_misses: u64,
+    /// Phase-1 (and bound-repair) pivots.
+    pub phase1_pivots: u64,
+    /// Phase-2 pivots.
+    pub phase2_pivots: u64,
+    /// Basis refactorizations.
+    pub refactorizations: u64,
+    /// Wall-clock seconds across all operations (nondeterministic).
+    pub wall_s: f64,
+}
+
+impl SessionStats {
+    fn absorb(&mut self, op: &SessionOpStats) {
+        self.lp_solves += op.lp_solves;
+        self.warm_hits += op.warm_hits;
+        self.warm_misses += op.warm_misses;
+        self.phase1_pivots += op.phase1_pivots;
+        self.phase2_pivots += op.phase2_pivots;
+        self.refactorizations += op.refactorizations;
+        self.wall_s += op.wall_s;
+    }
+
+    /// Lifetime warm-hit rate over every LP solved in the session.
+    pub fn warm_hit_rate(&self) -> f64 {
+        if self.lp_solves > 0 {
+            self.warm_hits as f64 / self.lp_solves as f64
+        } else {
+            0.0
+        }
+    }
+}
+
+/// One completed [`Session::solve`]: the heuristic result plus the
+/// operation's structured accounting.
+#[derive(Debug, Clone)]
+pub struct SessionSolve {
+    /// The heuristic kind that was solved.
+    pub kind: HeuristicKind,
+    /// The result, shaped exactly like the one-shot
+    /// [`HeuristicKind::run_with`] would report on the current platform
+    /// state.
+    pub result: HeuristicResult,
+    /// The operation's accounting.
+    pub stats: SessionOpStats,
+}
+
+/// What a schedule switchover costs, measured by replaying both schedules'
+/// trees in the one-port simulator on the *current* (post-drift) platform.
+///
+/// The model: at a period boundary the old schedule stops injecting new
+/// multicasts; its in-flight messages keep draining for up to the fill
+/// makespan of its slowest tree. The new schedule starts injecting
+/// immediately but delivers nothing until its fastest tree has filled its
+/// pipeline once. The throughput forfeited during that window, expressed in
+/// multicasts at the new steady-state rate, is the headline
+/// [`TransitionCost::multicasts_lost`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransitionCost {
+    /// Time for the old schedule's in-flight multicasts to finish after
+    /// injection stops: the largest single-message fill makespan over the
+    /// old tree set ([`Simulator::tree_fill_makespan`]).
+    pub drain_time: f64,
+    /// First-delivery latency of the new schedule: the smallest
+    /// single-message fill makespan over the new tree set.
+    pub first_delivery_latency: f64,
+    /// `drain_time + first_delivery_latency` — the switchover window.
+    pub switch_time: f64,
+    /// Multicasts forfeited during the switchover window at the new
+    /// schedule's simulated steady-state rate (the "periods lost" of the
+    /// ROADMAP item, in units of multicasts).
+    pub multicasts_lost: f64,
+    /// `new − old` simulated steady-state throughput: positive when the
+    /// re-solve recovered (or gained) capacity.
+    pub throughput_delta: f64,
+    /// Trees of the new combination that already existed in the old one
+    /// (compared by edge set).
+    pub trees_kept: usize,
+    /// Trees of the new combination that are new.
+    pub trees_added: usize,
+    /// Trees of the old combination that were abandoned.
+    pub trees_dropped: usize,
+}
+
+/// One completed [`Session::re_realize`]: the fresh realization plus the
+/// switchover cost against the previous one (absent on the first
+/// realization of a kind).
+#[derive(Debug, Clone)]
+pub struct ReRealization {
+    /// The new simulator-verified realization.
+    pub realization: Realization,
+    /// The switchover cost against the kind's previous realization.
+    pub transition: Option<TransitionCost>,
+    /// The operation's accounting (the packing LPs of the realization
+    /// pipeline).
+    pub stats: SessionOpStats,
+}
+
+/// A long-lived solver session over one (drifting) platform. See the
+/// [module docs](crate::session) for the design.
+#[derive(Debug)]
+pub struct Session {
+    instance: MulticastInstance,
+    mask: NodeMask,
+    cache: WarmStartCache,
+    flow_templates: [Option<MaskedFlowLp>; 3],
+    ms_template: Option<MaskedMultiSourceUb>,
+    /// Per slot: edges whose cost changed since the template last solved.
+    dirty: [BTreeSet<u32>; SLOTS],
+    /// Per slot: the basis of the template's last optimal solve.
+    bases: [Option<Basis>; SLOTS],
+    solutions: Vec<(HeuristicKind, HeuristicResult)>,
+    realizations: Vec<(HeuristicKind, Realization)>,
+    sim_config: SimulationConfig,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Creates a session owning `instance`. Templates are built lazily on
+    /// the first solve that needs them.
+    pub fn new(instance: MulticastInstance) -> Self {
+        let capacity = instance.platform.node_count();
+        Session {
+            instance,
+            mask: NodeMask::full(capacity),
+            cache: WarmStartCache::new(),
+            flow_templates: [None, None, None],
+            ms_template: None,
+            dirty: std::array::from_fn(|_| BTreeSet::new()),
+            bases: std::array::from_fn(|_| None),
+            solutions: Vec::new(),
+            realizations: Vec::new(),
+            sim_config: SimulationConfig::default(),
+            stats: SessionStats::default(),
+        }
+    }
+
+    /// The authoritative instance: its platform carries the current
+    /// (post-drift) edge costs.
+    pub fn instance(&self) -> &MulticastInstance {
+        &self.instance
+    }
+
+    /// The currently enabled nodes.
+    pub fn mask(&self) -> &NodeMask {
+        &self.mask
+    }
+
+    /// Cumulative session statistics.
+    pub fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Overrides the simulation configuration used by
+    /// [`Session::re_realize`].
+    pub fn set_sim_config(&mut self, config: SimulationConfig) {
+        self.sim_config = config;
+    }
+
+    /// The last solve result of a kind, if any.
+    pub fn solution_for(&self, kind: HeuristicKind) -> Option<&HeuristicResult> {
+        self.solutions
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| r)
+    }
+
+    /// The last realization of a kind, if any.
+    pub fn realization_for(&self, kind: HeuristicKind) -> Option<&Realization> {
+        self.realizations
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| r)
+    }
+
+    /// Updates an edge cost in place. The authoritative platform changes
+    /// immediately; each built template is only marked dirty and re-synced
+    /// (via [`pm_lp::LpProblem::set_coeff`]) right before its next solve, so
+    /// a burst of edits costs one coefficient sweep, not one per edit.
+    pub fn set_edge_cost(&mut self, edge: EdgeId, cost: f64) -> Result<(), FormulationError> {
+        if edge.index() >= self.instance.platform.edge_count() {
+            return Err(FormulationError::InvalidArgument(format!(
+                "unknown edge {edge}"
+            )));
+        }
+        self.instance
+            .platform
+            .set_cost(edge, cost)
+            .map_err(|e| FormulationError::InvalidArgument(e.to_string()))?;
+        for slot in 0..SLOTS {
+            if self.slot_built(slot) {
+                self.dirty[slot].insert(edge.0);
+            }
+        }
+        self.stats.edge_edits += 1;
+        Ok(())
+    }
+
+    /// Deactivates a node for all subsequent solves. The source and the
+    /// instance targets cannot be disabled (every formulation would be
+    /// trivially infeasible). Returns whether the mask changed.
+    pub fn disable_node(&mut self, node: NodeId) -> Result<bool, FormulationError> {
+        if node.index() >= self.instance.platform.node_count() {
+            return Err(FormulationError::InvalidArgument(format!(
+                "unknown node {node}"
+            )));
+        }
+        if node == self.instance.source {
+            return Err(FormulationError::InvalidArgument(format!(
+                "cannot disable the source {node}"
+            )));
+        }
+        if self.instance.is_target(node) {
+            return Err(FormulationError::InvalidArgument(format!(
+                "cannot disable target {node}"
+            )));
+        }
+        let changed = self.mask.remove(node);
+        self.stats.node_events += changed as u64;
+        Ok(changed)
+    }
+
+    /// Re-activates a node. Returns whether the mask changed.
+    pub fn enable_node(&mut self, node: NodeId) -> Result<bool, FormulationError> {
+        if node.index() >= self.instance.platform.node_count() {
+            return Err(FormulationError::InvalidArgument(format!(
+                "unknown node {node}"
+            )));
+        }
+        let changed = self.mask.insert(node);
+        self.stats.node_events += changed as u64;
+        Ok(changed)
+    }
+
+    /// Solves a heuristic kind on the current platform state, warm-starting
+    /// from the session's previous bases, and captures the steady state for
+    /// realization.
+    pub fn solve(&mut self, kind: HeuristicKind) -> Result<SessionSolve, FormulationError> {
+        self.solve_with(kind, RunOptions::default())
+    }
+
+    /// [`Session::solve`] with explicit options (steady-state capture).
+    pub fn solve_with(
+        &mut self,
+        kind: HeuristicKind,
+        options: RunOptions,
+    ) -> Result<SessionSolve, FormulationError> {
+        let start = Instant::now();
+        let (result, mut op) = match kind {
+            HeuristicKind::Scatter => self.solve_flow(SLOT_UB, kind, options)?,
+            HeuristicKind::LowerBound => self.solve_flow(SLOT_LB, kind, options)?,
+            HeuristicKind::Broadcast => self.solve_flow(SLOT_EB, kind, options)?,
+            HeuristicKind::Mcph => self.solve_mcph(options)?,
+            HeuristicKind::ReducedBroadcast => {
+                self.ensure_flow(SLOT_EB);
+                let hint = self.bases[SLOT_EB].clone();
+                let template = self.flow_templates[SLOT_EB].as_ref().expect("just built");
+                let run = ReducedBroadcast.run_on(template, &self.mask, hint.as_ref(), options)?;
+                if run.final_basis.is_some() {
+                    self.bases[SLOT_EB] = run.final_basis;
+                }
+                (run.result, SessionOpStats::from_counters(&run.counters))
+            }
+            HeuristicKind::AugmentedMulticast => {
+                self.ensure_flow(SLOT_EB);
+                self.ensure_flow(SLOT_LB);
+                let eb_hint = self.bases[SLOT_EB].clone();
+                let lb_hint = self.bases[SLOT_LB].clone();
+                let eb = self.flow_templates[SLOT_EB].as_ref().expect("just built");
+                let lb = self.flow_templates[SLOT_LB].as_ref().expect("just built");
+                let run = AugmentedMulticast.run_on(
+                    eb,
+                    lb,
+                    &self.mask,
+                    eb_hint.as_ref(),
+                    lb_hint.as_ref(),
+                    options,
+                )?;
+                if run.final_basis.is_some() {
+                    self.bases[SLOT_EB] = run.final_basis;
+                }
+                if run.aux_basis.is_some() {
+                    self.bases[SLOT_LB] = run.aux_basis;
+                }
+                (run.result, SessionOpStats::from_counters(&run.counters))
+            }
+            HeuristicKind::MultisourceMulticast => {
+                self.ensure_ms();
+                let hint = self.bases[SLOT_MS].clone();
+                let template = self.ms_template.as_ref().expect("just built");
+                let run = AugmentedSources::default().run_on(
+                    template,
+                    &self.mask,
+                    hint.as_ref(),
+                    options,
+                )?;
+                if run.final_basis.is_some() {
+                    self.bases[SLOT_MS] = run.final_basis;
+                }
+                (run.result, SessionOpStats::from_counters(&run.counters))
+            }
+        };
+        op.wall_s = start.elapsed().as_secs_f64();
+        self.stats.solves += 1;
+        self.stats.absorb(&op);
+        self.remember_solution(kind, result.clone());
+        if pm_lp::stats_enabled() {
+            eprintln!(
+                "pm-core: session solve kind={} period={} lp_solves={} warm={}h/{}m \
+                 pivots={}+{} refactorizations={} elapsed={:.3}s",
+                kind.label(),
+                result.period,
+                op.lp_solves,
+                op.warm_hits,
+                op.warm_misses,
+                op.phase1_pivots,
+                op.phase2_pivots,
+                op.refactorizations,
+                op.wall_s,
+            );
+        }
+        Ok(SessionSolve {
+            kind,
+            result,
+            stats: op,
+        })
+    }
+
+    /// Solves the raw `MulticastMultiSource-UB` formulation for an explicit
+    /// ordered source selection (the fourth masked formulation, without the
+    /// greedy loop of [`HeuristicKind::MultisourceMulticast`]) on the
+    /// current platform state, warm-starting from the session's multi-source
+    /// basis.
+    pub fn solve_multisource(
+        &mut self,
+        sources: &[NodeId],
+    ) -> Result<MultiSourceSolution, FormulationError> {
+        let start = Instant::now();
+        self.ensure_ms();
+        let hint = self.bases[SLOT_MS].clone();
+        let template = self.ms_template.as_ref().expect("just built");
+        let out = template.solve(&self.mask, sources, hint.as_ref())?;
+        let mut op = SessionOpStats::default();
+        op.note(&out.stats);
+        op.wall_s = start.elapsed().as_secs_f64();
+        self.bases[SLOT_MS] = Some(out.basis);
+        self.stats.solves += 1;
+        self.stats.absorb(&op);
+        Ok(out.solution)
+    }
+
+    /// Realizes the latest solution of `kind` as a simulator-verified
+    /// periodic schedule, seeding the tree pool with the kind's previous
+    /// realization, and stores it as the new baseline. A convenience
+    /// wrapper over [`Session::re_realize`] for callers that do not need
+    /// the transition cost.
+    pub fn realize(&mut self, kind: HeuristicKind) -> Result<&Realization, RealizeError> {
+        self.re_realize(kind)?;
+        Ok(self
+            .realization_for(kind)
+            .expect("re_realize just stored a realization"))
+    }
+
+    /// Re-realizes the latest solution of `kind` and measures the
+    /// switchover against the kind's previous realization: the new tree
+    /// pool is seeded with the still-valid previous trees, the two
+    /// [`pm_sched::tree::WeightedTreeSet`]s are diffed, and the drain /
+    /// fill latencies of the swap are replayed in the one-port simulator
+    /// (see [`TransitionCost`]).
+    ///
+    /// Fails with [`RealizeError::NotRealizable`] when `kind` has not been
+    /// solved in this session (or its last solve carried no steady state).
+    pub fn re_realize(&mut self, kind: HeuristicKind) -> Result<ReRealization, RealizeError> {
+        let start = Instant::now();
+        let solution: SteadyStateSolution = self
+            .solution_for(kind)
+            .and_then(|r| r.steady_state.clone())
+            .ok_or_else(|| {
+                RealizeError::NotRealizable(format!(
+                    "{} has no captured steady-state solution in this session",
+                    kind.label()
+                ))
+            })?;
+        // Seed the pool with the previous combination's trees that are
+        // still executable (no disabled node).
+        let seeds: Vec<MulticastTree> = self
+            .realization_for(kind)
+            .map(|old| {
+                old.tree_set
+                    .trees()
+                    .iter()
+                    .filter(|t| self.tree_active(t))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let (hits0, misses0) = (self.cache.hits, self.cache.misses);
+        let mut cache = std::mem::take(&mut self.cache);
+        let instance = &self.instance;
+        let sim_config = self.sim_config;
+        // The packing LPs of the pipeline run under the session's ambient
+        // warm-start cache: consecutive re-realizations of similar pools
+        // re-use their bases.
+        let outcome = cache.scope(|| realize_with_pool(instance, &solution, &seeds, sim_config));
+        self.cache = cache;
+        let realization = outcome?;
+        let mut op = SessionOpStats {
+            warm_hits: self.cache.hits - hits0,
+            warm_misses: self.cache.misses - misses0,
+            ..SessionOpStats::default()
+        };
+        op.lp_solves = op.warm_hits + op.warm_misses;
+        op.wall_s = start.elapsed().as_secs_f64();
+        let transition = self
+            .realization_for(kind)
+            .map(|old| self.transition_cost(&old.tree_set, old.simulated.throughput, &realization));
+        self.remember_realization(kind, realization.clone());
+        self.stats.realizations += 1;
+        self.stats.absorb(&op);
+        if pm_lp::stats_enabled() {
+            eprintln!(
+                "pm-core: session realize kind={} gap={:.3e} trees={} packing_lps={} \
+                 elapsed={:.3}s",
+                kind.label(),
+                realization.realization_gap,
+                realization.tree_set.len(),
+                op.lp_solves,
+                op.wall_s,
+            );
+        }
+        Ok(ReRealization {
+            realization,
+            transition,
+            stats: op,
+        })
+    }
+
+    /// Whether every edge of the tree is active under the current mask.
+    fn tree_active(&self, tree: &MulticastTree) -> bool {
+        tree.edges()
+            .iter()
+            .all(|&e| self.mask.edge_active(&self.instance.platform, e))
+    }
+
+    fn transition_cost(
+        &self,
+        old_trees: &WeightedTreeSet,
+        old_throughput: f64,
+        new: &Realization,
+    ) -> TransitionCost {
+        let platform = &self.instance.platform;
+        let targets = &self.instance.targets;
+        // Old trees through a node the drift disabled cannot drain any
+        // in-flight traffic (consistent with the seed-pool filter in
+        // `re_realize`): only the still-executable ones bound the drain.
+        let drain_time = old_trees
+            .trees()
+            .iter()
+            .filter(|t| self.tree_active(t))
+            .map(|t| Simulator::tree_fill_makespan(platform, t, targets))
+            .fold(0.0, f64::max);
+        let first_delivery_latency = new
+            .tree_set
+            .trees()
+            .iter()
+            .map(|t| Simulator::tree_fill_makespan(platform, t, targets))
+            .fold(f64::INFINITY, f64::min);
+        let first_delivery_latency = if first_delivery_latency.is_finite() {
+            first_delivery_latency
+        } else {
+            0.0
+        };
+        // Diff by edge set (sorted: peel order may list edges differently).
+        let edge_key = |t: &MulticastTree| {
+            let mut edges: Vec<u32> = t.edges().iter().map(|e| e.0).collect();
+            edges.sort_unstable();
+            edges
+        };
+        let old_keys: BTreeSet<Vec<u32>> = old_trees.trees().iter().map(edge_key).collect();
+        let new_keys: BTreeSet<Vec<u32>> = new.tree_set.trees().iter().map(edge_key).collect();
+        let trees_kept = new_keys.intersection(&old_keys).count();
+        let switch_time = drain_time + first_delivery_latency;
+        TransitionCost {
+            drain_time,
+            first_delivery_latency,
+            switch_time,
+            multicasts_lost: switch_time * new.simulated.throughput,
+            throughput_delta: new.simulated.throughput - old_throughput,
+            trees_kept,
+            trees_added: new_keys.len() - trees_kept,
+            trees_dropped: old_keys.len() - trees_kept,
+        }
+    }
+
+    fn slot_built(&self, slot: usize) -> bool {
+        if slot == SLOT_MS {
+            self.ms_template.is_some()
+        } else {
+            self.flow_templates[slot].is_some()
+        }
+    }
+
+    /// Builds the flow template of `slot` if missing, else replays the
+    /// pending edge-cost edits into it.
+    fn ensure_flow(&mut self, slot: usize) {
+        if self.flow_templates[slot].is_none() {
+            let template = match slot {
+                SLOT_EB => MaskedFlowLp::broadcast_eb(&self.instance),
+                SLOT_LB => MaskedFlowLp::multicast_lb(&self.instance),
+                SLOT_UB => MaskedFlowLp::multicast_ub(&self.instance),
+                _ => unreachable!("flow slots are 0..3"),
+            };
+            self.flow_templates[slot] = Some(template);
+            self.dirty[slot].clear();
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty[slot]);
+        let template = self.flow_templates[slot].as_mut().expect("checked above");
+        for e in dirty {
+            let edge = EdgeId(e);
+            template.set_edge_cost(edge, self.instance.platform.cost(edge));
+        }
+    }
+
+    /// Builds the multi-source template if missing, else replays the
+    /// pending edge-cost edits into it.
+    fn ensure_ms(&mut self) {
+        if self.ms_template.is_none() {
+            self.ms_template = Some(MaskedMultiSourceUb::new(&self.instance));
+            self.dirty[SLOT_MS].clear();
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty[SLOT_MS]);
+        let template = self.ms_template.as_mut().expect("checked above");
+        for e in dirty {
+            let edge = EdgeId(e);
+            template.set_edge_cost(edge, self.instance.platform.cost(edge));
+        }
+    }
+
+    fn solve_flow(
+        &mut self,
+        slot: usize,
+        kind: HeuristicKind,
+        options: RunOptions,
+    ) -> Result<(HeuristicResult, SessionOpStats), FormulationError> {
+        self.ensure_flow(slot);
+        let hint = self.bases[slot].clone();
+        let template = self.flow_templates[slot].as_ref().expect("just built");
+        let out = template.solve(&self.mask, hint.as_ref())?;
+        let mut op = SessionOpStats::default();
+        op.note(&out.stats);
+        self.bases[slot] = Some(out.basis);
+        let mut result = HeuristicResult::new(kind.label(), out.flow.period);
+        result.lp_solves = 1;
+        result.warm_hits = op.warm_hits as usize;
+        result.warm_misses = op.warm_misses as usize;
+        if options.capture_steady_state {
+            let commodities = if slot == SLOT_EB {
+                broadcast_commodities(&self.instance)
+            } else {
+                self.instance.targets.clone()
+            };
+            result.steady_state = SteadyStateSolution::from_flow_solution(
+                &self.instance,
+                &commodities,
+                &out.flow,
+                out.flow.period,
+            );
+        }
+        Ok((result, op))
+    }
+
+    fn solve_mcph(
+        &self,
+        options: RunOptions,
+    ) -> Result<(HeuristicResult, SessionOpStats), FormulationError> {
+        let platform = &self.instance.platform;
+        // Edges touching a disabled node are priced out of the tree.
+        let costs: Vec<f64> = platform
+            .edge_ids()
+            .map(|e| {
+                if self.mask.edge_active(platform, e) {
+                    platform.cost(e)
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        let tree = Mcph.build_tree_with_costs(&self.instance, costs)?;
+        let period = tree.period(platform);
+        let mut result = HeuristicResult::new(Mcph.name(), period);
+        if options.capture_steady_state && period.is_finite() && period > 0.0 {
+            let mut trees = WeightedTreeSet::new();
+            trees
+                .push(tree.clone(), 1.0 / period)
+                .expect("a finite period yields a finite weight");
+            result.steady_state = Some(SteadyStateSolution::Trees { period, trees });
+        }
+        result.tree = Some(tree);
+        Ok((result, SessionOpStats::default()))
+    }
+
+    fn remember_solution(&mut self, kind: HeuristicKind, result: HeuristicResult) {
+        match self.solutions.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, slot)) => *slot = result,
+            None => self.solutions.push((kind, result)),
+        }
+    }
+
+    fn remember_realization(&mut self, kind: HeuristicKind, realization: Realization) {
+        match self.realizations.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, slot)) => *slot = realization,
+            None => self.realizations.push((kind, realization)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pm_platform::instances::{figure1_instance, figure5_instance};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    #[allow(deprecated)] // the one-shot shim is the oracle being matched
+    fn session_solves_match_one_shot_runs_on_a_static_platform() {
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        for kind in HeuristicKind::ALL {
+            let fresh = kind.run(&inst).unwrap();
+            let live = session.solve(kind).unwrap();
+            approx(live.result.period, fresh.period);
+        }
+        assert_eq!(session.stats().solves, HeuristicKind::ALL.len() as u64);
+    }
+
+    #[test]
+    #[allow(deprecated)] // the one-shot shim is the oracle being matched
+    fn edge_drift_resolves_warm_and_matches_fresh() {
+        let inst = figure5_instance(3);
+        let mut session = Session::new(inst.clone());
+        session.solve(HeuristicKind::Scatter).unwrap();
+        // Drift every relay->target edge cost upward.
+        let edits: Vec<(EdgeId, f64)> = inst
+            .platform
+            .edges()
+            .map(|(e, edge)| (e, edge.cost * 1.5))
+            .collect();
+        let mut drifted = inst.clone();
+        for &(e, c) in &edits {
+            session.set_edge_cost(e, c).unwrap();
+            drifted.platform.set_cost(e, c).unwrap();
+        }
+        let live = session.solve(HeuristicKind::Scatter).unwrap();
+        let fresh = HeuristicKind::Scatter.run(&drifted).unwrap();
+        approx(live.result.period, fresh.period);
+        // The re-solve warm-started from the pre-drift basis.
+        assert_eq!(live.stats.lp_solves, 1);
+        assert_eq!(live.stats.warm_hits, 1);
+    }
+
+    #[test]
+    fn node_churn_is_a_mask_flip_and_matches_fresh_restriction() {
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        let before = session.solve(HeuristicKind::Broadcast).unwrap();
+        // P4/P5 form a redundant backbone detour; disabling them keeps the
+        // platform connected.
+        assert!(session.disable_node(NodeId(4)).unwrap());
+        assert!(session.disable_node(NodeId(5)).unwrap());
+        let after = session.solve(HeuristicKind::Broadcast).unwrap();
+        // Fewer active nodes = fewer broadcast commodities: the period may
+        // move either way; what must hold is parity with a fresh session.
+        let mut fresh = Session::new(inst.clone());
+        fresh.disable_node(NodeId(4)).unwrap();
+        fresh.disable_node(NodeId(5)).unwrap();
+        let oracle = fresh.solve(HeuristicKind::Broadcast).unwrap();
+        approx(after.result.period, oracle.result.period);
+        // Re-enabling restores the original value.
+        assert!(session.enable_node(NodeId(4)).unwrap());
+        assert!(session.enable_node(NodeId(5)).unwrap());
+        let restored = session.solve(HeuristicKind::Broadcast).unwrap();
+        approx(restored.result.period, before.result.period);
+        assert_eq!(session.stats().node_events, 4);
+    }
+
+    #[test]
+    fn session_rejects_illegal_mutations() {
+        let inst = figure5_instance(2);
+        let mut session = Session::new(inst.clone());
+        assert!(session.disable_node(inst.source).is_err());
+        assert!(session.disable_node(inst.targets[0]).is_err());
+        assert!(session.disable_node(NodeId(99)).is_err());
+        assert!(session.enable_node(NodeId(99)).is_err());
+        let edge = inst.platform.edge_ids().next().unwrap();
+        assert!(session.set_edge_cost(edge, 0.0).is_err());
+        assert!(session.set_edge_cost(edge, f64::NAN).is_err());
+        assert!(session.set_edge_cost(EdgeId(9999), 1.0).is_err());
+        assert_eq!(session.stats().edge_edits, 0);
+    }
+
+    #[test]
+    fn re_realize_reports_transition_costs_after_drift() {
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        let first = session.re_realize(HeuristicKind::Broadcast).unwrap();
+        assert!(first.transition.is_none());
+        assert_eq!(first.realization.simulated.one_port_violations, 0);
+
+        // Drift a backbone edge and re-solve + re-realize.
+        let edge = inst.platform.edge_ids().next().unwrap();
+        let cost = inst.platform.cost(edge);
+        session.set_edge_cost(edge, cost * 2.0).unwrap();
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        let second = session.re_realize(HeuristicKind::Broadcast).unwrap();
+        let transition = second
+            .transition
+            .expect("second realization has a baseline");
+        assert!(transition.drain_time > 0.0);
+        assert!(transition.first_delivery_latency > 0.0);
+        approx(
+            transition.switch_time,
+            transition.drain_time + transition.first_delivery_latency,
+        );
+        assert!(transition.multicasts_lost > 0.0);
+        assert_eq!(
+            transition.trees_kept + transition.trees_added,
+            second.realization.tree_set.len()
+        );
+        assert_eq!(second.realization.simulated.one_port_violations, 0);
+        assert_eq!(session.stats().realizations, 2);
+    }
+
+    #[test]
+    fn realize_without_a_solve_is_not_realizable() {
+        let mut session = Session::new(figure5_instance(2));
+        assert!(matches!(
+            session.re_realize(HeuristicKind::Scatter),
+            Err(RealizeError::NotRealizable(_))
+        ));
+    }
+
+    #[test]
+    fn solve_multisource_matches_the_greedy_template_path() {
+        let inst = figure5_instance(3);
+        let mut session = Session::new(inst.clone());
+        let single = session.solve_multisource(&[inst.source]).unwrap();
+        let scatter = session.solve(HeuristicKind::Scatter).unwrap();
+        approx(single.period, scatter.result.period);
+        // Promoting the relay warm-starts from the single-source basis.
+        let multi = session
+            .solve_multisource(&[inst.source, NodeId(1)])
+            .unwrap();
+        assert!(multi.period < single.period - 0.25);
+        assert!(session.stats().warm_hits >= 1);
+    }
+}

@@ -50,5 +50,5 @@ pub use problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
 pub use revised::{
     resolve_with_bounds, Basis, BoundsOverlay, SolveOutcome, SolveStats, WarmStartCache, WarmStatus,
 };
-pub use solver::{default_solver, set_default_solver, SolverKind};
+pub use solver::{default_solver, set_default_solver, stats_enabled, SolverKind};
 pub use sparse::{CscMatrix, SparseBuilder};

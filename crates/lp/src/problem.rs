@@ -84,11 +84,24 @@ pub struct LpSolution {
     /// Optimal objective value (in the problem's own direction).
     pub objective: f64,
     values: Vec<f64>,
+    duals: Vec<f64>,
 }
 
 impl LpSolution {
     pub(crate) fn new(objective: f64, values: Vec<f64>) -> Self {
-        LpSolution { objective, values }
+        LpSolution {
+            objective,
+            values,
+            duals: Vec::new(),
+        }
+    }
+
+    pub(crate) fn with_duals(objective: f64, values: Vec<f64>, duals: Vec<f64>) -> Self {
+        LpSolution {
+            objective,
+            values,
+            duals,
+        }
     }
 
     /// Value of a variable in the optimal solution.
@@ -100,6 +113,22 @@ impl LpSolution {
     /// All variable values, indexed by [`VarId`].
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// The optimal dual values (shadow prices), one per constraint row, in
+    /// the problem's own optimization sense: `duals()[i]` is the marginal
+    /// change of the optimal objective per unit increase of constraint `i`'s
+    /// right-hand side.
+    ///
+    /// Only the revised engine produces duals (the dense tableau oracle
+    /// reports an empty slice). They are *shadow-RHS aware*: the engine's
+    /// anti-degeneracy RHS perturbation never enters the pricing vector, so
+    /// strong duality `Σ_i duals()[i] · rhs_i = objective` holds against the
+    /// exact, unperturbed right-hand sides — the property the differential
+    /// test against the dense oracle pins down. This is the groundwork for
+    /// exact column-generation pricing over the realization tree pool.
+    pub fn duals(&self) -> &[f64] {
+        &self.duals
     }
 }
 
@@ -267,6 +296,59 @@ impl LpProblem {
     /// The right-hand side of constraint `row`.
     pub fn rhs(&self, row: usize) -> f64 {
         self.constraints[row].rhs
+    }
+
+    /// Updates the coefficient of `var` in constraint `row` in place.
+    ///
+    /// The term must already exist and the new coefficient must be finite
+    /// and nonzero: in-place edits may change coefficient *values* but never
+    /// the sparsity *pattern*, so the warm-start signature (see
+    /// [`crate::revised::WarmStartCache`]) is unchanged and any previous
+    /// optimal basis of the problem remains a valid hint. This is what makes
+    /// edge-cost drift on the masked `pm-core` templates a cheap delta: the
+    /// occupation-row coefficients are rewritten and the next solve repairs
+    /// the old basis in a few pivots instead of rebuilding the formulation.
+    ///
+    /// # Panics
+    /// Panics if `row` is out of range, the term does not exist, or `coeff`
+    /// is zero or non-finite.
+    pub fn set_coeff(&mut self, row: usize, var: VarId, coeff: f64) {
+        assert!(
+            coeff.is_finite() && coeff != 0.0,
+            "in-place coefficient of {} in row {row} must be finite and nonzero (got {coeff}); \
+             a zero would change the sparsity pattern and with it the warm-start signature",
+            self.names[var.index()]
+        );
+        let term = self.constraints[row]
+            .terms
+            .iter_mut()
+            .find(|(v, _)| *v == var)
+            .unwrap_or_else(|| {
+                panic!(
+                    "constraint {row} has no term on variable {}: in-place edits cannot \
+                     create terms",
+                    var.index()
+                )
+            });
+        term.1 = coeff;
+    }
+
+    /// The coefficient of `var` in constraint `row` (0 when the term is not
+    /// present).
+    pub fn coeff(&self, row: usize, var: VarId) -> f64 {
+        self.constraints[row]
+            .terms
+            .iter()
+            .find(|(v, _)| *v == var)
+            .map_or(0.0, |&(_, c)| c)
+    }
+
+    /// Updates the objective coefficient of a variable in place — the
+    /// objective-side counterpart of [`LpProblem::set_coeff`]. Objective
+    /// coefficients never participate in the warm-start signature, so this
+    /// edit, too, keeps every cached basis reusable.
+    pub fn set_obj(&mut self, var: VarId, coeff: f64) {
+        self.set_objective_coeff(var, coeff);
     }
 
     /// Number of variables.

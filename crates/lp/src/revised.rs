@@ -287,6 +287,9 @@ struct Engine {
     row_slack: Vec<Option<usize>>,
     /// Per row: its artificial column, if any.
     row_artificial: Vec<Option<usize>>,
+    /// Per row: whether the `b ≥ 0` normalisation negated it (needed to map
+    /// the standard-form duals back to the user's rows).
+    row_flip: Vec<bool>,
     /// Basic column of each row.
     basis: Vec<usize>,
     in_basis: Vec<bool>,
@@ -371,11 +374,13 @@ impl Engine {
         let mut basis = vec![usize::MAX; m];
         let mut row_slack = vec![None; m];
         let mut row_artificial = vec![None; m];
+        let mut row_flip = vec![false; m];
         let mut slack_idx = n_user;
         let mut art_idx = artificial_start;
         for (r, c) in constraints.iter().enumerate() {
             let rhs = row_rhs(r, c.rhs);
             let flip = rhs < 0.0;
+            row_flip[r] = flip;
             let sign = if flip { -1.0 } else { 1.0 };
             for &(v, coeff) in &c.terms {
                 triplets.push((r, v.index(), sign * coeff));
@@ -440,6 +445,7 @@ impl Engine {
             n_total,
             row_slack,
             row_artificial,
+            row_flip,
             basis,
             in_basis,
             fixed,
@@ -972,6 +978,28 @@ impl Engine {
             // caller's `bounds_at_zero` check); report it as exactly 0.
         }
         let objective = problem.objective_value_at(&values);
+        // Duals: `y = B⁻ᵀ c_B` under the phase-2 costs still installed in
+        // `self.cost`, mapped back to the user's rows by undoing the `b ≥ 0`
+        // sign flips and the sense normalisation. The pricing vector never
+        // sees the anti-degeneracy RHS perturbation (reduced costs are
+        // independent of the RHS), so these are the duals of the *exact*
+        // problem — strong duality holds against the unperturbed right-hand
+        // sides.
+        self.compute_pricing_vector();
+        let sense = match problem.objective() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        let duals: Vec<f64> = (0..self.m)
+            .map(|r| {
+                let y = if self.row_flip[r] {
+                    -self.price[r]
+                } else {
+                    self.price[r]
+                };
+                sense * y
+            })
+            .collect();
         let cols = self
             .basis
             .iter()
@@ -983,7 +1011,10 @@ impl Engine {
                 }
             })
             .collect();
-        (LpSolution::new(objective, values), Basis { cols })
+        (
+            LpSolution::with_duals(objective, values, duals),
+            Basis { cols },
+        )
     }
 }
 

@@ -122,6 +122,58 @@ proptest! {
         assert_engines_agree(&degen)?;
     }
 
+    // Dual differential test: the revised engine's duals must certify the
+    // dense oracle's primal objective (strong duality against the *exact*
+    // right-hand sides — the shadow-RHS perturbation must never leak into
+    // the prices) and must be dual feasible (no structural column prices as
+    // improving).
+    #[test]
+    fn revised_duals_certify_the_dense_objective(
+        num_vars in 1usize..7,
+        num_cons in 0usize..8,
+        seed in 0u64..1_000_000,
+    ) {
+        let lp = random_lp(num_vars, num_cons, seed);
+        let (Ok(dense), Ok(revised)) =
+            (lp.solve_with(SolverKind::Dense), lp.solve_with(SolverKind::Revised))
+        else {
+            return Ok(()); // infeasible/unbounded: no duals to check
+        };
+        let duals = revised.duals();
+        prop_assert_eq!(duals.len(), lp.num_constraints());
+        // Strong duality: Σ y_i b_i = optimal objective.
+        let dual_obj: f64 = duals
+            .iter()
+            .zip(lp.constraints())
+            .map(|(y, c)| y * c.rhs)
+            .sum();
+        prop_assert!(
+            (dual_obj - dense.objective).abs() <= TOL * (1.0 + dense.objective.abs()),
+            "strong duality violated: dual objective {} vs dense primal {}",
+            dual_obj,
+            dense.objective
+        );
+        // Dual feasibility: reduced costs have the optimal sign in the
+        // problem's own sense.
+        let maximize = matches!(lp.objective(), Objective::Maximize);
+        for j in 0..lp.num_vars() {
+            let var = VarId(j);
+            let mut rc = lp.objective_coeff(var);
+            for (y, c) in duals.iter().zip(lp.constraints()) {
+                for &(v, a) in &c.terms {
+                    if v == var {
+                        rc -= y * a;
+                    }
+                }
+            }
+            if maximize {
+                prop_assert!(rc <= TOL, "column {} prices as improving: rc {}", j, rc);
+            } else {
+                prop_assert!(rc >= -TOL, "column {} prices as improving: rc {}", j, rc);
+            }
+        }
+    }
+
     // Unboundedness must be detected identically: a free variable with a
     // favourable objective coefficient and no upper bound.
     #[test]
@@ -143,6 +195,32 @@ proptest! {
         prop_assert_eq!(lp.solve_with(SolverKind::Dense), Err(LpError::Unbounded));
         prop_assert_eq!(lp.solve_with(SolverKind::Revised), Err(LpError::Unbounded));
     }
+}
+
+/// Textbook duals: max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 has the
+/// unique optimal duals (0, 3/2, 1) — and a warm-started re-solve must
+/// report the same prices.
+#[test]
+fn revised_duals_match_the_textbook_values() {
+    let mut lp = LpProblem::new(Objective::Maximize);
+    let x = lp.add_var("x");
+    let y = lp.add_var("y");
+    lp.set_objective_coeff(x, 3.0);
+    lp.set_objective_coeff(y, 5.0);
+    lp.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+    lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+    lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+    let cold = pm_lp::revised::solve_with_hint(&lp, None).unwrap();
+    let warm = pm_lp::revised::solve_with_hint(&lp, Some(&cold.basis)).unwrap();
+    for sol in [&cold.solution, &warm.solution] {
+        let duals = sol.duals();
+        assert!((duals[0] - 0.0).abs() < 1e-9, "dual 0: {}", duals[0]);
+        assert!((duals[1] - 1.5).abs() < 1e-9, "dual 1: {}", duals[1]);
+        assert!((duals[2] - 1.0).abs() < 1e-9, "dual 2: {}", duals[2]);
+    }
+    // The dense oracle reports no duals — the revised engine is the dual
+    // source of the workspace.
+    assert!(lp.solve_with(SolverKind::Dense).unwrap().duals().is_empty());
 }
 
 /// Beale's classic cycling LP: both engines must terminate at the known

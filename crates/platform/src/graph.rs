@@ -145,6 +145,24 @@ impl Platform {
         self.edges[id.index()].cost
     }
 
+    /// Updates the cost of an edge in place — the platform-side primitive of
+    /// edge-cost drift on long-lived `pm_core::session::Session`-style
+    /// consumers. The graph structure (nodes, edges, adjacency) is
+    /// untouched, so ids held by schedules, trees and LP templates stay
+    /// valid.
+    pub fn set_cost(&mut self, id: EdgeId, cost: f64) -> Result<(), PlatformError> {
+        let edge = self.edges[id.index()];
+        if !(cost.is_finite() && cost > 0.0) {
+            return Err(PlatformError::InvalidCost {
+                src: edge.src,
+                dst: edge.dst,
+                cost,
+            });
+        }
+        self.edges[id.index()].cost = cost;
+        Ok(())
+    }
+
     /// Human-readable name of a node.
     #[inline]
     pub fn name(&self, node: NodeId) -> &str {
@@ -422,6 +440,23 @@ mod tests {
         let s = old_to_new[&NodeId(0)];
         let d = old_to_new[&NodeId(1)];
         assert_eq!(sub.cost(sub.find_edge(s, d).unwrap()), 1.0);
+    }
+
+    #[test]
+    fn set_cost_updates_in_place_and_validates() {
+        let mut g = triangle();
+        let e = g.find_edge(NodeId(0), NodeId(1)).unwrap();
+        g.set_cost(e, 2.5).unwrap();
+        assert_eq!(g.cost(e), 2.5);
+        assert!(matches!(
+            g.set_cost(e, 0.0),
+            Err(PlatformError::InvalidCost { .. })
+        ));
+        assert!(matches!(
+            g.set_cost(e, f64::NAN),
+            Err(PlatformError::InvalidCost { .. })
+        ));
+        assert_eq!(g.cost(e), 2.5); // rejected updates leave the cost alone
     }
 
     #[test]

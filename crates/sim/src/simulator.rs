@@ -99,6 +99,30 @@ impl Simulator {
         }
     }
 
+    /// The *fill makespan* of a single message multicast down `tree`: the
+    /// time from an idle start until every target has received it, under
+    /// the one-port store-and-forward model (a horizon-1
+    /// [`Simulator::run_tree_pipeline`]). This is the pipeline-depth
+    /// quantity behind transition costs on drifting platforms: it bounds
+    /// both how long the in-flight messages of an abandoned schedule take
+    /// to drain and how long a freshly installed schedule runs before its
+    /// first delivery. An associated function (no receiver): a single
+    /// message's makespan is independent of any horizon/warmup
+    /// configuration.
+    pub fn tree_fill_makespan(
+        platform: &Platform,
+        tree: &MulticastTree,
+        targets: &[NodeId],
+    ) -> f64 {
+        let one_shot = Simulator::new(SimulationConfig {
+            horizon: 1,
+            warmup: 0,
+        });
+        one_shot
+            .run_tree_pipeline(platform, tree, targets)
+            .total_time
+    }
+
     /// Simulates the natural store-and-forward pipelining of a series of
     /// multicasts along a single multicast tree.
     ///
@@ -376,6 +400,18 @@ mod tests {
             report.period
         );
         assert_eq!(report.one_port_violations, 0);
+    }
+
+    #[test]
+    fn fill_makespan_is_the_single_message_latency() {
+        // Chain of 3 hops at cost 0.5: one message reaches the last node
+        // after 1.5 time units.
+        let inst = chain_instance(4, 0.5);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2), e(2, 3)]).unwrap();
+        let makespan = Simulator::tree_fill_makespan(g, &tree, &inst.targets);
+        assert!((makespan - 1.5).abs() < 1e-12, "makespan {makespan}");
     }
 
     #[test]

@@ -1,0 +1,88 @@
+//! Long-lived sessions on a drifting platform — the quickstart for the
+//! stateful `pm_core::Session` API.
+//!
+//! One session owns the Figure 1 platform; we solve + realize the broadcast
+//! steady state, then drift an edge cost and knock a relay out, re-solving
+//! incrementally after each event. Every re-solve warm-starts from the
+//! previous optimal basis (watch the warm-hit columns), and every
+//! re-realization seeds its tree pool from the previous schedule and
+//! reports the simulator-measured transition cost of the switchover.
+//!
+//! Run with: `cargo run --release --example drift`
+
+use pm_core::report::HeuristicKind;
+use pm_core::session::Session;
+use pm_platform::graph::NodeId;
+use pm_platform::instances::figure1_instance;
+
+fn main() {
+    let instance = figure1_instance();
+    let kind = HeuristicKind::Broadcast;
+    let mut session = Session::new(instance);
+
+    println!("== long-lived session on the Figure 1 platform ==\n");
+    let report = |label: &str, session: &mut Session| {
+        let solve = session.solve(kind).expect("platform stays connected");
+        let re = session.re_realize(kind).expect("broadcast realizes");
+        println!(
+            "{label:<28} period {:>7.4}  lp_solves {:>2} ({} warm)  trees {}  gap {:.1e}",
+            solve.result.period,
+            solve.stats.lp_solves,
+            solve.stats.warm_hits,
+            re.realization.tree_set.len(),
+            re.realization.realization_gap,
+        );
+        if let Some(t) = re.transition {
+            println!(
+                "{:<28} drain {:.3} + fill {:.3} = {:.3} time-units \
+                 (≈ {:.2} multicasts forfeited), Δthroughput {:+.4}, \
+                 trees kept/added/dropped {}/{}/{}",
+                "  ↳ switchover",
+                t.drain_time,
+                t.first_delivery_latency,
+                t.switch_time,
+                t.multicasts_lost,
+                t.throughput_delta,
+                t.trees_kept,
+                t.trees_added,
+                t.trees_dropped,
+            );
+        }
+    };
+
+    report("baseline", &mut session);
+
+    // Drift: the backbone edge P0 -> P1 becomes 3x slower.
+    let edge = session
+        .instance()
+        .platform
+        .find_edge(NodeId(0), NodeId(1))
+        .expect("figure 1 has the P0 -> P1 backbone edge");
+    let slow = session.instance().platform.cost(edge) * 3.0;
+    session.set_edge_cost(edge, slow).unwrap();
+    report("edge P0->P1 cost x3", &mut session);
+
+    // Churn: the P4/P5 relay detour goes down...
+    session.disable_node(NodeId(4)).unwrap();
+    session.disable_node(NodeId(5)).unwrap();
+    report("relays P4, P5 down", &mut session);
+
+    // ... and comes back.
+    session.enable_node(NodeId(4)).unwrap();
+    session.enable_node(NodeId(5)).unwrap();
+    report("relays back up", &mut session);
+
+    let stats = session.stats();
+    println!(
+        "\nsession totals: {} solves, {} realizations, {} edge edits, {} node events; \
+         {} LPs ({:.0}% warm), {}+{} pivots",
+        stats.solves,
+        stats.realizations,
+        stats.edge_edits,
+        stats.node_events,
+        stats.lp_solves,
+        100.0 * stats.warm_hit_rate(),
+        stats.phase1_pivots,
+        stats.phase2_pivots,
+    );
+}
