@@ -222,6 +222,18 @@ fn solve_single_source(
         terms.push((t_star, -1.0));
         lp.add_constraint(terms, Relation::Le, 0.0);
     }
+    // Lexicographic tie-break: among the (typically many) tied-optimal
+    // vertices, minimize cost-weighted traffic. Keeps the rebuild path
+    // value-identical to the masked templates, which set the same secondary.
+    for e in 0..m {
+        let cost = platform.cost(EdgeId(e as u32));
+        for x_row in &x {
+            lp.set_secondary_coeff(x_row[e], cost);
+        }
+        if let Some(n) = &n {
+            lp.set_secondary_coeff(n[e], cost);
+        }
+    }
 
     let sol = lp
         .build()
@@ -536,6 +548,16 @@ impl<'a> MulticastMultiSourceUb<'a> {
             let mut terms = load_terms(e);
             terms.push((t_star, -1.0));
             lp.add_constraint(terms, Relation::Le, 0.0);
+        }
+        // Canonical-vertex tie-break: minimize cost-weighted traffic over the
+        // optimal face, matching `MaskedMultiSourceUb::new`.
+        for e in 0..m {
+            let cost = platform.cost(EdgeId(e as u32));
+            for (di, d) in dests.iter().enumerate() {
+                for xj in x[di].iter().take(d.origins) {
+                    lp.set_secondary_coeff(xj[e], cost);
+                }
+            }
         }
 
         let sol = lp

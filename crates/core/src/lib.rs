@@ -20,11 +20,11 @@
 //! * [`realize`] — the constructive half: decompose LP steady-state flows
 //!   into weighted multicast trees, re-pack them, color them into a periodic
 //!   schedule and certify the claimed period in the one-port simulator,
-//! * [`session`] — the stateful [`Session`](session::Session) API for
+//! * [`session`] — the stateful [`Session`] API for
 //!   long-lived, drifting platforms: incremental solves after edge-cost and
 //!   node-churn deltas, re-realization with transition costs,
 //! * [`report`] — per-instance comparison reports mirroring Figure 11
-//!   (a thin consumer of a [`Session`](session::Session)).
+//!   (a thin consumer of a [`Session`]).
 //!
 //! ```
 //! use pm_core::formulations::{MulticastLb, MulticastUb};

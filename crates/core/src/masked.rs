@@ -279,6 +279,21 @@ impl MaskedFlowLp {
             terms.push((t_star, -1.0));
             edge_rows.push(lp.add_constraint(terms, Relation::Le, 0.0).0);
         }
+        // Lexicographic tie-break: among the tied-optimal vertices of these
+        // highly degenerate flow LPs, pick the one moving the least
+        // cost-weighted traffic. This pins the greedy candidate scores (and
+        // hence heuristic outcomes) to a canonical vertex, independent of
+        // engine, pricing rule, or warm-start history. Skip variables stay
+        // unpenalized: skipping a commodity must never look like traffic.
+        for e in 0..m {
+            let cost = platform.cost(EdgeId(e as u32));
+            for x_row in &x {
+                lp.set_secondary_coeff(x_row[e], cost);
+            }
+            if let Some(n) = &n {
+                lp.set_secondary_coeff(n[e], cost);
+            }
+        }
 
         let problem = lp.build().expect("masked flow template is a valid LP");
         MaskedFlowLp {
@@ -334,6 +349,13 @@ impl MaskedFlowLp {
                     }
                 }
             }
+        }
+        // Keep the lexicographic tie-break priced at the drifted cost.
+        for x_row in &self.x {
+            self.problem.set_secondary_coeff(x_row[e.index()], cost);
+        }
+        if let Some(n) = &self.n {
+            self.problem.set_secondary_coeff(n[e.index()], cost);
         }
     }
 
@@ -619,6 +641,15 @@ impl MaskedMultiSourceUb {
             terms.push((t_star, -1.0));
             edge_rows.push(lp.add_constraint(terms, Relation::Le, 0.0).0);
         }
+        // Canonical-vertex tie-break, as in `MaskedFlowLp::build`: minimize
+        // cost-weighted traffic over the optimal face. Injection (`z`) and
+        // skip variables stay unpenalized — only edge traffic is "cost".
+        for e in 0..m {
+            let cost = platform.cost(EdgeId(e as u32));
+            for x_row in &x {
+                lp.set_secondary_coeff(x_row[e], cost);
+            }
+        }
 
         let problem = lp.build().expect("masked multi-source template is valid");
         MaskedMultiSourceUb {
@@ -661,6 +692,10 @@ impl MaskedMultiSourceUb {
             for x_row in &self.x {
                 self.problem.set_coeff(row, x_row[e.index()], cost);
             }
+        }
+        // Keep the lexicographic tie-break priced at the drifted cost.
+        for x_row in &self.x {
+            self.problem.set_secondary_coeff(x_row[e.index()], cost);
         }
     }
 

@@ -55,7 +55,17 @@ impl HeuristicKind {
         }
     }
 
-    /// Runs the corresponding heuristic (capturing the steady state).
+    /// One-shot convenience shim around [`crate::Session`]: builds a fresh
+    /// session for `instance`, runs the heuristic once, and throws the
+    /// session away.
+    ///
+    /// Prefer `Session::new(instance).solve(kind)` — a [`crate::Session`]
+    /// keeps the masked LP templates, warm-start bases and realization tree
+    /// pools alive, so re-solves after edge-cost drift or node churn
+    /// ([`crate::Session::set_edge_cost`], [`crate::Session::disable_node`])
+    /// repair the previous solution instead of paying a cold rebuild. This
+    /// shim rebuilds all of that on every call, which is only acceptable for
+    /// a single isolated run.
     #[deprecated(
         since = "0.1.0",
         note = "one-shot shim kept for one release: construct a \
@@ -67,7 +77,9 @@ impl HeuristicKind {
         self.run_with(instance, RunOptions::default())
     }
 
-    /// Runs the corresponding heuristic with explicit options.
+    /// [`HeuristicKind::run`] with explicit [`RunOptions`]. Prefer
+    /// `Session::new(instance).solve_with(kind, options)` for the same
+    /// reason: the session keeps templates and warm bases across solves.
     #[deprecated(
         since = "0.1.0",
         note = "one-shot shim kept for one release: construct a \

@@ -6,17 +6,24 @@
 //! tree-packing baseline are all linear programs, and this crate is the only
 //! LP dependency of the workspace.
 //!
-//! * [`problem`] — an [`LpProblem`](problem::LpProblem) model builder
+//! * [`problem`] — an [`LpProblem`] model builder
 //!   (non-negative variables, `≤ / ≥ / =` constraints, maximize or minimize),
 //! * [`sparse`] — CSC matrices and the triplet-based
-//!   [`SparseBuilder`](sparse::SparseBuilder) used by the formulations,
-//! * [`revised`] — the default engine: a sparse revised simplex with a
-//!   product-form basis, periodic refactorization and
+//!   [`SparseBuilder`] used by the formulations,
+//! * [`revised`] — the default engine: a sparse revised simplex with
+//!   pluggable basis factorizations, periodic refactorization and
 //!   [warm starts](revised::WarmStartCache),
+//! * [`basis`] — the [`BasisFactorization`]
+//!   engines behind the revised simplex: sparse LU with Forrest–Tomlin
+//!   updates (default) and the product-form eta file (`PM_LP_BASIS=eta`),
+//! * [`presolve`] — optional problem reductions (empty/singleton rows,
+//!   fixed and implied-free columns) with full primal/dual postsolve
+//!   recovery (`PM_LP_PRESOLVE=1`),
 //! * [`simplex`] — the dense two-phase tableau simplex, kept as the
 //!   `PM_LP_SOLVER=dense` fallback and as the differential-testing oracle,
 //! * [`solver`] — engine selection (`PM_LP_SOLVER`,
-//!   [`set_default_solver`](solver::set_default_solver)).
+//!   [`set_default_solver`]; `PM_LP_BASIS`,
+//!   [`set_default_basis`]).
 //!
 //! Both engines share the anti-degeneracy toolkit (seeded shadow-RHS
 //! perturbation, Dantzig→Bland stall switching, seeded ratio-test
@@ -40,15 +47,24 @@
 //! assert!((sol.value(y) - 2.0).abs() < 1e-9);
 //! ```
 
+#![deny(missing_docs)]
+
+pub mod basis;
+pub mod presolve;
 pub mod problem;
 pub mod revised;
 pub mod simplex;
 pub mod solver;
 pub mod sparse;
 
+pub use basis::{BasisFactorization, EtaBasis, LuBasis};
+pub use presolve::Presolved;
 pub use problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
 pub use revised::{
     resolve_with_bounds, Basis, BoundsOverlay, SolveOutcome, SolveStats, WarmStartCache, WarmStatus,
 };
-pub use solver::{default_solver, set_default_solver, stats_enabled, SolverKind};
+pub use solver::{
+    default_basis, default_solver, set_default_basis, set_default_solver, stats_enabled, BasisKind,
+    SolverKind,
+};
 pub use sparse::{CscMatrix, SparseBuilder};

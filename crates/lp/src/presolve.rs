@@ -1,0 +1,873 @@
+//! Presolve: LP reductions with full primal/dual postsolve recovery.
+//!
+//! [`presolve`] applies a fixpoint of cheap, provably safe reductions to an
+//! [`LpProblem`] and returns a [`Presolved`] handle that solves the reduced
+//! problem and maps its solution — values *and* duals — back to the original
+//! index space:
+//!
+//! * **fixed columns** ([`LpProblem::fix_var`]) are eliminated at value 0,
+//! * **empty rows** are checked against their relation and dropped (or
+//!   reported [`LpError::Infeasible`]),
+//! * **singleton rows** are either redundant (dropped with dual 0), forcing
+//!   (`a·x ≤ 0` with `a > 0` fixes `x = 0`; `a·x ≥ 0` with `a < 0`
+//!   likewise), or solving (`a·x = b` pins `x = b/a` and substitutes it
+//!   away),
+//! * **implied-free column singletons** (a column appearing in exactly one
+//!   equality row whose other coefficients cannot push it negative) are
+//!   substituted out together with their row,
+//! * **empty columns** with a non-improving objective are fixed at 0
+//!   (improving ones are *kept* so the solver itself settles unbounded
+//!   versus infeasible).
+//!
+//! The masked sub-platform templates of `pm-core` generate many of these —
+//! every masked-out candidate fixes a batch of columns whose rows then
+//! collapse — but note that their skip-variable rows
+//! (`Σ in-flow + w = 1`) are deliberately *not* eliminable: `w` is not
+//! implied free (the in-flows could exceed 1), which is exactly why the
+//! skip-variable trick keeps the constraint pattern stable for warm starts.
+//!
+//! Presolve is **opt-in** (`PM_LP_PRESOLVE=1` routes
+//! [`LpProblem::solve`]/[`LpProblem::solve_with`] through it) and is
+//! bypassed inside a [`crate::revised::WarmStartCache`] scope: eliminating
+//! rows/columns changes the constraint pattern, which would defeat the
+//! structural-signature warm-start reuse those scopes exist for.
+//!
+//! Dual recovery works in the minimization normal form (`ĉ = sense · c`,
+//! `ŷ = sense · y`). Each eliminating action snapshots the objective
+//! coefficient and the still-active column/row terms *at elimination time*;
+//! replaying the actions in reverse then only ever needs duals that are
+//! already known (kept rows first, later eliminations before earlier ones),
+//! the same telescoping that makes textbook postsolve exact.
+
+use crate::problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
+use crate::solver::SolverKind;
+
+/// Feasibility tolerance for presolve decisions (matches the engines' EPS).
+const TOL: f64 = 1e-9;
+
+/// One eliminating reduction, with the snapshots postsolve needs.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Column `col` eliminated at a known value (fixed marks, forced
+    /// zeros, solved singleton rows). Pure primal: no dual attached.
+    FixCol { col: usize, value: f64 },
+    /// Row `row` dropped as redundant (empty, or a never-binding singleton):
+    /// its dual is 0.
+    DropRow { row: usize },
+    /// A forcing singleton row (`a·x ≤ 0, a > 0` or `a·x ≥ 0, a < 0`)
+    /// fixed `col` to 0 and supplies the row's dual
+    /// `ŷ = clamp(ĉ_x / a)` against the row's sign constraint, where
+    /// `ĉ_x` is the snapshot objective coefficient minus the contribution
+    /// of the already-recovered duals on `col_terms`.
+    ZeroBoundRow {
+        row: usize,
+        col: usize,
+        coeff: f64,
+        relation: Relation,
+        obj: f64,
+        /// `(row, coeff)` of `col` in the rows still active at elimination.
+        col_terms: Vec<(usize, f64)>,
+    },
+    /// A solving singleton row `a·x = b` pinned `col = value` and was
+    /// substituted into the remaining rows' RHS. Dual:
+    /// `ŷ_row = (ĉ_x − Σ ŷ_i a_i) / a` over the snapshot column.
+    SingletonEqRow {
+        row: usize,
+        col: usize,
+        coeff: f64,
+        value: f64,
+        obj: f64,
+        col_terms: Vec<(usize, f64)>,
+    },
+    /// Implied-free column singleton: `col` appeared only in equality `row`
+    /// (coefficient `coeff > 0`, RHS ≥ 0, all other coefficients ≤ 0), so
+    /// `col = (rhs − Σ row_terms) / coeff` and `ŷ_row = ĉ_x / coeff`.
+    FreeColSingleton {
+        row: usize,
+        col: usize,
+        coeff: f64,
+        rhs: f64,
+        obj: f64,
+        /// `(col, coeff)` of the row's other active terms at elimination.
+        row_terms: Vec<(usize, f64)>,
+    },
+}
+
+/// Reduction counts of a [`presolve`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Constraint rows eliminated.
+    pub rows_removed: usize,
+    /// Columns eliminated.
+    pub cols_removed: usize,
+}
+
+/// A presolved problem: the reduced [`LpProblem`] plus everything needed to
+/// map a reduced solution back to the original index space.
+///
+/// ```
+/// use pm_lp::problem::{LpProblem, Objective, Relation};
+/// use pm_lp::presolve::presolve;
+///
+/// // min x + 2y  s.t.  x = 3 (singleton eq),  x + y >= 4
+/// let mut lp = LpProblem::new(Objective::Minimize);
+/// let x = lp.add_var("x");
+/// let y = lp.add_var("y");
+/// lp.set_objective_coeff(x, 1.0);
+/// lp.set_objective_coeff(y, 2.0);
+/// lp.add_constraint(vec![(x, 1.0)], Relation::Eq, 3.0);
+/// lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+/// let p = presolve(&lp).unwrap();
+/// assert!(p.is_reduced());
+/// let sol = p.solve().unwrap();
+/// assert!((sol.objective - 5.0).abs() < 1e-6); // x = 3, y = 1
+/// assert!((sol.value(x) - 3.0).abs() < 1e-6);
+/// assert!((sol.value(y) - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Presolved {
+    original: LpProblem,
+    reduced: LpProblem,
+    actions: Vec<Action>,
+    /// Original row index of each reduced row.
+    kept_rows: Vec<usize>,
+    /// Original column index of each reduced column.
+    kept_cols: Vec<usize>,
+    stats: PresolveStats,
+}
+
+/// Mutable working state of the reduction fixpoint.
+struct Reducer {
+    sense: f64,
+    /// Coalesced row terms (duplicate variables summed, zeros dropped);
+    /// entries whose row or column has been eliminated are skipped lazily.
+    row_terms: Vec<Vec<(usize, f64)>>,
+    rel: Vec<Relation>,
+    rhs: Vec<f64>,
+    /// Objective in minimization normal form, updated by substitutions.
+    cmin: Vec<f64>,
+    /// Rows containing each column (original pattern, filtered lazily).
+    col_rows: Vec<Vec<usize>>,
+    row_alive: Vec<bool>,
+    col_alive: Vec<bool>,
+    /// Active-term counts, maintained eagerly.
+    row_count: Vec<usize>,
+    col_count: Vec<usize>,
+    actions: Vec<Action>,
+}
+
+impl Reducer {
+    fn new(problem: &LpProblem) -> Reducer {
+        let m = problem.num_constraints();
+        let n = problem.num_vars();
+        let sense = match problem.objective() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        let mut row_terms: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
+        let mut rel = Vec::with_capacity(m);
+        let mut rhs = Vec::with_capacity(m);
+        let mut col_rows: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (r, c) in problem.constraints().iter().enumerate() {
+            // Coalesce duplicate variables; drop exact zeros.
+            let mut terms: Vec<(usize, f64)> = Vec::with_capacity(c.terms.len());
+            for &(v, coeff) in &c.terms {
+                match terms.iter_mut().find(|(j, _)| *j == v.index()) {
+                    Some(t) => t.1 += coeff,
+                    None => terms.push((v.index(), coeff)),
+                }
+            }
+            terms.retain(|&(_, coeff)| coeff != 0.0);
+            for &(j, _) in &terms {
+                col_rows[j].push(r);
+            }
+            rel.push(c.relation);
+            rhs.push(c.rhs);
+            row_terms.push(terms);
+        }
+        let row_count: Vec<usize> = row_terms.iter().map(Vec::len).collect();
+        let col_count: Vec<usize> = col_rows.iter().map(Vec::len).collect();
+        let cmin = (0..n)
+            .map(|j| sense * problem.objective_coeff(VarId(j)))
+            .collect();
+        Reducer {
+            sense,
+            row_terms,
+            rel,
+            rhs,
+            cmin,
+            col_rows,
+            row_alive: vec![true; m],
+            col_alive: vec![true; n],
+            row_count,
+            col_count,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The single active term of a singleton row.
+    fn active_term(&self, r: usize) -> Option<(usize, f64)> {
+        self.row_terms[r]
+            .iter()
+            .copied()
+            .find(|&(j, _)| self.col_alive[j])
+    }
+
+    /// Snapshot of column `j`'s active cells, excluding row `skip`.
+    fn col_snapshot(&self, j: usize, skip: usize) -> Vec<(usize, f64)> {
+        self.col_rows[j]
+            .iter()
+            .filter(|&&r| r != skip && self.row_alive[r])
+            .map(|&r| {
+                let coeff = self.row_terms[r]
+                    .iter()
+                    .find(|&&(c, _)| c == j)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                (r, coeff)
+            })
+            .filter(|&(_, v)| v != 0.0)
+            .collect()
+    }
+
+    /// Eliminates column `j` at `value`, updating the RHS of every row it
+    /// appears in (bookkeeping only for `value == 0`).
+    fn eliminate_col(&mut self, j: usize, value: f64) {
+        debug_assert!(self.col_alive[j]);
+        self.col_alive[j] = false;
+        for ri in 0..self.col_rows[j].len() {
+            let r = self.col_rows[j][ri];
+            if !self.row_alive[r] {
+                continue;
+            }
+            if value != 0.0 {
+                let coeff = self.row_terms[r]
+                    .iter()
+                    .find(|&&(c, _)| c == j)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(0.0);
+                self.rhs[r] -= coeff * value;
+            }
+            self.row_count[r] -= 1;
+        }
+    }
+
+    /// Eliminates row `r`, decrementing the active counts of its columns.
+    fn eliminate_row(&mut self, r: usize) {
+        debug_assert!(self.row_alive[r]);
+        self.row_alive[r] = false;
+        for ti in 0..self.row_terms[r].len() {
+            let j = self.row_terms[r][ti].0;
+            if self.col_alive[j] {
+                self.col_count[j] -= 1;
+            }
+        }
+    }
+
+    /// One pass over rows and columns; returns whether anything reduced.
+    fn pass(&mut self, fixed: &[bool]) -> Result<bool, LpError> {
+        let mut changed = false;
+
+        // Fixed columns first: they seed most of the row collapses on the
+        // masked templates.
+        for (j, &is_fixed) in fixed.iter().enumerate().take(self.col_alive.len()) {
+            if self.col_alive[j] && is_fixed {
+                self.eliminate_col(j, 0.0);
+                self.actions.push(Action::FixCol { col: j, value: 0.0 });
+                changed = true;
+            }
+        }
+
+        // Rows: empty checks, singleton handling.
+        for r in 0..self.row_alive.len() {
+            if !self.row_alive[r] {
+                continue;
+            }
+            if self.row_count[r] == 0 {
+                let b = self.rhs[r];
+                let ok = match self.rel[r] {
+                    Relation::Le => b >= -TOL,
+                    Relation::Ge => b <= TOL,
+                    Relation::Eq => b.abs() <= TOL,
+                };
+                if !ok {
+                    return Err(LpError::Infeasible);
+                }
+                self.eliminate_row(r);
+                self.actions.push(Action::DropRow { row: r });
+                changed = true;
+                continue;
+            }
+            if self.row_count[r] != 1 {
+                continue;
+            }
+            let Some((j, a)) = self.active_term(r) else {
+                continue;
+            };
+            let b = self.rhs[r];
+            match self.rel[r] {
+                Relation::Le => {
+                    if a < 0.0 && b >= -TOL {
+                        // a·x ≤ b holds for every x ≥ 0: redundant.
+                        self.eliminate_row(r);
+                        self.actions.push(Action::DropRow { row: r });
+                        changed = true;
+                    } else if a > 0.0 && b.abs() <= TOL {
+                        // a·x ≤ 0 forces x = 0; the row may carry a dual.
+                        let col_terms = self.col_snapshot(j, r);
+                        let obj = self.cmin[j];
+                        self.eliminate_row(r);
+                        self.eliminate_col(j, 0.0);
+                        self.actions.push(Action::ZeroBoundRow {
+                            row: r,
+                            col: j,
+                            coeff: a,
+                            relation: Relation::Le,
+                            obj,
+                            col_terms,
+                        });
+                        changed = true;
+                    } else if a > 0.0 && b < -TOL {
+                        return Err(LpError::Infeasible);
+                    }
+                }
+                Relation::Ge => {
+                    if a > 0.0 && b <= TOL {
+                        // a·x ≥ b ≤ 0 holds for every x ≥ 0: redundant.
+                        self.eliminate_row(r);
+                        self.actions.push(Action::DropRow { row: r });
+                        changed = true;
+                    } else if a < 0.0 && b.abs() <= TOL {
+                        // a·x ≥ 0 with a < 0 forces x = 0.
+                        let col_terms = self.col_snapshot(j, r);
+                        let obj = self.cmin[j];
+                        self.eliminate_row(r);
+                        self.eliminate_col(j, 0.0);
+                        self.actions.push(Action::ZeroBoundRow {
+                            row: r,
+                            col: j,
+                            coeff: a,
+                            relation: Relation::Ge,
+                            obj,
+                            col_terms,
+                        });
+                        changed = true;
+                    } else if a < 0.0 && b > TOL {
+                        return Err(LpError::Infeasible);
+                    }
+                }
+                Relation::Eq => {
+                    let v = b / a;
+                    if v < -TOL {
+                        return Err(LpError::Infeasible);
+                    }
+                    let v = v.max(0.0);
+                    let col_terms = self.col_snapshot(j, r);
+                    let obj = self.cmin[j];
+                    self.eliminate_row(r);
+                    self.eliminate_col(j, v);
+                    self.actions.push(Action::SingletonEqRow {
+                        row: r,
+                        col: j,
+                        coeff: a,
+                        value: v,
+                        obj,
+                        col_terms,
+                    });
+                    changed = true;
+                }
+            }
+        }
+
+        // Columns: empty columns and implied-free column singletons.
+        for j in 0..self.col_alive.len() {
+            if !self.col_alive[j] {
+                continue;
+            }
+            if self.col_count[j] == 0 {
+                if self.cmin[j] >= 0.0 {
+                    // Non-improving empty column: optimal at its bound.
+                    self.eliminate_col(j, 0.0);
+                    self.actions.push(Action::FixCol { col: j, value: 0.0 });
+                    changed = true;
+                }
+                // Improving empty columns stay: the solver must settle
+                // unbounded vs infeasible itself.
+                continue;
+            }
+            if self.col_count[j] != 1 {
+                continue;
+            }
+            let Some(&r) = self.col_rows[j].iter().find(|&&r| self.row_alive[r]) else {
+                continue;
+            };
+            if self.rel[r] != Relation::Eq || self.rhs[r] < 0.0 {
+                continue;
+            }
+            let a = self.row_terms[r]
+                .iter()
+                .find(|&&(c, _)| c == j)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0);
+            if a <= TOL {
+                continue;
+            }
+            // Implied free: with rhs ≥ 0 and every other coefficient ≤ 0,
+            // x = (rhs − Σ others) / a is non-negative at every feasible
+            // point, so the explicit x ≥ 0 bound is redundant and both the
+            // column and the row can be substituted out.
+            let others: Vec<(usize, f64)> = self.row_terms[r]
+                .iter()
+                .copied()
+                .filter(|&(c, v)| c != j && self.col_alive[c] && v != 0.0)
+                .collect();
+            if others.iter().any(|&(_, v)| v > 0.0) {
+                continue;
+            }
+            let obj = self.cmin[j];
+            let rhs = self.rhs[r];
+            // Substitute into the objective: ĉ_k −= ĉ_j a_k / a.
+            for &(k, ak) in &others {
+                self.cmin[k] -= obj * ak / a;
+            }
+            self.eliminate_row(r);
+            self.eliminate_col(j, 0.0); // bookkeeping only; value recovered later
+            self.actions.push(Action::FreeColSingleton {
+                row: r,
+                col: j,
+                coeff: a,
+                rhs,
+                obj,
+                row_terms: others,
+            });
+            changed = true;
+        }
+        Ok(changed)
+    }
+}
+
+/// Runs the reduction fixpoint on `problem`. Returns
+/// [`LpError::Infeasible`] when a reduction proves the problem infeasible
+/// outright; otherwise the returned [`Presolved`] solves the reduced
+/// problem and recovers the original solution.
+pub fn presolve(problem: &LpProblem) -> Result<Presolved, LpError> {
+    problem.validate()?;
+    let fixed: Vec<bool> = (0..problem.num_vars())
+        .map(|j| problem.is_fixed(VarId(j)))
+        .collect();
+    let mut red = Reducer::new(problem);
+    while red.pass(&fixed)? {}
+
+    // Build the reduced problem over the surviving rows/columns.
+    let kept_cols: Vec<usize> = (0..problem.num_vars())
+        .filter(|&j| red.col_alive[j])
+        .collect();
+    let kept_rows: Vec<usize> = (0..problem.num_constraints())
+        .filter(|&r| red.row_alive[r])
+        .collect();
+    let mut col_map = vec![usize::MAX; problem.num_vars()];
+    for (nj, &j) in kept_cols.iter().enumerate() {
+        col_map[j] = nj;
+    }
+    let mut reduced = LpProblem::new(problem.objective());
+    for &j in &kept_cols {
+        let id = reduced.add_var(problem.var_name(VarId(j)));
+        reduced.set_objective_coeff(id, red.sense * red.cmin[j]);
+    }
+    for &r in &kept_rows {
+        let terms: Vec<(VarId, f64)> = red.row_terms[r]
+            .iter()
+            .filter(|&&(j, _)| red.col_alive[j])
+            .map(|&(j, v)| (VarId(col_map[j]), v))
+            .collect();
+        reduced.add_constraint(terms, red.rel[r], red.rhs[r]);
+    }
+    let stats = PresolveStats {
+        rows_removed: problem.num_constraints() - kept_rows.len(),
+        cols_removed: problem.num_vars() - kept_cols.len(),
+    };
+    Ok(Presolved {
+        original: problem.clone(),
+        reduced,
+        actions: red.actions,
+        kept_rows,
+        kept_cols,
+        stats,
+    })
+}
+
+impl Presolved {
+    /// The reduced problem (no fixed marks: fixed columns were eliminated).
+    pub fn reduced(&self) -> &LpProblem {
+        &self.reduced
+    }
+
+    /// Reduction counts.
+    pub fn stats(&self) -> PresolveStats {
+        self.stats
+    }
+
+    /// Whether any row or column was eliminated.
+    pub fn is_reduced(&self) -> bool {
+        self.stats.rows_removed > 0 || self.stats.cols_removed > 0
+    }
+
+    /// Solves the reduced problem with the default engine and postsolves.
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        self.solve_with(crate::solver::default_solver())
+    }
+
+    /// Solves the reduced problem with an explicit engine and postsolves.
+    /// Dispatches to the engines directly (not through
+    /// [`LpProblem::solve_with`]), so `PM_LP_PRESOLVE=1` cannot recurse.
+    pub fn solve_with(&self, solver: SolverKind) -> Result<LpSolution, LpError> {
+        let reduced_solution = if self.reduced.num_vars() == 0 {
+            // Fully eliminated: nothing to solve (any remaining rows would
+            // have been empty and thus dropped or reported infeasible).
+            debug_assert!(self.kept_rows.is_empty());
+            LpSolution::with_duals(0.0, Vec::new(), Vec::new())
+        } else {
+            match solver {
+                SolverKind::Dense => crate::simplex::solve(&self.reduced)?,
+                SolverKind::Revised => {
+                    crate::revised::solve_with_hint(&self.reduced, None)?.solution
+                }
+            }
+        };
+        Ok(self.postsolve(&reduced_solution))
+    }
+
+    /// Maps a reduced solution back to the original index space: primal
+    /// values always; duals whenever the reduced solution carries them
+    /// (the dense oracle reports none — then neither does the postsolved
+    /// solution).
+    pub fn postsolve(&self, reduced: &LpSolution) -> LpSolution {
+        let n = self.original.num_vars();
+        let m = self.original.num_constraints();
+        let sense = match self.original.objective() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+
+        let mut values = vec![0.0; n];
+        for (nj, &j) in self.kept_cols.iter().enumerate() {
+            values[j] = reduced.values()[nj];
+        }
+        let with_duals = !reduced.duals().is_empty() || self.kept_rows.is_empty();
+        // Duals in minimization normal form.
+        let mut yhat = vec![0.0; m];
+        if with_duals {
+            for (nr, &r) in self.kept_rows.iter().enumerate() {
+                yhat[r] = sense * reduced.duals()[nr];
+            }
+        }
+
+        // Replay in reverse: each action only needs values/duals recovered
+        // by later eliminations or by the reduced solve.
+        for action in self.actions.iter().rev() {
+            match *action {
+                Action::FixCol { col, value } => values[col] = value,
+                Action::DropRow { row } => yhat[row] = 0.0,
+                Action::ZeroBoundRow {
+                    row,
+                    col,
+                    coeff,
+                    relation,
+                    obj,
+                    ref col_terms,
+                } => {
+                    values[col] = 0.0;
+                    if with_duals {
+                        let mut adj = obj;
+                        for &(i, a) in col_terms {
+                            adj -= yhat[i] * a;
+                        }
+                        // Dual feasibility for the nonbasic column
+                        // (ĉ − ŷa ≥ 0) intersected with the row's sign
+                        // constraint (Le: ŷ ≤ 0, Ge: ŷ ≥ 0).
+                        yhat[row] = match relation {
+                            Relation::Le => (adj / coeff).min(0.0),
+                            Relation::Ge => (adj / coeff).max(0.0),
+                            Relation::Eq => adj / coeff,
+                        };
+                    }
+                }
+                Action::SingletonEqRow {
+                    row,
+                    col,
+                    coeff,
+                    value,
+                    obj,
+                    ref col_terms,
+                } => {
+                    values[col] = value;
+                    if with_duals {
+                        let mut adj = obj;
+                        for &(i, a) in col_terms {
+                            adj -= yhat[i] * a;
+                        }
+                        yhat[row] = adj / coeff;
+                    }
+                }
+                Action::FreeColSingleton {
+                    row,
+                    col,
+                    coeff,
+                    rhs,
+                    obj,
+                    ref row_terms,
+                } => {
+                    let mut acc = rhs;
+                    for &(k, a) in row_terms {
+                        acc -= a * values[k];
+                    }
+                    values[col] = (acc / coeff).max(0.0);
+                    if with_duals {
+                        yhat[row] = obj / coeff;
+                    }
+                }
+            }
+        }
+
+        let objective = self.original.objective_value_at(&values);
+        let duals = if with_duals {
+            yhat.iter().map(|&y| sense * y).collect()
+        } else {
+            Vec::new()
+        };
+        LpSolution::with_duals(objective, values, duals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    /// Checks the postsolved duals: strong duality against the original
+    /// RHS plus dual feasibility on every original column at zero.
+    fn check_duals(lp: &LpProblem, sol: &LpSolution) {
+        let duals = sol.duals();
+        assert_eq!(duals.len(), lp.num_constraints());
+        let sense = match lp.objective() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        // Strong duality: Σ y_i b_i = objective.
+        let dual_obj: f64 = lp
+            .constraints()
+            .iter()
+            .zip(duals)
+            .map(|(c, &y)| y * c.rhs)
+            .sum();
+        approx(dual_obj, sol.objective);
+        // Dual feasibility (min space): ĉ_j − Σ ŷ_i a_ij ≥ 0 for columns at
+        // zero, = 0 for strictly positive columns. Fixed columns are exempt:
+        // their reduced cost may stay negative (they cannot enter).
+        for j in 0..lp.num_vars() {
+            let v = VarId(j);
+            if lp.is_fixed(v) {
+                continue;
+            }
+            let mut rc = sense * lp.objective_coeff(v);
+            for (c, &y) in lp.constraints().iter().zip(duals) {
+                for &(var, a) in &c.terms {
+                    if var == v {
+                        rc -= sense * y * a;
+                    }
+                }
+            }
+            if sol.value(v) > 1e-6 {
+                assert!(
+                    rc.abs() < 1e-6,
+                    "basic column {j} has nonzero reduced cost {rc}"
+                );
+            } else {
+                assert!(rc > -1e-6, "column {j} has infeasible reduced cost {rc}");
+            }
+        }
+        // Complementary slackness: nonzero dual ⇒ tight row.
+        for (c, &y) in lp.constraints().iter().zip(duals) {
+            if y.abs() > 1e-6 {
+                let lhs: f64 = c.terms.iter().map(|&(v, a)| a * sol.value(v)).sum();
+                approx(lhs, c.rhs);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_eq_rows_are_substituted() {
+        // min x + 2y  s.t.  x = 3,  x + y >= 4  → x = 3, y = 1, obj 5.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 2.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Eq, 3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 4.0);
+        let p = presolve(&lp).unwrap();
+        assert_eq!(p.stats().rows_removed, 1);
+        assert_eq!(p.stats().cols_removed, 1);
+        let sol = p.solve().unwrap();
+        approx(sol.objective, 5.0);
+        approx(sol.value(x), 3.0);
+        approx(sol.value(y), 1.0);
+        assert!(lp.is_feasible(sol.values(), 1e-6));
+        check_duals(&lp, &sol);
+        // The direct solve agrees.
+        approx(lp.solve().unwrap().objective, 5.0);
+    }
+
+    #[test]
+    fn fixed_columns_and_collapsed_rows() {
+        // max 3x + 5y with y fixed: rows referencing y collapse.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 3.0);
+        lp.set_objective_coeff(y, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(y, 2.0)], Relation::Le, 12.0);
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Le, 18.0);
+        lp.fix_var(y);
+        let p = presolve(&lp).unwrap();
+        assert!(p.is_reduced());
+        let sol = p.solve().unwrap();
+        approx(sol.objective, 12.0);
+        approx(sol.value(x), 4.0);
+        approx(sol.value(y), 0.0);
+        assert!(lp.is_feasible(sol.values(), 1e-6));
+        check_duals(&lp, &sol);
+    }
+
+    #[test]
+    fn empty_and_redundant_rows_drop_with_zero_duals() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(vec![], Relation::Le, 5.0); // empty, satisfiable
+        lp.add_constraint(vec![(x, -2.0)], Relation::Le, 3.0); // redundant
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0);
+        let p = presolve(&lp).unwrap();
+        assert_eq!(p.stats().rows_removed, 2);
+        let sol = p.solve().unwrap();
+        approx(sol.objective, 2.0);
+        check_duals(&lp, &sol);
+    }
+
+    #[test]
+    fn infeasible_empty_row_is_detected() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(vec![], Relation::Ge, 1.0);
+        assert_eq!(presolve(&lp).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn forcing_singleton_le_fixes_to_zero() {
+        // min -x + y  s.t.  2x ≤ 0 (forces x = 0), x + y ≥ 1.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, -1.0);
+        lp.set_objective_coeff(y, 1.0);
+        lp.add_constraint(vec![(x, 2.0)], Relation::Le, 0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+        let p = presolve(&lp).unwrap();
+        let sol = p.solve().unwrap();
+        approx(sol.objective, 1.0);
+        approx(sol.value(x), 0.0);
+        approx(sol.value(y), 1.0);
+        assert!(lp.is_feasible(sol.values(), 1e-6));
+        check_duals(&lp, &sol);
+    }
+
+    #[test]
+    fn implied_free_column_singleton_is_substituted() {
+        // min y + z  s.t.  w − y = 0 is NOT eliminable for w (coeff of y is
+        // negative… w = y ≥ 0: eliminable!), plus a demand row.
+        // w appears only in the Eq row, coeff 1 > 0, rhs 0 ≥ 0, other
+        // coefficient −1 ≤ 0 → substituted out with its row.
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let w = lp.add_var("w");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(w, 3.0);
+        lp.set_objective_coeff(y, 1.0);
+        lp.add_constraint(vec![(w, 1.0), (y, -1.0)], Relation::Eq, 0.0);
+        lp.add_constraint(vec![(y, 1.0)], Relation::Ge, 2.0);
+        let p = presolve(&lp).unwrap();
+        assert!(p.is_reduced());
+        let sol = p.solve().unwrap();
+        // w = y = 2, obj = 3·2 + 1·2 = 8.
+        approx(sol.objective, 8.0);
+        approx(sol.value(w), 2.0);
+        approx(sol.value(y), 2.0);
+        assert!(lp.is_feasible(sol.values(), 1e-6));
+        check_duals(&lp, &sol);
+    }
+
+    #[test]
+    fn skip_variable_rows_are_not_eliminated() {
+        // The masked-template shape: Σ in-flow + w = 1 with all-positive
+        // coefficients. w is NOT implied free (in-flow could exceed 1), so
+        // the row must survive presolve untouched.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let f1 = lp.add_var("f1");
+        let f2 = lp.add_var("f2");
+        let w = lp.add_var("w");
+        lp.set_objective_coeff(f1, 1.0);
+        lp.set_objective_coeff(f2, 1.0);
+        lp.add_constraint(vec![(f1, 1.0), (f2, 1.0), (w, 1.0)], Relation::Eq, 1.0);
+        lp.add_constraint(vec![(f1, 1.0)], Relation::Le, 0.4);
+        lp.add_constraint(vec![(f2, 1.0)], Relation::Le, 0.8);
+        let p = presolve(&lp).unwrap();
+        assert!(!p.is_reduced());
+        let sol = p.solve().unwrap();
+        approx(sol.objective, 1.0);
+        check_duals(&lp, &sol);
+    }
+
+    #[test]
+    fn postsolve_matches_direct_solve_with_duals() {
+        // A mixed model exercising several reductions at once.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let a = lp.add_var("a");
+        let b = lp.add_var("b");
+        let c = lp.add_var("c");
+        let d = lp.add_var("d");
+        lp.set_objective_coeff(a, 2.0);
+        lp.set_objective_coeff(b, 1.0);
+        lp.set_objective_coeff(c, 4.0);
+        lp.set_objective_coeff(d, -1.0);
+        lp.add_constraint(vec![(a, 1.0)], Relation::Eq, 1.5); // singleton eq
+        lp.add_constraint(vec![(d, 1.0)], Relation::Le, 0.0); // forces d = 0
+        lp.add_constraint(vec![(a, 1.0), (b, 1.0), (c, 2.0)], Relation::Le, 7.5);
+        lp.add_constraint(vec![(b, 1.0), (c, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(d, -3.0)], Relation::Le, 2.0); // redundant
+        let direct = lp.solve().unwrap();
+        let p = presolve(&lp).unwrap();
+        assert!(p.is_reduced());
+        let sol = p.solve().unwrap();
+        approx(sol.objective, direct.objective);
+        assert!(lp.is_feasible(sol.values(), 1e-6));
+        check_duals(&lp, &sol);
+    }
+
+    #[test]
+    fn fully_eliminated_problem_short_circuits() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        lp.set_objective_coeff(x, 5.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Eq, 2.0);
+        let p = presolve(&lp).unwrap();
+        assert_eq!(p.reduced().num_vars(), 0);
+        let sol = p.solve().unwrap();
+        approx(sol.objective, 10.0);
+        approx(sol.value(x), 2.0);
+        check_duals(&lp, &sol);
+    }
+}

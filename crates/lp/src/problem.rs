@@ -127,6 +127,34 @@ impl LpSolution {
     /// exact, unperturbed right-hand sides — the property the differential
     /// test against the dense oracle pins down. This is the groundwork for
     /// exact column-generation pricing over the realization tree pool.
+    ///
+    /// ```
+    /// use pm_lp::{LpProblem, Objective, Relation, SolverKind};
+    ///
+    /// // maximize 3x + 2y  s.t.  x + y <= 4,  x <= 2
+    /// let mut lp = LpProblem::new(Objective::Maximize);
+    /// let x = lp.add_var("x");
+    /// let y = lp.add_var("y");
+    /// lp.set_objective_coeff(x, 3.0);
+    /// lp.set_objective_coeff(y, 2.0);
+    /// lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0);
+    /// lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+    /// let sol = lp.solve_with(SolverKind::Revised).unwrap();
+    ///
+    /// // Both rows bind: relaxing row 0 is worth 2 (one more y), relaxing
+    /// // row 1 is worth 1 (swap one y for one x).
+    /// assert!((sol.duals()[0] - 2.0).abs() < 1e-9);
+    /// assert!((sol.duals()[1] - 1.0).abs() < 1e-9);
+    ///
+    /// // Strong duality against the exact right-hand sides.
+    /// let dual_obj: f64 = sol
+    ///     .duals()
+    ///     .iter()
+    ///     .zip(lp.constraints())
+    ///     .map(|(y, c)| y * c.rhs)
+    ///     .sum();
+    /// assert!((dual_obj - sol.objective).abs() < 1e-9);
+    /// ```
     pub fn duals(&self) -> &[f64] {
         &self.duals
     }
@@ -149,6 +177,10 @@ pub struct LpProblem {
     constraints: Vec<Constraint>,
     /// Variables currently fixed to zero (same length as `names`).
     fixed: Vec<bool>,
+    /// Lexicographic secondary objective coefficients (empty when unused;
+    /// grown on demand, so it may be shorter than `names`). See
+    /// [`LpProblem::set_secondary_coeff`].
+    secondary: Vec<f64>,
 }
 
 impl LpProblem {
@@ -160,6 +192,7 @@ impl LpProblem {
             objective_coeffs: Vec::new(),
             constraints: Vec::new(),
             fixed: Vec::new(),
+            secondary: Vec::new(),
         }
     }
 
@@ -230,6 +263,7 @@ impl LpProblem {
             objective_coeffs,
             constraints,
             fixed,
+            secondary: Vec::new(),
         };
         problem.validate()?;
         Ok(problem)
@@ -376,6 +410,52 @@ impl LpProblem {
         self.objective_coeffs[var.index()]
     }
 
+    /// Sets `var`'s coefficient in the *lexicographic secondary objective*.
+    ///
+    /// Degenerate problems have many tied-optimal vertices, and which one a
+    /// simplex engine reports depends on its pivot path — pricing rule,
+    /// basis factorization, warm-start hints. When any secondary coefficient
+    /// is set, the engines append a third phase after proving the primary
+    /// objective optimal: they *minimize* `Σ secondaryⱼ·xⱼ` over the optimal
+    /// face, pivoting only on columns whose primary reduced cost is zero.
+    /// The primary objective value is untouched (every such pivot moves
+    /// along the optimal face), but the reported *point* becomes canonical:
+    /// whenever the secondary optimum is unique, cold solves, warm-started
+    /// re-solves and both basis factorizations all land on the same vertex.
+    ///
+    /// The flow formulations in `pm-core` use this to report
+    /// traffic-parsimonious flows (secondary = cost-weighted total traffic),
+    /// which keeps greedy node scores independent of the pivot path.
+    ///
+    /// The secondary is always minimized, regardless of the primary sense,
+    /// and must be bounded below on the optimal face (guaranteed for
+    /// non-negative coefficients, since every variable satisfies `x ≥ 0`).
+    /// Like primary costs, secondary coefficients never participate in the
+    /// warm-start signature.
+    pub fn set_secondary_coeff(&mut self, var: VarId, coeff: f64) {
+        if self.secondary.len() <= var.index() {
+            self.secondary.resize(var.index() + 1, 0.0);
+        }
+        self.secondary[var.index()] = coeff;
+    }
+
+    /// `var`'s coefficient in the lexicographic secondary objective (0 when
+    /// never set).
+    pub fn secondary_coeff(&self, var: VarId) -> f64 {
+        self.secondary.get(var.index()).copied().unwrap_or(0.0)
+    }
+
+    /// Whether any secondary objective coefficient is set (the engines run
+    /// the lexicographic cleanup phase exactly in this case).
+    pub fn has_secondary(&self) -> bool {
+        self.secondary.iter().any(|&c| c != 0.0)
+    }
+
+    /// Removes the secondary objective entirely.
+    pub fn clear_secondary(&mut self) {
+        self.secondary.clear();
+    }
+
     /// Adds the constraint `sum terms (relation) rhs`. Terms referring to the
     /// same variable several times are summed.
     pub fn add_constraint(
@@ -430,6 +510,21 @@ impl LpProblem {
                 )));
             }
         }
+        if self.secondary.len() > self.names.len() {
+            return Err(LpError::InvalidModel(format!(
+                "secondary objective references {} variables (model has {})",
+                self.secondary.len(),
+                self.names.len()
+            )));
+        }
+        for (j, &c) in self.secondary.iter().enumerate() {
+            if !c.is_finite() {
+                return Err(LpError::InvalidModel(format!(
+                    "secondary objective coefficient of {} is not finite",
+                    self.names[j]
+                )));
+            }
+        }
         Ok(())
     }
 
@@ -442,9 +537,24 @@ impl LpProblem {
         self.solve_with(crate::solver::default_solver())
     }
 
-    /// Solves the problem with an explicitly chosen engine.
+    /// Solves the problem with an explicitly chosen engine. With
+    /// `PM_LP_PRESOLVE=1` the problem is first reduced by
+    /// [`crate::presolve::presolve`] (and the reduced solution postsolved
+    /// back), unless a [`crate::revised::WarmStartCache`] scope is active on
+    /// the current thread — presolve changes the constraint pattern and
+    /// would defeat scoped warm-start reuse — or a lexicographic secondary
+    /// objective is set (the reductions do not model it).
     pub fn solve_with(&self, solver: crate::solver::SolverKind) -> Result<LpSolution, LpError> {
         self.validate()?;
+        if crate::solver::presolve_enabled()
+            && !crate::revised::scope_active()
+            && !self.has_secondary()
+        {
+            let presolved = crate::presolve::presolve(self)?;
+            if presolved.is_reduced() {
+                return presolved.solve_with(solver);
+            }
+        }
         match solver {
             crate::solver::SolverKind::Dense => {
                 // Keep the scope's solve accounting truthful when the dense

@@ -1,18 +1,22 @@
-//! Sparse revised simplex with a product-form basis and warm starts.
+//! Sparse revised simplex with pluggable basis factorizations and warm
+//! starts.
 //!
-//! The engine keeps the basis as an inverse in product form: a file of
-//! elementary *eta* transforms built by Gauss–Jordan elimination over the
-//! basic columns (reinversion orders columns by increasing nonzero count, so
-//! the slack/network columns of the multicast LPs triangularize almost
-//! completely, exactly as an LU factorization would). Every pivot appends
-//! one eta; the file is rebuilt periodically (and whenever numerics degrade)
-//! to bound its growth.
+//! The engine never forms `B⁻¹` explicitly: all products go through a
+//! [`crate::basis::BasisFactorization`]. The default is a sparse LU
+//! factorization with Forrest–Tomlin pivot updates
+//! ([`crate::basis::LuBasis`]); the historical product-form eta file
+//! ([`crate::basis::EtaBasis`]) stays selectable with `PM_LP_BASIS=eta` as
+//! a differential oracle. See [`crate::solver::BasisKind`].
 //!
 //! Each iteration works on sparse columns only:
 //!
 //! * BTRAN of the basic costs gives the pricing vector `y`,
-//! * reduced costs `c_j − yᵀa_j` are scanned with Dantzig's rule over
-//!   rotating partial-pricing sections (Bland's rule after a stall),
+//! * entering-column selection depends on the basis engine: the LU path
+//!   prices with devex reference-framework weights over incrementally
+//!   maintained reduced costs (recomputed from scratch whenever the
+//!   factorization changes, and re-verified before declaring optimality);
+//!   the eta path keeps the legacy Dantzig rule over rotating
+//!   partial-pricing sections. Both switch to Bland's rule after a stall,
 //! * FTRAN of the entering column feeds the ratio test.
 //!
 //! The anti-degeneracy toolkit of the dense engine is ported verbatim: the
@@ -28,9 +32,11 @@
 //! [`WarmStartCache::scope`], every [`crate::LpProblem::solve`] call looks
 //! up the basis of the last solve with the same constraint pattern.
 
+use crate::basis::{BasisFactorization, BasisRepr};
 use crate::problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
 use crate::solver::{
     effective_relation, perturb_rhs, phase1_budget, phase2_budget, splitmix64, stats_enabled,
+    BasisKind,
 };
 use crate::sparse::CscMatrix;
 use std::cell::RefCell;
@@ -53,7 +59,9 @@ const STALL_SWITCH: usize = 64;
 /// Pivots between scheduled refactorizations.
 const REFACTOR_EVERY: usize = 128;
 
-/// Entries smaller than this are dropped from eta vectors.
+/// Solution-vector increments smaller than this are skipped in pivot
+/// updates (same drop tolerance the basis factorizations use for their
+/// stored vectors).
 const ETA_DROP: f64 = 1e-12;
 
 /// An optimal basis, reusable as a warm-start hint for a structurally
@@ -148,6 +156,9 @@ pub struct SolveStats {
     pub phase2_pivots: usize,
     /// Basis refactorizations performed.
     pub refactorizations: usize,
+    /// Which basis factorization ran the solve (see
+    /// [`crate::solver::BasisKind`]).
+    pub basis: BasisKind,
     /// Warm-start outcome.
     pub warm: WarmStatus,
     /// Wall-clock seconds spent in the solve.
@@ -167,107 +178,78 @@ pub struct SolveOutcome {
     pub stats: SolveStats,
 }
 
-/// The eta file: elementary Gauss–Jordan transforms stored in flat arrays.
+/// Devex reference-framework pricing state (the LU path's entering rule).
 ///
-/// Eta `k` maps `x` to `G_k x` with `(G_k x)_r = x_r / p_k` and
-/// `(G_k x)_i = x_i − w_i · (x_r / p_k)` for the off-pivot entries
-/// `(i, w_i)`; `r` is the pivot row and `p_k` the pivot element.
-#[derive(Debug, Default)]
-struct EtaFile {
-    pivot_row: Vec<u32>,
-    pivot_val: Vec<f64>,
-    starts: Vec<usize>,
-    idx: Vec<u32>,
-    val: Vec<f64>,
+/// Reduced costs are maintained incrementally across pivots — the exact
+/// algebraic update `rc_j −= α_rj · rc_q / α_rq` over the pivot row `α` —
+/// and recomputed from scratch (BTRAN of the basic costs + one pass over
+/// the matrix) whenever the factorization changes or optimality is about to
+/// be declared, so drift can never certify a wrong optimum. Weights follow
+/// the classical devex reference-framework recurrence with the framework
+/// reset whenever a weight overflows its trust range.
+#[derive(Debug)]
+struct DevexPricing {
+    /// CSR mirror of the constraint matrix (row pointers, column indices,
+    /// values) for gathering the pivot row `α = ρᵀA` sparsely.
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    vals: Vec<f64>,
+    /// Maintained reduced costs, one per column.
+    rc: Vec<f64>,
+    /// Devex reference weights, one per column.
+    weights: Vec<f64>,
+    /// Whether `rc` reflects the current basis (false forces a recompute).
+    valid: bool,
+    /// Whether any pivot was applied since the last full recompute (a dirty
+    /// `rc` may have drifted and must be re-verified before concluding
+    /// optimality or unboundedness).
+    dirty: bool,
+    /// Scratch: the pivot row `α` scattered by column, with its pattern in
+    /// `acols` (deduplicated through `astamp`/`aepoch`).
+    alpha: Vec<f64>,
+    acols: Vec<u32>,
+    astamp: Vec<u32>,
+    aepoch: u32,
+    /// Scratch: `ρ = B⁻ᵀ e_r` for the pivot row.
+    rho: Vec<f64>,
 }
 
-impl EtaFile {
-    fn clear(&mut self) {
-        self.pivot_row.clear();
-        self.pivot_val.clear();
-        self.starts.clear();
-        self.starts.push(0);
-        self.idx.clear();
-        self.val.clear();
-    }
-
-    fn len(&self) -> usize {
-        self.pivot_row.len()
-    }
-
-    fn nnz(&self) -> usize {
-        self.idx.len()
-    }
-
-    /// Appends the eta of a pivot on `row`: `w` is the FTRANed column held
-    /// in a dense scratch vector whose (potential) nonzeros are listed in
-    /// `touched`.
-    fn push_sparse(&mut self, row: usize, w: &[f64], touched: &[u32]) {
-        self.pivot_row.push(row as u32);
-        self.pivot_val.push(w[row]);
-        for &i in touched {
-            let v = w[i as usize];
-            if i as usize != row && v.abs() > ETA_DROP {
-                self.idx.push(i);
-                self.val.push(v);
-            }
-        }
-        self.starts.push(self.idx.len());
-    }
-
-    /// FTRAN: applies `G_k ··· G_1` in order, i.e. computes `B⁻¹ x` in
-    /// place.
-    fn ftran(&self, x: &mut [f64]) {
-        for k in 0..self.len() {
-            let r = self.pivot_row[k] as usize;
-            let t = x[r] / self.pivot_val[k];
-            x[r] = t;
-            if t != 0.0 {
-                for e in self.starts[k]..self.starts[k + 1] {
-                    x[self.idx[e] as usize] -= self.val[e] * t;
-                }
-            }
+impl DevexPricing {
+    fn new(a: &CscMatrix, m: usize, n_total: usize) -> Self {
+        let (row_ptr, col_idx, vals) = a.to_csr();
+        DevexPricing {
+            row_ptr,
+            col_idx,
+            vals,
+            rc: vec![0.0; n_total],
+            weights: vec![1.0; n_total],
+            valid: false,
+            dirty: false,
+            alpha: vec![0.0; n_total],
+            acols: Vec::new(),
+            astamp: vec![0; n_total],
+            aepoch: 0,
+            rho: vec![0.0; m],
         }
     }
 
-    /// Sparsity-exploiting FTRAN: like [`EtaFile::ftran`], but maintains the
-    /// invariant that every index whose value may be nonzero is listed in
-    /// `touched` (deduplicated through the `stamp`/`epoch` markers). The
-    /// caller seeds `touched` with the nonzeros of the input vector; etas
-    /// whose pivot row is untouched are skipped entirely, so the cost is
-    /// proportional to the fill actually created rather than to `m` or to
-    /// the eta-file size.
-    fn ftran_sparse(&self, x: &mut [f64], touched: &mut Vec<u32>, stamp: &mut [u32], epoch: u32) {
-        for k in 0..self.len() {
-            let r = self.pivot_row[k] as usize;
-            let xr = x[r];
-            if xr == 0.0 {
-                continue;
-            }
-            let t = xr / self.pivot_val[k];
-            x[r] = t;
-            for e in self.starts[k]..self.starts[k + 1] {
-                let i = self.idx[e];
-                if stamp[i as usize] != epoch {
-                    stamp[i as usize] = epoch;
-                    touched.push(i);
-                }
-                x[i as usize] -= self.val[e] * t;
-            }
+    /// The pivot-row entry for column `j` from the last
+    /// [`Engine::compute_pivot_row`], respecting the scatter stamps.
+    #[inline]
+    fn alpha_at(&self, j: usize) -> f64 {
+        if self.astamp[j] == self.aepoch {
+            self.alpha[j]
+        } else {
+            0.0
         }
     }
 
-    /// BTRAN: applies the transposes in reverse order, i.e. computes
-    /// `B⁻ᵀ x` in place. Only the pivot-row component changes per eta.
-    fn btran(&self, x: &mut [f64]) {
-        for k in (0..self.len()).rev() {
-            let r = self.pivot_row[k] as usize;
-            let mut s = x[r];
-            for e in self.starts[k]..self.starts[k + 1] {
-                s -= self.val[e] * x[self.idx[e] as usize];
-            }
-            x[r] = s / self.pivot_val[k];
-        }
+    /// Resets to an all-ones reference framework with invalid reduced costs
+    /// (done at phase boundaries: the cost vector changed wholesale).
+    fn reset_phase(&mut self) {
+        self.valid = false;
+        self.dirty = false;
+        self.weights.iter_mut().for_each(|w| *w = 1.0);
     }
 }
 
@@ -299,8 +281,15 @@ struct Engine {
     fixed: Vec<bool>,
     /// Whether any column is fixed (skips the per-column test otherwise).
     any_fixed: bool,
-    etas: EtaFile,
-    updates_since_refactor: usize,
+    /// Entering-column restriction of the lexicographic phase 3 (empty
+    /// outside it): only columns whose primary reduced cost was zero at the
+    /// phase-2 optimum may enter, so pivots move along the optimal face.
+    restrict: Vec<bool>,
+    /// The basis factorization (LU by default, eta via `PM_LP_BASIS=eta`).
+    fac: BasisRepr,
+    /// Devex pricing state — present exactly on the LU path; `None` keeps
+    /// the eta path on the legacy Dantzig partial pricing, byte-for-byte.
+    pricing: Option<DevexPricing>,
     /// `B⁻¹ b` (perturbed), indexed by row.
     x_b: Vec<f64>,
     /// `B⁻¹ b_shadow` (exact), same pivots.
@@ -431,11 +420,16 @@ impl Engine {
             }
         }
         let any_fixed = fixed.iter().any(|&f| f);
-        let mut etas = EtaFile::default();
-        etas.clear();
+        let kind = crate::solver::default_basis();
+        let pricing = match kind {
+            BasisKind::Lu => Some(DevexPricing::new(&a, m, n_total)),
+            BasisKind::Eta => None,
+        };
         Engine {
             x_b: b.clone(),
             x_shadow: b_shadow.clone(),
+            fac: BasisRepr::new(kind, m),
+            pricing,
             a,
             b,
             b_shadow,
@@ -450,8 +444,7 @@ impl Engine {
             in_basis,
             fixed,
             any_fixed,
-            etas,
-            updates_since_refactor: 0,
+            restrict: Vec::new(),
             cost: vec![0.0; n_total],
             price_ptr: 0,
             rng: 0x9e37_79b9_7f4a_7c15 ^ ((m as u64) << 32) ^ n_total as u64,
@@ -465,58 +458,36 @@ impl Engine {
         }
     }
 
-    /// Rebuilds the eta file for the current basis by Gauss–Jordan
-    /// elimination, pivoting columns in increasing-nonzero-count order (the
-    /// triangularization heuristic) with partial pivoting over the rows not
-    /// yet eliminated. Returns `false` when the basis is singular.
+    /// Rebuilds the basis factorization from scratch (the factorization may
+    /// permute basis slots so slot `r` pivots on row `r`), refreshes the
+    /// solution vectors from the RHS to shed accumulated drift, and
+    /// invalidates the maintained reduced costs. Returns `false` when the
+    /// basis is singular.
     fn refactorize(&mut self) -> bool {
-        self.etas.clear();
-        self.updates_since_refactor = 0;
         self.refactorizations += 1;
-        let m = self.m;
-        let mut order: Vec<usize> = (0..m).collect();
-        order.sort_by_key(|&r| self.a.col_nnz(self.basis[r]));
-        let mut pivoted = vec![false; m];
-        let mut new_basis = vec![usize::MAX; m];
-        for &pos in &order {
-            let j = self.basis[pos];
-            self.ftran_col(j);
-            // Partial pivoting over the rows not yet assigned; only touched
-            // entries can be nonzero.
-            let mut best_row = usize::MAX;
-            let mut best_abs = 0.0;
-            for &i in &self.touched {
-                let r = i as usize;
-                let w = self.work[r].abs();
-                if !pivoted[r] && w > best_abs {
-                    best_abs = w;
-                    best_row = r;
-                }
-            }
-            if best_abs <= 1e-10 {
-                return false;
-            }
-            self.etas.push_sparse(best_row, &self.work, &self.touched);
-            pivoted[best_row] = true;
-            new_basis[best_row] = j;
+        if !self.fac.refactorize(&self.a, &mut self.basis) {
+            return false;
         }
-        self.basis = new_basis;
         self.recompute_solution_vectors();
+        if let Some(p) = &mut self.pricing {
+            p.valid = false;
+        }
         true
     }
 
-    /// Recomputes `x_b` and `x_shadow` from the RHS through the current eta
-    /// file (used after refactorizations to shed accumulated drift).
+    /// Recomputes `x_b` and `x_shadow` from the RHS through the current
+    /// factorization (used after refactorizations to shed accumulated
+    /// drift).
     fn recompute_solution_vectors(&mut self) {
         self.x_b.copy_from_slice(&self.b);
-        self.etas.ftran(&mut self.x_b);
+        self.fac.ftran(&mut self.x_b);
         for v in &mut self.x_b {
             if v.abs() < EPS {
                 *v = 0.0;
             }
         }
         self.x_shadow.copy_from_slice(&self.b_shadow);
-        self.etas.ftran(&mut self.x_shadow);
+        self.fac.ftran(&mut self.x_shadow);
     }
 
     /// FTRAN of column `j` into `self.work`, tracking its nonzero pattern
@@ -538,7 +509,7 @@ impl Engine {
             self.touched.push(r);
             self.work[r as usize] = v;
         }
-        self.etas.ftran_sparse(
+        self.fac.ftran_sparse(
             &mut self.work,
             &mut self.touched,
             &mut self.stamp,
@@ -551,7 +522,7 @@ impl Engine {
         for r in 0..self.m {
             self.price[r] = self.cost[self.basis[r]];
         }
-        self.etas.btran(&mut self.price);
+        self.fac.btran(&mut self.price);
     }
 
     /// Reduced cost of column `j` under the current pricing vector.
@@ -560,11 +531,14 @@ impl Engine {
         self.cost[j] - self.a.col_dot(j, &self.price)
     }
 
-    /// Whether column `j` may not enter the basis: already basic, or fixed
-    /// to zero by the problem/overlay bounds.
+    /// Whether column `j` may not enter the basis: already basic, fixed to
+    /// zero by the problem/overlay bounds, or outside the optimal-face
+    /// restriction of the lexicographic phase 3.
     #[inline]
     fn col_blocked(&self, j: usize) -> bool {
-        self.in_basis[j] || (self.any_fixed && self.fixed[j])
+        self.in_basis[j]
+            || (self.any_fixed && self.fixed[j])
+            || (!self.restrict.is_empty() && !self.restrict[j])
     }
 
     /// Objective of the current phase at the current (perturbed) point.
@@ -584,9 +558,13 @@ impl Engine {
     }
 
     /// Applies the pivot `(row, entering)` with `self.work` holding
-    /// `B⁻¹ a_entering` (pattern in `self.touched`): updates the eta file,
-    /// the basis and both solution vectors.
-    fn apply_pivot(&mut self, row: usize, entering: usize) {
+    /// `B⁻¹ a_entering` (pattern in `self.touched`): updates the basis
+    /// factorization, the basis and both solution vectors. When the
+    /// factorization rejects the update as numerically untrustworthy (a
+    /// vanishing Forrest–Tomlin diagonal), the basis is refactorized from
+    /// scratch instead — an error there means the exchanged basis is
+    /// singular beyond repair.
+    fn apply_pivot(&mut self, row: usize, entering: usize) -> Result<(), LpError> {
         let w_r = self.work[row];
         let theta = self.x_b[row] / w_r;
         let theta_shadow = self.x_shadow[row] / w_r;
@@ -604,19 +582,23 @@ impl Engine {
         }
         self.x_b[row] = theta;
         self.x_shadow[row] = theta_shadow;
-        self.etas.push_sparse(row, &self.work, &self.touched);
+        let clean = self.fac.update(row, &self.work, &self.touched);
         self.in_basis[self.basis[row]] = false;
         self.in_basis[entering] = true;
         self.basis[row] = entering;
-        self.updates_since_refactor += 1;
         self.pivots += 1;
+        if !clean && !self.refactorize() {
+            return Err(LpError::IterationLimit);
+        }
+        Ok(())
     }
 
     /// Scheduled refactorization: every [`REFACTOR_EVERY`] pivots, or when
-    /// the eta file outgrows a small multiple of the matrix.
+    /// the factorization's stored fill outgrows a small multiple of the
+    /// matrix.
     fn maybe_refactorize(&mut self) -> Result<(), LpError> {
-        let due = self.updates_since_refactor >= REFACTOR_EVERY
-            || self.etas.nnz() > 4 * self.a.nnz() + 16 * self.m;
+        let due =
+            self.fac.updates_since_refactor() >= REFACTOR_EVERY || self.fac.wants_refactor(&self.a);
         if due && !self.refactorize() {
             return Err(LpError::IterationLimit);
         }
@@ -725,8 +707,20 @@ impl Engine {
 
     /// Runs simplex iterations on the current cost vector until optimal
     /// (all reduced costs ≥ −EPS over `0..allowed_hi`), unbounded, or out
-    /// of budget. Returns the pivots performed.
+    /// of budget. Returns the pivots performed. Dispatches on the pricing
+    /// engine: devex with maintained reduced costs on the LU path, the
+    /// legacy rotating Dantzig sections on the eta path.
     fn optimize(&mut self, allowed_hi: usize, budget: usize) -> Result<usize, LpError> {
+        if self.pricing.is_some() {
+            self.optimize_devex(allowed_hi, budget)
+        } else {
+            self.optimize_dantzig(allowed_hi, budget)
+        }
+    }
+
+    /// The legacy pricing loop: BTRAN + Dantzig scan over rotating partial
+    /// pricing sections every iteration (Bland's rule after a stall).
+    fn optimize_dantzig(&mut self, allowed_hi: usize, budget: usize) -> Result<usize, LpError> {
         let mut stalled = 0usize;
         let mut last_obj = self.phase_objective();
         let mut performed = 0usize;
@@ -755,7 +749,7 @@ impl Engine {
                 // Numerically fragile pivot: refresh the factorization and
                 // retry; if a fresh factorization still produces a tiny
                 // pivot, exclude the column until the basis next changes.
-                if self.updates_since_refactor > 0 {
+                if self.fac.updates_since_refactor() > 0 {
                     if !self.refactorize() {
                         return Err(LpError::IterationLimit);
                     }
@@ -764,7 +758,7 @@ impl Engine {
                 }
                 continue;
             }
-            self.apply_pivot(row, entering);
+            self.apply_pivot(row, entering)?;
             performed += 1;
             banned.clear();
             self.maybe_refactorize()?;
@@ -776,12 +770,207 @@ impl Engine {
                 last_obj = obj;
             } else {
                 stalled += 1;
-                if stalled == STALL_SWITCH && self.updates_since_refactor > 0 {
+                if stalled == STALL_SWITCH && self.fac.updates_since_refactor() > 0 {
                     // Entering Bland mode: shed drift first so its reduced
                     // costs are trustworthy.
                     if !self.refactorize() {
                         return Err(LpError::IterationLimit);
                     }
+                }
+            }
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    /// Recomputes the maintained reduced costs from scratch: one BTRAN of
+    /// the basic costs plus one pass over the matrix (`rc_j = c_j − yᵀa_j`).
+    fn recompute_reduced_costs(&mut self) {
+        self.compute_pricing_vector();
+        let p = self.pricing.as_mut().expect("devex path");
+        for j in 0..self.n_total {
+            p.rc[j] = self.cost[j] - self.a.col_dot(j, &self.price);
+        }
+        p.valid = true;
+        p.dirty = false;
+    }
+
+    /// Computes the pivot row `α = (B⁻ᵀ e_row)ᵀ A` into the pricing scratch
+    /// (`ρ` dense, `α` scattered over the CSR mirror). Must run *before*
+    /// the pivot is applied: the devex rc/weight recurrences are algebra on
+    /// the pre-pivot basis.
+    fn compute_pivot_row(&mut self, row: usize) {
+        let p = self.pricing.as_mut().expect("devex path");
+        p.rho.iter_mut().for_each(|v| *v = 0.0);
+        p.rho[row] = 1.0;
+        self.fac.btran(&mut p.rho);
+        p.aepoch = p.aepoch.wrapping_add(1);
+        if p.aepoch == 0 {
+            p.astamp.iter_mut().for_each(|s| *s = 0);
+            p.aepoch = 1;
+        }
+        p.acols.clear();
+        for (i, &ri) in p.rho.iter().enumerate() {
+            if ri.abs() <= 1e-12 {
+                continue;
+            }
+            for e in p.row_ptr[i]..p.row_ptr[i + 1] {
+                let j = p.col_idx[e] as usize;
+                if p.astamp[j] != p.aepoch {
+                    p.astamp[j] = p.aepoch;
+                    p.alpha[j] = 0.0;
+                    p.acols.push(j as u32);
+                }
+                p.alpha[j] += ri * p.vals[e];
+            }
+        }
+    }
+
+    /// The devex pricing loop (LU path). Reduced costs are maintained
+    /// incrementally and re-verified by a full recompute before any
+    /// optimality or unboundedness conclusion, so the incremental updates
+    /// are a pure accelerator, never a correctness dependency.
+    fn optimize_devex(&mut self, allowed_hi: usize, budget: usize) -> Result<usize, LpError> {
+        let mut stalled = 0usize;
+        let mut last_obj = self.phase_objective();
+        let mut performed = 0usize;
+        let mut banned: Vec<usize> = Vec::new();
+        while performed < budget {
+            let use_bland = stalled >= STALL_SWITCH;
+            if !self.pricing.as_ref().expect("devex path").valid {
+                self.recompute_reduced_costs();
+            }
+            // Entering: max rc²/weight (Bland: first improving index), ties
+            // to the smallest index for determinism.
+            let entering = {
+                let p = self.pricing.as_ref().expect("devex path");
+                let mut best: Option<usize> = None;
+                let mut best_score = 0.0;
+                for j in 0..allowed_hi {
+                    if self.col_blocked(j) || banned.contains(&j) {
+                        continue;
+                    }
+                    let rc = p.rc[j];
+                    if rc < -EPS {
+                        if use_bland {
+                            best = Some(j);
+                            break;
+                        }
+                        let score = rc * rc / p.weights[j];
+                        if score > best_score {
+                            best_score = score;
+                            best = Some(j);
+                        }
+                    }
+                }
+                best
+            };
+            let Some(entering) = entering else {
+                // No improving column in the maintained rc. If pivots were
+                // applied since the last full recompute the rc may have
+                // drifted: re-verify before certifying this vertex.
+                if self.pricing.as_ref().expect("devex path").dirty {
+                    self.recompute_reduced_costs();
+                    continue;
+                }
+                if banned.is_empty() {
+                    return Ok(performed);
+                }
+                // Same reasoning as the Dantzig loop: banned columns may
+                // still price negative, so this vertex cannot be certified.
+                return Err(LpError::IterationLimit);
+            };
+            self.ftran_col(entering);
+            let Some(row) = self.choose_leaving(use_bland) else {
+                // Unboundedness is only trustworthy under fresh reduced
+                // costs (the FTRANed column is factual, the sign of its
+                // reduced cost may have drifted).
+                if self.pricing.as_ref().expect("devex path").dirty {
+                    self.recompute_reduced_costs();
+                    if self.pricing.as_ref().expect("devex path").rc[entering] < -EPS {
+                        return Err(LpError::Unbounded);
+                    }
+                    continue;
+                }
+                return Err(LpError::Unbounded);
+            };
+            if self.work[row].abs() < PIVOT_TOL {
+                if self.fac.updates_since_refactor() > 0 {
+                    if !self.refactorize() {
+                        return Err(LpError::IterationLimit);
+                    }
+                } else {
+                    banned.push(entering);
+                }
+                continue;
+            }
+            // Pivot row for the rc/weight recurrences, from the pre-pivot
+            // basis. Its entry at the entering column must agree with the
+            // FTRANed column's pivot element — a mismatch means the
+            // factorization has drifted, so refresh and retry instead of
+            // pivoting on inconsistent data.
+            self.compute_pivot_row(row);
+            let alpha_rq = self
+                .pricing
+                .as_ref()
+                .expect("devex path")
+                .alpha_at(entering);
+            let w_r = self.work[row];
+            if (alpha_rq - w_r).abs() > 1e-6 * w_r.abs().max(1.0) {
+                if !self.refactorize() {
+                    return Err(LpError::IterationLimit);
+                }
+                continue;
+            }
+            let rc_q = self.pricing.as_ref().expect("devex path").rc[entering];
+            let leaving_col = self.basis[row];
+            self.apply_pivot(row, entering)?;
+            performed += 1;
+            banned.clear();
+            // Devex recurrences over the pivot row's support (exact algebra
+            // on the pre-pivot quantities; columns with α_rj = 0 keep their
+            // reduced cost unchanged).
+            {
+                let p = self.pricing.as_mut().expect("devex path");
+                let ratio = rc_q / alpha_rq;
+                let wq = p.weights[entering].max(1.0);
+                for idx in 0..p.acols.len() {
+                    let j = p.acols[idx] as usize;
+                    if j == entering || self.in_basis[j] {
+                        continue;
+                    }
+                    let arj = p.alpha[j];
+                    if arj == 0.0 {
+                        continue;
+                    }
+                    p.rc[j] -= ratio * arj;
+                    let r = arj / alpha_rq;
+                    let cand = r * r * wq;
+                    if cand > p.weights[j] {
+                        p.weights[j] = cand;
+                    }
+                }
+                p.rc[entering] = 0.0;
+                p.rc[leaving_col] = -ratio;
+                p.weights[leaving_col] = (wq / (alpha_rq * alpha_rq)).max(1.0);
+                if p.weights[leaving_col] > 1e8 {
+                    // The reference framework has degraded: restart it.
+                    p.weights.iter_mut().for_each(|w| *w = 1.0);
+                }
+                p.dirty = true;
+            }
+            self.maybe_refactorize()?;
+            // Anti-stalling bookkeeping, same as the Dantzig loop.
+            let obj = self.phase_objective();
+            if obj < last_obj - EPS * (1.0 + last_obj.abs()) {
+                stalled = 0;
+                last_obj = obj;
+            } else {
+                stalled += 1;
+                if stalled == STALL_SWITCH
+                    && self.fac.updates_since_refactor() > 0
+                    && !self.refactorize()
+                {
+                    return Err(LpError::IterationLimit);
                 }
             }
         }
@@ -872,6 +1061,9 @@ impl Engine {
             }
         }
         self.price_ptr = 0;
+        if let Some(p) = &mut self.pricing {
+            p.reset_phase();
+        }
         let budget = phase1_budget(self.m, self.n_total);
         self.optimize(self.artificial_start, budget)?;
         Ok(self.phase_objective() <= 1e-6)
@@ -886,6 +1078,9 @@ impl Engine {
         self.cost.iter_mut().for_each(|c| *c = 0.0);
         for j in self.artificial_start..self.n_total {
             self.cost[j] = 1.0;
+        }
+        if let Some(p) = &mut self.pricing {
+            p.reset_phase();
         }
         let budget = phase1_budget(self.m, self.n_total);
         self.optimize(self.n_total, budget)?;
@@ -907,7 +1102,7 @@ impl Engine {
             // Row r of B⁻¹.
             self.price.iter_mut().for_each(|v| *v = 0.0);
             self.price[r] = 1.0;
-            self.etas.btran(&mut self.price);
+            self.fac.btran(&mut self.price);
             let mut pivot_col = None;
             for j in 0..self.artificial_start {
                 if self.col_blocked(j) {
@@ -925,7 +1120,7 @@ impl Engine {
                 // ratio test, so theta = x_b[r] / work[r] must stay bounded
                 // — a 1e-10 pivot would scatter O(1e4)-sized errors.
                 if self.work[r].abs() > PIVOT_TOL {
-                    self.apply_pivot(r, j);
+                    self.apply_pivot(r, j)?;
                 }
             }
         }
@@ -956,15 +1151,83 @@ impl Engine {
             self.cost[j] = sense * problem.objective_coeff(VarId(j));
         }
         self.price_ptr = 0;
+        if let Some(p) = &mut self.pricing {
+            p.reset_phase();
+        }
         let budget = phase2_budget(self.m, self.n_total);
         self.optimize(self.artificial_start, budget)
+    }
+
+    /// Phase 3 (lexicographic cleanup, run only when the problem carries a
+    /// secondary objective): minimizes `Σ secondaryⱼ·xⱼ` over the phase-2
+    /// optimal face. Only columns whose primary reduced cost is zero at the
+    /// phase-2 optimum may enter, so every pivot keeps the primary objective
+    /// value — in exact arithmetic the primary reduced costs are *invariant*
+    /// under such pivots (`rc'ⱼ = rcⱼ − rc_q·αⱼ/α_q` with `rc_q = 0`), which
+    /// also means the eligible set is fixed once at entry (a leaving basic
+    /// column re-joins it with reduced cost zero). Whenever the secondary
+    /// optimum is unique, every pivot path — cold, warm-started, eta or LU —
+    /// lands on the same vertex, which is the whole point: downstream
+    /// consumers that read the *values* (greedy node scores, tree
+    /// decompositions) become independent of the solve history.
+    ///
+    /// Restores the phase-2 costs before returning so the dual extraction in
+    /// [`Engine::extract`] keeps pricing the primary objective.
+    fn phase3(&mut self, problem: &LpProblem) -> Result<usize, LpError> {
+        // Shed factorization drift first: eligibility is decided by primary
+        // reduced costs and a 1e-9 threshold needs trustworthy numbers.
+        if self.fac.updates_since_refactor() > 0 && !self.refactorize() {
+            return Err(LpError::IterationLimit);
+        }
+        self.compute_pricing_vector();
+        let mut restrict = vec![false; self.n_total];
+        for (j, r) in restrict.iter_mut().enumerate().take(self.artificial_start) {
+            if self.any_fixed && self.fixed[j] {
+                continue;
+            }
+            if self.in_basis[j] || self.reduced_cost(j).abs() <= EPS {
+                *r = true;
+            }
+        }
+        // The secondary is always minimized as given (no sense flip).
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
+        for j in 0..self.n_user {
+            self.cost[j] = problem.secondary_coeff(VarId(j));
+        }
+        self.restrict = restrict;
+        self.price_ptr = 0;
+        if let Some(p) = &mut self.pricing {
+            p.reset_phase();
+        }
+        let budget = phase2_budget(self.m, self.n_total);
+        let out = match self.optimize(self.artificial_start, budget) {
+            // A descent ray of the *secondary* does not make the problem
+            // unbounded — the primary optimum is already certified, and the
+            // current vertex is on the optimal face. Canonicalization is
+            // best-effort: stop here. (Unreachable for the non-negative
+            // secondaries pm-core emits, which are bounded below by zero.)
+            Err(LpError::Unbounded) => Ok(self.pivots),
+            other => other,
+        };
+        self.restrict = Vec::new();
+        // Reinstall the phase-2 costs: `extract` derives the duals from
+        // `self.cost` and they must certify the *primary* objective.
+        let sense = match problem.objective() {
+            Objective::Minimize => 1.0,
+            Objective::Maximize => -1.0,
+        };
+        self.cost.iter_mut().for_each(|c| *c = 0.0);
+        for j in 0..self.n_user {
+            self.cost[j] = sense * problem.objective_coeff(VarId(j));
+        }
+        out
     }
 
     /// Extracts the solution values from the exact shadow RHS after a final
     /// refactorization (so the reported point solves `B x_B = b` to
     /// factorization accuracy, not eta-accumulation accuracy).
     fn extract(&mut self, problem: &LpProblem) -> (LpSolution, Basis) {
-        if self.updates_since_refactor > 0 {
+        if self.fac.updates_since_refactor() > 0 {
             let ok = self.refactorize();
             debug_assert!(ok, "optimal basis cannot be singular");
         }
@@ -1035,6 +1298,33 @@ pub fn solve_with_hint(problem: &LpProblem, hint: Option<&Basis>) -> Result<Solv
 /// columns back to zero in a few pivots instead of discarding the hint and
 /// paying a cold phase 1+2. Like plain warm starts, the repair is an
 /// accelerator only — any failure falls back to a cold solve.
+///
+/// ```
+/// use pm_lp::revised::{resolve_with_bounds, BoundsOverlay};
+/// use pm_lp::{LpProblem, Objective, Relation};
+///
+/// // maximize x + y  s.t.  x + y <= 3,  x <= 2
+/// let mut lp = LpProblem::new(Objective::Maximize);
+/// let x = lp.add_var("x");
+/// let y = lp.add_var("y");
+/// lp.set_objective_coeff(x, 1.0);
+/// lp.set_objective_coeff(y, 1.0);
+/// lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 3.0);
+/// lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0);
+///
+/// // Cold solve of the unmodified problem; keep the optimal basis.
+/// let cold = resolve_with_bounds(&lp, &BoundsOverlay::default(), None).unwrap();
+/// assert!((cold.solution.objective - 3.0).abs() < 1e-9);
+///
+/// // Re-solve with y fixed to zero and a tightened RHS, warm-starting
+/// // from the previous basis — the problem itself is untouched.
+/// let mut overlay = BoundsOverlay::default();
+/// overlay.fix_zero.push(y);
+/// overlay.rhs.push((1, 1.5)); // row 1: x <= 1.5
+/// let warm = resolve_with_bounds(&lp, &overlay, Some(&cold.basis)).unwrap();
+/// assert!((warm.solution.objective - 1.5).abs() < 1e-9);
+/// assert!((warm.solution.value(y)).abs() < 1e-9);
+/// ```
 pub fn resolve_with_bounds(
     problem: &LpProblem,
     overlay: &BoundsOverlay,
@@ -1072,6 +1362,7 @@ fn solve_with_overlay(
         phase1_pivots: attempt.phase1_pivots,
         phase2_pivots: attempt.phase2_pivots,
         refactorizations: attempt.engine.refactorizations,
+        basis: attempt.engine.fac.kind(),
         warm,
         wall_s: start.elapsed().as_secs_f64(),
     };
@@ -1140,6 +1431,9 @@ fn attempt_solve(
             phase1_pivots = engine.pivots;
         }
         engine.phase2(problem)?;
+        if problem.has_secondary() {
+            engine.phase3(problem)?;
+        }
         Ok(engine.extract(problem))
     })();
     let phase2_pivots = engine.pivots.saturating_sub(phase1_pivots);
@@ -1156,8 +1450,12 @@ fn attempt_solve(
 
 fn print_stats(stats: &SolveStats, status: &str) {
     eprintln!(
-        "pm-lp: engine=revised m={} n={} nnz={} phase1_pivots={} phase2_pivots={} \
+        "pm-lp: engine=revised basis={} m={} n={} nnz={} phase1_pivots={} phase2_pivots={} \
          refactorizations={} warm={} elapsed={:.3}s status={status}",
+        match stats.basis {
+            BasisKind::Eta => "eta",
+            BasisKind::Lu => "lu",
+        },
         stats.m,
         stats.n,
         stats.nnz,
@@ -1284,6 +1582,14 @@ pub fn scoped_cache_counts() -> Option<(u64, u64)> {
     ACTIVE_CACHE.with(|slot| slot.borrow().as_ref().map(|c| (c.hits, c.misses)))
 }
 
+/// Whether a [`WarmStartCache`] scope is active on the current thread.
+/// `PM_LP_PRESOLVE=1` routing checks this: presolve changes the constraint
+/// pattern, so scoped solves skip it to keep their warm-start signatures
+/// stable.
+pub(crate) fn scope_active() -> bool {
+    ACTIVE_CACHE.with(|slot| slot.borrow().is_some())
+}
+
 /// Records a solve that bypassed the warm-start machinery (the dense
 /// engine) in the thread's active cache, so `lp_solves` stays an honest
 /// count of every LP solved inside the scope regardless of engine.
@@ -1356,6 +1662,66 @@ mod tests {
         let dense = lp.solve_with(SolverKind::Dense).unwrap();
         let revised = lp.solve_with(SolverKind::Revised).unwrap();
         approx(revised.objective, dense.objective);
+    }
+
+    /// A degenerate objective (`max x + y` over `x + y ≤ 1`) has every point
+    /// of the constraint's facet optimal; the secondary picks one vertex
+    /// canonically and keeps the primary objective exact.
+    fn tied_face_lp() -> LpProblem {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        lp.set_secondary_coeff(x, 2.0);
+        lp.set_secondary_coeff(y, 1.0);
+        lp
+    }
+
+    #[test]
+    fn secondary_objective_canonicalizes_the_optimal_vertex() {
+        // (Engine-pair agreement on the canonical vertex is covered by the
+        // serialized `lu_vs_eta` differential binary; flipping the global
+        // default basis here would race the parallel lib tests.)
+        let lp = tied_face_lp();
+        let s = solve_with_hint(&lp, None).unwrap().solution;
+        approx(s.objective, 1.0);
+        // min 2x + y over the face x + y = 1 lands on (0, 1).
+        approx(s.value(VarId(0)), 0.0);
+        approx(s.value(VarId(1)), 1.0);
+    }
+
+    #[test]
+    fn secondary_objective_survives_warm_starts_and_overlays() {
+        let lp = tied_face_lp();
+        let cold = solve_with_hint(&lp, None).unwrap();
+        // Warm re-solve from the canonical basis: same vertex.
+        let warm = solve_with_hint(&lp, Some(&cold.basis)).unwrap();
+        assert_eq!(warm.stats.warm, WarmStatus::Hit);
+        approx(warm.solution.value(VarId(0)), 0.0);
+        approx(warm.solution.value(VarId(1)), 1.0);
+        // Under an overlay fixing y, the face degenerates to x = 1: the
+        // secondary must not block the (now unique) primary optimum.
+        let mut overlay = BoundsOverlay::default();
+        overlay.fix_zero.push(VarId(1));
+        let o = resolve_with_bounds(&lp, &overlay, Some(&cold.basis)).unwrap();
+        approx(o.solution.objective, 1.0);
+        approx(o.solution.value(VarId(0)), 1.0);
+    }
+
+    #[test]
+    fn secondary_objective_keeps_dual_certificates() {
+        let lp = tied_face_lp();
+        let s = solve_with_hint(&lp, None).unwrap().solution;
+        // Strong duality against the primary: y·rhs = 1·1 = objective.
+        let dual: f64 = s
+            .duals()
+            .iter()
+            .zip(lp.constraints())
+            .map(|(y, c)| y * c.rhs)
+            .sum();
+        approx(dual, s.objective);
     }
 
     #[test]

@@ -414,6 +414,44 @@ pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
     }
     phase2?;
 
+    // ---- Phase 3: lexicographic secondary objective (when present). ----
+    // Minimize the secondary over the phase-2 optimal face: only columns
+    // whose primary reduced cost is zero (read straight off the optimal
+    // phase-2 objective row) may enter, so every pivot keeps the primary
+    // objective value and the reported vertex becomes canonical. See
+    // `LpProblem::set_secondary_coeff` for the contract; the revised engine
+    // runs the same phase.
+    if problem.has_secondary() {
+        let eligible: Vec<bool> = (0..n)
+            .map(|j| allowed(j) && tableau.obj[j].abs() <= EPS)
+            .collect();
+        tableau.obj = vec![0.0; n];
+        tableau.obj_value = 0.0;
+        for j in 0..num_user_vars {
+            tableau.obj[j] = problem.secondary_coeff(crate::problem::VarId(j));
+        }
+        for r in 0..m {
+            let bv = tableau.basis[r];
+            let cost = tableau.obj[bv];
+            if cost.abs() > 0.0 {
+                for j in 0..n {
+                    let val = tableau.at(r, j);
+                    tableau.obj[j] -= cost * val;
+                }
+                tableau.obj_value -= cost * tableau.b[r];
+                tableau.obj[bv] = 0.0;
+            }
+        }
+        let allowed3 = |j: usize| eligible[j];
+        match tableau.optimize(&allowed3, phase2_budget(m, n)) {
+            // A descent ray of the secondary does not make the problem
+            // unbounded — the primary optimum is certified and the current
+            // vertex is on the optimal face, so stop best-effort.
+            Ok(()) | Err(LpError::Unbounded) => {}
+            Err(e) => return Err(e),
+        }
+    }
+
     // Extract the solution from the unperturbed shadow RHS (a basic variable
     // may come out at a tiny negative value where the perturbation resolved
     // a degenerate vertex; clamp it to the bound).
@@ -451,6 +489,25 @@ mod tests {
         approx(s.objective, 36.0);
         approx(s.value(x), 2.0);
         approx(s.value(y), 6.0);
+    }
+
+    #[test]
+    fn secondary_objective_canonicalizes_the_optimal_vertex() {
+        // max x + y over x + y <= 1: the whole facet is optimal. The
+        // secondary (min 2x + y over the optimal face) picks (0, 1) without
+        // moving the primary objective.
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 1.0);
+        lp.set_secondary_coeff(x, 2.0);
+        lp.set_secondary_coeff(y, 1.0);
+        let s = crate::simplex::solve(&lp).unwrap();
+        approx(s.objective, 1.0);
+        approx(s.value(x), 0.0);
+        approx(s.value(y), 1.0);
     }
 
     #[test]

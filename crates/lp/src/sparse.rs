@@ -141,6 +141,33 @@ impl CscMatrix {
             out[r as usize] += v;
         }
     }
+
+    /// Builds a compressed-sparse-row mirror: `(row_ptr, col_idx, values)`
+    /// with row `i` occupying `row_ptr[i]..row_ptr[i + 1]`, column indices
+    /// increasing inside a row. Used by the devex pricing path to gather a
+    /// pivot row `ρᵀA` without scanning every column.
+    pub fn to_csr(&self) -> (Vec<usize>, Vec<u32>, Vec<f64>) {
+        let mut row_ptr = vec![0usize; self.m + 1];
+        for &r in &self.row_idx {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.m {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let mut next = row_ptr.clone();
+        let mut col_idx = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f64; self.nnz()];
+        for j in 0..self.n {
+            let (rows, vals) = self.col(j);
+            for (&r, &v) in rows.iter().zip(vals) {
+                let slot = next[r as usize];
+                next[r as usize] += 1;
+                col_idx[slot] = j as u32;
+                values[slot] = v;
+            }
+        }
+        (row_ptr, col_idx, values)
+    }
 }
 
 /// Incremental triplet-based builder for sparse [`LpProblem`]s.
@@ -157,6 +184,7 @@ pub struct SparseBuilder {
     objective: Objective,
     names: Vec<String>,
     objective_coeffs: Vec<f64>,
+    secondary: Vec<(VarId, f64)>,
     rows: Vec<(Relation, f64)>,
     triplets: Vec<(usize, usize, f64)>,
 }
@@ -172,6 +200,7 @@ impl SparseBuilder {
             objective,
             names: Vec::new(),
             objective_coeffs: Vec::new(),
+            secondary: Vec::new(),
             rows: Vec::new(),
             triplets: Vec::new(),
         }
@@ -193,6 +222,13 @@ impl SparseBuilder {
     /// Sets the objective coefficient of a variable.
     pub fn set_objective_coeff(&mut self, var: VarId, coeff: f64) {
         self.objective_coeffs[var.index()] = coeff;
+    }
+
+    /// Sets a lexicographic secondary-objective coefficient, forwarded to
+    /// [`LpProblem::set_secondary_coeff`] at build time. Later entries for the
+    /// same variable overwrite earlier ones.
+    pub fn set_secondary_coeff(&mut self, var: VarId, coeff: f64) {
+        self.secondary.push((var, coeff));
     }
 
     /// Opens a new constraint row `… (relation) rhs` and returns its id.
@@ -224,13 +260,17 @@ impl SparseBuilder {
     /// Finishes the model. Fails like [`LpProblem::validate`] on out-of-range
     /// variables or non-finite data.
     pub fn build(self) -> Result<LpProblem, LpError> {
-        LpProblem::from_parts(
+        let mut problem = LpProblem::from_parts(
             self.objective,
             self.names,
             self.objective_coeffs,
             self.rows,
             self.triplets,
-        )
+        )?;
+        for (var, coeff) in self.secondary {
+            problem.set_secondary_coeff(var, coeff);
+        }
+        Ok(problem)
     }
 }
 

@@ -10,15 +10,15 @@
 //!
 //! The crate provides:
 //!
-//! * [`graph`] — the [`Platform`](graph::Platform) graph itself, a validated
-//!   [`PlatformBuilder`](graph::PlatformBuilder), induced subgraphs and
+//! * [`graph`] — the [`Platform`] graph itself, a validated
+//!   [`PlatformBuilder`], induced subgraphs and
 //!   node/edge id types,
 //! * [`algo`] — shortest paths, multi-source bottleneck paths (the metric used
 //!   by the MCPH heuristic), reachability,
-//! * [`instances`] — [`MulticastInstance`](instances::MulticastInstance)
+//! * [`instances`] — [`MulticastInstance`]
 //!   (platform + source + target set) and the reference instances of the
 //!   paper (Figures 1 and 5, tightness gadgets),
-//! * [`mask`] — [`NodeMask`](mask::NodeMask) sub-platform views that
+//! * [`mask`] — [`NodeMask`] sub-platform views that
 //!   deactivate nodes without re-indexing (the representation behind the
 //!   masked LP formulations in `pm-core`),
 //! * [`topology`] — a Tiers-like hierarchical random topology generator used

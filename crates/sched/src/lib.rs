@@ -14,6 +14,8 @@
 //! * [`schedule`] — explicit periodic schedules built from weighted tree sets
 //!   via the coloring, ready to be replayed by the `pm-sim` simulator.
 
+#![deny(missing_docs)]
+
 pub mod coloring;
 pub mod load;
 pub mod schedule;

@@ -26,7 +26,12 @@ pub enum ScheduleError {
         required: f64,
     },
     /// A slot violates the one-port constraint.
-    OnePortViolation { slot: usize, node: NodeId },
+    OnePortViolation {
+        /// Index of the offending slot.
+        slot: usize,
+        /// The node sending or receiving more than one message in the slot.
+        node: NodeId,
+    },
     /// The slots overflow the period.
     SlotsExceedPeriod,
 }

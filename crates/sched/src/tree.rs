@@ -398,6 +398,31 @@ impl WeightedTreeSet {
     /// before anything was peeled. A mid-decomposition dead end (possible on
     /// adversarial numerics) stops the peeling instead; the missing demand
     /// shows up as a total weight below one.
+    ///
+    /// ```
+    /// use pm_platform::graph::PlatformBuilder;
+    /// use pm_platform::instances::MulticastInstance;
+    /// use pm_sched::WeightedTreeSet;
+    ///
+    /// // A diamond: S -> A -> T and S -> B -> T, each path carrying half
+    /// // of the broadcast to the single target T.
+    /// let mut b = PlatformBuilder::new();
+    /// let s = b.add_node();
+    /// let a = b.add_node();
+    /// let t = b.add_node();
+    /// let b2 = b.add_node();
+    /// b.add_edge(s, a, 1.0).unwrap(); // edge 0
+    /// b.add_edge(a, t, 1.0).unwrap(); // edge 1
+    /// b.add_edge(s, b2, 1.0).unwrap(); // edge 2
+    /// b.add_edge(b2, t, 1.0).unwrap(); // edge 3
+    /// let instance = MulticastInstance::new(b.build().unwrap(), s, vec![t]).unwrap();
+    ///
+    /// let flows = vec![vec![0.5, 0.5, 0.5, 0.5]];
+    /// let set = WeightedTreeSet::from_flows(&instance, &flows).unwrap();
+    /// // Two path-trees, each carrying half of the message.
+    /// assert_eq!(set.trees().len(), 2);
+    /// assert!((set.throughput() - 1.0).abs() < 1e-7);
+    /// ```
     pub fn from_flows(
         instance: &MulticastInstance,
         target_flows: &[Vec<f64>],
