@@ -8,7 +8,7 @@
 //!         [--densities a,b,c] [--seeds a,b,c] [--kinds k1,k2,...] [--basic]
 //!         [--full] [--smoke] [--realize] [--solver dense|revised]
 //!         [--json PATH] [--csv PATH] [--items-csv PATH] [--items-jsonl PATH]
-//!         [--drift] [--steps N]
+//!         [--drift] [--steps N] [--faults]
 //!
 //! With no class argument both classes are swept (the full Figure 11).
 //! Machine-readable results are always written — to `fig11_sweep.json` /
@@ -30,10 +30,18 @@
 //! JSON artifact records per-step re-solve wall time, warm-hit rates,
 //! throughput deltas and simulator-measured transition costs, and is
 //! byte-compared against `BENCH_fig11_drift_baseline.json` in CI.
+//!
+//! `--faults` switches to the fault-injection frontier sweep: every
+//! scenario's steady state is realized robustly at each disjointness level
+//! `f` and replayed under a grid of i.i.d. loss rates; the schema-v6 JSON
+//! artifact records the throughput-vs-redundancy/delivery frontier plus
+//! one crash/recovery round of transition costs, and is byte-compared
+//! against `BENCH_fig11_faults_baseline.json` in CI.
 
 use pm_bench::{
-    batch_to_csv, batch_to_json, drift_to_json, format_period_table, format_ratio_table,
-    run_batch_streamed, run_drift, BatchConfig, DriftConfig, ItemRowFormat, ItemSink,
+    batch_to_csv, batch_to_json, drift_to_json, faults_to_json, format_period_table,
+    format_ratio_table, run_batch_streamed, run_drift, run_faults, BatchConfig, DriftConfig,
+    FaultsConfig, ItemRowFormat, ItemSink,
 };
 use pm_core::report::HeuristicKind;
 use pm_platform::topology::PlatformClass;
@@ -57,6 +65,7 @@ fn main() {
     let mut items_csv_path: Option<String> = None;
     let mut items_jsonl_path: Option<String> = None;
     let mut drift = false;
+    let mut faults = false;
     let mut smoke = false;
     let mut steps: Option<usize> = None;
     let mut kinds_explicit = false;
@@ -112,6 +121,8 @@ fn main() {
             }
             // Dynamic-platform scenario sweep on long-lived sessions.
             "--drift" => drift = true,
+            // Fault-injected robust-realization frontier sweep.
+            "--faults" => faults = true,
             // Drift events per scenario (drift mode only).
             "--steps" => {
                 i += 1;
@@ -196,6 +207,120 @@ fn main() {
     }
     if let Some(classes) = &classes {
         config.classes = classes.clone();
+    }
+    if drift && faults {
+        eprintln!("--drift and --faults are distinct modes; pick one");
+        std::process::exit(2);
+    }
+
+    if faults {
+        let mut faults_config = if smoke {
+            FaultsConfig::smoke()
+        } else {
+            FaultsConfig::quick()
+        };
+        if let Some(classes) = classes {
+            faults_config.classes = classes;
+        }
+        faults_config.seeds = config.seeds.clone();
+        faults_config.platforms = config.platforms;
+        faults_config.paper_scale = config.paper_scale;
+        if kinds_explicit {
+            // The faults sweep realizes a single kind robustly.
+            faults_config.kind = config.kinds[0];
+            if config.kinds.len() > 1 {
+                eprintln!(
+                    "fig11: note: --faults realizes one kind; using {} and ignoring the rest",
+                    pm_bench::emit::kind_key(faults_config.kind)
+                );
+            }
+        }
+        if density_explicit {
+            faults_config.density = config.densities[0];
+            if config.densities.len() > 1 {
+                eprintln!(
+                    "fig11: note: --faults samples one instance per scenario; using density {} \
+                     and ignoring the rest of the grid",
+                    faults_config.density
+                );
+            }
+        }
+        // Sweep-only outputs have no faults counterpart: refuse them loudly
+        // instead of exiting "successfully" without the requested files.
+        for (flag, given) in [
+            ("--csv", csv_path != Some("fig11_sweep.csv".to_string())),
+            ("--items-csv", items_csv_path.is_some()),
+            ("--items-jsonl", items_jsonl_path.is_some()),
+            ("--realize", config.realize),
+            ("--steps", steps.is_some()),
+        ] {
+            if given {
+                eprintln!(
+                    "{flag} applies to the Figure 11 sweep only; --faults writes a single JSON \
+                     artifact (use --json)"
+                );
+                std::process::exit(2);
+            }
+        }
+        faults_config.progress = true;
+        eprintln!(
+            "running faults batch: classes={:?}, seeds={:?}, platforms={}, losses={:?}, f={:?}, \
+             kind={} ({} worker threads)",
+            faults_config.classes,
+            faults_config.seeds,
+            faults_config.platforms,
+            faults_config.loss_rates,
+            faults_config.redundancy,
+            pm_bench::emit::kind_key(faults_config.kind),
+            rayon::current_num_threads()
+        );
+        let result = run_faults(&faults_config);
+        eprintln!(
+            "fig11: faults {} scenarios, {} LP solves ({} warm hits, {:.0}% warm), {} ms total",
+            result.meta.scenarios,
+            result.meta.lp_solves,
+            result.meta.warm_hits,
+            100.0 * result.meta.warm_hit_rate(),
+            result.meta.solve_ms,
+        );
+        let cell_line = |label: &str, cell: &pm_bench::faults::FrontierCell| {
+            let worst = cell
+                .losses
+                .iter()
+                .rev()
+                .find(|p| p.loss > 0.0)
+                .map(|p| format!("{:.3}@{}", p.delivery_ratio, p.loss))
+                .unwrap_or_else(|| "-".to_string());
+            eprintln!(
+                "fig11:   {label} f={} trees={} throughput {:.4} (sacrifice {:.1}%), \
+                 delivery {} survives_edge_loss={}",
+                cell.f,
+                cell.trees,
+                cell.robust_throughput,
+                100.0 * cell.throughput_sacrifice,
+                worst,
+                cell.survives_single_edge_loss,
+            );
+        };
+        for cell in &result.worked_example.frontier {
+            cell_line("worked-example", cell);
+        }
+        for scenario in &result.scenarios {
+            for cell in &scenario.frontier {
+                cell_line(
+                    &format!(
+                        "class={:?} seed={} platform={}",
+                        scenario.class, scenario.seed, scenario.platform
+                    ),
+                    cell,
+                );
+            }
+        }
+        let path = json_path.unwrap_or_else(|| "fig11_faults.json".to_string());
+        std::fs::write(&path, faults_to_json(&result))
+            .unwrap_or_else(|e| panic!("writing faults JSON to {path}: {e}"));
+        eprintln!("wrote faults JSON results to {path}");
+        return;
     }
 
     if drift {

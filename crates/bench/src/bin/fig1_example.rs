@@ -47,6 +47,7 @@ fn main() {
         SimulationConfig {
             horizon: 100,
             warmup: 10,
+            ..SimulationConfig::default()
         },
     )
     .expect("optimal tree set schedules within one period");

@@ -229,7 +229,9 @@ fn apply_event(session: &mut Session, disabled: &mut Vec<NodeId>, rng: &mut StdR
 
 /// A node that can be disabled while keeping every remaining active node
 /// reachable from the source (so every configured kind stays solvable).
-fn pick_disable_candidate(session: &Session, rng: &mut StdRng) -> Option<NodeId> {
+/// Shared with the `--faults` sweep, whose crash step needs the same
+/// safety guarantee.
+pub(crate) fn pick_disable_candidate(session: &Session, rng: &mut StdRng) -> Option<NodeId> {
     let instance = session.instance();
     let platform = &instance.platform;
     let mask = session.mask();

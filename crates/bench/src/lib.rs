@@ -10,11 +10,13 @@
 
 pub mod drift;
 pub mod emit;
+pub mod faults;
 pub mod sweep;
 pub mod table;
 
 pub use drift::{drift_to_json, run_drift, DriftConfig, DriftResult};
 pub use emit::{batch_to_csv, batch_to_json, sweep_to_csv, sweep_to_json, ItemRowFormat, ItemSink};
+pub use faults::{faults_to_json, run_faults, FaultsConfig, FaultsResult};
 pub use sweep::{
     run_batch, run_batch_streamed, run_sweep, BatchConfig, BatchMeta, BatchResult, SweepConfig,
     SweepPoint, SweepResult,

@@ -44,6 +44,7 @@ pub mod heuristics;
 pub mod masked;
 pub mod realize;
 pub mod report;
+pub mod robust;
 pub mod session;
 
 pub use exact::{pack_trees, ExactSolution, ExactTreePacking};
@@ -57,6 +58,10 @@ pub use heuristics::{
 pub use masked::{MaskedFlow, MaskedFlowLp, MaskedMultiSource, MaskedMultiSourceUb};
 pub use realize::{Realization, RealizeError, SteadyStateSolution};
 pub use report::{HeuristicKind, KindLpStats, MulticastReport};
+pub use robust::{
+    realize_robust, realize_robust_masked, RobustOptions, RobustRealization, TargetRedundancy,
+};
 pub use session::{
-    ReRealization, Session, SessionOpStats, SessionSolve, SessionStats, TransitionCost,
+    ReRealization, RobustReRealization, Session, SessionOpStats, SessionSolve, SessionStats,
+    TransitionCost,
 };

@@ -222,65 +222,7 @@ pub fn realize_with_pool(
         )));
     }
 
-    // 1. Per-target end-to-end flows (when the solution is flow-shaped).
-    let flow_rows: Option<Vec<Vec<f64>>> = match solution {
-        SteadyStateSolution::TargetFlows { target_flows, .. } => Some(target_flows.clone()),
-        SteadyStateSolution::MultiSource {
-            sources,
-            dest_nodes,
-            dest_flows,
-            ..
-        } => Some(compose_target_flows(
-            instance, sources, dest_nodes, dest_flows,
-        )?),
-        SteadyStateSolution::Trees { .. } => None,
-    };
-
-    // 2. Candidate trees: peel the flows (two target orders lay down
-    // different round skeletons), or take the explicit combination.
-    let mut pool: Vec<MulticastTree> = Vec::new();
-    // Dedup by edge *set*: different peel orders (and seed trees from a
-    // previous realization) can list the same tree's edges in different
-    // orders, and duplicate columns would only bloat the packing LP.
-    let edge_key = |tree: &MulticastTree| {
-        let mut edges: Vec<u32> = tree.edges().iter().map(|e| e.0).collect();
-        edges.sort_unstable();
-        edges
-    };
-    let add_tree = |pool: &mut Vec<MulticastTree>, tree: MulticastTree| {
-        let key = edge_key(&tree);
-        if !pool.iter().any(|p| edge_key(p) == key) {
-            pool.push(tree);
-        }
-    };
-    match (&flow_rows, solution) {
-        (Some(rows), _) => {
-            let natural = WeightedTreeSet::from_flows(instance, rows)?;
-            for tree in natural.trees() {
-                add_tree(&mut pool, tree.clone());
-            }
-            let reversed: Vec<usize> = (0..instance.targets.len()).rev().collect();
-            if let Ok(set) = WeightedTreeSet::from_flows_with_order(instance, rows, &reversed) {
-                for tree in set.trees() {
-                    add_tree(&mut pool, tree.clone());
-                }
-            }
-        }
-        (None, SteadyStateSolution::Trees { trees, .. }) => {
-            for tree in trees.trees() {
-                add_tree(&mut pool, tree.clone());
-            }
-        }
-        (None, _) => unreachable!("flow-shaped solutions always produce rows"),
-    }
-    for tree in seed_trees {
-        add_tree(&mut pool, tree.clone());
-    }
-    if pool.is_empty() {
-        return Err(RealizeError::NotRealizable(
-            "the decomposition produced no tree".to_string(),
-        ));
-    }
+    let (mut pool, flow_rows) = candidate_pool(instance, solution, seed_trees)?;
 
     // 3. Re-weight with the packing LP of Theorem 4 (the peel fixes
     // structure, the LP fixes rates), then close any remaining gap by
@@ -323,8 +265,8 @@ pub fn realize_with_pool(
             let Ok(tree) = crate::heuristics::Mcph.build_tree_with_costs(instance, priced) else {
                 break;
             };
-            let key = edge_key(&tree);
-            if pool.iter().any(|p| edge_key(p) == key) {
+            let key = tree_edge_key(&tree);
+            if pool.iter().any(|p| tree_edge_key(p) == key) {
                 break;
             }
             pool.push(tree);
@@ -366,6 +308,82 @@ pub fn realize_with_pool(
         simulated,
         realization_gap,
     })
+}
+
+/// A tree's identity for pool deduplication: its sorted edge-id set.
+/// Different peel orders (and seed trees from a previous realization) can
+/// list the same tree's edges in different orders, and duplicate columns
+/// would only bloat the packing LP.
+pub(crate) fn tree_edge_key(tree: &MulticastTree) -> Vec<u32> {
+    let mut edges: Vec<u32> = tree.edges().iter().map(|e| e.0).collect();
+    edges.sort_unstable();
+    edges
+}
+
+/// Per-target end-to-end flow rows of a flow-shaped solution.
+pub(crate) type FlowRows = Vec<Vec<f64>>;
+
+/// The candidate-tree pool of a steady-state solution: the flow peels (two
+/// target orders lay down different round skeletons) or the explicit tree
+/// combination, extended with `seed_trees`, deduplicated by edge set.
+/// Returns the pool together with the per-target flow rows when the
+/// solution is flow-shaped (the rows bound the support of pricing rounds).
+pub(crate) fn candidate_pool(
+    instance: &MulticastInstance,
+    solution: &SteadyStateSolution,
+    seed_trees: &[MulticastTree],
+) -> Result<(Vec<MulticastTree>, Option<FlowRows>), RealizeError> {
+    // 1. Per-target end-to-end flows (when the solution is flow-shaped).
+    let flow_rows: Option<Vec<Vec<f64>>> = match solution {
+        SteadyStateSolution::TargetFlows { target_flows, .. } => Some(target_flows.clone()),
+        SteadyStateSolution::MultiSource {
+            sources,
+            dest_nodes,
+            dest_flows,
+            ..
+        } => Some(compose_target_flows(
+            instance, sources, dest_nodes, dest_flows,
+        )?),
+        SteadyStateSolution::Trees { .. } => None,
+    };
+
+    // 2. Candidate trees: peel the flows, or take the explicit combination.
+    let mut pool: Vec<MulticastTree> = Vec::new();
+    let add_tree = |pool: &mut Vec<MulticastTree>, tree: MulticastTree| {
+        let key = tree_edge_key(&tree);
+        if !pool.iter().any(|p| tree_edge_key(p) == key) {
+            pool.push(tree);
+        }
+    };
+    match (&flow_rows, solution) {
+        (Some(rows), _) => {
+            let natural = WeightedTreeSet::from_flows(instance, rows)?;
+            for tree in natural.trees() {
+                add_tree(&mut pool, tree.clone());
+            }
+            let reversed: Vec<usize> = (0..instance.targets.len()).rev().collect();
+            if let Ok(set) = WeightedTreeSet::from_flows_with_order(instance, rows, &reversed) {
+                for tree in set.trees() {
+                    add_tree(&mut pool, tree.clone());
+                }
+            }
+        }
+        (None, SteadyStateSolution::Trees { trees, .. }) => {
+            for tree in trees.trees() {
+                add_tree(&mut pool, tree.clone());
+            }
+        }
+        (None, _) => unreachable!("flow-shaped solutions always produce rows"),
+    }
+    for tree in seed_trees {
+        add_tree(&mut pool, tree.clone());
+    }
+    if pool.is_empty() {
+        return Err(RealizeError::NotRealizable(
+            "the decomposition produced no tree".to_string(),
+        ));
+    }
+    Ok((pool, flow_rows))
 }
 
 /// Composes the per-destination flows of a multi-source solution into one

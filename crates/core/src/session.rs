@@ -57,6 +57,7 @@ use crate::heuristics::{
 use crate::masked::{MaskedFlowLp, MaskedMultiSourceUb, MaskedStats};
 use crate::realize::{realize_with_pool, Realization, RealizeError, SteadyStateSolution};
 use crate::report::HeuristicKind;
+use crate::robust::{realize_robust_masked, RobustOptions, RobustRealization};
 use pm_lp::{Basis, WarmStartCache, WarmStatus};
 use pm_platform::graph::{EdgeId, NodeId};
 use pm_platform::instances::MulticastInstance;
@@ -249,6 +250,21 @@ pub struct ReRealization {
     pub stats: SessionOpStats,
 }
 
+/// One completed [`Session::re_realize_robust`]: the fresh redundant
+/// realization plus the switchover cost against the kind's previous robust
+/// realization (absent on the first robust realization of a kind).
+#[derive(Debug, Clone)]
+pub struct RobustReRealization {
+    /// The new simulator-verified redundant realization.
+    pub realization: RobustRealization,
+    /// The switchover cost against the kind's previous robust realization —
+    /// how a crash (or recovery) degrades service while the redundant
+    /// schedule is swapped.
+    pub transition: Option<TransitionCost>,
+    /// The operation's accounting (the packing LPs of the robust pipeline).
+    pub stats: SessionOpStats,
+}
+
 /// A long-lived solver session over one (drifting) platform. See the
 /// [module docs](crate::session) for the design.
 #[derive(Debug)]
@@ -264,6 +280,7 @@ pub struct Session {
     bases: [Option<Basis>; SLOTS],
     solutions: Vec<(HeuristicKind, HeuristicResult)>,
     realizations: Vec<(HeuristicKind, Realization)>,
+    robust_realizations: Vec<(HeuristicKind, RobustRealization)>,
     sim_config: SimulationConfig,
     stats: SessionStats,
 }
@@ -283,6 +300,7 @@ impl Session {
             bases: std::array::from_fn(|_| None),
             solutions: Vec::new(),
             realizations: Vec::new(),
+            robust_realizations: Vec::new(),
             sim_config: SimulationConfig::default(),
             stats: SessionStats::default(),
         }
@@ -550,7 +568,7 @@ impl Session {
         let (hits0, misses0) = (self.cache.hits, self.cache.misses);
         let mut cache = std::mem::take(&mut self.cache);
         let instance = &self.instance;
-        let sim_config = self.sim_config;
+        let sim_config = self.sim_config.clone();
         // The packing LPs of the pipeline run under the session's ambient
         // warm-start cache: consecutive re-realizations of similar pools
         // re-use their bases.
@@ -564,9 +582,14 @@ impl Session {
         };
         op.lp_solves = op.warm_hits + op.warm_misses;
         op.wall_s = start.elapsed().as_secs_f64();
-        let transition = self
-            .realization_for(kind)
-            .map(|old| self.transition_cost(&old.tree_set, old.simulated.throughput, &realization));
+        let transition = self.realization_for(kind).map(|old| {
+            self.transition_cost(
+                &old.tree_set,
+                old.simulated.throughput,
+                &realization.tree_set,
+                realization.simulated.throughput,
+            )
+        });
         self.remember_realization(kind, realization.clone());
         self.stats.realizations += 1;
         self.stats.absorb(&op);
@@ -588,6 +611,103 @@ impl Session {
         })
     }
 
+    /// The last robust realization of a kind, if any.
+    pub fn robust_realization_for(&self, kind: HeuristicKind) -> Option<&RobustRealization> {
+        self.robust_realizations
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, r)| r)
+    }
+
+    /// Re-realizes the latest solution of `kind` as a *redundant* schedule
+    /// under the session's current node mask (see
+    /// [`crate::robust::realize_robust_masked`]), and measures the
+    /// switchover against the kind's previous robust realization.
+    ///
+    /// This is the crash-recovery loop of a drifting platform: a node crash
+    /// ([`Session::disable_node`]) invalidates the trees through it, the
+    /// robust re-realization rebuilds redundancy from what is left (seeded
+    /// with the previous robust trees that survive the mask), and the
+    /// returned [`TransitionCost`] measures the degradation; the matching
+    /// [`Session::enable_node`] + re-realization measures the recovery.
+    pub fn re_realize_robust(
+        &mut self,
+        kind: HeuristicKind,
+        options: &RobustOptions,
+    ) -> Result<RobustReRealization, RealizeError> {
+        let start = Instant::now();
+        let solution: SteadyStateSolution = self
+            .solution_for(kind)
+            .and_then(|r| r.steady_state.clone())
+            .ok_or_else(|| {
+                RealizeError::NotRealizable(format!(
+                    "{} has no captured steady-state solution in this session",
+                    kind.label()
+                ))
+            })?;
+        let seeds: Vec<MulticastTree> = self
+            .robust_realization_for(kind)
+            .map(|old| {
+                old.tree_set
+                    .trees()
+                    .iter()
+                    .filter(|t| self.tree_active(t))
+                    .cloned()
+                    .collect()
+            })
+            .unwrap_or_default();
+        let (hits0, misses0) = (self.cache.hits, self.cache.misses);
+        let mut cache = std::mem::take(&mut self.cache);
+        let instance = &self.instance;
+        let mask = &self.mask;
+        let outcome =
+            cache.scope(|| realize_robust_masked(instance, mask, &solution, &seeds, options));
+        self.cache = cache;
+        let realization = outcome?;
+        let mut op = SessionOpStats {
+            warm_hits: self.cache.hits - hits0,
+            warm_misses: self.cache.misses - misses0,
+            ..SessionOpStats::default()
+        };
+        op.lp_solves = op.warm_hits + op.warm_misses;
+        op.wall_s = start.elapsed().as_secs_f64();
+        let transition = self.robust_realization_for(kind).map(|old| {
+            self.transition_cost(
+                &old.tree_set,
+                old.robust_throughput,
+                &realization.tree_set,
+                realization.robust_throughput,
+            )
+        });
+        match self
+            .robust_realizations
+            .iter_mut()
+            .find(|(k, _)| *k == kind)
+        {
+            Some((_, slot)) => *slot = realization.clone(),
+            None => self.robust_realizations.push((kind, realization.clone())),
+        }
+        self.stats.realizations += 1;
+        self.stats.absorb(&op);
+        if pm_lp::stats_enabled() {
+            eprintln!(
+                "pm-core: session robust realize kind={} f={} achieved={} trees={} \
+                 packing_lps={} elapsed={:.3}s",
+                kind.label(),
+                options.disjointness,
+                realization.achieved_disjointness,
+                realization.tree_set.len(),
+                op.lp_solves,
+                op.wall_s,
+            );
+        }
+        Ok(RobustReRealization {
+            realization,
+            transition,
+            stats: op,
+        })
+    }
+
     /// Whether every edge of the tree is active under the current mask.
     fn tree_active(&self, tree: &MulticastTree) -> bool {
         tree.edges()
@@ -599,7 +719,8 @@ impl Session {
         &self,
         old_trees: &WeightedTreeSet,
         old_throughput: f64,
-        new: &Realization,
+        new_trees: &WeightedTreeSet,
+        new_throughput: f64,
     ) -> TransitionCost {
         let platform = &self.instance.platform;
         let targets = &self.instance.targets;
@@ -612,8 +733,7 @@ impl Session {
             .filter(|t| self.tree_active(t))
             .map(|t| Simulator::tree_fill_makespan(platform, t, targets))
             .fold(0.0, f64::max);
-        let first_delivery_latency = new
-            .tree_set
+        let first_delivery_latency = new_trees
             .trees()
             .iter()
             .map(|t| Simulator::tree_fill_makespan(platform, t, targets))
@@ -630,15 +750,15 @@ impl Session {
             edges
         };
         let old_keys: BTreeSet<Vec<u32>> = old_trees.trees().iter().map(edge_key).collect();
-        let new_keys: BTreeSet<Vec<u32>> = new.tree_set.trees().iter().map(edge_key).collect();
+        let new_keys: BTreeSet<Vec<u32>> = new_trees.trees().iter().map(edge_key).collect();
         let trees_kept = new_keys.intersection(&old_keys).count();
         let switch_time = drain_time + first_delivery_latency;
         TransitionCost {
             drain_time,
             first_delivery_latency,
             switch_time,
-            multicasts_lost: switch_time * new.simulated.throughput,
-            throughput_delta: new.simulated.throughput - old_throughput,
+            multicasts_lost: switch_time * new_throughput,
+            throughput_delta: new_throughput - old_throughput,
             trees_kept,
             trees_added: new_keys.len() - trees_kept,
             trees_dropped: old_keys.len() - trees_kept,
@@ -887,6 +1007,52 @@ mod tests {
         );
         assert_eq!(second.realization.simulated.one_port_violations, 0);
         assert_eq!(session.stats().realizations, 2);
+    }
+
+    #[test]
+    fn robust_re_realization_measures_crash_and_recovery_transitions() {
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        session.solve(HeuristicKind::LowerBound).unwrap();
+        let options = RobustOptions {
+            sim: pm_sim::SimulationConfig {
+                horizon: 40,
+                warmup: 4,
+                ..pm_sim::SimulationConfig::default()
+            },
+            ..RobustOptions::default()
+        };
+        let healthy = session
+            .re_realize_robust(HeuristicKind::LowerBound, &options)
+            .unwrap();
+        assert!(healthy.transition.is_none());
+        assert_eq!(healthy.realization.fault_free.delivery_ratio, 1.0);
+        assert_eq!(healthy.realization.fault_free.one_port_violations, 0);
+
+        // Crash a relay: the robust pool rebuilds from what survives the
+        // mask and the degradation is measured as a transition.
+        assert!(session.disable_node(NodeId(4)).unwrap());
+        session.solve(HeuristicKind::LowerBound).unwrap();
+        let degraded = session
+            .re_realize_robust(HeuristicKind::LowerBound, &options)
+            .unwrap();
+        let crash = degraded.transition.expect("crash has a baseline");
+        assert!(crash.switch_time >= 0.0);
+        assert_eq!(degraded.realization.fault_free.delivery_ratio, 1.0);
+
+        // Recovery: re-enable and re-realize again.
+        assert!(session.enable_node(NodeId(4)).unwrap());
+        session.solve(HeuristicKind::LowerBound).unwrap();
+        let recovered = session
+            .re_realize_robust(HeuristicKind::LowerBound, &options)
+            .unwrap();
+        let recovery = recovered.transition.expect("recovery has a baseline");
+        // Recovering the node can only restore (or keep) robust capacity.
+        assert!(recovery.throughput_delta >= -1e-9);
+        assert_eq!(session.stats().realizations, 3);
+        assert!(session
+            .robust_realization_for(HeuristicKind::LowerBound)
+            .is_some());
     }
 
     #[test]

@@ -144,6 +144,95 @@ pub fn multi_source_bottleneck(
     PathTree { dist, parent_edge }
 }
 
+/// Number of pairwise edge-disjoint `src → dst` paths: the value of a
+/// maximum flow with unit capacity on every edge (Menger's theorem), found
+/// by BFS augmentation (Edmonds–Karp). Node capacities are *not* limited —
+/// disjointness is in edges, matching the redundancy guarantee of the
+/// robust realizer (a single *link* failure kills at most one path).
+///
+/// `src == dst` returns `usize::MAX` conceptually capped to the out-degree;
+/// we return the out-degree of `src` in that degenerate case.
+pub fn edge_disjoint_paths(platform: &Platform, src: NodeId, dst: NodeId) -> usize {
+    edge_disjoint_paths_where(platform, src, dst, &|_| true)
+}
+
+/// [`edge_disjoint_paths`] restricted to the edges accepted by `allowed` —
+/// the form the robust realizer uses to measure the redundancy of a tree
+/// union (only union edges are allowed) and of a masked sub-platform (only
+/// mask-active edges are allowed).
+pub fn edge_disjoint_paths_where(
+    platform: &Platform,
+    src: NodeId,
+    dst: NodeId,
+    allowed: &dyn Fn(EdgeId) -> bool,
+) -> usize {
+    if src == dst {
+        return platform
+            .out_edges(src)
+            .iter()
+            .filter(|&&e| allowed(e))
+            .count();
+    }
+    let n = platform.node_count();
+    let m = platform.edge_count();
+    // flow[e] = 1 when edge e carries a unit of flow.
+    let mut flow = vec![false; m];
+    let mut paths = 0usize;
+    loop {
+        // BFS over the residual graph: forward through unsaturated allowed
+        // edges, backward through saturated ones.
+        // pred[v] = (edge, forward?) used to reach v.
+        let mut pred: Vec<Option<(EdgeId, bool)>> = vec![None; n];
+        let mut seen = vec![false; n];
+        seen[src.index()] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(src);
+        'bfs: while let Some(u) = queue.pop_front() {
+            for &e in platform.out_edges(u) {
+                if !flow[e.index()] && allowed(e) {
+                    let v = platform.edge(e).dst;
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        pred[v.index()] = Some((e, true));
+                        if v == dst {
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+            for &e in platform.in_edges(u) {
+                if flow[e.index()] {
+                    let v = platform.edge(e).src;
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        pred[v.index()] = Some((e, false));
+                        if v == dst {
+                            break 'bfs;
+                        }
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        if !seen[dst.index()] {
+            return paths;
+        }
+        // Augment along the BFS path: set forward edges, clear backward ones.
+        let mut cur = dst;
+        while cur != src {
+            let (e, forward) = pred[cur.index()].expect("path reaches src");
+            flow[e.index()] = forward;
+            cur = if forward {
+                platform.edge(e).src
+            } else {
+                platform.edge(e).dst
+            };
+        }
+        paths += 1;
+    }
+}
+
 /// Set of nodes reachable from `source` (including `source` itself).
 pub fn reachable_from(platform: &Platform, source: NodeId) -> Vec<NodeId> {
     let n = platform.node_count();
@@ -237,6 +326,56 @@ mod tests {
         assert_eq!(r, vec![NodeId(1), NodeId(2), NodeId(3)]);
         assert!(all_reachable(&g, NodeId(0), &[NodeId(3), NodeId(2)]));
         assert!(!all_reachable(&g, NodeId(3), &[NodeId(0)]));
+    }
+
+    #[test]
+    fn edge_disjoint_paths_on_the_diamond() {
+        let g = diamond();
+        // 0 -> 3: 0-1-3 and 0-2-3 (0-1-2-3 shares edges with both).
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(3)), 2);
+        // 0 -> 2: direct plus via node 1.
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(2)), 2);
+        // 0 -> 1: single edge.
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(1)), 1);
+        // No path back.
+        assert_eq!(edge_disjoint_paths(&g, NodeId(3), NodeId(0)), 0);
+        // Degenerate src == dst: out-degree.
+        assert_eq!(edge_disjoint_paths(&g, NodeId(0), NodeId(0)), 2);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_needs_a_backward_augmentation() {
+        // The classic instance where greedy forward paths must be rerouted:
+        //   s -> a, s -> b, a -> b, a -> t, b -> t
+        // A first BFS may route s-a-b-t; the second unit needs the residual
+        // arc b -> a to settle on s-a-t and s-b-t.
+        let mut b = PlatformBuilder::new();
+        let v = b.add_nodes(4); // s=0, a=1, b=2, t=3
+        b.add_edge(v[0], v[1], 1.0).unwrap();
+        b.add_edge(v[0], v[2], 1.0).unwrap();
+        b.add_edge(v[1], v[2], 1.0).unwrap();
+        b.add_edge(v[1], v[3], 1.0).unwrap();
+        b.add_edge(v[2], v[3], 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(edge_disjoint_paths(&g, v[0], v[3]), 2);
+    }
+
+    #[test]
+    fn edge_disjoint_paths_respects_the_edge_filter() {
+        let g = diamond();
+        // Forbid the direct 0 -> 2 edge: one path to node 2 remains and the
+        // two 0 -> 3 paths collapse to one disjoint pair -> still 2? No:
+        // without 0->2 the only entry is 0->1, so 0 -> 3 drops to 1.
+        let direct = g.find_edge(NodeId(0), NodeId(2)).unwrap();
+        let allowed = |e: EdgeId| e != direct;
+        assert_eq!(
+            edge_disjoint_paths_where(&g, NodeId(0), NodeId(2), &allowed),
+            1
+        );
+        assert_eq!(
+            edge_disjoint_paths_where(&g, NodeId(0), NodeId(3), &allowed),
+            1
+        );
     }
 
     #[test]

@@ -195,6 +195,14 @@ impl Platform {
             .map(move |&e| self.edges[e.index()].src)
     }
 
+    /// Number of pairwise edge-disjoint `src → dst` paths (unit-capacity
+    /// max-flow; see [`crate::algo::edge_disjoint_paths`]). Shared by the
+    /// robust realizer (pick redundant trees) and its verifier (check the
+    /// union actually carries the promised disjointness).
+    pub fn edge_disjoint_paths(&self, src: NodeId, dst: NodeId) -> usize {
+        crate::algo::edge_disjoint_paths(self, src, dst)
+    }
+
     /// The id of the directed edge `src -> dst`, if it exists.
     pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
         self.out_edges[src.index()]

@@ -1,0 +1,209 @@
+//! Seeded, deterministic fault injection for the one-port simulator.
+//!
+//! A [`FaultModel`] describes *unreliable* platform behaviour layered on top
+//! of a replay: per-edge i.i.d. message loss and scheduled node
+//! crash/recovery windows. Two design constraints shape the implementation:
+//!
+//! * **Byte determinism across runs and thread counts.** Loss draws are not
+//!   taken from a stateful RNG (whose consumption order would depend on
+//!   event interleaving) but from a pure counter-based hash: the draw for
+//!   message `msg` of tree `tree` on edge `edge` is
+//!   `u = splitmix64(seed ⊕ edge ⊕ tree ⊕ msg) / 2⁶⁴`, lost iff
+//!   `u < loss(edge)`. The same `(seed, edge, tree, msg)` always yields the
+//!   same verdict, whatever order the simulator visits transfers in.
+//! * **Exact monotonicity in the loss rate.** Because the verdict is a
+//!   threshold test on a rate-independent uniform draw, raising the loss
+//!   probability can only turn deliveries into losses, never the reverse —
+//!   the property the `fault_properties` proptests pin down.
+//!
+//! A zero model (`loss = 0`, no overrides, no crashes) never fires: replays
+//! under it are bit-for-bit identical to fault-free replays.
+
+use pm_platform::graph::{EdgeId, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// A scheduled node outage: the node is down during `[down_at, up_at)` (in
+/// absolute simulation time) and functional outside the window. Messages
+/// that must be sent or received by a down node are lost (no retransmit —
+/// robustness comes from redundant trees, not retries).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CrashEvent {
+    /// The crashing node.
+    pub node: NodeId,
+    /// Start of the outage (inclusive).
+    pub down_at: f64,
+    /// End of the outage (exclusive); `f64::INFINITY` for a permanent crash.
+    pub up_at: f64,
+}
+
+/// A seeded, deterministic fault model: per-edge i.i.d. message loss plus
+/// scheduled node crash/recovery windows. See the [module docs](self) for
+/// the determinism protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Seed of the counter-based loss draws.
+    pub seed: u64,
+    /// Base per-edge message loss probability in `[0, 1]`, applied to every
+    /// edge without an override.
+    pub loss: f64,
+    /// Per-edge overrides of the loss probability (e.g. one edge at `1.0`
+    /// models that link's total loss).
+    pub edge_loss: Vec<(EdgeId, f64)>,
+    /// Scheduled node outages.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel {
+            seed: 0,
+            loss: 0.0,
+            edge_loss: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+}
+
+/// SplitMix64: a full-period 64-bit permutation mixer, used as the pure
+/// counter-based hash behind the loss draws.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl FaultModel {
+    /// A model with uniform i.i.d. loss probability `loss` on every edge.
+    pub fn lossy(seed: u64, loss: f64) -> Self {
+        FaultModel {
+            seed,
+            loss,
+            ..FaultModel::default()
+        }
+    }
+
+    /// Adds (or replaces) a per-edge loss override.
+    pub fn with_edge_loss(mut self, edge: EdgeId, loss: f64) -> Self {
+        if let Some(slot) = self.edge_loss.iter_mut().find(|(e, _)| *e == edge) {
+            slot.1 = loss;
+        } else {
+            self.edge_loss.push((edge, loss));
+        }
+        self
+    }
+
+    /// Adds a scheduled node outage over `[down_at, up_at)`.
+    pub fn with_crash(mut self, node: NodeId, down_at: f64, up_at: f64) -> Self {
+        self.crashes.push(CrashEvent {
+            node,
+            down_at,
+            up_at,
+        });
+        self
+    }
+
+    /// Whether the model can never fire (no loss anywhere, no crashes):
+    /// replays under such a model are bit-for-bit fault-free.
+    pub fn is_null(&self) -> bool {
+        self.loss <= 0.0 && self.edge_loss.iter().all(|&(_, p)| p <= 0.0) && self.crashes.is_empty()
+    }
+
+    /// The loss probability of `edge` (override, else the base rate).
+    pub fn loss_on(&self, edge: EdgeId) -> f64 {
+        self.edge_loss
+            .iter()
+            .find(|(e, _)| *e == edge)
+            .map(|&(_, p)| p)
+            .unwrap_or(self.loss)
+    }
+
+    /// Whether `node` is down at absolute time `t`.
+    pub fn node_down_at(&self, node: NodeId, t: f64) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && t >= c.down_at && t < c.up_at)
+    }
+
+    /// The deterministic loss verdict for message `msg` of tree `tree`
+    /// crossing `edge`: a threshold test on the counter-based uniform draw
+    /// (see the [module docs](self)).
+    pub fn drop_message(&self, edge: EdgeId, tree: usize, msg: usize) -> bool {
+        let p = self.loss_on(edge);
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        let mut key = splitmix64(self.seed ^ 0x7fb5_d329_728e_a185);
+        key = splitmix64(key ^ u64::from(edge.0));
+        key = splitmix64(key ^ (tree as u64).wrapping_shl(32));
+        key = splitmix64(key ^ msg as u64);
+        // 53 high bits -> uniform f64 in [0, 1).
+        let u = (key >> 11) as f64 * (1.0 / 9_007_199_254_740_992.0);
+        u < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_never_fires() {
+        let model = FaultModel::lossy(7, 0.0);
+        assert!(model.is_null());
+        for msg in 0..1000 {
+            assert!(!model.drop_message(EdgeId(3), 1, msg));
+        }
+    }
+
+    #[test]
+    fn total_loss_always_fires_and_draws_are_deterministic() {
+        let dead = FaultModel::lossy(7, 0.4).with_edge_loss(EdgeId(2), 1.0);
+        assert!(dead.drop_message(EdgeId(2), 0, 123));
+        let a = FaultModel::lossy(42, 0.3);
+        let b = FaultModel::lossy(42, 0.3);
+        for msg in 0..200 {
+            assert_eq!(
+                a.drop_message(EdgeId(5), 2, msg),
+                b.drop_message(EdgeId(5), 2, msg)
+            );
+        }
+    }
+
+    #[test]
+    fn loss_rate_is_monotone_per_draw() {
+        // The threshold test guarantees per-draw monotonicity: any message
+        // lost at p1 is lost at every p2 > p1.
+        let lo = FaultModel::lossy(9, 0.1);
+        let hi = FaultModel::lossy(9, 0.35);
+        for msg in 0..500 {
+            if lo.drop_message(EdgeId(1), 0, msg) {
+                assert!(hi.drop_message(EdgeId(1), 0, msg));
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_loss_rate_tracks_the_probability() {
+        let model = FaultModel::lossy(1234, 0.25);
+        let n = 20_000;
+        let lost = (0..n)
+            .filter(|&msg| model.drop_message(EdgeId(0), 0, msg))
+            .count();
+        let rate = lost as f64 / n as f64;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let model = FaultModel::default().with_crash(NodeId(3), 2.0, 5.0);
+        assert!(!model.node_down_at(NodeId(3), 1.999));
+        assert!(model.node_down_at(NodeId(3), 2.0));
+        assert!(model.node_down_at(NodeId(3), 4.999));
+        assert!(!model.node_down_at(NodeId(3), 5.0));
+        assert!(!model.node_down_at(NodeId(2), 3.0));
+    }
+}

@@ -15,8 +15,10 @@
 //!   scale → schedule → validate → replay pipeline on a weighted tree set in
 //!   one call (the shared tail of the realization pipeline).
 
+pub mod fault;
 pub mod simulator;
 pub mod validate;
 
-pub use simulator::{SimReport, SimulationConfig, Simulator};
+pub use fault::{CrashEvent, FaultModel};
+pub use simulator::{FaultCause, FaultEvent, SimError, SimReport, SimulationConfig, Simulator};
 pub use validate::{validate_tree_set, TreeSetValidation};

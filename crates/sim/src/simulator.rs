@@ -1,15 +1,19 @@
-//! Discrete-event simulation of pipelined multicasts under the one-port model.
+//! Discrete-event simulation of pipelined multicasts under the one-port
+//! model, with optional seeded fault injection (message loss, node crashes).
 
-use pm_platform::graph::{NodeId, Platform};
+use crate::fault::FaultModel;
+use pm_platform::graph::{EdgeId, NodeId, Platform};
+use pm_platform::mask::NodeMask;
 use pm_sched::load::OnePortLoads;
 use pm_sched::schedule::PeriodicSchedule;
 use pm_sched::tree::MulticastTree;
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::fmt;
 
 /// Configuration of a simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimulationConfig {
     /// Number of steady-state periods to replay (schedule mode) or number of
     /// messages to inject (tree-pipeline mode).
@@ -17,6 +21,16 @@ pub struct SimulationConfig {
     /// Number of initial periods / messages ignored when measuring the
     /// steady-state throughput (warm-up of the pipeline).
     pub warmup: usize,
+    /// Optional fault model: seeded per-edge message loss and scheduled
+    /// node outages. `None` behaves exactly like a zero model (and replays
+    /// are bit-for-bit identical between the two).
+    pub faults: Option<FaultModel>,
+    /// Redundant delivery mode for schedule replays: every tree of the
+    /// schedule carries a copy of every multicast, and a target counts as
+    /// served when *any* copy arrives (the delivery semantics of the robust
+    /// redundant realizations). When `false`, multicasts are spread over
+    /// the trees in proportion to their scheduled rates.
+    pub redundant: bool,
 }
 
 impl Default for SimulationConfig {
@@ -24,30 +38,130 @@ impl Default for SimulationConfig {
         SimulationConfig {
             horizon: 200,
             warmup: 20,
+            faults: None,
+            redundant: false,
         }
     }
 }
+
+/// One message loss materialized during a replay, for the report's fault
+/// event log.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// Absolute simulation time of the failed edge crossing.
+    pub time: f64,
+    /// Index of the lost message.
+    pub msg: usize,
+    /// Tree (schedule tag) the copy was travelling on.
+    pub tree: usize,
+    /// The edge the message failed to cross.
+    pub edge: EdgeId,
+    /// What killed the crossing.
+    pub cause: FaultCause,
+}
+
+/// The cause of a [`FaultEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultCause {
+    /// An i.i.d. message-loss draw fired on the edge.
+    Loss,
+    /// The sender or the receiver was crashed at crossing time.
+    Crash,
+}
+
+/// Structured replay errors (as opposed to silently degraded reports).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The schedule references a transfer whose endpoint is disabled by the
+    /// active [`NodeMask`]: the schedule is stale with respect to the
+    /// platform state and must be re-realized, not replayed.
+    MaskedTransfer {
+        /// Index of the offending slot.
+        slot: usize,
+        /// Sender of the offending transfer.
+        src: NodeId,
+        /// Receiver of the offending transfer.
+        dst: NodeId,
+        /// The disabled endpoint that invalidates the transfer.
+        disabled: NodeId,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MaskedTransfer {
+                slot,
+                src,
+                dst,
+                disabled,
+            } => write!(
+                f,
+                "slot {slot} transfer {src} -> {dst} uses disabled node {disabled}; \
+                 the schedule is stale and must be re-realized"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Result of a simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Total simulated time.
     pub total_time: f64,
-    /// Number of multicasts fully delivered to every target.
+    /// Number of multicasts offered by the schedule over the horizon (the
+    /// scheduled rate; see [`SimReport::goodput`] for the delivered side).
     pub completed_multicasts: f64,
-    /// Measured steady-state throughput (completions per time-unit, measured
+    /// Scheduled steady-state throughput (multicasts per time-unit, measured
     /// after the warm-up).
     pub throughput: f64,
-    /// Measured steady-state period (`1 / throughput`).
+    /// Scheduled steady-state period (`1 / throughput`).
     pub period: f64,
     /// Per-node send/receive busy time divided by the total time.
     pub utilization: OnePortLoads,
     /// Number of one-port violations detected (always 0 for valid schedules).
     pub one_port_violations: usize,
+    /// Fraction of `(message, target)` pairs delivered over the replay
+    /// (1.0 on fault-free runs).
+    pub delivery_ratio: f64,
+    /// Per-target delivery ratios, `(target, delivered fraction)` pairs.
+    pub target_delivery: Vec<(NodeId, f64)>,
+    /// Fully-delivered multicasts (every target served) per time-unit —
+    /// equals the throughput on fault-free runs, degrades under faults.
+    pub goodput: f64,
+    /// Warm-up fill latency: completion time of the earliest fully
+    /// delivered multicast, measured directly from the replayed schedule
+    /// (the pipeline-fill quantity; infinite when nothing is delivered).
+    pub fill_latency: f64,
+    /// Time of the last delivery of the replay (0 when nothing delivers).
+    pub makespan: f64,
+    /// The materialized message losses, in deterministic replay order.
+    pub fault_events: Vec<FaultEvent>,
+}
+
+/// One reconstructed multicast tree of a replayed schedule: the pipelined
+/// structure behind the schedule's tree-tagged transfers.
+#[derive(Debug, Clone)]
+struct ReplayTree {
+    /// The schedule tag of the tree.
+    tag: usize,
+    /// Edges in BFS order from the root: `(edge, src, dst)`.
+    edges: Vec<(EdgeId, NodeId, NodeId)>,
+    /// Steady-state arrival offset of every node (indexed by node id;
+    /// `f64::INFINITY` when the tree does not cover the node): the time
+    /// within the pipeline at which a message injected at offset 0 becomes
+    /// available at the node, following the schedule's slot placement
+    /// period by period.
+    arrival: Vec<f64>,
+    /// The tree's share of the scheduled messages (its rate divided by the
+    /// total rate), used by the round-robin message assignment.
+    share: f64,
 }
 
 /// The discrete-event simulator.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Simulator {
     /// Simulation parameters.
     pub config: SimulationConfig,
@@ -59,19 +173,61 @@ impl Simulator {
         Simulator { config }
     }
 
-    /// Replays a periodic schedule for `config.horizon` periods.
+    /// Replays a periodic schedule for `config.horizon` periods on a fully
+    /// enabled platform, inferring the delivery targets as the nodes covered
+    /// by *every* tree of the schedule (for tree-shaped schedules this is
+    /// the instance's target set plus any shared relays).
     ///
     /// Every slot of every period is checked against the one-port model (a
     /// node must not appear twice as a sender or twice as a receiver within a
-    /// slot); violations are counted in the report.
+    /// slot); violations are counted in the report. See
+    /// [`Simulator::run_schedule_on`] for masked platforms and explicit
+    /// targets.
     pub fn run_schedule(&self, platform: &Platform, schedule: &PeriodicSchedule) -> SimReport {
+        let mask = NodeMask::full(platform.node_count());
+        self.run_schedule_on(platform, &mask, schedule, &[])
+            .expect("a full mask disables nothing")
+    }
+
+    /// Replays a periodic schedule under a node mask and an explicit target
+    /// set, with whatever fault model the configuration carries.
+    ///
+    /// Errors with [`SimError::MaskedTransfer`] when the schedule references
+    /// a transfer through a node the mask disables — a stale schedule must
+    /// be re-realized, not silently replayed at degraded throughput.
+    ///
+    /// An empty `targets` slice infers the targets as the nodes covered by
+    /// every tree of the schedule. The scheduled-rate fields (`throughput`,
+    /// `period`, `completed_multicasts`, `utilization`) are analytic and
+    /// fault-independent; the delivery fields (`delivery_ratio`, `goodput`,
+    /// `fill_latency`, `makespan`, `fault_events`) come from a per-message
+    /// replay of the schedule's reconstructed trees. Schedules that are not
+    /// tree-shaped (a tag whose transfers do not form a tree over platform
+    /// edges) replay analytically with a perfect-delivery verdict.
+    pub fn run_schedule_on(
+        &self,
+        platform: &Platform,
+        mask: &NodeMask,
+        schedule: &PeriodicSchedule,
+        targets: &[NodeId],
+    ) -> Result<SimReport, SimError> {
         let periods = self.config.horizon.max(1);
         let mut busy = OnePortLoads::new(platform.node_count());
         let mut violations = 0usize;
-        for slot in &schedule.slots {
+        for (slot_idx, slot) in schedule.slots.iter().enumerate() {
             let mut senders: Vec<NodeId> = Vec::new();
             let mut receivers: Vec<NodeId> = Vec::new();
             for t in &slot.transfers {
+                for endpoint in [t.src, t.dst] {
+                    if !mask.contains(endpoint) {
+                        return Err(SimError::MaskedTransfer {
+                            slot: slot_idx,
+                            src: t.src,
+                            dst: t.dst,
+                            disabled: endpoint,
+                        });
+                    }
+                }
                 if senders.contains(&t.src) || receivers.contains(&t.dst) {
                     violations += 1;
                 }
@@ -85,7 +241,7 @@ impl Simulator {
         let utilization = busy.scaled(1.0 / schedule.period);
         let completed = schedule.multicasts_per_period * periods as f64;
         let throughput = completed / total_time;
-        SimReport {
+        let mut report = SimReport {
             total_time,
             completed_multicasts: completed,
             throughput,
@@ -96,7 +252,167 @@ impl Simulator {
             },
             utilization,
             one_port_violations: violations,
+            delivery_ratio: 1.0,
+            target_delivery: targets.iter().map(|&t| (t, 1.0)).collect(),
+            goodput: throughput,
+            fill_latency: 0.0,
+            makespan: total_time,
+            fault_events: Vec::new(),
+        };
+        self.replay_deliveries(platform, schedule, targets, periods, &mut report);
+        Ok(report)
+    }
+
+    /// The per-message delivery replay behind [`Simulator::run_schedule_on`]:
+    /// reconstructs the schedule's trees, spreads (or replicates) the
+    /// offered multicasts over them, and walks every copy down its tree
+    /// under the configured fault model. Leaves the report's analytic
+    /// fields untouched; falls back to the perfect-delivery defaults when
+    /// the schedule is not tree-shaped.
+    fn replay_deliveries(
+        &self,
+        platform: &Platform,
+        schedule: &PeriodicSchedule,
+        targets: &[NodeId],
+        periods: usize,
+        report: &mut SimReport,
+    ) {
+        let Some(trees) = reconstruct_trees(platform, schedule) else {
+            return;
+        };
+        if trees.is_empty() {
+            return;
         }
+        let n = platform.node_count();
+        // Inferred targets: nodes covered by every tree (minus roots).
+        let inferred: Vec<NodeId>;
+        let targets = if targets.is_empty() {
+            inferred = (0..n as u32)
+                .map(NodeId)
+                .filter(|v| {
+                    trees
+                        .iter()
+                        .all(|t| t.arrival[v.index()].is_finite() && t.arrival[v.index()] > 0.0)
+                })
+                .collect();
+            &inferred[..]
+        } else {
+            targets
+        };
+        if targets.is_empty() {
+            return;
+        }
+        let messages = (schedule.multicasts_per_period * periods as f64).round() as usize;
+        if messages == 0 || report.throughput <= 0.0 {
+            return;
+        }
+        let inject_gap = 1.0 / report.throughput;
+        let null = FaultModel::default();
+        let fault = self.config.faults.as_ref().unwrap_or(&null);
+
+        let mut delivered_per_target = vec![0usize; targets.len()];
+        let target_index: BTreeMap<u32, usize> =
+            targets.iter().enumerate().map(|(i, t)| (t.0, i)).collect();
+        let mut delivered_pairs = 0usize;
+        let mut full_deliveries = 0usize;
+        let mut fill_latency = f64::INFINITY;
+        let mut makespan = 0.0f64;
+        let mut events = Vec::new();
+        // Round-robin credits for the non-redundant assignment.
+        let mut credits = vec![0.0f64; trees.len()];
+        let mut reached = vec![false; n];
+        // Best delivery time per target for the current message.
+        let mut best = vec![f64::INFINITY; targets.len()];
+
+        for msg in 0..messages {
+            let inject = msg as f64 * inject_gap;
+            let carriers: Vec<usize> = if self.config.redundant {
+                (0..trees.len()).collect()
+            } else {
+                for (k, tree) in trees.iter().enumerate() {
+                    credits[k] += tree.share;
+                }
+                let chosen = credits
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(Ordering::Equal))
+                    .map(|(k, _)| k)
+                    .unwrap_or(0);
+                credits[chosen] -= 1.0;
+                vec![chosen]
+            };
+            best.iter_mut().for_each(|b| *b = f64::INFINITY);
+            for &k in &carriers {
+                let tree = &trees[k];
+                for item in reached.iter_mut() {
+                    *item = false;
+                }
+                if let Some(&(_, root, _)) = tree.edges.first() {
+                    reached[root.index()] = true;
+                }
+                for &(edge, src, dst) in &tree.edges {
+                    if !reached[src.index()] {
+                        continue;
+                    }
+                    let cross = inject + tree.arrival[dst.index()];
+                    let crashed = fault.node_down_at(src, cross) || fault.node_down_at(dst, cross);
+                    let lost = fault.drop_message(edge, tree.tag, msg);
+                    if crashed || lost {
+                        events.push(FaultEvent {
+                            time: cross,
+                            msg,
+                            tree: tree.tag,
+                            edge,
+                            cause: if crashed {
+                                FaultCause::Crash
+                            } else {
+                                FaultCause::Loss
+                            },
+                        });
+                        continue;
+                    }
+                    reached[dst.index()] = true;
+                    if let Some(&ti) = target_index.get(&dst.0) {
+                        if cross < best[ti] {
+                            best[ti] = cross;
+                        }
+                    }
+                }
+            }
+            let mut full = true;
+            let mut completion = 0.0f64;
+            for (ti, &b) in best.iter().enumerate() {
+                if b.is_finite() {
+                    delivered_pairs += 1;
+                    delivered_per_target[ti] += 1;
+                    if b > makespan {
+                        makespan = b;
+                    }
+                    if b > completion {
+                        completion = b;
+                    }
+                } else {
+                    full = false;
+                }
+            }
+            if full {
+                full_deliveries += 1;
+                if completion < fill_latency {
+                    fill_latency = completion;
+                }
+            }
+        }
+
+        report.delivery_ratio = delivered_pairs as f64 / (messages * targets.len()) as f64;
+        report.target_delivery = targets
+            .iter()
+            .zip(&delivered_per_target)
+            .map(|(&t, &d)| (t, d as f64 / messages as f64))
+            .collect();
+        report.goodput = full_deliveries as f64 / report.total_time;
+        report.fill_latency = fill_latency;
+        report.makespan = makespan;
+        report.fault_events = events;
     }
 
     /// The *fill makespan* of a single message multicast down `tree`: the
@@ -117,6 +433,7 @@ impl Simulator {
         let one_shot = Simulator::new(SimulationConfig {
             horizon: 1,
             warmup: 0,
+            ..SimulationConfig::default()
         });
         one_shot
             .run_tree_pipeline(platform, tree, targets)
@@ -132,6 +449,11 @@ impl Simulator {
     /// (one-port in reception, enforced by construction since a node has a
     /// single parent). The measured steady-state throughput converges to the
     /// analytical `1 / tree.period()` of `pm-sched`.
+    ///
+    /// Under a fault model, a transfer whose loss draw fires (or whose
+    /// endpoint is crashed at transfer time) is lost together with the
+    /// whole subtree's copy of that message; the sender's port is still
+    /// occupied for the transfer's duration (no retransmit).
     pub fn run_tree_pipeline(
         &self,
         platform: &Platform,
@@ -141,12 +463,14 @@ impl Simulator {
         let num_messages = self.config.horizon.max(1);
         let warmup = self.config.warmup.min(num_messages.saturating_sub(1));
         let n = platform.node_count();
+        let null = FaultModel::default();
+        let fault = self.config.faults.as_ref().unwrap_or(&null);
 
         // children[v] = tree edges leaving v, in a fixed order.
-        let mut children: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); n];
+        let mut children: Vec<Vec<(NodeId, f64, EdgeId)>> = vec![Vec::new(); n];
         for &e in tree.edges() {
             let edge = platform.edge(e);
-            children[edge.src.index()].push((edge.dst, edge.cost));
+            children[edge.src.index()].push((edge.dst, edge.cost, e));
         }
 
         // Event-driven simulation. Each node keeps a FIFO of messages it
@@ -187,14 +511,18 @@ impl Simulator {
         // Delivery bookkeeping.
         let mut received_count = vec![0usize; num_messages];
         let mut completion_time = vec![f64::NAN; num_messages];
+        let mut fault_events = Vec::new();
         let needed = targets.len();
-        let target_mask: Vec<bool> = {
-            let mut mask = vec![false; n];
-            for &t in targets {
-                mask[t.index()] = true;
+        let target_mask: Vec<Option<usize>> = {
+            let mut mask = vec![None; n];
+            for (i, &t) in targets.iter().enumerate() {
+                mask[t.index()] = Some(i);
             }
             mask
         };
+        let mut delivered_per_target = vec![0usize; needed];
+        let mut delivered_pairs = 0usize;
+        let mut makespan = 0.0f64;
 
         // The source holds every message from the start: its queue is
         // pre-filled in message order and its send port starts working at 0.
@@ -219,7 +547,12 @@ impl Simulator {
             now = event.time;
             match event.kind {
                 EventKind::Arrival { node, msg } => {
-                    if target_mask[node.index()] {
+                    if let Some(ti) = target_mask[node.index()] {
+                        delivered_pairs += 1;
+                        delivered_per_target[ti] += 1;
+                        if now > makespan {
+                            makespan = now;
+                        }
                         received_count[msg] += 1;
                         if received_count[msg] == needed {
                             completion_time[msg] = now;
@@ -244,13 +577,30 @@ impl Simulator {
                             send_busy[node.index()] = false;
                         }
                         Some((msg, child_idx)) => {
-                            let (child, cost) = children[node.index()][child_idx];
+                            let (child, cost, edge) = children[node.index()][child_idx];
                             busy.add_transfer(node, child, cost);
                             let done = now + cost;
-                            heap.push(Event {
-                                time: done,
-                                kind: EventKind::Arrival { node: child, msg },
-                            });
+                            let crashed =
+                                fault.node_down_at(node, now) || fault.node_down_at(child, done);
+                            let lost = fault.drop_message(edge, 0, msg);
+                            if crashed || lost {
+                                fault_events.push(FaultEvent {
+                                    time: done,
+                                    msg,
+                                    tree: 0,
+                                    edge,
+                                    cause: if crashed {
+                                        FaultCause::Crash
+                                    } else {
+                                        FaultCause::Loss
+                                    },
+                                });
+                            } else {
+                                heap.push(Event {
+                                    time: done,
+                                    kind: EventKind::Arrival { node: child, msg },
+                                });
+                            }
                             // Re-queue the message if more children remain.
                             if child_idx + 1 < children[node.index()].len() {
                                 queues[node.index()].push_front((msg, child_idx + 1));
@@ -291,6 +641,17 @@ impl Simulator {
         } else {
             OnePortLoads::new(n)
         };
+        let pairs = num_messages * needed;
+        let delivery_ratio = if pairs > 0 {
+            delivered_pairs as f64 / pairs as f64
+        } else {
+            1.0
+        };
+        let goodput = if total_time > 0.0 {
+            completed as f64 / total_time
+        } else {
+            0.0
+        };
 
         SimReport {
             total_time,
@@ -299,8 +660,146 @@ impl Simulator {
             period,
             utilization,
             one_port_violations: 0,
+            delivery_ratio,
+            target_delivery: targets
+                .iter()
+                .zip(&delivered_per_target)
+                .map(|(&t, &d)| (t, d as f64 / num_messages as f64))
+                .collect(),
+            goodput,
+            fill_latency: completions.first().copied().unwrap_or(f64::INFINITY),
+            makespan,
+            fault_events,
         }
     }
+}
+
+/// Reconstructs the multicast trees of a schedule from its tree-tagged
+/// transfers, together with each node's steady-state arrival offset: the
+/// edge coloring may split one tree edge's occupation across several slots,
+/// so the pieces are re-merged by `(tree, src, dst)` and an edge's crossing
+/// completes at its last piece's end within the period.
+///
+/// Returns `None` when some tag's transfers do not form a tree over
+/// platform edges (duplicate receiver, no unique root, disconnected, or a
+/// transfer that is not a platform edge) — such schedules replay
+/// analytically without per-message delivery tracking.
+fn reconstruct_trees(platform: &Platform, schedule: &PeriodicSchedule) -> Option<Vec<ReplayTree>> {
+    let period = schedule.period;
+    if !(period.is_finite() && period > 0.0) {
+        return None;
+    }
+    // (src, dst) -> (total duration, completion offset) within one tag.
+    type TagEdges = BTreeMap<(u32, u32), (f64, f64)>;
+    let mut by_tag: BTreeMap<usize, TagEdges> = BTreeMap::new();
+    for slot in &schedule.slots {
+        for t in &slot.transfers {
+            let entry = by_tag
+                .entry(t.tree)
+                .or_default()
+                .entry((t.src.0, t.dst.0))
+                .or_insert((0.0, 0.0));
+            entry.0 += t.duration;
+            let end = slot.offset + t.duration;
+            if end > entry.1 {
+                entry.1 = end;
+            }
+        }
+    }
+    if by_tag.is_empty() {
+        return None;
+    }
+    let n = platform.node_count();
+    let mut trees = Vec::with_capacity(by_tag.len());
+    let mut rates = Vec::with_capacity(by_tag.len());
+    for (&tag, edges) in &by_tag {
+        // Tree shape: every receiver has exactly one incoming transfer.
+        let mut parent: Vec<Option<(NodeId, EdgeId, f64, f64)>> = vec![None; n];
+        let mut is_node = vec![false; n];
+        for (&(src, dst), &(duration, completion)) in edges {
+            let (src, dst) = (NodeId(src), NodeId(dst));
+            if src.index() >= n || dst.index() >= n {
+                return None;
+            }
+            let edge = platform.find_edge(src, dst)?;
+            if parent[dst.index()].is_some() {
+                return None; // two parents: not a tree
+            }
+            parent[dst.index()] = Some((src, edge, duration, completion));
+            is_node[src.index()] = true;
+            is_node[dst.index()] = true;
+        }
+        // Unique root: a node of the tree with no parent.
+        let mut roots = (0..n)
+            .filter(|&v| is_node[v] && parent[v].is_none())
+            .map(|v| NodeId(v as u32));
+        let root = roots.next()?;
+        if roots.next().is_some() {
+            return None;
+        }
+        // BFS from the root, computing the steady-state arrival offsets: a
+        // message available at `src` at offset `a` crosses the edge in the
+        // first period whose completion offset is not earlier than `a`.
+        let mut arrival = vec![f64::INFINITY; n];
+        arrival[root.index()] = 0.0;
+        let mut order = Vec::with_capacity(edges.len());
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(root);
+        let mut rate = 0.0f64;
+        let mut rated_edges = 0usize;
+        while let Some(u) = queue.pop_front() {
+            // Children of u, in ascending node order (BTreeMap iteration).
+            for v in 0..n {
+                let Some((src, edge, duration, completion)) = parent[v] else {
+                    continue;
+                };
+                if src != u || arrival[v].is_finite() {
+                    continue;
+                }
+                let a = arrival[u.index()];
+                let skipped = if a > completion + 1e-12 {
+                    ((a - completion) / period).ceil().max(0.0)
+                } else {
+                    0.0
+                };
+                arrival[v] = completion + skipped * period;
+                order.push((edge, src, NodeId(v as u32)));
+                let cost = platform.edge(edge).cost;
+                if cost > 0.0 {
+                    rate += duration / (period * cost);
+                    rated_edges += 1;
+                }
+                queue.push_back(NodeId(v as u32));
+            }
+        }
+        if order.len() != edges.len() {
+            return None; // disconnected piece or cycle
+        }
+        let share = if rated_edges > 0 {
+            rate / rated_edges as f64
+        } else {
+            0.0
+        };
+        rates.push(share);
+        trees.push(ReplayTree {
+            tag,
+            edges: order,
+            arrival,
+            share,
+        });
+    }
+    let total: f64 = rates.iter().sum();
+    if total > 0.0 {
+        for tree in &mut trees {
+            tree.share /= total;
+        }
+    } else {
+        let uniform = 1.0 / trees.len() as f64;
+        for tree in &mut trees {
+            tree.share = uniform;
+        }
+    }
+    Some(trees)
 }
 
 #[cfg(test)]
@@ -323,6 +822,107 @@ mod tests {
         assert_eq!(report.one_port_violations, 0);
         assert!((report.throughput - 2.0).abs() < 1e-9);
         assert!((report.period - 0.5).abs() < 1e-9);
+        // Fault-free replays deliver everything.
+        assert_eq!(report.delivery_ratio, 1.0);
+        assert!((report.goodput - report.throughput).abs() < 1e-9);
+        assert!(report.fault_events.is_empty());
+        assert!(report.fill_latency.is_finite());
+    }
+
+    #[test]
+    fn schedule_replay_measures_fill_latency_from_the_slots() {
+        // Chain 0 -> 1 -> 2 at cost 0.5, one message per unit period: the
+        // pipeline fills in 1.5 periods at most (two crossings, the second
+        // waiting for the next period's slot).
+        let inst = chain_instance(3, 0.5);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2)]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(tree, 1.0).unwrap();
+        let sched = PeriodicSchedule::from_weighted_trees(g, &set, 1.0).unwrap();
+        let report = Simulator::default().run_schedule(g, &sched);
+        assert!(report.fill_latency > 0.0);
+        assert!(report.fill_latency <= 2.0, "fill {}", report.fill_latency);
+        assert!(report.makespan <= report.total_time + 1e-9);
+    }
+
+    #[test]
+    fn masked_transfer_is_a_structured_error_not_a_degraded_report() {
+        let inst = chain_instance(3, 0.5);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2)]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(tree, 1.0).unwrap();
+        let sched = PeriodicSchedule::from_weighted_trees(g, &set, 1.0).unwrap();
+        let mut mask = NodeMask::full(g.node_count());
+        mask.remove(NodeId(1));
+        let err = Simulator::default()
+            .run_schedule_on(g, &mask, &sched, &inst.targets)
+            .unwrap_err();
+        match err {
+            SimError::MaskedTransfer { disabled, .. } => assert_eq!(disabled, NodeId(1)),
+        }
+    }
+
+    #[test]
+    fn total_loss_on_a_chain_edge_kills_downstream_delivery() {
+        let inst = chain_instance(3, 0.5);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2)]).unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(tree, 1.0).unwrap();
+        let sched = PeriodicSchedule::from_weighted_trees(g, &set, 1.0).unwrap();
+        let sim = Simulator::new(SimulationConfig {
+            faults: Some(FaultModel::default().with_edge_loss(e(1, 2), 1.0)),
+            ..SimulationConfig::default()
+        });
+        let report = sim
+            .run_schedule_on(g, &NodeMask::full(3), &sched, &inst.targets)
+            .unwrap();
+        // The only target (node 2) sits behind the dead edge: zero delivery.
+        assert_eq!(report.delivery_ratio, 0.0);
+        assert_eq!(report.target_delivery, vec![(NodeId(2), 0.0)]);
+        assert_eq!(report.goodput, 0.0);
+        assert!(!report.fault_events.is_empty());
+        // The scheduled-rate fields are fault-independent.
+        assert!((report.throughput - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_loss_model_matches_fault_free_bit_for_bit() {
+        let inst = figure1_instance();
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(
+            &inst,
+            vec![
+                e(0, 1),
+                e(0, 3),
+                e(3, 2),
+                e(2, 6),
+                e(6, 7),
+                e(7, 8),
+                e(7, 9),
+                e(7, 10),
+                e(1, 11),
+                e(11, 12),
+                e(11, 13),
+            ],
+        )
+        .unwrap();
+        let mut set = WeightedTreeSet::new();
+        set.push(tree, 0.5).unwrap();
+        let sched = PeriodicSchedule::from_weighted_trees(g, &set, 2.0).unwrap();
+        let plain = Simulator::default().run_schedule(g, &sched);
+        let zeroed = Simulator::new(SimulationConfig {
+            faults: Some(FaultModel::lossy(123, 0.0)),
+            ..SimulationConfig::default()
+        })
+        .run_schedule(g, &sched);
+        assert_eq!(plain, zeroed);
     }
 
     #[test]
@@ -334,10 +934,12 @@ mod tests {
         let sim = Simulator::new(SimulationConfig {
             horizon: 300,
             warmup: 30,
+            ..SimulationConfig::default()
         });
         let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
         assert!((report.period - tree.period(g)).abs() < 1e-6);
         assert_eq!(report.completed_multicasts, 300.0);
+        assert_eq!(report.delivery_ratio, 1.0);
     }
 
     #[test]
@@ -359,6 +961,7 @@ mod tests {
         let sim = Simulator::new(SimulationConfig {
             horizon: 200,
             warmup: 20,
+            ..SimulationConfig::default()
         });
         let report = sim.run_tree_pipeline(&g, &tree, &inst.targets);
         assert!((tree.period(&g) - 6.0).abs() < 1e-12);
@@ -391,6 +994,7 @@ mod tests {
         let sim = Simulator::new(SimulationConfig {
             horizon: 400,
             warmup: 50,
+            ..SimulationConfig::default()
         });
         let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
         let analytical = tree.period(g);
@@ -400,6 +1004,47 @@ mod tests {
             report.period
         );
         assert_eq!(report.one_port_violations, 0);
+    }
+
+    #[test]
+    fn tree_pipeline_under_loss_degrades_and_logs_events() {
+        let inst = chain_instance(4, 0.5);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2), e(2, 3)]).unwrap();
+        let sim = Simulator::new(SimulationConfig {
+            horizon: 300,
+            warmup: 30,
+            faults: Some(FaultModel::lossy(7, 0.2)),
+            ..SimulationConfig::default()
+        });
+        let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
+        assert!(report.delivery_ratio < 1.0);
+        assert!(report.delivery_ratio > 0.2);
+        assert!(!report.fault_events.is_empty());
+        // The delivered rate sits below the fault-free analytic rate.
+        assert!(report.goodput < 1.0 / tree.period(g));
+    }
+
+    #[test]
+    fn tree_pipeline_crash_window_loses_messages_then_recovers() {
+        let inst = chain_instance(3, 1.0);
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        let tree = MulticastTree::new(&inst, vec![e(0, 1), e(1, 2)]).unwrap();
+        let sim = Simulator::new(SimulationConfig {
+            horizon: 50,
+            warmup: 0,
+            faults: Some(FaultModel::default().with_crash(NodeId(1), 5.0, 10.0)),
+            ..SimulationConfig::default()
+        });
+        let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
+        assert!(report.delivery_ratio < 1.0, "outage loses deliveries");
+        assert!(report.delivery_ratio > 0.5, "recovery resumes deliveries");
+        assert!(report
+            .fault_events
+            .iter()
+            .all(|ev| ev.cause == FaultCause::Crash));
     }
 
     #[test]
@@ -423,6 +1068,7 @@ mod tests {
         let sim = Simulator::new(SimulationConfig {
             horizon: 5,
             warmup: 100,
+            ..SimulationConfig::default()
         });
         let report = sim.run_tree_pipeline(g, &tree, &inst.targets);
         assert!(report.completed_multicasts >= 5.0 - 1e-9);

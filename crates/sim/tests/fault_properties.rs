@@ -1,0 +1,189 @@
+//! Property tests for the fault-injected replay.
+//!
+//! Three invariants the fault model promises by construction, checked over
+//! random platforms and realized schedules:
+//!
+//! * a zero-loss fault model is *bit-for-bit* identical to running with no
+//!   fault model at all (the null model never draws),
+//! * with a fixed seed, delivery is exactly monotone non-increasing in the
+//!   loss rate (draws are counter-based: the per-message uniform is
+//!   independent of the rate, so raising the rate only grows the loss set),
+//! * a robust realization whose every target holds two edge-disjoint
+//!   per-tree delivery paths survives the *total* loss of any single
+//!   schedule edge with full delivery.
+
+use pm_core::formulations::MulticastLb;
+use pm_core::realize::SteadyStateSolution;
+use pm_core::{realize_robust, RobustOptions};
+use pm_platform::graph::{EdgeId, NodeId, PlatformBuilder};
+use pm_platform::instances::MulticastInstance;
+use pm_platform::mask::NodeMask;
+use pm_sim::{FaultModel, SimulationConfig, Simulator};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A random source-connected platform with a random target set.
+fn random_instance(rng: &mut StdRng) -> MulticastInstance {
+    let n = rng.gen_range(4usize..9);
+    let mut b = PlatformBuilder::new();
+    let nodes = b.add_nodes(n);
+    for i in 1..n {
+        let parent = nodes[rng.gen_range(0..i)];
+        b.add_edge(parent, nodes[i], rng.gen_range(0.2..2.0))
+            .unwrap();
+    }
+    for _ in 0..rng.gen_range(n..3 * n) {
+        let a = nodes[rng.gen_range(0..n)];
+        let c = nodes[rng.gen_range(0..n)];
+        if a != c {
+            // Duplicate edges are rejected by the builder; just skip them.
+            let _ = b.add_edge(a, c, rng.gen_range(0.2..2.0));
+        }
+    }
+    let platform = b.build().unwrap();
+    let source = nodes[0];
+    let mut targets: Vec<NodeId> = nodes[1..]
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_range(0u32..100) < 40)
+        .collect();
+    if targets.is_empty() {
+        targets.push(nodes[rng.gen_range(1..n)]);
+    }
+    MulticastInstance::new(platform, source, targets).unwrap()
+}
+
+/// A random dual-homed platform: every target is reachable through both
+/// relay branches, so two edge-disjoint delivery paths exist per target.
+fn dual_homed_instance(rng: &mut StdRng) -> MulticastInstance {
+    let mut b = PlatformBuilder::new();
+    let s = b.add_node();
+    let relay_a = b.add_node();
+    let relay_b = b.add_node();
+    let count = rng.gen_range(1usize..4);
+    let targets: Vec<NodeId> = (0..count).map(|_| b.add_node()).collect();
+    b.add_edge(s, relay_a, rng.gen_range(0.5..2.0)).unwrap();
+    b.add_edge(s, relay_b, rng.gen_range(0.5..2.0)).unwrap();
+    for &t in &targets {
+        b.add_edge(relay_a, t, rng.gen_range(0.2..1.0)).unwrap();
+        b.add_edge(relay_b, t, rng.gen_range(0.2..1.0)).unwrap();
+    }
+    MulticastInstance::new(b.build().unwrap(), s, targets).unwrap()
+}
+
+/// The instance's lower-bound steady state, realized robustly at `f`.
+fn robust_realization(
+    instance: &MulticastInstance,
+    f: usize,
+    seed: u64,
+) -> Option<pm_core::RobustRealization> {
+    let lb = MulticastLb::new(instance).solve().ok()?;
+    let solution =
+        SteadyStateSolution::from_flow_solution(instance, &instance.targets, &lb, lb.period)?;
+    let options = RobustOptions {
+        disjointness: f,
+        seed,
+        sim: SimulationConfig {
+            horizon: 60,
+            warmup: 6,
+            ..SimulationConfig::default()
+        },
+        ..RobustOptions::default()
+    };
+    realize_robust(instance, &solution, &options).ok()
+}
+
+/// Replays `realization`'s schedule under `faults` in redundant mode.
+fn replay(
+    instance: &MulticastInstance,
+    realization: &pm_core::RobustRealization,
+    faults: Option<FaultModel>,
+) -> pm_sim::SimReport {
+    let sim = Simulator::new(SimulationConfig {
+        horizon: 60,
+        warmup: 6,
+        faults,
+        redundant: true,
+    });
+    sim.run_schedule_on(
+        &instance.platform,
+        &NodeMask::full(instance.platform.node_count()),
+        &realization.schedule,
+        &instance.targets,
+    )
+    .expect("nothing is masked")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // The null-model identity: loss rate 0.0 must not merely deliver
+    // everything — the whole report (fault events, latencies, goodput)
+    // must be bit-for-bit the fault-free one.
+    #[test]
+    fn zero_loss_replay_is_bit_for_bit_fault_free(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = random_instance(&mut rng);
+        if let Some(realization) = robust_realization(&instance, 1, seed) {
+            let fault_free = replay(&instance, &realization, None);
+            let zero_loss = replay(
+                &instance,
+                &realization,
+                Some(FaultModel::lossy(seed, 0.0)),
+            );
+            prop_assert_eq!(fault_free, zero_loss);
+        }
+    }
+
+    // Counter-based draws make delivery exactly monotone in the loss rate
+    // for a fixed seed: the uniform drawn per (edge, tree, message) does
+    // not depend on the rate, so a higher rate loses a superset.
+    #[test]
+    fn delivery_is_monotone_non_increasing_in_loss(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = random_instance(&mut rng);
+        if let Some(realization) = robust_realization(&instance, 2, seed) {
+            let mut previous = f64::INFINITY;
+            for loss in [0.0, 0.01, 0.05, 0.1, 0.25, 0.5] {
+                let report = replay(
+                    &instance,
+                    &realization,
+                    Some(FaultModel::lossy(seed, loss)),
+                );
+                prop_assert!(
+                    report.delivery_ratio <= previous,
+                    "loss {} delivered {} > {}",
+                    loss,
+                    report.delivery_ratio,
+                    previous
+                );
+                previous = report.delivery_ratio;
+            }
+        }
+    }
+
+    // The tentpole guarantee: on a platform where every target is
+    // dual-homed, an f = 2 realization holds two edge-disjoint per-tree
+    // delivery paths, so the total loss of ANY single schedule edge still
+    // delivers every message to every target.
+    #[test]
+    fn two_disjoint_paths_survive_any_single_edge_total_loss(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let instance = dual_homed_instance(&mut rng);
+        let realization =
+            robust_realization(&instance, 2, seed).expect("dual-homed instances realize");
+        prop_assert!(realization.path_disjointness >= 2);
+        prop_assert!(realization.survives_single_edge_loss);
+        for e in 0..instance.platform.edge_count() {
+            let model = FaultModel::default().with_edge_loss(EdgeId(e as u32), 1.0);
+            let report = replay(&instance, &realization, Some(model));
+            prop_assert!(
+                report.delivery_ratio == 1.0,
+                "killing edge {} broke delivery ({})",
+                e,
+                report.delivery_ratio
+            );
+        }
+    }
+}

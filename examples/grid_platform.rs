@@ -65,6 +65,7 @@ fn main() {
     let sim = Simulator::new(SimulationConfig {
         horizon: 500,
         warmup: 50,
+        ..SimulationConfig::default()
     });
     let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
     println!();

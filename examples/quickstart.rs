@@ -63,6 +63,7 @@ fn main() {
         SimulationConfig {
             horizon: 50,
             warmup: 5,
+            ..SimulationConfig::default()
         },
     )
     .expect("optimal tree set schedules within one period");

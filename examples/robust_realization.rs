@@ -1,0 +1,112 @@
+//! Robust redundant realizations — the quickstart for
+//! `pm_core::realize_robust`.
+//!
+//! A source feeds three targets through two relay branches, so every
+//! target has two edge-disjoint delivery paths. We realize the
+//! lower-bound steady state at disjointness `f = 1` (the best single
+//! tree) and `f = 2` (two edge-disjoint trees carrying every message),
+//! then replay both schedules in the fault-injected simulator under 5%
+//! i.i.d. message loss: the frontier trades steady-state throughput for
+//! delivery, and the `f = 2` schedule keeps delivering even when any
+//! single edge dies outright.
+//!
+//! Run with: `cargo run --release --example robust_realization`
+
+use pm_core::formulations::MulticastLb;
+use pm_core::realize::SteadyStateSolution;
+use pm_core::{realize_robust, RobustOptions, RobustRealization};
+use pm_platform::graph::{NodeId, PlatformBuilder};
+use pm_platform::instances::MulticastInstance;
+use pm_sim::SimulationConfig;
+
+/// Source `S` reaches each target through both `A` and `B`: two
+/// edge-disjoint paths per target, with heterogeneous one-port costs.
+fn dual_homed_instance() -> MulticastInstance {
+    let mut b = PlatformBuilder::new();
+    let s = b.add_named_node("S");
+    let relay_a = b.add_named_node("A");
+    let relay_b = b.add_named_node("B");
+    let targets: Vec<NodeId> = (0..3).map(|i| b.add_named_node(&format!("T{i}"))).collect();
+    b.add_edge(s, relay_a, 1.0).expect("uplink A");
+    b.add_edge(s, relay_b, 1.2).expect("uplink B");
+    for &t in &targets {
+        b.add_edge(relay_a, t, 0.5).expect("branch A");
+        b.add_edge(relay_b, t, 0.6).expect("branch B");
+    }
+    let platform = b.build().expect("dual-homed platform");
+    MulticastInstance::new(platform, s, targets).expect("dual-homed instance")
+}
+
+fn realize_at(instance: &MulticastInstance, f: usize) -> RobustRealization {
+    let lb = MulticastLb::new(instance).solve().expect("LB solves");
+    let solution =
+        SteadyStateSolution::from_flow_solution(instance, &instance.targets, &lb, lb.period)
+            .expect("LB flows decompose");
+    let options = RobustOptions {
+        disjointness: f,
+        verify_loss: 0.05,
+        sim: SimulationConfig {
+            horizon: 200,
+            warmup: 20,
+            ..SimulationConfig::default()
+        },
+        ..RobustOptions::default()
+    };
+    realize_robust(instance, &solution, &options).expect("robust realization")
+}
+
+fn main() {
+    let instance = dual_homed_instance();
+    println!("== robust realization on a dual-homed platform ==\n");
+    println!(
+        "{} nodes, {} targets, every target dual-homed (capability {})\n",
+        instance.platform.node_count(),
+        instance.target_count(),
+        instance
+            .targets
+            .iter()
+            .map(|&t| instance.platform.edge_disjoint_paths(instance.source, t))
+            .min()
+            .unwrap_or(0),
+    );
+
+    let f1 = realize_at(&instance, 1);
+    let f2 = realize_at(&instance, 2);
+    for r in [&f1, &f2] {
+        println!(
+            "f={}  trees {}  period {:.4}  throughput {:.4}  (baseline {:.4}, \
+             sacrifice {:.1}%)",
+            r.options.disjointness,
+            r.tree_set.len(),
+            r.period,
+            r.robust_throughput,
+            r.baseline_throughput,
+            100.0 * r.throughput_sacrifice(),
+        );
+        println!(
+            "     disjoint paths per target ≥ {} (union max-flow ≥ {}), \
+             survives any single-edge total loss: {}",
+            r.path_disjointness, r.achieved_disjointness, r.survives_single_edge_loss,
+        );
+        println!(
+            "     delivery under 5% loss: {:.4} measured (analytic floor {:.4}), \
+             goodput {:.4}\n",
+            r.under_loss.delivery_ratio,
+            r.expected_delivery(&instance.platform, 0.05),
+            r.under_loss.goodput,
+        );
+    }
+
+    let delivery_gained = f2.under_loss.delivery_ratio - f1.under_loss.delivery_ratio;
+    let throughput_paid = f1.robust_throughput - f2.robust_throughput;
+    println!(
+        "the frontier: +{:.1}% delivery under 5% loss costs {:.1}% steady-state throughput",
+        100.0 * delivery_gained,
+        100.0 * throughput_paid / f1.robust_throughput,
+    );
+    assert!(
+        f2.survives_single_edge_loss,
+        "f = 2 must survive edge death"
+    );
+    assert!(delivery_gained > 0.0, "redundancy must buy delivery");
+}

@@ -57,6 +57,7 @@ fn figure1_full_pipeline() {
         SimulationConfig {
             horizon: 64,
             warmup: 8,
+            ..SimulationConfig::default()
         },
     )
     .unwrap();
@@ -73,6 +74,7 @@ fn figure1_mcph_tree_simulates_at_its_analytical_period() {
     let sim = Simulator::new(SimulationConfig {
         horizon: 300,
         warmup: 40,
+        ..SimulationConfig::default()
     });
     let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
     assert!(

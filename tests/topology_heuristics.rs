@@ -48,6 +48,7 @@ fn mcph_trees_on_generated_platforms_simulate_at_their_analytical_period() {
     let sim = Simulator::new(SimulationConfig {
         horizon: 400,
         warmup: 50,
+        ..SimulationConfig::default()
     });
     let report = sim.run_tree_pipeline(&instance.platform, &tree, &instance.targets);
     assert!(
