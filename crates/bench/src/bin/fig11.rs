@@ -8,7 +8,7 @@
 //!         [--densities a,b,c] [--seeds a,b,c] [--kinds k1,k2,...] [--basic]
 //!         [--full] [--smoke] [--realize] [--solver dense|revised]
 //!         [--json PATH] [--csv PATH] [--items-csv PATH] [--items-jsonl PATH]
-//!         [--drift] [--steps N] [--faults]
+//!         [--drift] [--steps N] [--faults] [--chaos] [--chaos-seed N]
 //!
 //! With no class argument both classes are swept (the full Figure 11).
 //! Machine-readable results are always written — to `fig11_sweep.json` /
@@ -37,11 +37,19 @@
 //! artifact records the throughput-vs-redundancy/delivery frontier plus
 //! one crash/recovery round of transition costs, and is byte-compared
 //! against `BENCH_fig11_faults_baseline.json` in CI.
+//!
+//! `--chaos` switches to the solver-chaos sweep: seeded faults are
+//! injected into the LP engine itself (plus one injected session panic
+//! per scenario, healed from the write-ahead journal) and every heuristic
+//! kind gets a budget-capped re-solve; the schema-v7 JSON artifact records
+//! the recovery-rung counters and degraded-solve rates, is byte-compared
+//! against `BENCH_fig11_chaos_baseline.json` in CI, and the run exits
+//! nonzero if any solve exhausts the whole recovery ladder.
 
 use pm_bench::{
-    batch_to_csv, batch_to_json, drift_to_json, faults_to_json, format_period_table,
-    format_ratio_table, run_batch_streamed, run_drift, run_faults, BatchConfig, DriftConfig,
-    FaultsConfig, ItemRowFormat, ItemSink,
+    batch_to_csv, batch_to_json, chaos_to_json, drift_to_json, faults_to_json, format_period_table,
+    format_ratio_table, run_batch_streamed, run_chaos, run_drift, run_faults, BatchConfig,
+    ChaosBenchConfig, DriftConfig, FaultsConfig, ItemRowFormat, ItemSink,
 };
 use pm_core::report::HeuristicKind;
 use pm_platform::topology::PlatformClass;
@@ -66,6 +74,8 @@ fn main() {
     let mut items_jsonl_path: Option<String> = None;
     let mut drift = false;
     let mut faults = false;
+    let mut chaos = false;
+    let mut chaos_seed: Option<u64> = None;
     let mut smoke = false;
     let mut steps: Option<usize> = None;
     let mut kinds_explicit = false;
@@ -123,6 +133,17 @@ fn main() {
             "--drift" => drift = true,
             // Fault-injected robust-realization frontier sweep.
             "--faults" => faults = true,
+            // Solver-chaos sweep: recovery ladder + degradable budgets.
+            "--chaos" => chaos = true,
+            // Seed of the chaos injection plans (chaos mode only).
+            "--chaos-seed" => {
+                i += 1;
+                chaos_seed = Some(
+                    flag_value(&args, i, "--chaos-seed")
+                        .parse()
+                        .expect("--chaos-seed takes an integer"),
+                );
+            }
             // Drift events per scenario (drift mode only).
             "--steps" => {
                 i += 1;
@@ -208,9 +229,104 @@ fn main() {
     if let Some(classes) = &classes {
         config.classes = classes.clone();
     }
-    if drift && faults {
-        eprintln!("--drift and --faults are distinct modes; pick one");
+    if [drift, faults, chaos].iter().filter(|&&m| m).count() > 1 {
+        eprintln!("--drift, --faults and --chaos are distinct modes; pick one");
         std::process::exit(2);
+    }
+
+    if chaos {
+        let mut chaos_config = if smoke {
+            ChaosBenchConfig::smoke()
+        } else {
+            ChaosBenchConfig::quick()
+        };
+        if let Some(classes) = classes {
+            chaos_config.classes = classes;
+        }
+        chaos_config.seeds = config.seeds.clone();
+        chaos_config.platforms = config.platforms;
+        chaos_config.paper_scale = config.paper_scale;
+        if let Some(seed) = chaos_seed {
+            chaos_config.chaos_seed = seed;
+        }
+        if kinds_explicit {
+            chaos_config.kinds = config.kinds.clone();
+        }
+        if density_explicit {
+            chaos_config.density = config.densities[0];
+            if config.densities.len() > 1 {
+                eprintln!(
+                    "fig11: note: --chaos samples one instance per scenario; using density {} \
+                     and ignoring the rest of the grid",
+                    chaos_config.density
+                );
+            }
+        }
+        // Sweep-only outputs have no chaos counterpart: refuse them loudly
+        // instead of exiting "successfully" without the requested files.
+        for (flag, given) in [
+            ("--csv", csv_path != Some("fig11_sweep.csv".to_string())),
+            ("--items-csv", items_csv_path.is_some()),
+            ("--items-jsonl", items_jsonl_path.is_some()),
+            ("--realize", config.realize),
+            ("--steps", steps.is_some()),
+        ] {
+            if given {
+                eprintln!(
+                    "{flag} applies to the Figure 11 sweep only; --chaos writes a single JSON \
+                     artifact (use --json)"
+                );
+                std::process::exit(2);
+            }
+        }
+        chaos_config.progress = true;
+        eprintln!(
+            "running chaos batch: classes={:?}, seeds={:?}, platforms={}, kinds={:?}, \
+             chaos_seed={} (scenarios sequential, solves on {} worker threads)",
+            chaos_config.classes,
+            chaos_config.seeds,
+            chaos_config.platforms,
+            chaos_config.kinds,
+            chaos_config.chaos_seed,
+            rayon::current_num_threads()
+        );
+        let result = run_chaos(&chaos_config);
+        let rungs = result.meta.ladder.recovered_by_rung;
+        eprintln!(
+            "fig11: chaos {} scenarios, {} solves under injection ({} struck, {:.0}%), \
+             rungs [first={} cold={} refactor={} swap={} bland={} dense={}], \
+             {} unrecovered, {} panics healed",
+            result.meta.scenarios,
+            result.meta.ladder.solves,
+            result.meta.ladder.injected,
+            100.0 * result.meta.injected_rate(),
+            rungs[0],
+            rungs[1],
+            rungs[2],
+            rungs[3],
+            rungs[4],
+            rungs[5],
+            result.meta.ladder.unrecovered,
+            result.meta.panics_healed,
+        );
+        eprintln!(
+            "fig11: chaos budget phase: {} solves, {} degraded ({:.0}%)",
+            result.meta.budget.solves,
+            result.meta.budget.degraded,
+            100.0 * result.meta.degraded_rate(),
+        );
+        let path = json_path.unwrap_or_else(|| "fig11_chaos.json".to_string());
+        std::fs::write(&path, chaos_to_json(&result))
+            .unwrap_or_else(|e| panic!("writing chaos JSON to {path}: {e}"));
+        eprintln!("wrote chaos JSON results to {path}");
+        if result.meta.ladder.unrecovered > 0 {
+            eprintln!(
+                "fig11: FAIL: {} solves exhausted the whole recovery ladder",
+                result.meta.ladder.unrecovered
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     if faults {

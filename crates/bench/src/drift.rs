@@ -18,7 +18,7 @@
 
 use crate::emit::{class_key, json_f64, kind_key};
 use pm_core::report::HeuristicKind;
-use pm_core::session::{Session, TransitionCost};
+use pm_core::session::{Session, SessionError, TransitionCost};
 use pm_core::{FormulationError, RealizeError};
 use pm_platform::graph::{EdgeId, NodeId};
 use pm_platform::topology::{PlatformClass, TiersLikeGenerator};
@@ -333,7 +333,7 @@ fn drive_kind(
         }
         // The event generator keeps every active node reachable, so an
         // unreachable solve is a bug worth failing loudly on.
-        Err(e @ FormulationError::Unreachable(_)) => {
+        Err(e @ SessionError::Formulation(FormulationError::Unreachable(_))) => {
             panic!("drift event trace produced an unreachable instance: {e}")
         }
         Err(e) => panic!("drift re-solve failed: {e}"),
@@ -353,7 +353,7 @@ fn drive_kind(
                 .unwrap_or(0.0);
             *previous_throughput = Some(re.realization.simulated.throughput);
         }
-        Err(e @ (RealizeError::Schedule(_) | RealizeError::Packing(_))) => {
+        Err(e @ SessionError::Realize(RealizeError::Schedule(_) | RealizeError::Packing(_))) => {
             panic!("drift re-realization pipeline failure: {e}")
         }
         // Decomposition / not-realizable outcomes are recorded as gaps of

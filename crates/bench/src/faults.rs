@@ -136,7 +136,7 @@ pub struct LossPoint {
     pub goodput: f64,
     /// The analytic worst-target delivery floor at this loss rate.
     pub expected_floor: f64,
-    /// Measured delivery within [`DELIVERY_TOLERANCE`] of the floor (and
+    /// Measured delivery within `DELIVERY_TOLERANCE` of the floor (and
     /// exactly `1.0` at loss `0.0`).
     pub meets_expected: bool,
 }

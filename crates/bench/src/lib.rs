@@ -8,12 +8,14 @@
 //! The library part contains the sweep machinery; the `src/bin` binaries
 //! print the tables documented in `EXPERIMENTS.md`.
 
+pub mod chaos;
 pub mod drift;
 pub mod emit;
 pub mod faults;
 pub mod sweep;
 pub mod table;
 
+pub use chaos::{chaos_to_json, run_chaos, ChaosBenchConfig, ChaosResult, CHAOS_JSON_SCHEMA};
 pub use drift::{drift_to_json, run_drift, DriftConfig, DriftResult};
 pub use emit::{batch_to_csv, batch_to_json, sweep_to_csv, sweep_to_json, ItemRowFormat, ItemSink};
 pub use faults::{faults_to_json, run_faults, FaultsConfig, FaultsResult};

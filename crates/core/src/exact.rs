@@ -60,7 +60,20 @@ impl std::fmt::Display for ExactError {
     }
 }
 
-impl std::error::Error for ExactError {}
+impl std::error::Error for ExactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExactError::Formulation(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormulationError> for ExactError {
+    fn from(e: FormulationError) -> Self {
+        ExactError::Formulation(e)
+    }
+}
 
 /// Result of the exact tree-packing optimisation.
 #[derive(Debug, Clone)]

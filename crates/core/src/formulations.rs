@@ -47,7 +47,14 @@ impl fmt::Display for FormulationError {
     }
 }
 
-impl std::error::Error for FormulationError {}
+impl std::error::Error for FormulationError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FormulationError::Lp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<LpError> for FormulationError {
     fn from(e: LpError) -> Self {

@@ -71,6 +71,10 @@ pub struct HeuristicResult {
     pub warm_hits: usize,
     /// Masked-template solves that ran cold (no or rejected hint).
     pub warm_misses: usize,
+    /// Masked-template solves that exhausted their [`pm_lp::SolveBudget`]
+    /// and returned a degraded anytime solution instead of a certified
+    /// optimum (always zero when no budget is set).
+    pub degraded_solves: usize,
     /// What the heuristic actually solved, in realizable form: the winning
     /// sub-platform flows (LP heuristics), the composed multi-source flows
     /// (`AUGMENTED SOURCES`) or the tree itself (`MCPH`). `None` when the
@@ -93,6 +97,7 @@ impl HeuristicResult {
             lp_solves: 0,
             warm_hits: 0,
             warm_misses: 0,
+            degraded_solves: 0,
             steady_state: None,
         }
     }
@@ -118,6 +123,7 @@ pub(crate) struct LpCounters {
     pub(crate) solves: usize,
     pub(crate) hits: usize,
     pub(crate) misses: usize,
+    pub(crate) degraded: usize,
     pub(crate) phase1_pivots: u64,
     pub(crate) phase2_pivots: u64,
     pub(crate) refactorizations: u64,
@@ -130,6 +136,9 @@ impl LpCounters {
             self.hits += 1;
         } else {
             self.misses += 1;
+        }
+        if stats.solve.degraded {
+            self.degraded += 1;
         }
         self.phase1_pivots += stats.solve.phase1_pivots as u64;
         self.phase2_pivots += stats.solve.phase2_pivots as u64;
@@ -146,6 +155,7 @@ impl LpCounters {
         result.lp_solves = self.solves;
         result.warm_hits = self.hits;
         result.warm_misses = self.misses;
+        result.degraded_solves = self.degraded;
     }
 }
 
@@ -173,12 +183,19 @@ pub struct RunOptions {
     /// matrices, so callers that only need periods (the default fig11
     /// sweep) turn it off; [`ThroughputHeuristic::run`] keeps it on.
     pub capture_steady_state: bool,
+    /// Deterministic per-solve work caps applied to the masked templates a
+    /// run builds (`None` defers to the `PM_LP_BUDGET` default). Under an
+    /// exhausted budget a greedy run keeps going on degraded anytime
+    /// solutions — reported in [`HeuristicResult::degraded_solves`] —
+    /// instead of failing.
+    pub budget: Option<pm_lp::SolveBudget>,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             capture_steady_state: true,
+            budget: None,
         }
     }
 }
@@ -444,7 +461,8 @@ impl ThroughputHeuristic for ReducedBroadcast {
         instance: &MulticastInstance,
         options: RunOptions,
     ) -> Result<HeuristicResult, FormulationError> {
-        let template = MaskedFlowLp::broadcast_eb(instance);
+        let mut template = MaskedFlowLp::broadcast_eb(instance);
+        template.set_budget(options.budget);
         let mask = NodeMask::full(instance.platform.node_count());
         self.run_on(&template, &mask, None, options)
             .map(|r| r.result)
@@ -566,8 +584,10 @@ impl ThroughputHeuristic for AugmentedMulticast {
         instance: &MulticastInstance,
         options: RunOptions,
     ) -> Result<HeuristicResult, FormulationError> {
-        let eb_template = MaskedFlowLp::broadcast_eb(instance);
-        let lb_template = MaskedFlowLp::multicast_lb(instance);
+        let mut eb_template = MaskedFlowLp::broadcast_eb(instance);
+        let mut lb_template = MaskedFlowLp::multicast_lb(instance);
+        eb_template.set_budget(options.budget);
+        lb_template.set_budget(options.budget);
         let mask = NodeMask::full(instance.platform.node_count());
         self.run_on(&eb_template, &lb_template, &mask, None, None, options)
             .map(|r| r.result)
@@ -695,7 +715,8 @@ impl ThroughputHeuristic for AugmentedSources {
         instance: &MulticastInstance,
         options: RunOptions,
     ) -> Result<HeuristicResult, FormulationError> {
-        let template = MaskedMultiSourceUb::new(instance);
+        let mut template = MaskedMultiSourceUb::new(instance);
+        template.set_budget(options.budget);
         let mask = NodeMask::full(instance.platform.node_count());
         self.run_on(&template, &mask, None, options)
             .map(|r| r.result)

@@ -22,7 +22,9 @@
 //!   schedule and certify the claimed period in the one-port simulator,
 //! * [`session`] — the stateful [`Session`] API for
 //!   long-lived, drifting platforms: incremental solves after edge-cost and
-//!   node-churn deltas, re-realization with transition costs,
+//!   node-churn deltas, re-realization with transition costs, a durable
+//!   write-ahead journal ([`SessionEvent`]) with snapshot/replay, and
+//!   panic-isolated solves that self-heal from the journal,
 //! * [`report`] — per-instance comparison reports mirroring Figure 11
 //!   (a thin consumer of a [`Session`]).
 //!
@@ -62,6 +64,6 @@ pub use robust::{
     realize_robust, realize_robust_masked, RobustOptions, RobustRealization, TargetRedundancy,
 };
 pub use session::{
-    ReRealization, RobustReRealization, Session, SessionOpStats, SessionSolve, SessionStats,
-    TransitionCost,
+    ReRealization, RobustReRealization, Session, SessionError, SessionEvent, SessionOpStats,
+    SessionSnapshot, SessionSolve, SessionStats, TransitionCost,
 };

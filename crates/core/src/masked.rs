@@ -39,8 +39,8 @@
 
 use crate::formulations::{FlowSolution, FormulationError, MultiSourceSolution};
 use pm_lp::{
-    Basis, BoundsOverlay, LpError, LpProblem, Objective, Relation, SolveStats, SparseBuilder,
-    VarId, WarmStatus,
+    Basis, BoundsOverlay, LpError, LpProblem, Objective, Relation, SolveBudget, SolveStats,
+    SparseBuilder, VarId, WarmStatus,
 };
 use pm_platform::graph::{EdgeId, NodeId};
 use pm_platform::instances::MulticastInstance;
@@ -117,6 +117,8 @@ pub struct MaskedFlowLp {
     port_rows: Vec<(Option<usize>, Option<usize>)>,
     /// Per edge: its own occupation row index.
     edge_rows: Vec<usize>,
+    /// Deterministic per-solve work caps; `None` defers to `PM_LP_BUDGET`.
+    budget: Option<SolveBudget>,
 }
 
 impl MaskedFlowLp {
@@ -307,7 +309,20 @@ impl MaskedFlowLp {
             commodity_skips,
             port_rows,
             edge_rows,
+            budget: None,
         }
+    }
+
+    /// Sets the deterministic per-solve work caps for every subsequent
+    /// [`MaskedFlowLp::solve`] of this template (`None` defers to the
+    /// `PM_LP_BUDGET` default). Under an exhausted budget a solve returns a
+    /// primal-feasible anytime solution whose stats flag
+    /// [`pm_lp::SolveStats::degraded`] instead of erroring — a session
+    /// under pressure serves a certified-suboptimal schedule rather than
+    /// failing. Set it before sharing the template across threads: solves
+    /// take `&self`.
+    pub fn set_budget(&mut self, budget: Option<SolveBudget>) {
+        self.budget = budget;
     }
 
     /// The instance the template was built from (its platform carries the
@@ -435,7 +450,7 @@ impl MaskedFlowLp {
 
         let out = self
             .problem
-            .resolve_with_bounds(&overlay, hint)
+            .resolve_with_bounds_budgeted(&overlay, hint, self.budget)
             .map_err(|e| match e {
                 // The reachability pre-check passed, so a reported
                 // Infeasible is numerical (the flow LP of a reachable
@@ -526,6 +541,8 @@ pub struct MaskedMultiSourceUb {
     port_rows: Vec<(Option<usize>, Option<usize>)>,
     /// Per edge: its own occupation row index.
     edge_rows: Vec<usize>,
+    /// Deterministic per-solve work caps; `None` defers to `PM_LP_BUDGET`.
+    budget: Option<SolveBudget>,
 }
 
 impl MaskedMultiSourceUb {
@@ -662,7 +679,14 @@ impl MaskedMultiSourceUb {
             dest_skips,
             port_rows,
             edge_rows,
+            budget: None,
         }
+    }
+
+    /// Sets the deterministic per-solve work caps; see
+    /// [`MaskedFlowLp::set_budget`].
+    pub fn set_budget(&mut self, budget: Option<SolveBudget>) {
+        self.budget = budget;
     }
 
     /// The instance the template was built from (kept cost-synchronised by
@@ -854,7 +878,7 @@ impl MaskedMultiSourceUb {
 
         let out = self
             .problem
-            .resolve_with_bounds(&overlay, hint)
+            .resolve_with_bounds_budgeted(&overlay, hint, self.budget)
             .map_err(|e| match e {
                 // Post-pre-check Infeasible is numerical; mapped to
                 // Unreachable for status parity with the rebuild oracle

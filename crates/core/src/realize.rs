@@ -65,7 +65,22 @@ impl fmt::Display for RealizeError {
     }
 }
 
-impl std::error::Error for RealizeError {}
+impl std::error::Error for RealizeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RealizeError::NotRealizable(_) => None,
+            RealizeError::Decomposition(e) => Some(e),
+            RealizeError::Packing(e) => Some(e),
+            RealizeError::Schedule(e) => Some(e),
+        }
+    }
+}
+
+impl From<LpError> for RealizeError {
+    fn from(e: LpError) -> Self {
+        RealizeError::Packing(e)
+    }
+}
 
 impl From<TreeError> for RealizeError {
     fn from(e: TreeError) -> Self {

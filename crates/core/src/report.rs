@@ -6,7 +6,7 @@ use crate::heuristics::{
     Mcph, ReducedBroadcast, RunOptions, ScatterBaseline, ThroughputHeuristic,
 };
 use crate::realize::RealizeError;
-use crate::session::Session;
+use crate::session::{Session, SessionError};
 use pm_platform::instances::MulticastInstance;
 use serde::{Deserialize, Serialize};
 
@@ -215,6 +215,7 @@ impl MulticastReport {
                 kind,
                 RunOptions {
                     capture_steady_state: options.realize,
+                    ..RunOptions::default()
                 },
             );
             let (period, mut stats) = match run {
@@ -226,8 +227,14 @@ impl MulticastReport {
                         warm_misses: solve.stats.warm_misses,
                     },
                 ),
-                Err(FormulationError::Unreachable(_)) => (f64::INFINITY, KindLpStats::default()),
-                Err(e) => return Err(e),
+                Err(SessionError::Formulation(FormulationError::Unreachable(_))) => {
+                    (f64::INFINITY, KindLpStats::default())
+                }
+                Err(SessionError::Formulation(e)) => return Err(e),
+                // Panic quarantine / replay failures have no formulation
+                // shape; surface them as an invalid-argument wrapper so the
+                // one-shot report API keeps its error type.
+                Err(e) => return Err(FormulationError::InvalidArgument(e.to_string())),
             };
             let realization = if options.realize && period.is_finite() {
                 match session.re_realize(kind) {
@@ -252,9 +259,11 @@ impl MulticastReport {
                     // legitimately unrealizable solutions: make them visible
                     // (stderr only, so the artifacts stay deterministic).
                     Err(
-                        e @ (RealizeError::Schedule(_)
-                        | RealizeError::Packing(_)
-                        | RealizeError::Decomposition(_)),
+                        e @ SessionError::Realize(
+                            RealizeError::Schedule(_)
+                            | RealizeError::Packing(_)
+                            | RealizeError::Decomposition(_),
+                        ),
                     ) => {
                         eprintln!(
                             "realize: {} pipeline failure on a {}-node instance: {e}",

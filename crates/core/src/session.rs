@@ -32,6 +32,20 @@
 //! forfeits while the old schedule drains and the new one fills its
 //! pipeline, measured with the one-port simulator.
 //!
+//! Sessions are *durable*: every completed state-changing operation is
+//! appended to a write-ahead journal of [`SessionEvent`]s.
+//! [`Session::snapshot`] captures the pristine base instance plus that
+//! journal, and [`Session::restore`] / [`Session::replay`] reconstruct the
+//! session state bit-identically (every solve is deterministic). The same
+//! journal powers panic isolation: a solve that panics quarantines the
+//! session's derived state (templates, bases, caches), rebuilds the
+//! authoritative platform state from the journal and retries once — a
+//! second panic surfaces as [`SessionError::Poisoned`] instead of
+//! unwinding into the caller. [`Session::set_budget`] threads a
+//! deterministic [`SolveBudget`] through every template solve so exhausted
+//! solves degrade to anytime solutions (counted in
+//! [`SessionStats::degraded_solves`]) instead of erroring.
+//!
 //! ```
 //! use pm_core::report::HeuristicKind;
 //! use pm_core::session::Session;
@@ -58,7 +72,7 @@ use crate::masked::{MaskedFlowLp, MaskedMultiSourceUb, MaskedStats};
 use crate::realize::{realize_with_pool, Realization, RealizeError, SteadyStateSolution};
 use crate::report::HeuristicKind;
 use crate::robust::{realize_robust_masked, RobustOptions, RobustRealization};
-use pm_lp::{Basis, WarmStartCache, WarmStatus};
+use pm_lp::{Basis, SolveBudget, WarmStartCache, WarmStatus};
 use pm_platform::graph::{EdgeId, NodeId};
 use pm_platform::instances::MulticastInstance;
 use pm_platform::mask::NodeMask;
@@ -66,6 +80,8 @@ use pm_sched::tree::{MulticastTree, WeightedTreeSet};
 use pm_sim::{SimulationConfig, Simulator};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeSet;
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// Template slots of a session, one per masked formulation family.
@@ -74,6 +90,165 @@ const SLOT_LB: usize = 1;
 const SLOT_UB: usize = 2;
 const SLOT_MS: usize = 3;
 const SLOTS: usize = 4;
+
+/// Structured failure of a [`Session`] operation.
+///
+/// Everything a session can fail with funnels into this enum, so callers
+/// branch on variants instead of scraping strings: solve failures and
+/// realization failures keep their structured payloads (reachable through
+/// [`std::error::Error::source`]), and the two journal-specific variants
+/// cover panic quarantine and replay.
+#[derive(Debug)]
+pub enum SessionError {
+    /// A formulation or LP failure surfaced by a solve.
+    Formulation(FormulationError),
+    /// A realization-pipeline failure surfaced by a (re-)realization.
+    Realize(RealizeError),
+    /// An operation panicked, the session quarantined its derived state and
+    /// rebuilt the authoritative platform state from the journal, and the
+    /// retried operation panicked *again*. The session itself stays usable
+    /// (mutations and completed results survive); only the poisoned
+    /// operation is reported instead of unwinding into the caller.
+    Poisoned {
+        /// The operation that panicked (e.g. `solve(broadcast)`).
+        op: String,
+        /// Panic payload of the first attempt.
+        first: String,
+        /// Panic payload of the retry after self-healing.
+        second: String,
+    },
+    /// A journal entry failed to re-apply during [`Session::replay`] or
+    /// self-healing — the journal does not belong to the given base
+    /// instance (or was edited by hand).
+    Replay {
+        /// Index of the offending entry in the journal.
+        index: usize,
+        /// The underlying failure.
+        source: Box<SessionError>,
+    },
+}
+
+impl fmt::Display for SessionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionError::Formulation(e) => write!(f, "session solve failed: {e}"),
+            SessionError::Realize(e) => write!(f, "session realization failed: {e}"),
+            SessionError::Poisoned { op, first, second } => write!(
+                f,
+                "session operation {op} poisoned: panicked ({first}), healed from the \
+                 journal, then panicked again ({second})"
+            ),
+            SessionError::Replay { index, source } => {
+                write!(f, "journal entry {index} failed to replay: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SessionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SessionError::Formulation(e) => Some(e),
+            SessionError::Realize(e) => Some(e),
+            SessionError::Poisoned { .. } => None,
+            SessionError::Replay { source, .. } => Some(source.as_ref()),
+        }
+    }
+}
+
+impl From<FormulationError> for SessionError {
+    fn from(e: FormulationError) -> Self {
+        SessionError::Formulation(e)
+    }
+}
+
+impl From<RealizeError> for SessionError {
+    fn from(e: RealizeError) -> Self {
+        SessionError::Realize(e)
+    }
+}
+
+/// One entry of a session's write-ahead journal: a completed state-changing
+/// operation, recorded *after* it succeeded (a panicking or failing
+/// operation leaves no entry). Replaying the journal on the pristine base
+/// instance ([`Session::replay`]) reconstructs the session state
+/// bit-identically, because every solve in the workspace is deterministic.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// A successful [`Session::set_edge_cost`].
+    SetEdgeCost {
+        /// The edited edge.
+        edge: EdgeId,
+        /// The new cost.
+        cost: f64,
+    },
+    /// A [`Session::disable_node`] that changed the mask.
+    DisableNode {
+        /// The disabled node.
+        node: NodeId,
+    },
+    /// A [`Session::enable_node`] that changed the mask.
+    EnableNode {
+        /// The re-enabled node.
+        node: NodeId,
+    },
+    /// A [`Session::set_budget`].
+    SetBudget {
+        /// The new per-solve work caps (`None` defers to `PM_LP_BUDGET`).
+        budget: Option<SolveBudget>,
+    },
+    /// A [`Session::set_sim_config`].
+    SetSimConfig {
+        /// The new simulation configuration.
+        config: SimulationConfig,
+    },
+    /// A completed [`Session::solve_with`] (or [`Session::solve`]).
+    Solve {
+        /// The solved heuristic kind.
+        kind: HeuristicKind,
+        /// Whether the steady state was captured for realization.
+        capture_steady_state: bool,
+    },
+    /// A completed [`Session::solve_multisource`].
+    SolveMultisource {
+        /// The ordered source selection.
+        sources: Vec<NodeId>,
+    },
+    /// A completed [`Session::re_realize`] (or [`Session::realize`]).
+    ReRealize {
+        /// The realized heuristic kind.
+        kind: HeuristicKind,
+    },
+    /// A completed [`Session::re_realize_robust`].
+    ReRealizeRobust {
+        /// The realized heuristic kind.
+        kind: HeuristicKind,
+        /// The robustness knobs of the realization.
+        options: RobustOptions,
+    },
+}
+
+/// A durable snapshot of a [`Session`]: the pristine base instance plus the
+/// write-ahead journal — cheap relative to the solver state it stands for.
+/// [`Session::restore`] reconstructs the full session from it.
+#[derive(Debug, Clone)]
+pub struct SessionSnapshot {
+    base: MulticastInstance,
+    journal: Vec<SessionEvent>,
+}
+
+impl SessionSnapshot {
+    /// The pristine instance the session was constructed with (pre-drift
+    /// edge costs, full mask).
+    pub fn base(&self) -> &MulticastInstance {
+        &self.base
+    }
+
+    /// The journaled events, in application order.
+    pub fn journal(&self) -> &[SessionEvent] {
+        &self.journal
+    }
+}
 
 /// Structured accounting of one session operation (a [`Session::solve`] or a
 /// [`Session::re_realize`]) — the programmatic replacement for scraping the
@@ -93,6 +268,10 @@ pub struct SessionOpStats {
     pub phase2_pivots: u64,
     /// Basis refactorizations across the operation's solves.
     pub refactorizations: u64,
+    /// Solves that exhausted their [`SolveBudget`] and returned a degraded
+    /// anytime solution instead of a certified optimum (always zero when no
+    /// budget is set).
+    pub degraded_solves: u64,
     /// Wall-clock seconds spent in the operation (nondeterministic; bench
     /// artifacts must filter it before byte comparisons).
     pub wall_s: f64,
@@ -109,6 +288,7 @@ impl SessionOpStats {
         self.phase1_pivots += stats.solve.phase1_pivots as u64;
         self.phase2_pivots += stats.solve.phase2_pivots as u64;
         self.refactorizations += stats.solve.refactorizations as u64;
+        self.degraded_solves += stats.solve.degraded as u64;
     }
 
     fn from_counters(counters: &LpCounters) -> Self {
@@ -119,6 +299,7 @@ impl SessionOpStats {
             phase1_pivots: counters.phase1_pivots,
             phase2_pivots: counters.phase2_pivots,
             refactorizations: counters.refactorizations,
+            degraded_solves: counters.degraded as u64,
             wall_s: 0.0,
         }
     }
@@ -160,6 +341,12 @@ pub struct SessionStats {
     pub phase2_pivots: u64,
     /// Basis refactorizations.
     pub refactorizations: u64,
+    /// Solves that exhausted their [`SolveBudget`] and returned a degraded
+    /// anytime solution (see [`Session::set_budget`]).
+    pub degraded_solves: u64,
+    /// Operations that panicked once and were healed from the journal
+    /// (quarantine + rebuild + successful retry).
+    pub panics_healed: u64,
     /// Wall-clock seconds across all operations (nondeterministic).
     pub wall_s: f64,
 }
@@ -172,6 +359,7 @@ impl SessionStats {
         self.phase1_pivots += op.phase1_pivots;
         self.phase2_pivots += op.phase2_pivots;
         self.refactorizations += op.refactorizations;
+        self.degraded_solves += op.degraded_solves;
         self.wall_s += op.wall_s;
     }
 
@@ -283,6 +471,15 @@ pub struct Session {
     robust_realizations: Vec<(HeuristicKind, RobustRealization)>,
     sim_config: SimulationConfig,
     stats: SessionStats,
+    /// The instance exactly as constructed: the base every journal replay
+    /// (and every self-heal) starts from.
+    pristine: MulticastInstance,
+    /// Write-ahead journal of completed state-changing operations.
+    journal: Vec<SessionEvent>,
+    /// Per-solve work caps applied to every template (None = `PM_LP_BUDGET`).
+    budget: Option<SolveBudget>,
+    /// Chaos hook: number of upcoming solve dispatches that panic.
+    panic_armed: u8,
 }
 
 impl Session {
@@ -290,6 +487,7 @@ impl Session {
     /// the first solve that needs them.
     pub fn new(instance: MulticastInstance) -> Self {
         let capacity = instance.platform.node_count();
+        let pristine = instance.clone();
         Session {
             instance,
             mask: NodeMask::full(capacity),
@@ -303,6 +501,10 @@ impl Session {
             robust_realizations: Vec::new(),
             sim_config: SimulationConfig::default(),
             stats: SessionStats::default(),
+            pristine,
+            journal: Vec::new(),
+            budget: None,
+            panic_armed: 0,
         }
     }
 
@@ -325,7 +527,32 @@ impl Session {
     /// Overrides the simulation configuration used by
     /// [`Session::re_realize`].
     pub fn set_sim_config(&mut self, config: SimulationConfig) {
-        self.sim_config = config;
+        self.sim_config = config.clone();
+        self.journal.push(SessionEvent::SetSimConfig { config });
+    }
+
+    /// Sets the deterministic per-solve work caps ([`SolveBudget`]) applied
+    /// to every template solve of this session (`None` defers to the
+    /// `PM_LP_BUDGET` default). Under an exhausted budget a phase-2 solve
+    /// returns its best primal-feasible *anytime* point flagged degraded —
+    /// counted in [`SessionStats::degraded_solves`] — instead of erroring,
+    /// so a drifting platform keeps getting schedules even when solve work
+    /// is capped.
+    pub fn set_budget(&mut self, budget: Option<SolveBudget>) {
+        self.budget = budget;
+        for template in self.flow_templates.iter_mut().flatten() {
+            template.set_budget(budget);
+        }
+        if let Some(template) = self.ms_template.as_mut() {
+            template.set_budget(budget);
+        }
+        self.journal.push(SessionEvent::SetBudget { budget });
+    }
+
+    /// The session's current per-solve work caps (see
+    /// [`Session::set_budget`]).
+    pub fn budget(&self) -> Option<SolveBudget> {
+        self.budget
     }
 
     /// The last solve result of a kind, if any.
@@ -348,74 +575,101 @@ impl Session {
     /// immediately; each built template is only marked dirty and re-synced
     /// (via [`pm_lp::LpProblem::set_coeff`]) right before its next solve, so
     /// a burst of edits costs one coefficient sweep, not one per edit.
-    pub fn set_edge_cost(&mut self, edge: EdgeId, cost: f64) -> Result<(), FormulationError> {
+    pub fn set_edge_cost(&mut self, edge: EdgeId, cost: f64) -> Result<(), SessionError> {
         if edge.index() >= self.instance.platform.edge_count() {
-            return Err(FormulationError::InvalidArgument(format!(
-                "unknown edge {edge}"
+            return Err(SessionError::from(FormulationError::InvalidArgument(
+                format!("unknown edge {edge}"),
             )));
         }
         self.instance
             .platform
             .set_cost(edge, cost)
-            .map_err(|e| FormulationError::InvalidArgument(e.to_string()))?;
+            .map_err(|e| SessionError::from(FormulationError::InvalidArgument(e.to_string())))?;
         for slot in 0..SLOTS {
             if self.slot_built(slot) {
                 self.dirty[slot].insert(edge.0);
             }
         }
         self.stats.edge_edits += 1;
+        self.journal.push(SessionEvent::SetEdgeCost { edge, cost });
         Ok(())
     }
 
     /// Deactivates a node for all subsequent solves. The source and the
     /// instance targets cannot be disabled (every formulation would be
     /// trivially infeasible). Returns whether the mask changed.
-    pub fn disable_node(&mut self, node: NodeId) -> Result<bool, FormulationError> {
+    pub fn disable_node(&mut self, node: NodeId) -> Result<bool, SessionError> {
         if node.index() >= self.instance.platform.node_count() {
-            return Err(FormulationError::InvalidArgument(format!(
-                "unknown node {node}"
+            return Err(SessionError::from(FormulationError::InvalidArgument(
+                format!("unknown node {node}"),
             )));
         }
         if node == self.instance.source {
-            return Err(FormulationError::InvalidArgument(format!(
-                "cannot disable the source {node}"
+            return Err(SessionError::from(FormulationError::InvalidArgument(
+                format!("cannot disable the source {node}"),
             )));
         }
         if self.instance.is_target(node) {
-            return Err(FormulationError::InvalidArgument(format!(
-                "cannot disable target {node}"
+            return Err(SessionError::from(FormulationError::InvalidArgument(
+                format!("cannot disable target {node}"),
             )));
         }
         let changed = self.mask.remove(node);
         self.stats.node_events += changed as u64;
+        if changed {
+            self.journal.push(SessionEvent::DisableNode { node });
+        }
         Ok(changed)
     }
 
     /// Re-activates a node. Returns whether the mask changed.
-    pub fn enable_node(&mut self, node: NodeId) -> Result<bool, FormulationError> {
+    pub fn enable_node(&mut self, node: NodeId) -> Result<bool, SessionError> {
         if node.index() >= self.instance.platform.node_count() {
-            return Err(FormulationError::InvalidArgument(format!(
-                "unknown node {node}"
+            return Err(SessionError::from(FormulationError::InvalidArgument(
+                format!("unknown node {node}"),
             )));
         }
         let changed = self.mask.insert(node);
         self.stats.node_events += changed as u64;
+        if changed {
+            self.journal.push(SessionEvent::EnableNode { node });
+        }
         Ok(changed)
     }
 
     /// Solves a heuristic kind on the current platform state, warm-starting
     /// from the session's previous bases, and captures the steady state for
     /// realization.
-    pub fn solve(&mut self, kind: HeuristicKind) -> Result<SessionSolve, FormulationError> {
+    pub fn solve(&mut self, kind: HeuristicKind) -> Result<SessionSolve, SessionError> {
         self.solve_with(kind, RunOptions::default())
     }
 
     /// [`Session::solve`] with explicit options (steady-state capture).
+    ///
+    /// Per-solve work caps come from [`Session::set_budget`]; the
+    /// [`RunOptions::budget`] field only affects the one-shot
+    /// [`ThroughputHeuristic::run_with`] path, which builds its own
+    /// templates.
+    ///
+    /// The dispatch runs under panic isolation: a panicking solve
+    /// quarantines the session's derived state, heals it from the journal
+    /// and retries once (see [`SessionError::Poisoned`]).
     pub fn solve_with(
         &mut self,
         kind: HeuristicKind,
         options: RunOptions,
-    ) -> Result<SessionSolve, FormulationError> {
+    ) -> Result<SessionSolve, SessionError> {
+        self.with_healing(&format!("solve({})", kind.label()), move |session| {
+            session.solve_with_inner(kind, options)
+        })
+    }
+
+    fn solve_with_inner(
+        &mut self,
+        kind: HeuristicKind,
+        options: RunOptions,
+    ) -> Result<SessionSolve, SessionError> {
+        self.maybe_injected_panic();
         let start = Instant::now();
         let (result, mut op) = match kind {
             HeuristicKind::Scatter => self.solve_flow(SLOT_UB, kind, options)?,
@@ -490,6 +744,10 @@ impl Session {
                 op.wall_s,
             );
         }
+        self.journal.push(SessionEvent::Solve {
+            kind,
+            capture_steady_state: options.capture_steady_state,
+        });
         Ok(SessionSolve {
             kind,
             result,
@@ -505,7 +763,18 @@ impl Session {
     pub fn solve_multisource(
         &mut self,
         sources: &[NodeId],
-    ) -> Result<MultiSourceSolution, FormulationError> {
+    ) -> Result<MultiSourceSolution, SessionError> {
+        let sources = sources.to_vec();
+        self.with_healing("solve_multisource", move |session| {
+            session.solve_multisource_inner(&sources)
+        })
+    }
+
+    fn solve_multisource_inner(
+        &mut self,
+        sources: &[NodeId],
+    ) -> Result<MultiSourceSolution, SessionError> {
+        self.maybe_injected_panic();
         let start = Instant::now();
         self.ensure_ms();
         let hint = self.bases[SLOT_MS].clone();
@@ -517,6 +786,9 @@ impl Session {
         self.bases[SLOT_MS] = Some(out.basis);
         self.stats.solves += 1;
         self.stats.absorb(&op);
+        self.journal.push(SessionEvent::SolveMultisource {
+            sources: sources.to_vec(),
+        });
         Ok(out.solution)
     }
 
@@ -525,7 +797,7 @@ impl Session {
     /// realization, and stores it as the new baseline. A convenience
     /// wrapper over [`Session::re_realize`] for callers that do not need
     /// the transition cost.
-    pub fn realize(&mut self, kind: HeuristicKind) -> Result<&Realization, RealizeError> {
+    pub fn realize(&mut self, kind: HeuristicKind) -> Result<&Realization, SessionError> {
         self.re_realize(kind)?;
         Ok(self
             .realization_for(kind)
@@ -541,7 +813,13 @@ impl Session {
     ///
     /// Fails with [`RealizeError::NotRealizable`] when `kind` has not been
     /// solved in this session (or its last solve carried no steady state).
-    pub fn re_realize(&mut self, kind: HeuristicKind) -> Result<ReRealization, RealizeError> {
+    pub fn re_realize(&mut self, kind: HeuristicKind) -> Result<ReRealization, SessionError> {
+        self.with_healing(&format!("re_realize({})", kind.label()), move |session| {
+            session.re_realize_inner(kind)
+        })
+    }
+
+    fn re_realize_inner(&mut self, kind: HeuristicKind) -> Result<ReRealization, SessionError> {
         let start = Instant::now();
         let solution: SteadyStateSolution = self
             .solution_for(kind)
@@ -604,6 +882,7 @@ impl Session {
                 op.wall_s,
             );
         }
+        self.journal.push(SessionEvent::ReRealize { kind });
         Ok(ReRealization {
             realization,
             transition,
@@ -634,7 +913,19 @@ impl Session {
         &mut self,
         kind: HeuristicKind,
         options: &RobustOptions,
-    ) -> Result<RobustReRealization, RealizeError> {
+    ) -> Result<RobustReRealization, SessionError> {
+        let options = options.clone();
+        self.with_healing(
+            &format!("re_realize_robust({})", kind.label()),
+            move |session| session.re_realize_robust_inner(kind, &options),
+        )
+    }
+
+    fn re_realize_robust_inner(
+        &mut self,
+        kind: HeuristicKind,
+        options: &RobustOptions,
+    ) -> Result<RobustReRealization, SessionError> {
         let start = Instant::now();
         let solution: SteadyStateSolution = self
             .solution_for(kind)
@@ -701,11 +992,211 @@ impl Session {
                 op.wall_s,
             );
         }
+        self.journal.push(SessionEvent::ReRealizeRobust {
+            kind,
+            options: options.clone(),
+        });
         Ok(RobustReRealization {
             realization,
             transition,
             stats: op,
         })
+    }
+
+    /// The write-ahead journal: every completed state-changing operation of
+    /// this session, in order. Failed or panicked operations leave no
+    /// entry.
+    pub fn journal(&self) -> &[SessionEvent] {
+        &self.journal
+    }
+
+    /// A durable snapshot: the pristine base instance plus the write-ahead
+    /// journal — cheap relative to the solver state it stands for, and
+    /// sufficient to reconstruct it bit-identically with
+    /// [`Session::restore`].
+    pub fn snapshot(&self) -> SessionSnapshot {
+        SessionSnapshot {
+            base: self.pristine.clone(),
+            journal: self.journal.clone(),
+        }
+    }
+
+    /// Reconstructs a session from a snapshot by replaying its journal on
+    /// its base instance. Every solve in the workspace is deterministic, so
+    /// the reconstruction is bit-identical: same platform state, same warm
+    /// bases, same solutions and realizations, same statistics (up to the
+    /// nondeterministic `wall_s` timings).
+    pub fn restore(snapshot: &SessionSnapshot) -> Result<Session, SessionError> {
+        Session::replay(snapshot.base.clone(), snapshot.journal())
+    }
+
+    /// Replays a journal on a pristine base instance, re-running every
+    /// recorded operation in order. Fails with [`SessionError::Replay`]
+    /// when an entry cannot be re-applied — a journal that does not belong
+    /// to `instance` (replaying a journal against the instance it was
+    /// recorded on cannot fail: only completed operations are journaled).
+    pub fn replay(
+        instance: MulticastInstance,
+        journal: &[SessionEvent],
+    ) -> Result<Session, SessionError> {
+        let mut session = Session::new(instance);
+        for (index, event) in journal.iter().enumerate() {
+            session
+                .apply_event(event)
+                .map_err(|e| SessionError::Replay {
+                    index,
+                    source: Box::new(e),
+                })?;
+        }
+        Ok(session)
+    }
+
+    fn apply_event(&mut self, event: &SessionEvent) -> Result<(), SessionError> {
+        match event {
+            SessionEvent::SetEdgeCost { edge, cost } => self.set_edge_cost(*edge, *cost),
+            SessionEvent::DisableNode { node } => self.disable_node(*node).map(|_| ()),
+            SessionEvent::EnableNode { node } => self.enable_node(*node).map(|_| ()),
+            SessionEvent::SetBudget { budget } => {
+                self.set_budget(*budget);
+                Ok(())
+            }
+            SessionEvent::SetSimConfig { config } => {
+                self.set_sim_config(config.clone());
+                Ok(())
+            }
+            SessionEvent::Solve {
+                kind,
+                capture_steady_state,
+            } => self
+                .solve_with(
+                    *kind,
+                    RunOptions {
+                        capture_steady_state: *capture_steady_state,
+                        ..RunOptions::default()
+                    },
+                )
+                .map(|_| ()),
+            SessionEvent::SolveMultisource { sources } => {
+                self.solve_multisource(sources).map(|_| ())
+            }
+            SessionEvent::ReRealize { kind } => self.re_realize(*kind).map(|_| ()),
+            SessionEvent::ReRealizeRobust { kind, options } => {
+                self.re_realize_robust(*kind, options).map(|_| ())
+            }
+        }
+    }
+
+    /// Runs `f` under panic isolation. A panicking operation quarantines
+    /// the session's derived state, heals the authoritative state from the
+    /// write-ahead journal and retries once; a second panic is reported as
+    /// [`SessionError::Poisoned`]. Structured errors pass straight through:
+    /// they leave the session consistent by construction.
+    fn with_healing<T>(
+        &mut self,
+        op: &str,
+        f: impl Fn(&mut Session) -> Result<T, SessionError>,
+    ) -> Result<T, SessionError> {
+        match catch_unwind(AssertUnwindSafe(|| f(&mut *self))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let first = panic_text(payload.as_ref());
+                self.heal()?;
+                match catch_unwind(AssertUnwindSafe(|| f(&mut *self))) {
+                    Ok(outcome) => outcome,
+                    Err(retry) => Err(SessionError::Poisoned {
+                        op: op.to_string(),
+                        first,
+                        second: panic_text(retry.as_ref()),
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Quarantines every piece of derived state a panic may have poisoned —
+    /// the formulation templates, their warm bases, the pending-edit sets
+    /// and the ambient warm-start cache — and rebuilds the authoritative
+    /// platform state (edge costs, node mask, budget, simulation config)
+    /// from the write-ahead journal on the pristine base instance.
+    /// Completed solutions, realizations and statistics are plain values
+    /// recorded only after their operation succeeded, so they survive
+    /// as-is; the quarantined templates are rebuilt lazily (cold) on the
+    /// next solve.
+    fn heal(&mut self) -> Result<(), SessionError> {
+        let mut instance = self.pristine.clone();
+        let mut mask = NodeMask::full(instance.platform.node_count());
+        let mut budget = None;
+        let mut sim_config = SimulationConfig::default();
+        for (index, event) in self.journal.iter().enumerate() {
+            let outcome = match event {
+                SessionEvent::SetEdgeCost { edge, cost } => instance
+                    .platform
+                    .set_cost(*edge, *cost)
+                    .map_err(|e| FormulationError::InvalidArgument(e.to_string())),
+                SessionEvent::DisableNode { node } => {
+                    mask.remove(*node);
+                    Ok(())
+                }
+                SessionEvent::EnableNode { node } => {
+                    mask.insert(*node);
+                    Ok(())
+                }
+                SessionEvent::SetBudget { budget: caps } => {
+                    budget = *caps;
+                    Ok(())
+                }
+                SessionEvent::SetSimConfig { config } => {
+                    sim_config = config.clone();
+                    Ok(())
+                }
+                // Solve-class events only touch derived state, which is
+                // being quarantined wholesale.
+                SessionEvent::Solve { .. }
+                | SessionEvent::SolveMultisource { .. }
+                | SessionEvent::ReRealize { .. }
+                | SessionEvent::ReRealizeRobust { .. } => Ok(()),
+            };
+            outcome.map_err(|e| SessionError::Replay {
+                index,
+                source: Box::new(SessionError::from(e)),
+            })?;
+        }
+        self.instance = instance;
+        self.mask = mask;
+        self.budget = budget;
+        self.sim_config = sim_config;
+        self.cache = WarmStartCache::new();
+        self.flow_templates = [None, None, None];
+        self.ms_template = None;
+        self.dirty = std::array::from_fn(|_| BTreeSet::new());
+        self.bases = std::array::from_fn(|_| None);
+        self.stats.panics_healed += 1;
+        Ok(())
+    }
+
+    /// Chaos hook: arms the next `n` solve dispatches to poison the
+    /// session's pending-edit sets and panic mid-operation, exactly the way
+    /// an interrupted mutation sweep would leave them. Exercises the
+    /// quarantine + journal-heal path deterministically from integration
+    /// tests; not part of the supported API surface.
+    #[doc(hidden)]
+    pub fn arm_panic(&mut self, n: u8) {
+        self.panic_armed = n;
+    }
+
+    fn maybe_injected_panic(&mut self) {
+        if self.panic_armed > 0 {
+            self.panic_armed -= 1;
+            // Poison the derived state the way a mid-sweep panic would
+            // leave it: a dangling edge id in every pending-edit set (any
+            // template re-sync would index out of bounds on it) and a
+            // dropped ambient cache. Healing must clear all of it.
+            for slot in 0..SLOTS {
+                self.dirty[slot].insert(u32::MAX);
+            }
+            self.cache = WarmStartCache::new();
+            panic!("injected session panic (chaos hook)");
+        }
     }
 
     /// Whether every edge of the tree is active under the current mask.
@@ -777,12 +1268,13 @@ impl Session {
     /// pending edge-cost edits into it.
     fn ensure_flow(&mut self, slot: usize) {
         if self.flow_templates[slot].is_none() {
-            let template = match slot {
+            let mut template = match slot {
                 SLOT_EB => MaskedFlowLp::broadcast_eb(&self.instance),
                 SLOT_LB => MaskedFlowLp::multicast_lb(&self.instance),
                 SLOT_UB => MaskedFlowLp::multicast_ub(&self.instance),
                 _ => unreachable!("flow slots are 0..3"),
             };
+            template.set_budget(self.budget);
             self.flow_templates[slot] = Some(template);
             self.dirty[slot].clear();
             return;
@@ -799,7 +1291,9 @@ impl Session {
     /// pending edge-cost edits into it.
     fn ensure_ms(&mut self) {
         if self.ms_template.is_none() {
-            self.ms_template = Some(MaskedMultiSourceUb::new(&self.instance));
+            let mut template = MaskedMultiSourceUb::new(&self.instance);
+            template.set_budget(self.budget);
+            self.ms_template = Some(template);
             self.dirty[SLOT_MS].clear();
             return;
         }
@@ -886,6 +1380,18 @@ impl Session {
             Some((_, slot)) => *slot = realization,
             None => self.realizations.push((kind, realization)),
         }
+    }
+}
+
+/// Renders a caught panic payload (`&str` or `String` payloads; anything
+/// else is reported opaquely).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -1060,8 +1566,29 @@ mod tests {
         let mut session = Session::new(figure5_instance(2));
         assert!(matches!(
             session.re_realize(HeuristicKind::Scatter),
-            Err(RealizeError::NotRealizable(_))
+            Err(SessionError::Realize(RealizeError::NotRealizable(_)))
         ));
+    }
+
+    #[test]
+    fn session_errors_expose_their_full_source_chain() {
+        use std::error::Error;
+        let err = SessionError::from(FormulationError::from(pm_lp::LpError::Infeasible));
+        let level1 = err.source().expect("SessionError wraps a cause");
+        assert!(level1.is::<FormulationError>());
+        let level2 = level1
+            .source()
+            .expect("FormulationError wraps the LP cause");
+        assert!(level2.is::<pm_lp::LpError>());
+        assert!(level2.source().is_none());
+        // Replay errors point at their boxed inner failure.
+        let replay = SessionError::Replay {
+            index: 3,
+            source: Box::new(SessionError::from(RealizeError::NotRealizable(
+                "no steady state".into(),
+            ))),
+        };
+        assert!(replay.source().expect("replay cause").is::<SessionError>());
     }
 
     #[test]
@@ -1077,5 +1604,148 @@ mod tests {
             .unwrap();
         assert!(multi.period < single.period - 0.25);
         assert!(session.stats().warm_hits >= 1);
+    }
+
+    #[test]
+    fn journal_replay_reconstructs_bit_identical_state() {
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        let edge = inst.platform.edge_ids().next().unwrap();
+        session
+            .set_edge_cost(edge, inst.platform.cost(edge) * 2.0)
+            .unwrap();
+        assert!(session.disable_node(NodeId(4)).unwrap());
+        assert!(session.disable_node(NodeId(5)).unwrap());
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        session.re_realize(HeuristicKind::Broadcast).unwrap();
+
+        let snapshot = session.snapshot();
+        let mut replayed = Session::restore(&snapshot).unwrap();
+        assert_eq!(replayed.journal(), session.journal());
+        assert_eq!(
+            replayed.instance().platform.cost(edge).to_bits(),
+            session.instance().platform.cost(edge).to_bits()
+        );
+        assert_eq!(replayed.mask().to_nodes(), session.mask().to_nodes());
+
+        // Deterministic solves: the replayed session's next solve is
+        // bit-identical to the original's, down to the pivot counts (it
+        // warm-starts from the same reconstructed basis).
+        let a = session.solve(HeuristicKind::Broadcast).unwrap();
+        let b = replayed.solve(HeuristicKind::Broadcast).unwrap();
+        assert_eq!(a.result.period.to_bits(), b.result.period.to_bits());
+        assert_eq!(a.stats.lp_solves, b.stats.lp_solves);
+        assert_eq!(a.stats.warm_hits, b.stats.warm_hits);
+        assert_eq!(a.stats.phase1_pivots, b.stats.phase1_pivots);
+        assert_eq!(a.stats.phase2_pivots, b.stats.phase2_pivots);
+        let (sa, sb) = (session.stats(), replayed.stats());
+        assert_eq!(sa.lp_solves, sb.lp_solves);
+        assert_eq!(sa.phase1_pivots, sb.phase1_pivots);
+        assert_eq!(sa.phase2_pivots, sb.phase2_pivots);
+        assert_eq!(sa.edge_edits, sb.edge_edits);
+        assert_eq!(sa.node_events, sb.node_events);
+    }
+
+    #[test]
+    fn replaying_a_foreign_journal_reports_the_offending_entry() {
+        let mut session = Session::new(figure1_instance());
+        let edge = session.instance().platform.edge_ids().next().unwrap();
+        session.set_edge_cost(edge, 2.0).unwrap();
+        let mut journal = session.journal().to_vec();
+        // Corrupt the journal: an edge the tiny platform does not have.
+        journal.push(SessionEvent::SetEdgeCost {
+            edge: EdgeId(9999),
+            cost: 1.0,
+        });
+        match Session::replay(figure1_instance(), &journal) {
+            Err(SessionError::Replay { index, .. }) => assert_eq!(index, 1),
+            other => panic!("expected a replay error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn a_panicking_solve_heals_from_the_journal() {
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        let edge = inst.platform.edge_ids().next().unwrap();
+        session
+            .set_edge_cost(edge, inst.platform.cost(edge) * 1.5)
+            .unwrap();
+
+        session.arm_panic(1);
+        let healed = session.solve(HeuristicKind::Broadcast).unwrap();
+        assert_eq!(session.stats().panics_healed, 1);
+
+        // The healed solve matches a fresh session on the same mutation
+        // history bit-for-bit: the quarantine rebuilt everything from the
+        // journal, poisoned dirty sets and all.
+        let mut fresh = Session::new(inst.clone());
+        fresh
+            .set_edge_cost(edge, inst.platform.cost(edge) * 1.5)
+            .unwrap();
+        let oracle = fresh.solve(HeuristicKind::Broadcast).unwrap();
+        assert_eq!(
+            healed.result.period.to_bits(),
+            oracle.result.period.to_bits()
+        );
+
+        // And the session stays fully serviceable afterwards.
+        session.re_realize(HeuristicKind::Broadcast).unwrap();
+    }
+
+    #[test]
+    fn a_double_panic_reports_poisoned_instead_of_unwinding() {
+        let mut session = Session::new(figure1_instance());
+        session.arm_panic(2);
+        match session.solve(HeuristicKind::Broadcast) {
+            Err(SessionError::Poisoned { op, .. }) => assert!(op.contains("solve")),
+            other => panic!("expected Poisoned, got {other:?}"),
+        }
+        // The panicked operation never committed to the journal, and the
+        // quarantined session still solves.
+        assert!(session.journal().is_empty());
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        assert_eq!(session.journal().len(), 1);
+    }
+
+    #[test]
+    fn session_budgets_degrade_to_anytime_solutions_instead_of_failing() {
+        // Probe the unbudgeted pivot counts of a few formulations to pick
+        // one whose phase 2 actually pivots, and a budget that exhausts it
+        // while letting phase 1 finish.
+        let inst = figure1_instance();
+        let mut picked = None;
+        for kind in [
+            HeuristicKind::Broadcast,
+            HeuristicKind::Scatter,
+            HeuristicKind::LowerBound,
+        ] {
+            let mut probe = Session::new(inst.clone());
+            let full = probe.solve(kind).unwrap();
+            if full.stats.phase2_pivots > 0 {
+                picked = Some((kind, full));
+                break;
+            }
+        }
+        let (kind, full) = picked.expect("some figure 1 formulation pivots in phase 2");
+        let (p1, p2) = (full.stats.phase1_pivots, full.stats.phase2_pivots);
+
+        let mut session = Session::new(inst);
+        session.set_budget(Some(SolveBudget::pivots(p1 + p2 - 1)));
+        let capped = session.solve(kind).unwrap();
+        assert_eq!(capped.stats.degraded_solves, 1);
+        assert!(session.stats().degraded_solves >= 1);
+        // The anytime point is primal feasible, so its period can only be
+        // worse than (or equal to) the certified optimum.
+        assert!(capped.result.period >= full.result.period - 1e-9);
+        // The budget is journaled: a replay reproduces the degraded solve.
+        let replayed = Session::restore(&session.snapshot()).unwrap();
+        assert_eq!(
+            replayed.stats().degraded_solves,
+            session.stats().degraded_solves
+        );
+        assert_eq!(replayed.budget(), session.budget());
     }
 }

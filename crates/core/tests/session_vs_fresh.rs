@@ -14,7 +14,7 @@
 
 use pm_core::report::HeuristicKind;
 use pm_core::session::Session;
-use pm_core::{FormulationError, RealizeError};
+use pm_core::{FormulationError, RealizeError, SessionError};
 use pm_platform::graph::{EdgeId, NodeId, PlatformBuilder};
 use pm_platform::instances::MulticastInstance;
 use proptest::prelude::*;
@@ -127,7 +127,10 @@ fn assert_solve_parity(
                 b.result.period
             );
         }
-        (Err(FormulationError::Unreachable(_)), Err(FormulationError::Unreachable(_))) => {}
+        (
+            Err(SessionError::Formulation(FormulationError::Unreachable(_))),
+            Err(SessionError::Formulation(FormulationError::Unreachable(_))),
+        ) => {}
         _ => {
             prop_assert!(false, "{kind:?}: status mismatch {a:?} vs {b:?}");
         }
@@ -146,7 +149,10 @@ fn assert_solve_parity(
                     prop_assert!(fr.realization.realization_gap < 1e-6);
                 }
             }
-            (Err(RealizeError::NotRealizable(_)), Err(RealizeError::NotRealizable(_))) => {}
+            (
+                Err(SessionError::Realize(RealizeError::NotRealizable(_))),
+                Err(SessionError::Realize(RealizeError::NotRealizable(_))),
+            ) => {}
             _ => {
                 prop_assert!(
                     false,
@@ -230,10 +236,13 @@ proptest! {
                     b.period
                 );
             }
-            (Err(FormulationError::Unreachable(_)), Err(FormulationError::Unreachable(_))) => {}
             (
-                Err(FormulationError::InvalidArgument(_)),
-                Err(FormulationError::InvalidArgument(_)),
+                Err(SessionError::Formulation(FormulationError::Unreachable(_))),
+                Err(SessionError::Formulation(FormulationError::Unreachable(_))),
+            ) => {}
+            (
+                Err(SessionError::Formulation(FormulationError::InvalidArgument(_))),
+                Err(SessionError::Formulation(FormulationError::InvalidArgument(_))),
             ) => {}
             _ => {
                 prop_assert!(false, "multi-source status mismatch: {a:?} vs {b:?}");

@@ -23,7 +23,11 @@
 //!   `PM_LP_SOLVER=dense` fallback and as the differential-testing oracle,
 //! * [`solver`] — engine selection (`PM_LP_SOLVER`,
 //!   [`set_default_solver`]; `PM_LP_BASIS`,
-//!   [`set_default_basis`]).
+//!   [`set_default_basis`]) and deterministic work caps
+//!   ([`SolveBudget`], `PM_LP_BUDGET`),
+//! * [`chaos`] — seeded fault injection (`PM_LP_CHAOS`) driving the
+//!   recovery ladder (see [`revised::RecoveryRung`]) for self-healing
+//!   tests and the chaos benchmark.
 //!
 //! Both engines share the anti-degeneracy toolkit (seeded shadow-RHS
 //! perturbation, Dantzig→Bland stall switching, seeded ratio-test
@@ -50,6 +54,7 @@
 #![deny(missing_docs)]
 
 pub mod basis;
+pub mod chaos;
 pub mod presolve;
 pub mod problem;
 pub mod revised;
@@ -58,13 +63,19 @@ pub mod solver;
 pub mod sparse;
 
 pub use basis::{BasisFactorization, EtaBasis, LuBasis};
+pub use chaos::{
+    counters as chaos_counters, reset_counters as reset_chaos_counters, set_chaos, with_chaos,
+    ChaosConfig, ChaosCounters, ChaosFault,
+};
 pub use presolve::Presolved;
 pub use problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
 pub use revised::{
-    resolve_with_bounds, Basis, BoundsOverlay, SolveOutcome, SolveStats, WarmStartCache, WarmStatus,
+    resolve_with_bounds, resolve_with_bounds_budgeted, solve_with_hint_budgeted, Basis,
+    BoundsOverlay, RecoveryRung, RecoveryTrigger, SolveOutcome, SolveStats, WarmStartCache,
+    WarmStatus,
 };
 pub use solver::{
-    default_basis, default_solver, set_default_basis, set_default_solver, stats_enabled, BasisKind,
-    SolverKind,
+    default_basis, default_budget, default_solver, set_default_basis, set_default_solver,
+    stats_enabled, BasisKind, SolveBudget, SolverKind,
 };
 pub use sparse::{CscMatrix, SparseBuilder};

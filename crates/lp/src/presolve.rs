@@ -524,7 +524,12 @@ impl Presolved {
         let reduced_solution = if self.reduced.num_vars() == 0 {
             // Fully eliminated: nothing to solve (any remaining rows would
             // have been empty and thus dropped or reported infeasible).
-            debug_assert!(self.kept_rows.is_empty());
+            if !self.kept_rows.is_empty() {
+                return Err(LpError::InvalidModel(format!(
+                    "presolve eliminated every column but kept {} rows",
+                    self.kept_rows.len()
+                )));
+            }
             LpSolution::with_duals(0.0, Vec::new(), Vec::new())
         } else {
             match solver {
@@ -534,14 +539,34 @@ impl Presolved {
                 }
             }
         };
-        Ok(self.postsolve(&reduced_solution))
+        self.postsolve(&reduced_solution)
     }
 
     /// Maps a reduced solution back to the original index space: primal
     /// values always; duals whenever the reduced solution carries them
     /// (the dense oracle reports none — then neither does the postsolved
     /// solution).
-    pub fn postsolve(&self, reduced: &LpSolution) -> LpSolution {
+    ///
+    /// Returns [`LpError::InvalidModel`] when the reduced solution's
+    /// dimensions do not match this reduction (a foreign or corrupted
+    /// solution), instead of panicking mid-recovery.
+    pub fn postsolve(&self, reduced: &LpSolution) -> Result<LpSolution, LpError> {
+        if reduced.values().len() != self.kept_cols.len() {
+            return Err(LpError::InvalidModel(format!(
+                "postsolve dimension mismatch: reduced solution has {} values, \
+                 reduction kept {} columns",
+                reduced.values().len(),
+                self.kept_cols.len()
+            )));
+        }
+        if !reduced.duals().is_empty() && reduced.duals().len() != self.kept_rows.len() {
+            return Err(LpError::InvalidModel(format!(
+                "postsolve dimension mismatch: reduced solution has {} duals, \
+                 reduction kept {} rows",
+                reduced.duals().len(),
+                self.kept_rows.len()
+            )));
+        }
         let n = self.original.num_vars();
         let m = self.original.num_constraints();
         let sense = match self.original.objective() {
@@ -635,7 +660,7 @@ impl Presolved {
         } else {
             Vec::new()
         };
-        LpSolution::with_duals(objective, values, duals)
+        Ok(LpSolution::with_duals(objective, values, duals))
     }
 }
 
@@ -855,6 +880,30 @@ mod tests {
         approx(sol.objective, direct.objective);
         assert!(lp.is_feasible(sol.values(), 1e-6));
         check_duals(&lp, &sol);
+    }
+
+    #[test]
+    fn postsolve_rejects_mismatched_solutions() {
+        let mut lp = LpProblem::new(Objective::Minimize);
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.set_objective_coeff(x, 1.0);
+        lp.set_objective_coeff(y, 1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.0);
+        let p = presolve(&lp).unwrap();
+        // A solution shaped for some other problem must be rejected, not
+        // replayed into an out-of-bounds index.
+        let foreign = LpSolution::with_duals(0.0, vec![0.0; 7], Vec::new());
+        assert!(matches!(
+            p.postsolve(&foreign),
+            Err(LpError::InvalidModel(_))
+        ));
+        let bad_duals =
+            LpSolution::with_duals(0.0, vec![0.0; p.reduced().num_vars()], vec![0.0; 9]);
+        assert!(matches!(
+            p.postsolve(&bad_duals),
+            Err(LpError::InvalidModel(_))
+        ));
     }
 
     #[test]

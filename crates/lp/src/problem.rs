@@ -85,6 +85,7 @@ pub struct LpSolution {
     pub objective: f64,
     values: Vec<f64>,
     duals: Vec<f64>,
+    degraded: bool,
 }
 
 impl LpSolution {
@@ -93,6 +94,7 @@ impl LpSolution {
             objective,
             values,
             duals: Vec::new(),
+            degraded: false,
         }
     }
 
@@ -101,7 +103,25 @@ impl LpSolution {
             objective,
             values,
             duals,
+            degraded: false,
         }
+    }
+
+    /// Flags this solution as an anytime answer produced under an exhausted
+    /// [`crate::SolveBudget`] rather than a certified optimum.
+    pub(crate) fn mark_degraded(&mut self) {
+        self.degraded = true;
+    }
+
+    /// `true` when the solver ran out of its [`crate::SolveBudget`] before
+    /// certifying optimality and returned the best primal-feasible vertex it
+    /// reached instead. The solution is feasible and [`Self::objective`] is
+    /// a valid achievable bound on the optimum (a lower bound when
+    /// maximizing, an upper bound when minimizing), but a larger budget may
+    /// find a strictly better point. Never set on an unlimited solve.
+    #[inline]
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Value of a variable in the optimal solution.
@@ -550,9 +570,19 @@ impl LpProblem {
             && !crate::revised::scope_active()
             && !self.has_secondary()
         {
-            let presolved = crate::presolve::presolve(self)?;
-            if presolved.is_reduced() {
-                return presolved.solve_with(solver);
+            // Presolve is an accelerator, never a correctness dependency:
+            // a reduction or postsolve failure (other than a genuine
+            // infeasibility proof, which is a final verdict) falls back to
+            // solving the original, unreduced problem.
+            match crate::presolve::presolve(self) {
+                Ok(presolved) if presolved.is_reduced() => match presolved.solve_with(solver) {
+                    Ok(solution) => return Ok(solution),
+                    Err(LpError::Infeasible) => return Err(LpError::Infeasible),
+                    Err(_) => {}
+                },
+                Ok(_) => {}
+                Err(LpError::Infeasible) => return Err(LpError::Infeasible),
+                Err(_) => {}
             }
         }
         match solver {
@@ -580,6 +610,19 @@ impl LpProblem {
         hint: Option<&crate::revised::Basis>,
     ) -> Result<crate::revised::SolveOutcome, LpError> {
         crate::revised::resolve_with_bounds(self, overlay, hint)
+    }
+
+    /// [`Self::resolve_with_bounds`] under explicit deterministic work caps:
+    /// see [`crate::SolveBudget`] and
+    /// [`crate::revised::resolve_with_bounds_budgeted`] for the anytime
+    /// degradation semantics.
+    pub fn resolve_with_bounds_budgeted(
+        &self,
+        overlay: &crate::revised::BoundsOverlay,
+        hint: Option<&crate::revised::Basis>,
+        budget: Option<crate::solver::SolveBudget>,
+    ) -> Result<crate::revised::SolveOutcome, LpError> {
+        crate::revised::resolve_with_bounds_budgeted(self, overlay, hint, budget)
     }
 
     /// Evaluates the objective function at the given point.

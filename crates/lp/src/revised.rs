@@ -33,10 +33,11 @@
 //! up the basis of the last solve with the same constraint pattern.
 
 use crate::basis::{BasisFactorization, BasisRepr};
+use crate::chaos::{ChaosFault, ChaosPlan};
 use crate::problem::{LpError, LpProblem, LpSolution, Objective, Relation, VarId};
 use crate::solver::{
     effective_relation, perturb_rhs, phase1_budget, phase2_budget, splitmix64, stats_enabled,
-    BasisKind,
+    BasisKind, SolveBudget,
 };
 use crate::sparse::CscMatrix;
 use std::cell::RefCell;
@@ -140,6 +141,62 @@ enum WarmInstall {
     NeedsRepair,
 }
 
+/// What tripped the recovery ladder into escalating past an attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryTrigger {
+    /// A basis refactorization reported a singular (or numerically
+    /// collapsed) basis.
+    SingularBasis,
+    /// A NaN or infinity was detected in the solution vector or a pivot
+    /// ratio.
+    NonFinite,
+    /// The pricing loop exhausted its internal iteration budget (a stall),
+    /// or every improving column was numerically banned.
+    IterationLimit,
+}
+
+/// The recovery-ladder rung that produced the final answer. Each rung is a
+/// full deterministic solve attempt; healthy solves stop at
+/// [`RecoveryRung::First`] with one attempt, byte-identical to a
+/// ladder-less engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RecoveryRung {
+    /// The ordinary first attempt (warm-started when a hint was given).
+    First,
+    /// The warm-start hint was discarded and the solve restarted cold.
+    Cold,
+    /// Cold restart under aggressive refactorization (every
+    /// [`AGGRESSIVE_REFACTOR_EVERY`] pivots), to shed numerical drift.
+    AggressiveRefactor,
+    /// Cold restart on the *other* basis backend (LU↔eta, relative to the
+    /// session default).
+    SwappedBasis,
+    /// Cold restart under Bland's rule from the first pivot (slow but
+    /// cycling-proof).
+    Bland,
+    /// The dense-tableau oracle — the last resort, immune to every sparse
+    /// failure mode.
+    Dense,
+}
+
+impl RecoveryRung {
+    /// The rung's position on the ladder (0 = first attempt, 5 = dense).
+    pub fn index(self) -> usize {
+        match self {
+            RecoveryRung::First => 0,
+            RecoveryRung::Cold => 1,
+            RecoveryRung::AggressiveRefactor => 2,
+            RecoveryRung::SwappedBasis => 3,
+            RecoveryRung::Bland => 4,
+            RecoveryRung::Dense => 5,
+        }
+    }
+}
+
+/// Refactorization cadence of the [`RecoveryRung::AggressiveRefactor`]
+/// rung.
+pub const AGGRESSIVE_REFACTOR_EVERY: usize = 16;
+
 /// Per-solve diagnostics (printed on `PM_LP_STATS=1`, returned by
 /// [`solve_with_hint`]).
 #[derive(Debug, Clone, Copy)]
@@ -163,6 +220,15 @@ pub struct SolveStats {
     pub warm: WarmStatus,
     /// Wall-clock seconds spent in the solve.
     pub wall_s: f64,
+    /// Total recovery-ladder attempts (1 for a healthy solve).
+    pub attempts: usize,
+    /// The ladder rung that produced the result.
+    pub rung: RecoveryRung,
+    /// What tripped the ladder, when more than one attempt ran.
+    pub trigger: Option<RecoveryTrigger>,
+    /// Whether the solution is a budget-degraded anytime point (see
+    /// [`crate::solver::SolveBudget`]).
+    pub degraded: bool,
 }
 
 /// A successful revised-simplex solve: the solution plus the optimal basis
@@ -253,6 +319,36 @@ impl DevexPricing {
     }
 }
 
+/// Per-attempt engine configuration — the knobs the recovery ladder turns
+/// between rungs. The default is byte-identical to the pre-ladder engine.
+#[derive(Debug, Clone, Copy)]
+struct EngineCfg {
+    /// Basis backend (`None` = the session default, see
+    /// [`crate::solver::default_basis`]).
+    basis: Option<BasisKind>,
+    /// Pivots between scheduled refactorizations.
+    refactor_every: usize,
+    /// Use Bland's rule from the first pivot.
+    force_bland: bool,
+    /// User-facing work caps (internal phase budgets always apply).
+    budget: Option<SolveBudget>,
+    /// A chaos fault armed for this attempt (consumed at the first
+    /// optimization entry).
+    chaos: Option<ChaosFault>,
+}
+
+impl EngineCfg {
+    fn new(budget: Option<SolveBudget>) -> Self {
+        EngineCfg {
+            basis: None,
+            refactor_every: REFACTOR_EVERY,
+            force_bland: false,
+            budget,
+            chaos: None,
+        }
+    }
+}
+
 /// The revised-simplex working state.
 struct Engine {
     a: CscMatrix,
@@ -312,6 +408,22 @@ struct Engine {
     epoch: u32,
     /// Scratch dense vector for the BTRANed pricing vector.
     price: Vec<f64>,
+    /// Pivots between scheduled refactorizations (the aggressive rung
+    /// tightens this).
+    refactor_every: usize,
+    /// Bland's rule from the first pivot (the anti-cycling rung).
+    force_bland: bool,
+    /// User-facing work caps for this attempt (`None` = unlimited).
+    budget: Option<SolveBudget>,
+    /// Set when a user cap (not an internal phase budget) stopped the
+    /// iteration — the degradable-budget path, never a ladder trigger.
+    budget_exhausted: bool,
+    /// First failure cause observed by this attempt (drives the ladder).
+    trigger: Option<RecoveryTrigger>,
+    /// A chaos fault armed for this attempt, consumed at the first
+    /// optimization entry (never at extraction, so injected faults cannot
+    /// trip the final-refactorization invariants).
+    chaos: Option<ChaosFault>,
 }
 
 impl Engine {
@@ -321,7 +433,7 @@ impl Engine {
     /// the seeded anti-degeneracy perturbation with an exact shadow. The
     /// overlay's RHS overrides are applied before normalisation and its
     /// fixed-variable marks are merged with the problem's own.
-    fn new(problem: &LpProblem, overlay: Option<&BoundsOverlay>) -> Engine {
+    fn new(problem: &LpProblem, overlay: Option<&BoundsOverlay>, cfg: EngineCfg) -> Engine {
         let n_user = problem.num_vars();
         let constraints = problem.constraints();
         let m = constraints.len();
@@ -420,7 +532,7 @@ impl Engine {
             }
         }
         let any_fixed = fixed.iter().any(|&f| f);
-        let kind = crate::solver::default_basis();
+        let kind = cfg.basis.unwrap_or_else(crate::solver::default_basis);
         let pricing = match kind {
             BasisKind::Lu => Some(DevexPricing::new(&a, m, n_total)),
             BasisKind::Eta => None,
@@ -455,7 +567,75 @@ impl Engine {
             stamp: vec![0; m],
             epoch: 0,
             price: vec![0.0; m],
+            refactor_every: cfg.refactor_every,
+            force_bland: cfg.force_bland,
+            budget: cfg.budget,
+            budget_exhausted: false,
+            trigger: None,
+            chaos: cfg.chaos,
         }
+    }
+
+    /// Records a failure cause for the recovery ladder (the first one
+    /// observed wins) and returns the matching structured error.
+    fn fail(&mut self, trigger: RecoveryTrigger) -> LpError {
+        self.trigger.get_or_insert(trigger);
+        LpError::IterationLimit
+    }
+
+    /// Whether a user-facing work cap is spent (internal phase budgets are
+    /// separate, see [`crate::solver::phase2_budget`]).
+    fn user_budget_exhausted(&self) -> bool {
+        let Some(budget) = self.budget else {
+            return false;
+        };
+        budget
+            .max_pivots
+            .is_some_and(|cap| self.pivots as u64 >= cap)
+            || budget
+                .max_refactorizations
+                .is_some_and(|cap| self.refactorizations as u64 >= cap)
+    }
+
+    /// Entry guard of both pricing loops (once per [`Engine::optimize`]
+    /// call, off the per-pivot hot path): consumes an armed chaos fault and
+    /// verifies the solution vector is finite. In-loop NaN creation is
+    /// caught by the O(1) pivot-ratio check in [`Engine::apply_pivot`] —
+    /// every NaN entering `x_b` flows through a theta.
+    fn entry_guard(&mut self) -> Result<(), LpError> {
+        if let Some(fault) = self.chaos.take() {
+            match fault {
+                ChaosFault::SingularBasis => {
+                    return Err(self.fail(RecoveryTrigger::SingularBasis));
+                }
+                ChaosFault::PricingStall => {
+                    return Err(self.fail(RecoveryTrigger::IterationLimit));
+                }
+                ChaosFault::NanInjection => {
+                    // Poison the solution vector and fall through: the
+                    // genuine non-finite guard below must catch it.
+                    if let Some(v) = self.x_b.first_mut() {
+                        *v = f64::NAN;
+                    }
+                }
+                // Hint poisoning happens before the engine exists.
+                ChaosFault::PoisonHint => {}
+            }
+        }
+        if self.x_b.iter().any(|v| !v.is_finite()) {
+            return Err(self.fail(RecoveryTrigger::NonFinite));
+        }
+        Ok(())
+    }
+
+    /// Per-iteration budget guard (two comparisons): flags user-cap
+    /// exhaustion so the caller can degrade instead of escalating.
+    fn budget_guard(&mut self) -> Result<(), LpError> {
+        if self.user_budget_exhausted() {
+            self.budget_exhausted = true;
+            return Err(LpError::IterationLimit);
+        }
+        Ok(())
     }
 
     /// Rebuilds the basis factorization from scratch (the factorization may
@@ -568,6 +748,11 @@ impl Engine {
         let w_r = self.work[row];
         let theta = self.x_b[row] / w_r;
         let theta_shadow = self.x_shadow[row] / w_r;
+        if !theta.is_finite() || !theta_shadow.is_finite() {
+            // A NaN/inf ratio would poison every touched row: stop on the
+            // last consistent vertex and let the recovery ladder escalate.
+            return Err(self.fail(RecoveryTrigger::NonFinite));
+        }
         for &iu in &self.touched {
             let i = iu as usize;
             let w = self.work[i];
@@ -588,19 +773,19 @@ impl Engine {
         self.basis[row] = entering;
         self.pivots += 1;
         if !clean && !self.refactorize() {
-            return Err(LpError::IterationLimit);
+            return Err(self.fail(RecoveryTrigger::SingularBasis));
         }
         Ok(())
     }
 
-    /// Scheduled refactorization: every [`REFACTOR_EVERY`] pivots, or when
-    /// the factorization's stored fill outgrows a small multiple of the
-    /// matrix.
+    /// Scheduled refactorization: every [`REFACTOR_EVERY`] pivots (fewer on
+    /// the aggressive recovery rung), or when the factorization's stored
+    /// fill outgrows a small multiple of the matrix.
     fn maybe_refactorize(&mut self) -> Result<(), LpError> {
-        let due =
-            self.fac.updates_since_refactor() >= REFACTOR_EVERY || self.fac.wants_refactor(&self.a);
+        let due = self.fac.updates_since_refactor() >= self.refactor_every
+            || self.fac.wants_refactor(&self.a);
         if due && !self.refactorize() {
-            return Err(LpError::IterationLimit);
+            return Err(self.fail(RecoveryTrigger::SingularBasis));
         }
         Ok(())
     }
@@ -711,6 +896,7 @@ impl Engine {
     /// engine: devex with maintained reduced costs on the LU path, the
     /// legacy rotating Dantzig sections on the eta path.
     fn optimize(&mut self, allowed_hi: usize, budget: usize) -> Result<usize, LpError> {
+        self.entry_guard()?;
         if self.pricing.is_some() {
             self.optimize_devex(allowed_hi, budget)
         } else {
@@ -728,7 +914,7 @@ impl Engine {
         // FTRANed pivot element stayed tiny after a fresh factorization.
         let mut banned: Vec<usize> = Vec::new();
         while performed < budget {
-            let use_bland = stalled >= STALL_SWITCH;
+            let use_bland = self.force_bland || stalled >= STALL_SWITCH;
             self.compute_pricing_vector();
             let Some(entering) = self.choose_entering(allowed_hi, use_bland, &banned) else {
                 if banned.is_empty() {
@@ -739,8 +925,12 @@ impl Engine {
                 // price negative). Declaring optimality here would silently
                 // return a suboptimal objective — or a spurious Infeasible
                 // from phase 1 — so report numerical trouble instead.
-                return Err(LpError::IterationLimit);
+                return Err(self.fail(RecoveryTrigger::IterationLimit));
             };
+            // The user budget is checked only once an improving column
+            // exists: certifying optimality is free, so a budget equal to
+            // the exact pivot count still returns a certified optimum.
+            self.budget_guard()?;
             self.ftran_col(entering);
             let Some(row) = self.choose_leaving(use_bland) else {
                 return Err(LpError::Unbounded);
@@ -751,7 +941,7 @@ impl Engine {
                 // pivot, exclude the column until the basis next changes.
                 if self.fac.updates_since_refactor() > 0 {
                     if !self.refactorize() {
-                        return Err(LpError::IterationLimit);
+                        return Err(self.fail(RecoveryTrigger::SingularBasis));
                     }
                 } else {
                     banned.push(entering);
@@ -774,12 +964,12 @@ impl Engine {
                     // Entering Bland mode: shed drift first so its reduced
                     // costs are trustworthy.
                     if !self.refactorize() {
-                        return Err(LpError::IterationLimit);
+                        return Err(self.fail(RecoveryTrigger::SingularBasis));
                     }
                 }
             }
         }
-        Err(LpError::IterationLimit)
+        Err(self.fail(RecoveryTrigger::IterationLimit))
     }
 
     /// Recomputes the maintained reduced costs from scratch: one BTRAN of
@@ -835,7 +1025,7 @@ impl Engine {
         let mut performed = 0usize;
         let mut banned: Vec<usize> = Vec::new();
         while performed < budget {
-            let use_bland = stalled >= STALL_SWITCH;
+            let use_bland = self.force_bland || stalled >= STALL_SWITCH;
             if !self.pricing.as_ref().expect("devex path").valid {
                 self.recompute_reduced_costs();
             }
@@ -877,8 +1067,10 @@ impl Engine {
                 }
                 // Same reasoning as the Dantzig loop: banned columns may
                 // still price negative, so this vertex cannot be certified.
-                return Err(LpError::IterationLimit);
+                return Err(self.fail(RecoveryTrigger::IterationLimit));
             };
+            // As in the Dantzig loop: only an actual pivot costs budget.
+            self.budget_guard()?;
             self.ftran_col(entering);
             let Some(row) = self.choose_leaving(use_bland) else {
                 // Unboundedness is only trustworthy under fresh reduced
@@ -896,7 +1088,7 @@ impl Engine {
             if self.work[row].abs() < PIVOT_TOL {
                 if self.fac.updates_since_refactor() > 0 {
                     if !self.refactorize() {
-                        return Err(LpError::IterationLimit);
+                        return Err(self.fail(RecoveryTrigger::SingularBasis));
                     }
                 } else {
                     banned.push(entering);
@@ -917,7 +1109,7 @@ impl Engine {
             let w_r = self.work[row];
             if (alpha_rq - w_r).abs() > 1e-6 * w_r.abs().max(1.0) {
                 if !self.refactorize() {
-                    return Err(LpError::IterationLimit);
+                    return Err(self.fail(RecoveryTrigger::SingularBasis));
                 }
                 continue;
             }
@@ -970,11 +1162,11 @@ impl Engine {
                     && self.fac.updates_since_refactor() > 0
                     && !self.refactorize()
                 {
-                    return Err(LpError::IterationLimit);
+                    return Err(self.fail(RecoveryTrigger::SingularBasis));
                 }
             }
         }
-        Err(LpError::IterationLimit)
+        Err(self.fail(RecoveryTrigger::IterationLimit))
     }
 
     /// Installs a warm-start basis hint.
@@ -1177,7 +1369,7 @@ impl Engine {
         // Shed factorization drift first: eligibility is decided by primary
         // reduced costs and a 1e-9 threshold needs trustworthy numbers.
         if self.fac.updates_since_refactor() > 0 && !self.refactorize() {
-            return Err(LpError::IterationLimit);
+            return Err(self.fail(RecoveryTrigger::SingularBasis));
         }
         self.compute_pricing_vector();
         let mut restrict = vec![false; self.n_total];
@@ -1286,7 +1478,17 @@ impl Engine {
 /// ever an accelerator: a rejected hint falls back to a cold two-phase
 /// solve, so correctness never depends on it.
 pub fn solve_with_hint(problem: &LpProblem, hint: Option<&Basis>) -> Result<SolveOutcome, LpError> {
-    solve_with_overlay(problem, None, hint)
+    solve_with_overlay(problem, None, hint, None)
+}
+
+/// [`solve_with_hint`] under explicit work caps; see
+/// [`resolve_with_bounds_budgeted`] for the degradation semantics.
+pub fn solve_with_hint_budgeted(
+    problem: &LpProblem,
+    hint: Option<&Basis>,
+    budget: Option<SolveBudget>,
+) -> Result<SolveOutcome, LpError> {
+    solve_with_overlay(problem, None, hint, budget)
 }
 
 /// Re-solves a problem under a [`BoundsOverlay`] (extra variables fixed to
@@ -1330,54 +1532,297 @@ pub fn resolve_with_bounds(
     overlay: &BoundsOverlay,
     hint: Option<&Basis>,
 ) -> Result<SolveOutcome, LpError> {
-    solve_with_overlay(problem, Some(overlay), hint)
+    solve_with_overlay(problem, Some(overlay), hint, None)
+}
+
+/// [`resolve_with_bounds`] under explicit work caps (see
+/// [`crate::solver::SolveBudget`]): when phase 2 runs out of budget after
+/// reaching feasibility, the current vertex is returned as an anytime
+/// solution flagged [`LpSolution::degraded`] — its objective is a valid
+/// bound on the optimum (primal feasibility is maintained throughout
+/// phase 2). `budget: None` falls back to the `PM_LP_BUDGET` default.
+pub fn resolve_with_bounds_budgeted(
+    problem: &LpProblem,
+    overlay: &BoundsOverlay,
+    hint: Option<&Basis>,
+    budget: Option<SolveBudget>,
+) -> Result<SolveOutcome, LpError> {
+    solve_with_overlay(problem, Some(overlay), hint, budget)
+}
+
+/// Deterministically corrupts a warm-start hint (the
+/// [`crate::chaos::ChaosFault::PoisonHint`] injection): a few pseudo-random
+/// rows are marked redundant, so their artificials re-enter the basis at
+/// whatever level the RHS dictates — exactly the adversarial-hint shape the
+/// post-phase-2 proof obligation exists to catch.
+fn poison_hint(hint: &Basis, hash: u64) -> Basis {
+    let mut cols = hint.cols.clone();
+    if !cols.is_empty() {
+        let mut h = hash;
+        let strikes = 1 + (splitmix64(&mut h) as usize % cols.len().min(3));
+        for _ in 0..strikes {
+            let i = splitmix64(&mut h) as usize % cols.len();
+            cols[i] = Basis::REDUNDANT;
+        }
+    }
+    Basis { cols }
+}
+
+/// The [`RecoveryRung::Dense`] oracle: materializes the overlay into a
+/// cloned problem and solves it with the dense tableau simplex, which
+/// shares none of the sparse engine's failure modes (no factorization, no
+/// incremental pricing) and ignores user budgets — the ladder's guaranteed
+/// termination. The returned basis marks every row redundant: it installs
+/// as the unit basis if ever used as a hint, which the repair phase handles
+/// like any other stale hint. The dense oracle reports no duals.
+fn dense_fallback(
+    problem: &LpProblem,
+    overlay: Option<&BoundsOverlay>,
+) -> Result<(LpSolution, Basis), LpError> {
+    let solution = match overlay {
+        Some(overlay) if !overlay.fix_zero.is_empty() || !overlay.rhs.is_empty() => {
+            let mut materialized = problem.clone();
+            for &v in &overlay.fix_zero {
+                materialized.fix_var(v);
+            }
+            for &(row, rhs) in &overlay.rhs {
+                materialized.set_rhs(row, rhs);
+            }
+            crate::simplex::solve(&materialized)?
+        }
+        _ => crate::simplex::solve(problem)?,
+    };
+    let cols = vec![Basis::REDUNDANT; problem.num_constraints()];
+    Ok((solution, Basis { cols }))
 }
 
 fn solve_with_overlay(
     problem: &LpProblem,
     overlay: Option<&BoundsOverlay>,
     hint: Option<&Basis>,
+    budget: Option<SolveBudget>,
 ) -> Result<SolveOutcome, LpError> {
     let start = std::time::Instant::now();
-    let (attempt, warm) = attempt_solve(problem, overlay, hint);
-    // A hinted basis skipped phase 1, so its result carries an extra proof
-    // obligation: every artificial still basic (re-entered for a
-    // REDUNDANT-marked row of the hint) and every fixed column still basic
-    // must have stayed at level zero through phase 2 — phase 2 only stops
-    // them from *entering*, not from growing. A violation (or any error:
-    // the hint can steer the iteration budget into a corner the cold path
-    // avoids) discards the hint entirely and re-solves cold; the hint is an
-    // accelerator, never a correctness dependency.
-    let (attempt, warm) = if warm == WarmStatus::Hit
-        && (attempt.outcome.is_err() || !attempt.engine.bounds_at_zero())
-    {
-        (attempt_solve(problem, overlay, None).0, WarmStatus::Miss)
-    } else {
-        (attempt, warm)
+    let budget = budget.or_else(crate::solver::default_budget);
+    let plan: Option<ChaosPlan> = crate::chaos::plan(|| signature(problem));
+    let swapped = match crate::solver::default_basis() {
+        BasisKind::Lu => BasisKind::Eta,
+        BasisKind::Eta => BasisKind::Lu,
     };
-    let stats = SolveStats {
-        m: attempt.engine.m,
-        n: attempt.engine.n_total,
-        nnz: attempt.engine.a.nnz(),
-        phase1_pivots: attempt.phase1_pivots,
-        phase2_pivots: attempt.phase2_pivots,
-        refactorizations: attempt.engine.refactorizations,
-        basis: attempt.engine.fac.kind(),
-        warm,
-        wall_s: start.elapsed().as_secs_f64(),
-    };
-    match attempt.outcome {
-        Ok((solution, basis)) => {
-            if stats_enabled() {
-                print_stats(&stats, "ok");
+
+    // The deterministic recovery ladder. Rung 0 and rung 1 are byte-for-byte
+    // the pre-ladder engine: the ordinary (possibly warm-started) attempt,
+    // and the legacy hint-discarding cold fallback. A hinted basis skipped
+    // phase 1, so its result carries an extra proof obligation — every
+    // re-entered artificial and fixed column must have stayed at level zero
+    // through phase 2 — and a violation (or any error: the hint can steer
+    // the iteration budget into a corner the cold path avoids) discards the
+    // hint entirely. Rungs 2–4 only run on failures the old engine would
+    // have surfaced raw: tighter refactorization against drift, the other
+    // basis backend against factorization bugs, Bland's rule against
+    // cycling. The dense oracle terminates the ladder unconditionally.
+    // Structured verdicts (Infeasible/Unbounded/InvalidModel) and exhausted
+    // user budgets never escalate.
+    const LADDER: [RecoveryRung; 5] = [
+        RecoveryRung::First,
+        RecoveryRung::Cold,
+        RecoveryRung::AggressiveRefactor,
+        RecoveryRung::SwappedBasis,
+        RecoveryRung::Bland,
+    ];
+    let mut attempts = 0usize;
+    let mut trigger: Option<RecoveryTrigger> = None;
+    let mut chosen: Option<(Attempt, WarmStatus, RecoveryRung)> = None;
+    let mut failed: Option<(Attempt, WarmStatus, LpError)> = None;
+    let mut exhausted_sparse = true;
+    let mut idx = 0usize;
+    while idx < LADDER.len() {
+        let rung = LADDER[idx];
+        let mut cfg = EngineCfg::new(budget);
+        match rung {
+            RecoveryRung::AggressiveRefactor => cfg.refactor_every = AGGRESSIVE_REFACTOR_EVERY,
+            RecoveryRung::SwappedBasis => cfg.basis = Some(swapped),
+            RecoveryRung::Bland => cfg.force_bland = true,
+            _ => {}
+        }
+        let attempt_hint = if rung == RecoveryRung::First {
+            hint
+        } else {
+            None
+        };
+        // Chaos: the plan strikes the first `strikes` ladder attempts, so
+        // injected faults are survivable by construction (the dense rung is
+        // immune) and recovery is observable.
+        let strike = plan.filter(|p| attempts < p.strikes);
+        let poisoned: Option<Basis>;
+        let attempt_hint = match (strike, attempt_hint) {
+            (Some(p), Some(h)) if p.fault == ChaosFault::PoisonHint => {
+                poisoned = Some(poison_hint(h, p.hash));
+                poisoned.as_ref()
             }
+            _ => attempt_hint,
+        };
+        if let Some(p) = strike {
+            if p.fault != ChaosFault::PoisonHint {
+                cfg.chaos = Some(p.fault);
+            }
+        }
+        let (attempt, warm) = attempt_solve(problem, overlay, attempt_hint, cfg);
+        attempts += 1;
+        match &attempt.outcome {
+            Ok(_) => {
+                if rung == RecoveryRung::First
+                    && warm == WarmStatus::Hit
+                    && !attempt.engine.bounds_at_zero()
+                {
+                    idx = 1;
+                    continue;
+                }
+                chosen = Some((attempt, warm, rung));
+                exhausted_sparse = false;
+                break;
+            }
+            Err(e) => {
+                let e = e.clone();
+                if attempt.engine.budget_exhausted {
+                    // Out of user budget before feasibility: retrying under
+                    // the same caps cannot help.
+                    failed = Some((attempt, warm, e));
+                    exhausted_sparse = false;
+                    break;
+                }
+                match attempt.engine.trigger {
+                    Some(t) => {
+                        if trigger.is_none() {
+                            trigger = Some(t);
+                        }
+                        let next = if rung == RecoveryRung::First && warm != WarmStatus::Hit {
+                            // The first attempt already ran cold (no hint,
+                            // or the hint was rejected before phase 1):
+                            // rung 1 would repeat it verbatim.
+                            2
+                        } else {
+                            idx + 1
+                        };
+                        failed = Some((attempt, warm, e));
+                        idx = next;
+                        continue;
+                    }
+                    None => {
+                        if rung == RecoveryRung::First && warm == WarmStatus::Hit {
+                            // Legacy fallback: any error on a warm hit
+                            // discards the hint and re-solves cold.
+                            failed = Some((attempt, warm, e));
+                            idx = 1;
+                            continue;
+                        }
+                        // A structured verdict from an (effectively) cold
+                        // solve is final.
+                        failed = Some((attempt, warm, e));
+                        exhausted_sparse = false;
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    // Every sparse rung failed with a recoverable trigger: the dense
+    // tableau oracle is the last resort.
+    let mut dense_result: Option<Result<(LpSolution, Basis), LpError>> = None;
+    if chosen.is_none() && exhausted_sparse {
+        attempts += 1;
+        dense_result = Some(dense_fallback(problem, overlay));
+    }
+
+    // Assemble the stats from the decisive attempt (the winning one, or the
+    // last failure when everything failed). The dense rung reports the last
+    // sparse attempt's dimensions with its own rung marker.
+    let hint_offered = hint.is_some();
+    let build_stats =
+        |attempt: &Attempt, warm: WarmStatus, rung: RecoveryRung, degraded: bool| SolveStats {
+            m: attempt.engine.m,
+            n: attempt.engine.n_total,
+            nnz: attempt.engine.a.nnz(),
+            phase1_pivots: attempt.phase1_pivots,
+            phase2_pivots: attempt.phase2_pivots,
+            refactorizations: attempt.engine.refactorizations,
+            basis: attempt.engine.fac.kind(),
+            warm: if rung == RecoveryRung::First {
+                warm
+            } else if hint_offered {
+                WarmStatus::Miss
+            } else {
+                WarmStatus::None
+            },
+            wall_s: start.elapsed().as_secs_f64(),
+            attempts,
+            rung,
+            trigger,
+            degraded,
+        };
+
+    let injected = plan.is_some();
+    let outcome: Result<SolveOutcome, (SolveStats, LpError)> = match (chosen, dense_result) {
+        (Some((attempt, warm, rung)), _) => {
+            let degraded = matches!(&attempt.outcome, Ok((s, _)) if s.degraded());
+            let stats = build_stats(&attempt, warm, rung, degraded);
+            let (solution, basis) = attempt
+                .outcome
+                .expect("chosen attempt is the successful one");
             Ok(SolveOutcome {
                 solution,
                 basis,
                 stats,
             })
         }
-        Err(e) => {
+        (None, Some(Ok((solution, basis)))) => {
+            let (last, warm, _) = failed
+                .take()
+                .expect("the dense rung only runs after a failure");
+            let mut stats = build_stats(&last, warm, RecoveryRung::Dense, false);
+            stats.phase1_pivots = 0;
+            stats.phase2_pivots = 0;
+            Ok(SolveOutcome {
+                solution,
+                basis,
+                stats,
+            })
+        }
+        (None, Some(Err(e))) => {
+            let (last, warm, _) = failed
+                .take()
+                .expect("the dense rung only runs after a failure");
+            let stats = build_stats(&last, warm, RecoveryRung::Dense, false);
+            Err((stats, e))
+        }
+        (None, None) => {
+            let (last, warm, e) = failed.expect("a failed ladder recorded its last attempt");
+            let rung = if attempts > 1 {
+                LADDER[(attempts - 1).min(LADDER.len() - 1)]
+            } else {
+                RecoveryRung::First
+            };
+            let stats = build_stats(&last, warm, rung, false);
+            Err((stats, e))
+        }
+    };
+
+    match outcome {
+        Ok(out) => {
+            crate::chaos::record_outcome(
+                injected,
+                Some(out.stats.rung.index()),
+                out.stats.degraded,
+                false,
+            );
+            if stats_enabled() {
+                print_stats(&out.stats, "ok");
+            }
+            Ok(out)
+        }
+        Err((stats, e)) => {
+            crate::chaos::record_outcome(injected, None, false, e == LpError::IterationLimit);
             if stats_enabled() {
                 print_stats(&stats, &format!("{e:?}"));
             }
@@ -1398,8 +1843,9 @@ fn attempt_solve(
     problem: &LpProblem,
     overlay: Option<&BoundsOverlay>,
     hint: Option<&Basis>,
+    cfg: EngineCfg,
 ) -> (Attempt, WarmStatus) {
-    let mut engine = Engine::new(problem, overlay);
+    let mut engine = Engine::new(problem, overlay, cfg);
     let mut warm = WarmStatus::None;
     if let Some(hint) = hint {
         warm = match engine.try_warm_start(hint) {
@@ -1408,9 +1854,13 @@ fn attempt_solve(
                 Ok(true) => WarmStatus::Hit,
                 // Repair failed (positive residual or numerical trouble):
                 // rebuild a fresh engine so the cold path starts from the
-                // canonical unit basis with truthful pivot counters.
+                // canonical unit basis with truthful pivot counters. An
+                // armed chaos fault the repair already consumed stays
+                // consumed (its strike was absorbed by the repair).
                 _ => {
-                    engine = Engine::new(problem, overlay);
+                    let mut fresh = cfg;
+                    fresh.chaos = engine.chaos;
+                    engine = Engine::new(problem, overlay, fresh);
                     WarmStatus::Miss
                 }
             },
@@ -1418,6 +1868,7 @@ fn attempt_solve(
         };
     }
     let mut phase1_pivots = 0;
+    let mut degraded = false;
     let outcome = (|| {
         if warm != WarmStatus::Hit {
             let phase1 = engine.phase1();
@@ -1430,12 +1881,47 @@ fn attempt_solve(
             // Bound-repair pivots (if any) belong to the phase-1 bucket.
             phase1_pivots = engine.pivots;
         }
-        engine.phase2(problem)?;
+        match engine.phase2(problem) {
+            Ok(_) => {}
+            Err(LpError::IterationLimit) if engine.budget_exhausted => {
+                // Degradable budgets: phase 2 maintains primal feasibility,
+                // so the current vertex is a certified-feasible anytime
+                // answer; its objective bounds the optimum from the
+                // feasible side. Only trust it if the warm-start proof
+                // obligation holds (no artificial/fixed column drifted off
+                // zero) — otherwise surface the budget error.
+                let (solution, basis) = engine.extract(problem);
+                if !engine.bounds_at_zero() {
+                    return Err(LpError::IterationLimit);
+                }
+                degraded = true;
+                return Ok((solution, basis));
+            }
+            Err(e) => return Err(e),
+        }
         if problem.has_secondary() {
-            engine.phase3(problem)?;
+            match engine.phase3(problem) {
+                Ok(_) => {}
+                Err(LpError::IterationLimit) if engine.budget_exhausted => {
+                    // The primary optimum is certified; only the
+                    // canonicalizing secondary ran out of budget. The point
+                    // is optimal but not canonical, so still flag it.
+                    degraded = true;
+                }
+                Err(e) => return Err(e),
+            }
         }
         Ok(engine.extract(problem))
     })();
+    let outcome = match outcome {
+        Ok((mut solution, basis)) => {
+            if degraded {
+                solution.mark_degraded();
+            }
+            Ok((solution, basis))
+        }
+        Err(e) => Err(e),
+    };
     let phase2_pivots = engine.pivots.saturating_sub(phase1_pivots);
     (
         Attempt {
@@ -1469,6 +1955,12 @@ fn print_stats(stats: &SolveStats, status: &str) {
         },
         stats.wall_s,
     );
+    if stats.attempts > 1 || stats.degraded {
+        eprintln!(
+            "pm-lp: recovery attempts={} rung={:?} trigger={:?} degraded={}",
+            stats.attempts, stats.rung, stats.trigger, stats.degraded,
+        );
+    }
 }
 
 /// Structural signature of a problem: dimensions, objective sense, and the
@@ -2055,5 +2547,95 @@ mod tests {
         let mut c = sample_lp();
         c.add_constraint(vec![(VarId(0), 1.0)], Relation::Le, 100.0);
         assert_ne!(signature(&a), signature(&c));
+    }
+
+    /// An LP that needs several phase-2 pivots, so that intermediate pivot
+    /// budgets genuinely interrupt phase 2 mid-climb.
+    fn climbing_lp() -> LpProblem {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let vars: Vec<VarId> = (0..12).map(|i| lp.add_var(&format!("x{i}"))).collect();
+        for (i, &v) in vars.iter().enumerate() {
+            lp.set_objective_coeff(v, 1.0 + i as f64 * 0.1);
+            lp.add_constraint(vec![(v, 1.0)], Relation::Le, 1.0);
+        }
+        let all: Vec<(VarId, f64)> = vars.iter().map(|&v| (v, 1.0)).collect();
+        lp.add_constraint(all, Relation::Le, 6.0);
+        lp
+    }
+
+    #[test]
+    fn exhausted_phase2_budget_returns_a_degraded_anytime_point() {
+        let lp = climbing_lp();
+        let full = solve_with_hint(&lp, None).unwrap();
+        assert!(!full.solution.degraded());
+        let total = full.stats.phase1_pivots + full.stats.phase2_pivots;
+        let mut seen_degraded = false;
+        for b in 0..=total {
+            match solve_with_hint_budgeted(&lp, None, Some(SolveBudget::pivots(b as u64))) {
+                Ok(o) => {
+                    assert!(lp.is_feasible(o.solution.values(), 1e-6));
+                    assert!(o.solution.objective <= full.solution.objective + 1e-6);
+                    if o.solution.degraded() {
+                        // A degraded point may even be the optimum (budget
+                        // exhausted after the last pivot, before the
+                        // certifying pricing pass) — only certification is
+                        // lost, feasibility and the bound always hold.
+                        seen_degraded = true;
+                        assert!(o.stats.degraded);
+                    }
+                }
+                Err(e) => assert_eq!(e, LpError::IterationLimit),
+            }
+        }
+        assert!(
+            seen_degraded,
+            "no intermediate budget exercised the degraded path"
+        );
+        // The full budget reproduces the unbudgeted solve bit for bit.
+        let exact =
+            solve_with_hint_budgeted(&lp, None, Some(SolveBudget::pivots(total as u64))).unwrap();
+        assert_eq!(
+            exact.solution.objective.to_bits(),
+            full.solution.objective.to_bits()
+        );
+        assert!(!exact.solution.degraded());
+    }
+
+    #[test]
+    fn refactorization_budgets_cap_and_degrade_too() {
+        let lp = climbing_lp();
+        let budget = SolveBudget {
+            max_pivots: None,
+            max_refactorizations: Some(0),
+        };
+        // Zero refactorizations still allows the initial pivots up to the
+        // first forced refactorization; whatever comes back must be a
+        // feasible anytime point or a structured error.
+        match solve_with_hint_budgeted(&lp, None, Some(budget)) {
+            Ok(o) => assert!(lp.is_feasible(o.solution.values(), 1e-6)),
+            Err(e) => assert_eq!(e, LpError::IterationLimit),
+        }
+    }
+
+    #[test]
+    fn chaos_singular_fault_recovers_and_reports_the_rung() {
+        let lp = climbing_lp();
+        let clean = solve_with_hint(&lp, None).unwrap();
+        let mut recovered_late = false;
+        for seed in 0..200 {
+            let cfg = crate::chaos::ChaosConfig::only(ChaosFault::SingularBasis, seed);
+            let out = crate::chaos::with_chaos(Some(cfg), || solve_with_hint(&lp, None)).unwrap();
+            assert_eq!(
+                out.solution.objective.to_bits(),
+                clean.solution.objective.to_bits(),
+                "seed {seed}: recovery changed the optimum"
+            );
+            if out.stats.rung > RecoveryRung::First {
+                recovered_late = true;
+                assert!(out.stats.attempts > 1);
+                assert_eq!(out.stats.trigger, Some(RecoveryTrigger::SingularBasis));
+            }
+        }
+        assert!(recovered_late, "no seed in 0..200 struck this solve");
     }
 }

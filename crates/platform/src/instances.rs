@@ -30,7 +30,14 @@ impl fmt::Display for InstanceError {
     }
 }
 
-impl std::error::Error for InstanceError {}
+impl std::error::Error for InstanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            InstanceError::Platform(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<PlatformError> for InstanceError {
     fn from(e: PlatformError) -> Self {
