@@ -94,7 +94,7 @@ enum FlowKind {
 /// The template is immutable after construction: concurrent candidate
 /// evaluations share one template (and one hint basis) and each build only a
 /// per-solve [`BoundsOverlay`].
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaskedFlowLp {
     instance: MulticastInstance,
     kind: FlowKind,
@@ -521,7 +521,7 @@ pub struct MaskedMultiSource {
 /// into per-origin path flows and vice versa, with cycles (the only
 /// decomposition obstruction) never load-decreasing. The `masked_vs_rebuilt`
 /// differential test checks this equivalence on random platforms.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct MaskedMultiSourceUb {
     instance: MulticastInstance,
     problem: LpProblem,

@@ -1,10 +1,7 @@
 //! Aggregated comparison reports, mirroring the curves of Figure 11.
 
 use crate::formulations::FormulationError;
-use crate::heuristics::{
-    AugmentedMulticast, AugmentedSources, BroadcastBaseline, HeuristicResult, LowerBoundReference,
-    Mcph, ReducedBroadcast, RunOptions, ScatterBaseline, ThroughputHeuristic,
-};
+use crate::heuristics::RunOptions;
 use crate::realize::RealizeError;
 use crate::session::{Session, SessionError};
 use pm_platform::instances::MulticastInstance;
@@ -52,54 +49,6 @@ impl HeuristicKind {
             HeuristicKind::AugmentedMulticast => "Augm. MC",
             HeuristicKind::ReducedBroadcast => "Red. BC",
             HeuristicKind::MultisourceMulticast => "Multisource MC",
-        }
-    }
-
-    /// One-shot convenience shim around [`crate::Session`]: builds a fresh
-    /// session for `instance`, runs the heuristic once, and throws the
-    /// session away.
-    ///
-    /// Prefer `Session::new(instance).solve(kind)` — a [`crate::Session`]
-    /// keeps the masked LP templates, warm-start bases and realization tree
-    /// pools alive, so re-solves after edge-cost drift or node churn
-    /// ([`crate::Session::set_edge_cost`], [`crate::Session::disable_node`])
-    /// repair the previous solution instead of paying a cold rebuild. This
-    /// shim rebuilds all of that on every call, which is only acceptable for
-    /// a single isolated run.
-    #[deprecated(
-        since = "0.1.0",
-        note = "one-shot shim kept for one release: construct a \
-                `pm_core::Session` and call `solve(kind)` so templates, \
-                bases and tree pools survive across solves"
-    )]
-    pub fn run(self, instance: &MulticastInstance) -> Result<HeuristicResult, FormulationError> {
-        #[allow(deprecated)]
-        self.run_with(instance, RunOptions::default())
-    }
-
-    /// [`HeuristicKind::run`] with explicit [`RunOptions`]. Prefer
-    /// `Session::new(instance).solve_with(kind, options)` for the same
-    /// reason: the session keeps templates and warm bases across solves.
-    #[deprecated(
-        since = "0.1.0",
-        note = "one-shot shim kept for one release: construct a \
-                `pm_core::Session` and call `solve_with(kind, options)`"
-    )]
-    pub fn run_with(
-        self,
-        instance: &MulticastInstance,
-        options: RunOptions,
-    ) -> Result<HeuristicResult, FormulationError> {
-        match self {
-            HeuristicKind::Scatter => ScatterBaseline.run_with(instance, options),
-            HeuristicKind::LowerBound => LowerBoundReference.run_with(instance, options),
-            HeuristicKind::Broadcast => BroadcastBaseline.run_with(instance, options),
-            HeuristicKind::Mcph => Mcph.run_with(instance, options),
-            HeuristicKind::AugmentedMulticast => AugmentedMulticast.run_with(instance, options),
-            HeuristicKind::ReducedBroadcast => ReducedBroadcast.run_with(instance, options),
-            HeuristicKind::MultisourceMulticast => {
-                AugmentedSources::default().run_with(instance, options)
-            }
         }
     }
 }

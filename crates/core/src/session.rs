@@ -202,6 +202,11 @@ pub enum SessionEvent {
         /// The new simulation configuration.
         config: SimulationConfig,
     },
+    /// A [`Session::set_cache_capacity`].
+    SetCacheCapacity {
+        /// The new ambient-cache capacity bound (`None` = unbounded).
+        capacity: Option<usize>,
+    },
     /// A completed [`Session::solve_with`] (or [`Session::solve`]).
     Solve {
         /// The solved heuristic kind.
@@ -247,6 +252,82 @@ impl SessionSnapshot {
     /// The journaled events, in application order.
     pub fn journal(&self) -> &[SessionEvent] {
         &self.journal
+    }
+}
+
+/// The template slots a [`Session::solve`] of `kind` builds.
+fn kind_slots(kind: HeuristicKind) -> &'static [usize] {
+    match kind {
+        HeuristicKind::Scatter => &[SLOT_UB],
+        HeuristicKind::LowerBound => &[SLOT_LB],
+        HeuristicKind::Broadcast | HeuristicKind::ReducedBroadcast => &[SLOT_EB],
+        HeuristicKind::AugmentedMulticast => &[SLOT_EB, SLOT_LB],
+        HeuristicKind::Mcph => &[],
+        HeuristicKind::MultisourceMulticast => &[SLOT_MS],
+    }
+}
+
+/// Whether two instances are bit-identical (same graph, same cost bits,
+/// same source and targets) — the precondition for sharing built templates.
+fn same_instance(a: &MulticastInstance, b: &MulticastInstance) -> bool {
+    a.source == b.source
+        && a.targets == b.targets
+        && a.platform.node_count() == b.platform.node_count()
+        && a.platform.edge_count() == b.platform.edge_count()
+        && a.platform.edge_ids().all(|e| {
+            let (ea, eb) = (a.platform.edge(e), b.platform.edge(e));
+            ea.src == eb.src && ea.dst == eb.dst && ea.cost.to_bits() == eb.cost.to_bits()
+        })
+}
+
+/// Eagerly built masked formulation templates, shared across every
+/// [`Session`] of the *same* instance (same graph, same cost bits, same
+/// source/targets). Formulating a template walks the whole platform through
+/// a [`pm_lp::SparseBuilder`]; cloning a built one is a flat copy of its
+/// arrays. A server hosting thousands of sessions of one platform shape
+/// builds each template once here and stamps out clones via
+/// [`Session::with_templates`].
+#[derive(Debug, Clone, Default)]
+pub struct SessionTemplates {
+    flow: [Option<MaskedFlowLp>; 3],
+    ms: Option<MaskedMultiSourceUb>,
+}
+
+impl SessionTemplates {
+    /// An empty template set; slots are built on demand by
+    /// [`SessionTemplates::ensure_for`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds (once) the template slots a [`Session::solve`] of `kind`
+    /// needs on `instance`. Further calls for the same slots are free.
+    pub fn ensure_for(&mut self, instance: &MulticastInstance, kind: HeuristicKind) {
+        for &slot in kind_slots(kind) {
+            if slot == SLOT_MS {
+                if self.ms.is_none() {
+                    self.ms = Some(MaskedMultiSourceUb::new(instance));
+                }
+            } else if self.flow[slot].is_none() {
+                self.flow[slot] = Some(match slot {
+                    SLOT_EB => MaskedFlowLp::broadcast_eb(instance),
+                    SLOT_LB => MaskedFlowLp::multicast_lb(instance),
+                    _ => MaskedFlowLp::multicast_ub(instance),
+                });
+            }
+        }
+    }
+
+    /// Builds every template slot.
+    pub fn ensure_all(&mut self, instance: &MulticastInstance) {
+        for kind in HeuristicKind::ALL {
+            self.ensure_for(instance, kind);
+        }
+    }
+
+    /// Number of built template slots (`0..=4`).
+    pub fn built(&self) -> usize {
+        self.flow.iter().filter(|t| t.is_some()).count() + self.ms.is_some() as usize
     }
 }
 
@@ -379,9 +460,9 @@ impl SessionStats {
 pub struct SessionSolve {
     /// The heuristic kind that was solved.
     pub kind: HeuristicKind,
-    /// The result, shaped exactly like the one-shot
-    /// [`HeuristicKind::run_with`] would report on the current platform
-    /// state.
+    /// The result, shaped exactly like a one-shot
+    /// [`ThroughputHeuristic::run_with`] would report on the current
+    /// platform state.
     pub result: HeuristicResult,
     /// The operation's accounting.
     pub stats: SessionOpStats,
@@ -508,6 +589,37 @@ impl Session {
         }
     }
 
+    /// [`Session::new`], but pre-seeding the masked formulation templates
+    /// from a shared [`SessionTemplates`] build. Only slots whose template
+    /// was built for a bit-identical instance are installed (a mismatched
+    /// set is ignored and the session falls back to building its own
+    /// lazily). A pre-seeded session behaves exactly like one that built
+    /// the same slots itself: solves, warm paths and journal replay are
+    /// unchanged — only the construction cost is shared.
+    pub fn with_templates(instance: MulticastInstance, templates: &SessionTemplates) -> Self {
+        let mut session = Session::new(instance);
+        for slot in 0..3 {
+            if let Some(t) = &templates.flow[slot] {
+                if same_instance(t.instance(), &session.instance) {
+                    session.flow_templates[slot] = Some(t.clone());
+                }
+            }
+        }
+        if let Some(t) = &templates.ms {
+            if same_instance(t.instance(), &session.instance) {
+                session.ms_template = Some(t.clone());
+            }
+        }
+        session
+    }
+
+    /// Number of template slots currently built in this session (`0..=4`)
+    /// — template-sharing accounting for [`Session::with_templates`].
+    pub fn templates_built(&self) -> usize {
+        self.flow_templates.iter().filter(|t| t.is_some()).count()
+            + self.ms_template.is_some() as usize
+    }
+
     /// The authoritative instance: its platform carries the current
     /// (post-drift) edge costs.
     pub fn instance(&self) -> &MulticastInstance {
@@ -553,6 +665,33 @@ impl Session {
     /// [`Session::set_budget`]).
     pub fn budget(&self) -> Option<SolveBudget> {
         self.budget
+    }
+
+    /// Bounds (or unbounds) the session's ambient [`WarmStartCache`] — the
+    /// per-signature basis store the realization packing LPs run under.
+    /// The bound is journaled, so a restore reproduces the same eviction
+    /// sequence and warm-start accounting. Results never depend on it: an
+    /// evicted basis only costs cold pivots on its next use.
+    pub fn set_cache_capacity(&mut self, capacity: Option<usize>) {
+        self.cache.set_capacity(capacity);
+        self.journal
+            .push(SessionEvent::SetCacheCapacity { capacity });
+    }
+
+    /// The session's ambient warm-start cache: hit/miss/eviction counters,
+    /// current size and capacity bound.
+    pub fn cache(&self) -> &WarmStartCache {
+        &self.cache
+    }
+
+    /// Swaps the session's ambient warm-start cache with `cache`. A server
+    /// sharding many sessions of similar shape over one worker swaps a
+    /// *shard-level* cache in around each realization, so sessions share
+    /// packing-LP bases instead of each growing a cold private cache. Not
+    /// journaled: the ambient cache only influences warm-start accounting,
+    /// never results, so replay determinism is unaffected.
+    pub fn swap_cache(&mut self, cache: &mut WarmStartCache) {
+        std::mem::swap(&mut self.cache, cache);
     }
 
     /// The last solve result of a kind, if any.
@@ -1021,6 +1160,107 @@ impl Session {
         }
     }
 
+    /// Compacts the write-ahead journal in place. The longest prefix that
+    /// no retained operation depends on is folded into the pristine base:
+    /// drifted edge costs become base costs, and the net node mask, budget,
+    /// simulation config and cache capacity become a short head of synthetic
+    /// events; the suffix is kept verbatim. Kept live — never folded — are
+    /// the last `Solve` of every kind, every `ReRealize`/`ReRealizeRobust`
+    /// (realizations chain through their seeded tree pools, so the whole
+    /// chain must replay), and the supporting `Solve` of each realization.
+    ///
+    /// [`Session::restore`] of the compacted snapshot reconstructs the same
+    /// authoritative state, solutions and realizations as a restore of the
+    /// full journal; only warm-start accounting may differ (a solve whose
+    /// superseded predecessors were folded away replays cold instead of
+    /// warm — same optimum, different pivot counts). Returns the number of
+    /// journal entries dropped.
+    pub fn compact_journal(&mut self) -> usize {
+        let old_len = self.journal.len();
+        let kind_index = |kind: HeuristicKind| {
+            HeuristicKind::ALL
+                .iter()
+                .position(|&k| k == kind)
+                .expect("every kind is in ALL")
+        };
+        let mut live = vec![false; old_len];
+        let mut last_solve: [Option<usize>; HeuristicKind::ALL.len()] =
+            [None; HeuristicKind::ALL.len()];
+        for (i, event) in self.journal.iter().enumerate() {
+            match event {
+                SessionEvent::Solve { kind, .. } => last_solve[kind_index(*kind)] = Some(i),
+                SessionEvent::ReRealize { kind } | SessionEvent::ReRealizeRobust { kind, .. } => {
+                    live[i] = true;
+                    // The realization replays from the latest preceding
+                    // solve of its kind: that solve must survive.
+                    if let Some(j) = last_solve[kind_index(*kind)] {
+                        live[j] = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        for idx in last_solve.iter().flatten() {
+            live[*idx] = true;
+        }
+        let cut = live.iter().position(|&l| l).unwrap_or(old_len);
+        if cut == 0 {
+            return 0;
+        }
+        // Fold the dropped prefix into the authoritative state at the cut.
+        let mut base = self.pristine.clone();
+        let mut mask = NodeMask::full(base.platform.node_count());
+        let mut budget = None;
+        let mut sim_config = SimulationConfig::default();
+        let mut cache_capacity = None;
+        for event in &self.journal[..cut] {
+            match event {
+                SessionEvent::SetEdgeCost { edge, cost } => {
+                    base.platform
+                        .set_cost(*edge, *cost)
+                        .expect("a journaled edit re-applies to its own base");
+                }
+                SessionEvent::DisableNode { node } => {
+                    mask.remove(*node);
+                }
+                SessionEvent::EnableNode { node } => {
+                    mask.insert(*node);
+                }
+                SessionEvent::SetBudget { budget: caps } => budget = *caps,
+                SessionEvent::SetSimConfig { config } => sim_config = config.clone(),
+                SessionEvent::SetCacheCapacity { capacity } => cache_capacity = *capacity,
+                // Solve-class prefix events are exactly what compaction
+                // drops: their results are superseded or unreferenced.
+                SessionEvent::Solve { .. }
+                | SessionEvent::SolveMultisource { .. }
+                | SessionEvent::ReRealize { .. }
+                | SessionEvent::ReRealizeRobust { .. } => {}
+            }
+        }
+        let mut compacted = Vec::with_capacity(old_len - cut + 4);
+        for v in 0..base.platform.node_count() as u32 {
+            if !mask.contains(NodeId(v)) {
+                compacted.push(SessionEvent::DisableNode { node: NodeId(v) });
+            }
+        }
+        if budget.is_some() {
+            compacted.push(SessionEvent::SetBudget { budget });
+        }
+        if sim_config != SimulationConfig::default() {
+            compacted.push(SessionEvent::SetSimConfig { config: sim_config });
+        }
+        if cache_capacity.is_some() {
+            compacted.push(SessionEvent::SetCacheCapacity {
+                capacity: cache_capacity,
+            });
+        }
+        compacted.extend_from_slice(&self.journal[cut..]);
+        let dropped = old_len.saturating_sub(compacted.len());
+        self.pristine = base;
+        self.journal = compacted;
+        dropped
+    }
+
     /// Reconstructs a session from a snapshot by replaying its journal on
     /// its base instance. Every solve in the workspace is deterministic, so
     /// the reconstruction is bit-identical: same platform state, same warm
@@ -1062,6 +1302,10 @@ impl Session {
             }
             SessionEvent::SetSimConfig { config } => {
                 self.set_sim_config(config.clone());
+                Ok(())
+            }
+            SessionEvent::SetCacheCapacity { capacity } => {
+                self.set_cache_capacity(*capacity);
                 Ok(())
             }
             SessionEvent::Solve {
@@ -1127,6 +1371,7 @@ impl Session {
         let mut mask = NodeMask::full(instance.platform.node_count());
         let mut budget = None;
         let mut sim_config = SimulationConfig::default();
+        let mut cache_capacity = None;
         for (index, event) in self.journal.iter().enumerate() {
             let outcome = match event {
                 SessionEvent::SetEdgeCost { edge, cost } => instance
@@ -1149,6 +1394,10 @@ impl Session {
                     sim_config = config.clone();
                     Ok(())
                 }
+                SessionEvent::SetCacheCapacity { capacity } => {
+                    cache_capacity = *capacity;
+                    Ok(())
+                }
                 // Solve-class events only touch derived state, which is
                 // being quarantined wholesale.
                 SessionEvent::Solve { .. }
@@ -1165,7 +1414,9 @@ impl Session {
         self.mask = mask;
         self.budget = budget;
         self.sim_config = sim_config;
-        self.cache = WarmStartCache::new();
+        let mut cache = WarmStartCache::new();
+        cache.set_capacity(cache_capacity);
+        self.cache = cache;
         self.flow_templates = [None, None, None];
         self.ms_template = None;
         self.dirty = std::array::from_fn(|_| BTreeSet::new());
@@ -1398,19 +1649,37 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::heuristics::{BroadcastBaseline, LowerBoundReference, ScatterBaseline};
     use pm_platform::instances::{figure1_instance, figure5_instance};
 
     fn approx(a: f64, b: f64) {
         assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
     }
 
+    /// The one-shot oracle: each heuristic run directly through its
+    /// [`ThroughputHeuristic`] impl, rebuilding everything from scratch.
+    fn one_shot(kind: HeuristicKind, inst: &MulticastInstance) -> HeuristicResult {
+        let options = RunOptions::default();
+        match kind {
+            HeuristicKind::Scatter => ScatterBaseline.run_with(inst, options),
+            HeuristicKind::LowerBound => LowerBoundReference.run_with(inst, options),
+            HeuristicKind::Broadcast => BroadcastBaseline.run_with(inst, options),
+            HeuristicKind::Mcph => Mcph.run_with(inst, options),
+            HeuristicKind::AugmentedMulticast => AugmentedMulticast.run_with(inst, options),
+            HeuristicKind::ReducedBroadcast => ReducedBroadcast.run_with(inst, options),
+            HeuristicKind::MultisourceMulticast => {
+                AugmentedSources::default().run_with(inst, options)
+            }
+        }
+        .unwrap()
+    }
+
     #[test]
-    #[allow(deprecated)] // the one-shot shim is the oracle being matched
     fn session_solves_match_one_shot_runs_on_a_static_platform() {
         let inst = figure1_instance();
         let mut session = Session::new(inst.clone());
         for kind in HeuristicKind::ALL {
-            let fresh = kind.run(&inst).unwrap();
+            let fresh = one_shot(kind, &inst);
             let live = session.solve(kind).unwrap();
             approx(live.result.period, fresh.period);
         }
@@ -1418,7 +1687,6 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)] // the one-shot shim is the oracle being matched
     fn edge_drift_resolves_warm_and_matches_fresh() {
         let inst = figure5_instance(3);
         let mut session = Session::new(inst.clone());
@@ -1435,7 +1703,7 @@ mod tests {
             drifted.platform.set_cost(e, c).unwrap();
         }
         let live = session.solve(HeuristicKind::Scatter).unwrap();
-        let fresh = HeuristicKind::Scatter.run(&drifted).unwrap();
+        let fresh = one_shot(HeuristicKind::Scatter, &drifted);
         approx(live.result.period, fresh.period);
         // The re-solve warm-started from the pre-drift basis.
         assert_eq!(live.stats.lp_solves, 1);
@@ -1747,5 +2015,182 @@ mod tests {
             session.stats().degraded_solves
         );
         assert_eq!(replayed.budget(), session.budget());
+    }
+
+    #[test]
+    fn compacted_journal_restores_bit_identically() {
+        // Trace shape: churn → solve + realize → churn → solve + realize.
+        // Compaction folds the leading churn and nothing solve-shaped, so
+        // the retained suffix replays through the exact same arithmetic and
+        // the two restores agree bit for bit, realizations included.
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        let edges: Vec<EdgeId> = inst.platform.edge_ids().collect();
+        session.set_edge_cost(edges[0], 1.75).unwrap();
+        session.set_edge_cost(edges[1], 2.5).unwrap();
+        session.set_edge_cost(edges[0], 1.25).unwrap();
+        assert!(session.disable_node(NodeId(4)).unwrap());
+        assert!(session.enable_node(NodeId(4)).unwrap());
+        assert!(session.disable_node(NodeId(5)).unwrap());
+        session.set_budget(Some(SolveBudget::pivots(100_000)));
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        session.re_realize(HeuristicKind::Broadcast).unwrap();
+        session.set_edge_cost(edges[2], 3.0).unwrap();
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        session.re_realize(HeuristicKind::Broadcast).unwrap();
+
+        let full = session.snapshot();
+        let before = session.journal().len();
+        let dropped = session.compact_journal();
+        // Seven prefix events fold into two head events (net disable +
+        // budget); the five retained suffix events are kept verbatim.
+        assert_eq!(dropped, 5);
+        assert_eq!(session.journal().len(), before - dropped);
+        let compacted = session.snapshot();
+
+        let mut a = Session::restore(&full).unwrap();
+        let mut b = Session::restore(&compacted).unwrap();
+        for e in inst.platform.edge_ids() {
+            assert_eq!(
+                a.instance().platform.cost(e).to_bits(),
+                b.instance().platform.cost(e).to_bits()
+            );
+        }
+        assert_eq!(a.mask().to_nodes(), b.mask().to_nodes());
+        assert_eq!(a.budget(), b.budget());
+        let (sa, sb) = (
+            a.solution_for(HeuristicKind::Broadcast).unwrap(),
+            b.solution_for(HeuristicKind::Broadcast).unwrap(),
+        );
+        assert_eq!(sa.period.to_bits(), sb.period.to_bits());
+        let (ra, rb) = (
+            a.realization_for(HeuristicKind::Broadcast).unwrap(),
+            b.realization_for(HeuristicKind::Broadcast).unwrap(),
+        );
+        assert_eq!(
+            ra.simulated.throughput.to_bits(),
+            rb.simulated.throughput.to_bits()
+        );
+        assert_eq!(ra.realization_gap.to_bits(), rb.realization_gap.to_bits());
+        assert_eq!(ra.tree_set.len(), rb.tree_set.len());
+        assert_eq!(ra.simulated.one_port_violations, 0);
+        assert_eq!(rb.simulated.one_port_violations, 0);
+        // And the *next* operation continues identically on both restores,
+        // down to the pivot counts.
+        let (na, nb) = (
+            a.solve(HeuristicKind::Broadcast).unwrap(),
+            b.solve(HeuristicKind::Broadcast).unwrap(),
+        );
+        assert_eq!(na.result.period.to_bits(), nb.result.period.to_bits());
+        assert_eq!(na.stats.phase1_pivots, nb.stats.phase1_pivots);
+        assert_eq!(na.stats.phase2_pivots, nb.stats.phase2_pivots);
+        assert_eq!(na.stats.warm_hits, nb.stats.warm_hits);
+    }
+
+    #[test]
+    fn compaction_drops_superseded_solves_and_keeps_results_equal() {
+        let inst = figure5_instance(3);
+        let e0 = inst.platform.edge_ids().next().unwrap();
+        let mut session = Session::new(inst.clone());
+        session.solve(HeuristicKind::Scatter).unwrap(); // superseded
+        session.set_edge_cost(e0, 1.5).unwrap();
+        session.solve(HeuristicKind::LowerBound).unwrap(); // superseded
+        session.set_edge_cost(e0, 1.1).unwrap();
+        session.solve(HeuristicKind::Scatter).unwrap(); // last of kind: live
+        session.solve(HeuristicKind::LowerBound).unwrap(); // live
+
+        let full = session.snapshot();
+        let dropped = session.compact_journal();
+        // The two superseded solves and the two cost edits fold away.
+        assert_eq!(dropped, 4);
+        assert_eq!(session.journal().len(), 2);
+
+        let a = Session::restore(&full).unwrap();
+        let b = Session::restore(&session.snapshot()).unwrap();
+        assert_eq!(
+            a.instance().platform.cost(e0).to_bits(),
+            b.instance().platform.cost(e0).to_bits()
+        );
+        // A solve whose superseded predecessor was folded away replays
+        // cold instead of warm: the optimum is the same unique value, but
+        // the vertex may be reached through different pivots, so the
+        // comparison is numeric, not bitwise.
+        for kind in [HeuristicKind::Scatter, HeuristicKind::LowerBound] {
+            let (pa, pb) = (
+                a.solution_for(kind).unwrap().period,
+                b.solution_for(kind).unwrap().period,
+            );
+            assert!((pa - pb).abs() <= 1e-9, "{kind:?}: {pa} vs {pb}");
+        }
+    }
+
+    #[test]
+    fn cache_capacity_is_journaled_and_bounds_the_ambient_cache() {
+        let mut session = Session::new(figure1_instance());
+        session.set_cache_capacity(Some(2));
+        session.solve(HeuristicKind::Broadcast).unwrap();
+        session.re_realize(HeuristicKind::Broadcast).unwrap();
+        assert!(session.cache().len() <= 2);
+        assert_eq!(session.cache().capacity(), Some(2));
+        let restored = Session::restore(&session.snapshot()).unwrap();
+        assert_eq!(restored.cache().capacity(), Some(2));
+        assert_eq!(restored.cache().len(), session.cache().len());
+        assert_eq!(restored.cache().evictions, session.cache().evictions);
+        // Compaction folds the capacity into a head event that survives.
+        session.compact_journal();
+        assert!(matches!(
+            session.journal()[0],
+            SessionEvent::SetCacheCapacity { capacity: Some(2) }
+        ));
+        let recompacted = Session::restore(&session.snapshot()).unwrap();
+        assert_eq!(recompacted.cache().capacity(), Some(2));
+    }
+
+    #[test]
+    fn preseeded_templates_match_a_lazily_built_session() {
+        let inst = figure5_instance(3);
+        let mut templates = SessionTemplates::new();
+        templates.ensure_for(&inst, HeuristicKind::Scatter);
+        templates.ensure_for(&inst, HeuristicKind::AugmentedMulticast);
+        assert_eq!(templates.built(), 3); // UB + EB + LB
+        let mut seeded = Session::with_templates(inst.clone(), &templates);
+        assert_eq!(seeded.templates_built(), 3);
+        let mut lazy = Session::new(inst.clone());
+        for kind in [HeuristicKind::Scatter, HeuristicKind::AugmentedMulticast] {
+            let a = seeded.solve(kind).unwrap();
+            let b = lazy.solve(kind).unwrap();
+            assert_eq!(a.result.period.to_bits(), b.result.period.to_bits());
+            assert_eq!(a.stats.phase1_pivots, b.stats.phase1_pivots);
+            assert_eq!(a.stats.phase2_pivots, b.stats.phase2_pivots);
+        }
+        // A template set built for a different instance is refused and the
+        // session stays lazy.
+        let other = Session::with_templates(figure5_instance(4), &templates);
+        assert_eq!(other.templates_built(), 0);
+        // ensure_all builds the remaining slots exactly once.
+        templates.ensure_all(&inst);
+        assert_eq!(templates.built(), 4);
+    }
+
+    #[test]
+    fn shard_cache_swap_shares_packing_bases_across_sessions() {
+        let inst = figure1_instance();
+        let mut shard_cache = WarmStartCache::new();
+        // The first session realizes under the shard-level cache...
+        let mut a = Session::new(inst.clone());
+        a.solve(HeuristicKind::Broadcast).unwrap();
+        a.swap_cache(&mut shard_cache);
+        a.re_realize(HeuristicKind::Broadcast).unwrap();
+        a.swap_cache(&mut shard_cache);
+        let hits_after_first = shard_cache.hits;
+        assert!(!shard_cache.is_empty());
+        // ...and the second one warm-starts its packing LPs from it.
+        let mut b = Session::new(inst.clone());
+        b.solve(HeuristicKind::Broadcast).unwrap();
+        b.swap_cache(&mut shard_cache);
+        let realized = b.re_realize(HeuristicKind::Broadcast).unwrap();
+        b.swap_cache(&mut shard_cache);
+        assert!(shard_cache.hits > hits_after_first);
+        assert_eq!(realized.realization.simulated.one_port_violations, 0);
     }
 }

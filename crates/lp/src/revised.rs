@@ -1997,6 +1997,14 @@ thread_local! {
     static ACTIVE_CACHE: RefCell<Option<WarmStartCache>> = const { RefCell::new(None) };
 }
 
+/// One cached basis plus its last-touched stamp (for LRU eviction under a
+/// capacity bound).
+#[derive(Debug)]
+struct CacheEntry {
+    basis: Basis,
+    touched: u64,
+}
+
 /// A per-thread cache of optimal bases keyed by problem structure.
 ///
 /// Inside a [`WarmStartCache::scope`], every [`crate::LpProblem::solve`]
@@ -2006,24 +2014,119 @@ thread_local! {
 /// identical solves (e.g. consecutive densities of a Figure-11 sweep, or the
 /// iterated broadcast LPs inside the greedy heuristics) then skip most of
 /// phase 1.
+///
+/// By default the cache is *unbounded* — every distinct constraint pattern
+/// keeps its basis forever, which is right for one sweep but a slow leak
+/// for thousands of long-lived sessions. [`WarmStartCache::with_capacity`]
+/// (or [`WarmStartCache::set_capacity`]) bounds the number of retained
+/// bases with least-recently-used eviction: every lookup or store touches
+/// its entry, and a store that would exceed the bound evicts the
+/// longest-untouched pattern first (counted in
+/// [`WarmStartCache::evictions`]). Eviction order is deterministic: touch
+/// stamps are a simple monotone counter, so two runs of the same solve
+/// sequence evict identically.
 #[derive(Debug, Default)]
 pub struct WarmStartCache {
-    map: HashMap<u64, Basis>,
+    map: HashMap<u64, CacheEntry>,
     /// Solves that reused a cached basis.
     pub hits: u64,
     /// Solves that started cold (no cached basis, or the hint was rejected).
     pub misses: u64,
+    /// Bases evicted by the LRU bound (always 0 while unbounded).
+    pub evictions: u64,
+    /// Maximum number of retained bases (`None` = unbounded, the default).
+    capacity: Option<usize>,
+    /// Monotone touch counter driving the LRU order.
+    clock: u64,
 }
 
 impl WarmStartCache {
-    /// Creates an empty cache.
+    /// Creates an empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty cache retaining at most `capacity` bases (LRU
+    /// eviction). A capacity of zero caches nothing: every solve runs cold
+    /// and counts a miss.
+    pub fn with_capacity(capacity: usize) -> Self {
+        WarmStartCache {
+            capacity: Some(capacity),
+            ..Self::default()
+        }
     }
 
     /// Total revised solves performed inside this cache's scopes.
     pub fn solves(&self) -> u64 {
         self.hits + self.misses
+    }
+
+    /// The capacity bound (`None` = unbounded).
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Number of bases currently retained.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no basis.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// (Re-)bounds the cache. Shrinking below the current population evicts
+    /// least-recently-used entries immediately (counted in
+    /// [`WarmStartCache::evictions`]); `None` lifts the bound.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+        if let Some(cap) = capacity {
+            while self.map.len() > cap {
+                self.evict_lru();
+            }
+        }
+    }
+
+    /// Removes the least-recently-touched entry. Stamps are unique (a
+    /// monotone counter), so the victim — and with it the whole eviction
+    /// sequence — is deterministic.
+    fn evict_lru(&mut self) {
+        if let Some((&key, _)) = self.map.iter().min_by_key(|(_, e)| e.touched) {
+            self.map.remove(&key);
+            self.evictions += 1;
+        }
+    }
+
+    /// The cached basis for `key`, touching its LRU stamp.
+    fn lookup(&mut self, key: u64) -> Option<Basis> {
+        self.clock += 1;
+        let clock = self.clock;
+        self.map.get_mut(&key).map(|entry| {
+            entry.touched = clock;
+            entry.basis.clone()
+        })
+    }
+
+    /// Stores (or refreshes) the basis for `key`, evicting the
+    /// least-recently-used entry if the capacity bound would be exceeded.
+    fn store(&mut self, key: u64, basis: Basis) {
+        if self.capacity == Some(0) {
+            return;
+        }
+        self.clock += 1;
+        let touched = self.clock;
+        if let Some(entry) = self.map.get_mut(&key) {
+            entry.basis = basis;
+            entry.touched = touched;
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            while self.map.len() >= cap {
+                self.evict_lru();
+            }
+        }
+        self.map.insert(key, CacheEntry { basis, touched });
     }
 
     /// Runs `f` with this cache active for [`crate::LpProblem::solve`] calls
@@ -2098,9 +2201,10 @@ pub(crate) fn note_scoped_cold_solve() {
 /// [`solve_with_hint`].
 pub(crate) fn solve_scoped(problem: &LpProblem) -> Result<LpSolution, LpError> {
     let key_and_hint = ACTIVE_CACHE.with(|slot| {
-        slot.borrow().as_ref().map(|cache| {
+        slot.borrow_mut().as_mut().map(|cache| {
             let key = signature(problem);
-            (key, cache.map.get(&key).cloned())
+            let hint = cache.lookup(key);
+            (key, hint)
         })
     });
     let Some((key, hint)) = key_and_hint else {
@@ -2116,7 +2220,7 @@ pub(crate) fn solve_scoped(problem: &LpProblem) -> Result<LpSolution, LpError> {
                     } else {
                         cache.misses += 1;
                     }
-                    cache.map.insert(key, o.basis.clone());
+                    cache.store(key, o.basis.clone());
                 }
                 Err(_) => cache.misses += 1,
             }
@@ -2336,6 +2440,94 @@ mod tests {
         assert_eq!(inner.solves(), 2);
         assert_eq!(outer.solves(), 2);
         assert_eq!(outer.hits, 1);
+    }
+
+    /// A family of structurally distinct LPs: `max x  s.t.  x <= 1` padded
+    /// with `k` extra constrained variables, so each `k` has its own
+    /// warm-start signature.
+    fn patterned_lp(k: usize) -> LpProblem {
+        let mut lp = LpProblem::new(Objective::Maximize);
+        let x = lp.add_var("x");
+        lp.set_objective_coeff(x, 1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0);
+        for i in 0..k {
+            let y = lp.add_var(&format!("y{i}"));
+            lp.add_constraint(vec![(y, 1.0)], Relation::Le, 1.0);
+        }
+        lp
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used_patterns() {
+        let mut cache = WarmStartCache::with_capacity(2);
+        assert_eq!(cache.capacity(), Some(2));
+        cache.scope(|| {
+            // Three distinct patterns through a 2-slot cache: storing the
+            // third evicts the first (least recently touched).
+            patterned_lp(0).solve().unwrap();
+            patterned_lp(1).solve().unwrap();
+            patterned_lp(2).solve().unwrap();
+        });
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions, 1);
+        assert_eq!(cache.misses, 3);
+        cache.scope(|| {
+            // Patterns 1 and 2 survived; 0 was evicted and runs cold again.
+            patterned_lp(1).solve().unwrap();
+            patterned_lp(2).solve().unwrap();
+            patterned_lp(0).solve().unwrap();
+        });
+        assert_eq!(cache.hits, 2);
+        assert_eq!(cache.misses, 4);
+        // Re-inserting pattern 0 evicted pattern 1 (LRU after the touches).
+        assert_eq!(cache.evictions, 2);
+        cache.scope(|| {
+            patterned_lp(2).solve().unwrap();
+            patterned_lp(0).solve().unwrap();
+        });
+        assert_eq!(cache.hits, 4);
+    }
+
+    #[test]
+    fn lookups_refresh_the_lru_order() {
+        let mut cache = WarmStartCache::with_capacity(2);
+        cache.scope(|| {
+            patterned_lp(0).solve().unwrap();
+            patterned_lp(1).solve().unwrap();
+            // Touch 0 so 1 becomes the LRU victim of the next store.
+            patterned_lp(0).solve().unwrap();
+            patterned_lp(2).solve().unwrap();
+            // 0 stayed cached, 1 was evicted.
+            patterned_lp(0).solve().unwrap();
+        });
+        assert_eq!(cache.hits, 2);
+        assert_eq!(cache.evictions, 1);
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately_and_zero_caches_nothing() {
+        let mut cache = WarmStartCache::new();
+        cache.scope(|| {
+            for k in 0..4 {
+                patterned_lp(k).solve().unwrap();
+            }
+        });
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.evictions, 0);
+        cache.set_capacity(Some(1));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.evictions, 3);
+        cache.set_capacity(None);
+        assert_eq!(cache.capacity(), None);
+
+        let mut none = WarmStartCache::with_capacity(0);
+        none.scope(|| {
+            patterned_lp(0).solve().unwrap();
+            patterned_lp(0).solve().unwrap();
+        });
+        assert!(none.is_empty());
+        assert_eq!(none.misses, 2);
+        assert_eq!(none.hits, 0);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Multicast-as-a-service: a sharded, multi-tenant server for
+//! [`pm_core::session::Session`]s.
+//!
+//! One long-running process owns thousands of concurrent drift sessions —
+//! one per tenant/multicast group — hash-sharded over a fixed worker pool.
+//! Clients speak a line-delimited JSON protocol ([`protocol`]): the
+//! `pm-serve` binary serves it over stdin/stdout (maelstrom-style), and the
+//! in-process [`server::Server`] API serves tests and the closed-loop
+//! `serve_bench` load driver without any I/O in the way.
+//!
+//! The perf story is layered (see [`server`]): drift requests are
+//! acknowledged eagerly and coalesced per tenant until the next barrier,
+//! formulation templates are memoized per shard across same-shape tenants,
+//! packing bases are shared through a bounded per-shard LRU cache, and
+//! tenant journals are compacted in place under sustained churn. Admission
+//! control bounds every queue and sheds with explicit `overloaded`
+//! responses instead of buffering without limit.
+
+pub mod json;
+pub mod protocol;
+pub mod server;
+
+pub use json::Json;
+pub use protocol::{
+    error_code, kind_from_key, kind_key, Counters, InstanceSpec, Request, Response, TransitionDesc,
+    TreeDesc,
+};
+pub use server::{ServeConfig, Server};

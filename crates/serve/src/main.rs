@@ -1,0 +1,40 @@
+//! `pm-serve` — the stdio front end of the session server.
+//!
+//! Reads one JSON request per line from stdin, writes one JSON response per
+//! line to stdout, and exits cleanly on EOF. Configuration comes from the
+//! `PM_SERVE_*` environment knobs (see [`pm_serve::ServeConfig::from_env`]).
+//!
+//! ```text
+//! $ printf '%s\n' \
+//!     '{"id":1,"type":"create_session","session":"t0","nodes":3,"edges":[[0,1,1.0],[1,2,2.0]],"source":0,"targets":[2]}' \
+//!     '{"id":2,"type":"solve","session":"t0","kind":"scatter"}' \
+//!   | pm-serve
+//! ```
+
+use std::io::{BufRead, Write};
+
+use pm_serve::{ServeConfig, Server};
+
+fn main() {
+    let server = Server::start(ServeConfig::from_env());
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = server.call_line(&line);
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            break;
+        }
+    }
+    server.shutdown();
+}

@@ -1,0 +1,1010 @@
+//! The sharded multi-tenant session server.
+//!
+//! Sessions are hash-partitioned over a fixed pool of worker threads; each
+//! shard owns its tenants outright (no locks on the data plane) and serves
+//! one bounded MPSC queue. Three perf mechanisms live here:
+//!
+//! * **Drift coalescing** — edge-cost and node churn is acknowledged
+//!   eagerly (after static validation) into per-tenant pending buffers and
+//!   only applied — last-write-wins per edge, net flips per node — when a
+//!   barrier request (solve/realize/query/stream) arrives or the buffer
+//!   reaches the configured tick. A burst of `k` edits on one edge costs a
+//!   single coefficient sweep at the next solve instead of `k`.
+//! * **Template sharing** — formulation construction is memoized per shard
+//!   in an arena keyed by the instance-shape fingerprint: the thousandth
+//!   tenant on a popular shape clones pre-built masked LPs instead of
+//!   re-deriving them.
+//! * **Shard-level warm-start cache** — a bounded LRU of packing-LP bases
+//!   swapped into each tenant around realizations, so tenants with similar
+//!   shapes reuse each other's bases.
+//!
+//! Admission control is a bounded queue per shard: when it is full the
+//! request is rejected with an `overloaded` response instead of queueing
+//! unboundedly. Tenant journals are compacted in place whenever they exceed
+//! the configured interval, bounding per-tenant memory under sustained
+//! drift.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use pm_core::report::HeuristicKind;
+use pm_core::session::{Session, SessionTemplates, TransitionCost};
+use pm_lp::WarmStartCache;
+use pm_platform::graph::{EdgeId, NodeId};
+
+use crate::protocol::{
+    error_code, kind_key, Counters, Fnv, Request, Response, TransitionDesc, TreeDesc,
+};
+
+/// Server configuration. Environment knobs: `PM_SERVE_SHARDS`,
+/// `PM_SERVE_TICK`, `PM_SERVE_QUEUE_CAP`, `PM_SERVE_CACHE_CAP` (0 =
+/// unbounded) and `PM_SERVE_COMPACT` (0 = never compact).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Number of shard worker threads (≥ 1).
+    pub shards: usize,
+    /// Pending drift events per tenant that force a flush even without a
+    /// barrier request (≥ 1).
+    pub tick: usize,
+    /// Bounded depth of each shard's request queue; a full queue sheds with
+    /// `overloaded`.
+    pub queue_cap: usize,
+    /// Capacity of each shard's shared packing-basis cache (`None` =
+    /// unbounded).
+    pub cache_capacity: Option<usize>,
+    /// Compact a tenant's journal after a barrier once it holds at least
+    /// this many events (0 = never).
+    pub compact_interval: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            shards: 4,
+            tick: 8,
+            queue_cap: 256,
+            cache_capacity: Some(1024),
+            compact_interval: 64,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Reads the `PM_SERVE_*` environment knobs on top of the defaults.
+    pub fn from_env() -> ServeConfig {
+        let mut config = ServeConfig::default();
+        if let Some(v) = env_usize("PM_SERVE_SHARDS") {
+            config.shards = v.max(1);
+        }
+        if let Some(v) = env_usize("PM_SERVE_TICK") {
+            config.tick = v.max(1);
+        }
+        if let Some(v) = env_usize("PM_SERVE_QUEUE_CAP") {
+            config.queue_cap = v.max(1);
+        }
+        if let Some(v) = env_usize("PM_SERVE_CACHE_CAP") {
+            config.cache_capacity = if v == 0 { None } else { Some(v) };
+        }
+        if let Some(v) = env_usize("PM_SERVE_COMPACT") {
+            config.compact_interval = v;
+        }
+        config
+    }
+
+    fn normalized(mut self) -> ServeConfig {
+        self.shards = self.shards.max(1);
+        self.tick = self.tick.max(1);
+        self.queue_cap = self.queue_cap.max(1);
+        self
+    }
+}
+
+fn env_usize(key: &str) -> Option<usize> {
+    std::env::var(key).ok()?.trim().parse().ok()
+}
+
+enum Job {
+    Call(Request, SyncSender<Response>),
+    Snapshot(SyncSender<Counters>),
+    /// Test hook: park the shard for a duration so admission control can be
+    /// exercised deterministically.
+    Stall(Duration),
+}
+
+/// One tenant: its session plus the coalescing buffers and the drained
+/// transition-cost log.
+struct Tenant {
+    session: Session,
+    /// Pending edge-cost writes, last-write-wins per edge.
+    pending_costs: std::collections::BTreeMap<u32, f64>,
+    /// Pending node-mask flips, net value per node (`true` = enabled).
+    pending_nodes: std::collections::BTreeMap<u32, bool>,
+    /// Raw drift events admitted since the last flush (drives the tick).
+    pending_events: usize,
+    /// Transition costs accumulated by realizations, drained by
+    /// `stream_transition_costs`.
+    transitions: Vec<(HeuristicKind, TransitionCost)>,
+}
+
+/// A shard's whole world. Public within the crate so tests can drive it
+/// synchronously without threads.
+pub(crate) struct ShardState {
+    config: ServeConfig,
+    sessions: HashMap<String, Tenant>,
+    /// Formulation-template arena keyed by instance-shape fingerprint.
+    templates: HashMap<u64, SessionTemplates>,
+    /// Shared packing-basis cache, swapped into tenants around realizations.
+    cache: WarmStartCache,
+    counters: Counters,
+}
+
+impl ShardState {
+    pub(crate) fn new(config: ServeConfig) -> ShardState {
+        let mut cache = WarmStartCache::new();
+        cache.set_capacity(config.cache_capacity);
+        ShardState {
+            config,
+            sessions: HashMap::new(),
+            templates: HashMap::new(),
+            cache,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Counters snapshot including the live cache and session gauges.
+    pub(crate) fn snapshot(&self) -> Counters {
+        let mut c = self.counters;
+        c.sessions_live = self.sessions.len() as u64;
+        c.cache_hits = self.cache.hits;
+        c.cache_misses = self.cache.misses;
+        c.cache_evictions = self.cache.evictions;
+        c
+    }
+
+    pub(crate) fn handle(&mut self, request: Request) -> Response {
+        self.counters.requests += 1;
+        match request {
+            Request::CreateSession {
+                id,
+                session,
+                spec,
+                kinds,
+            } => {
+                if self.sessions.contains_key(&session) {
+                    return self.error(
+                        id,
+                        "session_exists",
+                        format!("session '{session}' already exists"),
+                    );
+                }
+                let instance = match spec.build() {
+                    Ok(instance) => instance,
+                    Err(message) => return self.error(id, "invalid_argument", message),
+                };
+                let templates = match self.templates.entry(spec.fingerprint()) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        self.counters.template_hits += 1;
+                        o.into_mut()
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        self.counters.template_builds += 1;
+                        v.insert(SessionTemplates::new())
+                    }
+                };
+                for &kind in &kinds {
+                    templates.ensure_for(&instance, kind);
+                }
+                let tenant = Tenant {
+                    session: Session::with_templates(instance, templates),
+                    pending_costs: Default::default(),
+                    pending_nodes: Default::default(),
+                    pending_events: 0,
+                    transitions: Vec::new(),
+                };
+                self.sessions.insert(session, tenant);
+                self.counters.sessions_created += 1;
+                Response::Ok { id }
+            }
+            Request::SetEdgeCost {
+                id,
+                session,
+                edge,
+                cost,
+            } => {
+                let tick = self.config.tick;
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                // Static validation mirrors `Session::set_edge_cost` /
+                // `Platform::set_cost` so the deferred apply cannot fail.
+                if (edge as usize) >= tenant.session.instance().platform.edge_count() {
+                    return self.error(id, "invalid_argument", format!("unknown edge e{edge}"));
+                }
+                if !cost.is_finite() || cost <= 0.0 {
+                    return self.error(
+                        id,
+                        "invalid_argument",
+                        format!("edge cost must be positive and finite, got {cost}"),
+                    );
+                }
+                tenant.pending_costs.insert(edge, cost);
+                tenant.pending_events += 1;
+                self.counters.drift_events += 1;
+                if tenant.pending_events >= tick {
+                    Self::flush(tenant, &mut self.counters);
+                }
+                Response::Ok { id }
+            }
+            Request::DisableNode { id, session, node } => {
+                let tick = self.config.tick;
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                let instance = tenant.session.instance();
+                if (node as usize) >= instance.platform.node_count() {
+                    return self.error(id, "invalid_argument", format!("unknown node n{node}"));
+                }
+                if NodeId(node) == instance.source {
+                    return self.error(
+                        id,
+                        "invalid_argument",
+                        format!("cannot disable the source n{node}"),
+                    );
+                }
+                if instance.is_target(NodeId(node)) {
+                    return self.error(
+                        id,
+                        "invalid_argument",
+                        format!("cannot disable target n{node}"),
+                    );
+                }
+                tenant.pending_nodes.insert(node, false);
+                tenant.pending_events += 1;
+                self.counters.drift_events += 1;
+                if tenant.pending_events >= tick {
+                    Self::flush(tenant, &mut self.counters);
+                }
+                Response::Ok { id }
+            }
+            Request::EnableNode { id, session, node } => {
+                let tick = self.config.tick;
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                if (node as usize) >= tenant.session.instance().platform.node_count() {
+                    return self.error(id, "invalid_argument", format!("unknown node n{node}"));
+                }
+                tenant.pending_nodes.insert(node, true);
+                tenant.pending_events += 1;
+                self.counters.drift_events += 1;
+                if tenant.pending_events >= tick {
+                    Self::flush(tenant, &mut self.counters);
+                }
+                Response::Ok { id }
+            }
+            Request::Solve { id, session, kind } => {
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                Self::flush(tenant, &mut self.counters);
+                match tenant.session.solve(kind) {
+                    Ok(solve) => {
+                        self.counters.solves += 1;
+                        self.counters.warm_hits += solve.stats.warm_hits;
+                        self.counters.warm_misses += solve.stats.warm_misses;
+                        self.counters.degraded_solves += solve.stats.degraded_solves;
+                        let response = Response::Solved {
+                            id,
+                            kind,
+                            period: solve.result.period,
+                            throughput: solve.result.throughput,
+                            degraded: solve.stats.degraded_solves > 0,
+                        };
+                        self.maybe_compact(&session);
+                        response
+                    }
+                    Err(e) => self.error(id, error_code(&e), e.to_string()),
+                }
+            }
+            Request::ReRealize { id, session, kind } => {
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                Self::flush(tenant, &mut self.counters);
+                // Swap the shard cache in so the packing LPs of all tenants
+                // share bases; swap it back out immediately after.
+                tenant.session.swap_cache(&mut self.cache);
+                let outcome = tenant.session.re_realize(kind);
+                tenant.session.swap_cache(&mut self.cache);
+                match outcome {
+                    Ok(re) => {
+                        self.counters.realizations += 1;
+                        self.counters.warm_hits += re.stats.warm_hits;
+                        self.counters.warm_misses += re.stats.warm_misses;
+                        self.counters.degraded_solves += re.stats.degraded_solves;
+                        if let Some(t) = re.transition {
+                            tenant.transitions.push((kind, t));
+                        }
+                        let r = &re.realization;
+                        let response = Response::Realized {
+                            id,
+                            kind,
+                            violations: r.simulated.one_port_violations as u64,
+                            gap: r.realization_gap,
+                            throughput: r.simulated.throughput,
+                            trees: r.tree_set.len() as u64,
+                            transition: re.transition.as_ref().map(TransitionDesc::from_cost),
+                        };
+                        self.maybe_compact(&session);
+                        response
+                    }
+                    Err(e) => self.error(id, error_code(&e), e.to_string()),
+                }
+            }
+            Request::QuerySchedule { id, session, kind } => {
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                Self::flush(tenant, &mut self.counters);
+                match tenant.session.realization_for(kind) {
+                    Some(r) => Response::Schedule {
+                        id,
+                        kind,
+                        period: r.achieved_period,
+                        throughput: r.packed_throughput,
+                        trees: r
+                            .tree_set
+                            .trees()
+                            .iter()
+                            .zip(r.tree_set.weights())
+                            .map(|(tree, &weight)| TreeDesc {
+                                weight,
+                                edges: tree.edges().iter().map(|e| e.0).collect(),
+                            })
+                            .collect(),
+                    },
+                    None => self.error(
+                        id,
+                        "no_schedule",
+                        format!("session has no realization for kind '{}'", kind_key(kind)),
+                    ),
+                }
+            }
+            Request::StreamTransitionCosts { id, session } => {
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                Self::flush(tenant, &mut self.counters);
+                let entries = tenant
+                    .transitions
+                    .drain(..)
+                    .map(|(k, t)| (k, TransitionDesc::from_cost(&t)))
+                    .collect();
+                Response::Transitions { id, entries }
+            }
+            Request::DestroySession { id, session } => {
+                if self.sessions.remove(&session).is_none() {
+                    return self.unknown_session(id, &session);
+                }
+                self.counters.sessions_destroyed += 1;
+                Response::Ok { id }
+            }
+            // Counters requests are aggregated at the server level and never
+            // reach a shard; answer anyway for completeness (single-shard
+            // direct use in tests).
+            Request::Counters { id } => Response::Counters {
+                id,
+                counters: self.snapshot(),
+            },
+        }
+    }
+
+    /// Applies the pending coalesced writes to the tenant's session. All
+    /// writes were validated at admission, so failures are bugs.
+    fn flush(tenant: &mut Tenant, counters: &mut Counters) {
+        if tenant.pending_events == 0 {
+            return;
+        }
+        let costs = std::mem::take(&mut tenant.pending_costs);
+        let nodes = std::mem::take(&mut tenant.pending_nodes);
+        let mut applied = 0u64;
+        for (edge, cost) in costs {
+            tenant
+                .session
+                .set_edge_cost(EdgeId(edge), cost)
+                .expect("edge write was validated at admission");
+            applied += 1;
+        }
+        for (node, enable) in nodes {
+            if enable {
+                tenant
+                    .session
+                    .enable_node(NodeId(node))
+                    .expect("node write was validated at admission");
+            } else {
+                tenant
+                    .session
+                    .disable_node(NodeId(node))
+                    .expect("node write was validated at admission");
+            }
+            applied += 1;
+        }
+        counters.coalesced_writes += applied;
+        counters.flushes += 1;
+        tenant.pending_events = 0;
+    }
+
+    fn maybe_compact(&mut self, session: &str) {
+        if self.config.compact_interval == 0 {
+            return;
+        }
+        let Some(tenant) = self.sessions.get_mut(session) else {
+            return;
+        };
+        if tenant.session.journal().len() >= self.config.compact_interval {
+            let dropped = tenant.session.compact_journal();
+            if dropped > 0 {
+                self.counters.compactions += 1;
+                self.counters.journal_entries_dropped += dropped as u64;
+            }
+        }
+    }
+
+    fn unknown_session(&mut self, id: u64, session: &str) -> Response {
+        self.error(
+            id,
+            "unknown_session",
+            format!("no session named '{session}'"),
+        )
+    }
+
+    fn error(&mut self, id: u64, code: &str, message: String) -> Response {
+        self.counters.errors += 1;
+        Response::Error {
+            id,
+            code: code.to_string(),
+            message,
+        }
+    }
+}
+
+/// The sharded server: a fixed worker pool behind bounded queues.
+pub struct Server {
+    config: ServeConfig,
+    senders: Vec<SyncSender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    shed: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Starts the worker pool.
+    pub fn start(config: ServeConfig) -> Server {
+        let config = config.normalized();
+        let mut senders = Vec::with_capacity(config.shards);
+        let mut workers = Vec::with_capacity(config.shards);
+        for shard in 0..config.shards {
+            let (tx, rx) = sync_channel::<Job>(config.queue_cap);
+            let shard_config = config.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pm-serve-shard-{shard}"))
+                    .spawn(move || run_shard(shard_config, rx))
+                    .expect("spawn shard worker"),
+            );
+            senders.push(tx);
+        }
+        Server {
+            config,
+            senders,
+            workers,
+            shed: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The configuration the server was started with (post-normalization).
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+
+    /// The shard a session name routes to.
+    pub fn shard_of(&self, session: &str) -> usize {
+        let mut h = Fnv::new();
+        h.write_bytes(session.as_bytes());
+        (h.finish() % self.senders.len() as u64) as usize
+    }
+
+    /// Submits a request without blocking on the response. If the target
+    /// shard's queue is full the returned channel already holds an
+    /// `Overloaded` response (and the shed counter is bumped).
+    pub fn submit(&self, request: Request) -> Receiver<Response> {
+        let id = request.id();
+        match request.session() {
+            Some(session) => {
+                let shard = self.shard_of(session);
+                let (reply_tx, reply_rx) = sync_channel(1);
+                match self.senders[shard].try_send(Job::Call(request, reply_tx)) {
+                    Ok(()) => reply_rx,
+                    Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => {
+                        self.shed.fetch_add(1, Ordering::Relaxed);
+                        let (tx, rx) = sync_channel(1);
+                        let _ = tx.send(Response::Overloaded { id });
+                        rx
+                    }
+                }
+            }
+            None => {
+                // Server-wide request: aggregate synchronously.
+                let counters = self.counters();
+                let (tx, rx) = sync_channel(1);
+                let _ = tx.send(Response::Counters { id, counters });
+                rx
+            }
+        }
+    }
+
+    /// Blocking request/response. Unlike [`Server::submit`] this *waits* for
+    /// a queue slot instead of shedding, which keeps closed-loop callers
+    /// lossless.
+    pub fn call(&self, request: Request) -> Response {
+        let id = request.id();
+        match request.session() {
+            Some(session) => {
+                let shard = self.shard_of(session);
+                let (reply_tx, reply_rx) = sync_channel(1);
+                if self.senders[shard]
+                    .send(Job::Call(request, reply_tx))
+                    .is_err()
+                {
+                    return Response::Error {
+                        id,
+                        code: "shutdown".to_string(),
+                        message: "shard worker has exited".to_string(),
+                    };
+                }
+                reply_rx.recv().unwrap_or(Response::Error {
+                    id,
+                    code: "shutdown".to_string(),
+                    message: "shard worker has exited".to_string(),
+                })
+            }
+            None => Response::Counters {
+                id,
+                counters: self.counters(),
+            },
+        }
+    }
+
+    /// Parses one request line, executes it, and returns the response line.
+    /// Malformed lines get an `invalid_request` error with id 0.
+    pub fn call_line(&self, line: &str) -> String {
+        match Request::from_line(line) {
+            Ok(request) => self.call(request).to_line(),
+            Err(message) => Response::Error {
+                id: 0,
+                code: "invalid_request".to_string(),
+                message,
+            }
+            .to_line(),
+        }
+    }
+
+    /// Aggregated counters over all shards plus server-level shedding.
+    pub fn counters(&self) -> Counters {
+        let mut total = Counters::default();
+        let mut pending = Vec::new();
+        for tx in &self.senders {
+            let (reply_tx, reply_rx) = sync_channel(1);
+            if tx.send(Job::Snapshot(reply_tx)).is_ok() {
+                pending.push(reply_rx);
+            }
+        }
+        for rx in pending {
+            if let Ok(snapshot) = rx.recv() {
+                total.add(&snapshot);
+            }
+        }
+        total.shed += self.shed.load(Ordering::Relaxed);
+        total
+    }
+
+    /// Test hook: parks one shard worker so its queue can be filled
+    /// deterministically.
+    #[doc(hidden)]
+    pub fn stall_shard(&self, shard: usize, millis: u64) {
+        let _ = self.senders[shard].send(Job::Stall(Duration::from_millis(millis)));
+    }
+
+    /// Drains the workers and returns the final counters.
+    pub fn shutdown(mut self) -> Counters {
+        let counters = self.counters();
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        counters
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.senders.clear();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn run_shard(config: ServeConfig, rx: Receiver<Job>) {
+    let mut state = ShardState::new(config);
+    while let Ok(job) = rx.recv() {
+        match job {
+            Job::Call(request, reply) => {
+                let response = state.handle(request);
+                let _ = reply.send(response);
+            }
+            Job::Snapshot(reply) => {
+                let _ = reply.send(state.snapshot());
+            }
+            Job::Stall(duration) => std::thread::sleep(duration),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::InstanceSpec;
+
+    fn spec() -> InstanceSpec {
+        // 0 → {1,2} relays, targets {3,4,5}; enough redundancy that any one
+        // relay can be disabled without disconnecting a target.
+        InstanceSpec {
+            nodes: 6,
+            edges: vec![
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 1.5),
+                (1, 4, 2.5),
+                (2, 5, 1.8),
+                (0, 3, 3.0),
+                (2, 4, 2.2),
+                (1, 5, 2.7),
+                (0, 4, 3.5),
+                (0, 5, 3.2),
+            ],
+            source: 0,
+            targets: vec![3, 4, 5],
+        }
+    }
+
+    fn create(id: u64, session: &str) -> Request {
+        Request::CreateSession {
+            id,
+            session: session.to_string(),
+            spec: spec(),
+            kinds: vec![HeuristicKind::Scatter],
+        }
+    }
+
+    #[test]
+    fn drift_is_coalesced_to_net_writes() {
+        let mut shard = ShardState::new(ServeConfig {
+            shards: 1,
+            tick: 1000,
+            ..ServeConfig::default()
+        });
+        assert!(matches!(shard.handle(create(1, "t")), Response::Ok { .. }));
+        // 10 writes on one edge, 4 flips on one node → 2 net writes.
+        for i in 0..10u64 {
+            let r = shard.handle(Request::SetEdgeCost {
+                id: 10 + i,
+                session: "t".into(),
+                edge: 0,
+                cost: 1.0 + i as f64 * 0.1,
+            });
+            assert!(matches!(r, Response::Ok { .. }));
+        }
+        for i in 0..2 {
+            shard.handle(Request::DisableNode {
+                id: 30 + i,
+                session: "t".into(),
+                node: 2,
+            });
+            shard.handle(Request::EnableNode {
+                id: 40 + i,
+                session: "t".into(),
+                node: 2,
+            });
+        }
+        let c = shard.snapshot();
+        assert_eq!(c.drift_events, 14);
+        assert_eq!(c.coalesced_writes, 0, "no barrier yet");
+        let solved = shard.handle(Request::Solve {
+            id: 50,
+            session: "t".into(),
+            kind: HeuristicKind::Scatter,
+        });
+        let Response::Solved { period, .. } = solved else {
+            panic!("expected solve, got {solved:?}");
+        };
+        let c = shard.snapshot();
+        assert_eq!(c.coalesced_writes, 2);
+        assert_eq!(c.flushes, 1);
+        assert!(c.coalescing_ratio() > 6.9);
+
+        // The coalesced result matches a direct session given the same net
+        // state: edge 0 at its final cost, node 2 enabled.
+        let mut direct = Session::new(spec().build().unwrap());
+        direct.set_edge_cost(EdgeId(0), 1.9).unwrap();
+        let expected = direct.solve(HeuristicKind::Scatter).unwrap();
+        assert!(
+            (period - expected.result.period).abs() <= 1e-9,
+            "served {period} vs direct {}",
+            expected.result.period
+        );
+    }
+
+    #[test]
+    fn tick_forces_a_flush_without_a_barrier() {
+        let mut shard = ShardState::new(ServeConfig {
+            tick: 3,
+            ..ServeConfig::default()
+        });
+        shard.handle(create(1, "t"));
+        for i in 0..3u64 {
+            shard.handle(Request::SetEdgeCost {
+                id: 2 + i,
+                session: "t".into(),
+                edge: 1,
+                cost: 2.0 + i as f64,
+            });
+        }
+        let c = shard.snapshot();
+        assert_eq!(c.flushes, 1, "third event hits the tick");
+        assert_eq!(c.coalesced_writes, 1);
+    }
+
+    #[test]
+    fn invalid_drift_is_rejected_eagerly() {
+        let mut shard = ShardState::new(ServeConfig::default());
+        shard.handle(create(1, "t"));
+        let cases = vec![
+            Request::SetEdgeCost {
+                id: 2,
+                session: "t".into(),
+                edge: 99,
+                cost: 1.0,
+            },
+            Request::SetEdgeCost {
+                id: 3,
+                session: "t".into(),
+                edge: 0,
+                cost: -1.0,
+            },
+            Request::SetEdgeCost {
+                id: 4,
+                session: "t".into(),
+                edge: 0,
+                cost: f64::NAN,
+            },
+            Request::DisableNode {
+                id: 5,
+                session: "t".into(),
+                node: 0,
+            },
+            Request::DisableNode {
+                id: 6,
+                session: "t".into(),
+                node: 3,
+            },
+            Request::DisableNode {
+                id: 7,
+                session: "t".into(),
+                node: 42,
+            },
+        ];
+        for request in cases {
+            let response = shard.handle(request);
+            let Response::Error { code, .. } = &response else {
+                panic!("expected error, got {response:?}");
+            };
+            assert_eq!(code, "invalid_argument");
+        }
+        assert_eq!(shard.snapshot().drift_events, 0);
+        assert_eq!(shard.snapshot().errors, 6);
+    }
+
+    #[test]
+    fn templates_are_shared_across_same_shape_tenants() {
+        let mut shard = ShardState::new(ServeConfig::default());
+        shard.handle(create(1, "a"));
+        shard.handle(create(2, "b"));
+        shard.handle(create(3, "c"));
+        let c = shard.snapshot();
+        assert_eq!(c.template_builds, 1);
+        assert_eq!(c.template_hits, 2);
+        // All three sessions still solve.
+        for (i, name) in ["a", "b", "c"].iter().enumerate() {
+            let r = shard.handle(Request::Solve {
+                id: 10 + i as u64,
+                session: name.to_string(),
+                kind: HeuristicKind::Scatter,
+            });
+            assert!(matches!(r, Response::Solved { .. }), "{r:?}");
+        }
+    }
+
+    #[test]
+    fn journals_are_compacted_under_sustained_drift() {
+        let mut shard = ShardState::new(ServeConfig {
+            tick: 4,
+            compact_interval: 6,
+            ..ServeConfig::default()
+        });
+        shard.handle(create(1, "t"));
+        let mut id = 10;
+        for round in 0..6u64 {
+            for i in 0..4u64 {
+                shard.handle(Request::SetEdgeCost {
+                    id,
+                    session: "t".into(),
+                    edge: (i % 3) as u32,
+                    cost: 1.0 + round as f64 + i as f64 * 0.25,
+                });
+                id += 1;
+            }
+            let r = shard.handle(Request::Solve {
+                id,
+                session: "t".into(),
+                kind: HeuristicKind::Scatter,
+            });
+            id += 1;
+            assert!(matches!(r, Response::Solved { .. }), "{r:?}");
+        }
+        let c = shard.snapshot();
+        assert!(c.compactions >= 1, "compactions = {}", c.compactions);
+        assert!(
+            c.journal_entries_dropped >= 1,
+            "dropped = {}",
+            c.journal_entries_dropped
+        );
+        // The tenant journal stays bounded well below raw event volume.
+        let journal_len = shard.sessions.get("t").unwrap().session.journal().len();
+        assert!(journal_len < 24, "journal holds {journal_len} events");
+    }
+
+    #[test]
+    fn shard_cache_is_shared_across_tenants() {
+        let mut shard = ShardState::new(ServeConfig::default());
+        shard.handle(create(1, "a"));
+        shard.handle(create(2, "b"));
+        for (i, name) in ["a", "b"].iter().enumerate() {
+            shard.handle(Request::Solve {
+                id: 10 + i as u64,
+                session: name.to_string(),
+                kind: HeuristicKind::Scatter,
+            });
+            let r = shard.handle(Request::ReRealize {
+                id: 20 + i as u64,
+                session: name.to_string(),
+                kind: HeuristicKind::Scatter,
+            });
+            assert!(matches!(r, Response::Realized { .. }), "{r:?}");
+        }
+        let c = shard.snapshot();
+        assert!(
+            c.cache_hits > 0,
+            "second tenant's packing should hit the shard cache: {c:?}"
+        );
+    }
+
+    #[test]
+    fn admission_control_sheds_when_a_shard_queue_fills() {
+        let server = Server::start(ServeConfig {
+            shards: 1,
+            queue_cap: 2,
+            ..ServeConfig::default()
+        });
+        assert!(matches!(server.call(create(1, "t")), Response::Ok { .. }));
+        // Park the worker, then overfill the bounded queue.
+        server.stall_shard(0, 1500);
+        std::thread::sleep(Duration::from_millis(100));
+        let mut receivers = Vec::new();
+        let mut overloaded = 0;
+        for i in 0..5u64 {
+            let rx = server.submit(Request::SetEdgeCost {
+                id: 100 + i,
+                session: "t".into(),
+                edge: 0,
+                cost: 2.0,
+            });
+            // An immediate response means the request was shed.
+            if let Ok(Response::Overloaded { .. }) = rx.try_recv() {
+                overloaded += 1;
+            } else {
+                receivers.push(rx);
+            }
+        }
+        assert_eq!(overloaded, 3, "queue_cap=2 admits 2 of 5");
+        for rx in receivers {
+            assert!(matches!(rx.recv().unwrap(), Response::Ok { .. }));
+        }
+        let counters = server.counters();
+        assert_eq!(counters.shed, 3);
+        assert_eq!(counters.drift_events, 2);
+        server.shutdown();
+    }
+
+    #[test]
+    fn server_round_trips_the_line_protocol() {
+        let server = Server::start(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        });
+        let line = create(1, "t").to_line();
+        let response = server.call_line(&line);
+        let parsed = Response::from_line(&response).unwrap();
+        assert_eq!(parsed, Response::Ok { id: 1 });
+        let solve_line = Request::Solve {
+            id: 2,
+            session: "t".into(),
+            kind: HeuristicKind::Scatter,
+        }
+        .to_line();
+        let response = Response::from_line(&server.call_line(&solve_line)).unwrap();
+        assert!(matches!(response, Response::Solved { id: 2, .. }));
+        let bad = server.call_line("{not json");
+        let parsed = Response::from_line(&bad).unwrap();
+        assert!(matches!(parsed, Response::Error { .. }));
+        let counters_line = Request::Counters { id: 3 }.to_line();
+        let response = Response::from_line(&server.call_line(&counters_line)).unwrap();
+        let Response::Counters { counters, .. } = response else {
+            panic!("expected counters");
+        };
+        assert_eq!(counters.sessions_created, 1);
+        assert_eq!(counters.solves, 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn destroy_then_recreate_is_a_fresh_session() {
+        let mut shard = ShardState::new(ServeConfig::default());
+        shard.handle(create(1, "t"));
+        shard.handle(Request::SetEdgeCost {
+            id: 2,
+            session: "t".into(),
+            edge: 0,
+            cost: 9.0,
+        });
+        assert!(matches!(
+            shard.handle(Request::DestroySession {
+                id: 3,
+                session: "t".into()
+            }),
+            Response::Ok { .. }
+        ));
+        assert!(matches!(
+            shard.handle(Request::Solve {
+                id: 4,
+                session: "t".into(),
+                kind: HeuristicKind::Scatter
+            }),
+            Response::Error { .. }
+        ));
+        shard.handle(create(5, "t"));
+        let Response::Solved { period, .. } = shard.handle(Request::Solve {
+            id: 6,
+            session: "t".into(),
+            kind: HeuristicKind::Scatter,
+        }) else {
+            panic!("expected solve");
+        };
+        let mut direct = Session::new(spec().build().unwrap());
+        let expected = direct.solve(HeuristicKind::Scatter).unwrap();
+        assert!((period - expected.result.period).abs() <= 1e-9);
+    }
+}

@@ -1,0 +1,399 @@
+//! Differential proptest for the served protocol: a random interleaved
+//! request trace over several tenants must produce the same outcomes
+//! through the sharded, batching server as through per-session direct
+//! [`Session`] calls — independent of the shard count and of the batching
+//! tick. Checked per request:
+//!
+//! * status parity — ok vs error, with matching machine codes (random
+//!   churn may legitimately disconnect a tenant's platform, invalid drift
+//!   must be rejected identically, `re_realize` before any solve must fail
+//!   identically on both paths),
+//! * solve periods within `1e-9` (the coalesced flush reconstructs exactly
+//!   the per-event platform state at every barrier),
+//! * realizations: zero one-port violations on both paths, throughput and
+//!   gap within `1e-6`, transition-cost presence and numerics in
+//!   agreement, and the drained transition stream equal entry for entry,
+//! * schedule queries: same availability, same period/throughput/tree
+//!   count.
+
+use pm_core::report::HeuristicKind;
+use pm_core::session::{Session, TransitionCost};
+use pm_platform::graph::{EdgeId, NodeId, PlatformBuilder};
+use pm_platform::instances::MulticastInstance;
+use pm_serve::{error_code, InstanceSpec, Request, Response, ServeConfig, Server, TransitionDesc};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const TOL: f64 = 1e-9;
+const SIM_TOL: f64 = 1e-6;
+
+/// Server shapes the same trace is replayed through: single-shard
+/// single-event ticks (no batching at all), a small pool with a mid tick,
+/// and a tick so large only barriers ever flush.
+const CONFIGS: &[(usize, usize)] = &[(1, 1), (3, 4), (2, 64)];
+
+fn random_instance(rng: &mut StdRng) -> MulticastInstance {
+    let n = rng.gen_range(4usize..8);
+    let mut b = PlatformBuilder::new();
+    let nodes = b.add_nodes(n);
+    for i in 1..n {
+        let parent = nodes[rng.gen_range(0..i)];
+        b.add_edge(parent, nodes[i], rng.gen_range(0.2..2.0))
+            .unwrap();
+    }
+    for _ in 0..rng.gen_range(n..3 * n) {
+        let a = nodes[rng.gen_range(0..n)];
+        let c = nodes[rng.gen_range(0..n)];
+        if a != c {
+            let _ = b.add_edge(a, c, rng.gen_range(0.2..2.0));
+        }
+    }
+    let platform = b.build().unwrap();
+    let source = nodes[0];
+    let mut targets: Vec<NodeId> = nodes[1..]
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_range(0u32..100) < 40)
+        .collect();
+    if targets.is_empty() {
+        targets.push(nodes[rng.gen_range(1..n)]);
+    }
+    MulticastInstance::new(platform, source, targets).unwrap()
+}
+
+const SOLVE_KINDS: &[HeuristicKind] = &[
+    HeuristicKind::Scatter,
+    HeuristicKind::LowerBound,
+    HeuristicKind::Broadcast,
+];
+
+/// Builds a random interleaved trace over `tenants` sessions. The first
+/// two tenants share one instance shape (exercising the template arena);
+/// drift includes deliberately invalid events to check error parity.
+fn random_trace(seed: u64, tenants: usize, steps: usize) -> (Vec<InstanceSpec>, Vec<Request>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shared = InstanceSpec::from_instance(&random_instance(&mut rng));
+    let mut specs = vec![shared.clone(), shared];
+    while specs.len() < tenants {
+        specs.push(InstanceSpec::from_instance(&random_instance(&mut rng)));
+    }
+    let mut requests = Vec::with_capacity(tenants + steps);
+    for (i, spec) in specs.iter().enumerate() {
+        requests.push(Request::CreateSession {
+            id: requests.len() as u64 + 1,
+            session: format!("t{i}"),
+            spec: spec.clone(),
+            kinds: vec![HeuristicKind::Scatter],
+        });
+    }
+    for _ in 0..steps {
+        let tenant = rng.gen_range(0..tenants);
+        let session = format!("t{tenant}");
+        let spec = &specs[tenant];
+        let id = requests.len() as u64 + 1;
+        let request = match rng.gen_range(0u32..100) {
+            // Edge-cost drift (sometimes on an out-of-range edge).
+            0..=34 => Request::SetEdgeCost {
+                id,
+                session,
+                edge: rng.gen_range(0..spec.edges.len() as u32 + 1),
+                cost: rng.gen_range(0.05f64..20.0),
+            },
+            // Node churn — the generator does not avoid the source or the
+            // targets, so a fair share of these must error identically.
+            35..=49 => {
+                let node = rng.gen_range(0..spec.nodes as u32 + 1);
+                if rng.gen_bool(0.5) {
+                    Request::DisableNode { id, session, node }
+                } else {
+                    Request::EnableNode { id, session, node }
+                }
+            }
+            50..=74 => Request::Solve {
+                id,
+                session,
+                kind: SOLVE_KINDS[rng.gen_range(0..SOLVE_KINDS.len())],
+            },
+            75..=86 => Request::ReRealize {
+                id,
+                session,
+                kind: HeuristicKind::Scatter,
+            },
+            87..=94 => Request::QuerySchedule {
+                id,
+                session,
+                kind: HeuristicKind::Scatter,
+            },
+            _ => Request::StreamTransitionCosts { id, session },
+        };
+        requests.push(request);
+    }
+    (specs, requests)
+}
+
+/// The oracle: plain per-session [`Session`]s, every event applied
+/// immediately (no batching, no sharding, no shared caches).
+struct Direct {
+    sessions: std::collections::HashMap<String, Session>,
+    transitions: std::collections::HashMap<String, Vec<(HeuristicKind, TransitionCost)>>,
+}
+
+/// What the oracle says one request must produce.
+enum Expected {
+    Ack,
+    Error(&'static str),
+    Solved {
+        period: f64,
+    },
+    Realized {
+        violations: u64,
+        gap: f64,
+        throughput: f64,
+        transition: Option<TransitionDesc>,
+    },
+    Schedule {
+        period: f64,
+        throughput: f64,
+        trees: usize,
+    },
+    Transitions(Vec<(HeuristicKind, TransitionDesc)>),
+}
+
+impl Direct {
+    fn new() -> Direct {
+        Direct {
+            sessions: Default::default(),
+            transitions: Default::default(),
+        }
+    }
+
+    fn apply(&mut self, request: &Request) -> Expected {
+        match request {
+            Request::CreateSession { session, spec, .. } => {
+                let instance = spec.build().expect("generated specs are valid");
+                self.sessions
+                    .insert(session.clone(), Session::new(instance));
+                self.transitions.insert(session.clone(), Vec::new());
+                Expected::Ack
+            }
+            Request::SetEdgeCost {
+                session,
+                edge,
+                cost,
+                ..
+            } => {
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.set_edge_cost(EdgeId(*edge), *cost) {
+                    Ok(()) => Expected::Ack,
+                    Err(e) => Expected::Error(error_code(&e)),
+                }
+            }
+            Request::DisableNode { session, node, .. } => {
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.disable_node(NodeId(*node)) {
+                    Ok(_) => Expected::Ack,
+                    Err(e) => Expected::Error(error_code(&e)),
+                }
+            }
+            Request::EnableNode { session, node, .. } => {
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.enable_node(NodeId(*node)) {
+                    Ok(_) => Expected::Ack,
+                    Err(e) => Expected::Error(error_code(&e)),
+                }
+            }
+            Request::Solve { session, kind, .. } => {
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.solve(*kind) {
+                    Ok(solve) => Expected::Solved {
+                        period: solve.result.period,
+                    },
+                    Err(e) => Expected::Error(error_code(&e)),
+                }
+            }
+            Request::ReRealize { session, kind, .. } => {
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.re_realize(*kind) {
+                    Ok(re) => {
+                        if let Some(t) = re.transition {
+                            self.transitions.get_mut(session).unwrap().push((*kind, t));
+                        }
+                        Expected::Realized {
+                            violations: re.realization.simulated.one_port_violations as u64,
+                            gap: re.realization.realization_gap,
+                            throughput: re.realization.simulated.throughput,
+                            transition: re.transition.as_ref().map(TransitionDesc::from_cost),
+                        }
+                    }
+                    Err(e) => Expected::Error(error_code(&e)),
+                }
+            }
+            Request::QuerySchedule { session, kind, .. } => {
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.realization_for(*kind) {
+                    Some(r) => Expected::Schedule {
+                        period: r.achieved_period,
+                        throughput: r.packed_throughput,
+                        trees: r.tree_set.len(),
+                    },
+                    None => Expected::Error("no_schedule"),
+                }
+            }
+            Request::StreamTransitionCosts { session, .. } => {
+                let drained = std::mem::take(self.transitions.get_mut(session).unwrap());
+                Expected::Transitions(
+                    drained
+                        .into_iter()
+                        .map(|(k, t)| (k, TransitionDesc::from_cost(&t)))
+                        .collect(),
+                )
+            }
+            other => panic!("oracle does not model {other:?}"),
+        }
+    }
+}
+
+fn close(a: f64, b: f64, tol: f64) -> bool {
+    (a.is_infinite() && b.is_infinite() && a.signum() == b.signum()) || (a - b).abs() <= tol
+}
+
+fn transition_close(a: &TransitionDesc, b: &TransitionDesc) -> bool {
+    close(a.drain_time, b.drain_time, SIM_TOL)
+        && close(a.first_delivery_latency, b.first_delivery_latency, SIM_TOL)
+        && close(a.switch_time, b.switch_time, SIM_TOL)
+        && close(a.multicasts_lost, b.multicasts_lost, SIM_TOL)
+        && close(a.throughput_delta, b.throughput_delta, SIM_TOL)
+        && a.trees_kept == b.trees_kept
+        && a.trees_added == b.trees_added
+        && a.trees_dropped == b.trees_dropped
+}
+
+fn check(
+    label: &str,
+    request: &Request,
+    expected: &Expected,
+    got: &Response,
+) -> Result<(), TestCaseError> {
+    let fail = |detail: String| {
+        Err(TestCaseError {
+            message: format!("{label}: {detail}\n  request: {request:?}\n  response: {got:?}"),
+        })
+    };
+    match (expected, got) {
+        (Expected::Ack, Response::Ok { .. }) => Ok(()),
+        (Expected::Error(code), Response::Error { code: got_code, .. }) => {
+            if code == got_code {
+                Ok(())
+            } else {
+                fail(format!(
+                    "error code mismatch: direct '{code}', served '{got_code}'"
+                ))
+            }
+        }
+        (Expected::Solved { period }, Response::Solved { period: got_p, .. }) => {
+            if close(*period, *got_p, TOL) {
+                Ok(())
+            } else {
+                fail(format!("period mismatch: direct {period}, served {got_p}"))
+            }
+        }
+        (
+            Expected::Realized {
+                violations,
+                gap,
+                throughput,
+                transition,
+            },
+            Response::Realized {
+                violations: got_v,
+                gap: got_g,
+                throughput: got_t,
+                transition: got_tr,
+                ..
+            },
+        ) => {
+            prop_assert_eq!(*violations, 0);
+            prop_assert_eq!(*got_v, 0);
+            if !close(*gap, *got_g, SIM_TOL) || !close(*throughput, *got_t, SIM_TOL) {
+                return fail(format!(
+                    "realization mismatch: direct gap {gap} tp {throughput}, served gap {got_g} tp {got_t}"
+                ));
+            }
+            match (transition, got_tr) {
+                (None, None) => Ok(()),
+                (Some(a), Some(b)) if transition_close(a, b) => Ok(()),
+                _ => fail("transition-cost mismatch".to_string()),
+            }
+        }
+        (
+            Expected::Schedule {
+                period,
+                throughput,
+                trees,
+            },
+            Response::Schedule {
+                period: got_p,
+                throughput: got_t,
+                trees: got_trees,
+                ..
+            },
+        ) => {
+            if close(*period, *got_p, SIM_TOL)
+                && close(*throughput, *got_t, SIM_TOL)
+                && *trees == got_trees.len()
+            {
+                Ok(())
+            } else {
+                fail(format!(
+                    "schedule mismatch: direct ({period}, {throughput}, {trees} trees), served ({got_p}, {got_t}, {} trees)",
+                    got_trees.len()
+                ))
+            }
+        }
+        (Expected::Transitions(entries), Response::Transitions { entries: got_e, .. }) => {
+            prop_assert_eq!(entries.len(), got_e.len());
+            for ((ka, ta), (kb, tb)) in entries.iter().zip(got_e) {
+                if ka != kb || !transition_close(ta, tb) {
+                    return fail("transition stream entry mismatch".to_string());
+                }
+            }
+            Ok(())
+        }
+        _ => fail("response shape does not match the direct outcome".to_string()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tentpole invariant: served ≡ direct, for every shard count and
+    /// batching tick.
+    #[test]
+    fn served_traces_match_direct_sessions(seed in 0u64..1_000_000_000_000) {
+        let (_, requests) = random_trace(seed, 3, 28);
+        // Oracle pass.
+        let mut direct = Direct::new();
+        let expected: Vec<Expected> = requests.iter().map(|r| direct.apply(r)).collect();
+        // One server pass per (shards, tick) shape.
+        for &(shards, tick) in CONFIGS {
+            let server = Server::start(ServeConfig {
+                shards,
+                tick,
+                ..ServeConfig::default()
+            });
+            let label = format!("shards={shards} tick={tick}");
+            for (request, want) in requests.iter().zip(&expected) {
+                // Requests travel as protocol lines, as over stdio.
+                let line = server.call_line(&request.to_line());
+                let response = Response::from_line(&line).map_err(|e| TestCaseError {
+                    message: format!("{label}: malformed response '{line}': {e}"),
+                })?;
+                prop_assert_eq!(response.id(), request.id());
+                check(&label, request, want, &response)?;
+            }
+            server.shutdown();
+        }
+    }
+}
