@@ -9,6 +9,7 @@
 //!         [--full] [--smoke] [--realize] [--solver dense|revised]
 //!         [--json PATH] [--csv PATH] [--items-csv PATH] [--items-jsonl PATH]
 //!         [--drift] [--steps N] [--faults] [--chaos] [--chaos-seed N]
+//!         [--multi]
 //!
 //! With no class argument both classes are swept (the full Figure 11).
 //! Machine-readable results are always written — to `fig11_sweep.json` /
@@ -45,11 +46,20 @@
 //! the recovery-rung counters and degraded-solve rates, is byte-compared
 //! against `BENCH_fig11_chaos_baseline.json` in CI, and the run exits
 //! nonzero if any solve exhausts the whole recovery ladder.
+//!
+//! `--multi` switches to the multi-commodity super-period sweep: each cell
+//! of the commodity-count × rate-skew grid solves `k` concurrent demands
+//! jointly and realizes them as one shared super-period schedule, then
+//! applies one drift event and re-solves warm; the schema-v8 JSON artifact
+//! records per-commodity rate certificates, is byte-compared against
+//! `BENCH_fig11_multi_baseline.json` in CI, and the run exits nonzero if
+//! any commodity misses its LP rate or any one-port violation occurs.
 
 use pm_bench::{
     batch_to_csv, batch_to_json, chaos_to_json, drift_to_json, faults_to_json, format_period_table,
-    format_ratio_table, run_batch_streamed, run_chaos, run_drift, run_faults, BatchConfig,
-    ChaosBenchConfig, DriftConfig, FaultsConfig, ItemRowFormat, ItemSink,
+    format_ratio_table, multi_to_json, run_batch_streamed, run_chaos, run_drift, run_faults,
+    run_multi, BatchConfig, ChaosBenchConfig, DriftConfig, FaultsConfig, ItemRowFormat, ItemSink,
+    MultiBenchConfig,
 };
 use pm_core::report::HeuristicKind;
 use pm_platform::topology::PlatformClass;
@@ -75,6 +85,7 @@ fn main() {
     let mut drift = false;
     let mut faults = false;
     let mut chaos = false;
+    let mut multi = false;
     let mut chaos_seed: Option<u64> = None;
     let mut smoke = false;
     let mut steps: Option<usize> = None;
@@ -135,6 +146,8 @@ fn main() {
             "--faults" => faults = true,
             // Solver-chaos sweep: recovery ladder + degradable budgets.
             "--chaos" => chaos = true,
+            // Multi-commodity super-period sweep (k × skew grid).
+            "--multi" => multi = true,
             // Seed of the chaos injection plans (chaos mode only).
             "--chaos-seed" => {
                 i += 1;
@@ -229,9 +242,115 @@ fn main() {
     if let Some(classes) = &classes {
         config.classes = classes.clone();
     }
-    if [drift, faults, chaos].iter().filter(|&&m| m).count() > 1 {
-        eprintln!("--drift, --faults and --chaos are distinct modes; pick one");
+    if [drift, faults, chaos, multi].iter().filter(|&&m| m).count() > 1 {
+        eprintln!("--drift, --faults, --chaos and --multi are distinct modes; pick one");
         std::process::exit(2);
+    }
+
+    if multi {
+        let mut multi_config = if smoke {
+            MultiBenchConfig::smoke()
+        } else {
+            MultiBenchConfig::quick()
+        };
+        if let Some(classes) = classes {
+            multi_config.classes = classes;
+        }
+        multi_config.seeds = config.seeds.clone();
+        multi_config.platforms = config.platforms;
+        multi_config.paper_scale = config.paper_scale;
+        if density_explicit {
+            multi_config.density = config.densities[0];
+            if config.densities.len() > 1 {
+                eprintln!(
+                    "fig11: note: --multi samples one target set per commodity; using density {} \
+                     and ignoring the rest of the grid",
+                    multi_config.density
+                );
+            }
+        }
+        // Sweep-only flags have no multi counterpart: refuse them loudly
+        // instead of exiting "successfully" without the requested files.
+        for (flag, given) in [
+            ("--csv", csv_path != Some("fig11_sweep.csv".to_string())),
+            ("--items-csv", items_csv_path.is_some()),
+            ("--items-jsonl", items_jsonl_path.is_some()),
+            ("--realize", config.realize),
+            ("--steps", steps.is_some()),
+            ("--kinds", kinds_explicit),
+        ] {
+            if given {
+                eprintln!(
+                    "{flag} applies to the Figure 11 sweep only; --multi writes a single JSON \
+                     artifact (use --json)"
+                );
+                std::process::exit(2);
+            }
+        }
+        multi_config.progress = true;
+        eprintln!(
+            "running multi-commodity batch: classes={:?}, seeds={:?}, platforms={}, ks={:?}, \
+             skews={:?} ({} worker threads)",
+            multi_config.classes,
+            multi_config.seeds,
+            multi_config.platforms,
+            multi_config.ks,
+            multi_config.skews,
+            rayon::current_num_threads()
+        );
+        let result = run_multi(&multi_config);
+        eprintln!(
+            "fig11: multi {} cells, {} LP solves ({} warm hits, {:.0}% warm), {} ms total",
+            result.meta.cells,
+            result.meta.lp_solves,
+            result.meta.warm_hits,
+            100.0 * result.meta.warm_hit_rate(),
+            result.meta.solve_ms,
+        );
+        let mut rates_missed = 0usize;
+        let mut violations = 0u64;
+        for cell in &result.cells {
+            rates_missed += cell.commodities.iter().filter(|c| !c.rate_met).count();
+            if !cell.drift.all_rates_met {
+                rates_missed += 1;
+            }
+            violations += cell.one_port_violations + cell.drift.one_port_violations;
+            eprintln!(
+                "fig11:   class={:?} seed={} platform={} k={} skew={:<11} T*={:.4} \
+                 super-period {:.4}, {} trees, rates [{}]{}",
+                cell.class,
+                cell.seed,
+                cell.platform,
+                cell.k,
+                pm_bench::multi::skew_key(cell.skew),
+                cell.lp_period,
+                cell.super_period,
+                cell.trees,
+                cell.commodities
+                    .iter()
+                    .map(|c| format!("{:.4}", c.simulated_rate))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                match cell.matches_single {
+                    Some(true) => ", k=1 ≡ single pipeline",
+                    Some(false) => ", k=1 DIVERGED from single pipeline",
+                    None => "",
+                },
+            );
+        }
+        let path = json_path.unwrap_or_else(|| "fig11_multi.json".to_string());
+        std::fs::write(&path, multi_to_json(&result))
+            .unwrap_or_else(|e| panic!("writing multi JSON to {path}: {e}"));
+        eprintln!("wrote multi JSON results to {path}");
+        let diverged = result.cells.iter().any(|c| c.matches_single == Some(false));
+        if rates_missed > 0 || violations > 0 || diverged {
+            eprintln!(
+                "fig11: FAIL: {rates_missed} commodity rates missed, {violations} one-port \
+                 violations, k=1 divergence: {diverged}"
+            );
+            std::process::exit(1);
+        }
+        return;
     }
 
     if chaos {

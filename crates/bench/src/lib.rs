@@ -12,6 +12,7 @@ pub mod chaos;
 pub mod drift;
 pub mod emit;
 pub mod faults;
+pub mod multi;
 pub mod sweep;
 pub mod table;
 
@@ -19,6 +20,9 @@ pub use chaos::{chaos_to_json, run_chaos, ChaosBenchConfig, ChaosResult, CHAOS_J
 pub use drift::{drift_to_json, run_drift, DriftConfig, DriftResult};
 pub use emit::{batch_to_csv, batch_to_json, sweep_to_csv, sweep_to_json, ItemRowFormat, ItemSink};
 pub use faults::{faults_to_json, run_faults, FaultsConfig, FaultsResult};
+pub use multi::{
+    multi_to_json, run_multi, MultiBenchConfig, MultiBenchResult, RateSkew, MULTI_JSON_SCHEMA,
+};
 pub use sweep::{
     run_batch, run_batch_streamed, run_sweep, BatchConfig, BatchMeta, BatchResult, SweepConfig,
     SweepPoint, SweepResult,

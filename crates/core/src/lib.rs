@@ -17,6 +17,10 @@
 //! * [`exact`] — the exact tree-packing optimum by exhaustive enumeration
 //!   (small platforms; used to validate the heuristics and the Figure 1
 //!   worked example),
+//! * [`multi`] — multi-commodity super-periods: k concurrent demands
+//!   (multicast, scatter and broadcast mixes) jointly scheduled through one
+//!   LP with shared one-port occupation rows, realized as a single
+//!   super-period schedule in which every commodity sustains its own rate,
 //! * [`realize`] — the constructive half: decompose LP steady-state flows
 //!   into weighted multicast trees, re-pack them, color them into a periodic
 //!   schedule and certify the claimed period in the one-port simulator,
@@ -44,6 +48,7 @@ pub mod exact;
 pub mod formulations;
 pub mod heuristics;
 pub mod masked;
+pub mod multi;
 pub mod realize;
 pub mod report;
 pub mod robust;
@@ -58,12 +63,16 @@ pub use heuristics::{
     Mcph, ReducedBroadcast, RunOptions, ScatterBaseline, ThroughputHeuristic,
 };
 pub use masked::{MaskedFlow, MaskedFlowLp, MaskedMultiSource, MaskedMultiSourceUb};
+pub use multi::{
+    pack_tree_groups, realize_multi, realize_multi_with_pool, Commodity, CommoditySet, MultiFlow,
+    MultiFlowLp, MultiRealization, MultiTemplate,
+};
 pub use realize::{Realization, RealizeError, SteadyStateSolution};
 pub use report::{HeuristicKind, KindLpStats, MulticastReport};
 pub use robust::{
     realize_robust, realize_robust_masked, RobustOptions, RobustRealization, TargetRedundancy,
 };
 pub use session::{
-    ReRealization, RobustReRealization, Session, SessionError, SessionEvent, SessionOpStats,
-    SessionSnapshot, SessionSolve, SessionStats, TransitionCost,
+    MultiReRealization, ReRealization, RobustReRealization, Session, SessionError, SessionEvent,
+    SessionMultiSolve, SessionOpStats, SessionSnapshot, SessionSolve, SessionStats, TransitionCost,
 };

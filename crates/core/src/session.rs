@@ -69,6 +69,10 @@ use crate::heuristics::{
     ReducedBroadcast, RunOptions, ThroughputHeuristic,
 };
 use crate::masked::{MaskedFlowLp, MaskedMultiSourceUb, MaskedStats};
+use crate::multi::{
+    realize_multi_with_pool, same_commodities, Commodity, CommoditySet, MultiFlow,
+    MultiRealization, MultiTemplate,
+};
 use crate::realize::{realize_with_pool, Realization, RealizeError, SteadyStateSolution};
 use crate::report::HeuristicKind;
 use crate::robust::{realize_robust_masked, RobustOptions, RobustRealization};
@@ -89,7 +93,8 @@ const SLOT_EB: usize = 0;
 const SLOT_LB: usize = 1;
 const SLOT_UB: usize = 2;
 const SLOT_MS: usize = 3;
-const SLOTS: usize = 4;
+const SLOT_MULTI: usize = 4;
+const SLOTS: usize = 5;
 
 /// Structured failure of a [`Session`] operation.
 ///
@@ -231,6 +236,13 @@ pub enum SessionEvent {
         /// The robustness knobs of the realization.
         options: RobustOptions,
     },
+    /// A completed [`Session::solve_multi`].
+    SolveMulti {
+        /// The multi-commodity workload that was jointly solved.
+        commodities: Vec<Commodity>,
+    },
+    /// A completed [`Session::re_realize_multi`].
+    ReRealizeMulti,
 }
 
 /// A durable snapshot of a [`Session`]: the pristine base instance plus the
@@ -534,6 +546,34 @@ pub struct RobustReRealization {
     pub stats: SessionOpStats,
 }
 
+/// One completed [`Session::solve_multi`]: the joint multi-commodity flow
+/// plus the operation's structured accounting.
+#[derive(Debug, Clone)]
+pub struct SessionMultiSolve {
+    /// The joint solution: super-unit period, per-commodity rates and
+    /// per-commodity unit flows.
+    pub flow: MultiFlow,
+    /// The operation's accounting.
+    pub stats: SessionOpStats,
+}
+
+/// One completed [`Session::re_realize_multi`]: the fresh super-period
+/// realization plus the switchover cost against the previous one (absent on
+/// the session's first multi realization).
+#[derive(Debug, Clone)]
+pub struct MultiReRealization {
+    /// The new simulator-verified super-period realization.
+    pub realization: MultiRealization,
+    /// The switchover cost against the previous multi realization: the
+    /// super-period swaps atomically, so the slowest commodity's drain and
+    /// fill gate the window, and every commodity forfeits its own rate
+    /// across it.
+    pub transition: Option<TransitionCost>,
+    /// The operation's accounting (the shared packing LPs of the
+    /// super-period pipeline).
+    pub stats: SessionOpStats,
+}
+
 /// A long-lived solver session over one (drifting) platform. See the
 /// [module docs](crate::session) for the design.
 #[derive(Debug)]
@@ -550,6 +590,13 @@ pub struct Session {
     solutions: Vec<(HeuristicKind, HeuristicResult)>,
     realizations: Vec<(HeuristicKind, Realization)>,
     robust_realizations: Vec<(HeuristicKind, RobustRealization)>,
+    /// The joint multi-commodity template, keyed by the commodity list it
+    /// was built for (a solve with a different list rebuilds it).
+    multi_template: Option<(Vec<Commodity>, MultiTemplate)>,
+    /// The last completed multi-commodity solve, with its workload.
+    multi_solution: Option<(Vec<Commodity>, MultiFlow)>,
+    /// The last completed multi-commodity realization.
+    multi_realization: Option<MultiRealization>,
     sim_config: SimulationConfig,
     stats: SessionStats,
     /// The instance exactly as constructed: the base every journal replay
@@ -580,6 +627,9 @@ impl Session {
             solutions: Vec::new(),
             realizations: Vec::new(),
             robust_realizations: Vec::new(),
+            multi_template: None,
+            multi_solution: None,
+            multi_realization: None,
             sim_config: SimulationConfig::default(),
             stats: SessionStats::default(),
             pristine,
@@ -656,6 +706,9 @@ impl Session {
             template.set_budget(budget);
         }
         if let Some(template) = self.ms_template.as_mut() {
+            template.set_budget(budget);
+        }
+        if let Some((_, template)) = self.multi_template.as_mut() {
             template.set_budget(budget);
         }
         self.journal.push(SessionEvent::SetBudget { budget });
@@ -1142,6 +1195,256 @@ impl Session {
         })
     }
 
+    /// The last multi-commodity solve, if any: the workload it was solved
+    /// for and the joint flow.
+    pub fn multi_solution(&self) -> Option<(&[Commodity], &MultiFlow)> {
+        self.multi_solution.as_ref().map(|(c, f)| (c.as_slice(), f))
+    }
+
+    /// The last multi-commodity realization, if any.
+    pub fn multi_realization(&self) -> Option<&MultiRealization> {
+        self.multi_realization.as_ref()
+    }
+
+    /// Jointly solves a multi-commodity workload on the current platform
+    /// state. The joint template is built on first use and kept as long as
+    /// the workload stays bit-identical — subsequent solves (after edge
+    /// drift or node churn) warm-start from the previous joint basis, like
+    /// every other template slot. A solve with a *different* workload
+    /// rebuilds the template (and drops the stale basis).
+    ///
+    /// A one-commodity workload delegates to the single-commodity
+    /// `Multicast-LB` template, so `k = 1` results are bit-identical to the
+    /// existing pipeline.
+    pub fn solve_multi(
+        &mut self,
+        commodities: &[Commodity],
+    ) -> Result<SessionMultiSolve, SessionError> {
+        let commodities = commodities.to_vec();
+        self.with_healing("solve_multi", move |session| {
+            session.solve_multi_inner(&commodities)
+        })
+    }
+
+    fn solve_multi_inner(
+        &mut self,
+        commodities: &[Commodity],
+    ) -> Result<SessionMultiSolve, SessionError> {
+        self.maybe_injected_panic();
+        let start = Instant::now();
+        // Normalize the workload up front: the template key, the journal
+        // entry and the stored solution all use the normalized form, so a
+        // re-solve with an equivalent workload (unsorted targets) reuses
+        // the template and its warm basis instead of rebuilding.
+        let commodities = CommoditySet::new(self.instance.platform.clone(), commodities.to_vec())
+            .map_err(SessionError::from)?
+            .commodities()
+            .to_vec();
+        let commodities = commodities.as_slice();
+        self.ensure_multi(commodities)?;
+        let hint = self.bases[SLOT_MULTI].clone();
+        let (stored, template) = self.multi_template.as_ref().expect("just built");
+        let out = template.solve(&self.mask, hint.as_ref())?;
+        let mut op = SessionOpStats::default();
+        op.note(&out.stats);
+        op.wall_s = start.elapsed().as_secs_f64();
+        self.bases[SLOT_MULTI] = Some(out.basis.clone());
+        let stored = stored.clone();
+        self.multi_solution = Some((stored, out.clone()));
+        self.stats.solves += 1;
+        self.stats.absorb(&op);
+        if pm_lp::stats_enabled() {
+            eprintln!(
+                "pm-core: session solve_multi k={} period={} lp_solves={} warm={}h/{}m \
+                 elapsed={:.3}s",
+                commodities.len(),
+                out.period,
+                op.lp_solves,
+                op.warm_hits,
+                op.warm_misses,
+                op.wall_s,
+            );
+        }
+        self.journal.push(SessionEvent::SolveMulti {
+            commodities: commodities.to_vec(),
+        });
+        Ok(SessionMultiSolve {
+            flow: out,
+            stats: op,
+        })
+    }
+
+    /// Re-realizes the last multi-commodity solve as a simulator-verified
+    /// super-period schedule on the *current* (post-drift) platform,
+    /// seeding every commodity's tree pool with its still-executable trees
+    /// from the previous multi realization, and measures the switchover
+    /// (see [`MultiReRealization`]).
+    ///
+    /// Fails with [`RealizeError::NotRealizable`] when no
+    /// [`Session::solve_multi`] has completed in this session.
+    pub fn re_realize_multi(&mut self) -> Result<MultiReRealization, SessionError> {
+        self.with_healing("re_realize_multi", move |session| {
+            session.re_realize_multi_inner()
+        })
+    }
+
+    fn re_realize_multi_inner(&mut self) -> Result<MultiReRealization, SessionError> {
+        let start = Instant::now();
+        let (commodities, flow) = self.multi_solution.clone().ok_or_else(|| {
+            RealizeError::NotRealizable(
+                "no multi-commodity solve has completed in this session".to_string(),
+            )
+        })?;
+        // Re-validate the workload against the current platform costs (the
+        // realization replays trees on the drifted platform).
+        let set = CommoditySet::new(self.instance.platform.clone(), commodities)
+            .map_err(SessionError::from)?;
+        let seeds: Vec<Vec<MulticastTree>> = self
+            .multi_realization
+            .as_ref()
+            .filter(|old| old.tree_sets.len() == set.len())
+            .map(|old| {
+                old.tree_sets
+                    .iter()
+                    .map(|trees| {
+                        trees
+                            .trees()
+                            .iter()
+                            .filter(|t| self.tree_active(t))
+                            .cloned()
+                            .collect()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        let (hits0, misses0) = (self.cache.hits, self.cache.misses);
+        let mut cache = std::mem::take(&mut self.cache);
+        let sim_config = self.sim_config.clone();
+        let outcome = cache.scope(|| realize_multi_with_pool(&set, &flow, &seeds, sim_config));
+        self.cache = cache;
+        let realization = outcome?;
+        let mut op = SessionOpStats {
+            warm_hits: self.cache.hits - hits0,
+            warm_misses: self.cache.misses - misses0,
+            ..SessionOpStats::default()
+        };
+        op.lp_solves = op.warm_hits + op.warm_misses;
+        op.wall_s = start.elapsed().as_secs_f64();
+        let transition = self
+            .multi_realization
+            .as_ref()
+            .filter(|old| old.tree_sets.len() == set.len())
+            .map(|old| self.multi_transition_cost(&set, old, &realization));
+        self.multi_realization = Some(realization.clone());
+        self.stats.realizations += 1;
+        self.stats.absorb(&op);
+        if pm_lp::stats_enabled() {
+            eprintln!(
+                "pm-core: session realize_multi k={} super_period={} gap={:.3e} \
+                 packing_lps={} elapsed={:.3}s",
+                set.len(),
+                realization.super_period,
+                realization.realization_gap,
+                op.lp_solves,
+                op.wall_s,
+            );
+        }
+        self.journal.push(SessionEvent::ReRealizeMulti);
+        Ok(MultiReRealization {
+            realization,
+            transition,
+            stats: op,
+        })
+    }
+
+    /// Switchover cost between two multi realizations. The super-period
+    /// swaps atomically: the slowest commodity's drain and the slowest
+    /// commodity's first delivery gate the window, and every commodity
+    /// forfeits its own rate across it.
+    fn multi_transition_cost(
+        &self,
+        set: &CommoditySet,
+        old: &MultiRealization,
+        new: &MultiRealization,
+    ) -> TransitionCost {
+        let platform = &self.instance.platform;
+        let mut drain_time: f64 = 0.0;
+        let mut first_delivery_latency: f64 = 0.0;
+        let mut trees_kept = 0;
+        let mut old_total = 0;
+        let mut new_total = 0;
+        for c in 0..set.len() {
+            let targets = &set.commodities()[c].targets;
+            let drain_c = old.tree_sets[c]
+                .trees()
+                .iter()
+                .filter(|t| self.tree_active(t))
+                .map(|t| Simulator::tree_fill_makespan(platform, t, targets))
+                .fold(0.0, f64::max);
+            let fill_c = new.tree_sets[c]
+                .trees()
+                .iter()
+                .map(|t| Simulator::tree_fill_makespan(platform, t, targets))
+                .fold(f64::INFINITY, f64::min);
+            drain_time = drain_time.max(drain_c);
+            if fill_c.is_finite() {
+                first_delivery_latency = first_delivery_latency.max(fill_c);
+            }
+            let edge_key = |t: &MulticastTree| {
+                let mut edges: Vec<u32> = t.edges().iter().map(|e| e.0).collect();
+                edges.sort_unstable();
+                edges
+            };
+            let old_keys: BTreeSet<Vec<u32>> =
+                old.tree_sets[c].trees().iter().map(edge_key).collect();
+            let new_keys: BTreeSet<Vec<u32>> =
+                new.tree_sets[c].trees().iter().map(edge_key).collect();
+            trees_kept += new_keys.intersection(&old_keys).count();
+            old_total += old_keys.len();
+            new_total += new_keys.len();
+        }
+        let switch_time = drain_time + first_delivery_latency;
+        let new_rate: f64 = new.simulated_rates.iter().sum();
+        let old_rate: f64 = old.simulated_rates.iter().sum();
+        TransitionCost {
+            drain_time,
+            first_delivery_latency,
+            switch_time,
+            multicasts_lost: switch_time * new_rate,
+            throughput_delta: new_rate - old_rate,
+            trees_kept,
+            trees_added: new_total - trees_kept,
+            trees_dropped: old_total - trees_kept,
+        }
+    }
+
+    /// Builds (or re-syncs) the joint multi-commodity template for
+    /// `commodities`: an existing template built for a bit-identical
+    /// workload only drains its pending edge-cost edits; anything else is a
+    /// rebuild on the current platform (dropping the stale basis).
+    fn ensure_multi(&mut self, commodities: &[Commodity]) -> Result<(), SessionError> {
+        if let Some((stored, _)) = &self.multi_template {
+            if same_commodities(stored, commodities) {
+                let dirty = std::mem::take(&mut self.dirty[SLOT_MULTI]);
+                let (_, template) = self.multi_template.as_mut().expect("checked above");
+                for e in dirty {
+                    let edge = EdgeId(e);
+                    template.set_edge_cost(edge, self.instance.platform.cost(edge));
+                }
+                return Ok(());
+            }
+        }
+        let set = CommoditySet::new(self.instance.platform.clone(), commodities.to_vec())
+            .map_err(SessionError::from)?;
+        let mut template = MultiTemplate::new(&set);
+        template.set_budget(self.budget);
+        let normalized = set.commodities().to_vec();
+        self.multi_template = Some((normalized, template));
+        self.dirty[SLOT_MULTI].clear();
+        self.bases[SLOT_MULTI] = None;
+        Ok(())
+    }
+
     /// The write-ahead journal: every completed state-changing operation of
     /// this session, in order. Failed or panicked operations leave no
     /// entry.
@@ -1186,9 +1489,11 @@ impl Session {
         let mut live = vec![false; old_len];
         let mut last_solve: [Option<usize>; HeuristicKind::ALL.len()] =
             [None; HeuristicKind::ALL.len()];
+        let mut last_solve_multi: Option<usize> = None;
         for (i, event) in self.journal.iter().enumerate() {
             match event {
                 SessionEvent::Solve { kind, .. } => last_solve[kind_index(*kind)] = Some(i),
+                SessionEvent::SolveMulti { .. } => last_solve_multi = Some(i),
                 SessionEvent::ReRealize { kind } | SessionEvent::ReRealizeRobust { kind, .. } => {
                     live[i] = true;
                     // The realization replays from the latest preceding
@@ -1197,11 +1502,20 @@ impl Session {
                         live[j] = true;
                     }
                 }
+                SessionEvent::ReRealizeMulti => {
+                    live[i] = true;
+                    if let Some(j) = last_solve_multi {
+                        live[j] = true;
+                    }
+                }
                 _ => {}
             }
         }
         for idx in last_solve.iter().flatten() {
             live[*idx] = true;
+        }
+        if let Some(idx) = last_solve_multi {
+            live[idx] = true;
         }
         let cut = live.iter().position(|&l| l).unwrap_or(old_len);
         if cut == 0 {
@@ -1234,7 +1548,9 @@ impl Session {
                 SessionEvent::Solve { .. }
                 | SessionEvent::SolveMultisource { .. }
                 | SessionEvent::ReRealize { .. }
-                | SessionEvent::ReRealizeRobust { .. } => {}
+                | SessionEvent::ReRealizeRobust { .. }
+                | SessionEvent::SolveMulti { .. }
+                | SessionEvent::ReRealizeMulti => {}
             }
         }
         let mut compacted = Vec::with_capacity(old_len - cut + 4);
@@ -1327,6 +1643,8 @@ impl Session {
             SessionEvent::ReRealizeRobust { kind, options } => {
                 self.re_realize_robust(*kind, options).map(|_| ())
             }
+            SessionEvent::SolveMulti { commodities } => self.solve_multi(commodities).map(|_| ()),
+            SessionEvent::ReRealizeMulti => self.re_realize_multi().map(|_| ()),
         }
     }
 
@@ -1403,7 +1721,9 @@ impl Session {
                 SessionEvent::Solve { .. }
                 | SessionEvent::SolveMultisource { .. }
                 | SessionEvent::ReRealize { .. }
-                | SessionEvent::ReRealizeRobust { .. } => Ok(()),
+                | SessionEvent::ReRealizeRobust { .. }
+                | SessionEvent::SolveMulti { .. }
+                | SessionEvent::ReRealizeMulti => Ok(()),
             };
             outcome.map_err(|e| SessionError::Replay {
                 index,
@@ -1419,6 +1739,7 @@ impl Session {
         self.cache = cache;
         self.flow_templates = [None, None, None];
         self.ms_template = None;
+        self.multi_template = None;
         self.dirty = std::array::from_fn(|_| BTreeSet::new());
         self.bases = std::array::from_fn(|_| None);
         self.stats.panics_healed += 1;
@@ -1508,10 +1829,10 @@ impl Session {
     }
 
     fn slot_built(&self, slot: usize) -> bool {
-        if slot == SLOT_MS {
-            self.ms_template.is_some()
-        } else {
-            self.flow_templates[slot].is_some()
+        match slot {
+            SLOT_MS => self.ms_template.is_some(),
+            SLOT_MULTI => self.multi_template.is_some(),
+            _ => self.flow_templates[slot].is_some(),
         }
     }
 
@@ -2122,6 +2443,103 @@ mod tests {
             );
             assert!((pa - pb).abs() <= 1e-9, "{kind:?}: {pa} vs {pb}");
         }
+    }
+
+    #[test]
+    fn session_multi_solves_realize_and_replay_bit_identically() {
+        let inst = figure1_instance();
+        let mut session = Session::new(inst.clone());
+        let commodities = vec![
+            Commodity {
+                source: inst.source,
+                targets: inst.targets.clone(),
+                demand: 1.0,
+            },
+            // A second multicast inside the fast P7 cluster: it competes
+            // with commodity 0 for P7..P10's ports (figure 1 is a DAG, so
+            // no reverse demand exists).
+            Commodity {
+                source: NodeId(7),
+                targets: vec![NodeId(8), NodeId(9), NodeId(10)],
+                demand: 2.0,
+            },
+        ];
+        let solved = session.solve_multi(&commodities).unwrap();
+        assert!(solved.flow.period.is_finite() && solved.flow.period > 0.0);
+        // Demands 1:2 must split the rates 1:2.
+        assert!((solved.flow.rates[1] / solved.flow.rates[0] - 2.0).abs() < 1e-6);
+        let realized = session.re_realize_multi().unwrap();
+        assert!(realized.transition.is_none());
+        assert_eq!(realized.realization.simulated.one_port_violations, 0);
+        for c in 0..2 {
+            let (sim, cert) = (
+                realized.realization.simulated_rates[c],
+                realized.realization.certified_rates[c],
+            );
+            assert!(
+                (sim - cert).abs() <= 1e-6 * cert.max(1.0),
+                "{sim} vs {cert}"
+            );
+        }
+
+        // Drift an edge: the joint template survives (one LP re-solve, no
+        // rebuild), and the second realization reports a transition.
+        let e0 = inst.platform.edge_ids().next().unwrap();
+        session.set_edge_cost(e0, 1.5).unwrap();
+        let re = session.solve_multi(&commodities).unwrap();
+        assert_eq!(re.stats.lp_solves, 1);
+        let re_realized = session.re_realize_multi().unwrap();
+        let transition = re_realized.transition.expect("second realization diffs");
+        assert!(transition.switch_time >= 0.0);
+
+        // The journal replays the whole multi history bit-identically.
+        let restored = Session::restore(&session.snapshot()).unwrap();
+        let (ca, fa) = session.multi_solution().unwrap();
+        let (cb, fb) = restored.multi_solution().unwrap();
+        assert!(same_commodities(ca, cb));
+        assert_eq!(fa.period.to_bits(), fb.period.to_bits());
+        let (ra, rb) = (
+            session.multi_realization().unwrap(),
+            restored.multi_realization().unwrap(),
+        );
+        assert_eq!(ra.schedule, rb.schedule);
+        assert_eq!(ra.simulated_rates, rb.simulated_rates);
+        assert_eq!(ra.tag_ranges, rb.tag_ranges);
+
+        // Compaction keeps the last multi solve and every multi
+        // realization live; the compacted restore still agrees.
+        let mut compacted = session;
+        compacted.compact_journal();
+        let c = Session::restore(&compacted.snapshot()).unwrap();
+        assert_eq!(c.multi_realization().unwrap().schedule, rb.schedule);
+    }
+
+    #[test]
+    fn session_multi_with_one_commodity_matches_the_lb_pipeline_bitwise() {
+        let inst = figure1_instance();
+        let commodities = vec![Commodity {
+            source: inst.source,
+            targets: inst.targets.clone(),
+            demand: 1.0,
+        }];
+        let mut multi_session = Session::new(inst.clone());
+        let solved = multi_session.solve_multi(&commodities).unwrap();
+        let multi = multi_session.re_realize_multi().unwrap();
+
+        let mut lb_session = Session::new(inst);
+        let lb = lb_session.solve(HeuristicKind::LowerBound).unwrap();
+        lb_session.re_realize(HeuristicKind::LowerBound).unwrap();
+        let single = lb_session
+            .realization_for(HeuristicKind::LowerBound)
+            .unwrap();
+
+        assert_eq!(
+            solved.flow.flows[0].period.to_bits(),
+            lb.result.period.to_bits()
+        );
+        assert_eq!(multi.realization.schedule, single.schedule);
+        assert_eq!(multi.realization.tree_sets[0], single.tree_set);
+        assert_eq!(multi.realization.simulated, single.simulated);
     }
 
     #[test]

@@ -1,0 +1,159 @@
+//! Property tests for the multi-commodity super-period pipeline:
+//!
+//! * **Per-commodity rate conservation** — on random strongly connected
+//!   platforms with random concurrent demands, the realized super-period
+//!   schedule replays with zero one-port violations and every commodity's
+//!   simulated rate is at least its joint-LP rate minus `1e-6` (each
+//!   commodity sustains its own negotiated share of the shared ports).
+//! * **`k = 1` degeneration** — a single-commodity workload routed through
+//!   the multi pipeline must reduce *bit-for-bit* to the existing
+//!   single-commodity lower-bound pipeline: same unit period bits, the
+//!   same weighted trees, the same schedule, the same simulator report.
+
+use pm_core::multi::Commodity;
+use pm_core::report::HeuristicKind;
+use pm_core::session::Session;
+use pm_platform::graph::{NodeId, PlatformBuilder};
+use pm_platform::instances::MulticastInstance;
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+const RATE_TOL: f64 = 1e-6;
+const DEMANDS: &[f64] = &[0.5, 1.0, 2.0, 4.0];
+
+/// A random strongly connected platform: a directed ring over all nodes
+/// plus random chords, so every commodity source reaches every target.
+fn random_ring_platform(rng: &mut StdRng) -> (pm_platform::graph::Platform, usize) {
+    let n = rng.gen_range(4usize..8);
+    let mut b = PlatformBuilder::new();
+    let nodes = b.add_nodes(n);
+    for i in 0..n {
+        b.add_edge(nodes[i], nodes[(i + 1) % n], rng.gen_range(0.2..2.0))
+            .unwrap();
+    }
+    for _ in 0..rng.gen_range(n..3 * n) {
+        let a = nodes[rng.gen_range(0..n)];
+        let c = nodes[rng.gen_range(0..n)];
+        if a != c {
+            // Duplicate edges are rejected by the builder; just skip them.
+            let _ = b.add_edge(a, c, rng.gen_range(0.2..2.0));
+        }
+    }
+    (b.build().unwrap(), n)
+}
+
+/// A random workload of `1..=4` commodities with skewed demands; commodity
+/// 0 doubles as the session's base instance.
+fn random_workload(rng: &mut StdRng) -> (MulticastInstance, Vec<Commodity>) {
+    let (platform, n) = random_ring_platform(rng);
+    let k = rng.gen_range(1usize..5);
+    let commodities: Vec<Commodity> = (0..k)
+        .map(|_| {
+            let source = rng.gen_range(0..n);
+            let mut targets: Vec<NodeId> = (0..n)
+                .filter(|&t| t != source)
+                .filter(|_| rng.gen_range(0u32..100) < 40)
+                .map(|t| NodeId(t as u32))
+                .collect();
+            if targets.is_empty() {
+                targets.push(NodeId(((source + 1) % n) as u32));
+            }
+            Commodity {
+                source: NodeId(source as u32),
+                targets,
+                demand: DEMANDS[rng.gen_range(0..DEMANDS.len())],
+            }
+        })
+        .collect();
+    let base = MulticastInstance::new(
+        platform,
+        commodities[0].source,
+        commodities[0].targets.clone(),
+    )
+    .expect("ring platforms are strongly connected");
+    (base, commodities)
+}
+
+fn err(message: String) -> TestCaseError {
+    TestCaseError { message }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn realizations_conserve_every_commodity_rate(seed in 0u64..1_000_000_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, commodities) = random_workload(&mut rng);
+        let k = commodities.len();
+        let mut session = Session::new(instance);
+        let solve = session
+            .solve_multi(&commodities)
+            .map_err(|e| err(format!("joint solve failed on a connected platform: {e}")))?;
+        prop_assert_eq!(solve.flow.rates.len(), k);
+        let re = session
+            .re_realize_multi()
+            .map_err(|e| err(format!("super-period realization failed: {e}")))?;
+        let r = &re.realization;
+
+        // The combined schedule respects the one-port model outright.
+        prop_assert_eq!(r.simulated.one_port_violations, 0);
+        prop_assert!(r.super_period.is_finite() && r.super_period > 0.0);
+
+        for c in 0..k {
+            // Each commodity's tag-restricted sub-schedule is also clean...
+            prop_assert_eq!(r.commodity_reports[c].one_port_violations, 0);
+            // ...and sustains at least the rate the joint LP negotiated.
+            let lp_rate = solve.flow.rates[c];
+            let simulated = r.simulated_rates[c];
+            prop_assert!(
+                simulated >= lp_rate - RATE_TOL,
+                "commodity {} simulated rate {} missed LP rate {} (seed {})",
+                c, simulated, lp_rate, seed
+            );
+        }
+    }
+
+    #[test]
+    fn k1_degenerates_bit_for_bit_to_the_single_pipeline(seed in 0u64..1_000_000_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (instance, commodities) = random_workload(&mut rng);
+        let commodity = Commodity {
+            demand: DEMANDS[rng.gen_range(0..DEMANDS.len())],
+            ..commodities[0].clone()
+        };
+
+        // Multi pipeline with k = 1.
+        let mut multi = Session::new(instance.clone());
+        let msolve = multi
+            .solve_multi(std::slice::from_ref(&commodity))
+            .map_err(|e| err(format!("k=1 joint solve failed: {e}")))?;
+        let mre = multi
+            .re_realize_multi()
+            .map_err(|e| err(format!("k=1 super-period realization failed: {e}")))?;
+
+        // The existing single-commodity lower-bound pipeline.
+        let mut single = Session::new(instance);
+        let ssolve = single
+            .solve(HeuristicKind::LowerBound)
+            .map_err(|e| err(format!("single solve failed: {e}")))?;
+        let sre = single
+            .re_realize(HeuristicKind::LowerBound)
+            .map_err(|e| err(format!("single realization failed: {e}")))?;
+
+        // Bit-for-bit: the unit flow, the trees, the schedule and the
+        // simulator verdict are all identical — the multi path only scales
+        // the period bookkeeping by the demand.
+        prop_assert!(
+            msolve.flow.flows[0].period.to_bits() == ssolve.result.period.to_bits(),
+            "unit periods diverge: multi {} vs single {}",
+            msolve.flow.flows[0].period,
+            ssolve.result.period
+        );
+        prop_assert_eq!(&mre.realization.tree_sets[0], &sre.realization.tree_set);
+        prop_assert_eq!(&mre.realization.schedule, &sre.realization.schedule);
+        prop_assert_eq!(&mre.realization.simulated, &sre.realization.simulated);
+    }
+}

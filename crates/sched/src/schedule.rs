@@ -171,6 +171,91 @@ impl PeriodicSchedule {
         })
     }
 
+    /// Builds one *super-period* schedule interleaving several weighted tree
+    /// sets — one per commodity of a multi-commodity workload — and returns
+    /// the half-open range of transfer tags each group occupies.
+    ///
+    /// During a super-period of length `period`, tree `k` of group `c`
+    /// carries `weight * period` messages of commodity `c`; all groups'
+    /// occupations share the same weighted König coloring, so the one-port
+    /// capacity of every node is split across commodities exactly as the
+    /// joint packing prescribed. Tags are global: group `c`'s trees occupy
+    /// the contiguous tag range returned at index `c` (zero-weight trees
+    /// still consume a tag, keeping tag minus range-start a stable index
+    /// into the group's tree set). The reported `multicasts_per_period` is
+    /// the sum of all groups' throughput shares.
+    pub fn from_weighted_tree_groups(
+        platform: &Platform,
+        groups: &[&WeightedTreeSet],
+        period: f64,
+    ) -> Result<(Self, Vec<(usize, usize)>), ScheduleError> {
+        let mut tasks = Vec::new();
+        let mut ranges = Vec::with_capacity(groups.len());
+        let mut next_tag = 0usize;
+        let mut multicasts = 0.0;
+        for trees in groups {
+            let start = next_tag;
+            for (tree, &w) in trees.trees().iter().zip(trees.weights()) {
+                let tag = next_tag;
+                next_tag += 1;
+                if w <= 0.0 {
+                    continue;
+                }
+                for &e in tree.edges() {
+                    let edge = platform.edge(e);
+                    tasks.push(CommTask {
+                        src: edge.src,
+                        dst: edge.dst,
+                        duration: w * period * edge.cost,
+                        tag,
+                    });
+                }
+            }
+            multicasts += trees.throughput() * period;
+            ranges.push((start, next_tag));
+        }
+        let schedule = Self::from_comm_tasks(platform, &tasks, period, multicasts)?;
+        Ok((schedule, ranges))
+    }
+
+    /// The sub-schedule carrying only the transfers whose tree tag falls in
+    /// the half-open range `tags`, re-labelled as completing `multicasts`
+    /// messages per period.
+    ///
+    /// Slot offsets and durations are preserved (empty slots are dropped),
+    /// so the sub-schedule replays each surviving transfer at the exact
+    /// instant it runs inside the parent super-period — this is how a
+    /// multi-commodity realization verifies every commodity's own rate
+    /// against its own target set without re-coloring anything.
+    pub fn restricted_to_tags(
+        &self,
+        tags: std::ops::Range<usize>,
+        multicasts: f64,
+    ) -> PeriodicSchedule {
+        let slots = self
+            .slots
+            .iter()
+            .filter_map(|slot| {
+                let transfers: Vec<Transfer> = slot
+                    .transfers
+                    .iter()
+                    .filter(|t| tags.contains(&t.tree))
+                    .cloned()
+                    .collect();
+                (!transfers.is_empty()).then_some(ScheduleSlot {
+                    offset: slot.offset,
+                    duration: slot.duration,
+                    transfers,
+                })
+            })
+            .collect();
+        PeriodicSchedule {
+            period: self.period,
+            multicasts_per_period: multicasts,
+            slots,
+        }
+    }
+
     /// The steady-state throughput of the schedule (multicasts per time-unit).
     pub fn throughput(&self) -> f64 {
         self.multicasts_per_period / self.period
@@ -337,6 +422,49 @@ mod tests {
         let loads = sched.loads(g.node_count());
         assert!((loads.send(NodeId(0)) - 1.0).abs() < 1e-6);
         assert!((loads.recv(NodeId(7)) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tree_groups_interleave_into_one_valid_super_period() {
+        let inst = diamond_instance();
+        let g = &inst.platform;
+        let e = |a: u32, b: u32| g.find_edge(NodeId(a), NodeId(b)).unwrap();
+        // Commodity 0: both diamond paths at rate 0.25 each; commodity 1:
+        // a single path at rate 0.5. Total source send load = 1.0.
+        let t1 = MulticastTree::new(&inst, vec![e(0, 1), e(1, 3)]).unwrap();
+        let t2 = MulticastTree::new(&inst, vec![e(0, 2), e(2, 3)]).unwrap();
+        let mut c0 = WeightedTreeSet::new();
+        c0.push(t1.clone(), 0.25).unwrap();
+        c0.push(t2.clone(), 0.25).unwrap();
+        let mut c1 = WeightedTreeSet::new();
+        c1.push(t2, 0.5).unwrap();
+        let (sched, ranges) =
+            PeriodicSchedule::from_weighted_tree_groups(g, &[&c0, &c1], 2.0).unwrap();
+        sched.validate(g).unwrap();
+        assert_eq!(ranges, vec![(0, 2), (2, 3)]);
+        // 0.5 + 0.5 messages per unit time over a super-period of 2.
+        assert!((sched.multicasts_per_period - 2.0).abs() < 1e-9);
+        // The tag-restricted sub-schedules carry exactly their group's
+        // transfers at the parent's offsets, and their loads sum back to
+        // the parent's.
+        let sub0 = sched.restricted_to_tags(0..2, 1.0);
+        let sub1 = sched.restricted_to_tags(2..3, 1.0);
+        assert!((sub0.throughput() - 0.5).abs() < 1e-9);
+        let n = g.node_count();
+        let (all, l0, l1) = (sched.loads(n), sub0.loads(n), sub1.loads(n));
+        for v in (0..n as u32).map(NodeId) {
+            assert!((l0.send(v) + l1.send(v) - all.send(v)).abs() < 1e-9);
+            assert!((l0.recv(v) + l1.recv(v) - all.recv(v)).abs() < 1e-9);
+        }
+        for slot in sub1.slots {
+            assert!(slot.transfers.iter().all(|t| t.tree == 2));
+            let parent = sched
+                .slots
+                .iter()
+                .find(|s| (s.offset - slot.offset).abs() < 1e-12)
+                .expect("sub-schedule slots keep parent offsets");
+            assert_eq!(parent.duration, slot.duration);
+        }
     }
 
     #[test]

@@ -384,4 +384,129 @@ mod tests {
         let v = Json::parse(" { \"k\" : [ \"\\u0041\" ] } ").unwrap();
         assert_eq!(v.get("k").unwrap().as_arr().unwrap()[0].as_str(), Some("A"));
     }
+
+    use proptest::prelude::*;
+    use proptest::test_runner::TestCaseError;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Characters that stress every emitter path: escapes, control
+    /// characters, multi-byte UTF-8.
+    const PALETTE: &[char] = &[
+        'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{1}', '\u{1f}', '\u{7f}', 'é',
+        '→', '🦀',
+    ];
+
+    fn arbitrary_string(rng: &mut StdRng) -> String {
+        let len = rng.gen_range(0..8usize);
+        (0..len)
+            .map(|_| PALETTE[rng.gen_range(0..PALETTE.len())])
+            .collect()
+    }
+
+    fn arbitrary_json(rng: &mut StdRng, depth: usize) -> Json {
+        let choice = if depth == 0 {
+            rng.gen_range(0..4u32)
+        } else {
+            rng.gen_range(0..6u32)
+        };
+        match choice {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen_range(0..2u32) == 1),
+            2 => {
+                // Finite doubles across signs and magnitudes (integers
+                // included); non-finite values emit as `null` by design and
+                // so cannot round-trip.
+                let mantissa: f64 = rng.gen_range(-1.0e6..1.0e6);
+                let exp = rng.gen_range(-3i32..4);
+                Json::Num(mantissa * 10f64.powi(exp))
+            }
+            3 => Json::Str(arbitrary_string(rng)),
+            4 => Json::Arr(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| arbitrary_json(rng, depth - 1))
+                    .collect(),
+            ),
+            _ => Json::Obj(
+                (0..rng.gen_range(0..4usize))
+                    .map(|_| (arbitrary_string(rng), arbitrary_json(rng, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn parse_inverts_emit(seed in 0u64..1_000_000_000_000) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let value = arbitrary_json(&mut rng, 4);
+            let line = value.emit();
+            let back = Json::parse(&line).map_err(|message| TestCaseError { message })?;
+            prop_assert_eq!(&back, &value);
+            // Emission is a fixed point of the round trip.
+            prop_assert_eq!(back.emit(), line);
+        }
+    }
+
+    #[test]
+    fn truncated_documents_error_without_panic() {
+        let line = r#"{"a":[1,-2.5e3,null,true,"x\"y\n\u0001"],"b":{"c":[[]],"d":"é→"}}"#;
+        assert!(Json::parse(line).is_ok());
+        for cut in 0..line.len() {
+            if !line.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                Json::parse(&line[..cut]).is_err(),
+                "accepted truncation at byte {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_corpus_returns_structured_errors() {
+        for bad in [
+            "[1 2]",
+            "{\"a\" 1}",
+            "{a:1}",
+            "tru",
+            "falsey",
+            "+1",
+            ".5",
+            "--1",
+            "1e",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\u12zz\"",
+            "[,1]",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "\u{0}",
+            "[}",
+        ] {
+            let err = Json::parse(bad).expect_err(&format!("accepted {bad:?}"));
+            assert!(!err.is_empty(), "empty error message for {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_structured_error_not_a_stack_overflow() {
+        for opener in ["[", "{\"k\":"] {
+            let deep = opener.repeat(100_000);
+            let err = Json::parse(&deep).unwrap_err();
+            assert!(err.contains("nesting too deep"), "got: {err}");
+        }
+        // Depth just inside the bound still parses.
+        let ok = format!("{}1{}", "[".repeat(MAX_DEPTH), "]".repeat(MAX_DEPTH));
+        assert!(Json::parse(&ok).is_ok());
+        let over = format!(
+            "{}1{}",
+            "[".repeat(MAX_DEPTH + 1),
+            "]".repeat(MAX_DEPTH + 1)
+        );
+        assert!(Json::parse(&over).unwrap_err().contains("nesting too deep"));
+    }
 }

@@ -22,7 +22,7 @@ pub mod server;
 
 pub use json::Json;
 pub use protocol::{
-    error_code, kind_from_key, kind_key, Counters, InstanceSpec, Request, Response, TransitionDesc,
-    TreeDesc,
+    error_code, kind_from_key, kind_key, CommoditySpec, Counters, InstanceSpec, MultiSpec, Request,
+    Response, TransitionDesc, TreeDesc,
 };
 pub use server::{ServeConfig, Server};

@@ -10,6 +10,7 @@
 //! response lines, which the CI smoke job exploits.
 
 use crate::json::Json;
+use pm_core::multi::{Commodity, CommoditySet};
 use pm_core::report::HeuristicKind;
 use pm_core::session::{SessionError, TransitionCost};
 use pm_platform::graph::{NodeId, Platform, PlatformBuilder};
@@ -178,6 +179,167 @@ impl InstanceSpec {
     }
 }
 
+/// One commodity of a multi-commodity workload, as sent on
+/// `create_multi_session`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommoditySpec {
+    /// The commodity's source processor.
+    pub source: u32,
+    /// The commodity's target processors.
+    pub targets: Vec<u32>,
+    /// Relative rate weight (finite, strictly positive).
+    pub demand: f64,
+}
+
+/// A plain-data description of a multi-commodity workload on a shared
+/// platform, as sent on `create_multi_session`. Building the
+/// [`CommoditySet`] validates it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiSpec {
+    /// Number of processors (`NodeId`s are `0..nodes`).
+    pub nodes: usize,
+    /// Directed edges `(src, dst, cost)`; the index in this list is the
+    /// `EdgeId` used by `set_edge_cost`.
+    pub edges: Vec<(u32, u32, f64)>,
+    /// The concurrent commodities sharing the platform's one-port capacity.
+    pub commodities: Vec<CommoditySpec>,
+}
+
+impl MultiSpec {
+    /// Validates the workload and builds the session's base instance
+    /// (commodity 0's multicast) plus the normalized commodity list handed
+    /// to [`pm_core::session::Session::solve_multi`] on every `solve_multi`.
+    pub fn build(&self) -> Result<(MulticastInstance, Vec<Commodity>), String> {
+        let mut builder = PlatformBuilder::new();
+        builder.add_nodes(self.nodes);
+        for &(src, dst, cost) in &self.edges {
+            builder
+                .add_edge(NodeId(src), NodeId(dst), cost)
+                .map_err(|e| e.to_string())?;
+        }
+        let platform: Platform = builder.build().map_err(|e| e.to_string())?;
+        let commodities: Vec<Commodity> = self
+            .commodities
+            .iter()
+            .map(|c| Commodity {
+                source: NodeId(c.source),
+                targets: c.targets.iter().map(|&t| NodeId(t)).collect(),
+                demand: c.demand,
+            })
+            .collect();
+        let set = CommoditySet::new(platform, commodities).map_err(|e| e.to_string())?;
+        let base = set.instance(0);
+        Ok((base, set.commodities().to_vec()))
+    }
+
+    /// FNV-1a fingerprint of the full shape (topology, bit-exact costs and
+    /// demands, every commodity's endpoints) — the key of the per-shard
+    /// template arena, disjoint from [`InstanceSpec::fingerprint`] by a
+    /// domain-separating prefix.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv::new();
+        h.write_bytes(b"multi");
+        h.write_u64(self.nodes as u64);
+        for &(src, dst, cost) in &self.edges {
+            h.write_u64(src as u64);
+            h.write_u64(dst as u64);
+            h.write_u64(cost.to_bits());
+        }
+        h.write_u64(self.commodities.len() as u64);
+        for c in &self.commodities {
+            h.write_u64(c.source as u64);
+            h.write_u64(c.targets.len() as u64);
+            for &t in &c.targets {
+                h.write_u64(t as u64);
+            }
+            h.write_u64(c.demand.to_bits());
+        }
+        h.finish()
+    }
+
+    fn to_json_fields(&self) -> Vec<(&'static str, Json)> {
+        vec![
+            ("nodes", Json::Num(self.nodes as f64)),
+            (
+                "edges",
+                Json::Arr(
+                    self.edges
+                        .iter()
+                        .map(|&(s, d, c)| {
+                            Json::Arr(vec![Json::Num(s as f64), Json::Num(d as f64), Json::Num(c)])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "commodities",
+                Json::Arr(
+                    self.commodities
+                        .iter()
+                        .map(|c| {
+                            Json::obj(vec![
+                                ("source", Json::Num(c.source as f64)),
+                                (
+                                    "targets",
+                                    Json::Arr(
+                                        c.targets.iter().map(|&t| Json::Num(t as f64)).collect(),
+                                    ),
+                                ),
+                                ("demand", Json::Num(c.demand)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]
+    }
+
+    fn from_json(v: &Json) -> Result<MultiSpec, String> {
+        let nodes = field_u64(v, "nodes")? as usize;
+        let edges = v
+            .get("edges")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'edges' array")?
+            .iter()
+            .map(|e| {
+                let e = e
+                    .as_arr()
+                    .filter(|e| e.len() == 3)
+                    .ok_or("bad edge triple")?;
+                Ok((
+                    e[0].as_u64().ok_or("bad edge src")? as u32,
+                    e[1].as_u64().ok_or("bad edge dst")? as u32,
+                    e[2].as_f64().ok_or("bad edge cost")?,
+                ))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let commodities = v
+            .get("commodities")
+            .and_then(Json::as_arr)
+            .ok_or("missing 'commodities' array")?
+            .iter()
+            .map(|c| {
+                Ok(CommoditySpec {
+                    source: field_u64(c, "source")? as u32,
+                    targets: c
+                        .get("targets")
+                        .and_then(Json::as_arr)
+                        .ok_or("missing commodity 'targets'")?
+                        .iter()
+                        .map(|t| t.as_u64().map(|t| t as u32).ok_or("bad target"))
+                        .collect::<Result<Vec<_>, _>>()?,
+                    demand: field_f64(c, "demand")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(MultiSpec {
+            nodes,
+            edges,
+            commodities,
+        })
+    }
+}
+
 /// FNV-1a, 64-bit. Used both for instance fingerprints and shard routing.
 pub(crate) struct Fnv(u64);
 
@@ -248,6 +410,23 @@ pub enum Request {
         id: u64,
         session: String,
     },
+    /// Creates a multi-commodity session: k concurrent demands jointly
+    /// scheduled in one super-period (drift requests apply unchanged).
+    CreateMultiSession {
+        id: u64,
+        session: String,
+        spec: MultiSpec,
+    },
+    /// Joint steady-state solve of a multi-commodity session.
+    SolveMulti {
+        id: u64,
+        session: String,
+    },
+    /// Realizes the joint solve as a single super-period schedule.
+    ReRealizeMulti {
+        id: u64,
+        session: String,
+    },
     DestroySession {
         id: u64,
         session: String,
@@ -269,6 +448,9 @@ impl Request {
             | Request::ReRealize { id, .. }
             | Request::QuerySchedule { id, .. }
             | Request::StreamTransitionCosts { id, .. }
+            | Request::CreateMultiSession { id, .. }
+            | Request::SolveMulti { id, .. }
+            | Request::ReRealizeMulti { id, .. }
             | Request::DestroySession { id, .. }
             | Request::Counters { id } => *id,
         }
@@ -285,6 +467,9 @@ impl Request {
             | Request::ReRealize { session, .. }
             | Request::QuerySchedule { session, .. }
             | Request::StreamTransitionCosts { session, .. }
+            | Request::CreateMultiSession { session, .. }
+            | Request::SolveMulti { session, .. }
+            | Request::ReRealizeMulti { session, .. }
             | Request::DestroySession { session, .. } => Some(session),
             Request::Counters { .. } => None,
         }
@@ -365,6 +550,25 @@ impl Request {
             Request::StreamTransitionCosts { id, session } => vec![
                 ("id", Json::Num(*id as f64)),
                 ("type", Json::str("stream_transition_costs")),
+                ("session", Json::str(session)),
+            ],
+            Request::CreateMultiSession { id, session, spec } => {
+                let mut fields = vec![
+                    ("id", Json::Num(*id as f64)),
+                    ("type", Json::str("create_multi_session")),
+                    ("session", Json::str(session)),
+                ];
+                fields.extend(spec.to_json_fields());
+                fields
+            }
+            Request::SolveMulti { id, session } => vec![
+                ("id", Json::Num(*id as f64)),
+                ("type", Json::str("solve_multi")),
+                ("session", Json::str(session)),
+            ],
+            Request::ReRealizeMulti { id, session } => vec![
+                ("id", Json::Num(*id as f64)),
+                ("type", Json::str("re_realize_multi")),
                 ("session", Json::str(session)),
             ],
             Request::DestroySession { id, session } => vec![
@@ -457,6 +661,19 @@ impl Request {
                 kind: kind()?,
             }),
             "stream_transition_costs" => Ok(Request::StreamTransitionCosts {
+                id,
+                session: session()?,
+            }),
+            "create_multi_session" => Ok(Request::CreateMultiSession {
+                id,
+                session: session()?,
+                spec: MultiSpec::from_json(&v)?,
+            }),
+            "solve_multi" => Ok(Request::SolveMulti {
+                id,
+                session: session()?,
+            }),
+            "re_realize_multi" => Ok(Request::ReRealizeMulti {
                 id,
                 session: session()?,
             }),
@@ -553,6 +770,10 @@ pub struct Counters {
     pub template_hits: u64,
     pub solves: u64,
     pub realizations: u64,
+    /// Joint multi-commodity solves (`solve_multi`).
+    pub multi_solves: u64,
+    /// Super-period realizations (`re_realize_multi`).
+    pub multi_realizes: u64,
     pub degraded_solves: u64,
     pub warm_hits: u64,
     pub warm_misses: u64,
@@ -579,6 +800,8 @@ impl Counters {
         self.template_hits += o.template_hits;
         self.solves += o.solves;
         self.realizations += o.realizations;
+        self.multi_solves += o.multi_solves;
+        self.multi_realizes += o.multi_realizes;
         self.degraded_solves += o.degraded_solves;
         self.warm_hits += o.warm_hits;
         self.warm_misses += o.warm_misses;
@@ -641,6 +864,8 @@ impl Counters {
             ("template_hits", Json::Num(self.template_hits as f64)),
             ("solves", Json::Num(self.solves as f64)),
             ("realizations", Json::Num(self.realizations as f64)),
+            ("multi_solves", Json::Num(self.multi_solves as f64)),
+            ("multi_realizes", Json::Num(self.multi_realizes as f64)),
             ("degraded_solves", Json::Num(self.degraded_solves as f64)),
             ("warm_hits", Json::Num(self.warm_hits as f64)),
             ("warm_misses", Json::Num(self.warm_misses as f64)),
@@ -670,6 +895,8 @@ impl Counters {
             template_hits: field_u64(v, "template_hits")?,
             solves: field_u64(v, "solves")?,
             realizations: field_u64(v, "realizations")?,
+            multi_solves: field_u64(v, "multi_solves")?,
+            multi_realizes: field_u64(v, "multi_realizes")?,
             degraded_solves: field_u64(v, "degraded_solves")?,
             warm_hits: field_u64(v, "warm_hits")?,
             warm_misses: field_u64(v, "warm_misses")?,
@@ -720,6 +947,31 @@ pub enum Response {
         id: u64,
         entries: Vec<(HeuristicKind, TransitionDesc)>,
     },
+    /// Result of a `solve_multi`: the joint super-unit period and every
+    /// commodity's steady-state rate.
+    MultiSolved {
+        id: u64,
+        /// Joint super-unit period `T*`; `f64::INFINITY` encodes as `null`.
+        period: f64,
+        /// Per-commodity steady-state rates `d_c / T*`.
+        rates: Vec<f64>,
+    },
+    /// Result of a `re_realize_multi`.
+    MultiRealized {
+        id: u64,
+        /// Certified super-period `P`; `f64::INFINITY` encodes as `null`.
+        super_period: f64,
+        /// One-port violations of the combined schedule's replay.
+        violations: u64,
+        /// `max_c |simulated_c − certified_c| / certified_c`.
+        gap: f64,
+        /// Per-commodity simulated rates of the super-period replay.
+        rates: Vec<f64>,
+        /// Per commodity: simulated rate within `1e-6` of its LP rate.
+        rate_met: Vec<bool>,
+        trees: u64,
+        transition: Option<TransitionDesc>,
+    },
     /// Aggregated counters.
     Counters { id: u64, counters: Counters },
     /// Request failed; the session (if any) is unchanged except as noted by
@@ -741,6 +993,8 @@ impl Response {
             | Response::Realized { id, .. }
             | Response::Schedule { id, .. }
             | Response::Transitions { id, .. }
+            | Response::MultiSolved { id, .. }
+            | Response::MultiRealized { id, .. }
             | Response::Counters { id, .. }
             | Response::Error { id, .. }
             | Response::Overloaded { id } => *id,
@@ -846,6 +1100,49 @@ impl Response {
                             })
                             .collect(),
                     ),
+                ),
+            ]),
+            Response::MultiSolved { id, period, rates } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("status", Json::str("ok")),
+                ("type", Json::str("multi_solved")),
+                ("period", Json::Num(*period)),
+                (
+                    "rates",
+                    Json::Arr(rates.iter().map(|&r| Json::Num(r)).collect()),
+                ),
+            ]),
+            Response::MultiRealized {
+                id,
+                super_period,
+                violations,
+                gap,
+                rates,
+                rate_met,
+                trees,
+                transition,
+            } => Json::obj(vec![
+                ("id", Json::Num(*id as f64)),
+                ("status", Json::str("ok")),
+                ("type", Json::str("multi_realized")),
+                ("super_period", Json::Num(*super_period)),
+                ("violations", Json::Num(*violations as f64)),
+                ("gap", Json::Num(*gap)),
+                (
+                    "rates",
+                    Json::Arr(rates.iter().map(|&r| Json::Num(r)).collect()),
+                ),
+                (
+                    "rate_met",
+                    Json::Arr(rate_met.iter().map(|&m| Json::Bool(m)).collect()),
+                ),
+                ("trees", Json::Num(*trees as f64)),
+                (
+                    "transition",
+                    match transition {
+                        Some(t) => t.to_json(),
+                        None => Json::Null,
+                    },
                 ),
             ]),
             Response::Counters { id, counters } => Json::obj(vec![
@@ -967,6 +1264,42 @@ impl Response {
                             })
                             .collect::<Result<Vec<_>, String>>()?,
                     }),
+                    "multi_solved" => Ok(Response::MultiSolved {
+                        id,
+                        period: field_f64_or_inf(&v, "period")?,
+                        rates: v
+                            .get("rates")
+                            .and_then(Json::as_arr)
+                            .ok_or("missing 'rates'")?
+                            .iter()
+                            .map(|r| r.as_f64().ok_or("bad rate"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                    }),
+                    "multi_realized" => Ok(Response::MultiRealized {
+                        id,
+                        super_period: field_f64_or_inf(&v, "super_period")?,
+                        violations: field_u64(&v, "violations")?,
+                        gap: field_f64(&v, "gap")?,
+                        rates: v
+                            .get("rates")
+                            .and_then(Json::as_arr)
+                            .ok_or("missing 'rates'")?
+                            .iter()
+                            .map(|r| r.as_f64().ok_or("bad rate"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                        rate_met: v
+                            .get("rate_met")
+                            .and_then(Json::as_arr)
+                            .ok_or("missing 'rate_met'")?
+                            .iter()
+                            .map(|m| m.as_bool().ok_or("bad rate_met"))
+                            .collect::<Result<Vec<_>, _>>()?,
+                        trees: field_u64(&v, "trees")?,
+                        transition: match v.get("transition") {
+                            None | Some(Json::Null) => None,
+                            Some(t) => Some(TransitionDesc::from_json(t)?),
+                        },
+                    }),
                     "counters" => Ok(Response::Counters {
                         id,
                         counters: Counters::from_json(
@@ -1057,11 +1390,39 @@ mod tests {
                 id: 8,
                 session: "t0".into(),
             },
-            Request::DestroySession {
+            Request::CreateMultiSession {
                 id: 9,
+                session: "m0".into(),
+                spec: MultiSpec {
+                    nodes: 4,
+                    edges: vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 0, 1.0)],
+                    commodities: vec![
+                        CommoditySpec {
+                            source: 0,
+                            targets: vec![2, 3],
+                            demand: 4.0,
+                        },
+                        CommoditySpec {
+                            source: 2,
+                            targets: vec![0],
+                            demand: 1.0,
+                        },
+                    ],
+                },
+            },
+            Request::SolveMulti {
+                id: 10,
+                session: "m0".into(),
+            },
+            Request::ReRealizeMulti {
+                id: 11,
+                session: "m0".into(),
+            },
+            Request::DestroySession {
+                id: 12,
                 session: "t0".into(),
             },
-            Request::Counters { id: 10 },
+            Request::Counters { id: 13 },
         ];
         for req in reqs {
             let line = req.to_line();
@@ -1119,7 +1480,7 @@ mod tests {
             },
             Response::Transitions {
                 id: 6,
-                entries: vec![(HeuristicKind::Scatter, transition)],
+                entries: vec![(HeuristicKind::Scatter, transition.clone())],
             },
             Response::Counters {
                 id: 7,
@@ -1130,12 +1491,27 @@ mod tests {
                     ..Counters::default()
                 },
             },
-            Response::Error {
+            Response::MultiSolved {
                 id: 8,
+                period: 6.5,
+                rates: vec![0.615_384_615_384_615_4, 0.153_846_153_846_153_85],
+            },
+            Response::MultiRealized {
+                id: 9,
+                super_period: 6.5,
+                violations: 0,
+                gap: 0.0,
+                rates: vec![0.615_384_615_384_615_4, 0.153_846_153_846_153_85],
+                rate_met: vec![true, true],
+                trees: 3,
+                transition: Some(transition.clone()),
+            },
+            Response::Error {
+                id: 10,
                 code: "unreachable".into(),
                 message: "target n3 unreachable".into(),
             },
-            Response::Overloaded { id: 9 },
+            Response::Overloaded { id: 11 },
         ];
         for resp in resps {
             let line = resp.to_line();
@@ -1184,5 +1560,45 @@ mod tests {
             targets: vec![1],
         };
         assert!(bad_cost.build().is_err());
+    }
+
+    #[test]
+    fn multi_spec_validates_and_fingerprints_demands() {
+        let a = MultiSpec {
+            nodes: 3,
+            edges: vec![(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0)],
+            commodities: vec![
+                CommoditySpec {
+                    source: 0,
+                    targets: vec![1, 2],
+                    demand: 1.0,
+                },
+                CommoditySpec {
+                    source: 2,
+                    targets: vec![0],
+                    demand: 2.0,
+                },
+            ],
+        };
+        let (base, commodities) = a.build().unwrap();
+        assert_eq!(base.source, NodeId(0));
+        assert_eq!(commodities.len(), 2);
+
+        // Demands are part of the shape: a skewed copy gets its own arena
+        // entry.
+        let mut skewed = a.clone();
+        skewed.commodities[1].demand = 4.0;
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        assert_ne!(a.fingerprint(), skewed.fingerprint());
+
+        // An unreachable commodity target is rejected at build time.
+        let mut unreachable = a.clone();
+        unreachable.edges.pop();
+        assert!(unreachable.build().is_err());
+
+        // A non-positive demand is rejected at build time.
+        let mut bad_demand = a.clone();
+        bad_demand.commodities[0].demand = 0.0;
+        assert!(bad_demand.build().is_err());
     }
 }

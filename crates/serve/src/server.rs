@@ -31,6 +31,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use pm_core::multi::Commodity;
 use pm_core::report::HeuristicKind;
 use pm_core::session::{Session, SessionTemplates, TransitionCost};
 use pm_lp::WarmStartCache;
@@ -119,6 +120,9 @@ enum Job {
 /// transition-cost log.
 struct Tenant {
     session: Session,
+    /// The multi-commodity workload this tenant was created with
+    /// (`create_multi_session`); `None` for single-commodity sessions.
+    commodities: Option<Vec<Commodity>>,
     /// Pending edge-cost writes, last-write-wins per edge.
     pending_costs: std::collections::BTreeMap<u32, f64>,
     /// Pending node-mask flips, net value per node (`true` = enabled).
@@ -200,6 +204,44 @@ impl ShardState {
                 }
                 let tenant = Tenant {
                     session: Session::with_templates(instance, templates),
+                    commodities: None,
+                    pending_costs: Default::default(),
+                    pending_nodes: Default::default(),
+                    pending_events: 0,
+                    transitions: Vec::new(),
+                };
+                self.sessions.insert(session, tenant);
+                self.counters.sessions_created += 1;
+                Response::Ok { id }
+            }
+            Request::CreateMultiSession { id, session, spec } => {
+                if self.sessions.contains_key(&session) {
+                    return self.error(
+                        id,
+                        "session_exists",
+                        format!("session '{session}' already exists"),
+                    );
+                }
+                let (instance, commodities) = match spec.build() {
+                    Ok(built) => built,
+                    Err(message) => return self.error(id, "invalid_argument", message),
+                };
+                // Same arena as single-commodity tenants (the fingerprint is
+                // domain-separated), so same-workload tenants share the base
+                // instance's pre-built formulation templates.
+                let templates = match self.templates.entry(spec.fingerprint()) {
+                    std::collections::hash_map::Entry::Occupied(o) => {
+                        self.counters.template_hits += 1;
+                        o.into_mut()
+                    }
+                    std::collections::hash_map::Entry::Vacant(v) => {
+                        self.counters.template_builds += 1;
+                        v.insert(SessionTemplates::new())
+                    }
+                };
+                let tenant = Tenant {
+                    session: Session::with_templates(instance, templates),
+                    commodities: Some(commodities),
                     pending_costs: Default::default(),
                     pending_nodes: Default::default(),
                     pending_events: 0,
@@ -337,6 +379,86 @@ impl ShardState {
                             gap: r.realization_gap,
                             throughput: r.simulated.throughput,
                             trees: r.tree_set.len() as u64,
+                            transition: re.transition.as_ref().map(TransitionDesc::from_cost),
+                        };
+                        self.maybe_compact(&session);
+                        response
+                    }
+                    Err(e) => self.error(id, error_code(&e), e.to_string()),
+                }
+            }
+            Request::SolveMulti { id, session } => {
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                let Some(commodities) = tenant.commodities.clone() else {
+                    return self.error(
+                        id,
+                        "not_multi",
+                        format!("session '{session}' was not created with create_multi_session"),
+                    );
+                };
+                Self::flush(tenant, &mut self.counters);
+                match tenant.session.solve_multi(&commodities) {
+                    Ok(solve) => {
+                        self.counters.multi_solves += 1;
+                        self.counters.warm_hits += solve.stats.warm_hits;
+                        self.counters.warm_misses += solve.stats.warm_misses;
+                        self.counters.degraded_solves += solve.stats.degraded_solves;
+                        let response = Response::MultiSolved {
+                            id,
+                            period: solve.flow.period,
+                            rates: solve.flow.rates.clone(),
+                        };
+                        self.maybe_compact(&session);
+                        response
+                    }
+                    Err(e) => self.error(id, error_code(&e), e.to_string()),
+                }
+            }
+            Request::ReRealizeMulti { id, session } => {
+                let Some(tenant) = self.sessions.get_mut(&session) else {
+                    return self.unknown_session(id, &session);
+                };
+                if tenant.commodities.is_none() {
+                    return self.error(
+                        id,
+                        "not_multi",
+                        format!("session '{session}' was not created with create_multi_session"),
+                    );
+                }
+                Self::flush(tenant, &mut self.counters);
+                tenant.session.swap_cache(&mut self.cache);
+                let outcome = tenant.session.re_realize_multi();
+                tenant.session.swap_cache(&mut self.cache);
+                match outcome {
+                    Ok(re) => {
+                        self.counters.multi_realizes += 1;
+                        self.counters.warm_hits += re.stats.warm_hits;
+                        self.counters.warm_misses += re.stats.warm_misses;
+                        self.counters.degraded_solves += re.stats.degraded_solves;
+                        let r = &re.realization;
+                        // Each commodity meets its rate when the replayed
+                        // super-period sustains at least the LP's claim.
+                        let lp_rates: Vec<f64> = tenant
+                            .session
+                            .multi_solution()
+                            .map(|(_, flow)| flow.rates.clone())
+                            .unwrap_or_else(|| r.certified_rates.clone());
+                        let rate_met = r
+                            .simulated_rates
+                            .iter()
+                            .zip(&lp_rates)
+                            .map(|(&sim, &lp)| sim >= lp - 1e-6)
+                            .collect();
+                        let response = Response::MultiRealized {
+                            id,
+                            super_period: r.super_period,
+                            violations: r.simulated.one_port_violations as u64,
+                            gap: r.realization_gap,
+                            rates: r.simulated_rates.clone(),
+                            rate_met,
+                            trees: r.tree_sets.iter().map(|t| t.len() as u64).sum(),
                             transition: re.transition.as_ref().map(TransitionDesc::from_cost),
                         };
                         self.maybe_compact(&session);
@@ -657,7 +779,7 @@ fn run_shard(config: ServeConfig, rx: Receiver<Job>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::protocol::InstanceSpec;
+    use crate::protocol::{CommoditySpec, InstanceSpec, MultiSpec};
 
     fn spec() -> InstanceSpec {
         // 0 → {1,2} relays, targets {3,4,5}; enough redundancy that any one
@@ -899,6 +1021,128 @@ mod tests {
         assert!(
             c.cache_hits > 0,
             "second tenant's packing should hit the shard cache: {c:?}"
+        );
+    }
+
+    fn multi_spec() -> MultiSpec {
+        // The same platform as `spec()` carrying two concurrent demands:
+        // the original multicast at 4× rate plus a small 1→{3,4} flow.
+        MultiSpec {
+            nodes: 6,
+            edges: spec().edges,
+            commodities: vec![
+                CommoditySpec {
+                    source: 0,
+                    targets: vec![3, 4, 5],
+                    demand: 4.0,
+                },
+                CommoditySpec {
+                    source: 1,
+                    targets: vec![3, 4],
+                    demand: 1.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn multi_sessions_solve_and_realize_with_drift_coalescing() {
+        let mut shard = ShardState::new(ServeConfig {
+            tick: 1000,
+            ..ServeConfig::default()
+        });
+        let r = shard.handle(Request::CreateMultiSession {
+            id: 1,
+            session: "m".into(),
+            spec: multi_spec(),
+        });
+        assert!(matches!(r, Response::Ok { .. }), "{r:?}");
+
+        // Buffered drift is flushed at the solve_multi barrier.
+        for i in 0..4u64 {
+            let r = shard.handle(Request::SetEdgeCost {
+                id: 2 + i,
+                session: "m".into(),
+                edge: 0,
+                cost: 1.0 + i as f64 * 0.2,
+            });
+            assert!(matches!(r, Response::Ok { .. }));
+        }
+        let solved = shard.handle(Request::SolveMulti {
+            id: 10,
+            session: "m".into(),
+        });
+        let Response::MultiSolved { period, rates, .. } = solved else {
+            panic!("expected multi_solved, got {solved:?}");
+        };
+        assert_eq!(rates.len(), 2);
+        let realized = shard.handle(Request::ReRealizeMulti {
+            id: 11,
+            session: "m".into(),
+        });
+        let Response::MultiRealized {
+            violations,
+            rate_met,
+            transition,
+            ..
+        } = &realized
+        else {
+            panic!("expected multi_realized, got {realized:?}");
+        };
+        assert_eq!(*violations, 0);
+        assert_eq!(rate_met.as_slice(), &[true, true]);
+        assert!(transition.is_none(), "first realization has no switchover");
+
+        let c = shard.snapshot();
+        assert_eq!(c.coalesced_writes, 1, "4 edge writes coalesce to 1");
+        assert_eq!(c.multi_solves, 1);
+        assert_eq!(c.multi_realizes, 1);
+
+        // Parity with a direct session given the same net state.
+        let (instance, commodities) = multi_spec().build().unwrap();
+        let mut direct = Session::new(instance);
+        direct.set_edge_cost(EdgeId(0), 1.6).unwrap();
+        let expected = direct.solve_multi(&commodities).unwrap();
+        assert!(
+            (period - expected.flow.period).abs() <= 1e-9,
+            "served {period} vs direct {}",
+            expected.flow.period
+        );
+    }
+
+    #[test]
+    fn multi_requests_on_a_single_session_are_rejected() {
+        let mut shard = ShardState::new(ServeConfig::default());
+        shard.handle(create(1, "t"));
+        for request in [
+            Request::SolveMulti {
+                id: 2,
+                session: "t".into(),
+            },
+            Request::ReRealizeMulti {
+                id: 3,
+                session: "t".into(),
+            },
+        ] {
+            let response = shard.handle(request);
+            let Response::Error { code, .. } = &response else {
+                panic!("expected error, got {response:?}");
+            };
+            assert_eq!(code, "not_multi");
+        }
+        // And realizing before solving is a session-level error, not a panic.
+        shard.handle(Request::CreateMultiSession {
+            id: 4,
+            session: "m".into(),
+            spec: multi_spec(),
+        });
+        let response = shard.handle(Request::ReRealizeMulti {
+            id: 5,
+            session: "m".into(),
+        });
+        assert!(
+            matches!(&response, Response::Error { code, .. } if code == "not_realizable"),
+            "{response:?}"
         );
     }
 

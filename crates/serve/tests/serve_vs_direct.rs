@@ -16,11 +16,15 @@
 //! * schedule queries: same availability, same period/throughput/tree
 //!   count.
 
+use pm_core::multi::Commodity;
 use pm_core::report::HeuristicKind;
 use pm_core::session::{Session, TransitionCost};
 use pm_platform::graph::{EdgeId, NodeId, PlatformBuilder};
 use pm_platform::instances::MulticastInstance;
-use pm_serve::{error_code, InstanceSpec, Request, Response, ServeConfig, Server, TransitionDesc};
+use pm_serve::{
+    error_code, CommoditySpec, InstanceSpec, MultiSpec, Request, Response, ServeConfig, Server,
+    TransitionDesc,
+};
 use proptest::prelude::*;
 use proptest::test_runner::TestCaseError;
 use rand::rngs::StdRng;
@@ -133,10 +137,132 @@ fn random_trace(seed: u64, tenants: usize, steps: usize) -> (Vec<InstanceSpec>, 
     (specs, requests)
 }
 
+const DEMANDS: &[f64] = &[0.5, 1.0, 2.0, 4.0];
+
+/// A random multi-commodity workload on a strongly connected platform (a
+/// directed ring plus random chords), so any commodity endpoints are
+/// reachable from any source.
+fn random_multi_spec(rng: &mut StdRng) -> MultiSpec {
+    let n = rng.gen_range(4usize..7);
+    let mut edges: Vec<(u32, u32, f64)> = (0..n)
+        .map(|i| (i as u32, ((i + 1) % n) as u32, rng.gen_range(0.2..2.0)))
+        .collect();
+    for _ in 0..rng.gen_range(n..2 * n) {
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        if a != b && !edges.iter().any(|&(x, y, _)| x == a && y == b) {
+            edges.push((a, b, rng.gen_range(0.2..2.0)));
+        }
+    }
+    let k = rng.gen_range(1usize..4);
+    let commodities = (0..k)
+        .map(|_| {
+            let source = rng.gen_range(0..n) as u32;
+            let mut targets: Vec<u32> = (0..n as u32)
+                .filter(|&t| t != source)
+                .filter(|_| rng.gen_range(0u32..100) < 40)
+                .collect();
+            if targets.is_empty() {
+                targets.push((source + 1) % n as u32);
+            }
+            CommoditySpec {
+                source,
+                targets,
+                demand: DEMANDS[rng.gen_range(0..DEMANDS.len())],
+            }
+        })
+        .collect();
+    MultiSpec {
+        nodes: n,
+        edges,
+        commodities,
+    }
+}
+
+/// An interleaved trace over two multi-commodity tenants (sharing one
+/// workload shape, exercising the domain-separated template arena) and one
+/// single-commodity tenant. Multi barriers, single barriers and coalesced
+/// drift mix freely; multi requests also land on the single tenant (and
+/// must be rejected identically on both paths).
+fn random_multi_trace(seed: u64, steps: usize) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let multi = random_multi_spec(&mut rng);
+    let single = InstanceSpec::from_instance(&random_instance(&mut rng));
+    let mut requests: Vec<Request> = Vec::with_capacity(steps + 3);
+    for name in ["m0", "m1"] {
+        requests.push(Request::CreateMultiSession {
+            id: requests.len() as u64 + 1,
+            session: name.to_string(),
+            spec: multi.clone(),
+        });
+    }
+    requests.push(Request::CreateSession {
+        id: requests.len() as u64 + 1,
+        session: "s2".to_string(),
+        spec: single.clone(),
+        kinds: vec![HeuristicKind::Scatter],
+    });
+    let tenants = ["m0", "m1", "s2"];
+    for _ in 0..steps {
+        let tenant = rng.gen_range(0..tenants.len());
+        let session = tenants[tenant].to_string();
+        let edge_count = if tenant < 2 {
+            multi.edges.len()
+        } else {
+            single.edges.len()
+        } as u32;
+        let node_count = if tenant < 2 {
+            multi.nodes
+        } else {
+            single.nodes
+        } as u32;
+        let id = requests.len() as u64 + 1;
+        let request = match rng.gen_range(0u32..100) {
+            // Drift, sometimes on an out-of-range edge for error parity.
+            0..=29 => Request::SetEdgeCost {
+                id,
+                session,
+                edge: rng.gen_range(0..edge_count + 1),
+                cost: rng.gen_range(0.05f64..20.0),
+            },
+            // Node churn against the base instance (commodity 0 for the
+            // multi tenants); flips of a non-base commodity's endpoints are
+            // admitted and must fail identically at the next multi barrier.
+            30..=41 => {
+                let node = rng.gen_range(0..node_count + 1);
+                if rng.gen_bool(0.6) {
+                    Request::DisableNode { id, session, node }
+                } else {
+                    Request::EnableNode { id, session, node }
+                }
+            }
+            // Joint solves — also on the single tenant, which must reject.
+            42..=64 => Request::SolveMulti { id, session },
+            65..=84 => Request::ReRealizeMulti { id, session },
+            // Single-commodity barriers on any tenant (a multi tenant's
+            // base instance is an ordinary session underneath).
+            85..=93 => Request::Solve {
+                id,
+                session,
+                kind: SOLVE_KINDS[rng.gen_range(0..SOLVE_KINDS.len())],
+            },
+            _ => Request::ReRealize {
+                id,
+                session,
+                kind: HeuristicKind::Scatter,
+            },
+        };
+        requests.push(request);
+    }
+    requests
+}
+
 /// The oracle: plain per-session [`Session`]s, every event applied
 /// immediately (no batching, no sharding, no shared caches).
 struct Direct {
     sessions: std::collections::HashMap<String, Session>,
+    /// The commodity list of multi tenants (`None` for single tenants).
+    commodities: std::collections::HashMap<String, Option<Vec<Commodity>>>,
     transitions: std::collections::HashMap<String, Vec<(HeuristicKind, TransitionCost)>>,
 }
 
@@ -159,12 +285,25 @@ enum Expected {
         trees: usize,
     },
     Transitions(Vec<(HeuristicKind, TransitionDesc)>),
+    MultiSolved {
+        period: f64,
+        rates: Vec<f64>,
+    },
+    MultiRealized {
+        super_period: f64,
+        violations: u64,
+        gap: f64,
+        rates: Vec<f64>,
+        rate_met: Vec<bool>,
+        transition: Option<TransitionDesc>,
+    },
 }
 
 impl Direct {
     fn new() -> Direct {
         Direct {
             sessions: Default::default(),
+            commodities: Default::default(),
             transitions: Default::default(),
         }
     }
@@ -175,6 +314,16 @@ impl Direct {
                 let instance = spec.build().expect("generated specs are valid");
                 self.sessions
                     .insert(session.clone(), Session::new(instance));
+                self.commodities.insert(session.clone(), None);
+                self.transitions.insert(session.clone(), Vec::new());
+                Expected::Ack
+            }
+            Request::CreateMultiSession { session, spec, .. } => {
+                let (instance, commodities) =
+                    spec.build().expect("generated multi specs are valid");
+                self.sessions
+                    .insert(session.clone(), Session::new(instance));
+                self.commodities.insert(session.clone(), Some(commodities));
                 self.transitions.insert(session.clone(), Vec::new());
                 Expected::Ack
             }
@@ -249,6 +398,50 @@ impl Direct {
                         .map(|(k, t)| (k, TransitionDesc::from_cost(&t)))
                         .collect(),
                 )
+            }
+            Request::SolveMulti { session, .. } => {
+                let Some(Some(commodities)) = self.commodities.get(session).cloned() else {
+                    return Expected::Error("not_multi");
+                };
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.solve_multi(&commodities) {
+                    Ok(solve) => Expected::MultiSolved {
+                        period: solve.flow.period,
+                        rates: solve.flow.rates.clone(),
+                    },
+                    Err(e) => Expected::Error(error_code(&e)),
+                }
+            }
+            Request::ReRealizeMulti { session, .. } => {
+                if !matches!(self.commodities.get(session), Some(Some(_))) {
+                    return Expected::Error("not_multi");
+                }
+                let s = self.sessions.get_mut(session).unwrap();
+                match s.re_realize_multi() {
+                    Ok(re) => {
+                        let r = &re.realization;
+                        // Mirror the server's rate acceptance: simulated
+                        // rate within 1e-6 of the LP's claim per commodity.
+                        let lp_rates: Vec<f64> = s
+                            .multi_solution()
+                            .map(|(_, flow)| flow.rates.clone())
+                            .unwrap_or_else(|| r.certified_rates.clone());
+                        Expected::MultiRealized {
+                            super_period: r.super_period,
+                            violations: r.simulated.one_port_violations as u64,
+                            gap: r.realization_gap,
+                            rates: r.simulated_rates.clone(),
+                            rate_met: r
+                                .simulated_rates
+                                .iter()
+                                .zip(&lp_rates)
+                                .map(|(&sim, &lp)| sim >= lp - 1e-6)
+                                .collect(),
+                            transition: re.transition.as_ref().map(TransitionDesc::from_cost),
+                        }
+                    }
+                    Err(e) => Expected::Error(error_code(&e)),
+                }
             }
             other => panic!("oracle does not model {other:?}"),
         }
@@ -361,6 +554,68 @@ fn check(
             }
             Ok(())
         }
+        (
+            Expected::MultiSolved { period, rates },
+            Response::MultiSolved {
+                period: got_p,
+                rates: got_r,
+                ..
+            },
+        ) => {
+            if !close(*period, *got_p, TOL) {
+                return fail(format!(
+                    "joint period mismatch: direct {period}, served {got_p}"
+                ));
+            }
+            prop_assert_eq!(rates.len(), got_r.len());
+            for (c, (a, b)) in rates.iter().zip(got_r).enumerate() {
+                if !close(*a, *b, TOL) {
+                    return fail(format!("commodity {c} rate mismatch: {a} vs {b}"));
+                }
+            }
+            Ok(())
+        }
+        (
+            Expected::MultiRealized {
+                super_period,
+                violations,
+                gap,
+                rates,
+                rate_met,
+                transition,
+            },
+            Response::MultiRealized {
+                super_period: got_sp,
+                violations: got_v,
+                gap: got_g,
+                rates: got_r,
+                rate_met: got_m,
+                transition: got_tr,
+                ..
+            },
+        ) => {
+            // A valid super-period realization never violates the one-port
+            // model, on either path.
+            prop_assert_eq!(*violations, 0);
+            prop_assert_eq!(*got_v, 0);
+            if !close(*super_period, *got_sp, SIM_TOL) || !close(*gap, *got_g, SIM_TOL) {
+                return fail(format!(
+                    "super-period mismatch: direct ({super_period}, gap {gap}), served ({got_sp}, gap {got_g})"
+                ));
+            }
+            prop_assert_eq!(rates.len(), got_r.len());
+            for (c, (a, b)) in rates.iter().zip(got_r).enumerate() {
+                if !close(*a, *b, SIM_TOL) {
+                    return fail(format!("commodity {c} simulated rate mismatch: {a} vs {b}"));
+                }
+            }
+            prop_assert_eq!(rate_met, got_m);
+            match (transition, got_tr) {
+                (None, None) => Ok(()),
+                (Some(a), Some(b)) if transition_close(a, b) => Ok(()),
+                _ => fail("multi transition-cost mismatch".to_string()),
+            }
+        }
         _ => fail("response shape does not match the direct outcome".to_string()),
     }
 }
@@ -394,6 +649,47 @@ proptest! {
                 check(&label, request, want, &response)?;
             }
             server.shutdown();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Satellite invariant: interleaved multi-commodity traces — joint
+    /// solves, super-period realizations, coalesced drift and ordinary
+    /// single-commodity barriers mixed over shared-shape tenants — match
+    /// direct sessions for every shard count and batching tick.
+    #[test]
+    fn served_multi_traces_match_direct_sessions(seed in 0u64..1_000_000_000_000) {
+        let requests = random_multi_trace(seed, 20);
+        let mut direct = Direct::new();
+        let expected: Vec<Expected> = requests.iter().map(|r| direct.apply(r)).collect();
+        for &(shards, tick) in CONFIGS {
+            let server = Server::start(ServeConfig {
+                shards,
+                tick,
+                ..ServeConfig::default()
+            });
+            let label = format!("multi shards={shards} tick={tick}");
+            for (request, want) in requests.iter().zip(&expected) {
+                let line = server.call_line(&request.to_line());
+                let response = Response::from_line(&line).map_err(|e| TestCaseError {
+                    message: format!("{label}: malformed response '{line}': {e}"),
+                })?;
+                prop_assert_eq!(response.id(), request.id());
+                check(&label, request, want, &response)?;
+            }
+            let counters = server.shutdown();
+            // The multi counters account for exactly the successful joint
+            // barriers, independent of sharding and batching.
+            let successes = expected
+                .iter()
+                .filter(|e| {
+                    matches!(e, Expected::MultiSolved { .. } | Expected::MultiRealized { .. })
+                })
+                .count() as u64;
+            prop_assert_eq!(counters.multi_solves + counters.multi_realizes, successes);
         }
     }
 }

@@ -20,5 +20,7 @@ pub mod simulator;
 pub mod validate;
 
 pub use fault::{CrashEvent, FaultModel};
-pub use simulator::{FaultCause, FaultEvent, SimError, SimReport, SimulationConfig, Simulator};
+pub use simulator::{
+    CommodityLane, FaultCause, FaultEvent, SimError, SimReport, SimulationConfig, Simulator,
+};
 pub use validate::{validate_tree_set, TreeSetValidation};
